@@ -1,0 +1,445 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation -- <study> [--evals E]
+//!     [--size N] [--runs R] [--seed S]
+//!
+//! studies:
+//!   tenure       tabu tenure sweep {5, 10, 20, 40}
+//!   nbhd         neighborhood size sweep {50, 100, 200, 400}
+//!   archive      archive capacity sweep {10, 20, 50}
+//!   feasibility  local feasibility criterion on/off
+//!   decision     async decision-function wait bound sweep
+//!   comm         collaborative searcher count sweep {1, 2, 4, 8}
+//!   moea         NSGA-II vs sequential TSMO on equal budgets
+//!   hybrid       future-work hybrid (coll × async) vs its two parents
+//!   selection    MO selection rule: random non-dominated vs prefer-dominating
+//!   weights      §II.C: k weighted-sum TS runs vs one TSMO on equal budgets
+//!   hetero       async vs sync speedup on a heterogeneous virtual machine
+//!   polish       best-improvement descent as a front post-processor
+//!   levels       §I's taxonomy: functional vs domain vs multisearch decomposition
+//!   all          run every study
+//! ```
+
+use moea::{Nsga2, Nsga2Config, Spea2, Spea2Config};
+use pareto::coverage;
+use runstats::Summary;
+use std::sync::Arc;
+use tsmo_core::{
+    weighted_front, AdaptiveMemoryTs, AsyncTsmo, CollaborativeTsmo, HybridTsmo, SequentialTsmo,
+    SimAsyncTsmo, SimSyncTsmo, TsmoConfig,
+};
+use vrptw_operators::{descend, DescentConfig};
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+use vrptw::Instance;
+
+struct Opts {
+    evals: u64,
+    size: usize,
+    runs: usize,
+    seed: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let study = args.first().cloned().unwrap_or_else(|| "all".to_string());
+    let opts = Opts {
+        evals: get("--evals").map_or(10_000, |s| s.parse().expect("--evals")),
+        size: get("--size").map_or(80, |s| s.parse().expect("--size")),
+        runs: get("--runs").map_or(3, |s| s.parse().expect("--runs")),
+        seed: get("--seed").map_or(7, |s| s.parse().expect("--seed")),
+    };
+    match study.as_str() {
+        "tenure" => tenure(&opts),
+        "nbhd" => nbhd(&opts),
+        "archive" => archive(&opts),
+        "feasibility" => feasibility(&opts),
+        "decision" => decision(&opts),
+        "comm" => comm(&opts),
+        "moea" => moea_cmp(&opts),
+        "hybrid" => hybrid(&opts),
+        "selection" => selection(&opts),
+        "weights" => weights(&opts),
+        "hetero" => hetero(&opts),
+        "polish" => polish(&opts),
+        "levels" => levels(&opts),
+        "all" => {
+            for f in [
+                tenure, nbhd, archive, feasibility, decision, comm, moea_cmp, hybrid, selection,
+                weights, hetero, polish, levels,
+            ] {
+                f(&opts);
+                println!();
+            }
+        }
+        other => panic!("unknown study {other:?} (see --help in the source header)"),
+    }
+}
+
+fn instance(opts: &Opts) -> Arc<Instance> {
+    Arc::new(GeneratorConfig::new(InstanceClass::R1, opts.size, opts.seed).build())
+}
+
+fn base_cfg(opts: &Opts) -> TsmoConfig {
+    TsmoConfig { max_evaluations: opts.evals, neighborhood_size: 100, ..TsmoConfig::default() }
+}
+
+/// Runs the sequential algorithm `runs` times, returns best distances.
+fn seq_best_distances(inst: &Arc<Instance>, cfg: &TsmoConfig, opts: &Opts) -> Vec<f64> {
+    (0..opts.runs)
+        .map(|r| {
+            let out = SequentialTsmo::new(cfg.clone().with_seed(opts.seed + r as u64)).run(inst);
+            out.best_distance().unwrap_or(f64::NAN)
+        })
+        .filter(|d| d.is_finite())
+        .collect()
+}
+
+fn print_row(label: &str, xs: &[f64]) {
+    if xs.is_empty() {
+        println!("  {label:<28} (no feasible solutions)");
+    } else {
+        let s = Summary::of(xs);
+        println!("  {label:<28} best distance {}", s.cell());
+    }
+}
+
+fn tenure(opts: &Opts) {
+    println!("Ablation: tabu tenure sweep (paper default 20)");
+    let inst = instance(opts);
+    for tenure in [5usize, 10, 20, 40] {
+        let cfg = TsmoConfig { tabu_tenure: tenure, ..base_cfg(opts) };
+        print_row(&format!("tenure = {tenure}"), &seq_best_distances(&inst, &cfg, opts));
+    }
+}
+
+fn nbhd(opts: &Opts) {
+    println!("Ablation: neighborhood size sweep (paper default 200)");
+    let inst = instance(opts);
+    for size in [50usize, 100, 200, 400] {
+        let cfg = TsmoConfig { neighborhood_size: size, ..base_cfg(opts) };
+        print_row(&format!("neighborhood = {size}"), &seq_best_distances(&inst, &cfg, opts));
+    }
+}
+
+fn archive(opts: &Opts) {
+    println!("Ablation: archive capacity sweep (paper default 20)");
+    let inst = instance(opts);
+    for cap in [10usize, 20, 50] {
+        let cfg = TsmoConfig { archive_capacity: cap, ..base_cfg(opts) };
+        print_row(&format!("archive = {cap}"), &seq_best_distances(&inst, &cfg, opts));
+    }
+}
+
+fn feasibility(opts: &Opts) {
+    println!("Ablation: local feasibility criterion (paper: on)");
+    let inst = instance(opts);
+    for on in [true, false] {
+        let cfg = TsmoConfig { feasibility_criterion: on, ..base_cfg(opts) };
+        print_row(if on { "criterion on" } else { "criterion off" },
+                  &seq_best_distances(&inst, &cfg, opts));
+    }
+}
+
+fn decision(opts: &Opts) {
+    println!("Ablation: async decision-function wait bound (c3)");
+    let inst = instance(opts);
+    for wait_ms in [0u64, 1, 20, 200] {
+        let cfg = TsmoConfig { async_max_wait_ms: wait_ms, ..base_cfg(opts) };
+        let mut dists = Vec::new();
+        let mut times = Vec::new();
+        for r in 0..opts.runs {
+            let out = AsyncTsmo::new(cfg.clone().with_seed(opts.seed + r as u64), 4).run(&inst);
+            if let Some(d) = out.best_distance() {
+                dists.push(d);
+            }
+            times.push(out.runtime_seconds);
+        }
+        let t = Summary::of(&times);
+        if dists.is_empty() {
+            println!("  wait = {wait_ms:>3} ms: runtime {} (no feasible solutions)", t.cell());
+        } else {
+            println!(
+                "  wait = {wait_ms:>3} ms: best distance {} runtime {}",
+                Summary::of(&dists).cell(),
+                t.cell()
+            );
+        }
+    }
+}
+
+fn comm(opts: &Opts) {
+    println!("Ablation: collaborative searcher count (per-searcher budgets)");
+    let inst = instance(opts);
+    let reference = {
+        let out =
+            SequentialTsmo::new(base_cfg(opts).with_seed(opts.seed ^ 0xF00)).run(&inst);
+        out.feasible_vectors()
+    };
+    for searchers in [1usize, 2, 4, 8] {
+        let mut covs = Vec::new();
+        let mut times = Vec::new();
+        for r in 0..opts.runs {
+            let out = CollaborativeTsmo::new(
+                base_cfg(opts).with_seed(opts.seed + r as u64),
+                searchers,
+            )
+            .run(&inst);
+            covs.push(coverage(&out.feasible_vectors(), &reference) * 100.0);
+            times.push(out.runtime_seconds);
+        }
+        println!(
+            "  searchers = {searchers}: coverage of reference {} runtime {}",
+            Summary::of(&covs).cell(),
+            Summary::of(&times).cell()
+        );
+    }
+}
+
+/// Per-algorithm measurements: label, per-run fronts, per-run wall times.
+type LabeledRuns<'a> = Vec<(&'a str, Vec<Vec<[f64; 3]>>, Vec<f64>)>;
+
+fn hybrid(opts: &Opts) {
+    println!("Extension: hybrid (collaborative x async) vs its parents (paper future work)");
+    let inst = instance(opts);
+    let mut rows: LabeledRuns = Vec::new();
+    for (label, runner) in [
+        ("async (4 procs)", Box::new(|seed: u64| {
+            AsyncTsmo::new(base_cfg(opts).with_seed(seed), 4).run(&inst)
+        }) as Box<dyn Fn(u64) -> tsmo_core::TsmoOutcome>),
+        ("collaborative (4)", Box::new(|seed: u64| {
+            CollaborativeTsmo::new(base_cfg(opts).with_seed(seed), 4).run(&inst)
+        })),
+        ("hybrid (2 x 2)", Box::new(|seed: u64| {
+            HybridTsmo::new(base_cfg(opts).with_seed(seed), 2, 2).run(&inst)
+        })),
+    ] {
+        let mut fronts = Vec::new();
+        let mut times = Vec::new();
+        for r in 0..opts.runs {
+            let out = runner(opts.seed + r as u64);
+            fronts.push(out.feasible_vectors());
+            times.push(out.runtime_seconds);
+        }
+        rows.push((label, fronts, times));
+    }
+    // Pairwise coverage between the three.
+    for (i, (label, fronts, times)) in rows.iter().enumerate() {
+        let mut covs = Vec::new();
+        for (j, (_, other_fronts, _)) in rows.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for a in fronts {
+                for b in other_fronts {
+                    covs.push(coverage(a, b) * 100.0);
+                }
+            }
+        }
+        println!(
+            "  {label:<20} covers others {} wall time {}",
+            Summary::of(&covs).cell(),
+            Summary::of(times).cell()
+        );
+    }
+}
+
+fn selection(opts: &Opts) {
+    println!("Ablation: MO selection rule (the paper leaves it unspecified)");
+    let inst = instance(opts);
+    use tsmo_core::SelectionRule;
+    for (label, rule) in [
+        ("random non-dominated", SelectionRule::RandomNonDominated),
+        ("prefer dominating", SelectionRule::PreferDominating),
+    ] {
+        let cfg = TsmoConfig { selection: rule, ..base_cfg(opts) };
+        print_row(label, &seq_best_distances(&inst, &cfg, opts));
+    }
+}
+
+fn weights(opts: &Opts) {
+    println!("Ablation (§II.C): k weighted-sum TS runs vs one TSMO, equal total budget");
+    let inst = instance(opts);
+    // Compare the raw three-objective fronts (tardiness is a dimension, so
+    // infeasible-but-interesting points still count).
+    let mut ts_fronts = Vec::new();
+    for r in 0..opts.runs {
+        let out = SequentialTsmo::new(base_cfg(opts).with_seed(opts.seed + r as u64)).run(&inst);
+        ts_fronts.push(
+            out.archive.iter().map(|e| e.objectives.to_vector()).collect::<Vec<_>>(),
+        );
+    }
+    for k in [3usize, 5, 10] {
+        let mut c_mo = Vec::new();
+        let mut c_ws = Vec::new();
+        for r in 0..opts.runs {
+            let front = weighted_front(
+                &inst,
+                &base_cfg(opts).with_seed(opts.seed ^ (r as u64) << 8),
+                k,
+                opts.evals,
+            );
+            let ws: Vec<[f64; 3]> =
+                front.items().iter().map(|e| e.objectives.to_vector()).collect();
+            for mo in &ts_fronts {
+                c_mo.push(coverage(mo, &ws) * 100.0);
+                c_ws.push(coverage(&ws, mo) * 100.0);
+            }
+        }
+        println!(
+            "  k = {k:>2} weighted runs: C(TSMO, weighted) {}  C(weighted, TSMO) {}",
+            Summary::of(&c_mo).cell(),
+            Summary::of(&c_ws).cell()
+        );
+    }
+}
+
+fn hetero(opts: &Opts) {
+    println!("Ablation: heterogeneous machine (half-speed workers), virtual time");
+    println!("  the paper motivates async with heterogeneity: \"asynchronous algorithms …");
+    println!("  should perform well on both homogenous and heterogenous systems\"");
+    let inst = instance(opts);
+    let p = 4usize;
+    // Homogeneous reference vs a machine whose last two workers run at
+    // half speed.
+    let speeds_hetero = vec![1.0, 1.0, 0.5, 0.5];
+    for (label, speeds) in
+        [("homogeneous", vec![1.0; p]), ("half-speed workers", speeds_hetero)]
+    {
+        let mut sync_t = Vec::new();
+        let mut async_t = Vec::new();
+        for r in 0..opts.runs {
+            let cfg = base_cfg(opts).with_seed(opts.seed + r as u64);
+            let s = SimSyncTsmo::new(cfg.clone(), p).with_speeds(speeds.clone()).run(&inst);
+            let a = SimAsyncTsmo::new(cfg, p).with_speeds(speeds.clone()).run(&inst);
+            sync_t.push(s.runtime_seconds);
+            async_t.push(a.runtime_seconds);
+        }
+        println!(
+            "  {label:<20} sync makespan {}  async makespan {}",
+            Summary::of(&sync_t).cell(),
+            Summary::of(&async_t).cell()
+        );
+    }
+    println!("  (the sync barrier absorbs the slow workers' lag in waiting time;");
+    println!("   async folds late chunks into later iterations instead)");
+}
+
+fn levels(opts: &Opts) {
+    println!("Extension (§I's taxonomy): the three parallel-TS levels on equal budgets");
+    println!("  functional decomposition = async master-worker (the paper's §III.D)");
+    println!("  domain decomposition     = adaptive-memory TS (Taillard/Badeau, refs [8][9])");
+    println!("  multisearch              = collaborative TS (the paper's §III.E)");
+    let inst = instance(opts);
+    let p = 4usize;
+    let mut rows: Vec<(&str, Vec<Vec<[f64; 3]>>)> = Vec::new();
+    for (label, runner) in [
+        ("functional (async)", Box::new(|seed: u64| {
+            AsyncTsmo::new(base_cfg(opts).with_seed(seed), p).run(&inst)
+        }) as Box<dyn Fn(u64) -> tsmo_core::TsmoOutcome>),
+        ("domain (adaptive)", Box::new(|seed: u64| {
+            let mut ts = AdaptiveMemoryTs::new(base_cfg(opts).with_seed(seed), p);
+            ts.task_evaluations = (opts.evals as usize / 10).max(200);
+            ts.run(&inst)
+        })),
+        ("multisearch (coll)", Box::new(|seed: u64| {
+            // Same *total* budget: divide by the searcher count since the
+            // collaborative variant budgets per searcher.
+            let mut cfg = base_cfg(opts).with_seed(seed);
+            cfg.max_evaluations = (opts.evals / p as u64).max(1);
+            CollaborativeTsmo::new(cfg, p).run(&inst)
+        })),
+    ] {
+        let mut fronts = Vec::new();
+        for r in 0..opts.runs {
+            let out = runner(opts.seed + r as u64);
+            fronts.push(
+                out.archive.iter().map(|e| e.objectives.to_vector()).collect::<Vec<_>>(),
+            );
+        }
+        rows.push((label, fronts));
+    }
+    for (i, (label, fronts)) in rows.iter().enumerate() {
+        let mut covs = Vec::new();
+        for (j, (_, other)) in rows.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for a in fronts {
+                for b in other {
+                    covs.push(coverage(a, b) * 100.0);
+                }
+            }
+        }
+        println!("  {label:<20} covers the other levels {}", Summary::of(&covs).cell());
+    }
+}
+
+fn polish(opts: &Opts) {
+    println!("Extension: best-improvement descent as a front post-processor");
+    let inst = instance(opts);
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    let mut moves = Vec::new();
+    for r in 0..opts.runs {
+        let out = SequentialTsmo::new(base_cfg(opts).with_seed(opts.seed + r as u64)).run(&inst);
+        for entry in &out.archive {
+            let b = entry.objectives;
+            let polished = descend(&inst, entry.solution.clone(), &DescentConfig::default());
+            before.push(b.distance);
+            after.push(polished.objectives.distance);
+            moves.push(polished.moves_applied as f64);
+        }
+    }
+    println!("  archive distances before {}", Summary::of(&before).cell());
+    println!("  archive distances after  {}", Summary::of(&after).cell());
+    println!("  improving moves applied  {}", Summary::of(&moves).cell());
+}
+
+fn moea_cmp(opts: &Opts) {
+    println!("Extension: NSGA-II & SPEA2 vs sequential TSMO on equal budgets (paper future work)");
+    let inst = instance(opts);
+    let mut fronts: Vec<(&str, Vec<Vec<[f64; 3]>>)> =
+        vec![("TSMO", Vec::new()), ("NSGA-II", Vec::new()), ("SPEA2", Vec::new())];
+    for r in 0..opts.runs {
+        let seed = opts.seed + r as u64;
+        let ts = SequentialTsmo::new(base_cfg(opts).with_seed(seed)).run(&inst);
+        fronts[0].1.push(ts.feasible_vectors());
+        let ea = Nsga2::new(Nsga2Config {
+            max_evaluations: opts.evals,
+            seed,
+            ..Nsga2Config::default()
+        })
+        .run(&inst);
+        fronts[1].1.push(ea.feasible_vectors());
+        let sp = Spea2::new(Spea2Config {
+            max_evaluations: opts.evals,
+            seed,
+            ..Spea2Config::default()
+        })
+        .run(&inst);
+        fronts[2].1.push(sp.feasible_vectors());
+    }
+    for i in 0..fronts.len() {
+        for j in 0..fronts.len() {
+            if i == j {
+                continue;
+            }
+            let mut covs = Vec::new();
+            for a in &fronts[i].1 {
+                for b in &fronts[j].1 {
+                    covs.push(coverage(a, b) * 100.0);
+                }
+            }
+            println!(
+                "  C({:<7}, {:<7}) = {}",
+                fronts[i].0,
+                fronts[j].0,
+                Summary::of(&covs).cell()
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! General-purpose solver CLI: load (or generate) an instance, run any of
+//! the algorithm variants, print the Pareto front, and optionally export
+//! the solutions.
+//!
+//! ```text
+//! cargo run --release -p bench --bin solve -- [FILE]
+//!     [--variant seq|sync|async|coll|hybrid|nsga2] [--procs P]
+//!     [--searchers S] [--evals E] [--seed S] [--class R1] [--size N]
+//!     [--out solutions.txt]
+//! ```
+//!
+//! With a FILE argument the instance is parsed from Solomon format;
+//! otherwise one is generated from `--class`/`--size`/`--seed`.
+
+use moea::{Nsga2, Nsga2Config};
+use std::sync::Arc;
+use tsmo_core::{HybridTsmo, ParallelVariant, TsmoConfig};
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+use vrptw::{solomon, Instance, Objectives, Solution};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let file = args.first().filter(|a| !a.starts_with("--")).cloned();
+    let variant = get("--variant").unwrap_or_else(|| "seq".into());
+    let procs: usize = get("--procs").map_or(4, |s| s.parse().expect("--procs"));
+    let searchers: usize = get("--searchers").map_or(4, |s| s.parse().expect("--searchers"));
+    let evals: u64 = get("--evals").map_or(50_000, |s| s.parse().expect("--evals"));
+    let seed: u64 = get("--seed").map_or(0, |s| s.parse().expect("--seed"));
+
+    let inst = Arc::new(match &file {
+        Some(path) => solomon::read_file(path).expect("failed to parse Solomon file"),
+        None => {
+            let class = match get("--class").as_deref() {
+                None | Some("R1") => InstanceClass::R1,
+                Some("R2") => InstanceClass::R2,
+                Some("C1") => InstanceClass::C1,
+                Some("C2") => InstanceClass::C2,
+                Some("RC1") => InstanceClass::RC1,
+                Some("RC2") => InstanceClass::RC2,
+                Some(other) => panic!("unknown class {other:?}"),
+            };
+            let size: usize = get("--size").map_or(100, |s| s.parse().expect("--size"));
+            GeneratorConfig::new(class, size, seed).build()
+        }
+    });
+    eprintln!(
+        "instance {}: {} customers, R = {}, capacity = {}",
+        inst.name,
+        inst.n_customers(),
+        inst.max_vehicles(),
+        inst.capacity()
+    );
+
+    let cfg = TsmoConfig { max_evaluations: evals, seed, ..TsmoConfig::default() };
+    let front: Vec<(Solution, Objectives)> = match variant.as_str() {
+        "seq" => collect(ParallelVariant::Sequential.run(&inst, &cfg)),
+        "sync" => collect(ParallelVariant::Synchronous(procs).run(&inst, &cfg)),
+        "async" => collect(ParallelVariant::Asynchronous(procs).run(&inst, &cfg)),
+        "coll" => collect(ParallelVariant::Collaborative(searchers).run(&inst, &cfg)),
+        "hybrid" => collect(HybridTsmo::new(cfg, searchers, procs).run(&inst)),
+        "nsga2" => Nsga2::new(Nsga2Config { max_evaluations: evals, seed, ..Default::default() })
+            .run(&inst)
+            .front,
+        other => panic!("unknown variant {other:?} (seq|sync|async|coll|hybrid|nsga2)"),
+    };
+
+    println!("{:>12} {:>9} {:>11}", "distance", "vehicles", "tardiness");
+    let mut rows: Vec<&(Solution, Objectives)> = front.iter().collect();
+    rows.sort_by(|a, b| a.1.distance.partial_cmp(&b.1.distance).expect("not NaN"));
+    for (_, o) in &rows {
+        println!("{:>12.2} {:>9} {:>11.2}", o.distance, o.vehicles, o.tardiness);
+    }
+
+    if let Some(path) = get("--out") {
+        let mut text = String::new();
+        for (i, (sol, o)) in front.iter().enumerate() {
+            text.push_str(&format!(
+                "# solution {i}: distance {:.2}, vehicles {}, tardiness {:.2}\n",
+                o.distance, o.vehicles, o.tardiness
+            ));
+            for (ri, route) in sol.routes().iter().enumerate() {
+                let stops: Vec<String> = route.iter().map(|c| c.to_string()).collect();
+                text.push_str(&format!("route {ri}: 0 {} 0\n", stops.join(" ")));
+            }
+            text.push('\n');
+        }
+        std::fs::write(&path, text).expect("failed to write solutions");
+        eprintln!("wrote {path}");
+    }
+    let _ = check_front(&inst, &front);
+}
+
+fn collect(out: tsmo_core::TsmoOutcome) -> Vec<(Solution, Objectives)> {
+    out.archive.into_iter().map(|e| (e.solution, e.objectives)).collect()
+}
+
+fn check_front(inst: &Instance, front: &[(Solution, Objectives)]) -> usize {
+    let mut ok = 0;
+    for (sol, _) in front {
+        assert!(sol.check(inst).is_empty(), "solver produced an invalid solution");
+        ok += 1;
+    }
+    ok
+}

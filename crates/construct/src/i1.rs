@@ -1,0 +1,326 @@
+//! Solomon's I1 sequential insertion heuristic (Operations Research 1987),
+//! with the paper's randomized parameterization.
+
+use detrand::Rng;
+use vrptw::{evaluate_route, Instance, RouteTiming, SiteId, Solution, DEPOT};
+
+/// Parameters of the I1 heuristic.
+///
+/// The insertion cost of customer `u` between consecutive stops `i, j` is
+///
+/// ```text
+/// c1(i,u,j) = α1 · (d(i,u) + d(u,j) − μ·d(i,j)) + α2 · (b_j' − b_j)
+/// ```
+///
+/// with `α2 = 1 − α1` and `b_j'` the pushed-back service start at `j`.
+/// Among customers with a feasible position the one maximizing
+/// `c2(u) = λ·d(0,u) − c1(u)` is inserted (it is the hardest to serve
+/// later). The paper draws these parameters at random per construction —
+/// see [`I1Config::random`].
+#[derive(Debug, Clone, Copy)]
+pub struct I1Config {
+    /// Weight of the distance term (`0..=1`); the time term gets `1 − α1`.
+    pub alpha1: f64,
+    /// Savings factor on the replaced arc.
+    pub mu: f64,
+    /// Weight of the depot distance in the customer-selection criterion.
+    pub lambda: f64,
+    /// Seed rule: `true` = farthest unrouted customer, `false` = earliest
+    /// due date (the two rules §III.B mentions).
+    pub seed_farthest: bool,
+}
+
+impl Default for I1Config {
+    fn default() -> Self {
+        Self { alpha1: 0.5, mu: 1.0, lambda: 1.0, seed_farthest: true }
+    }
+}
+
+impl I1Config {
+    /// Draws a random parameterization, as the paper does for every restart:
+    /// `α1 ~ U(0,1)`, `μ ~ U(0,2)`, `λ ~ U(0,2)`, seed rule by fair coin.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        Self {
+            alpha1: rng.next_f64(),
+            mu: rng.range_f64(0.0, 2.0),
+            lambda: rng.range_f64(0.0, 2.0),
+            seed_farthest: rng.bernoulli(0.5),
+        }
+    }
+}
+
+/// Runs I1 with a freshly randomized configuration.
+pub fn randomized_i1<R: Rng>(inst: &Instance, rng: &mut R) -> Solution {
+    i1(inst, &I1Config::random(rng))
+}
+
+/// The best feasible insertion of `u` into `route`: `(position, c1)`.
+/// The timing arrays come from [`vrptw::RouteTiming`] and make each
+/// feasibility check O(1).
+fn best_insertion(
+    inst: &Instance,
+    cfg: &I1Config,
+    route: &[SiteId],
+    t: &RouteTiming,
+    u: SiteId,
+) -> Option<(usize, f64)> {
+    let su = inst.site(u);
+    if t.load + su.demand > inst.capacity() {
+        return None;
+    }
+    let alpha2 = 1.0 - cfg.alpha1;
+    let mut best: Option<(usize, f64)> = None;
+    for pos in 0..=route.len() {
+        let (i, depart_i) = if pos == 0 {
+            (DEPOT, inst.depot().ready)
+        } else {
+            let i = route[pos - 1];
+            (i, t.start[pos - 1] + inst.site(i).service)
+        };
+        let j = if pos < route.len() { route[pos] } else { DEPOT };
+        let arr_u = depart_i + inst.dist(i, u);
+        if arr_u > su.due {
+            continue;
+        }
+        let start_u = arr_u.max(su.ready);
+        let arr_j = start_u + su.service + inst.dist(u, j);
+        // `latest[pos]` bounds the arrival at the stop now shifted to
+        // position pos+1 — i.e. the old stop at `pos` (or the depot return).
+        if arr_j > t.latest[pos] {
+            continue;
+        }
+        let old_start_j = if pos < route.len() {
+            t.start[pos]
+        } else {
+            // Depot return "service start" is just the arrival.
+            depart_i + inst.dist(i, DEPOT)
+        };
+        let sj = if j == DEPOT { inst.depot().ready } else { inst.site(j).ready };
+        let new_start_j = arr_j.max(sj);
+        let push_back = (new_start_j - old_start_j).max(0.0);
+        let detour = inst.dist(i, u) + inst.dist(u, j) - cfg.mu * inst.dist(i, j);
+        let c1 = cfg.alpha1 * detour + alpha2 * push_back;
+        if best.is_none_or(|(_, b)| c1 < b) {
+            best = Some((pos, c1));
+        }
+    }
+    best
+}
+
+/// Runs Solomon's I1 heuristic with the given configuration.
+///
+/// Routes are built one at a time: a seed customer opens the route, then
+/// the feasibility-respecting insertion with the best `c2` score is applied
+/// until no unrouted customer fits, at which point the next route is opened.
+/// If the fleet limit is reached with customers still unrouted (possible on
+/// the tight type-1 instances), the leftovers are placed by least added
+/// tardiness — the solution stays complete and capacity-feasible, matching
+/// the soft-time-window search space the tabu search explores.
+pub fn i1(inst: &Instance, cfg: &I1Config) -> Solution {
+    let mut unrouted: Vec<SiteId> = inst.customers().collect();
+    let mut routes: Vec<Vec<SiteId>> = Vec::new();
+
+    while !unrouted.is_empty() && routes.len() < inst.max_vehicles() {
+        // Pick the seed for a fresh route.
+        let seed_idx = if cfg.seed_farthest {
+            argmax_by(&unrouted, |&c| inst.dist(DEPOT, c))
+        } else {
+            argmax_by(&unrouted, |&c| -inst.site(c).due)
+        };
+        let seed = unrouted.swap_remove(seed_idx);
+        let mut route = vec![seed];
+        let mut t = RouteTiming::of(inst, &route);
+
+        loop {
+            let mut best: Option<(usize, usize, f64)> = None; // (unrouted idx, pos, c2)
+            for (ui, &u) in unrouted.iter().enumerate() {
+                if let Some((pos, c1)) = best_insertion(inst, cfg, &route, &t, u) {
+                    let c2 = cfg.lambda * inst.dist(DEPOT, u) - c1;
+                    if best.is_none_or(|(_, _, b)| c2 > b) {
+                        best = Some((ui, pos, c2));
+                    }
+                }
+            }
+            match best {
+                Some((ui, pos, _)) => {
+                    let u = unrouted.swap_remove(ui);
+                    route.insert(pos, u);
+                    t = RouteTiming::of(inst, &route);
+                }
+                None => break,
+            }
+        }
+        routes.push(route);
+    }
+
+    if !unrouted.is_empty() {
+        force_insert(inst, &mut routes, &mut unrouted);
+    }
+    Solution::from_routes(routes)
+}
+
+/// Places leftover customers (fleet exhausted) at the capacity-feasible
+/// position with the least added tardiness + distance.
+fn force_insert(inst: &Instance, routes: &mut [Vec<SiteId>], unrouted: &mut Vec<SiteId>) {
+    // Serve the most urgent leftovers first.
+    unrouted.sort_by(|&a, &b| {
+        inst.site(a).due.partial_cmp(&inst.site(b).due).expect("due dates are not NaN")
+    });
+    for &u in unrouted.iter() {
+        let demand = inst.site(u).demand;
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (ri, route) in routes.iter().enumerate() {
+            let eval = evaluate_route(inst, route);
+            if eval.load + demand > inst.capacity() {
+                continue;
+            }
+            for pos in 0..=route.len() {
+                let mut candidate = route.clone();
+                candidate.insert(pos, u);
+                let e = evaluate_route(inst, &candidate);
+                let cost = (e.tardiness - eval.tardiness) * 1e3 + (e.distance - eval.distance);
+                if best.is_none_or(|(_, _, b)| cost < b) {
+                    best = Some((ri, pos, cost));
+                }
+            }
+        }
+        let (ri, pos, _) = best.unwrap_or_else(|| {
+            // Total demand never exceeds fleet capacity (instance invariant),
+            // but per-route packing can still fail; dump into the
+            // least-loaded route to keep the solution complete.
+            let ri = argmax_by(&(0..routes.len()).collect::<Vec<_>>(), |&r| {
+                -evaluate_route(inst, &routes[r]).load
+            });
+            (ri, routes[ri].len(), 0.0)
+        });
+        routes[ri].insert(pos, u);
+    }
+    unrouted.clear();
+}
+
+/// Index of the item maximizing `key` (first on ties).
+fn argmax_by<T>(items: &[T], key: impl Fn(&T) -> f64) -> usize {
+    let mut best = 0;
+    let mut best_key = f64::NEG_INFINITY;
+    for (i, item) in items.iter().enumerate() {
+        let k = key(item);
+        if k > best_key {
+            best_key = k;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detrand::Xoshiro256StarStar;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+    use vrptw::Customer;
+
+    #[test]
+    fn timing_arrays_are_consistent() {
+        let inst = Instance::tiny();
+        let t = RouteTiming::of(&inst, &[1, 2]);
+        assert_eq!(t.start[0], 10.0);
+        assert!((t.start[1] - (11.0 + 200f64.sqrt())).abs() < 1e-9);
+        assert_eq!(t.load, 8.0);
+        // latest[2] = depot due = 1000; latest[1] = min(100, 1000-1-10).
+        assert_eq!(t.latest[2], 1000.0);
+        assert_eq!(t.latest[1], 100.0);
+    }
+
+    #[test]
+    fn solves_tiny_instance_completely() {
+        let inst = Instance::tiny();
+        let sol = i1(&inst, &I1Config::default());
+        assert!(sol.check(&inst).is_empty());
+        // Capacity 10, demands 4 => at most 2 per route, so >= 2 routes.
+        assert!(sol.n_deployed() >= 2 && sol.n_deployed() <= 3);
+        // The tiny instance is easy: everything should be on time.
+        assert_eq!(sol.evaluate(&inst).tardiness, 0.0);
+    }
+
+    #[test]
+    fn hard_feasible_on_relaxed_instances() {
+        // Large windows: I1 should produce tardiness-free solutions.
+        let inst = GeneratorConfig::new(InstanceClass::C2, 50, 21).build();
+        let sol = i1(&inst, &I1Config::default());
+        assert!(sol.check(&inst).is_empty());
+        assert_eq!(sol.evaluate(&inst).tardiness, 0.0, "large-window I1 must be feasible");
+    }
+
+    #[test]
+    fn respects_fleet_limit() {
+        for class in InstanceClass::ALL {
+            let inst = GeneratorConfig::new(class, 100, 33).build();
+            let sol = i1(&inst, &I1Config::default());
+            assert!(sol.n_deployed() <= inst.max_vehicles(), "{class:?}");
+            assert!(sol.check(&inst).is_empty(), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_hard_whenever_packable() {
+        let inst = GeneratorConfig::new(InstanceClass::R1, 120, 9).build();
+        let sol = i1(&inst, &I1Config::default());
+        for route in sol.routes() {
+            let e = evaluate_route(&inst, route);
+            assert!(e.load <= inst.capacity(), "route exceeds capacity");
+        }
+    }
+
+    #[test]
+    fn seed_rules_differ() {
+        let inst = GeneratorConfig::new(InstanceClass::R1, 60, 2).build();
+        let far = i1(&inst, &I1Config { seed_farthest: true, ..Default::default() });
+        let due = i1(&inst, &I1Config { seed_farthest: false, ..Default::default() });
+        assert_ne!(far, due, "the two seed rules should explore differently");
+    }
+
+    #[test]
+    fn random_config_in_expected_ranges() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..100 {
+            let c = I1Config::random(&mut rng);
+            assert!((0.0..1.0).contains(&c.alpha1));
+            assert!((0.0..2.0).contains(&c.mu));
+            assert!((0.0..2.0).contains(&c.lambda));
+        }
+    }
+
+    #[test]
+    fn randomized_runs_are_diverse_but_always_valid() {
+        let inst = GeneratorConfig::new(InstanceClass::RC1, 50, 8).build();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(123);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..10 {
+            let sol = randomized_i1(&inst, &mut rng);
+            assert!(sol.check(&inst).is_empty());
+            distinct.insert(format!("{:?}", sol.routes()));
+        }
+        assert!(distinct.len() > 1, "randomized I1 should vary");
+    }
+
+    #[test]
+    fn single_customer_instance() {
+        let depot =
+            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 100.0, service: 0.0 };
+        let c = Customer { x: 3.0, y: 4.0, demand: 1.0, ready: 0.0, due: 50.0, service: 2.0 };
+        let inst = Instance::new("one", vec![depot, c], 10.0, 1);
+        let sol = i1(&inst, &I1Config::default());
+        assert_eq!(sol.routes(), &[vec![1]]);
+        assert_eq!(sol.evaluate(&inst).distance, 10.0);
+    }
+
+    #[test]
+    fn leftovers_are_forced_in_when_fleet_is_tiny() {
+        // 12 customers but only 2 vehicles of capacity 200: packable by
+        // demand, but tight windows may force tardiness — completeness wins.
+        let inst = GeneratorConfig::new(InstanceClass::R1, 12, 4).with_max_vehicles(2).build();
+        let sol = i1(&inst, &I1Config::default());
+        assert!(sol.check(&inst).is_empty());
+        assert!(sol.n_deployed() <= 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Construction heuristics for the CVRPTW.
+//!
+//! The paper seeds every tabu search with Solomon's **I1** route
+//! construction heuristic "with randomly chosen parameters" (§III.B): the
+//! seed customer of each route is either the one with the earliest deadline
+//! or the one farthest from the depot (chosen at random), and customers are
+//! inserted at the position with the best weighted savings value that
+//! accounts for both the added distance and the time-window push-back.
+//!
+//! Three simpler constructors are provided as baselines and test fixtures:
+//! a time-aware [`nearest_neighbor`], Clarke–Wright [`savings`], and the
+//! Gillett–Miller [`sweep`].
+//!
+//! All constructors return *complete* solutions (every customer routed).
+//! They respect capacity as a hard constraint and prefer hard time-window
+//! feasibility, but — because the problem has soft windows and a limited
+//! fleet — they fall back to the least-tardiness insertion when a customer
+//! fits nowhere, instead of failing.
+
+mod i1;
+mod simple;
+
+pub use i1::{i1, randomized_i1, I1Config};
+pub use simple::{nearest_neighbor, savings, sweep, sweep_from};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detrand::Xoshiro256StarStar;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    #[test]
+    fn all_constructors_produce_valid_solutions_on_all_classes() {
+        for class in InstanceClass::ALL {
+            let inst = GeneratorConfig::new(class, 60, 11).build();
+            let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+            for (name, sol) in [
+                ("i1", randomized_i1(&inst, &mut rng)),
+                ("nn", nearest_neighbor(&inst)),
+                ("savings", savings(&inst)),
+                ("sweep", sweep(&inst)),
+            ] {
+                let problems = sol.check(&inst);
+                assert!(problems.is_empty(), "{name} on {class:?}: {problems:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn i1_beats_one_customer_per_route_when_fleet_is_tight() {
+        let inst = GeneratorConfig::new(InstanceClass::C2, 80, 3).build();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let sol = randomized_i1(&inst, &mut rng);
+        // The fleet limit is N/4, so I1 must pack customers into routes.
+        assert!(sol.n_deployed() <= inst.max_vehicles());
+        assert!(sol.n_deployed() < inst.n_customers());
+    }
+}

@@ -1,0 +1,341 @@
+//! Simple constructive baselines: time-aware nearest neighbor and
+//! Clarke–Wright savings.
+
+use vrptw::{evaluate_route, Instance, SiteId, Solution, DEPOT};
+
+/// Time-aware nearest-neighbor construction.
+///
+/// Builds routes one at a time, repeatedly driving to the unrouted customer
+/// that is closest in *time-oriented* terms (travel time plus unavoidable
+/// waiting), provided it fits the capacity and is hard-TW-reachable. When no
+/// customer qualifies the route is closed; when the fleet is exhausted the
+/// remaining customers are appended to the route with the most spare
+/// capacity (soft windows absorb the lateness).
+pub fn nearest_neighbor(inst: &Instance) -> Solution {
+    let mut unrouted: Vec<SiteId> = inst.customers().collect();
+    let mut routes: Vec<Vec<SiteId>> = Vec::new();
+
+    while !unrouted.is_empty() && routes.len() < inst.max_vehicles() {
+        let mut route: Vec<SiteId> = Vec::new();
+        let mut here = DEPOT;
+        let mut time = inst.depot().ready;
+        let mut load = 0.0;
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &c) in unrouted.iter().enumerate() {
+                let s = inst.site(c);
+                if load + s.demand > inst.capacity() {
+                    continue;
+                }
+                let arrival = time + inst.dist(here, c);
+                if arrival > s.due {
+                    continue; // unreachable on time from here
+                }
+                let start = arrival.max(s.ready);
+                // Must still make it home.
+                if start + s.service + inst.dist(c, DEPOT) > inst.depot().due {
+                    continue;
+                }
+                let cost = (arrival - time) + (start - arrival); // travel + wait
+                if best.is_none_or(|(_, b)| cost < b) {
+                    best = Some((i, cost));
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    let c = unrouted.swap_remove(i);
+                    let s = inst.site(c);
+                    let arrival = time + inst.dist(here, c);
+                    time = arrival.max(s.ready) + s.service;
+                    load += s.demand;
+                    here = c;
+                    route.push(c);
+                }
+                None => break,
+            }
+        }
+        if route.is_empty() {
+            // Nothing is reachable on time from the depot: give up on hard
+            // feasibility and let the overflow path below handle the rest.
+            break;
+        }
+        routes.push(route);
+    }
+
+    // Fleet exhausted (or nothing hard-reachable): pack the rest by
+    // capacity, ignoring windows — the search space has soft windows.
+    'overflow: for &c in unrouted.iter() {
+        let demand = inst.site(c).demand;
+        let mut slack_order: Vec<usize> = (0..routes.len()).collect();
+        slack_order.sort_by(|&a, &b| {
+            let la = evaluate_route(inst, &routes[a]).load;
+            let lb = evaluate_route(inst, &routes[b]).load;
+            la.partial_cmp(&lb).expect("loads are not NaN")
+        });
+        for ri in slack_order {
+            if evaluate_route(inst, &routes[ri]).load + demand <= inst.capacity() {
+                routes[ri].push(c);
+                continue 'overflow;
+            }
+        }
+        if routes.len() < inst.max_vehicles() {
+            routes.push(vec![c]);
+        } else {
+            // Last resort (cannot happen on validated instances, where
+            // total demand fits the fleet): overload the emptiest route.
+            let ri = routes
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let la = evaluate_route(inst, a).load;
+                    let lb = evaluate_route(inst, b).load;
+                    la.partial_cmp(&lb).expect("loads are not NaN")
+                })
+                .map(|(i, _)| i)
+                .expect("at least one route exists");
+            routes[ri].push(c);
+        }
+    }
+    Solution::from_routes(routes)
+}
+
+/// Clarke–Wright parallel savings (capacity-constrained; time windows are
+/// left to the improvement phase, as in the classical algorithm).
+///
+/// Starts from one round trip per customer and repeatedly merges the route
+/// pair with the largest savings `s(i,j) = d(i,0) + d(0,j) − d(i,j)`, where
+/// `i` is the tail of one route and `j` the head of another, while the
+/// merged load fits the capacity. Merging stops when the fleet limit is
+/// satisfied and no positive saving remains.
+pub fn savings(inst: &Instance) -> Solution {
+    // routes as deques: (customers, load); customer -> route index maps.
+    let mut routes: Vec<Option<Vec<SiteId>>> =
+        inst.customers().map(|c| Some(vec![c])).collect();
+    let mut loads: Vec<f64> = inst.customers().map(|c| inst.site(c).demand).collect();
+    let mut route_of: Vec<usize> = vec![usize::MAX; inst.n_sites()];
+    for (ri, c) in inst.customers().enumerate() {
+        route_of[c as usize] = ri;
+    }
+
+    // All pairwise savings, largest first.
+    let mut pairs: Vec<(f64, SiteId, SiteId)> = Vec::new();
+    for i in inst.customers() {
+        for j in inst.customers() {
+            if i != j {
+                let s = inst.dist(i, DEPOT) + inst.dist(DEPOT, j) - inst.dist(i, j);
+                if s > 0.0 {
+                    pairs.push((s, i, j));
+                }
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("savings are not NaN"));
+
+    let mut n_routes = routes.iter().flatten().count();
+    for (_, i, j) in pairs {
+        let ri = route_of[i as usize];
+        let rj = route_of[j as usize];
+        if ri == rj {
+            continue;
+        }
+        let (a, b) = (routes[ri].as_ref().expect("live route"), routes[rj].as_ref().expect("live route"));
+        // i must be the tail of its route and j the head of its route.
+        if *a.last().expect("non-empty") != i || b[0] != j {
+            continue;
+        }
+        if loads[ri] + loads[rj] > inst.capacity() {
+            continue;
+        }
+        let b_taken = routes[rj].take().expect("live route");
+        routes[ri].as_mut().expect("live route").extend(b_taken);
+        loads[ri] += loads[rj];
+        for &c in routes[ri].as_ref().expect("live route") {
+            route_of[c as usize] = ri;
+        }
+        n_routes -= 1;
+    }
+
+    // If still over the fleet limit, greedily merge smallest routes
+    // tail-to-head regardless of savings (capacity permitting).
+    let mut flat: Vec<Vec<SiteId>> = routes.into_iter().flatten().collect();
+    while flat.len() > inst.max_vehicles() {
+        flat.sort_by_key(|a| a.len());
+        let mut merged = false;
+        let first_load: f64 = flat[0].iter().map(|&c| inst.site(c).demand).sum();
+        for k in 1..flat.len() {
+            let load_k: f64 = flat[k].iter().map(|&c| inst.site(c).demand).sum();
+            if first_load + load_k <= inst.capacity() {
+                let head = flat.swap_remove(0);
+                // After swap_remove the element previously at k may have
+                // moved; recompute the target by matching load.
+                let target = flat
+                    .iter()
+                    .position(|r| {
+                        let l: f64 = r.iter().map(|&c| inst.site(c).demand).sum();
+                        (l - load_k).abs() < 1e-12
+                    })
+                    .expect("merge target still present");
+                flat[target].splice(0..0, head);
+                merged = true;
+                break;
+            }
+        }
+        assert!(merged, "fleet limit unreachable even though total demand fits");
+    }
+    let _ = n_routes;
+    Solution::from_routes(flat)
+}
+
+/// Sweep construction (Gillett & Miller 1974): customers are sorted by
+/// polar angle around the depot and dealt into routes whenever the
+/// capacity would overflow, then each route keeps its angular order (a
+/// reasonable TSP-ish tour for radial clusters). Time windows are ignored
+/// during clustering — like Clarke–Wright, the sweep targets the
+/// geographic structure and leaves temporal repair to the improvement
+/// phase.
+///
+/// The angular start position is a parameter because the first cut is
+/// arbitrary; [`sweep`] uses angle 0, [`sweep_from`] lets callers (or a
+/// randomized restart) choose.
+pub fn sweep(inst: &Instance) -> Solution {
+    sweep_from(inst, 0.0)
+}
+
+/// [`sweep`] with an explicit starting angle in radians.
+pub fn sweep_from(inst: &Instance, start_angle: f64) -> Solution {
+    let depot = inst.depot();
+    let mut order: Vec<(f64, SiteId)> = inst
+        .customers()
+        .map(|c| {
+            let s = inst.site(c);
+            let mut angle = (s.y - depot.y).atan2(s.x - depot.x) - start_angle;
+            let tau = std::f64::consts::TAU;
+            angle = angle.rem_euclid(tau);
+            (angle, c)
+        })
+        .collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("angles are not NaN"));
+
+    let mut routes: Vec<Vec<SiteId>> = Vec::new();
+    let mut current: Vec<SiteId> = Vec::new();
+    let mut load = 0.0;
+    for (_, c) in order {
+        let demand = inst.site(c).demand;
+        let must_close = load + demand > inst.capacity();
+        // Keep the fleet limit: once only one vehicle remains, overload is
+        // not an option — but validated instances always pack.
+        if must_close && !current.is_empty() && routes.len() + 1 < inst.max_vehicles() {
+            routes.push(std::mem::take(&mut current));
+            load = 0.0;
+        }
+        current.push(c);
+        load += demand;
+    }
+    if !current.is_empty() {
+        routes.push(current);
+    }
+    Solution::from_routes(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    #[test]
+    fn nearest_neighbor_tiny() {
+        let inst = Instance::tiny();
+        let sol = nearest_neighbor(&inst);
+        assert!(sol.check(&inst).is_empty());
+        assert_eq!(sol.evaluate(&inst).tardiness, 0.0);
+    }
+
+    #[test]
+    fn savings_tiny_merges_routes() {
+        let inst = Instance::tiny();
+        let sol = savings(&inst);
+        assert!(sol.check(&inst).is_empty());
+        // Capacity allows two customers per route: savings should use 2
+        // routes instead of the trivial 4 (fleet limit is 3 anyway).
+        assert!(sol.n_deployed() <= 3);
+    }
+
+    #[test]
+    fn savings_respects_capacity() {
+        let inst = GeneratorConfig::new(InstanceClass::R1, 80, 6).build();
+        let sol = savings(&inst);
+        assert!(sol.check(&inst).is_empty());
+        for route in sol.routes() {
+            assert!(evaluate_route(&inst, route).load <= inst.capacity());
+        }
+    }
+
+    #[test]
+    fn savings_shortens_total_distance_vs_trivial() {
+        let inst = GeneratorConfig::new(InstanceClass::C2, 60, 10).build();
+        let trivial_dist: f64 =
+            inst.customers().map(|c| 2.0 * inst.dist(DEPOT, c)).sum();
+        let sol = savings(&inst);
+        assert!(sol.evaluate(&inst).distance < trivial_dist);
+    }
+
+    #[test]
+    fn nearest_neighbor_handles_fleet_pressure() {
+        let inst = GeneratorConfig::new(InstanceClass::R1, 60, 14).build();
+        let sol = nearest_neighbor(&inst);
+        assert!(sol.check(&inst).is_empty());
+        assert!(sol.n_deployed() <= inst.max_vehicles());
+    }
+
+    #[test]
+    fn sweep_produces_valid_capacity_respecting_solutions() {
+        let inst = GeneratorConfig::new(InstanceClass::C1, 80, 4).build();
+        let sol = sweep(&inst);
+        assert!(sol.check(&inst).is_empty());
+        // All routes except possibly the last (fleet-limit overflow, which
+        // cannot trigger on validated instances) respect capacity.
+        for route in sol.routes() {
+            assert!(evaluate_route(&inst, route).load <= inst.capacity());
+        }
+        assert!(sol.n_deployed() <= inst.max_vehicles());
+    }
+
+    #[test]
+    fn sweep_routes_are_angularly_contiguous() {
+        let inst = GeneratorConfig::new(InstanceClass::R2, 40, 8).build();
+        let sol = sweep(&inst);
+        let depot = inst.depot();
+        let angle = |c: SiteId| {
+            let s = inst.site(c);
+            (s.y - depot.y).atan2(s.x - depot.x).rem_euclid(std::f64::consts::TAU)
+        };
+        for route in sol.routes() {
+            let angles: Vec<f64> = route.iter().map(|&c| angle(c)).collect();
+            let sorted = angles.windows(2).all(|w| w[0] <= w[1] + 1e-12);
+            assert!(sorted, "route not in angular order: {angles:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_start_angle_changes_partitioning() {
+        let inst = GeneratorConfig::new(InstanceClass::R1, 60, 12).build();
+        let a = sweep_from(&inst, 0.0);
+        let b = sweep_from(&inst, 1.5);
+        assert!(a.check(&inst).is_empty());
+        assert!(b.check(&inst).is_empty());
+        assert_ne!(a, b, "rotating the sweep start should change the cut");
+    }
+
+    #[test]
+    fn both_baselines_complete_on_every_class() {
+        for class in InstanceClass::ALL {
+            for (name, sol) in [
+                ("nn", nearest_neighbor(&GeneratorConfig::new(class, 40, 3).build())),
+                ("cw", savings(&GeneratorConfig::new(class, 40, 3).build())),
+            ] {
+                let inst = GeneratorConfig::new(class, 40, 3).build();
+                assert!(sol.check(&inst).is_empty(), "{name} {class:?}");
+            }
+        }
+    }
+}

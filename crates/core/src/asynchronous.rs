@@ -1,0 +1,252 @@
+//! The asynchronous master–worker variant (§III.D).
+
+use crate::config::TsmoConfig;
+use crate::core_search::SearchCore;
+use crate::neighborhood::{generate_chunk, Neighbor};
+use crate::outcome::TsmoOutcome;
+use deme::{EvaluationBudget, MasterWorker, RunClock};
+use detrand::Xoshiro256StarStar;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vrptw::solution::EvaluatedSolution;
+use vrptw::Instance;
+use vrptw_operators::SampleParams;
+
+struct Task {
+    snapshot: EvaluatedSolution,
+    seed: u64,
+    count: usize,
+    iteration: usize,
+}
+
+/// Asynchronous master–worker TSMO.
+///
+/// Like the synchronous variant the master distributes neighborhood chunks
+/// "among himself and the workers, but when it is finished with its part,
+/// the master will use a decision function to decide if workers should be
+/// given more time or if it should continue by selecting the next current
+/// individual from the N that has been collected so far" (Algorithm 2).
+/// Results that arrive after the master moved on are *folded into the next
+/// iteration's pool* — the search "can select solutions that were neighbors
+/// of a previous solution", which is why [`Neighbor`] is self-contained.
+///
+/// The decision function's four conditions:
+/// * `c1` — some worker is idle (has delivered and waits for work);
+/// * `c2` — a collected neighbor dominates the current solution;
+/// * `c3` — the master has waited longer than `cfg.async_max_wait_ms`;
+/// * `c4` — the evaluation budget is exhausted.
+pub struct AsyncTsmo {
+    cfg: TsmoConfig,
+    processors: usize,
+}
+
+impl AsyncTsmo {
+    /// Creates the runner with `processors` total CPUs (master included).
+    ///
+    /// # Panics
+    /// Panics if `processors == 0`.
+    pub fn new(cfg: TsmoConfig, processors: usize) -> Self {
+        assert!(processors > 0, "need at least the master processor");
+        Self { cfg, processors }
+    }
+
+    /// Runs the search to budget exhaustion.
+    pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        let clock = RunClock::start();
+        let mut cfg = self.cfg.clone();
+        cfg.chunks = self.processors;
+        let budget = EvaluationBudget::new(cfg.max_evaluations);
+        let params = SampleParams { feasibility: cfg.feasibility_criterion };
+        let chunk = (cfg.neighborhood_size / self.processors).max(1);
+        let max_wait = Duration::from_millis(cfg.async_max_wait_ms);
+
+        let worker_pool = (self.processors > 1).then(|| {
+            let inst = Arc::clone(inst);
+            MasterWorker::<Task, Vec<Neighbor>>::spawn(self.processors - 1, move |_, t| {
+                generate_chunk(&inst, &t.snapshot, t.seed, t.count, params, t.iteration)
+            })
+        });
+        let n_workers = worker_pool.as_ref().map_or(0, |p| p.n_workers());
+
+        let mut core = SearchCore::new(
+            Arc::clone(inst),
+            cfg.clone(),
+            Xoshiro256StarStar::seed_from_u64(cfg.seed),
+        );
+        let mut busy = vec![false; n_workers];
+        let mut pool: Vec<Neighbor> = Vec::new();
+
+        'search: loop {
+            // Fold everything that arrived since the last selection.
+            if let Some(wp) = &worker_pool {
+                while let Some((w, chunk_result)) = wp.try_recv() {
+                    busy[w] = false;
+                    pool.extend(chunk_result);
+                }
+            }
+            if budget.exhausted() {
+                break 'search;
+            }
+            // Give every idle worker a chunk of the *current* neighborhood.
+            if let Some(wp) = &worker_pool {
+                #[allow(clippy::needless_range_loop)] // w is also the worker id
+                for w in 0..n_workers {
+                    if !busy[w] {
+                        let granted = budget.try_consume(chunk as u64) as usize;
+                        if granted == 0 {
+                            break;
+                        }
+                        wp.send(
+                            w,
+                            Task {
+                                snapshot: core.current().clone(),
+                                seed: core.next_seed(),
+                                count: granted,
+                                iteration: core.iteration(),
+                            },
+                        );
+                        busy[w] = true;
+                    }
+                }
+            }
+            // The master computes its own part.
+            let granted = budget.try_consume(chunk as u64) as usize;
+            if granted > 0 {
+                let seed = core.next_seed();
+                pool.extend(generate_chunk(
+                    inst,
+                    core.current(),
+                    seed,
+                    granted,
+                    params,
+                    core.iteration(),
+                ));
+            }
+            // Decision function (Algorithm 2).
+            let wait_start = Instant::now();
+            loop {
+                if let Some(wp) = &worker_pool {
+                    while let Some((w, chunk_result)) = wp.try_recv() {
+                        busy[w] = false;
+                        pool.extend(chunk_result);
+                    }
+                }
+                let current_vec = core.current().objectives().to_vector();
+                let c1 = busy.iter().any(|b| !b);
+                let c2 = pool
+                    .iter()
+                    .any(|nb| pareto::dominates(&nb.objectives.to_vector(), &current_vec));
+                let c3 = wait_start.elapsed() >= max_wait;
+                let c4 = budget.exhausted();
+                if c1 || c2 || c3 || c4 {
+                    break;
+                }
+                if let Some(wp) = &worker_pool {
+                    if let Some((w, chunk_result)) = wp.recv_timeout(Duration::from_micros(500)) {
+                        busy[w] = false;
+                        pool.extend(chunk_result);
+                    }
+                } else {
+                    break; // no workers: nothing to wait for
+                }
+            }
+            if pool.is_empty() {
+                if budget.exhausted() && busy.iter().all(|b| !b) {
+                    break 'search;
+                }
+                // Nothing collected yet (slow workers): wait another round
+                // rather than burning a restart on timing noise.
+                continue 'search;
+            }
+            core.step(std::mem::take(&mut pool));
+        }
+        // Final partial pool: give the leftovers one last consideration.
+        if !pool.is_empty() {
+            core.step(std::mem::take(&mut pool));
+        }
+        if let Some(wp) = worker_pool {
+            drop(wp); // workers see disconnect and exit; no join needed
+        }
+        let (archive, trace, iterations) = core.finish();
+        TsmoOutcome {
+            archive,
+            evaluations: budget.consumed(),
+            iterations,
+            runtime_seconds: clock.seconds(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pareto::non_dominated_indices;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    fn cfg() -> TsmoConfig {
+        TsmoConfig { max_evaluations: 2_400, neighborhood_size: 60, ..TsmoConfig::default() }
+    }
+
+    #[test]
+    fn consumes_exact_budget() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 40, 4).build());
+        let out = AsyncTsmo::new(cfg(), 3).run(&inst);
+        assert_eq!(out.evaluations, 2_400);
+        assert!(!out.archive.is_empty());
+        assert!(out.iterations > 0);
+    }
+
+    #[test]
+    fn archive_valid_and_non_dominated() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::C1, 40, 9).build());
+        let out = AsyncTsmo::new(cfg(), 4).run(&inst);
+        assert_eq!(non_dominated_indices(&out.archive).len(), out.archive.len());
+        for e in &out.archive {
+            assert!(e.solution.check(&inst).is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_shows_stale_neighbors_are_possible() {
+        // With several workers and a generous pool the async variant should
+        // consider at least some neighbors created in an earlier iteration.
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 60, 3).build());
+        let mut c = cfg();
+        c.trace = true;
+        c.max_evaluations = 6_000;
+        let out = AsyncTsmo::new(c, 4).run(&inst);
+        let trace = out.trace.expect("tracing enabled");
+        assert!(!trace.points.is_empty());
+        // Staleness is timing-dependent; assert the mechanism rather than a
+        // specific value: all points have iter_considered >= iter_created.
+        for p in &trace.points {
+            assert!(p.iter_considered >= p.iter_created);
+        }
+    }
+
+    #[test]
+    fn single_processor_still_works() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 25, 2).build());
+        let out = AsyncTsmo::new(cfg(), 1).run(&inst);
+        assert_eq!(out.evaluations, 2_400);
+        assert!(!out.archive.is_empty());
+    }
+
+    #[test]
+    fn quality_comparable_to_sequential() {
+        // §IV: the async variant "obtains results that are comparable" to
+        // the sequential TS on the same evaluation budget. Allow slack —
+        // this is a statistical statement — but the fronts should be in the
+        // same ballpark.
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 50, 11).build());
+        let c = TsmoConfig { max_evaluations: 6_000, neighborhood_size: 60, ..TsmoConfig::default() };
+        let seq = crate::SequentialTsmo::new(c.clone().with_seed(3)).run(&inst);
+        let asy = AsyncTsmo::new(c.with_seed(3), 3).run(&inst);
+        let (s, a) = (
+            seq.best_distance().expect("seq feasible"),
+            asy.best_distance().expect("async feasible"),
+        );
+        assert!(a < s * 1.35, "async best {a} too far above sequential best {s}");
+    }
+}

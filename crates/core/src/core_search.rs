@@ -1,0 +1,368 @@
+//! The algorithm core shared by all variants: current solution, memories,
+//! selection, and restart logic (lines 8–17 of Algorithm 1).
+
+use crate::config::TsmoConfig;
+use crate::neighborhood::Neighbor;
+use crate::outcome::FrontEntry;
+use crate::tabu::TabuList;
+use crate::trace::{Trace, TracePoint};
+use detrand::{RandomSource, Rng, Xoshiro256StarStar};
+use pareto::{non_dominated_indices, Archive};
+use std::sync::Arc;
+use vrptw::solution::EvaluatedSolution;
+use vrptw::{Instance, Objectives};
+use vrptw_construct::randomized_i1;
+use vrptw_operators::SampleParams;
+
+/// What one selection step did, for the caller's bookkeeping.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Objectives of the new current solution (`None` if the pool was empty
+    /// and the step degenerated to a restart).
+    pub selected: Option<Objectives>,
+    /// Whether the chosen solution entered `M_archive` — the paper's
+    /// "improving solution", which the collaborative variant broadcasts.
+    pub improved_archive: Option<FrontEntry>,
+    /// Whether the step restarted from memory instead of moving to a
+    /// neighbor.
+    pub restarted: bool,
+}
+
+/// Shared state and step logic of the TSMO search.
+///
+/// Variants differ only in *how neighborhoods are produced* (inline, via a
+/// synchronous barrier, or asynchronously collected); everything from
+/// selection onward is this struct.
+pub struct SearchCore {
+    inst: Arc<Instance>,
+    cfg: TsmoConfig,
+    rng: Xoshiro256StarStar,
+    tabu: TabuList,
+    nondom: Archive<FrontEntry>,
+    archive: Archive<FrontEntry>,
+    current: EvaluatedSolution,
+    iteration: usize,
+    stagnation: usize,
+    trace: Option<Trace>,
+}
+
+impl SearchCore {
+    /// Initializes memories and the I1 starting solution (Algorithm 1,
+    /// lines 2–4). `rng` must be the searcher's dedicated stream.
+    pub fn new(inst: Arc<Instance>, cfg: TsmoConfig, mut rng: Xoshiro256StarStar) -> Self {
+        let start = randomized_i1(&inst, &mut rng);
+        let current = EvaluatedSolution::new(start, &inst);
+        let mut archive = Archive::new(cfg.archive_capacity);
+        let nondom = Archive::new(cfg.nondom_capacity);
+        archive.insert(FrontEntry::new(current.solution().clone(), current.objectives()));
+        let trace = cfg.trace.then(Trace::default);
+        Self {
+            inst,
+            tabu: TabuList::new(cfg.tabu_tenure),
+            nondom,
+            archive,
+            current,
+            iteration: 0,
+            stagnation: 0,
+            trace,
+            cfg,
+            rng,
+        }
+    }
+
+    /// The instance being solved.
+    pub fn instance(&self) -> &Arc<Instance> {
+        &self.inst
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TsmoConfig {
+        &self.cfg
+    }
+
+    /// The current solution snapshot neighborhoods are generated from.
+    pub fn current(&self) -> &EvaluatedSolution {
+        &self.current
+    }
+
+    /// Completed iterations.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Current archive contents.
+    pub fn archive_entries(&self) -> &[FrontEntry] {
+        self.archive.items()
+    }
+
+    /// Sampling parameters derived from the configuration.
+    pub fn sample_params(&self) -> SampleParams {
+        SampleParams { feasibility: self.cfg.feasibility_criterion }
+    }
+
+    /// Draws the seeds for this iteration's neighborhood chunks.
+    pub fn chunk_seeds(&mut self) -> Vec<u64> {
+        (0..self.cfg.chunks.max(1)).map(|_| self.rng.next_u64()).collect()
+    }
+
+    /// Draws one seed (asynchronous dispatching draws per task).
+    pub fn next_seed(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Offers an externally received solution to `M_nondom` (collaborative
+    /// variant: "the process receiving the individual tries to store the
+    /// solution in its memory of non-dominated solutions"). Returns whether
+    /// it was accepted.
+    pub fn offer_to_nondom(&mut self, entry: FrontEntry) -> bool {
+        self.nondom.insert(entry)
+    }
+
+    /// Runs selection and memory update on the evaluated neighbors (lines
+    /// 8–17 of Algorithm 1).
+    pub fn step(&mut self, pool: Vec<Neighbor>) -> StepReport {
+        // The trace records this step under the iteration number the
+        // neighbors were generated for (`iteration()` at generation time),
+        // so freshly generated neighbors have staleness 0 and the
+        // asynchronous variant's leftovers show up as genuinely stale.
+        let iter = self.iteration;
+        self.iteration += 1;
+
+        // Selection: non-tabu neighbors (aspiration optionally rescues tabu
+        // neighbors that would enter the archive).
+        let mut admissible: Vec<usize> = Vec::with_capacity(pool.len());
+        for (i, nb) in pool.iter().enumerate() {
+            let tabu = self.tabu.is_tabu(&nb.arcs_created);
+            let admitted = !tabu
+                || (self.cfg.aspiration
+                    && self.archive.would_accept(&nb.objectives.to_vector()));
+            if admitted {
+                admissible.push(i);
+            }
+        }
+        let vectors: Vec<[f64; 3]> =
+            admissible.iter().map(|&i| pool[i].objectives.to_vector()).collect();
+        let chosen_idx = if vectors.is_empty() {
+            None
+        } else {
+            let nd = non_dominated_indices(&vectors);
+            let pick = match self.cfg.selection {
+                crate::config::SelectionRule::RandomNonDominated => {
+                    nd[self.rng.index(nd.len())]
+                }
+                crate::config::SelectionRule::PreferDominating => {
+                    let current = self.current.objectives().to_vector();
+                    let improving: Vec<usize> = nd
+                        .iter()
+                        .copied()
+                        .filter(|&k| pareto::dominates(&vectors[k], &current))
+                        .collect();
+                    if improving.is_empty() {
+                        nd[self.rng.index(nd.len())]
+                    } else {
+                        improving[self.rng.index(improving.len())]
+                    }
+                }
+            };
+            Some(admissible[pick])
+        };
+
+        if let Some(t) = self.trace.as_mut() {
+            for (i, nb) in pool.iter().enumerate() {
+                t.record(TracePoint {
+                    iter_created: nb.created_iteration,
+                    iter_considered: iter,
+                    objectives: nb.objectives,
+                    chosen: Some(i) == chosen_idx,
+                });
+            }
+        }
+
+        // Memory update: every neighbor is offered to M_nondom ("additional
+        // non-dominated solutions that were found in the neighborhood N").
+        for nb in &pool {
+            self.nondom.insert(FrontEntry::new(nb.solution.clone(), nb.objectives));
+        }
+
+        let mut report = StepReport { selected: None, improved_archive: None, restarted: false };
+        match chosen_idx {
+            Some(i) => {
+                let nb = &pool[i];
+                self.tabu.push(nb.arcs_removed.clone());
+                self.current = EvaluatedSolution::new(nb.solution.clone(), &self.inst);
+                report.selected = Some(nb.objectives);
+                let entry = FrontEntry::new(nb.solution.clone(), nb.objectives);
+                if self.archive.insert(entry.clone()) {
+                    self.stagnation = 0;
+                    report.improved_archive = Some(entry);
+                } else {
+                    self.stagnation += 1;
+                }
+            }
+            None => {
+                // `s ∉ N`: nothing selectable — restart from memory.
+                self.restart_from_memory();
+                report.restarted = true;
+                self.stagnation = 0;
+                return report;
+            }
+        }
+
+        // Line 14: isUnchanged(M_archive) for too long => restart next.
+        if self.stagnation >= self.cfg.stagnation_limit {
+            self.restart_from_memory();
+            report.restarted = true;
+            self.stagnation = 0;
+        }
+        report
+    }
+
+    /// Line 10: `s ← SelectFrom(M_nondom ∪ M_archive)`.
+    fn restart_from_memory(&mut self) {
+        let n_nondom = self.nondom.len();
+        let total = n_nondom + self.archive.len();
+        debug_assert!(total > 0, "archive always holds the initial solution");
+        let k = self.rng.index(total);
+        let entry = if k < n_nondom {
+            &self.nondom.items()[k]
+        } else {
+            &self.archive.items()[k - n_nondom]
+        };
+        self.current = EvaluatedSolution::new(entry.solution.clone(), &self.inst);
+    }
+
+    /// Finalizes the search, handing the archive and trace to the caller.
+    pub fn finish(self) -> (Vec<FrontEntry>, Option<Trace>, usize) {
+        (self.archive.into_items(), self.trace, self.iteration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighborhood::generate_chunk;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    fn core(seed: u64) -> SearchCore {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 30, 7).build());
+        let cfg = TsmoConfig {
+            neighborhood_size: 30,
+            stagnation_limit: 10,
+            trace: true,
+            ..TsmoConfig::default()
+        };
+        SearchCore::new(Arc::clone(&inst), cfg, Xoshiro256StarStar::seed_from_u64(seed))
+    }
+
+    fn one_pool(c: &mut SearchCore) -> Vec<Neighbor> {
+        let seed = c.next_seed();
+        generate_chunk(c.instance().clone().as_ref(), c.current(), seed, 30, c.sample_params(), c.iteration())
+    }
+
+    #[test]
+    fn steps_advance_and_archive_fills() {
+        let mut c = core(1);
+        for _ in 0..30 {
+            let pool = one_pool(&mut c);
+            c.step(pool);
+        }
+        assert_eq!(c.iteration(), 30);
+        assert!(!c.archive_entries().is_empty());
+        // All archive members are valid, mutually non-dominated solutions.
+        let inst = Arc::clone(c.instance());
+        for e in c.archive_entries() {
+            assert!(e.solution.check(&inst).is_empty());
+        }
+        let nd = non_dominated_indices(c.archive_entries());
+        assert_eq!(nd.len(), c.archive_entries().len());
+    }
+
+    #[test]
+    fn empty_pool_restarts_from_memory() {
+        let mut c = core(2);
+        let before = c.current().solution().clone();
+        let report = c.step(Vec::new());
+        assert!(report.restarted);
+        assert!(report.selected.is_none());
+        // Restart re-materializes a memorized solution (may equal the
+        // initial one — the archive holds it — but must be valid).
+        let inst = Arc::clone(c.instance());
+        assert!(c.current().solution().check(&inst).is_empty());
+        let _ = before;
+    }
+
+    #[test]
+    fn search_improves_distance_over_time() {
+        let mut c = core(3);
+        let initial = c.current().objectives().distance;
+        for _ in 0..80 {
+            let pool = one_pool(&mut c);
+            c.step(pool);
+        }
+        let best = c
+            .archive_entries()
+            .iter()
+            .map(|e| e.objectives.distance)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best < initial,
+            "80 iterations should beat the I1 start ({best} !< {initial})"
+        );
+    }
+
+    #[test]
+    fn trace_records_every_considered_neighbor() {
+        let mut c = core(4);
+        let pool = one_pool(&mut c);
+        let n = pool.len();
+        c.step(pool);
+        let (_, trace, _) = c.finish();
+        let trace = trace.expect("tracing enabled");
+        assert_eq!(trace.points.len(), n);
+        assert_eq!(trace.trajectory().len(), 1);
+    }
+
+    #[test]
+    fn selected_neighbor_becomes_current() {
+        let mut c = core(5);
+        let pool = one_pool(&mut c);
+        let report = c.step(pool);
+        if let Some(obj) = report.selected {
+            assert_eq!(c.current().objectives().vehicles, obj.vehicles);
+            assert!((c.current().objectives().distance - obj.distance).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stagnation_triggers_restart() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 20, 9).build());
+        let cfg = TsmoConfig {
+            neighborhood_size: 5,
+            stagnation_limit: 3,
+            archive_capacity: 2,
+            ..TsmoConfig::default()
+        };
+        let mut c = SearchCore::new(inst, cfg, Xoshiro256StarStar::seed_from_u64(8));
+        let mut restarts = 0;
+        for _ in 0..60 {
+            let pool = one_pool(&mut c);
+            if c.step(pool).restarted {
+                restarts += 1;
+            }
+        }
+        assert!(restarts > 0, "a tiny archive must stagnate within 60 iterations");
+    }
+
+    #[test]
+    fn external_offers_enter_nondom() {
+        let mut c = core(6);
+        // A wildly good fake entry must be accepted.
+        let entry = FrontEntry::new(
+            c.current().solution().clone(),
+            Objectives { distance: 0.1, vehicles: 1, tardiness: 0.0 },
+        );
+        assert!(c.offer_to_nondom(entry.clone()));
+        // Offering the identical point again is a duplicate.
+        assert!(!c.offer_to_nondom(entry));
+    }
+}

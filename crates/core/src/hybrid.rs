@@ -1,0 +1,276 @@
+//! The hybrid variant the paper proposes as future work (§V): "combining
+//! the multisearch TS with the asynchronous TS to get the best of both
+//! worlds and probably an algorithm that delivers both good solutions and
+//! runtime performance".
+//!
+//! `P` collaborative searchers run concurrently, each of them an
+//! *asynchronous master–worker* search with its own small worker pool.
+//! Searchers exchange archive-improving solutions over the rotating
+//! communication list exactly like [`CollaborativeTsmo`](crate::CollaborativeTsmo);
+//! within a searcher, neighborhoods are produced by workers and folded in
+//! partially according to the Algorithm-2 decision function exactly like
+//! [`AsyncTsmo`](crate::AsyncTsmo).
+
+use crate::config::TsmoConfig;
+use crate::core_search::SearchCore;
+use crate::neighborhood::{generate_chunk, Neighbor};
+use crate::outcome::{FrontEntry, TsmoOutcome};
+use deme::{multisearch, EvaluationBudget, MasterWorker, RunClock};
+use detrand::{streams, Xoshiro256StarStar};
+use pareto::Archive;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vrptw::solution::EvaluatedSolution;
+use vrptw::Instance;
+use vrptw_operators::SampleParams;
+
+struct Task {
+    snapshot: EvaluatedSolution,
+    seed: u64,
+    count: usize,
+    iteration: usize,
+}
+
+/// Collaborative multisearch of asynchronous master–worker searchers.
+pub struct HybridTsmo {
+    cfg: TsmoConfig,
+    searchers: usize,
+    procs_per_searcher: usize,
+}
+
+impl HybridTsmo {
+    /// `searchers` collaborative searchers, each commanding
+    /// `procs_per_searcher` processors (its master plus workers).
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn new(cfg: TsmoConfig, searchers: usize, procs_per_searcher: usize) -> Self {
+        assert!(searchers > 0, "need at least one searcher");
+        assert!(procs_per_searcher > 0, "each searcher needs its master processor");
+        Self { cfg, searchers, procs_per_searcher }
+    }
+
+    /// Runs all searchers to their budgets and merges the fronts.
+    pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        let clock = RunClock::start();
+        let n = self.searchers;
+        let procs = self.procs_per_searcher;
+        let mut rngs: Vec<Xoshiro256StarStar> = streams(self.cfg.seed, n);
+        let endpoints = multisearch::network::<FrontEntry, _>(n, &mut rngs);
+
+        let results: Vec<(Vec<FrontEntry>, u64, usize)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (id, (endpoint, mut rng)) in
+                endpoints.into_iter().zip(rngs).enumerate()
+            {
+                let inst = Arc::clone(inst);
+                let base_cfg = self.cfg.clone();
+                handles.push(scope.spawn(move || {
+                    let cfg = if id == 0 { base_cfg } else { base_cfg.perturbed(&mut rng) };
+                    run_async_searcher(&inst, cfg, rng, procs, endpoint)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("searcher panicked")).collect()
+        });
+
+        let mut merged = Archive::new(self.cfg.archive_capacity);
+        let mut evaluations = 0;
+        let mut iterations = 0;
+        for (archive, evals, iters) in results {
+            evaluations += evals;
+            iterations += iters;
+            for entry in archive {
+                merged.insert(entry);
+            }
+        }
+        TsmoOutcome {
+            archive: merged.into_items(),
+            evaluations,
+            iterations,
+            runtime_seconds: clock.seconds(),
+            trace: None,
+        }
+    }
+}
+
+/// One searcher: the asynchronous master–worker loop of
+/// [`AsyncTsmo`](crate::AsyncTsmo), extended with the collaborative
+/// exchange protocol (drain inbox into `M_nondom`; after the initial
+/// phase, send archive improvements to the next peer).
+fn run_async_searcher(
+    inst: &Arc<Instance>,
+    mut cfg: TsmoConfig,
+    rng: Xoshiro256StarStar,
+    procs: usize,
+    mut endpoint: multisearch::Endpoint<FrontEntry>,
+) -> (Vec<FrontEntry>, u64, usize) {
+    cfg.chunks = procs;
+    let budget = EvaluationBudget::new(cfg.max_evaluations);
+    let params = SampleParams { feasibility: cfg.feasibility_criterion };
+    let chunk = (cfg.neighborhood_size / procs).max(1);
+    let max_wait = Duration::from_millis(cfg.async_max_wait_ms);
+
+    let worker_pool = (procs > 1).then(|| {
+        let inst = Arc::clone(inst);
+        MasterWorker::<Task, Vec<Neighbor>>::spawn(procs - 1, move |_, t| {
+            generate_chunk(&inst, &t.snapshot, t.seed, t.count, params, t.iteration)
+        })
+    });
+    let n_workers = worker_pool.as_ref().map_or(0, |p| p.n_workers());
+
+    let mut core = SearchCore::new(Arc::clone(inst), cfg.clone(), rng);
+    let mut busy = vec![false; n_workers];
+    let mut pool: Vec<Neighbor> = Vec::new();
+    let mut initial_phase = true;
+    let mut initial_stagnation = 0usize;
+
+    'search: loop {
+        for entry in endpoint.drain() {
+            core.offer_to_nondom(entry);
+        }
+        if let Some(wp) = &worker_pool {
+            while let Some((w, chunk_result)) = wp.try_recv() {
+                busy[w] = false;
+                pool.extend(chunk_result);
+            }
+        }
+        if budget.exhausted() {
+            break 'search;
+        }
+        if let Some(wp) = &worker_pool {
+            #[allow(clippy::needless_range_loop)] // w is also the worker id
+            for w in 0..n_workers {
+                if !busy[w] {
+                    let granted = budget.try_consume(chunk as u64) as usize;
+                    if granted == 0 {
+                        break;
+                    }
+                    wp.send(
+                        w,
+                        Task {
+                            snapshot: core.current().clone(),
+                            seed: core.next_seed(),
+                            count: granted,
+                            iteration: core.iteration(),
+                        },
+                    );
+                    busy[w] = true;
+                }
+            }
+        }
+        let granted = budget.try_consume(chunk as u64) as usize;
+        if granted > 0 {
+            let seed = core.next_seed();
+            pool.extend(generate_chunk(inst, core.current(), seed, granted, params, core.iteration()));
+        }
+        let wait_start = Instant::now();
+        loop {
+            if let Some(wp) = &worker_pool {
+                while let Some((w, chunk_result)) = wp.try_recv() {
+                    busy[w] = false;
+                    pool.extend(chunk_result);
+                }
+            }
+            let current_vec = core.current().objectives().to_vector();
+            let c1 = busy.iter().any(|b| !b);
+            let c2 =
+                pool.iter().any(|nb| pareto::dominates(&nb.objectives.to_vector(), &current_vec));
+            let c3 = wait_start.elapsed() >= max_wait;
+            let c4 = budget.exhausted();
+            if c1 || c2 || c3 || c4 {
+                break;
+            }
+            if let Some(wp) = &worker_pool {
+                if let Some((w, chunk_result)) = wp.recv_timeout(Duration::from_micros(500)) {
+                    busy[w] = false;
+                    pool.extend(chunk_result);
+                }
+            } else {
+                break;
+            }
+        }
+        if pool.is_empty() {
+            if budget.exhausted() && busy.iter().all(|b| !b) {
+                break 'search;
+            }
+            continue 'search;
+        }
+        let report = core.step(std::mem::take(&mut pool));
+        // The collaborative protocol, grafted onto the async iteration.
+        if initial_phase {
+            if report.improved_archive.is_some() {
+                initial_stagnation = 0;
+            } else {
+                initial_stagnation += 1;
+                if initial_stagnation >= cfg.stagnation_limit {
+                    initial_phase = false;
+                }
+            }
+        } else if let Some(entry) = report.improved_archive {
+            endpoint.send_next(entry);
+        }
+    }
+    if !pool.is_empty() {
+        core.step(std::mem::take(&mut pool));
+    }
+    drop(worker_pool);
+    let (archive, _, iterations) = core.finish();
+    (archive, budget.consumed(), iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pareto::non_dominated_indices;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    fn cfg() -> TsmoConfig {
+        TsmoConfig {
+            max_evaluations: 1_500,
+            neighborhood_size: 50,
+            stagnation_limit: 10,
+            ..TsmoConfig::default()
+        }
+    }
+
+    #[test]
+    fn hybrid_runs_and_merges() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 30, 5).build());
+        let out = HybridTsmo::new(cfg(), 2, 2).run(&inst);
+        assert_eq!(out.evaluations, 2 * 1_500);
+        assert!(!out.archive.is_empty());
+        assert!(out.archive.len() <= cfg().archive_capacity);
+        assert_eq!(non_dominated_indices(&out.archive).len(), out.archive.len());
+        for e in &out.archive {
+            assert!(e.solution.check(&inst).is_empty());
+        }
+    }
+
+    #[test]
+    fn hybrid_with_single_searcher_behaves_like_async() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 25, 3).build());
+        let out = HybridTsmo::new(cfg(), 1, 3).run(&inst);
+        assert_eq!(out.evaluations, 1_500);
+        assert!(!out.archive.is_empty());
+    }
+
+    #[test]
+    fn hybrid_with_single_proc_per_searcher_behaves_like_collaborative() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 30, 9).build());
+        let out = HybridTsmo::new(cfg(), 3, 1).run(&inst);
+        assert_eq!(out.evaluations, 3 * 1_500);
+        assert!(!out.archive.is_empty());
+    }
+
+    #[test]
+    fn hybrid_front_quality_is_at_least_collaboratives_ballpark() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 40, 21).build());
+        let coll = crate::CollaborativeTsmo::new(cfg().with_seed(4), 2).run(&inst);
+        let hybrid = HybridTsmo::new(cfg().with_seed(4), 2, 2).run(&inst);
+        let (c, h) = (
+            coll.best_distance().expect("feasible"),
+            hybrid.best_distance().expect("feasible"),
+        );
+        assert!(h < c * 1.3, "hybrid best {h} should be near collaborative best {c}");
+    }
+}

@@ -1,0 +1,172 @@
+//! TSMO — multiobjective tabu search for the CVRPTW, and its three
+//! parallel variants (Beham, IPPS 2007).
+//!
+//! The sequential algorithm (§III.B, Algorithm 1) iterates:
+//!
+//! 1. **Neighborhood generation** — `neighborhood_size` moves drawn from
+//!    the five operators with equal probability, each respecting the local
+//!    feasibility criterion;
+//! 2. **Evaluation** — each neighbor's three objectives (incremental);
+//! 3. **Selection** — one of the non-dominated, non-tabu neighbors becomes
+//!    the new current solution; its reversal attributes enter the tabu
+//!    list;
+//! 4. **Memory update** — neighborhood non-dominated solutions are offered
+//!    to the medium-term memory `M_nondom`; the chosen solution is offered
+//!    to the bounded crowding archive `M_archive`. If the archive has not
+//!    improved for `stagnation_limit` iterations (or no neighbor was
+//!    selectable), the search restarts from a remembered solution.
+//!
+//! The parallel variants:
+//!
+//! * [`SyncTsmo`] (§III.C) — master–worker functional decomposition of
+//!   steps 1–2 with a barrier; **bit-identical trajectories** to the
+//!   sequential algorithm for the same seed (tested), which is the paper's
+//!   "the behavior remains unchanged".
+//! * [`AsyncTsmo`] (§III.D) — same decomposition without the barrier; the
+//!   master continues with a partial neighborhood according to the decision
+//!   function of Algorithm 2 and folds late worker results into later
+//!   iterations.
+//! * [`CollaborativeTsmo`] (§III.E) — independent searchers with perturbed
+//!   parameters that exchange archive-improving solutions over a rotating
+//!   communication list after an initial stagnation phase.
+
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tsmo_core::{SequentialTsmo, TsmoConfig};
+//! use vrptw::generator::{GeneratorConfig, InstanceClass};
+//!
+//! let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 40, 7).build());
+//! let cfg = TsmoConfig { max_evaluations: 2_000, neighborhood_size: 50,
+//!                        ..TsmoConfig::default() };
+//! let outcome = SequentialTsmo::new(cfg).run(&inst);
+//! assert_eq!(outcome.evaluations, 2_000);
+//! assert!(!outcome.archive.is_empty());
+//! ```
+
+mod adaptive;
+mod asynchronous;
+mod collaborative;
+mod config;
+mod core_search;
+mod hybrid;
+mod neighborhood;
+mod outcome;
+mod scalarized;
+mod sequential;
+mod simulated;
+mod sync;
+mod tabu;
+mod trace;
+
+pub use adaptive::{AdaptiveMemory, AdaptiveMemoryTs};
+pub use asynchronous::AsyncTsmo;
+pub use collaborative::CollaborativeTsmo;
+pub use config::{SelectionRule, TsmoConfig};
+pub use core_search::SearchCore;
+pub use hybrid::HybridTsmo;
+pub use neighborhood::{generate_chunk, Neighbor};
+pub use outcome::{FrontEntry, TsmoOutcome};
+pub use scalarized::{weighted_front, WeightedOutcome, WeightedSumTs};
+pub use sequential::SequentialTsmo;
+pub use simulated::{SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo};
+pub use sync::SyncTsmo;
+pub use tabu::TabuList;
+pub use trace::{Trace, TracePoint};
+
+use std::sync::Arc;
+use vrptw::Instance;
+
+/// The algorithm variants compared in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelVariant {
+    /// Algorithm 1 on one thread.
+    Sequential,
+    /// Synchronous master–worker with this many processors (incl. master).
+    Synchronous(usize),
+    /// Asynchronous master–worker with this many processors (incl. master).
+    Asynchronous(usize),
+    /// Collaborative multisearch with this many searchers.
+    Collaborative(usize),
+}
+
+impl ParallelVariant {
+    /// Runs the variant on `inst` with `cfg`.
+    pub fn run(self, inst: &Arc<Instance>, cfg: &TsmoConfig) -> TsmoOutcome {
+        match self {
+            ParallelVariant::Sequential => SequentialTsmo::new(cfg.clone()).run(inst),
+            ParallelVariant::Synchronous(p) => SyncTsmo::new(cfg.clone(), p).run(inst),
+            ParallelVariant::Asynchronous(p) => AsyncTsmo::new(cfg.clone(), p).run(inst),
+            ParallelVariant::Collaborative(p) => CollaborativeTsmo::new(cfg.clone(), p).run(inst),
+        }
+    }
+
+    /// Runs the variant with **virtual-time** parallelism: the same
+    /// algorithm, executed single-threaded with each work item's cost
+    /// measured and scheduled on a simulated cluster
+    /// (see [`deme::virtual_time`]). `runtime_seconds` in the outcome is
+    /// the virtual makespan — use this on hosts with fewer cores than the
+    /// experiment's processor count. `Sequential` runs normally (its wall
+    /// time is already a faithful serial measurement).
+    pub fn run_simulated(self, inst: &Arc<Instance>, cfg: &TsmoConfig) -> TsmoOutcome {
+        match self {
+            ParallelVariant::Sequential => SequentialTsmo::new(cfg.clone()).run(inst),
+            ParallelVariant::Synchronous(p) => SimSyncTsmo::new(cfg.clone(), p).run(inst),
+            ParallelVariant::Asynchronous(p) => SimAsyncTsmo::new(cfg.clone(), p).run(inst),
+            ParallelVariant::Collaborative(p) => {
+                SimCollaborativeTsmo::new(cfg.clone(), p).run(inst)
+            }
+        }
+    }
+
+    /// A short label for result tables (`"TSMO sync."` style).
+    pub fn label(self) -> String {
+        match self {
+            ParallelVariant::Sequential => "Sequential TSMO".to_string(),
+            ParallelVariant::Synchronous(p) => format!("TSMO sync. ({p})"),
+            ParallelVariant::Asynchronous(p) => format!("TSMO async. ({p})"),
+            ParallelVariant::Collaborative(p) => format!("TSMO coll. ({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod variant_tests {
+    use super::*;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    #[test]
+    fn all_variants_run_and_produce_fronts() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 30, 5).build());
+        let cfg = TsmoConfig { max_evaluations: 2_000, neighborhood_size: 40, ..TsmoConfig::default() };
+        for variant in [
+            ParallelVariant::Sequential,
+            ParallelVariant::Synchronous(3),
+            ParallelVariant::Asynchronous(3),
+            ParallelVariant::Collaborative(3),
+        ] {
+            let out = variant.run(&inst, &cfg);
+            assert!(!out.archive.is_empty(), "{variant:?} produced an empty archive");
+            assert!(out.evaluations > 0, "{variant:?} did no evaluations");
+            for entry in &out.archive {
+                assert!(entry.solution.check(&inst).is_empty(), "{variant:?} invalid solution");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<String> = [
+            ParallelVariant::Sequential,
+            ParallelVariant::Synchronous(3),
+            ParallelVariant::Asynchronous(3),
+            ParallelVariant::Collaborative(3),
+            ParallelVariant::Synchronous(6),
+        ]
+        .iter()
+        .map(|v| v.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

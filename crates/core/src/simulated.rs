@@ -1,0 +1,588 @@
+//! Virtual-time (discrete-event) versions of the three parallel variants.
+//!
+//! The paper's runtime and speedup columns were measured on a 128-processor
+//! SGI Origin 3800. On hosts with fewer cores than the experiment's
+//! processor count — in the limit a single-core CI container, where OS
+//! threads merely timeshare — the thread-based variants in this crate
+//! cannot exhibit real speedup. These `Sim*` runners execute the *same
+//! algorithms* single-threaded, measure each work item's true serial cost,
+//! and schedule the items on a [`VirtualCluster`] with per-message latency;
+//! the reported `runtime_seconds` is the cluster's virtual makespan — the
+//! wall time a real P-processor machine would have needed.
+//!
+//! Fidelity notes:
+//!
+//! * `SimSyncTsmo` follows exactly the synchronous schedule (dispatch →
+//!   parallel chunks → barrier collect → selection) and produces the *same
+//!   trajectory* as [`SyncTsmo`](crate::SyncTsmo) and the chunked
+//!   sequential algorithm — tested.
+//! * `SimAsyncTsmo` is an event-driven simulation of Algorithm 2: worker
+//!   completions become timed events, and the decision function's four
+//!   conditions are evaluated against virtual time.
+//! * `SimCollaborativeTsmo` simulates the searchers event-interleaved by
+//!   their virtual clocks; messages are charged `latency · P/2` to model
+//!   interconnect contention on the shared-memory machine, which is what
+//!   makes the collaborative runtime *grow* with the processor count as in
+//!   the paper's tables.
+
+use crate::config::TsmoConfig;
+use crate::core_search::SearchCore;
+use crate::neighborhood::{generate_chunk, Neighbor};
+use crate::outcome::{FrontEntry, TsmoOutcome};
+use deme::{EvaluationBudget, VirtualCluster};
+use detrand::{streams, Xoshiro256StarStar};
+use pareto::Archive;
+use std::sync::Arc;
+use vrptw::Instance;
+
+/// Simulated synchronous master–worker TSMO (virtual-time runtime).
+pub struct SimSyncTsmo {
+    cfg: TsmoConfig,
+    processors: usize,
+    speeds: Option<Vec<f64>>,
+}
+
+impl SimSyncTsmo {
+    /// Creates the runner.
+    ///
+    /// # Panics
+    /// Panics if `processors == 0`.
+    pub fn new(cfg: TsmoConfig, processors: usize) -> Self {
+        assert!(processors > 0, "need at least the master processor");
+        Self { cfg, processors, speeds: None }
+    }
+
+    /// Simulates a heterogeneous machine: `speeds[p]` is processor `p`'s
+    /// relative speed (processor 0 is the master). The trajectory is
+    /// unaffected — the synchronous barrier hides heterogeneity in wasted
+    /// waiting time, which is exactly what the makespan then shows.
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the processor count.
+    pub fn with_speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(speeds.len(), self.processors, "one speed per processor");
+        self.speeds = Some(speeds);
+        self
+    }
+
+    /// Runs to budget exhaustion; `runtime_seconds` is virtual.
+    pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        let mut cfg = self.cfg.clone();
+        cfg.chunks = self.processors;
+        let p = self.processors;
+        let budget = EvaluationBudget::new(cfg.max_evaluations);
+        let mut cluster = match &self.speeds {
+            Some(s) => VirtualCluster::heterogeneous(s.clone(), cfg.sim_comm_latency),
+            None => VirtualCluster::new(p, cfg.sim_comm_latency),
+        };
+        let mut core = SearchCore::new(
+            Arc::clone(inst),
+            cfg.clone(),
+            Xoshiro256StarStar::seed_from_u64(cfg.seed),
+        );
+        let sizes = cfg.chunk_sizes();
+        while !budget.exhausted() {
+            let seeds = core.chunk_seeds();
+            let granted: Vec<usize> =
+                sizes.iter().map(|&s| budget.try_consume(s as u64) as usize).collect();
+            // Dispatch: workers can start once the master's message arrives.
+            for w in 1..p {
+                let arrival = cluster.send_at(0, 1.0);
+                cluster.receive(w, arrival);
+            }
+            // Chunks run "in parallel": each charged to its own processor.
+            let mut chunks: Vec<Vec<Neighbor>> = Vec::with_capacity(p);
+            for proc in (0..p).rev() {
+                // Master's own chunk is chunk 0; workers hold 1..P. The
+                // computation order here is irrelevant — only the virtual
+                // clocks matter — but chunk order in the pool is preserved.
+                let chunk = cluster.charge(proc, || {
+                    generate_chunk(
+                        inst,
+                        core.current(),
+                        seeds[proc],
+                        granted[proc],
+                        core.sample_params(),
+                        core.iteration(),
+                    )
+                });
+                chunks.push(chunk);
+            }
+            chunks.reverse();
+            // Collect: the master waits for every worker's reply.
+            for w in 1..p {
+                let arrival = cluster.send_at(w, 1.0);
+                cluster.receive(0, arrival);
+            }
+            let pool: Vec<Neighbor> = chunks.into_iter().flatten().collect();
+            if pool.is_empty() && budget.exhausted() {
+                break;
+            }
+            cluster.charge(0, || core.step(pool));
+        }
+        let makespan = cluster.makespan();
+        let (archive, trace, iterations) = core.finish();
+        TsmoOutcome {
+            archive,
+            evaluations: budget.consumed(),
+            iterations,
+            runtime_seconds: makespan,
+            trace,
+        }
+    }
+}
+
+/// Simulated asynchronous master–worker TSMO (virtual-time runtime).
+pub struct SimAsyncTsmo {
+    cfg: TsmoConfig,
+    processors: usize,
+    speeds: Option<Vec<f64>>,
+}
+
+/// A worker's outstanding chunk in the event simulation.
+struct Outstanding {
+    /// Virtual time the result reaches the master.
+    arrival: f64,
+    neighbors: Vec<Neighbor>,
+}
+
+impl SimAsyncTsmo {
+    /// Creates the runner.
+    ///
+    /// # Panics
+    /// Panics if `processors == 0`.
+    pub fn new(cfg: TsmoConfig, processors: usize) -> Self {
+        assert!(processors > 0, "need at least the master processor");
+        Self { cfg, processors, speeds: None }
+    }
+
+    /// Simulates a heterogeneous machine (see
+    /// [`SimSyncTsmo::with_speeds`]): here slow workers simply deliver
+    /// later and the decision function moves on without them — the paper's
+    /// argument for why the asynchronous variant "should perform well on
+    /// both homogenous and heterogenous systems".
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the processor count.
+    pub fn with_speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(speeds.len(), self.processors, "one speed per processor");
+        self.speeds = Some(speeds);
+        self
+    }
+
+    /// Runs to budget exhaustion; `runtime_seconds` is virtual.
+    pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        let mut cfg = self.cfg.clone();
+        cfg.chunks = self.processors;
+        let p = self.processors;
+        let budget = EvaluationBudget::new(cfg.max_evaluations);
+        let mut cluster = match &self.speeds {
+            Some(s) => VirtualCluster::heterogeneous(s.clone(), cfg.sim_comm_latency),
+            None => VirtualCluster::new(p, cfg.sim_comm_latency),
+        };
+        let mut core = SearchCore::new(
+            Arc::clone(inst),
+            cfg.clone(),
+            Xoshiro256StarStar::seed_from_u64(cfg.seed),
+        );
+        let chunk = (cfg.neighborhood_size / p).max(1);
+        let max_wait = cfg.async_max_wait_ms as f64 / 1_000.0;
+        let mut outstanding: Vec<Option<Outstanding>> = (1..p).map(|_| None).collect();
+        let mut pool: Vec<Neighbor> = Vec::new();
+
+        let fold_arrived =
+            |pool: &mut Vec<Neighbor>, outstanding: &mut Vec<Option<Outstanding>>, now: f64| {
+                for slot in outstanding.iter_mut() {
+                    if slot.as_ref().is_some_and(|o| o.arrival <= now) {
+                        let o = slot.take().expect("checked above");
+                        pool.extend(o.neighbors);
+                    }
+                }
+            };
+
+        'search: loop {
+            let now = cluster.clock(0);
+            fold_arrived(&mut pool, &mut outstanding, now);
+            if budget.exhausted() {
+                break 'search;
+            }
+            // Dispatch chunks to idle workers. The chunk is computed
+            // immediately (its content does not depend on virtual time) and
+            // delivered at the simulated completion instant.
+            #[allow(clippy::needless_range_loop)] // w maps to processor w+1
+            for w in 0..outstanding.len() {
+                if outstanding[w].is_none() {
+                    let granted = budget.try_consume(chunk as u64) as usize;
+                    if granted == 0 {
+                        break;
+                    }
+                    let seed = core.next_seed();
+                    let proc = w + 1;
+                    // The task message travels master -> worker.
+                    let start = cluster.send_at(0, 1.0).max(cluster.clock(proc));
+                    cluster.advance_to(proc, start);
+                    let neighbors = cluster.charge(proc, || {
+                        generate_chunk(
+                            inst,
+                            core.current(),
+                            seed,
+                            granted,
+                            core.sample_params(),
+                            core.iteration(),
+                        )
+                    });
+                    let arrival = cluster.send_at(proc, 1.0);
+                    outstanding[w] = Some(Outstanding { arrival, neighbors });
+                }
+            }
+            // Master's own part.
+            let granted = budget.try_consume(chunk as u64) as usize;
+            if granted > 0 {
+                let seed = core.next_seed();
+                let own = cluster.charge(0, || {
+                    generate_chunk(
+                        inst,
+                        core.current(),
+                        seed,
+                        granted,
+                        core.sample_params(),
+                        core.iteration(),
+                    )
+                });
+                pool.extend(own);
+            }
+            // Decision function (Algorithm 2) in virtual time.
+            let wait_started = cluster.clock(0);
+            loop {
+                let now = cluster.clock(0);
+                fold_arrived(&mut pool, &mut outstanding, now);
+                let current_vec = core.current().objectives().to_vector();
+                let c1 = outstanding.iter().any(|o| o.is_none());
+                let c2 = pool
+                    .iter()
+                    .any(|nb| pareto::dominates(&nb.objectives.to_vector(), &current_vec));
+                let c3 = now - wait_started >= max_wait;
+                let c4 = budget.exhausted();
+                if c1 || c2 || c3 || c4 {
+                    break;
+                }
+                // Advance to the next event: the earliest arrival or the
+                // wait bound, whichever comes first.
+                let next_arrival = outstanding
+                    .iter()
+                    .flatten()
+                    .map(|o| o.arrival)
+                    .fold(f64::INFINITY, f64::min);
+                let target = (wait_started + max_wait).min(next_arrival);
+                if !target.is_finite() {
+                    break; // no workers at all (p = 1)
+                }
+                cluster.advance_to(0, target.max(now + 1e-9));
+            }
+            if pool.is_empty() {
+                if budget.exhausted() && outstanding.iter().all(|o| o.is_none()) {
+                    break 'search;
+                }
+                continue 'search;
+            }
+            let taken = std::mem::take(&mut pool);
+            cluster.charge(0, || core.step(taken));
+        }
+        if !pool.is_empty() {
+            let taken = std::mem::take(&mut pool);
+            cluster.charge(0, || core.step(taken));
+        }
+        let makespan = cluster.makespan();
+        let (archive, trace, iterations) = core.finish();
+        TsmoOutcome {
+            archive,
+            evaluations: budget.consumed(),
+            iterations,
+            runtime_seconds: makespan,
+            trace,
+        }
+    }
+}
+
+/// Simulated collaborative multisearch TSMO (virtual-time runtime).
+pub struct SimCollaborativeTsmo {
+    cfg: TsmoConfig,
+    searchers: usize,
+}
+
+/// One searcher's state in the event-interleaved simulation.
+struct SearcherSim {
+    core: SearchCore,
+    cfg: TsmoConfig,
+    budget: EvaluationBudget,
+    inbox: Vec<(f64, FrontEntry)>,
+    /// Rotating communication list (peer indices).
+    comm_list: Vec<usize>,
+    next_peer: usize,
+    initial_phase: bool,
+    initial_stagnation: usize,
+    done: bool,
+    iterations: usize,
+}
+
+impl SimCollaborativeTsmo {
+    /// Creates the runner.
+    ///
+    /// # Panics
+    /// Panics if `searchers == 0`.
+    pub fn new(cfg: TsmoConfig, searchers: usize) -> Self {
+        assert!(searchers > 0, "need at least one searcher");
+        Self { cfg, searchers }
+    }
+
+    /// Runs all searchers to budget exhaustion; `runtime_seconds` is the
+    /// virtual makespan over the searchers.
+    pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        let n = self.searchers;
+        let mut cluster = VirtualCluster::new(n, self.cfg.sim_comm_latency);
+        // Interconnect contention grows with the searcher count (shared
+        // memory bus on the modeled Origin 3800): half a latency unit per
+        // searcher, so collaborative overhead grows roughly linearly in P
+        // as in the paper's tables.
+        let congestion = (n as f64 / 2.0).max(1.0);
+        let mut rngs: Vec<Xoshiro256StarStar> = streams(self.cfg.seed, n);
+
+        let mut searchers: Vec<SearcherSim> = Vec::with_capacity(n);
+        for (id, mut rng) in rngs.drain(..).enumerate() {
+            let cfg = if id == 0 { self.cfg.clone() } else { self.cfg.perturbed(&mut rng) };
+            let mut comm_list: Vec<usize> = (0..n).filter(|&x| x != id).collect();
+            use detrand::Rng as _;
+            rng.shuffle(&mut comm_list);
+            searchers.push(SearcherSim {
+                core: SearchCore::new(Arc::clone(inst), cfg.clone(), rng),
+                budget: EvaluationBudget::new(cfg.max_evaluations),
+                inbox: Vec::new(),
+                comm_list,
+                next_peer: 0,
+                initial_phase: true,
+                initial_stagnation: 0,
+                done: false,
+                iterations: 0,
+                cfg,
+            });
+        }
+
+        // Event loop: always advance the live searcher with the earliest
+        // virtual clock by one iteration.
+        while let Some(s) = next_live(&searchers, &cluster) {
+            let now = cluster.clock(s);
+            // Deliver due messages (charged with the congestion factor).
+            let mut due: Vec<FrontEntry> = Vec::new();
+            searchers[s].inbox.retain(|(arrival, entry)| {
+                if *arrival <= now {
+                    due.push(entry.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            for entry in due {
+                let searcher = &mut searchers[s];
+                cluster.charge(s, || {
+                    searcher.core.offer_to_nondom(entry);
+                });
+            }
+            let granted = {
+                let searcher = &searchers[s];
+                searcher.budget.try_consume(searcher.cfg.neighborhood_size as u64) as usize
+            };
+            if granted == 0 {
+                searchers[s].done = true;
+                continue;
+            }
+            let report = {
+                let searcher = &mut searchers[s];
+                let seed = searcher.core.next_seed();
+                cluster.charge(s, || {
+                    let pool = generate_chunk(
+                        inst,
+                        searcher.core.current(),
+                        seed,
+                        granted,
+                        searcher.core.sample_params(),
+                        searcher.core.iteration(),
+                    );
+                    searcher.core.step(pool)
+                })
+            };
+            searchers[s].iterations += 1;
+            // Collaboration protocol.
+            let improved = report.improved_archive;
+            let searcher = &mut searchers[s];
+            if searcher.initial_phase {
+                if improved.is_some() {
+                    searcher.initial_stagnation = 0;
+                } else {
+                    searcher.initial_stagnation += 1;
+                    if searcher.initial_stagnation >= searcher.cfg.stagnation_limit {
+                        searcher.initial_phase = false;
+                    }
+                }
+            } else if let Some(entry) = improved {
+                if !searcher.comm_list.is_empty() {
+                    let peer = searcher.comm_list[searcher.next_peer];
+                    searcher.next_peer = (searcher.next_peer + 1) % searcher.comm_list.len();
+                    // Sending occupies the sender's processor too.
+                    cluster.advance(s, cluster.latency() * congestion);
+                    let arrival = cluster.send_at(s, congestion);
+                    searchers[peer].inbox.push((arrival, entry));
+                }
+            }
+        }
+
+        let makespan = cluster.makespan();
+        let mut merged = Archive::new(self.cfg.archive_capacity);
+        let mut evaluations = 0;
+        let mut iterations = 0;
+        for s in searchers {
+            evaluations += s.budget.consumed();
+            iterations += s.iterations;
+            let (archive, _, _) = s.core.finish();
+            for entry in archive {
+                merged.insert(entry);
+            }
+        }
+        TsmoOutcome {
+            archive: merged.into_items(),
+            evaluations,
+            iterations,
+            runtime_seconds: makespan,
+            trace: None,
+        }
+    }
+}
+
+/// The live searcher with the earliest virtual clock, if any.
+fn next_live(searchers: &[SearcherSim], cluster: &VirtualCluster) -> Option<usize> {
+    searchers
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.done)
+        .min_by(|(a, _), (b, _)| {
+            cluster.clock(*a).partial_cmp(&cluster.clock(*b)).expect("clocks are not NaN")
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialTsmo;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    fn cfg() -> TsmoConfig {
+        TsmoConfig { max_evaluations: 2_400, neighborhood_size: 60, ..TsmoConfig::default() }
+    }
+
+    fn norm(mut v: Vec<[f64; 3]>) -> Vec<[f64; 3]> {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("not NaN"));
+        v
+    }
+
+    #[test]
+    fn sim_sync_reproduces_sequential_trajectory() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 40, 6).build());
+        for p in [2usize, 3] {
+            let mut seq_cfg = cfg().with_seed(7);
+            seq_cfg.chunks = p;
+            let seq = SequentialTsmo::new(seq_cfg).run(&inst);
+            let sim = SimSyncTsmo::new(cfg().with_seed(7), p).run(&inst);
+            assert_eq!(norm(seq.feasible_vectors()), norm(sim.feasible_vectors()), "p = {p}");
+            assert_eq!(seq.iterations, sim.iterations);
+        }
+    }
+
+    #[test]
+    fn sim_sync_shows_virtual_speedup() {
+        // On ANY host — even single-core — the virtual makespan of the
+        // synchronous variant must beat the sequential wall time, because
+        // chunk generation dominates and parallelizes.
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 80, 3).build());
+        let c = TsmoConfig {
+            max_evaluations: 6_000,
+            neighborhood_size: 120,
+            sim_comm_latency: 0.0001,
+            ..TsmoConfig::default()
+        };
+        let mut seq_cfg = c.clone();
+        seq_cfg.chunks = 4;
+        let seq = SequentialTsmo::new(seq_cfg).run(&inst);
+        let sim = SimSyncTsmo::new(c, 4).run(&inst);
+        assert!(
+            sim.runtime_seconds < seq.runtime_seconds,
+            "virtual {:.3}s should beat sequential {:.3}s",
+            sim.runtime_seconds,
+            seq.runtime_seconds
+        );
+    }
+
+    #[test]
+    fn sim_async_consumes_budget_and_produces_front() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 40, 4).build());
+        let out = SimAsyncTsmo::new(cfg(), 3).run(&inst);
+        assert_eq!(out.evaluations, 2_400);
+        assert!(!out.archive.is_empty());
+        assert!(out.runtime_seconds > 0.0);
+        for e in &out.archive {
+            assert!(e.solution.check(&inst).is_empty());
+        }
+    }
+
+    #[test]
+    fn sim_async_is_faster_than_sim_sync_with_heterogeneous_latency() {
+        // The async variant's reason to exist: it avoids barrier waiting.
+        // Under the same latency its virtual makespan should not exceed the
+        // synchronous one by much; typically it is smaller.
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 80, 8).build());
+        let c = TsmoConfig {
+            max_evaluations: 6_000,
+            neighborhood_size: 120,
+            sim_comm_latency: 0.002,
+            ..TsmoConfig::default()
+        };
+        let sync = SimSyncTsmo::new(c.clone().with_seed(5), 6).run(&inst);
+        let asy = SimAsyncTsmo::new(c.with_seed(5), 6).run(&inst);
+        assert!(
+            asy.runtime_seconds <= sync.runtime_seconds * 1.15,
+            "async virtual {:.3}s should be at most ~sync virtual {:.3}s",
+            asy.runtime_seconds,
+            sync.runtime_seconds
+        );
+    }
+
+    #[test]
+    fn sim_collaborative_merges_and_sums() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 30, 5).build());
+        let out = SimCollaborativeTsmo::new(cfg(), 3).run(&inst);
+        assert_eq!(out.evaluations, 3 * 2_400);
+        assert!(out.archive.len() <= cfg().archive_capacity);
+        assert!(!out.archive.is_empty());
+    }
+
+    #[test]
+    fn sim_collaborative_runtime_grows_with_searchers() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 50, 13).build());
+        let c = TsmoConfig {
+            max_evaluations: 4_000,
+            neighborhood_size: 80,
+            stagnation_limit: 10,
+            sim_comm_latency: 0.002,
+            ..TsmoConfig::default()
+        };
+        let small = SimCollaborativeTsmo::new(c.clone().with_seed(2), 2).run(&inst);
+        let large = SimCollaborativeTsmo::new(c.with_seed(2), 8).run(&inst);
+        // Each searcher does the same work; more searchers add comm cost,
+        // so the makespan must not shrink.
+        assert!(
+            large.runtime_seconds >= small.runtime_seconds * 0.9,
+            "8 searchers {:.3}s vs 2 searchers {:.3}s",
+            large.runtime_seconds,
+            small.runtime_seconds
+        );
+    }
+}

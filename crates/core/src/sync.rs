@@ -1,0 +1,182 @@
+//! The synchronous master–worker variant (§III.C).
+
+use crate::config::TsmoConfig;
+use crate::core_search::SearchCore;
+use crate::neighborhood::{generate_chunk, Neighbor};
+use crate::outcome::TsmoOutcome;
+use deme::{EvaluationBudget, MasterWorker, RunClock};
+use detrand::Xoshiro256StarStar;
+use std::sync::Arc;
+use vrptw::solution::EvaluatedSolution;
+use vrptw::Instance;
+use vrptw_operators::SampleParams;
+
+/// One unit of distributed neighborhood work.
+struct Task {
+    snapshot: EvaluatedSolution,
+    seed: u64,
+    count: usize,
+    iteration: usize,
+}
+
+/// Synchronous master–worker TSMO.
+///
+/// "The master sends to each worker the current individual and the number
+/// of neighbors to generate … When all neighbors are collected the master
+/// continues with the selection and the rest of the iteration." The master
+/// is processor 0 and computes its own chunk while the workers compute
+/// theirs; the barrier reassembles chunks in order, so the trajectory is
+/// bit-identical to [`SequentialTsmo`](crate::SequentialTsmo) with
+/// `cfg.chunks = processors` and the same seed (tested in `lib.rs`).
+pub struct SyncTsmo {
+    cfg: TsmoConfig,
+    processors: usize,
+}
+
+impl SyncTsmo {
+    /// Creates the runner with `processors` total CPUs (master included).
+    ///
+    /// # Panics
+    /// Panics if `processors == 0`.
+    pub fn new(cfg: TsmoConfig, processors: usize) -> Self {
+        assert!(processors > 0, "need at least the master processor");
+        Self { cfg, processors }
+    }
+
+    /// Runs the search to budget exhaustion.
+    pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        let clock = RunClock::start();
+        let mut cfg = self.cfg.clone();
+        cfg.chunks = self.processors;
+        let budget = EvaluationBudget::new(cfg.max_evaluations);
+        let params = SampleParams { feasibility: cfg.feasibility_criterion };
+
+        let pool = (self.processors > 1).then(|| {
+            let inst = Arc::clone(inst);
+            MasterWorker::<Task, Vec<Neighbor>>::spawn(self.processors - 1, move |_, t| {
+                generate_chunk(&inst, &t.snapshot, t.seed, t.count, params, t.iteration)
+            })
+        });
+
+        let mut core = SearchCore::new(
+            Arc::clone(inst),
+            cfg.clone(),
+            Xoshiro256StarStar::seed_from_u64(cfg.seed),
+        );
+        let sizes = cfg.chunk_sizes();
+        while !budget.exhausted() {
+            let seeds = core.chunk_seeds();
+            // Reserve budget per chunk in chunk order — the same split the
+            // sequential algorithm makes, so the two stay in lockstep.
+            let granted: Vec<usize> =
+                sizes.iter().map(|&s| budget.try_consume(s as u64) as usize).collect();
+            // Dispatch chunks 1..P to the workers.
+            if let Some(pool) = &pool {
+                for w in 0..pool.n_workers() {
+                    pool.send(
+                        w,
+                        Task {
+                            snapshot: core.current().clone(),
+                            seed: seeds[w + 1],
+                            count: granted[w + 1],
+                            iteration: core.iteration(),
+                        },
+                    );
+                }
+            }
+            // Master computes chunk 0 meanwhile.
+            let mut neighborhood = generate_chunk(
+                inst,
+                core.current(),
+                seeds[0],
+                granted[0],
+                params,
+                core.iteration(),
+            );
+            // Barrier: collect one result per worker, reassembled in worker
+            // (= chunk) order.
+            if let Some(pool) = &pool {
+                let mut slots: Vec<Option<Vec<Neighbor>>> =
+                    (0..pool.n_workers()).map(|_| None).collect();
+                for _ in 0..pool.n_workers() {
+                    let (w, chunk) = pool.recv();
+                    slots[w] = Some(chunk);
+                }
+                for chunk in slots {
+                    neighborhood.extend(chunk.expect("barrier collected every worker"));
+                }
+            }
+            if neighborhood.is_empty() && budget.exhausted() {
+                break;
+            }
+            core.step(neighborhood);
+        }
+        if let Some(pool) = pool {
+            pool.shutdown();
+        }
+        let (archive, trace, iterations) = core.finish();
+        TsmoOutcome {
+            archive,
+            evaluations: budget.consumed(),
+            iterations,
+            runtime_seconds: clock.seconds(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialTsmo;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    fn cfg() -> TsmoConfig {
+        TsmoConfig { max_evaluations: 2_400, neighborhood_size: 60, ..TsmoConfig::default() }
+    }
+
+    /// The paper's central claim for the synchronous variant: "the behavior
+    /// remains unchanged" w.r.t. the sequential algorithm. With the chunked
+    /// neighborhood scheme this is exact: same seed, same trajectory, same
+    /// front.
+    #[test]
+    fn bit_identical_to_sequential_with_matching_chunks() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 40, 6).build());
+        for p in [2, 3, 4] {
+            let seq_cfg = TsmoConfig { chunks: p, ..cfg() }.with_seed(77);
+            let seq = SequentialTsmo::new(seq_cfg).run(&inst);
+            let par = SyncTsmo::new(cfg().with_seed(77), p).run(&inst);
+            assert_eq!(seq.iterations, par.iterations, "p = {p}");
+            let sv = seq.feasible_vectors();
+            let pv = par.feasible_vectors();
+            assert_eq!(sv.len(), pv.len(), "p = {p}");
+            let norm = |mut v: Vec<[f64; 3]>| {
+                v.sort_by(|a, b| a.partial_cmp(b).expect("not NaN"));
+                v
+            };
+            assert_eq!(norm(sv), norm(pv), "p = {p}: fronts must be identical");
+        }
+    }
+
+    #[test]
+    fn one_processor_degenerates_to_sequential() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 30, 3).build());
+        let seq = SequentialTsmo::new(cfg().with_seed(5)).run(&inst);
+        let par = SyncTsmo::new(cfg().with_seed(5), 1).run(&inst);
+        assert_eq!(seq.feasible_vectors(), par.feasible_vectors());
+    }
+
+    #[test]
+    fn consumes_exact_budget_with_workers() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 40, 2).build());
+        let out = SyncTsmo::new(cfg(), 4).run(&inst);
+        assert_eq!(out.evaluations, 2_400);
+        assert!(!out.archive.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_processors_rejected() {
+        SyncTsmo::new(cfg(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! The shared evaluation budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An atomically shared evaluation counter with a hard maximum.
+///
+/// Every paper experiment stops after a fixed number of solution
+/// evaluations (100,000). In the parallel variants evaluations happen on
+/// worker threads, so the counter must be shared: workers *reserve*
+/// evaluations before performing them via [`EvaluationBudget::try_consume`],
+/// which grants at most what is left. A grant of zero tells the caller the
+/// search is over.
+#[derive(Debug, Clone)]
+pub struct EvaluationBudget {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    used: AtomicU64,
+    max: u64,
+}
+
+impl EvaluationBudget {
+    /// A budget allowing `max` evaluations in total.
+    pub fn new(max: u64) -> Self {
+        Self { inner: Arc::new(Inner { used: AtomicU64::new(0), max }) }
+    }
+
+    /// Reserves up to `want` evaluations; returns how many were granted
+    /// (possibly zero when the budget is exhausted).
+    pub fn try_consume(&self, want: u64) -> u64 {
+        if want == 0 {
+            return 0;
+        }
+        let mut current = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            if current >= self.inner.max {
+                return 0;
+            }
+            let granted = want.min(self.inner.max - current);
+            match self.inner.used.compare_exchange_weak(
+                current,
+                current + granted,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return granted,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Evaluations consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.inner.used.load(Ordering::Relaxed).min(self.inner.max)
+    }
+
+    /// Evaluations still available.
+    pub fn remaining(&self) -> u64 {
+        self.inner.max - self.consumed()
+    }
+
+    /// Whether the budget is used up.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The configured maximum.
+    pub fn max(&self) -> u64 {
+        self.inner.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn sequential_consumption() {
+        let b = EvaluationBudget::new(10);
+        assert_eq!(b.try_consume(4), 4);
+        assert_eq!(b.consumed(), 4);
+        assert_eq!(b.try_consume(4), 4);
+        // Only 2 left: partial grant.
+        assert_eq!(b.try_consume(4), 2);
+        assert!(b.exhausted());
+        assert_eq!(b.try_consume(1), 0);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_request_is_free() {
+        let b = EvaluationBudget::new(5);
+        assert_eq!(b.try_consume(0), 0);
+        assert_eq!(b.consumed(), 0);
+    }
+
+    #[test]
+    fn concurrent_consumption_never_overshoots() {
+        let b = EvaluationBudget::new(100_000);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = b.clone();
+            handles.push(thread::spawn(move || {
+                let mut got = 0u64;
+                loop {
+                    let g = b.try_consume(7);
+                    if g == 0 {
+                        break;
+                    }
+                    got += g;
+                }
+                got
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100_000, "grants must exactly exhaust the budget");
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = EvaluationBudget::new(10);
+        let b = a.clone();
+        a.try_consume(6);
+        assert_eq!(b.remaining(), 4);
+    }
+}

@@ -1,0 +1,90 @@
+//! A small distributed-metaheuristics framework ("DEME" substrate).
+//!
+//! The paper's implementation "builds upon a framework called Distributed
+//! metaheuristics or DEME for short" — a closed research framework. This
+//! crate provides the roles that framework plays in the paper, implemented
+//! with OS threads and crossbeam channels:
+//!
+//! * [`EvaluationBudget`] — a shared, atomically counted evaluation budget
+//!   (the paper stops every variant after 100,000 evaluations, wherever
+//!   those evaluations happen to be computed);
+//! * [`MasterWorker`] — a master–worker pool for functional decomposition,
+//!   supporting both the synchronous collect-everything pattern and the
+//!   asynchronous partial-collection pattern of §III.C/D;
+//! * [`multisearch`] — the rotating-communication-list topology of the
+//!   collaborative multisearch variant (§III.E);
+//! * [`RunClock`] — wall-clock measurement for the runtime/speedup columns.
+//!
+//! Nothing in here knows about vehicle routing: the framework is generic
+//! over task, result, and message types.
+//!
+//! # Example
+//!
+//! ```
+//! use deme::{EvaluationBudget, MasterWorker};
+//!
+//! // A shared budget: grants stop exactly at the maximum.
+//! let budget = EvaluationBudget::new(100);
+//! assert_eq!(budget.try_consume(60), 60);
+//! assert_eq!(budget.try_consume(60), 40); // partial grant
+//! assert!(budget.exhausted());
+//!
+//! // A worker pool computing squares; the barrier keeps worker order.
+//! let pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, |_, x| x * x);
+//! assert_eq!(pool.broadcast_collect(vec![3, 4]), vec![9, 16]);
+//! pool.shutdown();
+//! ```
+
+mod budget;
+mod master_worker;
+pub mod multisearch;
+pub mod virtual_time;
+
+pub use budget::EvaluationBudget;
+pub use master_worker::MasterWorker;
+pub use virtual_time::VirtualCluster;
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock stopwatch for run-time reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct RunClock {
+    started: Instant,
+}
+
+impl Default for RunClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl RunClock {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Time elapsed since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed seconds as `f64` (the unit of the paper's runtime columns).
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_monotone() {
+        let c = RunClock::start();
+        let a = c.seconds();
+        let b = c.seconds();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Master–worker functional decomposition.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A pool of worker threads executing a shared task function.
+///
+/// The synchronous TS variant sends one task per worker and collects all
+/// results before continuing; the asynchronous variant collects only what
+/// has arrived (with a bounded wait) and folds late results into later
+/// iterations. Both patterns are supported by the same primitive:
+/// per-worker task channels plus a shared result channel tagged with the
+/// worker id.
+///
+/// Worker threads shut down when the pool is dropped (their task channels
+/// disconnect).
+pub struct MasterWorker<T: Send + 'static, R: Send + 'static> {
+    task_txs: Vec<Sender<T>>,
+    result_rx: Receiver<(usize, R)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
+    /// Spawns `n_workers` threads, each applying `f` to incoming tasks.
+    ///
+    /// # Panics
+    /// Panics if `n_workers == 0`.
+    pub fn spawn<F>(n_workers: usize, f: F) -> Self
+    where
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        assert!(n_workers > 0, "a pool needs at least one worker");
+        let f = Arc::new(f);
+        let (result_tx, result_rx) = unbounded::<(usize, R)>();
+        let mut task_txs = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for id in 0..n_workers {
+            let (tx, rx) = unbounded::<T>();
+            task_txs.push(tx);
+            let f = Arc::clone(&f);
+            let result_tx = result_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("deme-worker-{id}"))
+                    .spawn(move || {
+                        // Exit when the master drops the task sender.
+                        while let Ok(task) = rx.recv() {
+                            let out = f(id, task);
+                            if result_tx.send((id, out)).is_err() {
+                                break; // master gone
+                            }
+                        }
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        Self { task_txs, result_rx, handles }
+    }
+
+    /// Number of workers in the pool.
+    pub fn n_workers(&self) -> usize {
+        self.task_txs.len()
+    }
+
+    /// Sends a task to a specific worker.
+    ///
+    /// # Panics
+    /// Panics if the worker index is out of range or the worker died.
+    pub fn send(&self, worker: usize, task: T) {
+        self.task_txs[worker].send(task).expect("worker thread terminated unexpectedly");
+    }
+
+    /// Non-blocking receive of one `(worker, result)` pair.
+    pub fn try_recv(&self) -> Option<(usize, R)> {
+        self.result_rx.try_recv().ok()
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(usize, R)> {
+        match self.result_rx.recv_timeout(timeout) {
+            Ok(pair) => Some(pair),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("all workers terminated while results were expected")
+            }
+        }
+    }
+
+    /// Blocking receive.
+    ///
+    /// # Panics
+    /// Panics if every worker has terminated (protocol error).
+    pub fn recv(&self) -> (usize, R) {
+        self.result_rx.recv().expect("all workers terminated while results were expected")
+    }
+
+    /// Sends one task to every worker and waits for exactly one result per
+    /// worker — the synchronous barrier pattern. Results are returned in
+    /// worker order (deterministic reassembly).
+    ///
+    /// `tasks.len()` must equal the number of workers.
+    pub fn broadcast_collect(&self, tasks: Vec<T>) -> Vec<R> {
+        assert_eq!(tasks.len(), self.n_workers(), "one task per worker");
+        let n = tasks.len();
+        for (w, task) in tasks.into_iter().enumerate() {
+            self.send(w, task);
+        }
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut received = 0;
+        while received < n {
+            let (w, r) = self.recv();
+            assert!(slots[w].is_none(), "worker {w} replied twice to one broadcast");
+            slots[w] = Some(r);
+            received += 1;
+        }
+        slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    }
+
+    /// Drops the task channels and joins all workers.
+    pub fn shutdown(mut self) {
+        self.task_txs.clear();
+        for h in std::mem::take(&mut self.handles) {
+            h.join().expect("worker panicked");
+        }
+    }
+}
+
+impl<T: Send + 'static, R: Send + 'static> Drop for MasterWorker<T, R> {
+    fn drop(&mut self) {
+        // Disconnect tasks so workers exit; threads are detached if the
+        // user did not call `shutdown` (they terminate promptly anyway).
+        self.task_txs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_collect_returns_in_worker_order() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(4, |id, x| {
+            // Make later workers slower: order must still hold.
+            std::thread::sleep(Duration::from_millis((4 - id as u64) * 5));
+            x * 10 + id as u64
+        });
+        let out = pool.broadcast_collect(vec![1, 2, 3, 4]);
+        assert_eq!(out, vec![10, 21, 32, 43]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn repeated_broadcasts() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(3, |_, x| x + 1);
+        for round in 0..50 {
+            let out = pool.broadcast_collect(vec![round, round, round]);
+            assert_eq!(out, vec![round + 1; 3]);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn async_partial_collection() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, |id, x| {
+            if id == 1 {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            x
+        });
+        pool.send(0, 7);
+        pool.send(1, 9);
+        // The fast worker's result arrives well before the slow one's.
+        let first = pool.recv_timeout(Duration::from_millis(500)).expect("fast result");
+        assert_eq!(first, (0, 7));
+        // Nothing else yet (within a tight poll).
+        assert!(pool.try_recv().is_none());
+        // The slow result eventually arrives.
+        let second = pool.recv_timeout(Duration::from_millis(500)).expect("slow result");
+        assert_eq!(second, (1, 9));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn workers_see_distinct_ids() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let pool: MasterWorker<(), usize> = MasterWorker::spawn(4, move |id, ()| {
+            seen2.fetch_or(1 << id, Ordering::Relaxed);
+            id
+        });
+        let ids = pool.broadcast_collect(vec![(), (), (), ()]);
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(seen.load(Ordering::Relaxed), 0b1111);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_pending_nothing() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, |_, x| x);
+        pool.shutdown();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        let _: MasterWorker<(), ()> = MasterWorker::spawn(0, |_, ()| ());
+    }
+}

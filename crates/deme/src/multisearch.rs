@@ -1,0 +1,192 @@
+//! The collaborative multisearch topology (§III.E of the paper).
+//!
+//! Every searcher owns a mailbox and a *communication list* — a randomly
+//! initialized ordering of the other searchers. When a searcher finds an
+//! improving solution it sends it to the **single** process at the head of
+//! its list, then rotates the list (head moves to the bottom). This keeps
+//! communication overhead small and prevents every process from converging
+//! on the same region.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use detrand::Rng;
+
+/// One searcher's endpoints in the multisearch network.
+pub struct Endpoint<M> {
+    /// This searcher's index in the network.
+    pub id: usize,
+    inbox: Receiver<M>,
+    /// Senders to the other peers, in communication-list order.
+    comm_list: Vec<(usize, Sender<M>)>,
+    /// Rotation cursor.
+    next: usize,
+}
+
+impl<M> Endpoint<M> {
+    /// Drains every message currently waiting in the mailbox.
+    pub fn drain(&self) -> Vec<M> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.inbox.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Sends `msg` to the peer at the head of the communication list and
+    /// rotates the list. Returns the receiving peer's id, or `None` for a
+    /// single-searcher network (nothing to send to) or when the peer has
+    /// already shut down (its mailbox is disconnected — normal near the end
+    /// of a run, the message is simply dropped).
+    pub fn send_next(&mut self, msg: M) -> Option<usize> {
+        if self.comm_list.is_empty() {
+            return None;
+        }
+        let (peer, tx) = &self.comm_list[self.next];
+        let peer = *peer;
+        let delivered = tx.send(msg).is_ok();
+        self.next = (self.next + 1) % self.comm_list.len();
+        delivered.then_some(peer)
+    }
+
+    /// The peer order of the communication list (for tests/traces).
+    pub fn peer_order(&self) -> Vec<usize> {
+        let n = self.comm_list.len();
+        (0..n).map(|k| self.comm_list[(self.next + k) % n].0).collect()
+    }
+}
+
+/// Builds a fully connected network of `n` endpoints. Each endpoint's
+/// communication list contains the other `n − 1` peers in an order shuffled
+/// by its own RNG stream ("the communication list is initialized randomly
+/// before the main loop and different for every process").
+pub fn network<M, R: Rng>(n: usize, rngs: &mut [R]) -> Vec<Endpoint<M>> {
+    assert!(n > 0, "network needs at least one endpoint");
+    assert!(rngs.len() >= n, "one RNG stream per endpoint required");
+    let channels: Vec<(Sender<M>, Receiver<M>)> = (0..n).map(|_| unbounded()).collect();
+    let mut endpoints = Vec::with_capacity(n);
+    for (id, rng) in rngs.iter_mut().enumerate().take(n) {
+        let mut order: Vec<usize> = (0..n).filter(|&p| p != id).collect();
+        rng.shuffle(&mut order);
+        let comm_list =
+            order.into_iter().map(|p| (p, channels[p].0.clone())).collect::<Vec<_>>();
+        endpoints.push(Endpoint { id, inbox: channels[id].1.clone(), comm_list, next: 0 });
+    }
+    endpoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detrand::{streams, Xoshiro256StarStar};
+
+    fn rngs(n: usize) -> Vec<Xoshiro256StarStar> {
+        streams(99, n)
+    }
+
+    #[test]
+    fn messages_reach_the_head_of_the_list() {
+        let mut eps = network::<u32, _>(3, &mut rngs(3));
+        let order = eps[0].peer_order();
+        let target = eps[0].send_next(42).unwrap();
+        assert_eq!(target, order[0]);
+        let received = eps.iter().map(|e| e.drain()).collect::<Vec<_>>();
+        for (id, msgs) in received.iter().enumerate() {
+            if id == target {
+                assert_eq!(msgs, &vec![42]);
+            } else {
+                assert!(msgs.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn list_rotates_round_robin() {
+        let mut eps = network::<u32, _>(4, &mut rngs(4));
+        let order = eps[1].peer_order();
+        let mut targets = Vec::new();
+        for i in 0..6 {
+            targets.push(eps[1].send_next(i).unwrap());
+        }
+        // 3 peers, so targets cycle with period 3 following the list order.
+        assert_eq!(&targets[0..3], &order[..]);
+        assert_eq!(&targets[3..6], &order[..]);
+    }
+
+    #[test]
+    fn lists_differ_between_endpoints() {
+        // With 6 endpoints and independent shuffles, at least two of the
+        // communication lists must differ (overwhelmingly likely; fixed
+        // seed makes it deterministic).
+        let eps = network::<u32, _>(6, &mut rngs(6));
+        let orders: Vec<Vec<usize>> = eps.iter().map(|e| {
+            // Compare relative order of common peers by removing ids.
+            e.peer_order()
+        }).collect();
+        let all_same = orders.windows(2).all(|w| {
+            let a: Vec<usize> = w[0].iter().filter(|&&p| !w[1].contains(&p)).copied().collect();
+            a.is_empty() && w[0].len() == w[1].len()
+        });
+        // Orders contain different peer sets by construction; just ensure
+        // the shuffles are not all the identity permutation.
+        let identity_count = eps
+            .iter()
+            .filter(|e| {
+                let sorted = {
+                    let mut s = e.peer_order();
+                    s.sort_unstable();
+                    s
+                };
+                e.peer_order() == sorted
+            })
+            .count();
+        assert!(identity_count < eps.len(), "all lists unshuffled is implausible");
+        let _ = all_same;
+    }
+
+    #[test]
+    fn single_endpoint_network_sends_nowhere() {
+        let mut eps = network::<u32, _>(1, &mut rngs(1));
+        assert_eq!(eps[0].send_next(1), None);
+        assert!(eps[0].drain().is_empty());
+    }
+
+    #[test]
+    fn drain_collects_multiple_messages_in_order() {
+        let mut eps = network::<u32, _>(2, &mut rngs(2));
+        eps[0].send_next(1);
+        eps[0].send_next(2);
+        eps[0].send_next(3);
+        assert_eq!(eps[1].drain(), vec![1, 2, 3]);
+        assert!(eps[1].drain().is_empty());
+    }
+
+    #[test]
+    fn dropped_peer_does_not_poison_sender() {
+        let mut eps = network::<u32, _>(2, &mut rngs(2));
+        let ep1 = eps.pop().unwrap();
+        drop(ep1);
+        // Peer 1 is gone; sending must not panic, and reports non-delivery.
+        assert_eq!(eps[0].send_next(9), None);
+    }
+
+    #[test]
+    fn messages_cross_threads() {
+        let mut eps = network::<u64, _>(3, &mut rngs(3));
+        let ep2 = eps.pop().unwrap();
+        let ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            while got.len() < 2 && std::time::Instant::now() < deadline {
+                got.extend(ep1.drain());
+                got.extend(ep2.drain());
+                std::thread::yield_now();
+            }
+            got.len()
+        });
+        // Two sends hit both peers (round robin over 2 peers).
+        ep0.send_next(10);
+        ep0.send_next(20);
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+}

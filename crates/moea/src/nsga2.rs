@@ -1,0 +1,279 @@
+//! The NSGA-II main loop.
+
+use crate::sorting::{crowded_compare, fast_non_dominated_sort, rank_and_crowd};
+use crate::variation::{best_cost_route_crossover, mutate};
+use deme::{EvaluationBudget, RunClock};
+use detrand::{Rng, Xoshiro256StarStar};
+use pareto::{crowding_distances, Dominance};
+use std::sync::Arc;
+use vrptw::{Instance, Objectives, Solution};
+use vrptw_construct::randomized_i1;
+
+/// NSGA-II parameters.
+#[derive(Debug, Clone)]
+pub struct Nsga2Config {
+    /// Population size (and offspring count per generation).
+    pub population: usize,
+    /// Total evaluation budget, counted like the tabu searches count theirs.
+    pub max_evaluations: u64,
+    /// Probability of crossover per offspring (else the receiver parent is
+    /// cloned before mutation).
+    pub crossover_rate: f64,
+    /// Probability of mutating each offspring.
+    pub mutation_rate: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Self {
+            population: 60,
+            max_evaluations: 100_000,
+            crossover_rate: 0.9,
+            mutation_rate: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+/// One population member.
+#[derive(Debug, Clone)]
+struct Individual {
+    solution: Solution,
+    objectives: Objectives,
+    vector: [f64; 3],
+}
+
+impl Dominance for Individual {
+    fn objectives(&self) -> &[f64] {
+        &self.vector
+    }
+}
+
+/// Result of an NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct Nsga2Outcome {
+    /// The final population's first front.
+    pub front: Vec<(Solution, Objectives)>,
+    /// Evaluations consumed.
+    pub evaluations: u64,
+    /// Generations completed.
+    pub generations: usize,
+    /// Wall-clock seconds.
+    pub runtime_seconds: f64,
+}
+
+impl Nsga2Outcome {
+    /// Front members without time-window violations, as objective vectors.
+    pub fn feasible_vectors(&self) -> Vec<[f64; 3]> {
+        self.front
+            .iter()
+            .filter(|(_, o)| o.is_time_feasible(1e-6))
+            .map(|(_, o)| o.to_vector())
+            .collect()
+    }
+
+    /// Best feasible total distance.
+    pub fn best_distance(&self) -> Option<f64> {
+        self.front
+            .iter()
+            .filter(|(_, o)| o.is_time_feasible(1e-6))
+            .map(|(_, o)| o.distance)
+            .min_by(|a, b| a.partial_cmp(b).expect("not NaN"))
+    }
+}
+
+/// The NSGA-II runner.
+pub struct Nsga2 {
+    cfg: Nsga2Config,
+}
+
+impl Nsga2 {
+    /// Creates the runner.
+    ///
+    /// # Panics
+    /// Panics if the population is smaller than 2.
+    pub fn new(cfg: Nsga2Config) -> Self {
+        assert!(cfg.population >= 2, "population must hold at least two parents");
+        Self { cfg }
+    }
+
+    /// Runs to budget exhaustion.
+    pub fn run(&self, inst: &Arc<Instance>) -> Nsga2Outcome {
+        let clock = RunClock::start();
+        let cfg = &self.cfg;
+        let budget = EvaluationBudget::new(cfg.max_evaluations);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+
+        let evaluate = |sol: Solution, inst: &Instance| -> Individual {
+            let objectives = sol.evaluate(inst);
+            Individual { solution: sol, objectives, vector: objectives.to_vector() }
+        };
+
+        // Initial population: randomized I1 constructions.
+        let init = budget.try_consume(cfg.population as u64) as usize;
+        let mut pop: Vec<Individual> = (0..init.max(2))
+            .map(|_| evaluate(randomized_i1(inst, &mut rng), inst))
+            .collect();
+
+        let mut generations = 0;
+        while !budget.exhausted() {
+            let (rank, crowd) = rank_and_crowd(&pop);
+            let offspring_budget = budget.try_consume(cfg.population as u64) as usize;
+            if offspring_budget == 0 {
+                break;
+            }
+            let mut offspring = Vec::with_capacity(offspring_budget);
+            for _ in 0..offspring_budget {
+                let p1 = tournament(&pop, &rank, &crowd, &mut rng);
+                let p2 = tournament(&pop, &rank, &crowd, &mut rng);
+                let mut child = if rng.bernoulli(cfg.crossover_rate) {
+                    best_cost_route_crossover(inst, &pop[p1].solution, &pop[p2].solution, &mut rng)
+                } else {
+                    pop[p1].solution.clone()
+                };
+                if rng.bernoulli(cfg.mutation_rate) {
+                    child = mutate(inst, &child, &mut rng);
+                }
+                offspring.push(evaluate(child, inst));
+            }
+            // Environmental selection over parents + offspring.
+            pop.extend(offspring);
+            pop = environmental_selection(pop, cfg.population);
+            generations += 1;
+        }
+
+        let fronts = fast_non_dominated_sort(&pop);
+        let front = fronts
+            .first()
+            .map(|f| f.iter().map(|&i| (pop[i].solution.clone(), pop[i].objectives)).collect())
+            .unwrap_or_default();
+        Nsga2Outcome {
+            front,
+            evaluations: budget.consumed(),
+            generations,
+            runtime_seconds: clock.seconds(),
+        }
+    }
+}
+
+/// Binary tournament by the crowded-comparison operator.
+fn tournament<R: Rng>(pop: &[Individual], rank: &[usize], crowd: &[f64], rng: &mut R) -> usize {
+    let a = rng.index(pop.len());
+    let b = rng.index(pop.len());
+    match crowded_compare(rank[a], crowd[a], rank[b], crowd[b]) {
+        std::cmp::Ordering::Greater => b,
+        _ => a,
+    }
+}
+
+/// Keeps the best `target` individuals: whole fronts while they fit, the
+/// last front truncated by crowding distance.
+fn environmental_selection(pop: Vec<Individual>, target: usize) -> Vec<Individual> {
+    let fronts = fast_non_dominated_sort(&pop);
+    let mut keep: Vec<usize> = Vec::with_capacity(target);
+    for front in fronts {
+        if keep.len() + front.len() <= target {
+            keep.extend(front);
+        } else {
+            let members: Vec<&Individual> = front.iter().map(|&i| &pop[i]).collect();
+            let dist = crowding_distances(&members);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&x, &y| {
+                dist[y].partial_cmp(&dist[x]).expect("crowding distances are not NaN")
+            });
+            keep.extend(order.into_iter().take(target - keep.len()).map(|k| front[k]));
+            break;
+        }
+    }
+    let mut flags = vec![false; pop.len()];
+    for &i in &keep {
+        flags[i] = true;
+    }
+    pop.into_iter().zip(flags).filter_map(|(ind, keep)| keep.then_some(ind)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    fn small() -> Nsga2Config {
+        Nsga2Config { population: 20, max_evaluations: 1_000, ..Default::default() }
+    }
+
+    #[test]
+    fn runs_to_budget_and_returns_front() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 30, 3).build());
+        let out = Nsga2::new(small()).run(&inst);
+        assert_eq!(out.evaluations, 1_000);
+        assert!(out.generations > 0);
+        assert!(!out.front.is_empty());
+        for (sol, _) in &out.front {
+            assert!(sol.check(&inst).is_empty());
+        }
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominated() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 30, 6).build());
+        let out = Nsga2::new(small()).run(&inst);
+        let vecs: Vec<[f64; 3]> =
+            out.front.iter().map(|(_, o)| o.to_vector()).collect();
+        assert_eq!(pareto::non_dominated_indices(&vecs).len(), vecs.len());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 25, 9).build());
+        let a = Nsga2::new(Nsga2Config { seed: 7, ..small() }).run(&inst);
+        let b = Nsga2::new(Nsga2Config { seed: 7, ..small() }).run(&inst);
+        assert_eq!(a.feasible_vectors(), b.feasible_vectors());
+        assert_eq!(a.generations, b.generations);
+    }
+
+    #[test]
+    fn evolution_improves_over_initialization() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 40, 4).build());
+        let quick = Nsga2::new(Nsga2Config {
+            population: 24,
+            max_evaluations: 24, // initialization only
+            ..Default::default()
+        })
+        .run(&inst);
+        let long = Nsga2::new(Nsga2Config {
+            population: 24,
+            max_evaluations: 3_000,
+            ..Default::default()
+        })
+        .run(&inst);
+        let (q, l) = (
+            quick.best_distance().expect("feasible"),
+            long.best_distance().expect("feasible"),
+        );
+        assert!(l <= q, "evolution should not be worse: {l} vs {q}");
+    }
+
+    #[test]
+    fn environmental_selection_respects_target_and_elitism() {
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 20, 1).build());
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let pop: Vec<Individual> = (0..30)
+            .map(|_| {
+                let s = randomized_i1(&inst, &mut rng);
+                let o = s.evaluate(&inst);
+                Individual { solution: s, vector: o.to_vector(), objectives: o }
+            })
+            .collect();
+        let best_distance = pop
+            .iter()
+            .map(|i| i.objectives.distance)
+            .fold(f64::INFINITY, f64::min);
+        let kept = environmental_selection(pop, 10);
+        assert_eq!(kept.len(), 10);
+        // Elitism: a best-distance individual is non-dominated in f1 and
+        // must survive.
+        assert!(kept.iter().any(|i| (i.objectives.distance - best_distance).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,137 @@
+//! Fast non-dominated sorting and the crowded comparison operator
+//! (Deb et al., NSGA-II).
+
+use pareto::{crowding_distances, dominates, Dominance};
+use std::cmp::Ordering;
+
+/// Partitions `items` into Pareto fronts: `result[0]` is the set of indices
+/// of non-dominated items, `result[1]` the items only dominated by front 0,
+/// and so on. The classical O(M·N²) algorithm.
+pub fn fast_non_dominated_sort<T: Dominance>(items: &[T]) -> Vec<Vec<usize>> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // p dominates these
+    let mut domination_count = vec![0usize; n];
+    for p in 0..n {
+        for q in 0..n {
+            if p == q {
+                continue;
+            }
+            if dominates(items[p].objectives(), items[q].objectives()) {
+                dominated_by[p].push(q);
+            } else if dominates(items[q].objectives(), items[p].objectives()) {
+                domination_count[p] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> =
+        (0..n).filter(|&p| domination_count[p] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &p in &current {
+            for &q in &dominated_by[p] {
+                domination_count[q] -= 1;
+                if domination_count[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// The crowded-comparison operator `≺_n`: lower rank wins; within a rank,
+/// larger crowding distance wins.
+pub fn crowded_compare(
+    rank_a: usize,
+    crowd_a: f64,
+    rank_b: usize,
+    crowd_b: f64,
+) -> Ordering {
+    rank_a.cmp(&rank_b).then_with(|| {
+        crowd_b.partial_cmp(&crowd_a).expect("crowding distances are not NaN")
+    })
+}
+
+/// Convenience: ranks (front index per item) and crowding distances
+/// (computed within each front) for a population.
+pub fn rank_and_crowd<T: Dominance>(items: &[T]) -> (Vec<usize>, Vec<f64>) {
+    let fronts = fast_non_dominated_sort(items);
+    let mut rank = vec![0usize; items.len()];
+    let mut crowd = vec![0.0f64; items.len()];
+    for (r, front) in fronts.iter().enumerate() {
+        let members: Vec<&T> = front.iter().map(|&i| &items[i]).collect();
+        let dists = crowding_distances(&members);
+        for (&i, d) in front.iter().zip(dists) {
+            rank[i] = r;
+            crowd[i] = d;
+        }
+    }
+    (rank, crowd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_into_correct_fronts() {
+        let pts = vec![
+            vec![1.0, 1.0], // front 0
+            vec![2.0, 2.0], // front 1 (dominated by 0)
+            vec![0.5, 3.0], // front 0
+            vec![3.0, 3.0], // front 2
+            vec![2.5, 1.5], // front 1 (dominated by [1,1] only)
+        ];
+        let fronts = fast_non_dominated_sort(&pts);
+        assert_eq!(fronts.len(), 3);
+        let f0: std::collections::HashSet<usize> = fronts[0].iter().copied().collect();
+        assert_eq!(f0, [0usize, 2].into_iter().collect());
+        let f1: std::collections::HashSet<usize> = fronts[1].iter().copied().collect();
+        assert_eq!(f1, [1usize, 4].into_iter().collect());
+        assert_eq!(fronts[2], vec![3]);
+    }
+
+    #[test]
+    fn all_non_dominated_is_one_front() {
+        let pts = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        let fronts = fast_non_dominated_sort(&pts);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 3);
+    }
+
+    #[test]
+    fn chain_gives_singleton_fronts() {
+        let pts = vec![vec![3.0, 3.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let fronts = fast_non_dominated_sort(&pts);
+        assert_eq!(fronts, vec![vec![1], vec![2], vec![0]]);
+    }
+
+    #[test]
+    fn empty_population() {
+        assert!(fast_non_dominated_sort::<Vec<f64>>(&[]).is_empty());
+    }
+
+    #[test]
+    fn crowded_compare_prefers_rank_then_space() {
+        assert_eq!(crowded_compare(0, 0.1, 1, 9.9), Ordering::Less);
+        assert_eq!(crowded_compare(2, 0.1, 1, 0.0), Ordering::Greater);
+        assert_eq!(crowded_compare(1, 5.0, 1, 2.0), Ordering::Less);
+        assert_eq!(crowded_compare(1, 2.0, 1, 2.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn rank_and_crowd_shapes() {
+        let pts = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![0.5, 3.0]];
+        let (rank, crowd) = rank_and_crowd(&pts);
+        assert_eq!(rank, vec![0, 1, 0]);
+        assert_eq!(crowd.len(), 3);
+        // Front-0 members (2 points) both get infinite crowding.
+        assert!(crowd[0].is_infinite());
+        assert!(crowd[2].is_infinite());
+    }
+}

@@ -1,0 +1,168 @@
+//! Routing-specific variation operators for NSGA-II.
+
+use detrand::Rng;
+use vrptw::solution::EvaluatedSolution;
+use vrptw::{evaluate_route, Instance, SiteId, Solution};
+use vrptw_operators::{sample_move, SampleParams};
+
+/// Best-cost route crossover (BCRC).
+///
+/// Takes one random route of the donor parent, removes its customers from
+/// a copy of the receiver parent, and re-inserts each at the receiver
+/// position with the least added cost (distance plus heavily weighted
+/// tardiness), opening a new route when the fleet allows and nothing else
+/// is capacity-feasible. The child inherits the receiver's overall
+/// structure with a donor-route-sized infusion of genetic material — the
+/// standard crossover family for VRPTW representations where a naive
+/// permutation crossover would break the routing invariants.
+pub fn best_cost_route_crossover<R: Rng>(
+    inst: &Instance,
+    receiver: &Solution,
+    donor: &Solution,
+    rng: &mut R,
+) -> Solution {
+    let donor_route = &donor.routes()[rng.index(donor.routes().len())];
+    let displaced: Vec<SiteId> = donor_route.clone();
+    let mut routes: Vec<Vec<SiteId>> = receiver
+        .routes()
+        .iter()
+        .map(|r| r.iter().copied().filter(|c| !displaced.contains(c)).collect())
+        .filter(|r: &Vec<SiteId>| !r.is_empty())
+        .collect();
+
+    for &customer in &displaced {
+        insert_best(inst, &mut routes, customer);
+    }
+    Solution::from_routes(routes)
+}
+
+/// Inserts `customer` at the cheapest capacity-feasible position across all
+/// routes (cost = Δdistance + 1000·Δtardiness); opens a new route when
+/// allowed and otherwise falls back to the least-loaded route.
+fn insert_best(inst: &Instance, routes: &mut Vec<Vec<SiteId>>, customer: SiteId) {
+    let demand = inst.site(customer).demand;
+    let mut best: Option<(usize, usize, f64)> = None;
+    for (ri, route) in routes.iter().enumerate() {
+        let base = evaluate_route(inst, route);
+        if base.load + demand > inst.capacity() {
+            continue;
+        }
+        for pos in 0..=route.len() {
+            let mut cand = route.clone();
+            cand.insert(pos, customer);
+            let e = evaluate_route(inst, &cand);
+            let cost = (e.distance - base.distance) + 1e3 * (e.tardiness - base.tardiness);
+            if best.is_none_or(|(_, _, b)| cost < b) {
+                best = Some((ri, pos, cost));
+            }
+        }
+    }
+    // A dedicated route is often the cheapest feasible option; consider it
+    // when the fleet has slack.
+    if routes.len() < inst.max_vehicles() {
+        let solo = evaluate_route(inst, &[customer]);
+        let cost = solo.distance + 1e3 * solo.tardiness;
+        if best.is_none_or(|(_, _, b)| cost < b) {
+            routes.push(vec![customer]);
+            return;
+        }
+    }
+    match best {
+        Some((ri, pos, _)) => routes[ri].insert(pos, customer),
+        None => {
+            // Capacity-infeasible everywhere and no fleet slack: overload
+            // the least-loaded route (mirrors the constructors' fallback).
+            let ri = routes
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let la = evaluate_route(inst, a).load;
+                    let lb = evaluate_route(inst, b).load;
+                    la.partial_cmp(&lb).expect("loads are not NaN")
+                })
+                .map(|(i, _)| i)
+                .expect("at least one route exists");
+            routes[ri].push(customer);
+        }
+    }
+}
+
+/// Mutation: one random neighborhood move (the same operator vocabulary as
+/// the tabu search, including the local feasibility criterion). Returns the
+/// solution unchanged when no move can be sampled.
+pub fn mutate<R: Rng>(inst: &Instance, solution: &Solution, rng: &mut R) -> Solution {
+    let snapshot = EvaluatedSolution::new(solution.clone(), inst);
+    for _ in 0..20 {
+        if let Some(c) = sample_move(rng, inst, &snapshot, SampleParams::default()) {
+            return solution.patched(&c.patch);
+        }
+    }
+    solution.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detrand::Xoshiro256StarStar;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+    use vrptw_construct::{nearest_neighbor, randomized_i1};
+
+    fn setup() -> (Instance, Solution, Solution) {
+        let inst = GeneratorConfig::new(InstanceClass::R2, 30, 7).build();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let a = randomized_i1(&inst, &mut rng);
+        let b = nearest_neighbor(&inst);
+        (inst, a, b)
+    }
+
+    #[test]
+    fn crossover_preserves_permutation_invariant() {
+        let (inst, a, b) = setup();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        for _ in 0..30 {
+            let child = best_cost_route_crossover(&inst, &a, &b, &mut rng);
+            assert!(child.check(&inst).is_empty());
+            let child2 = best_cost_route_crossover(&inst, &b, &a, &mut rng);
+            assert!(child2.check(&inst).is_empty());
+        }
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let (inst, a, b) = setup();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let mut differs_from_receiver = false;
+        for _ in 0..20 {
+            let child = best_cost_route_crossover(&inst, &a, &b, &mut rng);
+            if child != a {
+                differs_from_receiver = true;
+            }
+        }
+        assert!(differs_from_receiver, "crossover never produced new material");
+    }
+
+    #[test]
+    fn mutation_preserves_invariant_and_usually_changes_something() {
+        let (inst, a, _) = setup();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut changed = 0;
+        for _ in 0..30 {
+            let m = mutate(&inst, &a, &mut rng);
+            assert!(m.check(&inst).is_empty());
+            if m != a {
+                changed += 1;
+            }
+        }
+        assert!(changed > 15, "mutation changed only {changed}/30 offspring");
+    }
+
+    #[test]
+    fn crossover_respects_capacity_when_packable() {
+        let (inst, a, b) = setup();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let child = best_cost_route_crossover(&inst, &a, &b, &mut rng);
+        for route in child.routes() {
+            assert!(evaluate_route(&inst, route).load <= inst.capacity());
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The move vocabulary: plain-data descriptions of route edits.
+
+use vrptw::solution::{EvaluatedSolution, RoutePatch};
+use vrptw::{SiteId, DEPOT};
+
+/// A directed arc of the giant tour; `0` is the depot. Arcs are the
+/// attributes stored in the tabu list: a move is tabu when it re-creates an
+/// arc that a recent move removed (it would start undoing that move).
+pub type Arc = (SiteId, SiteId);
+
+/// The five operator families of §II.B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Move one customer to another route.
+    Relocate,
+    /// Swap two customers of different routes.
+    Exchange,
+    /// Reverse part of one tour.
+    TwoOpt,
+    /// Exchange the tails of two tours.
+    TwoOptStar,
+    /// Move two consecutive customers within their tour.
+    OrOpt,
+}
+
+impl OperatorKind {
+    /// All five operators, in the paper's order.
+    pub const ALL: [OperatorKind; 5] = [
+        OperatorKind::Relocate,
+        OperatorKind::Exchange,
+        OperatorKind::TwoOpt,
+        OperatorKind::TwoOptStar,
+        OperatorKind::OrOpt,
+    ];
+}
+
+/// A sampled neighborhood move, expressed against a specific solution
+/// snapshot (the route indices and positions refer to that snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// Remove the customer at `from.1` in route `from.0` and insert it at
+    /// position `to.1` of route `to.0` (≠ `from.0`); the insertion position
+    /// is an index into the *unmodified* target route (`0..=len`).
+    Relocate {
+        /// `(route, position)` of the customer being moved.
+        from: (usize, usize),
+        /// `(route, insertion index)` in the target route.
+        to: (usize, usize),
+    },
+    /// Swap the customers at the two `(route, position)` slots (different
+    /// routes).
+    Exchange {
+        /// First slot.
+        a: (usize, usize),
+        /// Second slot.
+        b: (usize, usize),
+    },
+    /// Reverse positions `i..=j` (inclusive, `i < j`) of `route`.
+    TwoOpt {
+        /// Route index.
+        route: usize,
+        /// First position of the reversed segment.
+        i: usize,
+        /// Last position of the reversed segment.
+        j: usize,
+    },
+    /// Cross routes `a` and `b`: the new `a` keeps its first `cut_a`
+    /// customers and receives `b`'s tail from `cut_b`, and vice versa.
+    TwoOptStar {
+        /// First route index.
+        a: usize,
+        /// Number of customers route `a` keeps.
+        cut_a: usize,
+        /// Second route index.
+        b: usize,
+        /// Number of customers route `b` keeps.
+        cut_b: usize,
+    },
+    /// Move the pair at positions `(from, from+1)` of `route` so that it
+    /// starts at position `to` of the route with the pair removed
+    /// (`to != from`, `to <= len-2`).
+    OrOpt {
+        /// Route index.
+        route: usize,
+        /// Position of the first customer of the pair.
+        from: usize,
+        /// Insertion position in the pair-less route.
+        to: usize,
+    },
+}
+
+impl Move {
+    /// The operator family this move belongs to.
+    pub fn kind(&self) -> OperatorKind {
+        match self {
+            Move::Relocate { .. } => OperatorKind::Relocate,
+            Move::Exchange { .. } => OperatorKind::Exchange,
+            Move::TwoOpt { .. } => OperatorKind::TwoOpt,
+            Move::TwoOptStar { .. } => OperatorKind::TwoOptStar,
+            Move::OrOpt { .. } => OperatorKind::OrOpt,
+        }
+    }
+
+    /// Builds the route patch this move performs on `snapshot`.
+    ///
+    /// # Panics
+    /// Panics if the move's indices do not fit the snapshot (moves must be
+    /// expanded against the same snapshot they were sampled from).
+    pub fn expand(&self, snapshot: &EvaluatedSolution) -> RoutePatch {
+        match *self {
+            Move::Relocate { from, to } => {
+                let (fr, fp) = from;
+                let (tr, tp) = to;
+                assert_ne!(fr, tr, "relocate requires distinct routes");
+                let mut from_route = snapshot.route(fr).to_vec();
+                let customer = from_route.remove(fp);
+                let mut to_route = snapshot.route(tr).to_vec();
+                to_route.insert(tp, customer);
+                RoutePatch { replace: vec![(fr, from_route), (tr, to_route)], append: vec![] }
+            }
+            Move::Exchange { a, b } => {
+                let (ra, pa) = a;
+                let (rb, pb) = b;
+                assert_ne!(ra, rb, "exchange requires distinct routes");
+                let mut route_a = snapshot.route(ra).to_vec();
+                let mut route_b = snapshot.route(rb).to_vec();
+                std::mem::swap(&mut route_a[pa], &mut route_b[pb]);
+                RoutePatch { replace: vec![(ra, route_a), (rb, route_b)], append: vec![] }
+            }
+            Move::TwoOpt { route, i, j } => {
+                let mut r = snapshot.route(route).to_vec();
+                assert!(i < j && j < r.len(), "invalid 2-opt segment");
+                r[i..=j].reverse();
+                RoutePatch { replace: vec![(route, r)], append: vec![] }
+            }
+            Move::TwoOptStar { a, cut_a, b, cut_b } => {
+                assert_ne!(a, b, "2-opt* requires distinct routes");
+                let ra = snapshot.route(a);
+                let rb = snapshot.route(b);
+                let mut new_a = ra[..cut_a].to_vec();
+                new_a.extend_from_slice(&rb[cut_b..]);
+                let mut new_b = rb[..cut_b].to_vec();
+                new_b.extend_from_slice(&ra[cut_a..]);
+                RoutePatch { replace: vec![(a, new_a), (b, new_b)], append: vec![] }
+            }
+            Move::OrOpt { route, from, to } => {
+                let mut r = snapshot.route(route).to_vec();
+                assert!(from + 1 < r.len(), "or-opt pair out of range");
+                let second = r.remove(from + 1);
+                let first = r.remove(from);
+                assert!(to <= r.len() && to != from, "invalid or-opt target");
+                r.insert(to, first);
+                r.insert(to + 1, second);
+                RoutePatch { replace: vec![(route, r)], append: vec![] }
+            }
+        }
+    }
+
+    /// The arcs this move removes from the solution (tabu attributes).
+    pub fn arcs_removed(&self, snapshot: &EvaluatedSolution) -> Vec<Arc> {
+        self.arc_delta(snapshot).0
+    }
+
+    /// The arcs this move creates (checked against the tabu list).
+    pub fn arcs_created(&self, snapshot: &EvaluatedSolution) -> Vec<Arc> {
+        self.arc_delta(snapshot).1
+    }
+
+    /// `(removed, created)` arcs, computed by diffing the arc multisets of
+    /// the touched routes before and after the patch.
+    ///
+    /// Computing the delta by diffing (rather than per-operator case
+    /// analysis) keeps the attribute definition trivially consistent with
+    /// `expand`, at a cost proportional to the touched routes only.
+    pub fn arc_delta(&self, snapshot: &EvaluatedSolution) -> (Vec<Arc>, Vec<Arc>) {
+        let patch = self.expand(snapshot);
+        let mut before: Vec<Arc> = Vec::new();
+        let mut after: Vec<Arc> = Vec::new();
+        for (idx, new_route) in &patch.replace {
+            collect_arcs(snapshot.route(*idx), &mut before);
+            collect_arcs(new_route, &mut after);
+        }
+        for new_route in &patch.append {
+            collect_arcs(new_route, &mut after);
+        }
+        // removed = before \ after, created = after \ before (multiset diff).
+        let removed = multiset_minus(&before, &after);
+        let created = multiset_minus(&after, &before);
+        (removed, created)
+    }
+}
+
+/// Appends the depot-to-depot arc sequence of a route to `out`.
+fn collect_arcs(route: &[SiteId], out: &mut Vec<Arc>) {
+    if route.is_empty() {
+        return;
+    }
+    out.push((DEPOT, route[0]));
+    for w in route.windows(2) {
+        out.push((w[0], w[1]));
+    }
+    out.push((route[route.len() - 1], DEPOT));
+}
+
+/// Multiset difference `a \ b`.
+fn multiset_minus(a: &[Arc], b: &[Arc]) -> Vec<Arc> {
+    let mut remaining: Vec<Arc> = b.to_vec();
+    let mut out = Vec::new();
+    for &arc in a {
+        if let Some(pos) = remaining.iter().position(|&x| x == arc) {
+            remaining.swap_remove(pos);
+        } else {
+            out.push(arc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrptw::{Instance, Solution};
+
+    fn snapshot(routes: Vec<Vec<SiteId>>) -> (Instance, EvaluatedSolution) {
+        let inst = Instance::tiny();
+        let ev = EvaluatedSolution::new(Solution::from_routes(routes), &inst);
+        (inst, ev)
+    }
+
+    #[test]
+    fn relocate_expands_correctly() {
+        let (inst, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
+        let mv = Move::Relocate { from: (0, 1), to: (1, 0) };
+        let patch = mv.expand(&ev);
+        assert_eq!(patch.replace, vec![(0, vec![1]), (1, vec![2, 3, 4])]);
+        let mut applied = ev.clone();
+        applied.apply(&inst, patch);
+        assert!(applied.solution().check(&inst).is_empty());
+    }
+
+    #[test]
+    fn relocate_can_empty_a_route() {
+        let (inst, ev) = snapshot(vec![vec![1], vec![2, 3, 4]]);
+        let mv = Move::Relocate { from: (0, 0), to: (1, 3) };
+        let mut applied = ev.clone();
+        applied.apply(&inst, mv.expand(&ev));
+        assert_eq!(applied.n_routes(), 1);
+        assert_eq!(applied.route(0), &[2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn exchange_expands_correctly() {
+        let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
+        let mv = Move::Exchange { a: (0, 0), b: (1, 1) };
+        let patch = mv.expand(&ev);
+        assert_eq!(patch.replace, vec![(0, vec![4, 2]), (1, vec![3, 1])]);
+    }
+
+    #[test]
+    fn two_opt_reverses_segment() {
+        let (_, ev) = snapshot(vec![vec![1, 2, 3, 4]]);
+        let mv = Move::TwoOpt { route: 0, i: 1, j: 3 };
+        let patch = mv.expand(&ev);
+        assert_eq!(patch.replace, vec![(0, vec![1, 4, 3, 2])]);
+    }
+
+    #[test]
+    fn two_opt_star_swaps_tails() {
+        let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
+        let mv = Move::TwoOptStar { a: 0, cut_a: 1, b: 1, cut_b: 1 };
+        let patch = mv.expand(&ev);
+        assert_eq!(patch.replace, vec![(0, vec![1, 4]), (1, vec![3, 2])]);
+    }
+
+    #[test]
+    fn two_opt_star_with_empty_tail_moves_suffix() {
+        let (_, ev) = snapshot(vec![vec![1, 2, 3], vec![4]]);
+        // a keeps 3 (empty tail added from b after cut 1 => nothing),
+        // b keeps 1 and receives nothing… choose cuts that move 3 to b.
+        let mv = Move::TwoOptStar { a: 0, cut_a: 2, b: 1, cut_b: 1 };
+        let patch = mv.expand(&ev);
+        assert_eq!(patch.replace, vec![(0, vec![1, 2]), (1, vec![4, 3])]);
+    }
+
+    #[test]
+    fn or_opt_moves_pair_within_route() {
+        let (_, ev) = snapshot(vec![vec![1, 2, 3, 4]]);
+        let mv = Move::OrOpt { route: 0, from: 0, to: 2 };
+        let patch = mv.expand(&ev);
+        assert_eq!(patch.replace, vec![(0, vec![3, 4, 1, 2])]);
+    }
+
+    #[test]
+    fn or_opt_backward_move() {
+        let (_, ev) = snapshot(vec![vec![1, 2, 3, 4]]);
+        let mv = Move::OrOpt { route: 0, from: 2, to: 0 };
+        let patch = mv.expand(&ev);
+        assert_eq!(patch.replace, vec![(0, vec![3, 4, 1, 2])]);
+    }
+
+    #[test]
+    fn arc_delta_for_relocate() {
+        let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
+        let mv = Move::Relocate { from: (0, 0), to: (1, 1) };
+        let (removed, created) = mv.arc_delta(&ev);
+        // Before: 0-1,1-2,2-0 / 0-3,3-4,4-0  After: 0-2,2-0? no: route0=[2]
+        // => 0-2,2-0 ; route1=[3,1,4] => 0-3,3-1,1-4,4-0.
+        let rm: std::collections::HashSet<Arc> = removed.into_iter().collect();
+        let cr: std::collections::HashSet<Arc> = created.into_iter().collect();
+        assert_eq!(rm, [(0, 1), (1, 2), (3, 4)].into_iter().collect());
+        assert_eq!(cr, [(0, 2), (3, 1), (1, 4)].into_iter().collect());
+    }
+
+    #[test]
+    fn arc_delta_for_two_opt_ignores_unchanged_arcs() {
+        let (_, ev) = snapshot(vec![vec![1, 2, 3, 4]]);
+        let mv = Move::TwoOpt { route: 0, i: 1, j: 2 };
+        let (removed, created) = mv.arc_delta(&ev);
+        // 1-2,2-3,3-4 -> 1-3,3-2,2-4.
+        let rm: std::collections::HashSet<Arc> = removed.into_iter().collect();
+        let cr: std::collections::HashSet<Arc> = created.into_iter().collect();
+        assert_eq!(rm, [(1, 2), (2, 3), (3, 4)].into_iter().collect());
+        assert_eq!(cr, [(1, 3), (3, 2), (2, 4)].into_iter().collect());
+    }
+
+    #[test]
+    fn identity_like_moves_have_empty_delta() {
+        let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
+        // Whole-route swap via 2-opt*: relabeling only.
+        let mv = Move::TwoOptStar { a: 0, cut_a: 0, b: 1, cut_b: 0 };
+        let (removed, created) = mv.arc_delta(&ev);
+        assert!(removed.is_empty());
+        assert!(created.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn relocate_same_route_panics() {
+        let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
+        Move::Relocate { from: (0, 0), to: (0, 1) }.expand(&ev);
+    }
+
+    #[test]
+    fn kinds_are_reported() {
+        assert_eq!(Move::TwoOpt { route: 0, i: 0, j: 1 }.kind(), OperatorKind::TwoOpt);
+        assert_eq!(OperatorKind::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests over randomly generated instances and solutions:
+//! the operator layer must never break the permutation invariant, and the
+//! incremental preview must always agree with a from-scratch evaluation.
+
+use crate::sample::{sample_move, SampleParams};
+use detrand::{Rng, Xoshiro256StarStar};
+use proptest::prelude::*;
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+use vrptw::solution::EvaluatedSolution;
+use vrptw::{Instance, Solution};
+
+/// Builds a random (structurally valid) solution by dealing customers into
+/// `k` routes in shuffled order.
+fn random_solution(inst: &Instance, k: usize, seed: u64) -> Solution {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut customers: Vec<u16> = inst.customers().collect();
+    rng.shuffle(&mut customers);
+    let k = k.clamp(1, inst.max_vehicles());
+    let mut routes: Vec<Vec<u16>> = vec![Vec::new(); k];
+    for (i, c) in customers.into_iter().enumerate() {
+        routes[i % k].push(c);
+    }
+    Solution::from_routes(routes)
+}
+
+fn class_from(idx: u8) -> InstanceClass {
+    InstanceClass::ALL[idx as usize % InstanceClass::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any chain of sampled moves preserves the permutation invariant.
+    #[test]
+    fn move_chains_preserve_permutation(
+        class_idx in 0u8..6,
+        n in 8usize..40,
+        k in 2usize..6,
+        seed in 0u64..1_000,
+        chain_len in 1usize..30,
+    ) {
+        let inst = GeneratorConfig::new(class_from(class_idx), n, seed).build();
+        let sol = random_solution(&inst, k, seed ^ 0xABCD);
+        prop_assert!(sol.check(&inst).is_empty());
+        let mut ev = EvaluatedSolution::new(sol, &inst);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed.wrapping_add(17));
+        let mut applied = 0;
+        let mut attempts = 0;
+        while applied < chain_len && attempts < chain_len * 50 {
+            attempts += 1;
+            if let Some(c) = sample_move(&mut rng, &inst, &ev, SampleParams::default()) {
+                ev.apply(&inst, c.patch);
+                applied += 1;
+                prop_assert!(ev.solution().check(&inst).is_empty());
+            }
+        }
+    }
+
+    /// The incremental preview of every sampled candidate equals a full
+    /// re-evaluation of the patched solution.
+    #[test]
+    fn preview_agrees_with_full_evaluation(
+        class_idx in 0u8..6,
+        n in 8usize..40,
+        k in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let inst = GeneratorConfig::new(class_from(class_idx), n, seed).build();
+        let sol = random_solution(&inst, k, seed ^ 0x1234);
+        let ev = EvaluatedSolution::new(sol, &inst);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed.wrapping_add(99));
+        for _ in 0..40 {
+            if let Some(c) = sample_move(&mut rng, &inst, &ev, SampleParams::default()) {
+                let mut applied = ev.clone();
+                applied.apply(&inst, c.patch.clone());
+                let full = applied.solution().evaluate(&inst);
+                prop_assert!((c.preview.objectives.distance - full.distance).abs() < 1e-6,
+                    "distance mismatch for {:?}", c.mv);
+                prop_assert_eq!(c.preview.objectives.vehicles, full.vehicles);
+                prop_assert!((c.preview.objectives.tardiness - full.tardiness).abs() < 1e-6,
+                    "tardiness mismatch for {:?}", c.mv);
+            }
+        }
+    }
+
+    /// Applying a move and then checking arc bookkeeping: every arc the move
+    /// reports as created is present afterwards, every arc reported removed
+    /// is gone (as a multiset over the touched routes).
+    #[test]
+    fn arc_delta_is_consistent_with_application(
+        n in 8usize..30,
+        k in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let inst = GeneratorConfig::new(InstanceClass::R2, n, seed).build();
+        let sol = random_solution(&inst, k, seed ^ 0x77);
+        let ev = EvaluatedSolution::new(sol, &inst);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed.wrapping_add(5));
+        for _ in 0..20 {
+            if let Some(c) = sample_move(&mut rng, &inst, &ev, SampleParams::default()) {
+                let created = c.mv.arcs_created(&ev);
+                let removed = c.mv.arcs_removed(&ev);
+                // No arc may appear on both sides.
+                for arc in &created {
+                    prop_assert!(!removed.contains(arc),
+                        "arc {:?} both created and removed by {:?}", arc, c.mv);
+                }
+                let mut applied = ev.clone();
+                applied.apply(&inst, c.patch.clone());
+                let all_arcs = |e: &EvaluatedSolution| -> Vec<(u16, u16)> {
+                    let mut arcs = Vec::new();
+                    for i in 0..e.n_routes() {
+                        let r = e.route(i);
+                        arcs.push((0, r[0]));
+                        for w in r.windows(2) { arcs.push((w[0], w[1])); }
+                        arcs.push((r[r.len()-1], 0));
+                    }
+                    arcs
+                };
+                let after = all_arcs(&applied);
+                for arc in &created {
+                    prop_assert!(after.contains(arc),
+                        "created arc {:?} missing after {:?}", arc, c.mv);
+                }
+                let before = all_arcs(&ev);
+                for arc in &removed {
+                    prop_assert!(before.contains(arc));
+                }
+            }
+        }
+    }
+
+    /// Round-trip: every reachable solution encodes to a giant tour of
+    /// length N+R+1 and decodes back to itself.
+    #[test]
+    fn giant_tour_roundtrip_over_random_solutions(
+        class_idx in 0u8..6,
+        n in 5usize..50,
+        k in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let inst = GeneratorConfig::new(class_from(class_idx), n, seed).build();
+        let sol = random_solution(&inst, k, seed);
+        let tour = sol.giant_tour(&inst);
+        prop_assert_eq!(tour.len(), inst.n_customers() + inst.max_vehicles() + 1);
+        let back = Solution::from_giant_tour(&inst, &tour).unwrap();
+        prop_assert_eq!(back, sol);
+    }
+}

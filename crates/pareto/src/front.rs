@@ -1,0 +1,183 @@
+//! An unbounded set of mutually non-dominated items.
+
+use crate::{compare, DomRelation, Dominance};
+
+/// An unbounded Pareto front: inserting an item evicts every member it
+/// dominates and is rejected if any member dominates it.
+///
+/// Items with objective vectors *identical* to an existing member are
+/// rejected as duplicates — the front stores one representative per point in
+/// objective space, which keeps the TSMO memories from filling with copies
+/// of the same fitness (distinct solutions with identical objectives add no
+/// information to the trade-off surface the paper reports).
+#[derive(Debug, Clone)]
+pub struct ParetoFront<T: Dominance> {
+    items: Vec<T>,
+}
+
+impl<T: Dominance> Default for ParetoFront<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Dominance> ParetoFront<T> {
+    /// An empty front.
+    pub fn new() -> Self {
+        Self { items: Vec::new() }
+    }
+
+    /// Attempts to insert `item`. Returns `true` if the front changed (the
+    /// item was non-dominated and not an objective-space duplicate).
+    pub fn insert(&mut self, item: T) -> bool {
+        let mut i = 0;
+        while i < self.items.len() {
+            match compare(self.items[i].objectives(), item.objectives()) {
+                DomRelation::Dominates | DomRelation::Equal => return false,
+                DomRelation::DominatedBy => {
+                    self.items.swap_remove(i);
+                }
+                DomRelation::Incomparable => i += 1,
+            }
+        }
+        self.items.push(item);
+        true
+    }
+
+    /// Whether `objectives` would be accepted by [`ParetoFront::insert`].
+    pub fn would_accept(&self, objectives: &[f64]) -> bool {
+        !self.items.iter().any(|m| {
+            matches!(
+                compare(m.objectives(), objectives),
+                DomRelation::Dominates | DomRelation::Equal
+            )
+        })
+    }
+
+    /// The current members (mutually non-dominated, unordered).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Removes and returns the member at `index` (order not preserved).
+    pub fn remove(&mut self, index: usize) -> T {
+        self.items.swap_remove(index)
+    }
+
+    /// Drops all members.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Consumes the front, returning its members.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Dominance> FromIterator<T> for ParetoFront<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut front = Self::new();
+        for item in iter {
+            front.insert(item);
+        }
+        front
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_only_non_dominated() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(vec![5.0, 5.0]));
+        assert!(f.insert(vec![3.0, 7.0]));
+        assert!(f.insert(vec![7.0, 3.0]));
+        assert_eq!(f.len(), 3);
+        // Dominates [5,5]: that member is evicted.
+        assert!(f.insert(vec![4.0, 4.0]));
+        assert_eq!(f.len(), 3);
+        assert!(!f.items().iter().any(|v| v == &vec![5.0, 5.0]));
+        // Dominated by [4,4]: rejected.
+        assert!(!f.insert(vec![4.5, 4.5]));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(vec![1.0, 2.0]));
+        assert!(!f.insert(vec![1.0, 2.0]));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn one_insert_can_evict_many() {
+        let mut f = ParetoFront::new();
+        f.insert(vec![5.0, 6.0]);
+        f.insert(vec![6.0, 5.0]);
+        f.insert(vec![7.0, 7.0]); // dominated, rejected
+        assert_eq!(f.len(), 2);
+        assert!(f.insert(vec![1.0, 1.0]));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn would_accept_matches_insert() {
+        let mut f = ParetoFront::new();
+        f.insert(vec![2.0, 2.0]);
+        assert!(f.would_accept(&[1.0, 3.0]));
+        assert!(!f.would_accept(&[2.0, 2.0]));
+        assert!(!f.would_accept(&[3.0, 3.0]));
+        assert!(f.would_accept(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn members_always_mutually_non_dominated() {
+        use crate::non_dominated_indices;
+        let mut f = ParetoFront::new();
+        // A pseudo-random stream of points.
+        let mut x = 123u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (x >> 33) % 100;
+            let b = (x >> 13) % 100;
+            f.insert(vec![a as f64, b as f64]);
+        }
+        let nd = non_dominated_indices(f.items());
+        assert_eq!(nd.len(), f.len(), "every member must be non-dominated");
+    }
+
+    #[test]
+    fn from_iterator_collects_front() {
+        let f: ParetoFront<Vec<f64>> =
+            vec![vec![1.0, 9.0], vec![9.0, 1.0], vec![5.0, 5.0], vec![6.0, 6.0]]
+                .into_iter()
+                .collect();
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn clear_and_remove() {
+        let mut f = ParetoFront::new();
+        f.insert(vec![1.0, 2.0]);
+        f.insert(vec![2.0, 1.0]);
+        let removed = f.remove(0);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(f.len(), 1);
+        f.clear();
+        assert!(f.is_empty());
+    }
+}

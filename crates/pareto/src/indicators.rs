@@ -1,0 +1,222 @@
+//! Quality indicators for comparing Pareto-front approximations.
+
+use crate::{weakly_dominates, Dominance};
+
+/// Zitzler's set-coverage metric `C(A, B)`: the fraction of members of `B`
+/// that are weakly dominated by at least one member of `A`.
+///
+/// This is the "coverage" column of Tables I–IV in the paper: for two
+/// algorithms the pair `C(A,B) ↔ C(B,A)` is reported, and "a value of 100%
+/// means that the algorithm in question dominates all the solutions found by
+/// the other algorithms". Returns a value in `[0, 1]`; an empty `B` yields
+/// 0 by convention (there is nothing to cover).
+pub fn coverage<A: Dominance, B: Dominance>(a: &[A], b: &[B]) -> f64 {
+    if b.is_empty() {
+        return 0.0;
+    }
+    let covered = b
+        .iter()
+        .filter(|y| a.iter().any(|x| weakly_dominates(x.objectives(), y.objectives())))
+        .count();
+    covered as f64 / b.len() as f64
+}
+
+/// Additive epsilon indicator `I_ε+(A, B)`: the smallest ε such that every
+/// point of `B` is weakly dominated by some point of `A` translated by ε in
+/// every objective. Smaller is better; `I_ε+(A, A) = 0`.
+///
+/// # Panics
+/// Panics if either set is empty.
+pub fn additive_epsilon<A: Dominance, B: Dominance>(a: &[A], b: &[B]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "epsilon indicator needs non-empty sets");
+    let mut worst = f64::NEG_INFINITY;
+    for y in b {
+        let mut best = f64::INFINITY;
+        for x in a {
+            let eps = x
+                .objectives()
+                .iter()
+                .zip(y.objectives())
+                .map(|(xi, yi)| xi - yi)
+                .fold(f64::NEG_INFINITY, f64::max);
+            best = best.min(eps);
+        }
+        worst = worst.max(best);
+    }
+    worst
+}
+
+/// Exact hypervolume of a 2-objective front w.r.t. a reference point
+/// (minimization; points outside the reference box contribute their clipped
+/// part, fully dominated points contribute nothing extra).
+///
+/// # Panics
+/// Panics if any point has a dimension other than 2.
+pub fn hypervolume_2d<T: Dominance>(front: &[T], reference: [f64; 2]) -> f64 {
+    let mut pts: Vec<[f64; 2]> = front
+        .iter()
+        .map(|p| {
+            let o = p.objectives();
+            assert_eq!(o.len(), 2, "hypervolume_2d needs 2-objective points");
+            [o[0], o[1]]
+        })
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .collect();
+    // Sweep by increasing first objective; only keep the staircase.
+    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap().then(a[1].partial_cmp(&b[1]).unwrap()));
+    let mut hv = 0.0;
+    let mut best_y = reference[1];
+    for p in pts {
+        if p[1] < best_y {
+            hv += (reference[0] - p[0]) * (best_y - p[1]);
+            best_y = p[1];
+        }
+    }
+    hv
+}
+
+/// Exact hypervolume of a 3-objective front w.r.t. a reference point.
+///
+/// Implemented by slicing along the third objective and accumulating 2-D
+/// hypervolumes of the staircase of each slab — the classical HSO approach,
+/// `O(n² log n)`, plenty for archive-sized fronts (tens of points).
+///
+/// # Panics
+/// Panics if any point has a dimension other than 3.
+pub fn hypervolume_3d<T: Dominance>(front: &[T], reference: [f64; 3]) -> f64 {
+    let mut pts: Vec<[f64; 3]> = front
+        .iter()
+        .map(|p| {
+            let o = p.objectives();
+            assert_eq!(o.len(), 3, "hypervolume_3d needs 3-objective points");
+            [o[0], o[1], o[2]]
+        })
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1] && p[2] < reference[2])
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    pts.sort_by(|a, b| a[2].partial_cmp(&b[2]).unwrap());
+    // z-levels where the 2-D cross-section changes.
+    let mut hv = 0.0;
+    for i in 0..pts.len() {
+        let z_lo = pts[i][2];
+        let z_hi = if i + 1 < pts.len() { pts[i + 1][2] } else { reference[2] };
+        if z_hi <= z_lo {
+            continue;
+        }
+        // Cross-section at z in [z_lo, z_hi): all points with z' <= z_lo.
+        let slab: Vec<[f64; 2]> = pts[..=i].iter().map(|p| [p[0], p[1]]).collect();
+        hv += hypervolume_2d(&slab, [reference[0], reference[1]]) * (z_hi - z_lo);
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_basics() {
+        let a = vec![vec![1.0, 1.0]];
+        let b = vec![vec![2.0, 2.0], vec![0.5, 3.0]];
+        // [1,1] dominates [2,2] but not [0.5,3].
+        assert!((coverage(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((coverage(&b, &a) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_of_self_is_one() {
+        let a = vec![vec![1.0, 5.0], vec![5.0, 1.0]];
+        assert_eq!(coverage(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn coverage_empty_b_is_zero() {
+        let a = vec![vec![1.0, 1.0]];
+        let b: Vec<Vec<f64>> = vec![];
+        assert_eq!(coverage(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn coverage_is_not_symmetric() {
+        let a = vec![vec![0.0, 0.0]];
+        let b = vec![vec![1.0, 1.0]];
+        assert_eq!(coverage(&a, &b), 1.0);
+        assert_eq!(coverage(&b, &a), 0.0);
+    }
+
+    #[test]
+    fn epsilon_identity_and_shift() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        assert!(additive_epsilon(&a, &a).abs() < 1e-12);
+        let shifted = vec![vec![0.5, 1.5], vec![1.5, 0.5]];
+        // a needs ε = 0.5 to cover the shifted set.
+        assert!((additive_epsilon(&a, &shifted) - 0.5).abs() < 1e-12);
+        // The shifted set already covers a: ε = -0.5.
+        assert!((additive_epsilon(&shifted, &a) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv2d_single_point() {
+        let front = vec![vec![1.0, 1.0]];
+        assert!((hypervolume_2d(&front, [3.0, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv2d_staircase() {
+        let front = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        // Union of two boxes: (3-1)(3-2) + (3-2)(3-1) - overlap (3-2)(3-2)=1
+        // => 2 + 2 - 1 = 3.
+        assert!((hypervolume_2d(&front, [3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv2d_dominated_point_adds_nothing() {
+        let base = vec![vec![1.0, 1.0]];
+        let with_dominated = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(
+            hypervolume_2d(&base, [4.0, 4.0]),
+            hypervolume_2d(&with_dominated, [4.0, 4.0])
+        );
+    }
+
+    #[test]
+    fn hv2d_points_outside_reference_ignored() {
+        let front = vec![vec![5.0, 5.0]];
+        assert_eq!(hypervolume_2d(&front, [3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn hv3d_single_point() {
+        let front = vec![vec![1.0, 1.0, 1.0]];
+        assert!((hypervolume_3d(&front, [2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv3d_two_incomparable_points() {
+        let front = vec![vec![1.0, 2.0, 1.0], vec![2.0, 1.0, 2.0]];
+        // Box A: [1,3]x[2,3]x[1,3] vol = 2*1*2 = 4
+        // Box B: [2,3]x[1,3]x[2,3] vol = 1*2*1 = 2
+        // Overlap: [2,3]x[2,3]x[2,3] vol = 1
+        // Union = 5.
+        assert!((hypervolume_3d(&front, [3.0, 3.0, 3.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv3d_matches_2d_when_third_axis_flat() {
+        let f3 = vec![vec![1.0, 2.0, 0.0], vec![2.0, 1.0, 0.0]];
+        let f2 = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let hv3 = hypervolume_3d(&f3, [3.0, 3.0, 1.0]);
+        let hv2 = hypervolume_2d(&f2, [3.0, 3.0]);
+        assert!((hv3 - hv2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv_monotone_in_front_growth() {
+        let small = vec![vec![2.0, 2.0, 2.0]];
+        let large = vec![vec![2.0, 2.0, 2.0], vec![1.0, 3.0, 1.0]];
+        let r = [4.0, 4.0, 4.0];
+        assert!(hypervolume_3d(&large, r) >= hypervolume_3d(&small, r));
+    }
+}

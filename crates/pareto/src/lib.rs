@@ -1,0 +1,248 @@
+//! Multiobjective machinery: Pareto dominance, bounded archives with
+//! crowding-distance truncation, and quality indicators.
+//!
+//! The TSMO algorithm keeps two multiobjective memories (§III.B of the
+//! paper): `M_nondom`, a set of non-dominated solutions seen in past
+//! neighborhoods, and `M_archive`, the bounded approximation of the Pareto
+//! front maintained with the NSGA-II crowding comparison. Both are provided
+//! here as [`ParetoFront`] and [`Archive`]. The set-coverage metric used in
+//! the paper's result tables (Zitzler's C-metric, reference [18]) lives in
+//! [`coverage`], alongside hypervolume and additive-epsilon indicators used
+//! by the extension experiments.
+//!
+//! All objectives are **minimized** throughout.
+//!
+//! # Example
+//!
+//! ```
+//! use pareto::{Archive, coverage, dominates};
+//!
+//! let mut archive = Archive::new(3);
+//! archive.insert(vec![3.0, 1.0]);
+//! archive.insert(vec![1.0, 3.0]);
+//! assert!(!archive.insert(vec![4.0, 4.0])); // dominated, rejected
+//! assert!(dominates(&[1.0, 3.0], &[4.0, 4.0]));
+//!
+//! // Zitzler's C-metric, as reported in the paper's tables:
+//! let better = vec![vec![0.5, 0.5]];
+//! assert_eq!(coverage(&better, archive.items()), 1.0);
+//! ```
+
+mod archive;
+mod front;
+mod indicators;
+
+pub use archive::Archive;
+pub use front::ParetoFront;
+pub use indicators::{additive_epsilon, coverage, hypervolume_2d, hypervolume_3d};
+
+/// Items that expose a minimization objective vector.
+///
+/// The vector must have the same length for every item that participates in
+/// the same front/archive/indicator computation.
+pub trait Dominance {
+    /// The objective vector (all components minimized).
+    fn objectives(&self) -> &[f64];
+}
+
+impl<T: Dominance + ?Sized> Dominance for &T {
+    fn objectives(&self) -> &[f64] {
+        (*self).objectives()
+    }
+}
+
+impl Dominance for Vec<f64> {
+    fn objectives(&self) -> &[f64] {
+        self
+    }
+}
+
+impl<const D: usize> Dominance for [f64; D] {
+    fn objectives(&self) -> &[f64] {
+        self
+    }
+}
+
+/// The possible dominance relations between two objective vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomRelation {
+    /// `a` is at least as good everywhere and strictly better somewhere.
+    Dominates,
+    /// `b` is at least as good everywhere and strictly better somewhere.
+    DominatedBy,
+    /// Each is strictly better somewhere.
+    Incomparable,
+    /// Identical vectors.
+    Equal,
+}
+
+/// Compares two minimization objective vectors.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn compare(a: &[f64], b: &[f64]) -> DomRelation {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => DomRelation::Dominates,
+        (false, true) => DomRelation::DominatedBy,
+        (true, true) => DomRelation::Incomparable,
+        (false, false) => DomRelation::Equal,
+    }
+}
+
+/// `true` iff `a` strictly dominates `b` (minimization).
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    compare(a, b) == DomRelation::Dominates
+}
+
+/// `true` iff `a` weakly dominates `b` (`a` at least as good everywhere).
+#[inline]
+pub fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
+    matches!(compare(a, b), DomRelation::Dominates | DomRelation::Equal)
+}
+
+/// Indices of the non-dominated members of `vectors` (ties on equal vectors
+/// all survive).
+pub fn non_dominated_indices<T: Dominance>(items: &[T]) -> Vec<usize> {
+    let mut out = Vec::new();
+    'outer: for (i, item) in items.iter().enumerate() {
+        for (j, other) in items.iter().enumerate() {
+            if i != j && dominates(other.objectives(), item.objectives()) {
+                continue 'outer;
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// NSGA-II crowding distances for a set of mutually non-dominated vectors.
+///
+/// Boundary points per objective get `f64::INFINITY`; interior points sum
+/// the normalized gap between their neighbors over all objectives. Larger
+/// means less crowded. Used by [`Archive`] to decide which member to evict.
+pub fn crowding_distances<T: Dominance>(items: &[T]) -> Vec<f64> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = items[0].objectives().len();
+    let mut dist = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    for m in 0..d {
+        order.sort_by(|&a, &b| {
+            items[a].objectives()[m]
+                .partial_cmp(&items[b].objectives()[m])
+                .expect("objective values must not be NaN")
+        });
+        let lo = items[order[0]].objectives()[m];
+        let hi = items[order[n - 1]].objectives()[m];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue; // all equal in this objective: no contribution
+        }
+        for w in 1..(n - 1) {
+            let prev = items[order[w - 1]].objectives()[m];
+            let next = items[order[w + 1]].objectives()[m];
+            if dist[order[w]].is_finite() {
+                dist[order[w]] += (next - prev) / span;
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_relations() {
+        assert_eq!(compare(&[1.0, 1.0], &[2.0, 2.0]), DomRelation::Dominates);
+        assert_eq!(compare(&[2.0, 2.0], &[1.0, 1.0]), DomRelation::DominatedBy);
+        assert_eq!(compare(&[1.0, 2.0], &[2.0, 1.0]), DomRelation::Incomparable);
+        assert_eq!(compare(&[1.0, 2.0], &[1.0, 2.0]), DomRelation::Equal);
+        // Weak improvement in one coordinate is enough.
+        assert_eq!(compare(&[1.0, 2.0], &[1.0, 3.0]), DomRelation::Dominates);
+    }
+
+    #[test]
+    #[should_panic]
+    fn compare_length_mismatch_panics() {
+        compare(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dominates_and_weak() {
+        assert!(dominates(&[0.0, 0.0], &[0.0, 1.0]));
+        assert!(!dominates(&[0.0, 1.0], &[0.0, 1.0]));
+        assert!(weakly_dominates(&[0.0, 1.0], &[0.0, 1.0]));
+        assert!(!weakly_dominates(&[1.0, 0.0], &[0.0, 1.0]));
+    }
+
+    #[test]
+    fn non_dominated_filtering() {
+        let pts = vec![
+            vec![1.0, 5.0], // nd
+            vec![2.0, 4.0], // nd
+            vec![3.0, 4.5], // dominated by [2,4]
+            vec![0.5, 9.0], // nd
+            vec![2.0, 4.0], // duplicate of nd point — kept
+        ];
+        assert_eq!(non_dominated_indices(&pts), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let pts =
+            vec![[0.0, 4.0], [1.0, 3.0], [2.0, 2.0], [3.0, 1.0], [4.0, 0.0]];
+        let d = crowding_distances(&pts);
+        assert!(d[0].is_infinite());
+        assert!(d[4].is_infinite());
+        assert!(d[1].is_finite() && d[2].is_finite() && d[3].is_finite());
+        // Uniform spacing => identical interior distances.
+        assert!((d[1] - d[2]).abs() < 1e-12);
+        assert!((d[2] - d[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        // Point 1 is crowded between 0 and 2; point 3 sits alone.
+        let pts = vec![[0.0, 10.0], [0.1, 9.9], [0.2, 9.8], [5.0, 1.0], [10.0, 0.0]];
+        let d = crowding_distances(&pts);
+        assert!(d[3] > d[1], "isolated point should have larger distance");
+    }
+
+    #[test]
+    fn crowding_small_sets_all_infinite() {
+        assert!(crowding_distances(&[[1.0, 2.0]]).iter().all(|x| x.is_infinite()));
+        assert!(crowding_distances(&[[1.0, 2.0], [2.0, 1.0]])
+            .iter()
+            .all(|x| x.is_infinite()));
+        assert!(crowding_distances::<[f64; 2]>(&[]).is_empty());
+    }
+
+    #[test]
+    fn crowding_constant_objective_is_ignored() {
+        let pts = vec![[0.0, 1.0], [1.0, 1.0], [2.0, 1.0], [3.0, 1.0]];
+        let d = crowding_distances(&pts);
+        // Middle points only accumulate from objective 0.
+        assert!(d[1].is_finite());
+        assert!(d[1] > 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Deterministic random number generation for reproducible experiments.
+//!
+//! The experiment harness in this workspace must produce identical runs for
+//! identical seeds across platforms and library versions, so the small set of
+//! generators we need is implemented here rather than depending on an external
+//! RNG crate whose streams may change between releases.
+//!
+//! Provided generators:
+//!
+//! * [`SplitMix64`] — the seeding/stream-splitting generator recommended by
+//!   Vigna for initializing xoshiro state.
+//! * [`Xoshiro256StarStar`] — the main generator (xoshiro256**), a fast
+//!   all-purpose PRNG with 256 bits of state and a `jump` function for
+//!   creating non-overlapping parallel streams.
+//!
+//! On top of the raw generators, [`Rng`] offers the distribution helpers the
+//! metaheuristics need: uniform integers and floats, ranges, Bernoulli draws,
+//! normally distributed values (Box–Muller), shuffles, and weighted choice.
+//!
+//! # Example
+//!
+//! ```
+//! use detrand::{Rng, Xoshiro256StarStar, streams};
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let roll = rng.range_u64(1, 7);
+//! assert!((1..7).contains(&roll));
+//!
+//! // Non-overlapping streams for parallel workers:
+//! let workers = streams(42, 4);
+//! assert_eq!(workers.len(), 4);
+//! ```
+
+mod splitmix;
+mod xoshiro;
+
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256StarStar;
+
+/// The default generator used throughout the workspace.
+pub type DefaultRng = Xoshiro256StarStar;
+
+/// A source of raw 64-bit random words.
+pub trait RandomSource {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Distribution helpers layered over any [`RandomSource`].
+///
+/// All methods are provided; implementors only supply [`RandomSource`].
+pub trait Rng: RandomSource {
+    /// A uniformly distributed `f64` in `[0, 1)`.
+    ///
+    /// Uses the 53 high bits of the next word, the standard construction that
+    /// yields every representable multiple of 2⁻⁵³ with equal probability.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly distributed integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a positive bound");
+        // Lemire 2018: "Fast Random Integer Generation in an Interval".
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniformly distributed `usize` index in `[0, len)`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    fn index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// A uniformly distributed integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64 requires lo < hi");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// A uniformly distributed `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is not finite.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A normally distributed value with the given mean and standard
+    /// deviation, generated with the Box–Muller transform.
+    ///
+    /// The paper's collaborative variant perturbs every searcher's parameters
+    /// with `N(0, param/4)`; this is the primitive behind that.
+    fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Box–Muller: two uniforms -> one normal (the second is discarded to
+        // keep the generator stateless; throughput is irrelevant here).
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * r * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle of the slice, in place.
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen reference into the slice, or `None` if empty.
+    fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.index(items.len())])
+        }
+    }
+
+    /// Chooses an index according to the non-negative `weights`.
+    ///
+    /// Returns `None` if the weights sum to zero (or the slice is empty).
+    fn choose_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights.iter().rposition(|&w| w > 0.0)
+    }
+}
+
+impl<T: RandomSource + ?Sized> Rng for T {}
+
+/// Derives `n` independent seeded generators from a root seed.
+///
+/// Each stream is produced by jumping the root generator, which guarantees
+/// the streams are non-overlapping for at least 2¹²⁸ draws each — the
+/// mechanism used to hand each parallel worker or searcher its own stream.
+pub fn streams(seed: u64, n: usize) -> Vec<Xoshiro256StarStar> {
+    let mut root = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(root.clone());
+        root.jump();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_hits_all_values() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic]
+    fn next_below_zero_panics() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        rng.next_below(0);
+    }
+
+    #[test]
+    fn range_u64_respects_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let v = rng.range_f64(-2.5, 2.5);
+            assert!((-2.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_mean_and_spread_are_plausible() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+    }
+
+    #[test]
+    fn choose_weighted_zero_weights() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        assert_eq!(rng.choose_weighted(&[0.0, 0.0]), None);
+        assert_eq!(rng.choose_weighted(&[]), None);
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.choose_weighted(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn streams_are_distinct_and_deterministic() {
+        let mut a = streams(123, 4);
+        let mut b = streams(123, 4);
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            assert_eq!(x.next_u64(), y.next_u64());
+        }
+        let mut again = streams(123, 4);
+        let first: Vec<u64> = again.iter_mut().map(|r| r.next_u64()).collect();
+        assert_eq!(first.len(), 4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(first[i], first[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+}

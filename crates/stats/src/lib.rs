@@ -1,0 +1,136 @@
+//! Statistics for the experiment harness: descriptive summaries, Student-t
+//! significance tests, and speedup, matching what the paper reports.
+//!
+//! Tables I–IV of the paper give `mean ± std` per cell, a speedup column
+//! (`T_seq / T_par` of mean runtimes), and the text reports pairwise t-test
+//! p-values ("the p-values range between 0.1033 and 0.0318 …"). The same
+//! quantities are computed here, with the Student-t CDF implemented via the
+//! regularized incomplete beta function (continued-fraction expansion) so
+//! the crate needs no external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use runstats::{welch_t_test, speedup_percent, Summary};
+//!
+//! let fast = [1.0, 1.1, 0.9, 1.05];
+//! let slow = [2.0, 2.2, 1.9, 2.05];
+//! let test = welch_t_test(&fast, &slow);
+//! assert!(test.significant(0.05));
+//!
+//! let s = Summary::of(&fast);
+//! assert_eq!(s.n, 4);
+//!
+//! // The paper's speedup convention: (T_seq / T_par - 1) * 100%.
+//! assert!((speedup_percent(2226.33, 1105.77) - 101.34).abs() < 0.01);
+//! ```
+
+mod special;
+mod ttest;
+
+pub use special::{ln_gamma, regularized_incomplete_beta, student_t_cdf};
+pub use ttest::{paired_t_test, welch_t_test, TTestResult};
+
+/// Descriptive summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator); 0 for n < 2.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "cannot summarize an empty sample");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { n, mean, std_dev: var.sqrt(), min, max }
+    }
+
+    /// Formats as the paper's `mean±std` cell.
+    pub fn cell(&self) -> String {
+        format!("{:.2}±{:.2}", self.mean, self.std_dev)
+    }
+}
+
+/// The paper's speedup: mean sequential runtime over mean parallel runtime.
+///
+/// Expressed as the paper prints it — a *percentage improvement* (e.g. the
+/// async variant's `101.34%` means it ran in just under half the sequential
+/// time). Negative values mean a slowdown, as for the collaborative TS.
+///
+/// # Panics
+/// Panics if `parallel_mean <= 0`.
+pub fn speedup_percent(sequential_mean: f64, parallel_mean: f64) -> f64 {
+    assert!(parallel_mean > 0.0, "parallel runtime must be positive");
+    (sequential_mean / parallel_mean - 1.0) * 100.0
+}
+
+/// Plain speedup ratio `T_s / T_p`.
+pub fn speedup_ratio(sequential_mean: f64, parallel_mean: f64) -> f64 {
+    assert!(parallel_mean > 0.0, "parallel runtime must be positive");
+    sequential_mean / parallel_mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1: sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_single_observation() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn cell_formatting() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.cell(), "2.00±1.00");
+    }
+
+    #[test]
+    fn speedup_matches_paper_convention() {
+        // Sequential 2226.33s vs async 1105.77s => ~101.34% (Table I).
+        let s = speedup_percent(2226.33, 1105.77);
+        assert!((s - 101.34).abs() < 0.01, "{s}");
+        // Collaborative slower than sequential => negative.
+        assert!(speedup_percent(2226.33, 2626.53) < 0.0);
+        assert!((speedup_ratio(100.0, 50.0) - 2.0).abs() < 1e-12);
+    }
+}

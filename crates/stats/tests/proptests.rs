@@ -1,0 +1,95 @@
+//! Property-based tests of the statistics crate.
+
+use proptest::prelude::*;
+use runstats::{
+    ln_gamma, paired_t_test, regularized_incomplete_beta, student_t_cdf, welch_t_test, Summary,
+};
+
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 2..30)
+}
+
+proptest! {
+    /// p-values live in [0, 1] and are symmetric in the sample order.
+    #[test]
+    fn welch_p_is_bounded_and_symmetric(xs in sample(), ys in sample()) {
+        let ab = welch_t_test(&xs, &ys);
+        let ba = welch_t_test(&ys, &xs);
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        prop_assert!((ab.t + ba.t).abs() < 1e-9, "t statistics must be opposite");
+        prop_assert!((ab.df - ba.df).abs() < 1e-9);
+    }
+
+    /// The Welch test is invariant under a common affine transform
+    /// `x -> a·x + b` with `a > 0`.
+    #[test]
+    fn welch_is_affine_invariant(
+        xs in sample(), ys in sample(),
+        a in 0.1f64..10.0, b in -50.0f64..50.0,
+    ) {
+        let base = welch_t_test(&xs, &ys);
+        let tx: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        let ty: Vec<f64> = ys.iter().map(|y| a * y + b).collect();
+        let scaled = welch_t_test(&tx, &ty);
+        // Degenerate zero-variance samples short-circuit; skip those.
+        prop_assume!(base.t.is_finite() && scaled.t.is_finite());
+        prop_assert!((base.t - scaled.t).abs() < 1e-6, "{} vs {}", base.t, scaled.t);
+        prop_assert!((base.p_value - scaled.p_value).abs() < 1e-6);
+    }
+
+    /// A paired test of a sample against itself never rejects.
+    #[test]
+    fn paired_self_test_never_rejects(xs in sample()) {
+        let r = paired_t_test(&xs, &xs);
+        prop_assert_eq!(r.p_value, 1.0);
+        prop_assert_eq!(r.t, 0.0);
+    }
+
+    /// Summary invariants: min <= mean <= max, std >= 0.
+    #[test]
+    fn summary_invariants(xs in sample()) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+        // Chebyshev-ish sanity: range bounds the std dev for any sample.
+        prop_assert!(s.std_dev <= (s.max - s.min) + 1e-9);
+    }
+
+    /// The t CDF is a proper CDF: monotone, symmetric, bounded.
+    #[test]
+    fn t_cdf_is_a_cdf(df in 1.0f64..200.0, t1 in -30.0f64..30.0, t2 in -30.0f64..30.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let p_lo = student_t_cdf(lo, df);
+        let p_hi = student_t_cdf(hi, df);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!(p_lo <= p_hi + 1e-12);
+        prop_assert!((student_t_cdf(t1, df) + student_t_cdf(-t1, df) - 1.0).abs() < 1e-9);
+    }
+
+    /// The regularized incomplete beta is monotone in x and hits the
+    /// boundary values.
+    #[test]
+    fn incomplete_beta_monotone(
+        a in 0.1f64..20.0, b in 0.1f64..20.0,
+        x1 in 0.0f64..1.0, x2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(
+            regularized_incomplete_beta(a, b, lo)
+                <= regularized_incomplete_beta(a, b, hi) + 1e-9
+        );
+        prop_assert_eq!(regularized_incomplete_beta(a, b, 0.0), 0.0);
+        prop_assert_eq!(regularized_incomplete_beta(a, b, 1.0), 1.0);
+    }
+
+    /// ln Γ satisfies the recurrence on arbitrary positive inputs.
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x = {x}: {lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,251 @@
+//! Evaluation of routes and solutions: the three objectives of the paper.
+
+use crate::model::{Instance, SiteId, DEPOT};
+
+/// The multiobjective fitness of a solution, as defined in §II.A:
+///
+/// * `f1 = distance` — total tour length,
+/// * `f2 = vehicles` — number of vehicles actually deployed,
+/// * `f3 = tardiness` — summed lateness over all sites (soft time windows),
+///   including late arrivals back at the depot.
+///
+/// All three are minimized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Total travel distance `f1`.
+    pub distance: f64,
+    /// Number of deployed vehicles `f2`.
+    pub vehicles: usize,
+    /// Total tardiness `f3`.
+    pub tardiness: f64,
+}
+
+impl Objectives {
+    /// Objective vector for the multiobjective machinery (all minimized).
+    #[inline]
+    pub fn to_vector(self) -> [f64; 3] {
+        [self.distance, self.vehicles as f64, self.tardiness]
+    }
+
+    /// Whether the solution respects all time windows, up to `eps` of
+    /// accumulated floating-point slack.
+    ///
+    /// The paper's result tables only admit solutions "that did not violate
+    /// the time window and capacity constraints"; this is the time-window
+    /// half of that filter.
+    #[inline]
+    pub fn is_time_feasible(&self, eps: f64) -> bool {
+        self.tardiness <= eps
+    }
+
+    /// Zero-valued objectives, the identity for the `+` operator.
+    pub const ZERO: Objectives = Objectives { distance: 0.0, vehicles: 0, tardiness: 0.0 };
+}
+
+/// Component-wise sum — used to aggregate per-route evaluations.
+impl std::ops::Add for Objectives {
+    type Output = Objectives;
+
+    #[inline]
+    fn add(self, other: Objectives) -> Objectives {
+        Objectives {
+            distance: self.distance + other.distance,
+            vehicles: self.vehicles + other.vehicles,
+            tardiness: self.tardiness + other.tardiness,
+        }
+    }
+}
+
+/// Cached evaluation of a single route (depot → customers → depot).
+///
+/// Operators re-evaluate only the routes they touch, so the solution-level
+/// objectives can be updated by subtracting the old and adding the new
+/// `RouteEval` — the incremental-evaluation backbone of the neighborhood
+/// search.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RouteEval {
+    /// Route length including both depot legs.
+    pub distance: f64,
+    /// Sum of customer demands on the route.
+    pub load: f64,
+    /// Summed tardiness at the route's sites and at the depot return.
+    pub tardiness: f64,
+    /// `max(load - capacity, 0)` — tracked separately because the paper's
+    /// operators are designed so it can never become positive; tests assert
+    /// exactly that.
+    pub capacity_excess: f64,
+    /// Total time spent waiting for ready times.
+    pub waiting: f64,
+    /// Arrival time back at the depot.
+    pub finish: f64,
+}
+
+impl RouteEval {
+    /// The objectives this route contributes to the solution total.
+    #[inline]
+    pub fn objectives(&self, is_deployed: bool) -> Objectives {
+        Objectives {
+            distance: self.distance,
+            vehicles: usize::from(is_deployed),
+            tardiness: self.tardiness,
+        }
+    }
+}
+
+/// Evaluates one route given as the customer visit order (no depot entries).
+///
+/// An empty route evaluates to all zeros (the vehicle stays at the depot).
+///
+/// Timing model (Solomon convention, travel time = distance):
+/// the vehicle leaves the depot at time 0; at each customer it waits until
+/// the ready time if early and accrues `arrival − due` tardiness if late;
+/// service takes `c_i`; the final depot return is also checked against the
+/// depot's due date (the paper sums `f3` over *all* `L` positions of the
+/// permutation, which includes the closing depot).
+pub fn evaluate_route(inst: &Instance, route: &[SiteId]) -> RouteEval {
+    if route.is_empty() {
+        return RouteEval::default();
+    }
+    let mut eval = RouteEval::default();
+    let mut time = inst.depot().ready;
+    let mut prev = DEPOT;
+    for &cust in route {
+        debug_assert_ne!(cust, DEPOT, "routes must not contain the depot");
+        let site = inst.site(cust);
+        let arrival = time + inst.dist(prev, cust);
+        eval.distance += inst.dist(prev, cust);
+        eval.load += site.demand;
+        if arrival < site.ready {
+            eval.waiting += site.ready - arrival;
+        }
+        if arrival > site.due {
+            eval.tardiness += arrival - site.due;
+        }
+        time = arrival.max(site.ready) + site.service;
+        prev = cust;
+    }
+    let home = time + inst.dist(prev, DEPOT);
+    eval.distance += inst.dist(prev, DEPOT);
+    if home > inst.depot().due {
+        eval.tardiness += home - inst.depot().due;
+    }
+    eval.finish = home;
+    eval.capacity_excess = (eval.load - inst.capacity()).max(0.0);
+    eval
+}
+
+/// Arrival times at each stop of a route, plus the depot return as the last
+/// element. Useful for traces, debugging, and the local feasibility tests.
+pub fn arrival_times(inst: &Instance, route: &[SiteId]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(route.len() + 1);
+    let mut time = inst.depot().ready;
+    let mut prev = DEPOT;
+    for &cust in route {
+        let site = inst.site(cust);
+        let arrival = time + inst.dist(prev, cust);
+        out.push(arrival);
+        time = arrival.max(site.ready) + site.service;
+        prev = cust;
+    }
+    out.push(time + inst.dist(prev, DEPOT));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Instance {
+        Instance::tiny()
+    }
+
+    #[test]
+    fn empty_route_is_free() {
+        let inst = tiny();
+        let e = evaluate_route(&inst, &[]);
+        assert_eq!(e, RouteEval::default());
+    }
+
+    #[test]
+    fn single_customer_route() {
+        let inst = tiny();
+        // Customer 1 at (10,0): out 10, back 10, service 1 => finish 21.
+        let e = evaluate_route(&inst, &[1]);
+        assert_eq!(e.distance, 20.0);
+        assert_eq!(e.load, 4.0);
+        assert_eq!(e.tardiness, 0.0);
+        assert_eq!(e.capacity_excess, 0.0);
+        assert_eq!(e.finish, 21.0);
+    }
+
+    #[test]
+    fn waiting_accrues_when_early() {
+        let mut sites = vec![
+            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 1000.0, service: 0.0 },
+            Customer { x: 10.0, y: 0.0, demand: 1.0, ready: 50.0, due: 100.0, service: 5.0 },
+        ];
+        sites[1].ready = 50.0;
+        let inst = Instance::new("wait", sites, 10.0, 1);
+        let e = evaluate_route(&inst, &[1]);
+        // Arrive at 10, wait until 50, serve 5, drive 10 back => finish 65.
+        assert_eq!(e.waiting, 40.0);
+        assert_eq!(e.finish, 65.0);
+        assert_eq!(e.tardiness, 0.0);
+    }
+
+    #[test]
+    fn tardiness_accrues_when_late() {
+        let sites = vec![
+            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 1000.0, service: 0.0 },
+            Customer { x: 10.0, y: 0.0, demand: 1.0, ready: 0.0, due: 4.0, service: 0.0 },
+        ];
+        let inst = Instance::new("late", sites, 10.0, 1);
+        let e = evaluate_route(&inst, &[1]);
+        assert_eq!(e.tardiness, 6.0); // arrive at 10, due 4
+    }
+
+    #[test]
+    fn late_depot_return_counts_as_tardiness() {
+        let sites = vec![
+            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 15.0, service: 0.0 },
+            Customer { x: 10.0, y: 0.0, demand: 1.0, ready: 0.0, due: 100.0, service: 0.0 },
+        ];
+        let inst = Instance::new("late-home", sites, 10.0, 1);
+        let e = evaluate_route(&inst, &[1]);
+        assert_eq!(e.tardiness, 5.0); // home at 20, depot due 15
+    }
+
+    #[test]
+    fn capacity_excess_tracked() {
+        let inst = tiny(); // capacity 10, each demand 4
+        let e = evaluate_route(&inst, &[1, 2, 3]);
+        assert_eq!(e.load, 12.0);
+        assert_eq!(e.capacity_excess, 2.0);
+    }
+
+    #[test]
+    fn arrival_times_match_route_eval() {
+        let inst = tiny();
+        let times = arrival_times(&inst, &[1, 2]);
+        // Depart 0, arrive c1 at 10, serve till 11, drive sqrt(200)≈14.14…
+        assert_eq!(times.len(), 3);
+        assert_eq!(times[0], 10.0);
+        assert!((times[1] - (11.0 + 200f64.sqrt())).abs() < 1e-12);
+        let e = evaluate_route(&inst, &[1, 2]);
+        assert!((times[2] - e.finish).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objectives_vector_and_feasibility() {
+        let o = Objectives { distance: 5.0, vehicles: 2, tardiness: 0.0 };
+        assert_eq!(o.to_vector(), [5.0, 2.0, 0.0]);
+        assert!(o.is_time_feasible(1e-9));
+        let late = Objectives { tardiness: 0.1, ..o };
+        assert!(!late.is_time_feasible(1e-9));
+        let sum = o + late;
+        assert_eq!(sum.vehicles, 4);
+        assert_eq!(sum.distance, 10.0);
+    }
+
+    use crate::model::Customer;
+}

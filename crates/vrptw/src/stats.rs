@@ -1,0 +1,117 @@
+//! Instance statistics: the structural fingerprint the generator mimics.
+//!
+//! The original Gehring–Homberger files are characterized by their
+//! geographic layout (clustered vs. random), time-window regime (small
+//! vs. large) and capacity regime. This module quantifies those properties
+//! so tests can assert the generator reproduces them and users can inspect
+//! how a loaded instance compares to the benchmark classes.
+
+use crate::model::{Instance, DEPOT};
+
+/// Structural statistics of an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Number of customers.
+    pub n_customers: usize,
+    /// Mean time-window width over the windowed customers.
+    pub mean_window_width: f64,
+    /// Window width divided by the scheduling horizon (tightness; small
+    /// for type-1 classes, large for type-2).
+    pub relative_window_width: f64,
+    /// Mean distance to the nearest other customer (clustering: low for C
+    /// classes, higher for R classes at equal density).
+    pub mean_nearest_neighbor: f64,
+    /// Mean distance from the depot.
+    pub mean_depot_distance: f64,
+    /// Total demand over fleet capacity (fleet utilization pressure).
+    pub demand_pressure: f64,
+    /// Minimum vehicles forced by capacity alone: `⌈Σd / m⌉`.
+    pub capacity_lower_bound: usize,
+}
+
+/// Computes the statistics of an instance.
+///
+/// # Panics
+/// Panics on an instance with no customers (impossible via [`Instance::new`]).
+pub fn instance_stats(inst: &Instance) -> InstanceStats {
+    let n = inst.n_customers();
+    assert!(n > 0, "instances always have customers");
+    let horizon = inst.horizon();
+    let mut width_sum = 0.0;
+    let mut depot_sum = 0.0;
+    let mut nn_sum = 0.0;
+    for i in inst.customers() {
+        let s = inst.site(i);
+        width_sum += s.due - s.ready;
+        depot_sum += inst.dist(DEPOT, i);
+        let mut best = f64::INFINITY;
+        for j in inst.customers() {
+            if i != j {
+                best = best.min(inst.dist(i, j));
+            }
+        }
+        if best.is_finite() {
+            nn_sum += best;
+        }
+    }
+    let mean_window_width = width_sum / n as f64;
+    let total_demand = inst.total_demand();
+    InstanceStats {
+        n_customers: n,
+        mean_window_width,
+        relative_window_width: mean_window_width / horizon,
+        mean_nearest_neighbor: if n > 1 { nn_sum / n as f64 } else { 0.0 },
+        mean_depot_distance: depot_sum / n as f64,
+        demand_pressure: total_demand / (inst.capacity() * inst.max_vehicles() as f64),
+        capacity_lower_bound: (total_demand / inst.capacity()).ceil() as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, InstanceClass};
+
+    #[test]
+    fn type1_windows_are_relatively_tighter_than_type2() {
+        let t1 = instance_stats(&GeneratorConfig::new(InstanceClass::R1, 150, 3).build());
+        let t2 = instance_stats(&GeneratorConfig::new(InstanceClass::R2, 150, 3).build());
+        assert!(
+            t1.relative_window_width < t2.relative_window_width,
+            "{} !< {}",
+            t1.relative_window_width,
+            t2.relative_window_width
+        );
+    }
+
+    #[test]
+    fn clustered_layouts_have_smaller_nearest_neighbor_distance() {
+        let c = instance_stats(&GeneratorConfig::new(InstanceClass::C1, 200, 7).build());
+        let r = instance_stats(&GeneratorConfig::new(InstanceClass::R1, 200, 7).build());
+        assert!(c.mean_nearest_neighbor < r.mean_nearest_neighbor);
+        // RC sits between the two.
+        let rc = instance_stats(&GeneratorConfig::new(InstanceClass::RC1, 200, 7).build());
+        assert!(c.mean_nearest_neighbor < rc.mean_nearest_neighbor);
+        assert!(rc.mean_nearest_neighbor < r.mean_nearest_neighbor);
+    }
+
+    #[test]
+    fn demand_pressure_below_one_on_generated_instances() {
+        for class in InstanceClass::ALL {
+            let s = instance_stats(&GeneratorConfig::new(class, 100, 9).build());
+            assert!(s.demand_pressure <= 1.0, "{class:?}: {}", s.demand_pressure);
+            assert!(s.capacity_lower_bound >= 1);
+        }
+    }
+
+    #[test]
+    fn tiny_instance_stats() {
+        let s = instance_stats(&Instance::tiny());
+        assert_eq!(s.n_customers, 4);
+        assert_eq!(s.mean_window_width, 100.0);
+        assert_eq!(s.mean_depot_distance, 10.0);
+        // Nearest neighbor for each axis point is the adjacent axis point.
+        assert!((s.mean_nearest_neighbor - 200f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.capacity_lower_bound, 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the problem substrate: evaluation semantics,
+//! generator guarantees, and the Solomon round trip.
+
+use detrand::{Rng, Xoshiro256StarStar};
+use proptest::prelude::*;
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+use vrptw::{evaluate_route, solomon, Instance, SiteId, Solution};
+
+fn class_from(idx: u8) -> InstanceClass {
+    InstanceClass::ALL[idx as usize % InstanceClass::ALL.len()]
+}
+
+/// A random valid solution for the instance.
+fn random_solution(inst: &Instance, seed: u64, k: usize) -> Solution {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut customers: Vec<SiteId> = inst.customers().collect();
+    rng.shuffle(&mut customers);
+    let k = k.clamp(1, inst.max_vehicles());
+    let mut routes = vec![Vec::new(); k];
+    for (i, c) in customers.into_iter().enumerate() {
+        routes[i % k].push(c);
+    }
+    Solution::from_routes(routes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Route distance is independent of travel direction (the matrix is
+    /// symmetric), while timing-dependent quantities may differ.
+    #[test]
+    fn route_distance_is_reversal_invariant(
+        class_idx in 0u8..6, n in 5usize..40, seed in 0u64..500,
+    ) {
+        let inst = GeneratorConfig::new(class_from(class_idx), n, seed).build();
+        let sol = random_solution(&inst, seed ^ 1, 3);
+        for route in sol.routes() {
+            let fwd = evaluate_route(&inst, route);
+            let mut rev = route.clone();
+            rev.reverse();
+            let bwd = evaluate_route(&inst, &rev);
+            prop_assert!((fwd.distance - bwd.distance).abs() < 1e-9);
+            prop_assert!((fwd.load - bwd.load).abs() < 1e-12);
+        }
+    }
+
+    /// Evaluation outputs are always physically sensible.
+    #[test]
+    fn evaluation_quantities_are_non_negative(
+        class_idx in 0u8..6, n in 5usize..40, seed in 0u64..500, k in 1usize..6,
+    ) {
+        let inst = GeneratorConfig::new(class_from(class_idx), n, seed).build();
+        let sol = random_solution(&inst, seed ^ 2, k);
+        for route in sol.routes() {
+            let e = evaluate_route(&inst, route);
+            prop_assert!(e.distance >= 0.0);
+            prop_assert!(e.tardiness >= 0.0);
+            prop_assert!(e.waiting >= 0.0);
+            prop_assert!(e.load >= 0.0);
+            prop_assert!(e.capacity_excess >= 0.0);
+            // The route cannot finish before driving its distance.
+            prop_assert!(e.finish + 1e-9 >= e.distance);
+        }
+    }
+
+    /// Splitting a route in two never increases tardiness and never
+    /// decreases the vehicle count — the monotone trade the second
+    /// objective is about.
+    #[test]
+    fn splitting_a_route_cannot_hurt_tardiness(
+        class_idx in 0u8..6, n in 6usize..30, seed in 0u64..300, cut in 1usize..5,
+    ) {
+        let inst = GeneratorConfig::new(class_from(class_idx), n, seed).build();
+        let sol = random_solution(&inst, seed ^ 3, 2);
+        let route = sol.routes()[0].clone();
+        prop_assume!(route.len() >= 2);
+        let cut = cut.min(route.len() - 1);
+        let whole = evaluate_route(&inst, &route);
+        let first = evaluate_route(&inst, &route[..cut]);
+        let second = evaluate_route(&inst, &route[cut..]);
+        prop_assert!(
+            first.tardiness + second.tardiness <= whole.tardiness + 1e-9,
+            "split tardiness {} + {} should be <= whole {}",
+            first.tardiness, second.tardiness, whole.tardiness
+        );
+    }
+
+    /// Generated instances always pass validation and respect the
+    /// documented ranges, for arbitrary sizes and seeds.
+    #[test]
+    fn generator_output_is_always_valid(
+        class_idx in 0u8..6, n in 1usize..120, seed in 0u64..10_000,
+    ) {
+        let inst = GeneratorConfig::new(class_from(class_idx), n, seed).build();
+        prop_assert!(inst.validate().is_empty());
+        prop_assert_eq!(inst.n_customers(), n);
+        for c in inst.customers() {
+            let s = inst.site(c);
+            prop_assert!((0.0..=100.0).contains(&s.x));
+            prop_assert!((0.0..=100.0).contains(&s.y));
+            prop_assert!((1.0..=50.0).contains(&s.demand));
+            prop_assert!(s.ready <= s.due);
+            prop_assert!(s.due + s.service + inst.dist(0, c) <= inst.horizon() + 1e-9);
+        }
+    }
+
+    /// Solomon serialization round-trips arbitrary generated instances.
+    #[test]
+    fn solomon_round_trip(
+        class_idx in 0u8..6, n in 1usize..60, seed in 0u64..1_000,
+    ) {
+        let inst = GeneratorConfig::new(class_from(class_idx), n, seed).build();
+        let again = solomon::parse(&solomon::write(&inst)).expect("round trip parses");
+        prop_assert_eq!(again.n_sites(), inst.n_sites());
+        prop_assert_eq!(again.max_vehicles(), inst.max_vehicles());
+        for i in 0..inst.n_sites() as SiteId {
+            let (a, b) = (inst.site(i), again.site(i));
+            prop_assert!((a.x - b.x).abs() < 1e-9);
+            prop_assert!((a.y - b.y).abs() < 1e-9);
+            prop_assert!((a.demand - b.demand).abs() < 1e-9);
+            prop_assert!((a.ready - b.ready).abs() < 1e-9);
+            prop_assert!((a.due - b.due).abs() < 1e-9);
+            prop_assert!((a.service - b.service).abs() < 1e-9);
+        }
+    }
+
+    /// Solution evaluation equals the sum of its route evaluations.
+    #[test]
+    fn solution_objectives_are_route_sums(
+        class_idx in 0u8..6, n in 5usize..40, seed in 0u64..500, k in 1usize..6,
+    ) {
+        let inst = GeneratorConfig::new(class_from(class_idx), n, seed).build();
+        let sol = random_solution(&inst, seed ^ 4, k);
+        let total = sol.evaluate(&inst);
+        let mut dist = 0.0;
+        let mut tard = 0.0;
+        for route in sol.routes() {
+            let e = evaluate_route(&inst, route);
+            dist += e.distance;
+            tard += e.tardiness;
+        }
+        prop_assert!((total.distance - dist).abs() < 1e-9);
+        prop_assert!((total.tardiness - tard).abs() < 1e-9);
+        prop_assert_eq!(total.vehicles, sol.n_deployed());
+    }
+}

@@ -1,0 +1,64 @@
+//! Compares the runtime and solution quality of the sequential,
+//! synchronous, and asynchronous variants on one instance — a one-instance
+//! slice of the paper's Tables.
+//!
+//! ```text
+//! cargo run --release --example parallel_speedup [-- <customers> <evals>]
+//! ```
+
+use std::sync::Arc;
+use tsmo_suite::prelude::*;
+use tsmo_suite::runstats::speedup_percent;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size: usize = args.first().map_or(150, |s| s.parse().expect("customers"));
+    let evals: u64 = args.get(1).map_or(30_000, |s| s.parse().expect("evals"));
+
+    let inst = Arc::new(GeneratorConfig::new(InstanceClass::C1, size, 7).build());
+    let cfg = TsmoConfig { max_evaluations: evals, seed: 3, ..TsmoConfig::default() };
+    println!(
+        "instance {} ({} customers), {} evaluations per run\n",
+        inst.name, size, evals
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>10}",
+        "algorithm", "runtime", "best dist", "vehicles", "speedup"
+    );
+
+    let seq = ParallelVariant::Sequential.run(&inst, &cfg);
+    let seq_time = seq.runtime_seconds;
+    report("Sequential TSMO", &seq, seq_time);
+
+    for p in [3usize, 6] {
+        let sync = ParallelVariant::Synchronous(p).run(&inst, &cfg);
+        report(&format!("TSMO sync. ({p})"), &sync, seq_time);
+        let asy = ParallelVariant::Asynchronous(p).run(&inst, &cfg);
+        report(&format!("TSMO async. ({p})"), &asy, seq_time);
+    }
+    println!("\n(speedup is the paper's convention: (T_seq/T_par − 1)·100%)");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 6 {
+        println!(
+            "note: this host reports {cores} core(s) — OS threads cannot show real\n\
+             speedup beyond that; see the `virtual_cluster` example for the\n\
+             virtual-time measurements the benchmark tables use"
+        );
+    }
+}
+
+fn report(label: &str, out: &TsmoOutcome, seq_time: f64) {
+    let speedup = if out.runtime_seconds > 0.0 {
+        format!("{:+.1}%", speedup_percent(seq_time, out.runtime_seconds))
+    } else {
+        "-".into()
+    };
+    println!(
+        "{:<22} {:>9.2}s {:>12} {:>10} {:>10}",
+        label,
+        out.runtime_seconds,
+        out.best_distance().map_or_else(|| "-".into(), |d| format!("{d:.1}")),
+        out.best_vehicles().map_or_else(|| "-".into(), |v| v.to_string()),
+        speedup
+    );
+}
