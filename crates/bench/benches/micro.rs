@@ -62,7 +62,9 @@ fn bench_archive(c: &mut Criterion) {
     let mut points = Vec::new();
     let mut x = 5u64;
     for _ in 0..1000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         points.push(vec![
             ((x >> 33) % 10_000) as f64,
             ((x >> 13) % 100) as f64,
@@ -124,7 +126,9 @@ fn bench_pareto(c: &mut Criterion) {
     let mut points = Vec::new();
     let mut x = 11u64;
     for _ in 0..200 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         points.push([
             ((x >> 33) % 10_000) as f64,
             ((x >> 13) % 100) as f64,
@@ -138,7 +142,9 @@ fn bench_pareto(c: &mut Criterion) {
         let idx = non_dominated_indices(&points);
         idx.into_iter().map(|i| points[i]).collect()
     };
-    g.bench_function("crowding_front", |b| b.iter(|| crowding_distances(black_box(&nd))));
+    g.bench_function("crowding_front", |b| {
+        b.iter(|| crowding_distances(black_box(&nd)))
+    });
     g.bench_function("coverage_front_vs_front", |b| {
         b.iter(|| coverage(black_box(&nd), black_box(&points)))
     });
@@ -161,7 +167,9 @@ fn bench_giant_tour(c: &mut Criterion) {
     let mut g = c.benchmark_group("representation");
     let (inst, ev) = setup(400);
     let sol = ev.solution().clone();
-    g.bench_function("giant_tour_encode_400", |b| b.iter(|| sol.giant_tour(&inst)));
+    g.bench_function("giant_tour_encode_400", |b| {
+        b.iter(|| sol.giant_tour(&inst))
+    });
     let tour = sol.giant_tour(&inst);
     g.bench_function("giant_tour_decode_400", |b| {
         b.iter(|| vrptw::Solution::from_giant_tour(&inst, black_box(&tour)).expect("valid"))

@@ -11,7 +11,11 @@ use tsmo_core::{AsyncTsmo, ParallelVariant, TsmoConfig};
 use vrptw::generator::GeneratorConfig;
 
 fn mini_cfg() -> TsmoConfig {
-    TsmoConfig { max_evaluations: 4_000, neighborhood_size: 100, ..TsmoConfig::default() }
+    TsmoConfig {
+        max_evaluations: 4_000,
+        neighborhood_size: 100,
+        ..TsmoConfig::default()
+    }
 }
 
 fn bench_table(c: &mut Criterion, table: usize) {
@@ -51,7 +55,11 @@ fn bench_fig1(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let cfg = TsmoConfig { trace: true, seed, ..mini_cfg() };
+            let cfg = TsmoConfig {
+                trace: true,
+                seed,
+                ..mini_cfg()
+            };
             AsyncTsmo::new(cfg, 4).run(&inst)
         })
     });

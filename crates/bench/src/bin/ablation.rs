@@ -29,9 +29,9 @@ use tsmo_core::{
     weighted_front, AdaptiveMemoryTs, AsyncTsmo, CollaborativeTsmo, HybridTsmo, SequentialTsmo,
     SimAsyncTsmo, SimSyncTsmo, TsmoConfig,
 };
-use vrptw_operators::{descend, DescentConfig};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 use vrptw::Instance;
+use vrptw_operators::{descend, DescentConfig};
 
 struct Opts {
     evals: u64,
@@ -43,7 +43,9 @@ struct Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
-        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
     };
     let study = args.first().cloned().unwrap_or_else(|| "all".to_string());
     let opts = Opts {
@@ -68,8 +70,19 @@ fn main() {
         "levels" => levels(&opts),
         "all" => {
             for f in [
-                tenure, nbhd, archive, feasibility, decision, comm, moea_cmp, hybrid, selection,
-                weights, hetero, polish, levels,
+                tenure,
+                nbhd,
+                archive,
+                feasibility,
+                decision,
+                comm,
+                moea_cmp,
+                hybrid,
+                selection,
+                weights,
+                hetero,
+                polish,
+                levels,
             ] {
                 f(&opts);
                 println!();
@@ -84,7 +97,11 @@ fn instance(opts: &Opts) -> Arc<Instance> {
 }
 
 fn base_cfg(opts: &Opts) -> TsmoConfig {
-    TsmoConfig { max_evaluations: opts.evals, neighborhood_size: 100, ..TsmoConfig::default() }
+    TsmoConfig {
+        max_evaluations: opts.evals,
+        neighborhood_size: 100,
+        ..TsmoConfig::default()
+    }
 }
 
 /// Runs the sequential algorithm `runs` times, returns best distances.
@@ -111,8 +128,14 @@ fn tenure(opts: &Opts) {
     println!("Ablation: tabu tenure sweep (paper default 20)");
     let inst = instance(opts);
     for tenure in [5usize, 10, 20, 40] {
-        let cfg = TsmoConfig { tabu_tenure: tenure, ..base_cfg(opts) };
-        print_row(&format!("tenure = {tenure}"), &seq_best_distances(&inst, &cfg, opts));
+        let cfg = TsmoConfig {
+            tabu_tenure: tenure,
+            ..base_cfg(opts)
+        };
+        print_row(
+            &format!("tenure = {tenure}"),
+            &seq_best_distances(&inst, &cfg, opts),
+        );
     }
 }
 
@@ -120,8 +143,14 @@ fn nbhd(opts: &Opts) {
     println!("Ablation: neighborhood size sweep (paper default 200)");
     let inst = instance(opts);
     for size in [50usize, 100, 200, 400] {
-        let cfg = TsmoConfig { neighborhood_size: size, ..base_cfg(opts) };
-        print_row(&format!("neighborhood = {size}"), &seq_best_distances(&inst, &cfg, opts));
+        let cfg = TsmoConfig {
+            neighborhood_size: size,
+            ..base_cfg(opts)
+        };
+        print_row(
+            &format!("neighborhood = {size}"),
+            &seq_best_distances(&inst, &cfg, opts),
+        );
     }
 }
 
@@ -129,8 +158,14 @@ fn archive(opts: &Opts) {
     println!("Ablation: archive capacity sweep (paper default 20)");
     let inst = instance(opts);
     for cap in [10usize, 20, 50] {
-        let cfg = TsmoConfig { archive_capacity: cap, ..base_cfg(opts) };
-        print_row(&format!("archive = {cap}"), &seq_best_distances(&inst, &cfg, opts));
+        let cfg = TsmoConfig {
+            archive_capacity: cap,
+            ..base_cfg(opts)
+        };
+        print_row(
+            &format!("archive = {cap}"),
+            &seq_best_distances(&inst, &cfg, opts),
+        );
     }
 }
 
@@ -138,9 +173,14 @@ fn feasibility(opts: &Opts) {
     println!("Ablation: local feasibility criterion (paper: on)");
     let inst = instance(opts);
     for on in [true, false] {
-        let cfg = TsmoConfig { feasibility_criterion: on, ..base_cfg(opts) };
-        print_row(if on { "criterion on" } else { "criterion off" },
-                  &seq_best_distances(&inst, &cfg, opts));
+        let cfg = TsmoConfig {
+            feasibility_criterion: on,
+            ..base_cfg(opts)
+        };
+        print_row(
+            if on { "criterion on" } else { "criterion off" },
+            &seq_best_distances(&inst, &cfg, opts),
+        );
     }
 }
 
@@ -148,7 +188,10 @@ fn decision(opts: &Opts) {
     println!("Ablation: async decision-function wait bound (c3)");
     let inst = instance(opts);
     for wait_ms in [0u64, 1, 20, 200] {
-        let cfg = TsmoConfig { async_max_wait_ms: wait_ms, ..base_cfg(opts) };
+        let cfg = TsmoConfig {
+            async_max_wait_ms: wait_ms,
+            ..base_cfg(opts)
+        };
         let mut dists = Vec::new();
         let mut times = Vec::new();
         for r in 0..opts.runs {
@@ -160,7 +203,10 @@ fn decision(opts: &Opts) {
         }
         let t = Summary::of(&times);
         if dists.is_empty() {
-            println!("  wait = {wait_ms:>3} ms: runtime {} (no feasible solutions)", t.cell());
+            println!(
+                "  wait = {wait_ms:>3} ms: runtime {} (no feasible solutions)",
+                t.cell()
+            );
         } else {
             println!(
                 "  wait = {wait_ms:>3} ms: best distance {} runtime {}",
@@ -175,19 +221,16 @@ fn comm(opts: &Opts) {
     println!("Ablation: collaborative searcher count (per-searcher budgets)");
     let inst = instance(opts);
     let reference = {
-        let out =
-            SequentialTsmo::new(base_cfg(opts).with_seed(opts.seed ^ 0xF00)).run(&inst);
+        let out = SequentialTsmo::new(base_cfg(opts).with_seed(opts.seed ^ 0xF00)).run(&inst);
         out.feasible_vectors()
     };
     for searchers in [1usize, 2, 4, 8] {
         let mut covs = Vec::new();
         let mut times = Vec::new();
         for r in 0..opts.runs {
-            let out = CollaborativeTsmo::new(
-                base_cfg(opts).with_seed(opts.seed + r as u64),
-                searchers,
-            )
-            .run(&inst);
+            let out =
+                CollaborativeTsmo::new(base_cfg(opts).with_seed(opts.seed + r as u64), searchers)
+                    .run(&inst);
             covs.push(coverage(&out.feasible_vectors(), &reference) * 100.0);
             times.push(out.runtime_seconds);
         }
@@ -207,15 +250,21 @@ fn hybrid(opts: &Opts) {
     let inst = instance(opts);
     let mut rows: LabeledRuns = Vec::new();
     for (label, runner) in [
-        ("async (4 procs)", Box::new(|seed: u64| {
-            AsyncTsmo::new(base_cfg(opts).with_seed(seed), 4).run(&inst)
-        }) as Box<dyn Fn(u64) -> tsmo_core::TsmoOutcome>),
-        ("collaborative (4)", Box::new(|seed: u64| {
-            CollaborativeTsmo::new(base_cfg(opts).with_seed(seed), 4).run(&inst)
-        })),
-        ("hybrid (2 x 2)", Box::new(|seed: u64| {
-            HybridTsmo::new(base_cfg(opts).with_seed(seed), 2, 2).run(&inst)
-        })),
+        (
+            "async (4 procs)",
+            Box::new(|seed: u64| AsyncTsmo::new(base_cfg(opts).with_seed(seed), 4).run(&inst))
+                as Box<dyn Fn(u64) -> tsmo_core::TsmoOutcome>,
+        ),
+        (
+            "collaborative (4)",
+            Box::new(|seed: u64| {
+                CollaborativeTsmo::new(base_cfg(opts).with_seed(seed), 4).run(&inst)
+            }),
+        ),
+        (
+            "hybrid (2 x 2)",
+            Box::new(|seed: u64| HybridTsmo::new(base_cfg(opts).with_seed(seed), 2, 2).run(&inst)),
+        ),
     ] {
         let mut fronts = Vec::new();
         let mut times = Vec::new();
@@ -255,7 +304,10 @@ fn selection(opts: &Opts) {
         ("random non-dominated", SelectionRule::RandomNonDominated),
         ("prefer dominating", SelectionRule::PreferDominating),
     ] {
-        let cfg = TsmoConfig { selection: rule, ..base_cfg(opts) };
+        let cfg = TsmoConfig {
+            selection: rule,
+            ..base_cfg(opts)
+        };
         print_row(label, &seq_best_distances(&inst, &cfg, opts));
     }
 }
@@ -269,7 +321,10 @@ fn weights(opts: &Opts) {
     for r in 0..opts.runs {
         let out = SequentialTsmo::new(base_cfg(opts).with_seed(opts.seed + r as u64)).run(&inst);
         ts_fronts.push(
-            out.archive.iter().map(|e| e.objectives.to_vector()).collect::<Vec<_>>(),
+            out.archive
+                .iter()
+                .map(|e| e.objectives.to_vector())
+                .collect::<Vec<_>>(),
         );
     }
     for k in [3usize, 5, 10] {
@@ -282,8 +337,11 @@ fn weights(opts: &Opts) {
                 k,
                 opts.evals,
             );
-            let ws: Vec<[f64; 3]> =
-                front.items().iter().map(|e| e.objectives.to_vector()).collect();
+            let ws: Vec<[f64; 3]> = front
+                .items()
+                .iter()
+                .map(|e| e.objectives.to_vector())
+                .collect();
             for mo in &ts_fronts {
                 c_mo.push(coverage(mo, &ws) * 100.0);
                 c_ws.push(coverage(&ws, mo) * 100.0);
@@ -306,15 +364,20 @@ fn hetero(opts: &Opts) {
     // Homogeneous reference vs a machine whose last two workers run at
     // half speed.
     let speeds_hetero = vec![1.0, 1.0, 0.5, 0.5];
-    for (label, speeds) in
-        [("homogeneous", vec![1.0; p]), ("half-speed workers", speeds_hetero)]
-    {
+    for (label, speeds) in [
+        ("homogeneous", vec![1.0; p]),
+        ("half-speed workers", speeds_hetero),
+    ] {
         let mut sync_t = Vec::new();
         let mut async_t = Vec::new();
         for r in 0..opts.runs {
             let cfg = base_cfg(opts).with_seed(opts.seed + r as u64);
-            let s = SimSyncTsmo::new(cfg.clone(), p).with_speeds(speeds.clone()).run(&inst);
-            let a = SimAsyncTsmo::new(cfg, p).with_speeds(speeds.clone()).run(&inst);
+            let s = SimSyncTsmo::new(cfg.clone(), p)
+                .with_speeds(speeds.clone())
+                .run(&inst);
+            let a = SimAsyncTsmo::new(cfg, p)
+                .with_speeds(speeds.clone())
+                .run(&inst);
             sync_t.push(s.runtime_seconds);
             async_t.push(a.runtime_seconds);
         }
@@ -337,27 +400,38 @@ fn levels(opts: &Opts) {
     let p = 4usize;
     let mut rows: Vec<(&str, Vec<Vec<[f64; 3]>>)> = Vec::new();
     for (label, runner) in [
-        ("functional (async)", Box::new(|seed: u64| {
-            AsyncTsmo::new(base_cfg(opts).with_seed(seed), p).run(&inst)
-        }) as Box<dyn Fn(u64) -> tsmo_core::TsmoOutcome>),
-        ("domain (adaptive)", Box::new(|seed: u64| {
-            let mut ts = AdaptiveMemoryTs::new(base_cfg(opts).with_seed(seed), p);
-            ts.task_evaluations = (opts.evals as usize / 10).max(200);
-            ts.run(&inst)
-        })),
-        ("multisearch (coll)", Box::new(|seed: u64| {
-            // Same *total* budget: divide by the searcher count since the
-            // collaborative variant budgets per searcher.
-            let mut cfg = base_cfg(opts).with_seed(seed);
-            cfg.max_evaluations = (opts.evals / p as u64).max(1);
-            CollaborativeTsmo::new(cfg, p).run(&inst)
-        })),
+        (
+            "functional (async)",
+            Box::new(|seed: u64| AsyncTsmo::new(base_cfg(opts).with_seed(seed), p).run(&inst))
+                as Box<dyn Fn(u64) -> tsmo_core::TsmoOutcome>,
+        ),
+        (
+            "domain (adaptive)",
+            Box::new(|seed: u64| {
+                let mut ts = AdaptiveMemoryTs::new(base_cfg(opts).with_seed(seed), p);
+                ts.task_evaluations = (opts.evals as usize / 10).max(200);
+                ts.run(&inst)
+            }),
+        ),
+        (
+            "multisearch (coll)",
+            Box::new(|seed: u64| {
+                // Same *total* budget: divide by the searcher count since the
+                // collaborative variant budgets per searcher.
+                let mut cfg = base_cfg(opts).with_seed(seed);
+                cfg.max_evaluations = (opts.evals / p as u64).max(1);
+                CollaborativeTsmo::new(cfg, p).run(&inst)
+            }),
+        ),
     ] {
         let mut fronts = Vec::new();
         for r in 0..opts.runs {
             let out = runner(opts.seed + r as u64);
             fronts.push(
-                out.archive.iter().map(|e| e.objectives.to_vector()).collect::<Vec<_>>(),
+                out.archive
+                    .iter()
+                    .map(|e| e.objectives.to_vector())
+                    .collect::<Vec<_>>(),
             );
         }
         rows.push((label, fronts));
@@ -374,7 +448,10 @@ fn levels(opts: &Opts) {
                 }
             }
         }
-        println!("  {label:<20} covers the other levels {}", Summary::of(&covs).cell());
+        println!(
+            "  {label:<20} covers the other levels {}",
+            Summary::of(&covs).cell()
+        );
     }
 }
 
@@ -402,8 +479,11 @@ fn polish(opts: &Opts) {
 fn moea_cmp(opts: &Opts) {
     println!("Extension: NSGA-II & SPEA2 vs sequential TSMO on equal budgets (paper future work)");
     let inst = instance(opts);
-    let mut fronts: Vec<(&str, Vec<Vec<[f64; 3]>>)> =
-        vec![("TSMO", Vec::new()), ("NSGA-II", Vec::new()), ("SPEA2", Vec::new())];
+    let mut fronts: Vec<(&str, Vec<Vec<[f64; 3]>>)> = vec![
+        ("TSMO", Vec::new()),
+        ("NSGA-II", Vec::new()),
+        ("SPEA2", Vec::new()),
+    ];
     for r in 0..opts.runs {
         let seed = opts.seed + r as u64;
         let ts = SequentialTsmo::new(base_cfg(opts).with_seed(seed)).run(&inst);

@@ -4,20 +4,27 @@
 //! ```text
 //! cargo run --release -p bench --bin fig1 -- [--evals E] [--procs P]
 //!     [--size N] [--seed S] [--csv PATH] [--iters-shown K]
+//!     [--metrics-out PATH] [--events-out PATH]
 //! ```
 //!
 //! Prints an ASCII rendition of the figure (distance × tardiness plane,
 //! digits = creating iteration mod 10, `●` = selected current solutions)
 //! and optionally writes the full trace CSV for external plotting.
+//! `--metrics-out`/`--events-out` export the run's telemetry (Prometheus
+//! text and structured JSONL events; see the `tsmo-obs` crate) — useful
+//! for relating the trajectory to staleness and worker utilization.
 
 use std::sync::Arc;
 use tsmo_core::{AsyncTsmo, TsmoConfig};
+use tsmo_obs::{MemoryRecorder, Recorder};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
-        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
     };
     let evals: u64 = get("--evals").map_or(4_000, |s| s.parse().expect("--evals"));
     let procs: usize = get("--procs").map_or(4, |s| s.parse().expect("--procs"));
@@ -33,13 +40,33 @@ fn main() {
         seed,
         ..TsmoConfig::default()
     };
-    eprintln!("async TSMO on {} ({} customers), {} processors, {} evaluations", inst.name, size, procs, evals);
-    let out = AsyncTsmo::new(cfg, procs).run(&inst);
+    eprintln!(
+        "async TSMO on {} ({} customers), {} processors, {} evaluations",
+        inst.name, size, procs, evals
+    );
+    let metrics_out = get("--metrics-out");
+    let events_out = get("--events-out");
+    let memory = (metrics_out.is_some() || events_out.is_some()).then(MemoryRecorder::shared);
+    let recorder: Arc<dyn Recorder> = memory
+        .clone()
+        .map_or_else(tsmo_obs::noop, |m| m as Arc<dyn Recorder>);
+    let out = AsyncTsmo::new(cfg, procs).run_with(&inst, recorder);
+    if let Some(memory) = &memory {
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, memory.prometheus()).expect("failed to write metrics");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &events_out {
+            std::fs::write(path, memory.events_jsonl()).expect("failed to write events");
+            eprintln!("wrote {path} ({} events)", memory.event_count());
+        }
+        eprint!("{}", memory.summary());
+    }
     let trace = out.trace.expect("tracing was enabled");
 
     eprintln!(
         "{} trace points, {} selected currents, max staleness {} iterations",
-        trace.points.len(),
+        trace.len(),
         trace.trajectory().len(),
         trace.max_staleness()
     );
@@ -47,7 +74,6 @@ fn main() {
     // Show the early search (the figure sketches the approach to the
     // front), restricted to the first `iters_shown` iterations.
     let pts: Vec<_> = trace
-        .points
         .iter()
         .filter(|p| p.iter_considered <= iters_shown)
         .collect();
@@ -58,13 +84,23 @@ fn main() {
     // Axes: f1 (distance) on x, f3 (tardiness) on y, like the trajectory
     // approaching the pareto-optimal front.
     let (w, h) = (78usize, 24usize);
-    let min_x = pts.iter().map(|p| p.objectives.distance).fold(f64::INFINITY, f64::min);
-    let max_x = pts.iter().map(|p| p.objectives.distance).fold(f64::NEG_INFINITY, f64::max);
-    let min_y = pts.iter().map(|p| p.objectives.tardiness).fold(f64::INFINITY, f64::min);
-    let max_y = pts.iter().map(|p| p.objectives.tardiness).fold(f64::NEG_INFINITY, f64::max);
-    let sx = |x: f64| {
-        (((x - min_x) / (max_x - min_x).max(1e-9)) * (w - 1) as f64).round() as usize
-    };
+    let min_x = pts
+        .iter()
+        .map(|p| p.objectives.distance)
+        .fold(f64::INFINITY, f64::min);
+    let max_x = pts
+        .iter()
+        .map(|p| p.objectives.distance)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min_y = pts
+        .iter()
+        .map(|p| p.objectives.tardiness)
+        .fold(f64::INFINITY, f64::min);
+    let max_y = pts
+        .iter()
+        .map(|p| p.objectives.tardiness)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let sx = |x: f64| (((x - min_x) / (max_x - min_x).max(1e-9)) * (w - 1) as f64).round() as usize;
     let sy = |y: f64| {
         (h - 1) - (((y - min_y) / (max_y - min_y).max(1e-9)) * (h - 1) as f64).round() as usize
     };

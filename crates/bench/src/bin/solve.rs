@@ -6,22 +6,32 @@
 //! cargo run --release -p bench --bin solve -- [FILE]
 //!     [--variant seq|sync|async|coll|hybrid|nsga2] [--procs P]
 //!     [--searchers S] [--evals E] [--seed S] [--class R1] [--size N]
-//!     [--out solutions.txt]
+//!     [--out solutions.txt] [--metrics-out metrics.txt]
+//!     [--events-out events.jsonl]
 //! ```
 //!
 //! With a FILE argument the instance is parsed from Solomon format;
 //! otherwise one is generated from `--class`/`--size`/`--seed`.
+//!
+//! `--metrics-out` writes the run's metrics in Prometheus text exposition
+//! (and prints a human-readable summary on stderr); `--events-out` writes
+//! the structured JSONL event stream (see the `tsmo-obs` crate). Both
+//! apply to the TSMO variants; the `hybrid` and `nsga2` baselines are not
+//! instrumented.
 
 use moea::{Nsga2, Nsga2Config};
 use std::sync::Arc;
 use tsmo_core::{HybridTsmo, ParallelVariant, TsmoConfig};
+use tsmo_obs::{MemoryRecorder, Recorder};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 use vrptw::{solomon, Instance, Objectives, Solution};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
-        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
     };
     let file = args.first().filter(|a| !a.starts_with("--")).cloned();
     let variant = get("--variant").unwrap_or_else(|| "seq".into());
@@ -54,24 +64,61 @@ fn main() {
         inst.capacity()
     );
 
-    let cfg = TsmoConfig { max_evaluations: evals, seed, ..TsmoConfig::default() };
+    let metrics_out = get("--metrics-out");
+    let events_out = get("--events-out");
+    let memory = (metrics_out.is_some() || events_out.is_some()).then(MemoryRecorder::shared);
+    let recorder: Arc<dyn Recorder> = memory
+        .clone()
+        .map_or_else(tsmo_obs::noop, |m| m as Arc<dyn Recorder>);
+    if memory.is_some() && matches!(variant.as_str(), "hybrid" | "nsga2") {
+        eprintln!("note: the {variant} baseline is not instrumented; telemetry will be empty");
+    }
+
+    let cfg = TsmoConfig {
+        max_evaluations: evals,
+        seed,
+        ..TsmoConfig::default()
+    };
     let front: Vec<(Solution, Objectives)> = match variant.as_str() {
-        "seq" => collect(ParallelVariant::Sequential.run(&inst, &cfg)),
-        "sync" => collect(ParallelVariant::Synchronous(procs).run(&inst, &cfg)),
-        "async" => collect(ParallelVariant::Asynchronous(procs).run(&inst, &cfg)),
-        "coll" => collect(ParallelVariant::Collaborative(searchers).run(&inst, &cfg)),
+        "seq" => collect(ParallelVariant::Sequential.run_with(&inst, &cfg, recorder)),
+        "sync" => collect(ParallelVariant::Synchronous(procs).run_with(&inst, &cfg, recorder)),
+        "async" => collect(ParallelVariant::Asynchronous(procs).run_with(&inst, &cfg, recorder)),
+        "coll" => {
+            collect(ParallelVariant::Collaborative(searchers).run_with(&inst, &cfg, recorder))
+        }
         "hybrid" => collect(HybridTsmo::new(cfg, searchers, procs).run(&inst)),
-        "nsga2" => Nsga2::new(Nsga2Config { max_evaluations: evals, seed, ..Default::default() })
+        "nsga2" => {
+            Nsga2::new(Nsga2Config {
+                max_evaluations: evals,
+                seed,
+                ..Default::default()
+            })
             .run(&inst)
-            .front,
+            .front
+        }
         other => panic!("unknown variant {other:?} (seq|sync|async|coll|hybrid|nsga2)"),
     };
+
+    if let Some(memory) = &memory {
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, memory.prometheus()).expect("failed to write metrics");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &events_out {
+            std::fs::write(path, memory.events_jsonl()).expect("failed to write events");
+            eprintln!("wrote {path} ({} events)", memory.event_count());
+        }
+        eprint!("{}", memory.summary());
+    }
 
     println!("{:>12} {:>9} {:>11}", "distance", "vehicles", "tardiness");
     let mut rows: Vec<&(Solution, Objectives)> = front.iter().collect();
     rows.sort_by(|a, b| a.1.distance.partial_cmp(&b.1.distance).expect("not NaN"));
     for (_, o) in &rows {
-        println!("{:>12.2} {:>9} {:>11.2}", o.distance, o.vehicles, o.tardiness);
+        println!(
+            "{:>12.2} {:>9} {:>11.2}",
+            o.distance, o.vehicles, o.tardiness
+        );
     }
 
     if let Some(path) = get("--out") {
@@ -94,13 +141,19 @@ fn main() {
 }
 
 fn collect(out: tsmo_core::TsmoOutcome) -> Vec<(Solution, Objectives)> {
-    out.archive.into_iter().map(|e| (e.solution, e.objectives)).collect()
+    out.archive
+        .into_iter()
+        .map(|e| (e.solution, e.objectives))
+        .collect()
 }
 
 fn check_front(inst: &Instance, front: &[(Solution, Objectives)]) -> usize {
     let mut ok = 0;
     for (sol, _) in front {
-        assert!(sol.check(inst).is_empty(), "solver produced an invalid solution");
+        assert!(
+            sol.check(inst).is_empty(),
+            "solver produced an invalid solution"
+        );
         ok += 1;
     }
     ok

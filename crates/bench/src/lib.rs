@@ -181,8 +181,17 @@ fn measure(outcome: &TsmoOutcome) -> (f64, f64, f64) {
 
 /// Runs the full lineup over the problem set. `progress` is invoked after
 /// every `(algorithm, problem, run)` cell for live feedback.
-pub fn run_table(
+pub fn run_table(opts: &TableOpts, progress: impl FnMut(&str, usize, usize)) -> Vec<AlgoResult> {
+    run_table_with(opts, tsmo_obs::noop(), progress)
+}
+
+/// [`run_table`] with a telemetry sink shared by every cell: counters
+/// (iterations, evaluations, restarts, tabu hits, exchanges) accumulate
+/// over the whole table, which is what the `tables` binary's
+/// `--metrics-out` flag exposes.
+pub fn run_table_with(
     opts: &TableOpts,
+    recorder: Arc<dyn tsmo_obs::Recorder>,
     mut progress: impl FnMut(&str, usize, usize),
 ) -> Vec<AlgoResult> {
     let problems = problem_set(opts);
@@ -191,11 +200,14 @@ pub fn run_table(
     for variant in lineup {
         let label = variant.label();
         let mut per_run = vec![
-            RunAggregate { distance: 0.0, vehicles: 0.0, runtime: 0.0 };
+            RunAggregate {
+                distance: 0.0,
+                vehicles: 0.0,
+                runtime: 0.0
+            };
             opts.runs
         ];
-        let mut fronts: Vec<Vec<Vec<[f64; 3]>>> =
-            vec![vec![Vec::new(); opts.runs]; problems.len()];
+        let mut fronts: Vec<Vec<Vec<[f64; 3]>>> = vec![vec![Vec::new(); opts.runs]; problems.len()];
         for (pi, inst) in problems.iter().enumerate() {
             for run in 0..opts.runs {
                 let cfg = TsmoConfig {
@@ -207,8 +219,10 @@ pub fn run_table(
                     ..TsmoConfig::default()
                 };
                 let out = match opts.timing {
-                    TimingMode::Real => variant.run(inst, &cfg),
-                    TimingMode::Virtual => variant.run_simulated(inst, &cfg),
+                    TimingMode::Real => variant.run_with(inst, &cfg, Arc::clone(&recorder)),
+                    TimingMode::Virtual => {
+                        variant.run_simulated_with(inst, &cfg, Arc::clone(&recorder))
+                    }
                 };
                 let (d, v, t) = measure(&out);
                 per_run[run].distance += d;
@@ -218,7 +232,11 @@ pub fn run_table(
                 progress(&label, pi, run);
             }
         }
-        results.push(AlgoResult { label, per_run, fronts });
+        results.push(AlgoResult {
+            label,
+            per_run,
+            fronts,
+        });
     }
     results
 }
@@ -296,8 +314,7 @@ pub fn ttest_report(results: &[AlgoResult]) -> String {
     for a in results {
         for b in results {
             let is_coll_pair = a.label.contains("coll") && !b.label.contains("coll");
-            let is_sync_seq =
-                a.label.contains("sync") && b.label.starts_with("Sequential");
+            let is_sync_seq = a.label.contains("sync") && b.label.starts_with("Sequential");
             if is_coll_pair || is_sync_seq {
                 let r = welch_t_test(&dist(a), &dist(b));
                 out.push_str(&format!(
@@ -305,7 +322,11 @@ pub fn ttest_report(results: &[AlgoResult]) -> String {
                     a.label,
                     b.label,
                     r.p_value,
-                    if r.significant(0.05) { "  (significant)" } else { "" }
+                    if r.significant(0.05) {
+                        "  (significant)"
+                    } else {
+                        ""
+                    }
                 ));
             }
         }
@@ -342,10 +363,22 @@ mod tests {
 
     #[test]
     fn table_problem_sets_match_paper() {
-        assert_eq!(table_problem_set(1, true), (vec![InstanceClass::C1, InstanceClass::R1], 400));
-        assert_eq!(table_problem_set(2, true), (vec![InstanceClass::C2, InstanceClass::R2], 400));
-        assert_eq!(table_problem_set(3, true), (vec![InstanceClass::C1, InstanceClass::R1], 600));
-        assert_eq!(table_problem_set(4, true), (vec![InstanceClass::C2, InstanceClass::R2], 600));
+        assert_eq!(
+            table_problem_set(1, true),
+            (vec![InstanceClass::C1, InstanceClass::R1], 400)
+        );
+        assert_eq!(
+            table_problem_set(2, true),
+            (vec![InstanceClass::C2, InstanceClass::R2], 400)
+        );
+        assert_eq!(
+            table_problem_set(3, true),
+            (vec![InstanceClass::C1, InstanceClass::R1], 600)
+        );
+        assert_eq!(
+            table_problem_set(4, true),
+            (vec![InstanceClass::C2, InstanceClass::R2], 600)
+        );
     }
 
     #[test]

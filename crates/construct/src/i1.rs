@@ -32,7 +32,12 @@ pub struct I1Config {
 
 impl Default for I1Config {
     fn default() -> Self {
-        Self { alpha1: 0.5, mu: 1.0, lambda: 1.0, seed_farthest: true }
+        Self {
+            alpha1: 0.5,
+            mu: 1.0,
+            lambda: 1.0,
+            seed_farthest: true,
+        }
     }
 }
 
@@ -95,7 +100,11 @@ fn best_insertion(
             // Depot return "service start" is just the arrival.
             depart_i + inst.dist(i, DEPOT)
         };
-        let sj = if j == DEPOT { inst.depot().ready } else { inst.site(j).ready };
+        let sj = if j == DEPOT {
+            inst.depot().ready
+        } else {
+            inst.site(j).ready
+        };
         let new_start_j = arr_j.max(sj);
         let push_back = (new_start_j - old_start_j).max(0.0);
         let detour = inst.dist(i, u) + inst.dist(u, j) - cfg.mu * inst.dist(i, j);
@@ -164,7 +173,10 @@ pub fn i1(inst: &Instance, cfg: &I1Config) -> Solution {
 fn force_insert(inst: &Instance, routes: &mut [Vec<SiteId>], unrouted: &mut Vec<SiteId>) {
     // Serve the most urgent leftovers first.
     unrouted.sort_by(|&a, &b| {
-        inst.site(a).due.partial_cmp(&inst.site(b).due).expect("due dates are not NaN")
+        inst.site(a)
+            .due
+            .partial_cmp(&inst.site(b).due)
+            .expect("due dates are not NaN")
     });
     for &u in unrouted.iter() {
         let demand = inst.site(u).demand;
@@ -248,7 +260,11 @@ mod tests {
         let inst = GeneratorConfig::new(InstanceClass::C2, 50, 21).build();
         let sol = i1(&inst, &I1Config::default());
         assert!(sol.check(&inst).is_empty());
-        assert_eq!(sol.evaluate(&inst).tardiness, 0.0, "large-window I1 must be feasible");
+        assert_eq!(
+            sol.evaluate(&inst).tardiness,
+            0.0,
+            "large-window I1 must be feasible"
+        );
     }
 
     #[test]
@@ -274,8 +290,20 @@ mod tests {
     #[test]
     fn seed_rules_differ() {
         let inst = GeneratorConfig::new(InstanceClass::R1, 60, 2).build();
-        let far = i1(&inst, &I1Config { seed_farthest: true, ..Default::default() });
-        let due = i1(&inst, &I1Config { seed_farthest: false, ..Default::default() });
+        let far = i1(
+            &inst,
+            &I1Config {
+                seed_farthest: true,
+                ..Default::default()
+            },
+        );
+        let due = i1(
+            &inst,
+            &I1Config {
+                seed_farthest: false,
+                ..Default::default()
+            },
+        );
         assert_ne!(far, due, "the two seed rules should explore differently");
     }
 
@@ -305,9 +333,22 @@ mod tests {
 
     #[test]
     fn single_customer_instance() {
-        let depot =
-            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 100.0, service: 0.0 };
-        let c = Customer { x: 3.0, y: 4.0, demand: 1.0, ready: 0.0, due: 50.0, service: 2.0 };
+        let depot = Customer {
+            x: 0.0,
+            y: 0.0,
+            demand: 0.0,
+            ready: 0.0,
+            due: 100.0,
+            service: 0.0,
+        };
+        let c = Customer {
+            x: 3.0,
+            y: 4.0,
+            demand: 1.0,
+            ready: 0.0,
+            due: 50.0,
+            service: 2.0,
+        };
         let inst = Instance::new("one", vec![depot, c], 10.0, 1);
         let sol = i1(&inst, &I1Config::default());
         assert_eq!(sol.routes(), &[vec![1]]);
@@ -318,7 +359,9 @@ mod tests {
     fn leftovers_are_forced_in_when_fleet_is_tiny() {
         // 12 customers but only 2 vehicles of capacity 200: packable by
         // demand, but tight windows may force tardiness — completeness wins.
-        let inst = GeneratorConfig::new(InstanceClass::R1, 12, 4).with_max_vehicles(2).build();
+        let inst = GeneratorConfig::new(InstanceClass::R1, 12, 4)
+            .with_max_vehicles(2)
+            .build();
         let sol = i1(&inst, &I1Config::default());
         assert!(sol.check(&inst).is_empty());
         assert!(sol.n_deployed() <= 2);

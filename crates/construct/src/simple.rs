@@ -109,8 +109,7 @@ pub fn nearest_neighbor(inst: &Instance) -> Solution {
 /// satisfied and no positive saving remains.
 pub fn savings(inst: &Instance) -> Solution {
     // routes as deques: (customers, load); customer -> route index maps.
-    let mut routes: Vec<Option<Vec<SiteId>>> =
-        inst.customers().map(|c| Some(vec![c])).collect();
+    let mut routes: Vec<Option<Vec<SiteId>>> = inst.customers().map(|c| Some(vec![c])).collect();
     let mut loads: Vec<f64> = inst.customers().map(|c| inst.site(c).demand).collect();
     let mut route_of: Vec<usize> = vec![usize::MAX; inst.n_sites()];
     for (ri, c) in inst.customers().enumerate() {
@@ -138,7 +137,10 @@ pub fn savings(inst: &Instance) -> Solution {
         if ri == rj {
             continue;
         }
-        let (a, b) = (routes[ri].as_ref().expect("live route"), routes[rj].as_ref().expect("live route"));
+        let (a, b) = (
+            routes[ri].as_ref().expect("live route"),
+            routes[rj].as_ref().expect("live route"),
+        );
         // i must be the tail of its route and j the head of its route.
         if *a.last().expect("non-empty") != i || b[0] != j {
             continue;
@@ -180,7 +182,10 @@ pub fn savings(inst: &Instance) -> Solution {
                 break;
             }
         }
-        assert!(merged, "fleet limit unreachable even though total demand fits");
+        assert!(
+            merged,
+            "fleet limit unreachable even though total demand fits"
+        );
     }
     let _ = n_routes;
     Solution::from_routes(flat)
@@ -273,8 +278,7 @@ mod tests {
     #[test]
     fn savings_shortens_total_distance_vs_trivial() {
         let inst = GeneratorConfig::new(InstanceClass::C2, 60, 10).build();
-        let trivial_dist: f64 =
-            inst.customers().map(|c| 2.0 * inst.dist(DEPOT, c)).sum();
+        let trivial_dist: f64 = inst.customers().map(|c| 2.0 * inst.dist(DEPOT, c)).sum();
         let sol = savings(&inst);
         assert!(sol.evaluate(&inst).distance < trivial_dist);
     }
@@ -307,7 +311,9 @@ mod tests {
         let depot = inst.depot();
         let angle = |c: SiteId| {
             let s = inst.site(c);
-            (s.y - depot.y).atan2(s.x - depot.x).rem_euclid(std::f64::consts::TAU)
+            (s.y - depot.y)
+                .atan2(s.x - depot.x)
+                .rem_euclid(std::f64::consts::TAU)
         };
         for route in sol.routes() {
             let angles: Vec<f64> = route.iter().map(|&c| angle(c)).collect();
@@ -330,7 +336,10 @@ mod tests {
     fn both_baselines_complete_on_every_class() {
         for class in InstanceClass::ALL {
             for (name, sol) in [
-                ("nn", nearest_neighbor(&GeneratorConfig::new(class, 40, 3).build())),
+                (
+                    "nn",
+                    nearest_neighbor(&GeneratorConfig::new(class, 40, 3).build()),
+                ),
                 ("cw", savings(&GeneratorConfig::new(class, 40, 3).build())),
             ] {
                 let inst = GeneratorConfig::new(class, 40, 3).build();

@@ -51,7 +51,10 @@ impl AdaptiveMemory {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "memory capacity must be positive");
-        Self { routes: Vec::with_capacity(capacity + 32), capacity }
+        Self {
+            routes: Vec::with_capacity(capacity + 32),
+            capacity,
+        }
     }
 
     /// Number of stored routes.
@@ -70,7 +73,8 @@ impl AdaptiveMemory {
         for route in solution.routes() {
             self.routes.push((route.clone(), value));
         }
-        self.routes.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("values are not NaN"));
+        self.routes
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("values are not NaN"));
         self.routes.truncate(self.capacity);
     }
 
@@ -168,7 +172,9 @@ fn improve(
     evals: usize,
     cfg: &TsmoConfig,
 ) -> (Solution, Objectives) {
-    let params = SampleParams { feasibility: cfg.feasibility_criterion };
+    let params = SampleParams {
+        feasibility: cfg.feasibility_criterion,
+    };
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let mut current = EvaluatedSolution::new(start, inst);
     let mut best = current.solution().clone();
@@ -229,7 +235,12 @@ impl AdaptiveMemoryTs {
     /// Panics if `processors == 0`.
     pub fn new(cfg: TsmoConfig, processors: usize) -> Self {
         assert!(processors > 0, "need at least the master processor");
-        Self { cfg, processors, pool_capacity: 200, task_evaluations: 2_000 }
+        Self {
+            cfg,
+            processors,
+            pool_capacity: 200,
+            task_evaluations: 2_000,
+        }
     }
 
     /// Runs to budget exhaustion; returns the Pareto archive of every
@@ -259,27 +270,34 @@ impl AdaptiveMemoryTs {
         let worker_cfg = cfg.clone();
         let pool = (self.processors > 1).then(|| {
             let inst = Arc::clone(inst);
-            MasterWorker::<Task, (Solution, Objectives)>::spawn(
-                self.processors - 1,
-                move |_, t| improve(&inst, t.start, t.seed, t.evals, &worker_cfg),
-            )
+            MasterWorker::<Task, (Solution, Objectives)>::spawn(self.processors - 1, move |_, t| {
+                improve(&inst, t.start, t.seed, t.evals, &worker_cfg)
+            })
         });
         let n_workers = pool.as_ref().map_or(0, |p| p.n_workers());
         let mut outstanding = 0usize;
 
-        let absorb =
-            |memory: &mut AdaptiveMemory, archive: &mut Archive<FrontEntry>, s: Solution, o: Objectives| {
-                archive.insert(FrontEntry::new(s.clone(), o));
-                memory.absorb(&s, scalar(o));
-            };
+        let absorb = |memory: &mut AdaptiveMemory,
+                      archive: &mut Archive<FrontEntry>,
+                      s: Solution,
+                      o: Objectives| {
+            archive.insert(FrontEntry::new(s.clone(), o));
+            memory.absorb(&s, scalar(o));
+        };
 
         loop {
             // Collect finished improvements.
             if let Some(p) = &pool {
-                while let Some((_, (s, o))) = p.try_recv() {
-                    outstanding -= 1;
-                    iterations += 1;
-                    absorb(&mut memory, &mut archive, s, o);
+                loop {
+                    match p.try_recv() {
+                        Ok(Some((_, (s, o)))) => {
+                            outstanding -= 1;
+                            iterations += 1;
+                            absorb(&mut memory, &mut archive, s, o);
+                        }
+                        Ok(None) => break,
+                        Err(e) => panic!("adaptive-memory worker pool failed: {e}"),
+                    }
                 }
             }
             if budget.exhausted() {
@@ -295,7 +313,11 @@ impl AdaptiveMemoryTs {
                     let start = memory.sample_solution(inst, &mut rng);
                     p.send(
                         outstanding % n_workers,
-                        Task { start, seed: rng.next_u64(), evals: granted },
+                        Task {
+                            start,
+                            seed: rng.next_u64(),
+                            evals: granted,
+                        },
                     );
                     outstanding += 1;
                 }
@@ -314,7 +336,9 @@ impl AdaptiveMemoryTs {
         // Drain stragglers so their work is not wasted.
         if let Some(p) = &pool {
             while outstanding > 0 {
-                let (_, (s, o)) = p.recv();
+                let (_, (s, o)) = p
+                    .recv()
+                    .unwrap_or_else(|e| panic!("adaptive-memory worker pool failed: {e}"));
                 outstanding -= 1;
                 iterations += 1;
                 absorb(&mut memory, &mut archive, s, o);
@@ -340,7 +364,11 @@ mod tests {
     use vrptw::generator::{GeneratorConfig, InstanceClass};
 
     fn cfg(evals: u64) -> TsmoConfig {
-        TsmoConfig { max_evaluations: evals, neighborhood_size: 50, ..TsmoConfig::default() }
+        TsmoConfig {
+            max_evaluations: evals,
+            neighborhood_size: 50,
+            ..TsmoConfig::default()
+        }
     }
 
     #[test]

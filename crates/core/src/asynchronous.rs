@@ -8,6 +8,7 @@ use deme::{EvaluationBudget, MasterWorker, RunClock};
 use detrand::Xoshiro256StarStar;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tsmo_obs::{metrics::names, Recorder, SearchEvent};
 use vrptw::solution::EvaluatedSolution;
 use vrptw::Instance;
 use vrptw_operators::SampleParams;
@@ -52,11 +53,22 @@ impl AsyncTsmo {
 
     /// Runs the search to budget exhaustion.
     pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        self.run_with(inst, tsmo_obs::noop())
+    }
+
+    /// Runs the search with a telemetry sink attached. Queue depths, worker
+    /// busy fractions, and staleness aggregates land in the metrics
+    /// registry; the event stream's interleaving follows real thread timing
+    /// — use [`SimAsyncTsmo`](crate::SimAsyncTsmo) for byte-reproducible
+    /// event streams.
+    pub fn run_with(&self, inst: &Arc<Instance>, recorder: Arc<dyn Recorder>) -> TsmoOutcome {
         let clock = RunClock::start();
         let mut cfg = self.cfg.clone();
         cfg.chunks = self.processors;
         let budget = EvaluationBudget::new(cfg.max_evaluations);
-        let params = SampleParams { feasibility: cfg.feasibility_criterion };
+        let params = SampleParams {
+            feasibility: cfg.feasibility_criterion,
+        };
         let chunk = (cfg.neighborhood_size / self.processors).max(1);
         let max_wait = Duration::from_millis(cfg.async_max_wait_ms);
 
@@ -68,21 +80,46 @@ impl AsyncTsmo {
         });
         let n_workers = worker_pool.as_ref().map_or(0, |p| p.n_workers());
 
-        let mut core = SearchCore::new(
+        let mut core = SearchCore::with_recorder(
             Arc::clone(inst),
             cfg.clone(),
             Xoshiro256StarStar::seed_from_u64(cfg.seed),
+            Arc::clone(&recorder),
+            0,
         );
         let mut busy = vec![false; n_workers];
         let mut pool: Vec<Neighbor> = Vec::new();
 
+        // Drains every already-delivered worker result into the pool;
+        // `iter` is the master's iteration at drain time (for events).
+        let fold_arrived = |wp: &MasterWorker<Task, Vec<Neighbor>>,
+                            busy: &mut [bool],
+                            pool: &mut Vec<Neighbor>,
+                            iter: u64| {
+            loop {
+                match wp.try_recv() {
+                    Ok(Some((w, chunk_result))) => {
+                        busy[w] = false;
+                        if recorder.enabled() {
+                            recorder.event(SearchEvent::WorkerResult {
+                                worker: (w + 1) as u32,
+                                iteration: iter,
+                                neighbors: chunk_result.len() as u32,
+                            });
+                        }
+                        pool.extend(chunk_result);
+                    }
+                    Ok(None) => break,
+                    Err(e) => panic!("asynchronous worker pool failed: {e}"),
+                }
+            }
+        };
+
         'search: loop {
             // Fold everything that arrived since the last selection.
             if let Some(wp) = &worker_pool {
-                while let Some((w, chunk_result)) = wp.try_recv() {
-                    busy[w] = false;
-                    pool.extend(chunk_result);
-                }
+                recorder.observe(names::RESULT_QUEUE_DEPTH, wp.result_queue_len() as f64);
+                fold_arrived(wp, &mut busy, &mut pool, core.iteration() as u64);
             }
             if budget.exhausted() {
                 break 'search;
@@ -95,6 +132,14 @@ impl AsyncTsmo {
                         let granted = budget.try_consume(chunk as u64) as usize;
                         if granted == 0 {
                             break;
+                        }
+                        recorder.counter_add(names::EVALUATIONS, granted as u64);
+                        if recorder.enabled() {
+                            recorder.event(SearchEvent::WorkerTask {
+                                worker: (w + 1) as u32,
+                                iteration: core.iteration() as u64,
+                                count: granted as u32,
+                            });
                         }
                         wp.send(
                             w,
@@ -112,6 +157,7 @@ impl AsyncTsmo {
             // The master computes its own part.
             let granted = budget.try_consume(chunk as u64) as usize;
             if granted > 0 {
+                recorder.counter_add(names::EVALUATIONS, granted as u64);
                 let seed = core.next_seed();
                 pool.extend(generate_chunk(
                     inst,
@@ -126,10 +172,7 @@ impl AsyncTsmo {
             let wait_start = Instant::now();
             loop {
                 if let Some(wp) = &worker_pool {
-                    while let Some((w, chunk_result)) = wp.try_recv() {
-                        busy[w] = false;
-                        pool.extend(chunk_result);
-                    }
+                    fold_arrived(wp, &mut busy, &mut pool, core.iteration() as u64);
                 }
                 let current_vec = core.current().objectives().to_vector();
                 let c1 = busy.iter().any(|b| !b);
@@ -142,9 +185,20 @@ impl AsyncTsmo {
                     break;
                 }
                 if let Some(wp) = &worker_pool {
-                    if let Some((w, chunk_result)) = wp.recv_timeout(Duration::from_micros(500)) {
-                        busy[w] = false;
-                        pool.extend(chunk_result);
+                    match wp.recv_timeout(Duration::from_micros(500)) {
+                        Ok(Some((w, chunk_result))) => {
+                            busy[w] = false;
+                            if recorder.enabled() {
+                                recorder.event(SearchEvent::WorkerResult {
+                                    worker: (w + 1) as u32,
+                                    iteration: core.iteration() as u64,
+                                    neighbors: chunk_result.len() as u32,
+                                });
+                            }
+                            pool.extend(chunk_result);
+                        }
+                        Ok(None) => {} // timeout: re-evaluate the conditions
+                        Err(e) => panic!("asynchronous worker pool failed: {e}"),
                     }
                 } else {
                     break; // no workers: nothing to wait for
@@ -164,15 +218,19 @@ impl AsyncTsmo {
         if !pool.is_empty() {
             core.step(std::mem::take(&mut pool));
         }
+        let runtime_seconds = clock.seconds();
         if let Some(wp) = worker_pool {
+            crate::sync::record_pool_stats(&*recorder, &wp, runtime_seconds);
             drop(wp); // workers see disconnect and exit; no join needed
         }
+        recorder.gauge_set(names::RUNTIME_SECONDS, runtime_seconds);
+        recorder.gauge_set(&names::worker_busy_fraction(0), 1.0);
         let (archive, trace, iterations) = core.finish();
         TsmoOutcome {
             archive,
             evaluations: budget.consumed(),
             iterations,
-            runtime_seconds: clock.seconds(),
+            runtime_seconds,
             trace,
         }
     }
@@ -185,7 +243,11 @@ mod tests {
     use vrptw::generator::{GeneratorConfig, InstanceClass};
 
     fn cfg() -> TsmoConfig {
-        TsmoConfig { max_evaluations: 2_400, neighborhood_size: 60, ..TsmoConfig::default() }
+        TsmoConfig {
+            max_evaluations: 2_400,
+            neighborhood_size: 60,
+            ..TsmoConfig::default()
+        }
     }
 
     #[test]
@@ -217,10 +279,10 @@ mod tests {
         c.max_evaluations = 6_000;
         let out = AsyncTsmo::new(c, 4).run(&inst);
         let trace = out.trace.expect("tracing enabled");
-        assert!(!trace.points.is_empty());
+        assert!(!trace.is_empty());
         // Staleness is timing-dependent; assert the mechanism rather than a
         // specific value: all points have iter_considered >= iter_created.
-        for p in &trace.points {
+        for p in trace.iter() {
             assert!(p.iter_considered >= p.iter_created);
         }
     }
@@ -240,13 +302,20 @@ mod tests {
         // this is a statistical statement — but the fronts should be in the
         // same ballpark.
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 50, 11).build());
-        let c = TsmoConfig { max_evaluations: 6_000, neighborhood_size: 60, ..TsmoConfig::default() };
+        let c = TsmoConfig {
+            max_evaluations: 6_000,
+            neighborhood_size: 60,
+            ..TsmoConfig::default()
+        };
         let seq = crate::SequentialTsmo::new(c.clone().with_seed(3)).run(&inst);
         let asy = AsyncTsmo::new(c.with_seed(3), 3).run(&inst);
         let (s, a) = (
             seq.best_distance().expect("seq feasible"),
             asy.best_distance().expect("async feasible"),
         );
-        assert!(a < s * 1.35, "async best {a} too far above sequential best {s}");
+        assert!(
+            a < s * 1.35,
+            "async best {a} too far above sequential best {s}"
+        );
     }
 }

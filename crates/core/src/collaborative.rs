@@ -8,6 +8,7 @@ use deme::{multisearch, EvaluationBudget, RunClock};
 use detrand::{streams, Xoshiro256StarStar};
 use pareto::Archive;
 use std::sync::Arc;
+use tsmo_obs::{metrics::names, ExchangeDirection, Recorder, SearchEvent, Stopwatch};
 use vrptw::Instance;
 
 /// Collaborative multisearch TSMO.
@@ -41,35 +42,66 @@ impl CollaborativeTsmo {
 
     /// Runs all searchers to budget exhaustion and merges their fronts.
     pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        self.run_with(inst, tsmo_obs::noop())
+    }
+
+    /// Runs all searchers with a shared telemetry sink. Events are tagged
+    /// with the emitting searcher's index; exchange traffic lands in the
+    /// `tsmo_exchange_*` counters. Because searchers run on real threads,
+    /// the *interleaving* of events across searchers follows thread timing
+    /// — use [`SimCollaborativeTsmo`](crate::SimCollaborativeTsmo) for
+    /// byte-reproducible streams.
+    pub fn run_with(&self, inst: &Arc<Instance>, recorder: Arc<dyn Recorder>) -> TsmoOutcome {
         let clock = RunClock::start();
         let n = self.searchers;
         let mut rngs: Vec<Xoshiro256StarStar> = streams(self.cfg.seed, n);
         let endpoints = multisearch::network::<FrontEntry, _>(n, &mut rngs);
 
-        let results: Vec<(Vec<FrontEntry>, u64, usize)> = std::thread::scope(|scope| {
+        let results: Vec<(Vec<FrontEntry>, u64, usize, f64)> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
-            for (id, (mut endpoint, mut rng)) in
-                endpoints.into_iter().zip(rngs).enumerate()
-            {
+            for (id, (mut endpoint, mut rng)) in endpoints.into_iter().zip(rngs).enumerate() {
                 let inst = Arc::clone(inst);
                 let base_cfg = self.cfg.clone();
+                let recorder = Arc::clone(&recorder);
                 handles.push(scope.spawn(move || {
+                    let watch = Stopwatch::start();
                     // Searcher 0 keeps the undisturbed parameters.
-                    let cfg = if id == 0 { base_cfg } else { base_cfg.perturbed(&mut rng) };
+                    let cfg = if id == 0 {
+                        base_cfg
+                    } else {
+                        base_cfg.perturbed(&mut rng)
+                    };
                     let budget = EvaluationBudget::new(cfg.max_evaluations);
-                    let mut core = SearchCore::new(Arc::clone(&inst), cfg.clone(), rng);
+                    let mut core = SearchCore::with_recorder(
+                        Arc::clone(&inst),
+                        cfg.clone(),
+                        rng,
+                        Arc::clone(&recorder),
+                        id as u32,
+                    );
                     let mut initial_phase = true;
                     let mut initial_stagnation = 0usize;
                     while !budget.exhausted() {
                         // Collaborate: incoming solutions feed M_nondom.
+                        recorder.observe(names::RESULT_QUEUE_DEPTH, endpoint.inbox_len() as f64);
                         for entry in endpoint.drain() {
+                            recorder.counter_add(names::EXCHANGE_RECEIVED, 1);
+                            if recorder.enabled() {
+                                recorder.event(SearchEvent::Exchange {
+                                    searcher: id as u32,
+                                    // The wire format carries no sender id.
+                                    peer: id as u32,
+                                    direction: ExchangeDirection::Received,
+                                    objectives: entry.objectives.to_vector(),
+                                });
+                            }
                             core.offer_to_nondom(entry);
                         }
-                        let granted =
-                            budget.try_consume(cfg.neighborhood_size as u64) as usize;
+                        let granted = budget.try_consume(cfg.neighborhood_size as u64) as usize;
                         if granted == 0 {
                             break;
                         }
+                        recorder.counter_add(names::EVALUATIONS, granted as u64);
                         let seed = core.next_seed();
                         let pool = generate_chunk(
                             &inst,
@@ -94,31 +126,55 @@ impl CollaborativeTsmo {
                                 }
                             }
                         } else if let Some(entry) = report.improved_archive {
-                            endpoint.send_next(entry);
+                            let vector = entry.objectives.to_vector();
+                            if let Some(peer) = endpoint.send_next(entry) {
+                                recorder.counter_add(names::EXCHANGE_SENT, 1);
+                                if recorder.enabled() {
+                                    recorder.event(SearchEvent::Exchange {
+                                        searcher: id as u32,
+                                        peer: peer as u32,
+                                        direction: ExchangeDirection::Sent,
+                                        objectives: vector,
+                                    });
+                                }
+                            }
                         }
                     }
                     let (archive, _, iterations) = core.finish();
-                    (archive, budget.consumed(), iterations)
+                    (archive, budget.consumed(), iterations, watch.seconds())
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("searcher panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("searcher panicked"))
+                .collect()
         });
 
         let mut merged = Archive::new(self.cfg.archive_capacity);
         let mut evaluations = 0;
         let mut iterations = 0;
-        for (archive, evals, iters) in results {
+        let runtime_seconds = clock.seconds();
+        for (id, (archive, evals, iters, active_seconds)) in results.into_iter().enumerate() {
             evaluations += evals;
             iterations += iters;
+            // Searchers are peers: "busy" is the fraction of the run they
+            // were still searching (they stop when their budget is spent).
+            let frac = if runtime_seconds > 0.0 {
+                (active_seconds / runtime_seconds).min(1.0)
+            } else {
+                0.0
+            };
+            recorder.gauge_set(&names::worker_busy_fraction(id), frac);
             for entry in archive {
                 merged.insert(entry);
             }
         }
+        recorder.gauge_set(names::RUNTIME_SECONDS, runtime_seconds);
         TsmoOutcome {
             archive: merged.into_items(),
             evaluations,
             iterations,
-            runtime_seconds: clock.seconds(),
+            runtime_seconds,
             trace: None,
         }
     }

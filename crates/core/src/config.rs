@@ -57,6 +57,11 @@ pub struct TsmoConfig {
     pub seed: u64,
     /// Record a search trace for trajectory plots (Fig. 1).
     pub trace: bool,
+    /// Upper bound on retained trace points (`None` = unbounded). The trace
+    /// grows by `neighborhood_size` points per iteration, so long runs
+    /// should cap it; the most recent points win and the drop count is
+    /// reported by [`Trace::dropped`](crate::Trace::dropped).
+    pub trace_capacity: Option<usize>,
     /// Asynchronous variant: upper bound, in milliseconds, on how long the
     /// master waits for workers after finishing its own chunk — condition
     /// `c3` ("AreWeWaitingTooLong") of Algorithm 2.
@@ -65,6 +70,12 @@ pub struct TsmoConfig {
     /// the `Sim*` variants (see `deme::virtual_time`): the cost of one
     /// master–worker or searcher–searcher message on the modeled machine.
     pub sim_comm_latency: f64,
+    /// Virtual cost per evaluation, in seconds, for the `Sim*` variants.
+    /// `None` (the default) measures each work item's real serial cost, so
+    /// virtual makespans track the host; fixing a cost makes the simulated
+    /// schedule — and therefore the `SimAsyncTsmo`/`SimCollaborativeTsmo`
+    /// trajectories and telemetry event streams — fully deterministic.
+    pub sim_eval_cost: Option<f64>,
 }
 
 impl Default for TsmoConfig {
@@ -82,8 +93,10 @@ impl Default for TsmoConfig {
             selection: SelectionRule::RandomNonDominated,
             seed: 0,
             trace: false,
+            trace_capacity: None,
             async_max_wait_ms: 20,
             sim_comm_latency: 0.001,
+            sim_eval_cost: None,
         }
     }
 }
@@ -144,7 +157,11 @@ mod tests {
     #[test]
     fn chunk_sizes_partition_neighborhood() {
         for (size, chunks) in [(200, 1), (200, 3), (200, 6), (200, 12), (7, 3), (5, 8)] {
-            let cfg = TsmoConfig { neighborhood_size: size, chunks, ..Default::default() };
+            let cfg = TsmoConfig {
+                neighborhood_size: size,
+                chunks,
+                ..Default::default()
+            };
             let sizes = cfg.chunk_sizes();
             assert_eq!(sizes.len(), chunks);
             assert_eq!(sizes.iter().sum::<usize>(), size);
@@ -169,9 +186,7 @@ mod tests {
             // Unperturbed knobs survive.
             assert_eq!(p.max_evaluations, base.max_evaluations);
             assert_eq!(p.seed, base.seed);
-            if p.neighborhood_size != base.neighborhood_size
-                || p.tabu_tenure != base.tabu_tenure
-            {
+            if p.neighborhood_size != base.neighborhood_size || p.tabu_tenure != base.tabu_tenure {
                 any_changed = true;
             }
         }
@@ -182,12 +197,12 @@ mod tests {
     fn perturbation_spread_is_about_a_quarter() {
         let base = TsmoConfig::default();
         let mut rng = Xoshiro256StarStar::seed_from_u64(11);
-        let samples: Vec<f64> =
-            (0..4000).map(|_| base.perturbed(&mut rng).neighborhood_size as f64).collect();
+        let samples: Vec<f64> = (0..4000)
+            .map(|_| base.perturbed(&mut rng).neighborhood_size as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let sd =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!((mean - 200.0).abs() < 3.0, "mean {mean}");
         assert!((sd - 50.0).abs() < 3.0, "sd {sd} should be ~param/4 = 50");
     }

@@ -9,6 +9,7 @@ use crate::trace::{Trace, TracePoint};
 use detrand::{RandomSource, Rng, Xoshiro256StarStar};
 use pareto::{non_dominated_indices, Archive};
 use std::sync::Arc;
+use tsmo_obs::{metrics::names, Recorder, RestartReason, SearchEvent};
 use vrptw::solution::EvaluatedSolution;
 use vrptw::{Instance, Objectives};
 use vrptw_construct::randomized_i1;
@@ -44,18 +45,37 @@ pub struct SearchCore {
     iteration: usize,
     stagnation: usize,
     trace: Option<Trace>,
+    recorder: Arc<dyn Recorder>,
+    searcher_id: u32,
 }
 
 impl SearchCore {
     /// Initializes memories and the I1 starting solution (Algorithm 1,
     /// lines 2–4). `rng` must be the searcher's dedicated stream.
-    pub fn new(inst: Arc<Instance>, cfg: TsmoConfig, mut rng: Xoshiro256StarStar) -> Self {
+    pub fn new(inst: Arc<Instance>, cfg: TsmoConfig, rng: Xoshiro256StarStar) -> Self {
+        Self::with_recorder(inst, cfg, rng, tsmo_obs::noop(), 0)
+    }
+
+    /// Like [`new`](Self::new) with a telemetry sink attached. `searcher_id`
+    /// tags every emitted event (0 for single-searcher variants, the
+    /// searcher index in collaborative runs). The recorder observes the
+    /// search but never influences it — no RNG draws, no control flow.
+    pub fn with_recorder(
+        inst: Arc<Instance>,
+        cfg: TsmoConfig,
+        mut rng: Xoshiro256StarStar,
+        recorder: Arc<dyn Recorder>,
+        searcher_id: u32,
+    ) -> Self {
         let start = randomized_i1(&inst, &mut rng);
         let current = EvaluatedSolution::new(start, &inst);
         let mut archive = Archive::new(cfg.archive_capacity);
         let nondom = Archive::new(cfg.nondom_capacity);
-        archive.insert(FrontEntry::new(current.solution().clone(), current.objectives()));
-        let trace = cfg.trace.then(Trace::default);
+        archive.insert(FrontEntry::new(
+            current.solution().clone(),
+            current.objectives(),
+        ));
+        let trace = cfg.trace.then(|| Trace::bounded(cfg.trace_capacity));
         Self {
             inst,
             tabu: TabuList::new(cfg.tabu_tenure),
@@ -67,6 +87,8 @@ impl SearchCore {
             trace,
             cfg,
             rng,
+            recorder,
+            searcher_id,
         }
     }
 
@@ -97,12 +119,16 @@ impl SearchCore {
 
     /// Sampling parameters derived from the configuration.
     pub fn sample_params(&self) -> SampleParams {
-        SampleParams { feasibility: self.cfg.feasibility_criterion }
+        SampleParams {
+            feasibility: self.cfg.feasibility_criterion,
+        }
     }
 
     /// Draws the seeds for this iteration's neighborhood chunks.
     pub fn chunk_seeds(&mut self) -> Vec<u64> {
-        (0..self.cfg.chunks.max(1)).map(|_| self.rng.next_u64()).collect()
+        (0..self.cfg.chunks.max(1))
+            .map(|_| self.rng.next_u64())
+            .collect()
     }
 
     /// Draws one seed (asynchronous dispatching draws per task).
@@ -127,29 +153,70 @@ impl SearchCore {
         // asynchronous variant's leftovers show up as genuinely stale.
         let iter = self.iteration;
         self.iteration += 1;
+        self.recorder.counter_add(names::ITERATIONS, 1);
+        self.recorder.observe(names::POOL_SIZE, pool.len() as f64);
+
+        // Staleness: the asynchronous variants fold in neighbors generated
+        // from an older current solution (`created_iteration < iter`).
+        let mut stale = 0u64;
+        let mut max_staleness = 0usize;
+        for nb in &pool {
+            let age = iter.saturating_sub(nb.created_iteration);
+            if age > 0 {
+                stale += 1;
+                max_staleness = max_staleness.max(age);
+            }
+            self.recorder.observe(names::NEIGHBOR_STALENESS, age as f64);
+        }
+        if stale > 0 {
+            self.recorder.counter_add(names::STALE_NEIGHBORS, stale);
+            self.recorder
+                .gauge_max(names::STALENESS_MAX, max_staleness as f64);
+            if self.recorder.enabled() {
+                self.recorder.event(SearchEvent::Staleness {
+                    searcher: self.searcher_id,
+                    iteration: iter as u64,
+                    max_staleness: max_staleness as u64,
+                    stale: stale as u32,
+                });
+            }
+        }
 
         // Selection: non-tabu neighbors (aspiration optionally rescues tabu
         // neighbors that would enter the archive).
         let mut admissible: Vec<usize> = Vec::with_capacity(pool.len());
         for (i, nb) in pool.iter().enumerate() {
             let tabu = self.tabu.is_tabu(&nb.arcs_created);
-            let admitted = !tabu
-                || (self.cfg.aspiration
-                    && self.archive.would_accept(&nb.objectives.to_vector()));
-            if admitted {
+            let aspired = tabu
+                && self.cfg.aspiration
+                && self.archive.would_accept(&nb.objectives.to_vector());
+            if tabu {
+                self.recorder.counter_add(names::TABU_HITS, 1);
+                if aspired {
+                    self.recorder.counter_add(names::ASPIRATIONS, 1);
+                }
+                if self.recorder.enabled() {
+                    self.recorder.event(SearchEvent::TabuHit {
+                        searcher: self.searcher_id,
+                        iteration: iter as u64,
+                        aspired,
+                    });
+                }
+            }
+            if !tabu || aspired {
                 admissible.push(i);
             }
         }
-        let vectors: Vec<[f64; 3]> =
-            admissible.iter().map(|&i| pool[i].objectives.to_vector()).collect();
+        let vectors: Vec<[f64; 3]> = admissible
+            .iter()
+            .map(|&i| pool[i].objectives.to_vector())
+            .collect();
         let chosen_idx = if vectors.is_empty() {
             None
         } else {
             let nd = non_dominated_indices(&vectors);
             let pick = match self.cfg.selection {
-                crate::config::SelectionRule::RandomNonDominated => {
-                    nd[self.rng.index(nd.len())]
-                }
+                crate::config::SelectionRule::RandomNonDominated => nd[self.rng.index(nd.len())],
                 crate::config::SelectionRule::PreferDominating => {
                     let current = self.current.objectives().to_vector();
                     let improving: Vec<usize> = nd
@@ -178,13 +245,32 @@ impl SearchCore {
             }
         }
 
+        if self.recorder.enabled() {
+            self.recorder.event(SearchEvent::Iteration {
+                searcher: self.searcher_id,
+                iteration: iter as u64,
+                pool: pool.len() as u32,
+                admissible: admissible.len() as u32,
+                chosen: chosen_idx.map(|i| pool[i].objectives.to_vector()),
+            });
+        }
+
         // Memory update: every neighbor is offered to M_nondom ("additional
         // non-dominated solutions that were found in the neighborhood N").
         for nb in &pool {
-            self.nondom.insert(FrontEntry::new(nb.solution.clone(), nb.objectives));
+            if self
+                .nondom
+                .insert(FrontEntry::new(nb.solution.clone(), nb.objectives))
+            {
+                self.recorder.counter_add(names::NONDOM_INSERTS, 1);
+            }
         }
 
-        let mut report = StepReport { selected: None, improved_archive: None, restarted: false };
+        let mut report = StepReport {
+            selected: None,
+            improved_archive: None,
+            restarted: false,
+        };
         match chosen_idx {
             Some(i) => {
                 let nb = &pool[i];
@@ -193,6 +279,14 @@ impl SearchCore {
                 report.selected = Some(nb.objectives);
                 let entry = FrontEntry::new(nb.solution.clone(), nb.objectives);
                 if self.archive.insert(entry.clone()) {
+                    self.recorder.counter_add(names::ARCHIVE_INSERTS, 1);
+                    if self.recorder.enabled() {
+                        self.recorder.event(SearchEvent::ArchiveInsert {
+                            searcher: self.searcher_id,
+                            iteration: iter as u64,
+                            objectives: nb.objectives.to_vector(),
+                        });
+                    }
                     self.stagnation = 0;
                     report.improved_archive = Some(entry);
                 } else {
@@ -201,6 +295,7 @@ impl SearchCore {
             }
             None => {
                 // `s ∉ N`: nothing selectable — restart from memory.
+                self.record_restart(iter, RestartReason::EmptyPool);
                 self.restart_from_memory();
                 report.restarted = true;
                 self.stagnation = 0;
@@ -210,11 +305,29 @@ impl SearchCore {
 
         // Line 14: isUnchanged(M_archive) for too long => restart next.
         if self.stagnation >= self.cfg.stagnation_limit {
+            self.record_restart(iter, RestartReason::Stagnation);
             self.restart_from_memory();
             report.restarted = true;
             self.stagnation = 0;
         }
         report
+    }
+
+    /// Counts and (when enabled) emits one restart event.
+    fn record_restart(&self, iter: usize, reason: RestartReason) {
+        self.recorder.counter_add(names::RESTARTS, 1);
+        let by_reason = match reason {
+            RestartReason::EmptyPool => names::RESTARTS_EMPTY_POOL,
+            RestartReason::Stagnation => names::RESTARTS_STAGNATION,
+        };
+        self.recorder.counter_add(by_reason, 1);
+        if self.recorder.enabled() {
+            self.recorder.event(SearchEvent::Restart {
+                searcher: self.searcher_id,
+                iteration: iter as u64,
+                reason,
+            });
+        }
     }
 
     /// Line 10: `s ← SelectFrom(M_nondom ∪ M_archive)`.
@@ -233,6 +346,8 @@ impl SearchCore {
 
     /// Finalizes the search, handing the archive and trace to the caller.
     pub fn finish(self) -> (Vec<FrontEntry>, Option<Trace>, usize) {
+        self.recorder
+            .gauge_max(names::ARCHIVE_SIZE, self.archive.len() as f64);
         (self.archive.into_items(), self.trace, self.iteration)
     }
 }
@@ -251,12 +366,23 @@ mod tests {
             trace: true,
             ..TsmoConfig::default()
         };
-        SearchCore::new(Arc::clone(&inst), cfg, Xoshiro256StarStar::seed_from_u64(seed))
+        SearchCore::new(
+            Arc::clone(&inst),
+            cfg,
+            Xoshiro256StarStar::seed_from_u64(seed),
+        )
     }
 
     fn one_pool(c: &mut SearchCore) -> Vec<Neighbor> {
         let seed = c.next_seed();
-        generate_chunk(c.instance().clone().as_ref(), c.current(), seed, 30, c.sample_params(), c.iteration())
+        generate_chunk(
+            c.instance().clone().as_ref(),
+            c.current(),
+            seed,
+            30,
+            c.sample_params(),
+            c.iteration(),
+        )
     }
 
     #[test]
@@ -318,7 +444,7 @@ mod tests {
         c.step(pool);
         let (_, trace, _) = c.finish();
         let trace = trace.expect("tracing enabled");
-        assert_eq!(trace.points.len(), n);
+        assert_eq!(trace.len(), n);
         assert_eq!(trace.trajectory().len(), 1);
     }
 
@@ -350,7 +476,10 @@ mod tests {
                 restarts += 1;
             }
         }
-        assert!(restarts > 0, "a tiny archive must stagnate within 60 iterations");
+        assert!(
+            restarts > 0,
+            "a tiny archive must stagnate within 60 iterations"
+        );
     }
 
     #[test]
@@ -359,7 +488,11 @@ mod tests {
         // A wildly good fake entry must be accepted.
         let entry = FrontEntry::new(
             c.current().solution().clone(),
-            Objectives { distance: 0.1, vehicles: 1, tardiness: 0.0 },
+            Objectives {
+                distance: 0.1,
+                vehicles: 1,
+                tardiness: 0.0,
+            },
         );
         assert!(c.offer_to_nondom(entry.clone()));
         // Offering the identical point again is a duplicate.

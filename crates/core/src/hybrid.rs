@@ -46,8 +46,15 @@ impl HybridTsmo {
     /// Panics if either count is zero.
     pub fn new(cfg: TsmoConfig, searchers: usize, procs_per_searcher: usize) -> Self {
         assert!(searchers > 0, "need at least one searcher");
-        assert!(procs_per_searcher > 0, "each searcher needs its master processor");
-        Self { cfg, searchers, procs_per_searcher }
+        assert!(
+            procs_per_searcher > 0,
+            "each searcher needs its master processor"
+        );
+        Self {
+            cfg,
+            searchers,
+            procs_per_searcher,
+        }
     }
 
     /// Runs all searchers to their budgets and merges the fronts.
@@ -60,17 +67,22 @@ impl HybridTsmo {
 
         let results: Vec<(Vec<FrontEntry>, u64, usize)> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
-            for (id, (endpoint, mut rng)) in
-                endpoints.into_iter().zip(rngs).enumerate()
-            {
+            for (id, (endpoint, mut rng)) in endpoints.into_iter().zip(rngs).enumerate() {
                 let inst = Arc::clone(inst);
                 let base_cfg = self.cfg.clone();
                 handles.push(scope.spawn(move || {
-                    let cfg = if id == 0 { base_cfg } else { base_cfg.perturbed(&mut rng) };
+                    let cfg = if id == 0 {
+                        base_cfg
+                    } else {
+                        base_cfg.perturbed(&mut rng)
+                    };
                     run_async_searcher(&inst, cfg, rng, procs, endpoint)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("searcher panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("searcher panicked"))
+                .collect()
         });
 
         let mut merged = Archive::new(self.cfg.archive_capacity);
@@ -106,7 +118,9 @@ fn run_async_searcher(
 ) -> (Vec<FrontEntry>, u64, usize) {
     cfg.chunks = procs;
     let budget = EvaluationBudget::new(cfg.max_evaluations);
-    let params = SampleParams { feasibility: cfg.feasibility_criterion };
+    let params = SampleParams {
+        feasibility: cfg.feasibility_criterion,
+    };
     let chunk = (cfg.neighborhood_size / procs).max(1);
     let max_wait = Duration::from_millis(cfg.async_max_wait_ms);
 
@@ -129,9 +143,15 @@ fn run_async_searcher(
             core.offer_to_nondom(entry);
         }
         if let Some(wp) = &worker_pool {
-            while let Some((w, chunk_result)) = wp.try_recv() {
-                busy[w] = false;
-                pool.extend(chunk_result);
+            loop {
+                match wp.try_recv() {
+                    Ok(Some((w, chunk_result))) => {
+                        busy[w] = false;
+                        pool.extend(chunk_result);
+                    }
+                    Ok(None) => break,
+                    Err(e) => panic!("hybrid worker pool failed: {e}"),
+                }
             }
         }
         if budget.exhausted() {
@@ -161,29 +181,47 @@ fn run_async_searcher(
         let granted = budget.try_consume(chunk as u64) as usize;
         if granted > 0 {
             let seed = core.next_seed();
-            pool.extend(generate_chunk(inst, core.current(), seed, granted, params, core.iteration()));
+            pool.extend(generate_chunk(
+                inst,
+                core.current(),
+                seed,
+                granted,
+                params,
+                core.iteration(),
+            ));
         }
         let wait_start = Instant::now();
         loop {
             if let Some(wp) = &worker_pool {
-                while let Some((w, chunk_result)) = wp.try_recv() {
-                    busy[w] = false;
-                    pool.extend(chunk_result);
+                loop {
+                    match wp.try_recv() {
+                        Ok(Some((w, chunk_result))) => {
+                            busy[w] = false;
+                            pool.extend(chunk_result);
+                        }
+                        Ok(None) => break,
+                        Err(e) => panic!("hybrid worker pool failed: {e}"),
+                    }
                 }
             }
             let current_vec = core.current().objectives().to_vector();
             let c1 = busy.iter().any(|b| !b);
-            let c2 =
-                pool.iter().any(|nb| pareto::dominates(&nb.objectives.to_vector(), &current_vec));
+            let c2 = pool
+                .iter()
+                .any(|nb| pareto::dominates(&nb.objectives.to_vector(), &current_vec));
             let c3 = wait_start.elapsed() >= max_wait;
             let c4 = budget.exhausted();
             if c1 || c2 || c3 || c4 {
                 break;
             }
             if let Some(wp) = &worker_pool {
-                if let Some((w, chunk_result)) = wp.recv_timeout(Duration::from_micros(500)) {
-                    busy[w] = false;
-                    pool.extend(chunk_result);
+                match wp.recv_timeout(Duration::from_micros(500)) {
+                    Ok(Some((w, chunk_result))) => {
+                        busy[w] = false;
+                        pool.extend(chunk_result);
+                    }
+                    Ok(None) => {} // timeout: re-evaluate the conditions
+                    Err(e) => panic!("hybrid worker pool failed: {e}"),
                 }
             } else {
                 break;
@@ -271,6 +309,9 @@ mod tests {
             coll.best_distance().expect("feasible"),
             hybrid.best_distance().expect("feasible"),
         );
-        assert!(h < c * 1.3, "hybrid best {h} should be near collaborative best {c}");
+        assert!(
+            h < c * 1.3,
+            "hybrid best {h} should be near collaborative best {c}"
+        );
     }
 }

@@ -94,11 +94,30 @@ pub enum ParallelVariant {
 impl ParallelVariant {
     /// Runs the variant on `inst` with `cfg`.
     pub fn run(self, inst: &Arc<Instance>, cfg: &TsmoConfig) -> TsmoOutcome {
+        self.run_with(inst, cfg, tsmo_obs::noop())
+    }
+
+    /// Runs the variant with a telemetry sink attached (see `tsmo-obs`).
+    /// The no-op recorder makes this identical to [`run`](Self::run).
+    pub fn run_with(
+        self,
+        inst: &Arc<Instance>,
+        cfg: &TsmoConfig,
+        recorder: Arc<dyn tsmo_obs::Recorder>,
+    ) -> TsmoOutcome {
         match self {
-            ParallelVariant::Sequential => SequentialTsmo::new(cfg.clone()).run(inst),
-            ParallelVariant::Synchronous(p) => SyncTsmo::new(cfg.clone(), p).run(inst),
-            ParallelVariant::Asynchronous(p) => AsyncTsmo::new(cfg.clone(), p).run(inst),
-            ParallelVariant::Collaborative(p) => CollaborativeTsmo::new(cfg.clone(), p).run(inst),
+            ParallelVariant::Sequential => {
+                SequentialTsmo::new(cfg.clone()).run_with(inst, recorder)
+            }
+            ParallelVariant::Synchronous(p) => {
+                SyncTsmo::new(cfg.clone(), p).run_with(inst, recorder)
+            }
+            ParallelVariant::Asynchronous(p) => {
+                AsyncTsmo::new(cfg.clone(), p).run_with(inst, recorder)
+            }
+            ParallelVariant::Collaborative(p) => {
+                CollaborativeTsmo::new(cfg.clone(), p).run_with(inst, recorder)
+            }
         }
     }
 
@@ -110,12 +129,31 @@ impl ParallelVariant {
     /// experiment's processor count. `Sequential` runs normally (its wall
     /// time is already a faithful serial measurement).
     pub fn run_simulated(self, inst: &Arc<Instance>, cfg: &TsmoConfig) -> TsmoOutcome {
+        self.run_simulated_with(inst, cfg, tsmo_obs::noop())
+    }
+
+    /// [`run_simulated`](Self::run_simulated) with a telemetry sink. The
+    /// single-threaded simulations emit byte-reproducible event streams for
+    /// a fixed seed (fix [`TsmoConfig::sim_eval_cost`] to also pin the
+    /// simulated schedule of the asynchronous/collaborative variants).
+    pub fn run_simulated_with(
+        self,
+        inst: &Arc<Instance>,
+        cfg: &TsmoConfig,
+        recorder: Arc<dyn tsmo_obs::Recorder>,
+    ) -> TsmoOutcome {
         match self {
-            ParallelVariant::Sequential => SequentialTsmo::new(cfg.clone()).run(inst),
-            ParallelVariant::Synchronous(p) => SimSyncTsmo::new(cfg.clone(), p).run(inst),
-            ParallelVariant::Asynchronous(p) => SimAsyncTsmo::new(cfg.clone(), p).run(inst),
+            ParallelVariant::Sequential => {
+                SequentialTsmo::new(cfg.clone()).run_with(inst, recorder)
+            }
+            ParallelVariant::Synchronous(p) => {
+                SimSyncTsmo::new(cfg.clone(), p).run_with(inst, recorder)
+            }
+            ParallelVariant::Asynchronous(p) => {
+                SimAsyncTsmo::new(cfg.clone(), p).run_with(inst, recorder)
+            }
             ParallelVariant::Collaborative(p) => {
-                SimCollaborativeTsmo::new(cfg.clone(), p).run(inst)
+                SimCollaborativeTsmo::new(cfg.clone(), p).run_with(inst, recorder)
             }
         }
     }
@@ -139,7 +177,11 @@ mod variant_tests {
     #[test]
     fn all_variants_run_and_produce_fronts() {
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 30, 5).build());
-        let cfg = TsmoConfig { max_evaluations: 2_000, neighborhood_size: 40, ..TsmoConfig::default() };
+        let cfg = TsmoConfig {
+            max_evaluations: 2_000,
+            neighborhood_size: 40,
+            ..TsmoConfig::default()
+        };
         for variant in [
             ParallelVariant::Sequential,
             ParallelVariant::Synchronous(3),
@@ -147,10 +189,16 @@ mod variant_tests {
             ParallelVariant::Collaborative(3),
         ] {
             let out = variant.run(&inst, &cfg);
-            assert!(!out.archive.is_empty(), "{variant:?} produced an empty archive");
+            assert!(
+                !out.archive.is_empty(),
+                "{variant:?} produced an empty archive"
+            );
             assert!(out.evaluations > 0, "{variant:?} did no evaluations");
             for entry in &out.archive {
-                assert!(entry.solution.check(&inst).is_empty(), "{variant:?} invalid solution");
+                assert!(
+                    entry.solution.check(&inst).is_empty(),
+                    "{variant:?} invalid solution"
+                );
             }
         }
     }

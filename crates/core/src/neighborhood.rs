@@ -92,8 +92,8 @@ mod tests {
             assert_eq!(x.arcs_created, y.arcs_created);
         }
         let c = generate_chunk(&inst, &ev, 43, 30, SampleParams::default(), 0);
-        let all_same = a.len() == c.len()
-            && a.iter().zip(&c).all(|(x, y)| x.solution == y.solution);
+        let all_same =
+            a.len() == c.len() && a.iter().zip(&c).all(|(x, y)| x.solution == y.solution);
         assert!(!all_same, "different seeds should differ");
     }
 
@@ -121,14 +121,27 @@ mod tests {
     fn degenerate_snapshot_does_not_livelock() {
         // Single route, one customer: only 2-opt* & friends, all impossible.
         let depot = vrptw::Customer {
-            x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 100.0, service: 0.0,
+            x: 0.0,
+            y: 0.0,
+            demand: 0.0,
+            ready: 0.0,
+            due: 100.0,
+            service: 0.0,
         };
         let c = vrptw::Customer {
-            x: 1.0, y: 0.0, demand: 1.0, ready: 0.0, due: 100.0, service: 0.0,
+            x: 1.0,
+            y: 0.0,
+            demand: 1.0,
+            ready: 0.0,
+            due: 100.0,
+            service: 0.0,
         };
         let inst = Instance::new("deg", vec![depot, c], 10.0, 1);
         let ev = EvaluatedSolution::new(Solution::from_routes(vec![vec![1]]), &inst);
         let n = generate_chunk(&inst, &ev, 1, 20, SampleParams::default(), 0);
-        assert!(n.is_empty(), "no moves exist for a single-customer solution");
+        assert!(
+            n.is_empty(),
+            "no moves exist for a single-customer solution"
+        );
     }
 }

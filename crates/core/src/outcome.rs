@@ -17,7 +17,11 @@ pub struct FrontEntry {
 impl FrontEntry {
     /// Wraps a solution with its objectives.
     pub fn new(solution: Solution, objectives: Objectives) -> Self {
-        Self { solution, objectives, vector: objectives.to_vector() }
+        Self {
+            solution,
+            objectives,
+            vector: objectives.to_vector(),
+        }
     }
 }
 
@@ -45,11 +49,14 @@ pub struct TsmoOutcome {
 
 impl TsmoOutcome {
     /// The archive members with no time-window violation — the paper's
-    /// tables "only [consider] those solutions that did not violate the
+    /// tables "only \[consider\] those solutions that did not violate the
     /// time window and capacity constraints" (capacity is structural here:
     /// the operators never create overloads).
     pub fn feasible_front(&self) -> Vec<&FrontEntry> {
-        self.archive.iter().filter(|e| e.objectives.is_time_feasible(1e-6)).collect()
+        self.archive
+            .iter()
+            .filter(|e| e.objectives.is_time_feasible(1e-6))
+            .collect()
     }
 
     /// Mean distance over the feasible front (`None` if it is empty).
@@ -67,7 +74,13 @@ impl TsmoOutcome {
         if front.is_empty() {
             return None;
         }
-        Some(front.iter().map(|e| e.objectives.vehicles as f64).sum::<f64>() / front.len() as f64)
+        Some(
+            front
+                .iter()
+                .map(|e| e.objectives.vehicles as f64)
+                .sum::<f64>()
+                / front.len() as f64,
+        )
     }
 
     /// Smallest total distance on the feasible front.
@@ -80,12 +93,18 @@ impl TsmoOutcome {
 
     /// Fewest vehicles on the feasible front.
     pub fn best_vehicles(&self) -> Option<usize> {
-        self.feasible_front().iter().map(|e| e.objectives.vehicles).min()
+        self.feasible_front()
+            .iter()
+            .map(|e| e.objectives.vehicles)
+            .min()
     }
 
     /// The feasible front's objective vectors (for indicator computations).
     pub fn feasible_vectors(&self) -> Vec<[f64; 3]> {
-        self.feasible_front().iter().map(|e| e.objectives.to_vector()).collect()
+        self.feasible_front()
+            .iter()
+            .map(|e| e.objectives.to_vector())
+            .collect()
     }
 }
 
@@ -97,7 +116,11 @@ mod tests {
     fn entry(d: f64, v: usize, t: f64) -> FrontEntry {
         FrontEntry::new(
             Solution::from_routes(vec![vec![1]]),
-            Objectives { distance: d, vehicles: v, tardiness: t },
+            Objectives {
+                distance: d,
+                vehicles: v,
+                tardiness: t,
+            },
         )
     }
 
@@ -113,7 +136,11 @@ mod tests {
 
     #[test]
     fn feasible_front_filters_tardy_solutions() {
-        let o = outcome(vec![entry(10.0, 2, 0.0), entry(8.0, 2, 5.0), entry(12.0, 1, 0.0)]);
+        let o = outcome(vec![
+            entry(10.0, 2, 0.0),
+            entry(8.0, 2, 5.0),
+            entry(12.0, 1, 0.0),
+        ]);
         let front = o.feasible_front();
         assert_eq!(front.len(), 2);
         assert_eq!(o.best_distance(), Some(10.0));

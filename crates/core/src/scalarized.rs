@@ -58,8 +58,14 @@ impl WeightedSumTs {
     /// # Panics
     /// Panics if any weight is negative or all are zero.
     pub fn new(cfg: TsmoConfig, weights: [f64; 3]) -> Self {
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
-        assert!(weights.iter().any(|&w| w > 0.0), "at least one weight must be positive");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        assert!(
+            weights.iter().any(|&w| w > 0.0),
+            "at least one weight must be positive"
+        );
         Self { cfg, weights }
     }
 
@@ -68,12 +74,13 @@ impl WeightedSumTs {
         let cfg = &self.cfg;
         let budget = EvaluationBudget::new(cfg.max_evaluations);
         let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
-        let params = SampleParams { feasibility: cfg.feasibility_criterion };
+        let params = SampleParams {
+            feasibility: cfg.feasibility_criterion,
+        };
         let start = randomized_i1(inst, &mut rng);
         let mut current = EvaluatedSolution::new(start, inst);
         let mut tabu = TabuList::new(cfg.tabu_tenure);
-        let mut best =
-            FrontEntry::new(current.solution().clone(), current.objectives());
+        let mut best = FrontEntry::new(current.solution().clone(), current.objectives());
         let mut best_value = scalar(&self.weights, current.objectives());
         let mut stagnation = 0usize;
         let mut iterations = 0usize;
@@ -167,7 +174,11 @@ mod tests {
     use vrptw::generator::{GeneratorConfig, InstanceClass};
 
     fn cfg(evals: u64) -> TsmoConfig {
-        TsmoConfig { max_evaluations: evals, neighborhood_size: 50, ..TsmoConfig::default() }
+        TsmoConfig {
+            max_evaluations: evals,
+            neighborhood_size: 50,
+            ..TsmoConfig::default()
+        }
     }
 
     #[test]
@@ -187,8 +198,7 @@ mod tests {
     fn heavier_vehicle_weight_yields_fewer_vehicles() {
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 40, 9).build());
         let light = WeightedSumTs::new(cfg(4_000).with_seed(2), [1.0, 0.0, 10.0]).run(&inst);
-        let heavy =
-            WeightedSumTs::new(cfg(4_000).with_seed(2), [0.01, 1000.0, 10.0]).run(&inst);
+        let heavy = WeightedSumTs::new(cfg(4_000).with_seed(2), [0.01, 1000.0, 10.0]).run(&inst);
         assert!(
             heavy.best.objectives.vehicles <= light.best.objectives.vehicles,
             "vehicle-heavy weights should not deploy more vehicles ({} vs {})",

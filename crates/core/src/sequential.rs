@@ -7,6 +7,7 @@ use crate::outcome::TsmoOutcome;
 use deme::{EvaluationBudget, RunClock};
 use detrand::Xoshiro256StarStar;
 use std::sync::Arc;
+use tsmo_obs::{metrics::names, Recorder};
 use vrptw::Instance;
 
 /// Single-threaded TSMO.
@@ -26,12 +27,19 @@ impl SequentialTsmo {
 
     /// Runs the search to budget exhaustion.
     pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        self.run_with(inst, tsmo_obs::noop())
+    }
+
+    /// Runs the search with a telemetry sink attached (see `tsmo-obs`).
+    pub fn run_with(&self, inst: &Arc<Instance>, recorder: Arc<dyn Recorder>) -> TsmoOutcome {
         let clock = RunClock::start();
         let budget = EvaluationBudget::new(self.cfg.max_evaluations);
-        let mut core = SearchCore::new(
+        let mut core = SearchCore::with_recorder(
             Arc::clone(inst),
             self.cfg.clone(),
             Xoshiro256StarStar::seed_from_u64(self.cfg.seed),
+            Arc::clone(&recorder),
+            0,
         );
         let sizes = self.cfg.chunk_sizes();
         while !budget.exhausted() {
@@ -42,6 +50,7 @@ impl SequentialTsmo {
                 if granted == 0 {
                     break;
                 }
+                recorder.counter_add(names::EVALUATIONS, granted as u64);
                 pool.extend(generate_chunk(
                     inst,
                     core.current(),
@@ -57,11 +66,15 @@ impl SequentialTsmo {
             core.step(pool);
         }
         let (archive, trace, iterations) = core.finish();
+        let runtime_seconds = clock.seconds();
+        recorder.gauge_set(names::RUNTIME_SECONDS, runtime_seconds);
+        // The lone processor is the master and is always busy.
+        recorder.gauge_set(&names::worker_busy_fraction(0), 1.0);
         TsmoOutcome {
             archive,
             evaluations: budget.consumed(),
             iterations,
-            runtime_seconds: clock.seconds(),
+            runtime_seconds,
             trace,
         }
     }
@@ -126,11 +139,15 @@ mod tests {
     #[test]
     fn improves_over_the_construction_heuristic() {
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 60, 4).build());
-        let cfg = TsmoConfig { max_evaluations: 8_000, neighborhood_size: 80, ..TsmoConfig::default() };
+        let cfg = TsmoConfig {
+            max_evaluations: 8_000,
+            neighborhood_size: 80,
+            ..TsmoConfig::default()
+        };
         let out = SequentialTsmo::new(cfg).run(&inst);
         // I1 with default parameters as the reference.
-        let start = vrptw_construct::i1(&inst, &vrptw_construct::I1Config::default())
-            .evaluate(&inst);
+        let start =
+            vrptw_construct::i1(&inst, &vrptw_construct::I1Config::default()).evaluate(&inst);
         let best = out.best_distance().expect("feasible solutions exist on R2");
         assert!(
             best < start.distance,
@@ -142,8 +159,14 @@ mod tests {
     #[test]
     fn chunked_generation_changes_stream_but_stays_deterministic() {
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 30, 8).build());
-        let cfg1 = TsmoConfig { chunks: 1, ..small_cfg() };
-        let cfg3 = TsmoConfig { chunks: 3, ..small_cfg() };
+        let cfg1 = TsmoConfig {
+            chunks: 1,
+            ..small_cfg()
+        };
+        let cfg3 = TsmoConfig {
+            chunks: 3,
+            ..small_cfg()
+        };
         let a = SequentialTsmo::new(cfg3.clone()).run(&inst);
         let b = SequentialTsmo::new(cfg3).run(&inst);
         assert_eq!(a.feasible_vectors(), b.feasible_vectors());

@@ -33,7 +33,29 @@ use deme::{EvaluationBudget, VirtualCluster};
 use detrand::{streams, Xoshiro256StarStar};
 use pareto::Archive;
 use std::sync::Arc;
+use tsmo_obs::{metrics::names, ExchangeDirection, Recorder, SearchEvent};
 use vrptw::Instance;
+
+/// Executes `f` as processor `p`'s work: with `cost = None` the *measured*
+/// wall cost is charged to the virtual clock ([`VirtualCluster::charge`]);
+/// with a fixed cost the schedule is independent of the host's timing, which
+/// makes the event-driven simulations deterministic (see
+/// [`TsmoConfig::sim_eval_cost`]).
+fn charge_with<R>(
+    cluster: &mut VirtualCluster,
+    p: usize,
+    cost: Option<f64>,
+    f: impl FnOnce() -> R,
+) -> R {
+    match cost {
+        Some(c) => {
+            let out = f();
+            cluster.advance(p, c);
+            out
+        }
+        None => cluster.charge(p, f),
+    }
+}
 
 /// Simulated synchronous master–worker TSMO (virtual-time runtime).
 pub struct SimSyncTsmo {
@@ -49,7 +71,11 @@ impl SimSyncTsmo {
     /// Panics if `processors == 0`.
     pub fn new(cfg: TsmoConfig, processors: usize) -> Self {
         assert!(processors > 0, "need at least the master processor");
-        Self { cfg, processors, speeds: None }
+        Self {
+            cfg,
+            processors,
+            speeds: None,
+        }
     }
 
     /// Simulates a heterogeneous machine: `speeds[p]` is processor `p`'s
@@ -67,6 +93,13 @@ impl SimSyncTsmo {
 
     /// Runs to budget exhaustion; `runtime_seconds` is virtual.
     pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        self.run_with(inst, tsmo_obs::noop())
+    }
+
+    /// Runs with a telemetry sink attached. Because the simulation is
+    /// single-threaded, the event stream (including worker task/result
+    /// events) is byte-reproducible for a fixed seed.
+    pub fn run_with(&self, inst: &Arc<Instance>, recorder: Arc<dyn Recorder>) -> TsmoOutcome {
         let mut cfg = self.cfg.clone();
         cfg.chunks = self.processors;
         let p = self.processors;
@@ -75,18 +108,31 @@ impl SimSyncTsmo {
             Some(s) => VirtualCluster::heterogeneous(s.clone(), cfg.sim_comm_latency),
             None => VirtualCluster::new(p, cfg.sim_comm_latency),
         };
-        let mut core = SearchCore::new(
+        let mut core = SearchCore::with_recorder(
             Arc::clone(inst),
             cfg.clone(),
             Xoshiro256StarStar::seed_from_u64(cfg.seed),
+            Arc::clone(&recorder),
+            0,
         );
         let sizes = cfg.chunk_sizes();
         while !budget.exhausted() {
             let seeds = core.chunk_seeds();
-            let granted: Vec<usize> =
-                sizes.iter().map(|&s| budget.try_consume(s as u64) as usize).collect();
+            let granted: Vec<usize> = sizes
+                .iter()
+                .map(|&s| budget.try_consume(s as u64) as usize)
+                .collect();
+            recorder.counter_add(names::EVALUATIONS, granted.iter().map(|&g| g as u64).sum());
             // Dispatch: workers can start once the master's message arrives.
+            #[allow(clippy::needless_range_loop)] // w is also the worker id
             for w in 1..p {
+                if recorder.enabled() {
+                    recorder.event(SearchEvent::WorkerTask {
+                        worker: w as u32,
+                        iteration: core.iteration() as u64,
+                        count: granted[w] as u32,
+                    });
+                }
                 let arrival = cluster.send_at(0, 1.0);
                 cluster.receive(w, arrival);
             }
@@ -96,7 +142,8 @@ impl SimSyncTsmo {
                 // Master's own chunk is chunk 0; workers hold 1..P. The
                 // computation order here is irrelevant — only the virtual
                 // clocks matter — but chunk order in the pool is preserved.
-                let chunk = cluster.charge(proc, || {
+                let cost = cfg.sim_eval_cost.map(|c| c * granted[proc] as f64);
+                let chunk = charge_with(&mut cluster, proc, cost, || {
                     generate_chunk(
                         inst,
                         core.current(),
@@ -110,7 +157,15 @@ impl SimSyncTsmo {
             }
             chunks.reverse();
             // Collect: the master waits for every worker's reply.
+            #[allow(clippy::needless_range_loop)] // w is also the worker id
             for w in 1..p {
+                if recorder.enabled() {
+                    recorder.event(SearchEvent::WorkerResult {
+                        worker: w as u32,
+                        iteration: core.iteration() as u64,
+                        neighbors: chunks[w].len() as u32,
+                    });
+                }
                 let arrival = cluster.send_at(w, 1.0);
                 cluster.receive(0, arrival);
             }
@@ -118,9 +173,11 @@ impl SimSyncTsmo {
             if pool.is_empty() && budget.exhausted() {
                 break;
             }
-            cluster.charge(0, || core.step(pool));
+            let cost = cfg.sim_eval_cost.map(|c| c * pool.len() as f64);
+            charge_with(&mut cluster, 0, cost, || core.step(pool));
         }
         let makespan = cluster.makespan();
+        record_virtual_run(&*recorder, &cluster, makespan, p);
         let (archive, trace, iterations) = core.finish();
         TsmoOutcome {
             archive,
@@ -153,7 +210,11 @@ impl SimAsyncTsmo {
     /// Panics if `processors == 0`.
     pub fn new(cfg: TsmoConfig, processors: usize) -> Self {
         assert!(processors > 0, "need at least the master processor");
-        Self { cfg, processors, speeds: None }
+        Self {
+            cfg,
+            processors,
+            speeds: None,
+        }
     }
 
     /// Simulates a heterogeneous machine (see
@@ -172,6 +233,16 @@ impl SimAsyncTsmo {
 
     /// Runs to budget exhaustion; `runtime_seconds` is virtual.
     pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        self.run_with(inst, tsmo_obs::noop())
+    }
+
+    /// Runs with a telemetry sink attached. The event-driven simulation is
+    /// single-threaded and its decision function runs in virtual time, so —
+    /// unlike the thread-based [`AsyncTsmo`](crate::AsyncTsmo) — the full
+    /// event stream (staleness, worker traffic, iterations) is
+    /// byte-reproducible for a fixed seed. This is the suite's determinism
+    /// proof vehicle.
+    pub fn run_with(&self, inst: &Arc<Instance>, recorder: Arc<dyn Recorder>) -> TsmoOutcome {
         let mut cfg = self.cfg.clone();
         cfg.chunks = self.processors;
         let p = self.processors;
@@ -180,29 +251,40 @@ impl SimAsyncTsmo {
             Some(s) => VirtualCluster::heterogeneous(s.clone(), cfg.sim_comm_latency),
             None => VirtualCluster::new(p, cfg.sim_comm_latency),
         };
-        let mut core = SearchCore::new(
+        let mut core = SearchCore::with_recorder(
             Arc::clone(inst),
             cfg.clone(),
             Xoshiro256StarStar::seed_from_u64(cfg.seed),
+            Arc::clone(&recorder),
+            0,
         );
         let chunk = (cfg.neighborhood_size / p).max(1);
         let max_wait = cfg.async_max_wait_ms as f64 / 1_000.0;
         let mut outstanding: Vec<Option<Outstanding>> = (1..p).map(|_| None).collect();
         let mut pool: Vec<Neighbor> = Vec::new();
 
-        let fold_arrived =
-            |pool: &mut Vec<Neighbor>, outstanding: &mut Vec<Option<Outstanding>>, now: f64| {
-                for slot in outstanding.iter_mut() {
-                    if slot.as_ref().is_some_and(|o| o.arrival <= now) {
-                        let o = slot.take().expect("checked above");
-                        pool.extend(o.neighbors);
+        let fold_arrived = |pool: &mut Vec<Neighbor>,
+                            outstanding: &mut Vec<Option<Outstanding>>,
+                            now: f64,
+                            iter: u64| {
+            for (w, slot) in outstanding.iter_mut().enumerate() {
+                if slot.as_ref().is_some_and(|o| o.arrival <= now) {
+                    let o = slot.take().expect("checked above");
+                    if recorder.enabled() {
+                        recorder.event(SearchEvent::WorkerResult {
+                            worker: (w + 1) as u32,
+                            iteration: iter,
+                            neighbors: o.neighbors.len() as u32,
+                        });
                     }
+                    pool.extend(o.neighbors);
                 }
-            };
+            }
+        };
 
         'search: loop {
             let now = cluster.clock(0);
-            fold_arrived(&mut pool, &mut outstanding, now);
+            fold_arrived(&mut pool, &mut outstanding, now, core.iteration() as u64);
             if budget.exhausted() {
                 break 'search;
             }
@@ -216,12 +298,21 @@ impl SimAsyncTsmo {
                     if granted == 0 {
                         break;
                     }
+                    recorder.counter_add(names::EVALUATIONS, granted as u64);
+                    if recorder.enabled() {
+                        recorder.event(SearchEvent::WorkerTask {
+                            worker: (w + 1) as u32,
+                            iteration: core.iteration() as u64,
+                            count: granted as u32,
+                        });
+                    }
                     let seed = core.next_seed();
                     let proc = w + 1;
                     // The task message travels master -> worker.
                     let start = cluster.send_at(0, 1.0).max(cluster.clock(proc));
                     cluster.advance_to(proc, start);
-                    let neighbors = cluster.charge(proc, || {
+                    let cost = cfg.sim_eval_cost.map(|c| c * granted as f64);
+                    let neighbors = charge_with(&mut cluster, proc, cost, || {
                         generate_chunk(
                             inst,
                             core.current(),
@@ -238,8 +329,10 @@ impl SimAsyncTsmo {
             // Master's own part.
             let granted = budget.try_consume(chunk as u64) as usize;
             if granted > 0 {
+                recorder.counter_add(names::EVALUATIONS, granted as u64);
                 let seed = core.next_seed();
-                let own = cluster.charge(0, || {
+                let cost = cfg.sim_eval_cost.map(|c| c * granted as f64);
+                let own = charge_with(&mut cluster, 0, cost, || {
                     generate_chunk(
                         inst,
                         core.current(),
@@ -255,7 +348,7 @@ impl SimAsyncTsmo {
             let wait_started = cluster.clock(0);
             loop {
                 let now = cluster.clock(0);
-                fold_arrived(&mut pool, &mut outstanding, now);
+                fold_arrived(&mut pool, &mut outstanding, now, core.iteration() as u64);
                 let current_vec = core.current().objectives().to_vector();
                 let c1 = outstanding.iter().any(|o| o.is_none());
                 let c2 = pool
@@ -286,13 +379,16 @@ impl SimAsyncTsmo {
                 continue 'search;
             }
             let taken = std::mem::take(&mut pool);
-            cluster.charge(0, || core.step(taken));
+            let cost = cfg.sim_eval_cost.map(|c| c * taken.len() as f64);
+            charge_with(&mut cluster, 0, cost, || core.step(taken));
         }
         if !pool.is_empty() {
             let taken = std::mem::take(&mut pool);
-            cluster.charge(0, || core.step(taken));
+            let cost = cfg.sim_eval_cost.map(|c| c * taken.len() as f64);
+            charge_with(&mut cluster, 0, cost, || core.step(taken));
         }
         let makespan = cluster.makespan();
+        record_virtual_run(&*recorder, &cluster, makespan, p);
         let (archive, trace, iterations) = core.finish();
         TsmoOutcome {
             archive,
@@ -338,6 +434,15 @@ impl SimCollaborativeTsmo {
     /// Runs all searchers to budget exhaustion; `runtime_seconds` is the
     /// virtual makespan over the searchers.
     pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        self.run_with(inst, tsmo_obs::noop())
+    }
+
+    /// Runs with a telemetry sink attached. The searchers are interleaved
+    /// by their virtual clocks on one thread, so with a fixed
+    /// [`TsmoConfig::sim_eval_cost`] the cross-searcher event stream is
+    /// byte-reproducible — unlike the thread-based
+    /// [`CollaborativeTsmo`](crate::CollaborativeTsmo).
+    pub fn run_with(&self, inst: &Arc<Instance>, recorder: Arc<dyn Recorder>) -> TsmoOutcome {
         let n = self.searchers;
         let mut cluster = VirtualCluster::new(n, self.cfg.sim_comm_latency);
         // Interconnect contention grows with the searcher count (shared
@@ -345,16 +450,27 @@ impl SimCollaborativeTsmo {
         // searcher, so collaborative overhead grows roughly linearly in P
         // as in the paper's tables.
         let congestion = (n as f64 / 2.0).max(1.0);
+        let unit_cost = self.cfg.sim_eval_cost;
         let mut rngs: Vec<Xoshiro256StarStar> = streams(self.cfg.seed, n);
 
         let mut searchers: Vec<SearcherSim> = Vec::with_capacity(n);
         for (id, mut rng) in rngs.drain(..).enumerate() {
-            let cfg = if id == 0 { self.cfg.clone() } else { self.cfg.perturbed(&mut rng) };
+            let cfg = if id == 0 {
+                self.cfg.clone()
+            } else {
+                self.cfg.perturbed(&mut rng)
+            };
             let mut comm_list: Vec<usize> = (0..n).filter(|&x| x != id).collect();
             use detrand::Rng as _;
             rng.shuffle(&mut comm_list);
             searchers.push(SearcherSim {
-                core: SearchCore::new(Arc::clone(inst), cfg.clone(), rng),
+                core: SearchCore::with_recorder(
+                    Arc::clone(inst),
+                    cfg.clone(),
+                    rng,
+                    Arc::clone(&recorder),
+                    id as u32,
+                ),
                 budget: EvaluationBudget::new(cfg.max_evaluations),
                 inbox: Vec::new(),
                 comm_list,
@@ -382,23 +498,37 @@ impl SimCollaborativeTsmo {
                 }
             });
             for entry in due {
+                recorder.counter_add(names::EXCHANGE_RECEIVED, 1);
+                if recorder.enabled() {
+                    recorder.event(SearchEvent::Exchange {
+                        searcher: s as u32,
+                        // The wire format carries no sender id.
+                        peer: s as u32,
+                        direction: ExchangeDirection::Received,
+                        objectives: entry.objectives.to_vector(),
+                    });
+                }
                 let searcher = &mut searchers[s];
-                cluster.charge(s, || {
+                charge_with(&mut cluster, s, unit_cost, || {
                     searcher.core.offer_to_nondom(entry);
                 });
             }
             let granted = {
                 let searcher = &searchers[s];
-                searcher.budget.try_consume(searcher.cfg.neighborhood_size as u64) as usize
+                searcher
+                    .budget
+                    .try_consume(searcher.cfg.neighborhood_size as u64) as usize
             };
             if granted == 0 {
                 searchers[s].done = true;
                 continue;
             }
+            recorder.counter_add(names::EVALUATIONS, granted as u64);
             let report = {
                 let searcher = &mut searchers[s];
                 let seed = searcher.core.next_seed();
-                cluster.charge(s, || {
+                let cost = unit_cost.map(|c| c * granted as f64);
+                charge_with(&mut cluster, s, cost, || {
                     let pool = generate_chunk(
                         inst,
                         searcher.core.current(),
@@ -427,6 +557,15 @@ impl SimCollaborativeTsmo {
                 if !searcher.comm_list.is_empty() {
                     let peer = searcher.comm_list[searcher.next_peer];
                     searcher.next_peer = (searcher.next_peer + 1) % searcher.comm_list.len();
+                    recorder.counter_add(names::EXCHANGE_SENT, 1);
+                    if recorder.enabled() {
+                        recorder.event(SearchEvent::Exchange {
+                            searcher: s as u32,
+                            peer: peer as u32,
+                            direction: ExchangeDirection::Sent,
+                            objectives: entry.objectives.to_vector(),
+                        });
+                    }
                     // Sending occupies the sender's processor too.
                     cluster.advance(s, cluster.latency() * congestion);
                     let arrival = cluster.send_at(s, congestion);
@@ -436,6 +575,7 @@ impl SimCollaborativeTsmo {
         }
 
         let makespan = cluster.makespan();
+        record_virtual_run(&*recorder, &cluster, makespan, n);
         let mut merged = Archive::new(self.cfg.archive_capacity);
         let mut evaluations = 0;
         let mut iterations = 0;
@@ -457,6 +597,28 @@ impl SimCollaborativeTsmo {
     }
 }
 
+/// Publishes virtual-runtime metrics for a finished simulation: the
+/// makespan and, per processor, the fraction of the makespan covered by
+/// its virtual clock (a utilization proxy — the clock stops at the
+/// processor's last activity). These are *metrics*, derived from measured
+/// work costs, so they vary run to run; the event stream does not.
+fn record_virtual_run(
+    recorder: &dyn Recorder,
+    cluster: &VirtualCluster,
+    makespan: f64,
+    processors: usize,
+) {
+    recorder.gauge_set(names::RUNTIME_SECONDS, makespan);
+    for p in 0..processors {
+        let frac = if makespan > 0.0 {
+            (cluster.clock(p) / makespan).min(1.0)
+        } else {
+            0.0
+        };
+        recorder.gauge_set(&names::worker_busy_fraction(p), frac);
+    }
+}
+
 /// The live searcher with the earliest virtual clock, if any.
 fn next_live(searchers: &[SearcherSim], cluster: &VirtualCluster) -> Option<usize> {
     searchers
@@ -464,7 +626,10 @@ fn next_live(searchers: &[SearcherSim], cluster: &VirtualCluster) -> Option<usiz
         .enumerate()
         .filter(|(_, s)| !s.done)
         .min_by(|(a, _), (b, _)| {
-            cluster.clock(*a).partial_cmp(&cluster.clock(*b)).expect("clocks are not NaN")
+            cluster
+                .clock(*a)
+                .partial_cmp(&cluster.clock(*b))
+                .expect("clocks are not NaN")
         })
         .map(|(i, _)| i)
 }
@@ -476,7 +641,11 @@ mod tests {
     use vrptw::generator::{GeneratorConfig, InstanceClass};
 
     fn cfg() -> TsmoConfig {
-        TsmoConfig { max_evaluations: 2_400, neighborhood_size: 60, ..TsmoConfig::default() }
+        TsmoConfig {
+            max_evaluations: 2_400,
+            neighborhood_size: 60,
+            ..TsmoConfig::default()
+        }
     }
 
     fn norm(mut v: Vec<[f64; 3]>) -> Vec<[f64; 3]> {
@@ -492,7 +661,11 @@ mod tests {
             seq_cfg.chunks = p;
             let seq = SequentialTsmo::new(seq_cfg).run(&inst);
             let sim = SimSyncTsmo::new(cfg().with_seed(7), p).run(&inst);
-            assert_eq!(norm(seq.feasible_vectors()), norm(sim.feasible_vectors()), "p = {p}");
+            assert_eq!(
+                norm(seq.feasible_vectors()),
+                norm(sim.feasible_vectors()),
+                "p = {p}"
+            );
             assert_eq!(seq.iterations, sim.iterations);
         }
     }

@@ -7,6 +7,7 @@ use crate::outcome::TsmoOutcome;
 use deme::{EvaluationBudget, MasterWorker, RunClock};
 use detrand::Xoshiro256StarStar;
 use std::sync::Arc;
+use tsmo_obs::{metrics::names, Recorder, SearchEvent};
 use vrptw::solution::EvaluatedSolution;
 use vrptw::Instance;
 use vrptw_operators::SampleParams;
@@ -45,11 +46,22 @@ impl SyncTsmo {
 
     /// Runs the search to budget exhaustion.
     pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+        self.run_with(inst, tsmo_obs::noop())
+    }
+
+    /// Runs the search with a telemetry sink attached. Worker busy
+    /// fractions and queue depths land in the metrics registry; task and
+    /// result events carry logical iteration numbers only, but their
+    /// *interleaving* follows real thread timing — use the `Sim*` variants
+    /// for byte-reproducible event streams.
+    pub fn run_with(&self, inst: &Arc<Instance>, recorder: Arc<dyn Recorder>) -> TsmoOutcome {
         let clock = RunClock::start();
         let mut cfg = self.cfg.clone();
         cfg.chunks = self.processors;
         let budget = EvaluationBudget::new(cfg.max_evaluations);
-        let params = SampleParams { feasibility: cfg.feasibility_criterion };
+        let params = SampleParams {
+            feasibility: cfg.feasibility_criterion,
+        };
 
         let pool = (self.processors > 1).then(|| {
             let inst = Arc::clone(inst);
@@ -58,21 +70,33 @@ impl SyncTsmo {
             })
         });
 
-        let mut core = SearchCore::new(
+        let mut core = SearchCore::with_recorder(
             Arc::clone(inst),
             cfg.clone(),
             Xoshiro256StarStar::seed_from_u64(cfg.seed),
+            Arc::clone(&recorder),
+            0,
         );
         let sizes = cfg.chunk_sizes();
         while !budget.exhausted() {
             let seeds = core.chunk_seeds();
             // Reserve budget per chunk in chunk order — the same split the
             // sequential algorithm makes, so the two stay in lockstep.
-            let granted: Vec<usize> =
-                sizes.iter().map(|&s| budget.try_consume(s as u64) as usize).collect();
+            let granted: Vec<usize> = sizes
+                .iter()
+                .map(|&s| budget.try_consume(s as u64) as usize)
+                .collect();
+            recorder.counter_add(names::EVALUATIONS, granted.iter().map(|&g| g as u64).sum());
             // Dispatch chunks 1..P to the workers.
             if let Some(pool) = &pool {
                 for w in 0..pool.n_workers() {
+                    if recorder.enabled() {
+                        recorder.event(SearchEvent::WorkerTask {
+                            worker: (w + 1) as u32,
+                            iteration: core.iteration() as u64,
+                            count: granted[w + 1] as u32,
+                        });
+                    }
                     pool.send(
                         w,
                         Task {
@@ -96,10 +120,20 @@ impl SyncTsmo {
             // Barrier: collect one result per worker, reassembled in worker
             // (= chunk) order.
             if let Some(pool) = &pool {
+                recorder.observe(names::RESULT_QUEUE_DEPTH, pool.result_queue_len() as f64);
                 let mut slots: Vec<Option<Vec<Neighbor>>> =
                     (0..pool.n_workers()).map(|_| None).collect();
                 for _ in 0..pool.n_workers() {
-                    let (w, chunk) = pool.recv();
+                    let (w, chunk) = pool
+                        .recv()
+                        .unwrap_or_else(|e| panic!("synchronous barrier failed: {e}"));
+                    if recorder.enabled() {
+                        recorder.event(SearchEvent::WorkerResult {
+                            worker: (w + 1) as u32,
+                            iteration: core.iteration() as u64,
+                            neighbors: chunk.len() as u32,
+                        });
+                    }
                     slots[w] = Some(chunk);
                 }
                 for chunk in slots {
@@ -111,17 +145,40 @@ impl SyncTsmo {
             }
             core.step(neighborhood);
         }
+        let runtime_seconds = clock.seconds();
         if let Some(pool) = pool {
+            record_pool_stats(&*recorder, &pool, runtime_seconds);
             pool.shutdown();
         }
+        recorder.gauge_set(names::RUNTIME_SECONDS, runtime_seconds);
+        recorder.gauge_set(&names::worker_busy_fraction(0), 1.0);
         let (archive, trace, iterations) = core.finish();
         TsmoOutcome {
             archive,
             evaluations: budget.consumed(),
             iterations,
-            runtime_seconds: clock.seconds(),
+            runtime_seconds,
             trace,
         }
+    }
+}
+
+/// Publishes per-worker busy fractions and task counters for a finished
+/// master–worker run. Worker `w` of the pool is processor `w + 1` (the
+/// master is processor 0). Shared with the asynchronous variant.
+pub(crate) fn record_pool_stats<T: Send + 'static, R: Send + 'static>(
+    recorder: &dyn Recorder,
+    pool: &MasterWorker<T, R>,
+    runtime_seconds: f64,
+) {
+    for (w, stats) in pool.worker_stats().iter().enumerate() {
+        let frac = if runtime_seconds > 0.0 {
+            (stats.busy_seconds / runtime_seconds).min(1.0)
+        } else {
+            0.0
+        };
+        recorder.gauge_set(&names::worker_busy_fraction(w + 1), frac);
+        recorder.counter_add(&names::worker_tasks(w + 1), stats.tasks_completed);
     }
 }
 
@@ -132,7 +189,11 @@ mod tests {
     use vrptw::generator::{GeneratorConfig, InstanceClass};
 
     fn cfg() -> TsmoConfig {
-        TsmoConfig { max_evaluations: 2_400, neighborhood_size: 60, ..TsmoConfig::default() }
+        TsmoConfig {
+            max_evaluations: 2_400,
+            neighborhood_size: 60,
+            ..TsmoConfig::default()
+        }
     }
 
     /// The paper's central claim for the synchronous variant: "the behavior

@@ -6,7 +6,7 @@ use vrptw_operators::Arc;
 
 /// A fixed-length queue of recent moves' reversal attributes.
 ///
-/// Tabu Search "stores recent moves in the tabu list [and] forbids to make
+/// Tabu Search "stores recent moves in the tabu list \[and\] forbids to make
 /// moves towards a configuration that it had already visited before". We
 /// represent each accepted move by the set of giant-tour arcs it *removed*;
 /// a candidate move is tabu if it would re-create any of those arcs (it
@@ -28,7 +28,11 @@ pub struct TabuList {
 impl TabuList {
     /// An empty list remembering the last `tenure` moves.
     pub fn new(tenure: usize) -> Self {
-        Self { tenure, queue: VecDeque::with_capacity(tenure + 1), counts: HashMap::new() }
+        Self {
+            tenure,
+            queue: VecDeque::with_capacity(tenure + 1),
+            counts: HashMap::new(),
+        }
     }
 
     /// The configured tenure.

@@ -2,7 +2,9 @@
 //! restarts, and tracing semantics across variants.
 
 use std::sync::Arc;
-use tsmo_core::{AsyncTsmo, SequentialTsmo, SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo, TsmoConfig};
+use tsmo_core::{
+    AsyncTsmo, SequentialTsmo, SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo, TsmoConfig,
+};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 use vrptw::Instance;
 
@@ -11,14 +13,26 @@ fn inst(class: InstanceClass, n: usize, seed: u64) -> Arc<Instance> {
 }
 
 fn cfg(evals: u64) -> TsmoConfig {
-    TsmoConfig { max_evaluations: evals, neighborhood_size: 60, ..TsmoConfig::default() }
+    TsmoConfig {
+        max_evaluations: evals,
+        neighborhood_size: 60,
+        ..TsmoConfig::default()
+    }
 }
 
 #[test]
 fn aspiration_changes_the_search_but_keeps_it_valid() {
     let inst = inst(InstanceClass::R1, 40, 5);
-    let plain = SequentialTsmo::new(TsmoConfig { aspiration: false, ..cfg(3_000) }).run(&inst);
-    let aspire = SequentialTsmo::new(TsmoConfig { aspiration: true, ..cfg(3_000) }).run(&inst);
+    let plain = SequentialTsmo::new(TsmoConfig {
+        aspiration: false,
+        ..cfg(3_000)
+    })
+    .run(&inst);
+    let aspire = SequentialTsmo::new(TsmoConfig {
+        aspiration: true,
+        ..cfg(3_000)
+    })
+    .run(&inst);
     for e in aspire.archive.iter().chain(&plain.archive) {
         assert!(e.solution.check(&inst).is_empty());
     }
@@ -51,14 +65,20 @@ fn prefer_dominating_selection_intensifies() {
     // A single seed is noisy; assert the greedy rule is at least not much
     // worse — its intensification advantage is established statistically in
     // `ablation -- selection`.
-    assert!(g < r * 1.1, "prefer-dominating {g} should be competitive with random {r}");
+    assert!(
+        g < r * 1.1,
+        "prefer-dominating {g} should be competitive with random {r}"
+    );
 }
 
 #[test]
 fn zero_tenure_still_searches() {
     let inst = inst(InstanceClass::R2, 30, 6);
-    let out =
-        SequentialTsmo::new(TsmoConfig { tabu_tenure: 0, ..cfg(2_000) }).run(&inst);
+    let out = SequentialTsmo::new(TsmoConfig {
+        tabu_tenure: 0,
+        ..cfg(2_000)
+    })
+    .run(&inst);
     assert_eq!(out.evaluations, 2_000);
     assert!(!out.archive.is_empty());
 }
@@ -81,12 +101,20 @@ fn huge_tenure_forces_frequent_restarts_but_completes() {
 #[test]
 fn sequential_trace_has_zero_staleness_and_full_coverage() {
     let inst = inst(InstanceClass::C2, 30, 7);
-    let out = SequentialTsmo::new(TsmoConfig { trace: true, ..cfg(1_200) }).run(&inst);
+    let out = SequentialTsmo::new(TsmoConfig {
+        trace: true,
+        ..cfg(1_200)
+    })
+    .run(&inst);
     let trace = out.trace.expect("tracing on");
-    assert_eq!(trace.max_staleness(), 0, "sequential neighbors are never stale");
+    assert_eq!(
+        trace.max_staleness(),
+        0,
+        "sequential neighbors are never stale"
+    );
     // Every iteration selects at most one current.
     assert!(trace.trajectory().len() <= out.iterations);
-    assert!(!trace.points.is_empty());
+    assert!(!trace.is_empty());
 }
 
 #[test]
@@ -113,7 +141,10 @@ fn sim_collaborative_searchers_use_distinct_parameters() {
     let one = SimCollaborativeTsmo::new(cfg(2_000).with_seed(4), 1).run(&inst);
     let four = SimCollaborativeTsmo::new(cfg(2_000).with_seed(4), 4).run(&inst);
     let vectors = |out: &tsmo_core::TsmoOutcome| -> Vec<[f64; 3]> {
-        out.archive.iter().map(|e| e.objectives.to_vector()).collect()
+        out.archive
+            .iter()
+            .map(|e| e.objectives.to_vector())
+            .collect()
     };
     assert_ne!(
         vectors(&one),
@@ -132,8 +163,12 @@ fn virtual_speedup_is_monotone_in_processors_for_sync() {
         sim_comm_latency: 0.0002,
         ..TsmoConfig::default()
     };
-    let t2 = SimSyncTsmo::new(c.clone().with_seed(1), 2).run(&inst).runtime_seconds;
-    let t6 = SimSyncTsmo::new(c.with_seed(1), 6).run(&inst).runtime_seconds;
+    let t2 = SimSyncTsmo::new(c.clone().with_seed(1), 2)
+        .run(&inst)
+        .runtime_seconds;
+    let t6 = SimSyncTsmo::new(c.with_seed(1), 6)
+        .run(&inst)
+        .runtime_seconds;
     assert!(
         t6 < t2 * 1.05,
         "with negligible latency, 6 virtual processors ({t6:.3}s) should not lose to 2 ({t2:.3}s)"
@@ -151,6 +186,9 @@ fn budgets_below_one_neighborhood_still_terminate() {
         })
         .run(&inst);
         assert_eq!(out.evaluations, evals);
-        assert!(!out.archive.is_empty(), "initial solution always seeds the archive");
+        assert!(
+            !out.archive.is_empty(),
+            "initial solution always seeds the archive"
+        );
     }
 }

@@ -1,0 +1,168 @@
+//! Telemetry contract tests: recording must never change the search, and
+//! the deterministic variants must produce byte-identical event streams
+//! for a fixed seed.
+
+use std::sync::Arc;
+use tsmo_core::{
+    ParallelVariant, SequentialTsmo, SimAsyncTsmo, SimCollaborativeTsmo, TsmoConfig, TsmoOutcome,
+};
+use tsmo_obs::metrics::names;
+use tsmo_obs::{parse_events_jsonl, MemoryRecorder, Recorder, SearchEvent};
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+use vrptw::Instance;
+
+fn inst() -> Arc<Instance> {
+    Arc::new(GeneratorConfig::new(InstanceClass::R1, 30, 7).build())
+}
+
+fn cfg() -> TsmoConfig {
+    TsmoConfig {
+        max_evaluations: 3_000,
+        neighborhood_size: 60,
+        stagnation_limit: 20,
+        // A fixed virtual evaluation cost makes the simulated schedules —
+        // and therefore the Sim* event streams — reproducible.
+        sim_eval_cost: Some(0.01),
+        ..TsmoConfig::default()
+    }
+}
+
+fn fronts(out: &TsmoOutcome) -> Vec<[f64; 3]> {
+    out.archive
+        .iter()
+        .map(|e| e.objectives.to_vector())
+        .collect()
+}
+
+#[test]
+fn noop_and_recording_runs_are_identical_sequential() {
+    let inst = inst();
+    let plain = SequentialTsmo::new(cfg()).run(&inst);
+    let recorder = MemoryRecorder::shared();
+    let recorded =
+        SequentialTsmo::new(cfg()).run_with(&inst, Arc::clone(&recorder) as Arc<dyn Recorder>);
+    assert_eq!(plain.evaluations, recorded.evaluations);
+    assert_eq!(plain.iterations, recorded.iterations);
+    assert_eq!(fronts(&plain), fronts(&recorded));
+    // And the recorder actually saw the run.
+    assert_eq!(
+        recorder.metrics().counter(names::EVALUATIONS),
+        recorded.evaluations
+    );
+    assert!(recorder.event_count() > 0);
+}
+
+#[test]
+fn noop_and_recording_runs_are_identical_for_every_sim_variant() {
+    let inst = inst();
+    for variant in [
+        ParallelVariant::Synchronous(3),
+        ParallelVariant::Asynchronous(3),
+        ParallelVariant::Collaborative(3),
+    ] {
+        let plain = variant.run_simulated(&inst, &cfg());
+        let recorder = MemoryRecorder::shared();
+        let recorded =
+            variant.run_simulated_with(&inst, &cfg(), Arc::clone(&recorder) as Arc<dyn Recorder>);
+        assert_eq!(plain.evaluations, recorded.evaluations, "{variant:?}");
+        assert_eq!(plain.iterations, recorded.iterations, "{variant:?}");
+        assert_eq!(fronts(&plain), fronts(&recorded), "{variant:?}");
+        assert!(recorder.event_count() > 0, "{variant:?} emitted no events");
+    }
+}
+
+/// The determinism proof: with a fixed seed and a fixed virtual evaluation
+/// cost, two recorded `SimAsyncTsmo` runs produce byte-identical JSONL
+/// event streams, and the same front as an unrecorded run. (The threaded
+/// async variant interleaves events by wall-clock timing, so the proof
+/// uses the virtual-time simulation, which is the same algorithm.)
+#[test]
+fn sim_async_event_stream_is_byte_identical_across_runs() {
+    let inst = inst();
+    let noop_run = SimAsyncTsmo::new(cfg(), 3).run(&inst);
+    let (r1, r2) = (MemoryRecorder::shared(), MemoryRecorder::shared());
+    let rec1 = SimAsyncTsmo::new(cfg(), 3).run_with(&inst, Arc::clone(&r1) as Arc<dyn Recorder>);
+    let rec2 = SimAsyncTsmo::new(cfg(), 3).run_with(&inst, Arc::clone(&r2) as Arc<dyn Recorder>);
+
+    assert_eq!(
+        fronts(&noop_run),
+        fronts(&rec1),
+        "recording changed the search"
+    );
+    assert_eq!(fronts(&rec1), fronts(&rec2));
+    let (jsonl1, jsonl2) = (r1.events_jsonl(), r2.events_jsonl());
+    assert!(!jsonl1.is_empty());
+    assert_eq!(jsonl1, jsonl2, "event streams must be byte-identical");
+}
+
+#[test]
+fn recorded_events_round_trip_through_jsonl() {
+    let inst = inst();
+    let recorder = MemoryRecorder::shared();
+    SimAsyncTsmo::new(cfg(), 3).run_with(&inst, Arc::clone(&recorder) as Arc<dyn Recorder>);
+    let parsed = parse_events_jsonl(&recorder.events_jsonl()).expect("stream parses back");
+    assert_eq!(parsed, recorder.events());
+    // The stream covers the event families the async runtime emits.
+    let has = |pred: fn(&SearchEvent) -> bool| parsed.iter().any(|e| pred(&e.event));
+    assert!(has(|e| matches!(e, SearchEvent::Iteration { .. })));
+    assert!(has(|e| matches!(e, SearchEvent::WorkerTask { .. })));
+    assert!(has(|e| matches!(e, SearchEvent::WorkerResult { .. })));
+    assert!(has(|e| matches!(e, SearchEvent::ArchiveInsert { .. })));
+}
+
+#[test]
+fn collaborative_sim_records_exchange_traffic() {
+    let inst = inst();
+    let recorder = MemoryRecorder::shared();
+    let cfg = TsmoConfig {
+        max_evaluations: 4_000,
+        neighborhood_size: 40,
+        stagnation_limit: 5, // leave the initial phase quickly
+        sim_eval_cost: Some(0.01),
+        ..TsmoConfig::default()
+    };
+    SimCollaborativeTsmo::new(cfg, 3).run_with(&inst, Arc::clone(&recorder) as Arc<dyn Recorder>);
+    let metrics = recorder.metrics();
+    let sent = metrics.counter(names::EXCHANGE_SENT);
+    let received = metrics.counter(names::EXCHANGE_RECEIVED);
+    assert!(sent > 0, "no archive-improving solution was ever exchanged");
+    assert!(received <= sent, "cannot receive more than was sent");
+    // Every send and receive became an event tagged with its searcher.
+    let events = recorder.events();
+    let exchanges = events
+        .iter()
+        .filter(|e| matches!(e.event, SearchEvent::Exchange { .. }))
+        .count() as u64;
+    assert_eq!(exchanges, sent + received);
+}
+
+#[test]
+fn threaded_variants_accept_a_recorder_and_count_evaluations() {
+    let inst = inst();
+    let base = TsmoConfig {
+        sim_eval_cost: None,
+        ..cfg()
+    };
+    for variant in [
+        ParallelVariant::Sequential,
+        ParallelVariant::Synchronous(3),
+        ParallelVariant::Asynchronous(3),
+        ParallelVariant::Collaborative(3),
+    ] {
+        let recorder = MemoryRecorder::shared();
+        let out = variant.run_with(&inst, &base, Arc::clone(&recorder) as Arc<dyn Recorder>);
+        let metrics = recorder.metrics();
+        assert_eq!(
+            metrics.counter(names::EVALUATIONS),
+            out.evaluations,
+            "{variant:?} did not count every evaluation"
+        );
+        assert!(metrics.counter(names::ITERATIONS) > 0, "{variant:?}");
+        let prom = recorder.prometheus();
+        assert!(prom.contains("tsmo_runtime_seconds"), "{variant:?}");
+        assert!(
+            prom.contains("tsmo_worker_busy_fraction"),
+            "{variant:?} reported no utilization"
+        );
+    }
+}

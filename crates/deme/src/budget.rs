@@ -25,7 +25,12 @@ struct Inner {
 impl EvaluationBudget {
     /// A budget allowing `max` evaluations in total.
     pub fn new(max: u64) -> Self {
-        Self { inner: Arc::new(Inner { used: AtomicU64::new(0), max }) }
+        Self {
+            inner: Arc::new(Inner {
+                used: AtomicU64::new(0),
+                max,
+            }),
+        }
     }
 
     /// Reserves up to `want` evaluations; returns how many were granted

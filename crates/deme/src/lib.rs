@@ -30,8 +30,10 @@
 //! assert!(budget.exhausted());
 //!
 //! // A worker pool computing squares; the barrier keeps worker order.
+//! // Receives report worker panics as `Err(PoolError::WorkerPanicked)`
+//! // instead of hanging the barrier.
 //! let pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, |_, x| x * x);
-//! assert_eq!(pool.broadcast_collect(vec![3, 4]), vec![9, 16]);
+//! assert_eq!(pool.broadcast_collect(vec![3, 4]), Ok(vec![9, 16]));
 //! pool.shutdown();
 //! ```
 
@@ -41,7 +43,7 @@ pub mod multisearch;
 pub mod virtual_time;
 
 pub use budget::EvaluationBudget;
-pub use master_worker::MasterWorker;
+pub use master_worker::{MasterWorker, PoolError, WorkerStats};
 pub use virtual_time::VirtualCluster;
 
 use std::time::{Duration, Instant};
@@ -61,7 +63,9 @@ impl Default for RunClock {
 impl RunClock {
     /// Starts the clock.
     pub fn start() -> Self {
-        Self { started: Instant::now() }
+        Self {
+            started: Instant::now(),
+        }
     }
 
     /// Time elapsed since start.

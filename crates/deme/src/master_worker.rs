@@ -1,9 +1,91 @@
 //! Master–worker functional decomposition.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Why the master could not obtain a result from the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The task function panicked while processing a task. The worker
+    /// thread **survives** and keeps serving its queue; only the result of
+    /// the panicking task is lost. The master decides whether to resend,
+    /// skip, or abort.
+    WorkerPanicked {
+        /// Which worker's task function panicked.
+        worker: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// Every worker thread has exited and the result queue is drained.
+    /// With a live pool this indicates a protocol error (results expected
+    /// after the task channels were closed).
+    Disconnected,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { worker, message } => {
+                write!(
+                    f,
+                    "worker {worker} panicked while processing a task: {message}"
+                )
+            }
+            PoolError::Disconnected => {
+                write!(f, "all workers terminated while results were expected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A snapshot of one worker's activity counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerStats {
+    /// Tasks completed successfully.
+    pub tasks_completed: u64,
+    /// Tasks whose function panicked.
+    pub panics: u64,
+    /// Wall-clock seconds spent inside the task function.
+    pub busy_seconds: f64,
+}
+
+#[derive(Default)]
+struct StatCell {
+    busy_nanos: AtomicU64,
+    tasks: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl StatCell {
+    fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            tasks_completed: self.tasks.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            busy_seconds: self.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+}
+
+enum Reply<R> {
+    Ok(R),
+    Panicked(String),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A pool of worker threads executing a shared task function.
 ///
@@ -14,12 +96,25 @@ use std::time::Duration;
 /// per-worker task channels plus a shared result channel tagged with the
 /// worker id.
 ///
+/// # Failure semantics
+///
+/// A panic in the task function does **not** kill the worker: the panic is
+/// caught, the worker keeps serving its queue, and the master receives
+/// [`PoolError::WorkerPanicked`] in place of that task's result. The
+/// receive methods distinguish the three observable states explicitly:
+/// `Ok(Some(..))` — a result arrived; `Ok(None)` — nothing available yet
+/// (empty / timeout, workers alive); `Err(..)` — a task panicked or every
+/// worker is gone ([`PoolError::Disconnected`]). Earlier revisions
+/// returned a silent `None` for both "not yet" and "never", which let a
+/// synchronous barrier hang forever on a dead worker.
+///
 /// Worker threads shut down when the pool is dropped (their task channels
 /// disconnect).
 pub struct MasterWorker<T: Send + 'static, R: Send + 'static> {
     task_txs: Vec<Sender<T>>,
-    result_rx: Receiver<(usize, R)>,
+    result_rx: Receiver<(usize, Reply<R>)>,
     handles: Vec<JoinHandle<()>>,
+    stats: Arc<Vec<StatCell>>,
 }
 
 impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
@@ -33,13 +128,16 @@ impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
     {
         assert!(n_workers > 0, "a pool needs at least one worker");
         let f = Arc::new(f);
-        let (result_tx, result_rx) = unbounded::<(usize, R)>();
+        let stats: Arc<Vec<StatCell>> =
+            Arc::new((0..n_workers).map(|_| StatCell::default()).collect());
+        let (result_tx, result_rx) = unbounded::<(usize, Reply<R>)>();
         let mut task_txs = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
         for id in 0..n_workers {
             let (tx, rx) = unbounded::<T>();
             task_txs.push(tx);
             let f = Arc::clone(&f);
+            let stats = Arc::clone(&stats);
             let result_tx = result_tx.clone();
             handles.push(
                 std::thread::Builder::new()
@@ -47,8 +145,23 @@ impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
                     .spawn(move || {
                         // Exit when the master drops the task sender.
                         while let Ok(task) = rx.recv() {
-                            let out = f(id, task);
-                            if result_tx.send((id, out)).is_err() {
+                            let started = Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| f(id, task)));
+                            let nanos = started.elapsed().as_nanos().min(u64::MAX as u128);
+                            stats[id]
+                                .busy_nanos
+                                .fetch_add(nanos as u64, Ordering::Relaxed);
+                            let reply = match outcome {
+                                Ok(out) => {
+                                    stats[id].tasks.fetch_add(1, Ordering::Relaxed);
+                                    Reply::Ok(out)
+                                }
+                                Err(payload) => {
+                                    stats[id].panics.fetch_add(1, Ordering::Relaxed);
+                                    Reply::Panicked(panic_message(payload))
+                                }
+                            };
+                            if result_tx.send((id, reply)).is_err() {
                                 break; // master gone
                             }
                         }
@@ -56,7 +169,12 @@ impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
                     .expect("failed to spawn worker thread"),
             );
         }
-        Self { task_txs, result_rx, handles }
+        Self {
+            task_txs,
+            result_rx,
+            handles,
+            stats,
+        }
     }
 
     /// Number of workers in the pool.
@@ -67,41 +185,51 @@ impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
     /// Sends a task to a specific worker.
     ///
     /// # Panics
-    /// Panics if the worker index is out of range or the worker died.
+    /// Panics if the worker index is out of range or the worker's task
+    /// channel is disconnected (only possible once the pool is being torn
+    /// down — workers survive task panics).
     pub fn send(&self, worker: usize, task: T) {
-        self.task_txs[worker].send(task).expect("worker thread terminated unexpectedly");
+        self.task_txs[worker]
+            .send(task)
+            .expect("worker task channel disconnected");
     }
 
-    /// Non-blocking receive of one `(worker, result)` pair.
-    pub fn try_recv(&self) -> Option<(usize, R)> {
-        self.result_rx.try_recv().ok()
-    }
-
-    /// Blocking receive with a timeout.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<(usize, R)> {
-        match self.result_rx.recv_timeout(timeout) {
-            Ok(pair) => Some(pair),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => {
-                panic!("all workers terminated while results were expected")
-            }
+    /// Non-blocking receive of one `(worker, result)` pair. `Ok(None)`
+    /// means the queue is empty but workers are alive.
+    pub fn try_recv(&self) -> Result<Option<(usize, R)>, PoolError> {
+        match self.result_rx.try_recv() {
+            Ok(pair) => unwrap_reply(pair).map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(PoolError::Disconnected),
         }
     }
 
-    /// Blocking receive.
-    ///
-    /// # Panics
-    /// Panics if every worker has terminated (protocol error).
-    pub fn recv(&self) -> (usize, R) {
-        self.result_rx.recv().expect("all workers terminated while results were expected")
+    /// Blocking receive with a timeout. `Ok(None)` means the timeout
+    /// elapsed with workers still alive.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, R)>, PoolError> {
+        match self.result_rx.recv_timeout(timeout) {
+            Ok(pair) => unwrap_reply(pair).map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(PoolError::Disconnected),
+        }
+    }
+
+    /// Blocking receive of the next result.
+    pub fn recv(&self) -> Result<(usize, R), PoolError> {
+        match self.result_rx.recv() {
+            Ok(pair) => unwrap_reply(pair),
+            Err(_) => Err(PoolError::Disconnected),
+        }
     }
 
     /// Sends one task to every worker and waits for exactly one result per
     /// worker — the synchronous barrier pattern. Results are returned in
-    /// worker order (deterministic reassembly).
+    /// worker order (deterministic reassembly). If any task panics the
+    /// barrier fails fast with [`PoolError::WorkerPanicked`] instead of
+    /// waiting on a result that will never come.
     ///
     /// `tasks.len()` must equal the number of workers.
-    pub fn broadcast_collect(&self, tasks: Vec<T>) -> Vec<R> {
+    pub fn broadcast_collect(&self, tasks: Vec<T>) -> Result<Vec<R>, PoolError> {
         assert_eq!(tasks.len(), self.n_workers(), "one task per worker");
         let n = tasks.len();
         for (w, task) in tasks.into_iter().enumerate() {
@@ -110,20 +238,48 @@ impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         let mut received = 0;
         while received < n {
-            let (w, r) = self.recv();
-            assert!(slots[w].is_none(), "worker {w} replied twice to one broadcast");
+            let (w, r) = self.recv()?;
+            assert!(
+                slots[w].is_none(),
+                "worker {w} replied twice to one broadcast"
+            );
             slots[w] = Some(r);
             received += 1;
         }
-        slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
+    }
+
+    /// Results queued but not yet received by the master.
+    pub fn result_queue_len(&self) -> usize {
+        self.result_rx.len()
+    }
+
+    /// Tasks queued for `worker` that it has not yet picked up.
+    pub fn task_queue_len(&self, worker: usize) -> usize {
+        self.task_txs[worker].len()
+    }
+
+    /// Per-worker activity snapshots, indexed by worker id.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.stats.iter().map(StatCell::snapshot).collect()
     }
 
     /// Drops the task channels and joins all workers.
     pub fn shutdown(mut self) {
         self.task_txs.clear();
         for h in std::mem::take(&mut self.handles) {
-            h.join().expect("worker panicked");
+            h.join().expect("worker thread itself panicked");
         }
+    }
+}
+
+fn unwrap_reply<R>((worker, reply): (usize, Reply<R>)) -> Result<(usize, R), PoolError> {
+    match reply {
+        Reply::Ok(r) => Ok((worker, r)),
+        Reply::Panicked(message) => Err(PoolError::WorkerPanicked { worker, message }),
     }
 }
 
@@ -147,7 +303,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis((4 - id as u64) * 5));
             x * 10 + id as u64
         });
-        let out = pool.broadcast_collect(vec![1, 2, 3, 4]);
+        let out = pool.broadcast_collect(vec![1, 2, 3, 4]).expect("no panics");
         assert_eq!(out, vec![10, 21, 32, 43]);
         pool.shutdown();
     }
@@ -156,7 +312,9 @@ mod tests {
     fn repeated_broadcasts() {
         let pool: MasterWorker<u64, u64> = MasterWorker::spawn(3, |_, x| x + 1);
         for round in 0..50 {
-            let out = pool.broadcast_collect(vec![round, round, round]);
+            let out = pool
+                .broadcast_collect(vec![round, round, round])
+                .expect("no panics");
             assert_eq!(out, vec![round + 1; 3]);
         }
         pool.shutdown();
@@ -173,12 +331,19 @@ mod tests {
         pool.send(0, 7);
         pool.send(1, 9);
         // The fast worker's result arrives well before the slow one's.
-        let first = pool.recv_timeout(Duration::from_millis(500)).expect("fast result");
+        let first = pool
+            .recv_timeout(Duration::from_millis(500))
+            .expect("alive")
+            .expect("fast result");
         assert_eq!(first, (0, 7));
-        // Nothing else yet (within a tight poll).
-        assert!(pool.try_recv().is_none());
+        // Nothing else yet (within a tight poll) — workers alive, so this
+        // is Ok(None), not an error.
+        assert_eq!(pool.try_recv(), Ok(None));
         // The slow result eventually arrives.
-        let second = pool.recv_timeout(Duration::from_millis(500)).expect("slow result");
+        let second = pool
+            .recv_timeout(Duration::from_millis(500))
+            .expect("alive")
+            .expect("slow result");
         assert_eq!(second, (1, 9));
         pool.shutdown();
     }
@@ -191,7 +356,9 @@ mod tests {
             seen2.fetch_or(1 << id, Ordering::Relaxed);
             id
         });
-        let ids = pool.broadcast_collect(vec![(), (), (), ()]);
+        let ids = pool
+            .broadcast_collect(vec![(), (), (), ()])
+            .expect("no panics");
         assert_eq!(ids, vec![0, 1, 2, 3]);
         assert_eq!(seen.load(Ordering::Relaxed), 0b1111);
         pool.shutdown();
@@ -207,5 +374,96 @@ mod tests {
     #[should_panic]
     fn zero_workers_rejected() {
         let _: MasterWorker<(), ()> = MasterWorker::spawn(0, |_, ()| ());
+    }
+
+    #[test]
+    fn task_panic_surfaces_as_error_and_worker_survives() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(1, |_, x| {
+            assert!(x != 13, "unlucky task");
+            x * 2
+        });
+        pool.send(0, 13);
+        match pool.recv() {
+            Err(PoolError::WorkerPanicked { worker: 0, message }) => {
+                assert!(message.contains("unlucky task"), "got: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The same worker keeps serving tasks after the panic.
+        pool.send(0, 4);
+        assert_eq!(pool.recv(), Ok((0, 8)));
+        let stats = pool.worker_stats();
+        assert_eq!(stats[0].panics, 1);
+        assert_eq!(stats[0].tasks_completed, 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn broadcast_fails_fast_on_panicking_worker() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(3, |id, x| {
+            if id == 1 {
+                panic!("worker 1 always fails");
+            }
+            x
+        });
+        let err = pool.broadcast_collect(vec![1, 2, 3]).unwrap_err();
+        assert!(
+            matches!(err, PoolError::WorkerPanicked { worker: 1, .. }),
+            "got {err:?}"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn timeout_with_live_workers_is_ok_none() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(1, |_, x| x);
+        assert_eq!(pool.recv_timeout(Duration::from_millis(5)), Ok(None));
+        assert_eq!(pool.try_recv(), Ok(None));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn queue_depths_are_observable() {
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let gate2 = Arc::clone(&gate);
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(1, move |_, x| {
+            if x == 0 {
+                gate2.wait(); // hold the worker until the master has queued up
+            }
+            x
+        });
+        pool.send(0, 0);
+        pool.send(0, 1);
+        pool.send(0, 2);
+        // The worker is parked in task 0; tasks 1 and 2 sit in its queue.
+        // (Depth may read 3 if the worker has not dequeued task 0 yet.)
+        assert!(pool.task_queue_len(0) >= 2);
+        gate.wait();
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(pool.recv().expect("alive").1);
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(pool.result_queue_len(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn busy_stats_accumulate() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, |_, x| {
+            std::thread::sleep(Duration::from_millis(5));
+            x
+        });
+        let _ = pool.broadcast_collect(vec![1, 2]).expect("no panics");
+        let stats = pool.worker_stats();
+        for (w, s) in stats.iter().enumerate() {
+            assert_eq!(s.tasks_completed, 1, "worker {w}");
+            assert!(
+                s.busy_seconds >= 0.004,
+                "worker {w} busy {}",
+                s.busy_seconds
+            );
+        }
+        pool.shutdown();
     }
 }

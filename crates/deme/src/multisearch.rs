@@ -9,6 +9,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use detrand::Rng;
+use std::cell::Cell;
 
 /// One searcher's endpoints in the multisearch network.
 pub struct Endpoint<M> {
@@ -19,6 +20,10 @@ pub struct Endpoint<M> {
     comm_list: Vec<(usize, Sender<M>)>,
     /// Rotation cursor.
     next: usize,
+    /// Messages actually delivered to a peer.
+    sent: Cell<u64>,
+    /// Messages drained from the inbox.
+    received: Cell<u64>,
 }
 
 impl<M> Endpoint<M> {
@@ -28,6 +33,7 @@ impl<M> Endpoint<M> {
         while let Ok(m) = self.inbox.try_recv() {
             out.push(m);
         }
+        self.received.set(self.received.get() + out.len() as u64);
         out
     }
 
@@ -44,13 +50,33 @@ impl<M> Endpoint<M> {
         let peer = *peer;
         let delivered = tx.send(msg).is_ok();
         self.next = (self.next + 1) % self.comm_list.len();
+        if delivered {
+            self.sent.set(self.sent.get() + 1);
+        }
         delivered.then_some(peer)
     }
 
     /// The peer order of the communication list (for tests/traces).
     pub fn peer_order(&self) -> Vec<usize> {
         let n = self.comm_list.len();
-        (0..n).map(|k| self.comm_list[(self.next + k) % n].0).collect()
+        (0..n)
+            .map(|k| self.comm_list[(self.next + k) % n].0)
+            .collect()
+    }
+
+    /// Messages delivered to peers so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent.get()
+    }
+
+    /// Messages drained from the inbox so far.
+    pub fn received_count(&self) -> u64 {
+        self.received.get()
+    }
+
+    /// Messages currently waiting in the inbox (queue depth).
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
     }
 }
 
@@ -66,9 +92,18 @@ pub fn network<M, R: Rng>(n: usize, rngs: &mut [R]) -> Vec<Endpoint<M>> {
     for (id, rng) in rngs.iter_mut().enumerate().take(n) {
         let mut order: Vec<usize> = (0..n).filter(|&p| p != id).collect();
         rng.shuffle(&mut order);
-        let comm_list =
-            order.into_iter().map(|p| (p, channels[p].0.clone())).collect::<Vec<_>>();
-        endpoints.push(Endpoint { id, inbox: channels[id].1.clone(), comm_list, next: 0 });
+        let comm_list = order
+            .into_iter()
+            .map(|p| (p, channels[p].0.clone()))
+            .collect::<Vec<_>>();
+        endpoints.push(Endpoint {
+            id,
+            inbox: channels[id].1.clone(),
+            comm_list,
+            next: 0,
+            sent: Cell::new(0),
+            received: Cell::new(0),
+        });
     }
     endpoints
 }
@@ -117,12 +152,19 @@ mod tests {
         // communication lists must differ (overwhelmingly likely; fixed
         // seed makes it deterministic).
         let eps = network::<u32, _>(6, &mut rngs(6));
-        let orders: Vec<Vec<usize>> = eps.iter().map(|e| {
-            // Compare relative order of common peers by removing ids.
-            e.peer_order()
-        }).collect();
+        let orders: Vec<Vec<usize>> = eps
+            .iter()
+            .map(|e| {
+                // Compare relative order of common peers by removing ids.
+                e.peer_order()
+            })
+            .collect();
         let all_same = orders.windows(2).all(|w| {
-            let a: Vec<usize> = w[0].iter().filter(|&&p| !w[1].contains(&p)).copied().collect();
+            let a: Vec<usize> = w[0]
+                .iter()
+                .filter(|&&p| !w[1].contains(&p))
+                .copied()
+                .collect();
             a.is_empty() && w[0].len() == w[1].len()
         });
         // Orders contain different peer sets by construction; just ensure
@@ -138,7 +180,10 @@ mod tests {
                 e.peer_order() == sorted
             })
             .count();
-        assert!(identity_count < eps.len(), "all lists unshuffled is implausible");
+        assert!(
+            identity_count < eps.len(),
+            "all lists unshuffled is implausible"
+        );
         let _ = all_same;
     }
 
@@ -166,6 +211,24 @@ mod tests {
         drop(ep1);
         // Peer 1 is gone; sending must not panic, and reports non-delivery.
         assert_eq!(eps[0].send_next(9), None);
+    }
+
+    #[test]
+    fn counters_track_sent_received_and_depth() {
+        let mut eps = network::<u32, _>(2, &mut rngs(2));
+        assert_eq!(eps[0].sent_count(), 0);
+        eps[0].send_next(1);
+        eps[0].send_next(2);
+        assert_eq!(eps[0].sent_count(), 2);
+        assert_eq!(eps[1].inbox_len(), 2);
+        assert_eq!(eps[1].drain(), vec![1, 2]);
+        assert_eq!(eps[1].received_count(), 2);
+        assert_eq!(eps[1].inbox_len(), 0);
+        // Undelivered sends (dropped peer) do not count as sent.
+        let ep1 = eps.pop().unwrap();
+        drop(ep1);
+        assert_eq!(eps[0].send_next(3), None);
+        assert_eq!(eps[0].sent_count(), 2);
     }
 
     #[test]

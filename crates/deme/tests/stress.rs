@@ -23,13 +23,13 @@ fn budget_and_pool_account_exactly_under_contention() {
         next = (next + 1) % 4;
         outstanding += 1;
         if outstanding >= 16 {
-            let (_, granted) = pool.recv();
+            let (_, granted) = pool.recv().expect("workers alive");
             granted_total += granted;
             outstanding -= 1;
         }
     }
     while outstanding > 0 {
-        let (_, granted) = pool.recv();
+        let (_, granted) = pool.recv().expect("workers alive");
         granted_total += granted;
         outstanding -= 1;
     }
@@ -66,7 +66,10 @@ fn multisearch_network_is_lossless_under_threads() {
                 got
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("peer panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("peer panicked"))
+            .collect()
     });
 
     // Every peer sends one message per round to exactly one other peer;
@@ -91,11 +94,13 @@ fn pool_mixed_usage_patterns() {
     let pool: MasterWorker<u64, u64> = MasterWorker::spawn(3, |id, x| x * 3 + id as u64);
     for round in 0..100u64 {
         if round % 3 == 0 {
-            let out = pool.broadcast_collect(vec![round, round, round]);
+            let out = pool
+                .broadcast_collect(vec![round, round, round])
+                .expect("no panics");
             assert_eq!(out, vec![3 * round, 3 * round + 1, 3 * round + 2]);
         } else {
             pool.send((round % 3) as usize, round);
-            let (w, r) = pool.recv();
+            let (w, r) = pool.recv().expect("workers alive");
             assert_eq!(r, 3 * round + w as u64);
         }
     }

@@ -95,7 +95,10 @@ impl Nsga2 {
     /// # Panics
     /// Panics if the population is smaller than 2.
     pub fn new(cfg: Nsga2Config) -> Self {
-        assert!(cfg.population >= 2, "population must hold at least two parents");
+        assert!(
+            cfg.population >= 2,
+            "population must hold at least two parents"
+        );
         Self { cfg }
     }
 
@@ -108,7 +111,11 @@ impl Nsga2 {
 
         let evaluate = |sol: Solution, inst: &Instance| -> Individual {
             let objectives = sol.evaluate(inst);
-            Individual { solution: sol, objectives, vector: objectives.to_vector() }
+            Individual {
+                solution: sol,
+                objectives,
+                vector: objectives.to_vector(),
+            }
         };
 
         // Initial population: randomized I1 constructions.
@@ -147,7 +154,11 @@ impl Nsga2 {
         let fronts = fast_non_dominated_sort(&pop);
         let front = fronts
             .first()
-            .map(|f| f.iter().map(|&i| (pop[i].solution.clone(), pop[i].objectives)).collect())
+            .map(|f| {
+                f.iter()
+                    .map(|&i| (pop[i].solution.clone(), pop[i].objectives))
+                    .collect()
+            })
             .unwrap_or_default();
         Nsga2Outcome {
             front,
@@ -181,9 +192,16 @@ fn environmental_selection(pop: Vec<Individual>, target: usize) -> Vec<Individua
             let dist = crowding_distances(&members);
             let mut order: Vec<usize> = (0..front.len()).collect();
             order.sort_by(|&x, &y| {
-                dist[y].partial_cmp(&dist[x]).expect("crowding distances are not NaN")
+                dist[y]
+                    .partial_cmp(&dist[x])
+                    .expect("crowding distances are not NaN")
             });
-            keep.extend(order.into_iter().take(target - keep.len()).map(|k| front[k]));
+            keep.extend(
+                order
+                    .into_iter()
+                    .take(target - keep.len())
+                    .map(|k| front[k]),
+            );
             break;
         }
     }
@@ -191,7 +209,10 @@ fn environmental_selection(pop: Vec<Individual>, target: usize) -> Vec<Individua
     for &i in &keep {
         flags[i] = true;
     }
-    pop.into_iter().zip(flags).filter_map(|(ind, keep)| keep.then_some(ind)).collect()
+    pop.into_iter()
+        .zip(flags)
+        .filter_map(|(ind, keep)| keep.then_some(ind))
+        .collect()
 }
 
 #[cfg(test)]
@@ -200,7 +221,11 @@ mod tests {
     use vrptw::generator::{GeneratorConfig, InstanceClass};
 
     fn small() -> Nsga2Config {
-        Nsga2Config { population: 20, max_evaluations: 1_000, ..Default::default() }
+        Nsga2Config {
+            population: 20,
+            max_evaluations: 1_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -219,8 +244,7 @@ mod tests {
     fn front_is_mutually_non_dominated() {
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 30, 6).build());
         let out = Nsga2::new(small()).run(&inst);
-        let vecs: Vec<[f64; 3]> =
-            out.front.iter().map(|(_, o)| o.to_vector()).collect();
+        let vecs: Vec<[f64; 3]> = out.front.iter().map(|(_, o)| o.to_vector()).collect();
         assert_eq!(pareto::non_dominated_indices(&vecs).len(), vecs.len());
     }
 
@@ -263,7 +287,11 @@ mod tests {
             .map(|_| {
                 let s = randomized_i1(&inst, &mut rng);
                 let o = s.evaluate(&inst);
-                Individual { solution: s, vector: o.to_vector(), objectives: o }
+                Individual {
+                    solution: s,
+                    vector: o.to_vector(),
+                    objectives: o,
+                }
             })
             .collect();
         let best_distance = pop
@@ -274,6 +302,8 @@ mod tests {
         assert_eq!(kept.len(), 10);
         // Elitism: a best-distance individual is non-dominated in f1 and
         // must survive.
-        assert!(kept.iter().any(|i| (i.objectives.distance - best_distance).abs() < 1e-9));
+        assert!(kept
+            .iter()
+            .any(|i| (i.objectives.distance - best_distance).abs() < 1e-9));
     }
 }

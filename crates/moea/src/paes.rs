@@ -32,7 +32,12 @@ pub struct PaesConfig {
 
 impl Default for PaesConfig {
     fn default() -> Self {
-        Self { archive: 30, depth: 4, max_evaluations: 100_000, seed: 0 }
+        Self {
+            archive: 30,
+            depth: 4,
+            max_evaluations: 100_000,
+            seed: 0,
+        }
     }
 }
 
@@ -59,7 +64,11 @@ struct GridArchive {
 
 impl GridArchive {
     fn new(capacity: usize, depth: u32) -> Self {
-        Self { members: Vec::with_capacity(capacity + 1), capacity, depth }
+        Self {
+            members: Vec::with_capacity(capacity + 1),
+            capacity,
+            depth,
+        }
     }
 
     /// The grid cell of `v` under the current bounds.
@@ -85,7 +94,10 @@ impl GridArchive {
     /// Number of members sharing `v`'s cell.
     fn crowding(&self, v: &[f64; 3]) -> usize {
         let cell = self.region(v);
-        self.members.iter().filter(|m| self.region(&m.vector) == cell).count()
+        self.members
+            .iter()
+            .filter(|m| self.region(&m.vector) == cell)
+            .count()
     }
 
     /// Tries to insert a non-dominated candidate; evicts a member of the
@@ -106,8 +118,11 @@ impl GridArchive {
         if self.members.len() > self.capacity {
             // Evict from the most crowded cell (never the newcomer if it
             // sits in a less crowded cell).
-            let crowds: Vec<usize> =
-                self.members.iter().map(|m| self.crowding(&m.vector)).collect();
+            let crowds: Vec<usize> = self
+                .members
+                .iter()
+                .map(|m| self.crowding(&m.vector))
+                .collect();
             let max_crowd = *crowds.iter().max().expect("non-empty");
             let victim = self
                 .members
@@ -171,7 +186,11 @@ impl Paes {
 
         let evaluate = |sol: Solution, inst: &Instance| -> Member {
             let objectives = sol.evaluate(inst);
-            Member { solution: sol, objectives, vector: objectives.to_vector() }
+            Member {
+                solution: sol,
+                objectives,
+                vector: objectives.to_vector(),
+            }
         };
 
         budget.try_consume(1);
@@ -194,8 +213,7 @@ impl Paes {
                     // lands in a less crowded region than the current.
                     let went_in = archive.insert(candidate.clone());
                     if went_in
-                        && archive.crowding(&candidate.vector)
-                            <= archive.crowding(&current.vector)
+                        && archive.crowding(&candidate.vector) <= archive.crowding(&current.vector)
                     {
                         current = candidate;
                         accepted += 1;
@@ -223,7 +241,11 @@ mod tests {
     use vrptw::generator::{GeneratorConfig, InstanceClass};
 
     fn small() -> PaesConfig {
-        PaesConfig { archive: 10, max_evaluations: 2_000, ..Default::default() }
+        PaesConfig {
+            archive: 10,
+            max_evaluations: 2_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -279,7 +301,11 @@ mod tests {
     fn grid_archive_respects_capacity_via_crowding() {
         let mk = |x: f64| Member {
             solution: Solution::from_routes(vec![vec![1]]),
-            objectives: Objectives { distance: x, vehicles: 1, tardiness: 100.0 - x },
+            objectives: Objectives {
+                distance: x,
+                vehicles: 1,
+                tardiness: 100.0 - x,
+            },
             vector: [x, 1.0, 100.0 - x],
         };
         let mut g = GridArchive::new(4, 2);
@@ -293,8 +319,7 @@ mod tests {
         // {90, 100} survives untouched.
         assert!(g.members.iter().any(|m| m.vector[0] == 90.0));
         assert!(g.members.iter().any(|m| m.vector[0] == 100.0));
-        let low_cluster =
-            g.members.iter().filter(|m| m.vector[0] <= 12.0).count();
+        let low_cluster = g.members.iter().filter(|m| m.vector[0] <= 12.0).count();
         assert_eq!(low_cluster, 2, "two evictions must hit the crowded cell");
     }
 
@@ -302,7 +327,11 @@ mod tests {
     fn region_is_stable_for_identical_vectors() {
         let mk = |x: f64| Member {
             solution: Solution::from_routes(vec![vec![1]]),
-            objectives: Objectives { distance: x, vehicles: 1, tardiness: 0.0 },
+            objectives: Objectives {
+                distance: x,
+                vehicles: 1,
+                tardiness: 0.0,
+            },
             vector: [x, 1.0, 0.0],
         };
         let mut g = GridArchive::new(8, 3);

@@ -27,8 +27,7 @@ pub fn fast_non_dominated_sort<T: Dominance>(items: &[T]) -> Vec<Vec<usize>> {
         }
     }
     let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> =
-        (0..n).filter(|&p| domination_count[p] == 0).collect();
+    let mut current: Vec<usize> = (0..n).filter(|&p| domination_count[p] == 0).collect();
     while !current.is_empty() {
         let mut next = Vec::new();
         for &p in &current {
@@ -46,14 +45,11 @@ pub fn fast_non_dominated_sort<T: Dominance>(items: &[T]) -> Vec<Vec<usize>> {
 
 /// The crowded-comparison operator `≺_n`: lower rank wins; within a rank,
 /// larger crowding distance wins.
-pub fn crowded_compare(
-    rank_a: usize,
-    crowd_a: f64,
-    rank_b: usize,
-    crowd_b: f64,
-) -> Ordering {
+pub fn crowded_compare(rank_a: usize, crowd_a: f64, rank_b: usize, crowd_b: f64) -> Ordering {
     rank_a.cmp(&rank_b).then_with(|| {
-        crowd_b.partial_cmp(&crowd_a).expect("crowding distances are not NaN")
+        crowd_b
+            .partial_cmp(&crowd_a)
+            .expect("crowding distances are not NaN")
     })
 }
 

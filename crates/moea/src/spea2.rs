@@ -88,7 +88,10 @@ impl Spea2 {
     /// # Panics
     /// Panics if population or archive sizes are below 2.
     pub fn new(cfg: Spea2Config) -> Self {
-        assert!(cfg.population >= 2 && cfg.archive >= 2, "sizes must be at least 2");
+        assert!(
+            cfg.population >= 2 && cfg.archive >= 2,
+            "sizes must be at least 2"
+        );
         Self { cfg }
     }
 
@@ -100,7 +103,11 @@ impl Spea2 {
         let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
         let evaluate = |sol: Solution, inst: &Instance| -> Individual {
             let objectives = sol.evaluate(inst);
-            Individual { solution: sol, objectives, vector: objectives.to_vector() }
+            Individual {
+                solution: sol,
+                objectives,
+                vector: objectives.to_vector(),
+            }
         };
 
         let init = budget.try_consume(cfg.population as u64) as usize;
@@ -151,9 +158,7 @@ impl Spea2 {
         // Final front: non-dominated archive members.
         let front = archive
             .iter()
-            .filter(|i| {
-                !archive.iter().any(|j| dominates(&j.vector, &i.vector))
-            })
+            .filter(|i| !archive.iter().any(|j| dominates(&j.vector, &i.vector)))
             .map(|i| (i.solution.clone(), i.objectives))
             .collect();
         Spea2Outcome {
@@ -195,7 +200,8 @@ fn spea2_fitness(items: &[Individual]) -> Vec<f64> {
             .map(|j| euclid(&items[i].vector, &items[j].vector))
             .collect();
         dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are not NaN"));
-        let sigma_k = dists.get(k.saturating_sub(1).min(dists.len().saturating_sub(1)))
+        let sigma_k = dists
+            .get(k.saturating_sub(1).min(dists.len().saturating_sub(1)))
             .copied()
             .unwrap_or(0.0);
         fitness.push(raw[i] + 1.0 / (sigma_k + 2.0));
@@ -204,7 +210,11 @@ fn spea2_fitness(items: &[Individual]) -> Vec<f64> {
 }
 
 fn euclid(a: &[f64; 3], b: &[f64; 3]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Keeps the non-dominated members (F < 1), truncating by repeated removal
@@ -215,12 +225,10 @@ fn environmental_selection(
     fitness: &[f64],
     target: usize,
 ) -> Vec<Individual> {
-    let mut selected: Vec<usize> =
-        (0..union.len()).filter(|&i| fitness[i] < 1.0).collect();
+    let mut selected: Vec<usize> = (0..union.len()).filter(|&i| fitness[i] < 1.0).collect();
     if selected.len() < target {
         // Fill with the best of the rest.
-        let mut rest: Vec<usize> =
-            (0..union.len()).filter(|&i| fitness[i] >= 1.0).collect();
+        let mut rest: Vec<usize> = (0..union.len()).filter(|&i| fitness[i] >= 1.0).collect();
         rest.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("not NaN"));
         selected.extend(rest.into_iter().take(target - selected.len()));
     } else {
@@ -274,7 +282,12 @@ mod tests {
     use vrptw::generator::{GeneratorConfig, InstanceClass};
 
     fn small() -> Spea2Config {
-        Spea2Config { population: 20, archive: 10, max_evaluations: 1_000, ..Default::default() }
+        Spea2Config {
+            population: 20,
+            archive: 10,
+            max_evaluations: 1_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -309,7 +322,11 @@ mod tests {
     fn fitness_of_non_dominated_is_below_one() {
         let mk = |v: [f64; 3]| Individual {
             solution: Solution::from_routes(vec![vec![1]]),
-            objectives: Objectives { distance: v[0], vehicles: v[1] as usize, tardiness: v[2] },
+            objectives: Objectives {
+                distance: v[0],
+                vehicles: v[1] as usize,
+                tardiness: v[2],
+            },
             vector: v,
         };
         let items = vec![
@@ -327,12 +344,15 @@ mod tests {
     fn truncation_respects_target_size() {
         let mk = |x: f64, y: f64| Individual {
             solution: Solution::from_routes(vec![vec![1]]),
-            objectives: Objectives { distance: x, vehicles: 1, tardiness: y },
+            objectives: Objectives {
+                distance: x,
+                vehicles: 1,
+                tardiness: y,
+            },
             vector: [x, 1.0, y],
         };
         // Seven mutually non-dominated points on a line.
-        let union: Vec<Individual> =
-            (0..7).map(|i| mk(i as f64, 6.0 - i as f64)).collect();
+        let union: Vec<Individual> = (0..7).map(|i| mk(i as f64, 6.0 - i as f64)).collect();
         let fitness = spea2_fitness(&union);
         let kept = environmental_selection(union, &fitness, 4);
         assert_eq!(kept.len(), 4);

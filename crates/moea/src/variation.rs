@@ -26,7 +26,12 @@ pub fn best_cost_route_crossover<R: Rng>(
     let mut routes: Vec<Vec<SiteId>> = receiver
         .routes()
         .iter()
-        .map(|r| r.iter().copied().filter(|c| !displaced.contains(c)).collect())
+        .map(|r| {
+            r.iter()
+                .copied()
+                .filter(|c| !displaced.contains(c))
+                .collect()
+        })
         .filter(|r: &Vec<SiteId>| !r.is_empty())
         .collect();
 
@@ -138,7 +143,10 @@ mod tests {
                 differs_from_receiver = true;
             }
         }
-        assert!(differs_from_receiver, "crossover never produced new material");
+        assert!(
+            differs_from_receiver,
+            "crossover never produced new material"
+        );
     }
 
     #[test]

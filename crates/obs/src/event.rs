@@ -1,0 +1,502 @@
+//! Structured search events and their JSONL encoding.
+//!
+//! Events carry **logical** time only: a sequence number assigned by the
+//! recorder at append, plus whatever algorithmic counters (iteration,
+//! staleness) the emitter provides. No wall-clock values appear in events,
+//! so two runs with the same seed produce byte-identical streams. Runtime
+//! measurements (busy fractions, queue depths over time) belong in the
+//! metrics registry instead.
+
+use crate::json::{self, Json};
+use std::fmt::Write as _;
+
+/// Why the search restarted from memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartReason {
+    /// The admissible neighborhood was empty (`s ∉ N`).
+    EmptyPool,
+    /// `M_archive` was unchanged for the configured stagnation limit.
+    Stagnation,
+}
+
+impl RestartReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            RestartReason::EmptyPool => "empty_pool",
+            RestartReason::Stagnation => "stagnation",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "empty_pool" => Some(RestartReason::EmptyPool),
+            "stagnation" => Some(RestartReason::Stagnation),
+            _ => None,
+        }
+    }
+}
+
+/// Direction of a collaborative-multisearch exchange, from the emitting
+/// searcher's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeDirection {
+    /// The searcher broadcast an improving solution to a peer.
+    Sent,
+    /// The searcher drained a solution from its inbox.
+    Received,
+}
+
+impl ExchangeDirection {
+    fn as_str(self) -> &'static str {
+        match self {
+            ExchangeDirection::Sent => "sent",
+            ExchangeDirection::Received => "received",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "sent" => Some(ExchangeDirection::Sent),
+            "received" => Some(ExchangeDirection::Received),
+            _ => None,
+        }
+    }
+}
+
+/// One structured event from the search. `searcher` is 0 for the
+/// single-searcher variants and the collaborative searcher index otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchEvent {
+    /// One selection step completed.
+    Iteration {
+        /// Emitting searcher.
+        searcher: u32,
+        /// Iteration number the step ran as.
+        iteration: u64,
+        /// Neighbors offered to selection.
+        pool: u32,
+        /// Neighbors that survived the tabu/aspiration filter.
+        admissible: u32,
+        /// Objective vector of the selected neighbor (`None` on restart
+        /// steps with an empty admissible set).
+        chosen: Option<[f64; 3]>,
+    },
+    /// The search restarted from `M_nondom ∪ M_archive`.
+    Restart {
+        /// Emitting searcher.
+        searcher: u32,
+        /// Iteration at which the restart happened.
+        iteration: u64,
+        /// What triggered it.
+        reason: RestartReason,
+    },
+    /// A solution entered `M_archive`.
+    ArchiveInsert {
+        /// Emitting searcher.
+        searcher: u32,
+        /// Iteration of the insertion.
+        iteration: u64,
+        /// The inserted objective vector.
+        objectives: [f64; 3],
+    },
+    /// A neighbor was rejected (or rescued) by the tabu list.
+    TabuHit {
+        /// Emitting searcher.
+        searcher: u32,
+        /// Iteration of the check.
+        iteration: u64,
+        /// Whether aspiration rescued the neighbor anyway.
+        aspired: bool,
+    },
+    /// A collaborative exchange on the communication lists.
+    Exchange {
+        /// Emitting searcher.
+        searcher: u32,
+        /// The peer on the other end.
+        peer: u32,
+        /// Sent or received.
+        direction: ExchangeDirection,
+        /// The exchanged objective vector.
+        objectives: [f64; 3],
+    },
+    /// The master dispatched a neighborhood task to a worker.
+    WorkerTask {
+        /// Receiving worker.
+        worker: u32,
+        /// Iteration the task was generated for.
+        iteration: u64,
+        /// Neighbors requested.
+        count: u32,
+    },
+    /// A worker returned an evaluated chunk to the master.
+    WorkerResult {
+        /// Responding worker.
+        worker: u32,
+        /// Iteration the chunk was generated for.
+        iteration: u64,
+        /// Neighbors delivered.
+        neighbors: u32,
+    },
+    /// Stale neighbors were consumed by a step (asynchronous variants:
+    /// results generated from an older current solution).
+    Staleness {
+        /// Emitting searcher.
+        searcher: u32,
+        /// Iteration that consumed the stale neighbors.
+        iteration: u64,
+        /// Age in iterations of the oldest neighbor in the step's pool.
+        max_staleness: u64,
+        /// How many neighbors in the pool were stale (age > 0).
+        stale: u32,
+    },
+}
+
+/// An event stamped with its logical sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Position in the recorder's stream, starting at 0.
+    pub seq: u64,
+    /// The event itself.
+    pub event: SearchEvent,
+}
+
+fn write_vector(out: &mut String, v: &[f64; 3]) {
+    out.push('[');
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_f64(out, *x);
+    }
+    out.push(']');
+}
+
+impl TimedEvent {
+    /// Encodes the event as one JSON line (no trailing newline). Field
+    /// order is fixed, so equal events encode byte-identically.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"seq\":{}", self.seq);
+        match &self.event {
+            SearchEvent::Iteration {
+                searcher,
+                iteration,
+                pool,
+                admissible,
+                chosen,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"iteration\",\"searcher\":{searcher},\"iteration\":{iteration},\"pool\":{pool},\"admissible\":{admissible},\"chosen\":"
+                );
+                match chosen {
+                    Some(v) => write_vector(&mut s, v),
+                    None => s.push_str("null"),
+                }
+            }
+            SearchEvent::Restart {
+                searcher,
+                iteration,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"restart\",\"searcher\":{searcher},\"iteration\":{iteration},\"reason\":\"{}\"",
+                    reason.as_str()
+                );
+            }
+            SearchEvent::ArchiveInsert {
+                searcher,
+                iteration,
+                objectives,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"archive_insert\",\"searcher\":{searcher},\"iteration\":{iteration},\"objectives\":"
+                );
+                write_vector(&mut s, objectives);
+            }
+            SearchEvent::TabuHit {
+                searcher,
+                iteration,
+                aspired,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"tabu_hit\",\"searcher\":{searcher},\"iteration\":{iteration},\"aspired\":{aspired}"
+                );
+            }
+            SearchEvent::Exchange {
+                searcher,
+                peer,
+                direction,
+                objectives,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"exchange\",\"searcher\":{searcher},\"peer\":{peer},\"direction\":\"{}\",\"objectives\":",
+                    direction.as_str()
+                );
+                write_vector(&mut s, objectives);
+            }
+            SearchEvent::WorkerTask {
+                worker,
+                iteration,
+                count,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"worker_task\",\"worker\":{worker},\"iteration\":{iteration},\"count\":{count}"
+                );
+            }
+            SearchEvent::WorkerResult {
+                worker,
+                iteration,
+                neighbors,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"worker_result\",\"worker\":{worker},\"iteration\":{iteration},\"neighbors\":{neighbors}"
+                );
+            }
+            SearchEvent::Staleness {
+                searcher,
+                iteration,
+                max_staleness,
+                stale,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"staleness\",\"searcher\":{searcher},\"iteration\":{iteration},\"max_staleness\":{max_staleness},\"stale\":{stale}"
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL line produced by [`to_json_line`].
+    ///
+    /// [`to_json_line`]: TimedEvent::to_json_line
+    pub fn parse_json_line(line: &str) -> Result<Self, String> {
+        let doc = json::parse(line).map_err(|e| e.to_string())?;
+        let seq = field_u64(&doc, "seq")?;
+        let kind = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing 'type' field".to_string())?;
+        let event = match kind {
+            "iteration" => SearchEvent::Iteration {
+                searcher: field_u32(&doc, "searcher")?,
+                iteration: field_u64(&doc, "iteration")?,
+                pool: field_u32(&doc, "pool")?,
+                admissible: field_u32(&doc, "admissible")?,
+                chosen: match doc.get("chosen") {
+                    Some(Json::Null) | None => None,
+                    Some(v) => Some(vector_from(v)?),
+                },
+            },
+            "restart" => SearchEvent::Restart {
+                searcher: field_u32(&doc, "searcher")?,
+                iteration: field_u64(&doc, "iteration")?,
+                reason: doc
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .and_then(RestartReason::from_str)
+                    .ok_or_else(|| "bad 'reason' field".to_string())?,
+            },
+            "archive_insert" => SearchEvent::ArchiveInsert {
+                searcher: field_u32(&doc, "searcher")?,
+                iteration: field_u64(&doc, "iteration")?,
+                objectives: vector_field(&doc, "objectives")?,
+            },
+            "tabu_hit" => SearchEvent::TabuHit {
+                searcher: field_u32(&doc, "searcher")?,
+                iteration: field_u64(&doc, "iteration")?,
+                aspired: doc
+                    .get("aspired")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| "bad 'aspired' field".to_string())?,
+            },
+            "exchange" => SearchEvent::Exchange {
+                searcher: field_u32(&doc, "searcher")?,
+                peer: field_u32(&doc, "peer")?,
+                direction: doc
+                    .get("direction")
+                    .and_then(Json::as_str)
+                    .and_then(ExchangeDirection::from_str)
+                    .ok_or_else(|| "bad 'direction' field".to_string())?,
+                objectives: vector_field(&doc, "objectives")?,
+            },
+            "worker_task" => SearchEvent::WorkerTask {
+                worker: field_u32(&doc, "worker")?,
+                iteration: field_u64(&doc, "iteration")?,
+                count: field_u32(&doc, "count")?,
+            },
+            "worker_result" => SearchEvent::WorkerResult {
+                worker: field_u32(&doc, "worker")?,
+                iteration: field_u64(&doc, "iteration")?,
+                neighbors: field_u32(&doc, "neighbors")?,
+            },
+            "staleness" => SearchEvent::Staleness {
+                searcher: field_u32(&doc, "searcher")?,
+                iteration: field_u64(&doc, "iteration")?,
+                max_staleness: field_u64(&doc, "max_staleness")?,
+                stale: field_u32(&doc, "stale")?,
+            },
+            other => return Err(format!("unknown event type '{other}'")),
+        };
+        Ok(TimedEvent { seq, event })
+    }
+}
+
+/// Parses a whole JSONL stream (blank lines are skipped). Returns the
+/// failing 1-based line number alongside the message on error.
+pub fn parse_events_jsonl(input: &str) -> Result<Vec<TimedEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(TimedEvent::parse_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("bad '{key}' field"))
+}
+
+fn field_u32(doc: &Json, key: &str) -> Result<u32, String> {
+    field_u64(doc, key)?
+        .try_into()
+        .map_err(|_| format!("'{key}' out of u32 range"))
+}
+
+fn vector_from(v: &Json) -> Result<[f64; 3], String> {
+    match v {
+        Json::Array(items) if items.len() == 3 => {
+            let mut out = [0.0; 3];
+            for (i, item) in items.iter().enumerate() {
+                out[i] = item
+                    .as_f64()
+                    .ok_or_else(|| "non-numeric objective".to_string())?;
+            }
+            Ok(out)
+        }
+        _ => Err("objective vector must be a 3-element array".to_string()),
+    }
+}
+
+fn vector_field(doc: &Json, key: &str) -> Result<[f64; 3], String> {
+    vector_from(
+        doc.get(key)
+            .ok_or_else(|| format!("missing '{key}' field"))?,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<SearchEvent> {
+        vec![
+            SearchEvent::Iteration {
+                searcher: 0,
+                iteration: 12,
+                pool: 60,
+                admissible: 58,
+                chosen: Some([1234.5, 11.0, 0.0]),
+            },
+            SearchEvent::Iteration {
+                searcher: 2,
+                iteration: 13,
+                pool: 60,
+                admissible: 0,
+                chosen: None,
+            },
+            SearchEvent::Restart {
+                searcher: 1,
+                iteration: 40,
+                reason: RestartReason::Stagnation,
+            },
+            SearchEvent::Restart {
+                searcher: 0,
+                iteration: 3,
+                reason: RestartReason::EmptyPool,
+            },
+            SearchEvent::ArchiveInsert {
+                searcher: 0,
+                iteration: 7,
+                objectives: [987.25, 10.0, 3.5],
+            },
+            SearchEvent::TabuHit {
+                searcher: 0,
+                iteration: 9,
+                aspired: true,
+            },
+            SearchEvent::Exchange {
+                searcher: 3,
+                peer: 1,
+                direction: ExchangeDirection::Sent,
+                objectives: [500.0, 9.0, 0.0],
+            },
+            SearchEvent::WorkerTask {
+                worker: 4,
+                iteration: 100,
+                count: 15,
+            },
+            SearchEvent::WorkerResult {
+                worker: 4,
+                iteration: 100,
+                neighbors: 15,
+            },
+            SearchEvent::Staleness {
+                searcher: 0,
+                iteration: 101,
+                max_staleness: 3,
+                stale: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for (seq, event) in samples().into_iter().enumerate() {
+            let timed = TimedEvent {
+                seq: seq as u64,
+                event,
+            };
+            let line = timed.to_json_line();
+            let parsed = TimedEvent::parse_json_line(&line).expect("parse back");
+            assert_eq!(parsed, timed, "mismatch for {line}");
+            // Re-encoding the parsed event reproduces the bytes exactly.
+            assert_eq!(parsed.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn stream_parse_reports_line_numbers() {
+        let good = TimedEvent {
+            seq: 0,
+            event: SearchEvent::TabuHit {
+                searcher: 0,
+                iteration: 1,
+                aspired: false,
+            },
+        };
+        let input = format!("{}\n\nnot json\n", good.to_json_line());
+        let err = parse_events_jsonl(&input).unwrap_err();
+        assert!(err.starts_with("line 3:"), "unexpected error: {err}");
+        let ok = parse_events_jsonl(&format!("{}\n", good.to_json_line())).unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let err = TimedEvent::parse_json_line(r#"{"seq":0,"type":"mystery"}"#).unwrap_err();
+        assert!(err.contains("mystery"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # tsmo-obs — deterministic telemetry for the TSMO suite
+//!
+//! Zero-dependency observability layer used by the search core, the
+//! parallel runtimes, and the bench binaries. It has three pieces:
+//!
+//! * **Structured events** ([`SearchEvent`], [`TimedEvent`]): a typed
+//!   JSONL stream of what the search did — iterations, restarts, archive
+//!   insertions, tabu hits, collaborative exchanges, worker task/result
+//!   traffic, and staleness. Events carry *logical* timestamps (a
+//!   sequence number assigned at append), so two runs with the same seed
+//!   produce byte-identical streams. [`parse_events_jsonl`] reads a
+//!   stream back for tests and tooling.
+//! * **Metrics** ([`MetricsRegistry`], [`metrics::names`]): typed
+//!   counters, gauges, and fixed-bucket histograms with Prometheus text
+//!   exposition ([`MetricsRegistry::to_prometheus`]) and a human-readable
+//!   end-of-run summary ([`MetricsRegistry::summary`]). Gauges derived
+//!   from wall clocks (worker busy fractions, runtime) live here, *not*
+//!   in the event stream.
+//! * **Recorders** ([`Recorder`], [`NoopRecorder`], [`MemoryRecorder`]):
+//!   emitters hold an `Arc<dyn Recorder>`; the no-op recorder's methods
+//!   are empty default bodies, so an uninstrumented run pays one virtual
+//!   call per metric touch and nothing per event (guard event
+//!   construction with [`Recorder::enabled`]).
+//!
+//! Determinism contract: with a fixed seed, the *event* stream is a pure
+//! function of the search trajectory. Recorders must never influence the
+//! search (no RNG draws, no time-dependent control flow on the emitter
+//! side), which the suite's no-op-equivalence tests enforce.
+
+#![warn(missing_docs)]
+
+mod event;
+pub mod json;
+pub mod metrics;
+mod recorder;
+
+pub use event::{parse_events_jsonl, ExchangeDirection, RestartReason, SearchEvent, TimedEvent};
+pub use json::{Json, ParseError};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{noop, MemoryRecorder, NoopRecorder, Recorder, Stopwatch};

@@ -1,0 +1,353 @@
+//! Typed metrics: counters, gauges, histograms, and text exposition.
+//!
+//! Metric names follow Prometheus conventions and may carry a label block,
+//! e.g. `tsmo_worker_busy_fraction{worker="0"}`. The registry stores plain
+//! values keyed by the full sample name in a `BTreeMap`, so exposition
+//! order is deterministic. Unlike events, metrics *may* hold wall-clock
+//! derived values (busy fractions, runtimes) — they feed dashboards and
+//! summaries, not the reproducibility proof.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Shared metric names, so emitters and consumers agree.
+pub mod names {
+    /// Selection steps completed (counter).
+    pub const ITERATIONS: &str = "tsmo_iterations_total";
+    /// Restarts from memory (counter; see the labeled variants).
+    pub const RESTARTS: &str = "tsmo_restarts_total";
+    /// Restarts due to an empty admissible pool (counter).
+    pub const RESTARTS_EMPTY_POOL: &str = "tsmo_restarts_total{reason=\"empty_pool\"}";
+    /// Restarts due to archive stagnation (counter).
+    pub const RESTARTS_STAGNATION: &str = "tsmo_restarts_total{reason=\"stagnation\"}";
+    /// Neighbors rejected by the tabu list (counter).
+    pub const TABU_HITS: &str = "tsmo_tabu_hits_total";
+    /// Tabu neighbors rescued by aspiration (counter).
+    pub const ASPIRATIONS: &str = "tsmo_aspirations_total";
+    /// Accepted `M_archive` insertions (counter).
+    pub const ARCHIVE_INSERTS: &str = "tsmo_archive_inserts_total";
+    /// Accepted `M_nondom` insertions (counter).
+    pub const NONDOM_INSERTS: &str = "tsmo_nondom_inserts_total";
+    /// Objective evaluations consumed (counter).
+    pub const EVALUATIONS: &str = "tsmo_evaluations_total";
+    /// Multisearch messages sent on communication lists (counter).
+    pub const EXCHANGE_SENT: &str = "tsmo_exchange_sent_total";
+    /// Multisearch messages drained from inboxes (counter).
+    pub const EXCHANGE_RECEIVED: &str = "tsmo_exchange_received_total";
+    /// Stale neighbors consumed by steps (counter).
+    pub const STALE_NEIGHBORS: &str = "tsmo_stale_neighbors_total";
+    /// Largest staleness (iterations) seen in any step (gauge).
+    pub const STALENESS_MAX: &str = "tsmo_staleness_max";
+    /// Final archive size (gauge).
+    pub const ARCHIVE_SIZE: &str = "tsmo_archive_size";
+    /// Wall-clock runtime of the run (gauge, seconds).
+    pub const RUNTIME_SECONDS: &str = "tsmo_runtime_seconds";
+    /// Pool size offered to each step (histogram).
+    pub const POOL_SIZE: &str = "tsmo_pool_size";
+    /// Per-neighbor staleness in iterations (histogram).
+    pub const NEIGHBOR_STALENESS: &str = "tsmo_neighbor_staleness";
+    /// Master-observed result queue depth at each poll (histogram).
+    pub const RESULT_QUEUE_DEPTH: &str = "tsmo_result_queue_depth";
+
+    /// Per-worker busy fraction sample name (gauge in `[0, 1]`).
+    pub fn worker_busy_fraction(worker: usize) -> String {
+        format!("tsmo_worker_busy_fraction{{worker=\"{worker}\"}}")
+    }
+
+    /// Per-worker completed task count (counter).
+    pub fn worker_tasks(worker: usize) -> String {
+        format!("tsmo_worker_tasks_total{{worker=\"{worker}\"}}")
+    }
+}
+
+/// Histogram bucket upper bounds (`+Inf` is implicit). Tuned for the small
+/// integer quantities the search emits (pool sizes, staleness, depths).
+pub const DEFAULT_BUCKETS: [f64; 9] = [0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0];
+
+/// A fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Observation count per bucket in [`DEFAULT_BUCKETS`] order.
+    pub buckets: [u64; DEFAULT_BUCKETS.len()],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Largest observed value (`None` when empty).
+    pub max: Option<f64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; DEFAULT_BUCKETS.len()],
+            count: 0,
+            sum: 0.0,
+            max: None,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        for (i, bound) in DEFAULT_BUCKETS.iter().enumerate() {
+            if value <= *bound {
+                self.buckets[i] += 1;
+            }
+        }
+        self.count += 1;
+        self.sum += value;
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Mean observed value (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Deterministically ordered store of all metric families.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// `tsmo_worker_busy_fraction{worker="0"}` → `tsmo_worker_busy_fraction`.
+fn family(sample_name: &str) -> &str {
+    sample_name.split('{').next().unwrap_or(sample_name)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Sets a gauge to the max of its current value and `value`.
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        let slot = self
+            .gauges
+            .entry(name.to_string())
+            .or_insert(f64::NEG_INFINITY);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Reads a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merges another registry into this one: counters add, gauges take
+    /// the maximum (they are all "largest seen" or fractions where max is
+    /// the conservative combine), histogram buckets add.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, delta) in &other.counters {
+            self.counter_add(name, *delta);
+        }
+        for (name, value) in &other.gauges {
+            self.gauge_max(name, *value);
+        }
+        for (name, hist) in &other.histograms {
+            let slot = self.histograms.entry(name.clone()).or_default();
+            for (b, add) in slot.buckets.iter_mut().zip(hist.buckets.iter()) {
+                *b += add;
+            }
+            slot.count += hist.count;
+            slot.sum += hist.sum;
+            slot.max = match (slot.max, hist.max) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    /// Output is fully deterministic given equal registry contents.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = "";
+        for (name, value) in &self.counters {
+            let fam = family(name);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} counter");
+                last_family = fam;
+            }
+            let _ = writeln!(out, "{name} {value}");
+        }
+        last_family = "";
+        for (name, value) in &self.gauges {
+            let fam = family(name);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} gauge");
+                last_family = fam;
+            }
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (bound, count) in DEFAULT_BUCKETS.iter().zip(hist.buckets.iter()) {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {count}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{name}_sum {}", hist.sum);
+            let _ = writeln!(out, "{name}_count {}", hist.count);
+        }
+        out
+    }
+
+    /// Renders a human-readable end-of-run summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("== run summary ==\n");
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<55} {value}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<55} {value:.4}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (count / mean / max):\n");
+            for (name, hist) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<55} {} / {:.2} / {:.0}",
+                    hist.count,
+                    hist.mean().unwrap_or(0.0),
+                    hist.max.unwrap_or(0.0)
+                );
+            }
+        }
+        out
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(names::ITERATIONS, 3);
+        m.counter_add(names::ITERATIONS, 2);
+        assert_eq!(m.counter(names::ITERATIONS), 5);
+        assert_eq!(m.counter("never_touched"), 0);
+    }
+
+    #[test]
+    fn gauge_max_keeps_largest() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_max(names::STALENESS_MAX, 2.0);
+        m.gauge_max(names::STALENESS_MAX, 7.0);
+        m.gauge_max(names::STALENESS_MAX, 4.0);
+        assert_eq!(m.gauge(names::STALENESS_MAX), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = Histogram::default();
+        for v in [0.0, 1.0, 3.0, 30.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 34.0);
+        assert_eq!(h.max, Some(30.0));
+        // le=0 sees one, le=1 two, le=5 three, le=50 all four.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[3], 3);
+        assert_eq!(h.buckets[6], 4);
+    }
+
+    #[test]
+    fn prometheus_output_is_deterministic_and_typed() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(names::RESTARTS_STAGNATION, 2);
+        m.counter_add(names::RESTARTS_EMPTY_POOL, 1);
+        m.gauge_set(&names::worker_busy_fraction(0), 0.75);
+        m.observe(names::POOL_SIZE, 60.0);
+        let text = m.to_prometheus();
+        assert_eq!(text, m.clone().to_prometheus());
+        assert!(text.contains("# TYPE tsmo_restarts_total counter"));
+        // One TYPE line covers both labeled samples of the family.
+        assert_eq!(text.matches("# TYPE tsmo_restarts_total").count(), 1);
+        assert!(text.contains("tsmo_restarts_total{reason=\"empty_pool\"} 1"));
+        assert!(text.contains("tsmo_worker_busy_fraction{worker=\"0\"} 0.75"));
+        assert!(text.contains("tsmo_pool_size_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("tsmo_pool_size_count 1"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add(names::ITERATIONS, 10);
+        b.counter_add(names::ITERATIONS, 5);
+        a.gauge_max(names::STALENESS_MAX, 3.0);
+        b.gauge_max(names::STALENESS_MAX, 9.0);
+        a.observe(names::POOL_SIZE, 10.0);
+        b.observe(names::POOL_SIZE, 20.0);
+        a.merge(&b);
+        assert_eq!(a.counter(names::ITERATIONS), 15);
+        assert_eq!(a.gauge(names::STALENESS_MAX), Some(9.0));
+        let h = a.histogram(names::POOL_SIZE).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 30.0);
+    }
+
+    #[test]
+    fn summary_mentions_all_sections() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(names::ITERATIONS, 1);
+        m.gauge_set(names::RUNTIME_SECONDS, 1.5);
+        m.observe(names::POOL_SIZE, 3.0);
+        let s = m.summary();
+        assert!(s.contains("counters:"));
+        assert!(s.contains("gauges:"));
+        assert!(s.contains("histograms"));
+        assert!(s.contains(names::ITERATIONS));
+    }
+}

@@ -1,0 +1,271 @@
+//! The `Recorder` trait and its two standard implementations.
+//!
+//! Emitters hold an `Arc<dyn Recorder>` and call the trait's default-no-op
+//! methods unconditionally for metrics; for events they should guard
+//! construction with [`Recorder::enabled`] so the no-op recorder costs a
+//! single virtual call (and no allocation) on hot paths.
+
+use crate::event::{SearchEvent, TimedEvent};
+use crate::metrics::MetricsRegistry;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Sink for search telemetry. All methods default to no-ops so custom
+/// recorders implement only what they consume.
+pub trait Recorder: Send + Sync {
+    /// Whether event recording is on. Emitters skip building
+    /// [`SearchEvent`] values entirely when this is `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Appends a structured event; the recorder assigns the logical
+    /// sequence number.
+    fn event(&self, _event: SearchEvent) {}
+
+    /// Adds `delta` to a counter.
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    /// Sets a gauge.
+    fn gauge_set(&self, _name: &str, _value: f64) {}
+
+    /// Raises a gauge to at least `value`.
+    fn gauge_max(&self, _name: &str, _value: f64) {}
+
+    /// Records one histogram observation.
+    fn observe(&self, _name: &str, _value: f64) {}
+}
+
+/// Discards everything. The default recorder: a search run with this sink
+/// behaves byte-for-byte like an uninstrumented one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// A shared handle to the default no-op recorder.
+pub fn noop() -> Arc<dyn Recorder> {
+    Arc::new(NoopRecorder)
+}
+
+struct MemoryState {
+    next_seq: u64,
+    events: Vec<TimedEvent>,
+    metrics: MetricsRegistry,
+}
+
+/// In-memory recorder: stamps each event with a logical sequence number
+/// and accumulates metrics. Cheap enough for tests and CLI runs; a run
+/// that needs bounded memory should disable events and keep metrics.
+pub struct MemoryRecorder {
+    state: Mutex<MemoryState>,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(MemoryState {
+                next_seq: 0,
+                events: Vec::new(),
+                metrics: MetricsRegistry::new(),
+            }),
+        }
+    }
+
+    /// An `Arc`-wrapped recorder ready to hand to a search run.
+    pub fn shared() -> Arc<MemoryRecorder> {
+        Arc::new(Self::new())
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, MemoryState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Copies out the recorded events in sequence order.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.state().events.clone()
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.state().events.len()
+    }
+
+    /// Renders the event stream as JSONL (one event per line, trailing
+    /// newline included when non-empty).
+    pub fn events_jsonl(&self) -> String {
+        let state = self.state();
+        let mut out = String::new();
+        for ev in &state.events {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.state().metrics.clone()
+    }
+
+    /// Prometheus text exposition of the current metrics.
+    pub fn prometheus(&self) -> String {
+        self.state().metrics.to_prometheus()
+    }
+
+    /// Human-readable end-of-run summary of the current metrics.
+    pub fn summary(&self) -> String {
+        self.state().metrics.summary()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&self, event: SearchEvent) {
+        let mut state = self.state();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.events.push(TimedEvent { seq, event });
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.state().metrics.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.state().metrics.gauge_set(name, value);
+    }
+
+    fn gauge_max(&self, name: &str, value: f64) {
+        self.state().metrics.gauge_max(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.state().metrics.observe(name, value);
+    }
+}
+
+/// Wall-clock stopwatch for busy/idle accounting. Times measured with this
+/// feed **metrics only** — never events — to keep event streams
+/// reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since start.
+    pub fn seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RestartReason;
+    use crate::metrics::names;
+
+    fn sample(iteration: u64) -> SearchEvent {
+        SearchEvent::Restart {
+            searcher: 0,
+            iteration,
+            reason: RestartReason::EmptyPool,
+        }
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled_and_silent() {
+        let r = noop();
+        assert!(!r.enabled());
+        r.event(sample(1));
+        r.counter_add(names::ITERATIONS, 1);
+        r.gauge_set(names::STALENESS_MAX, 1.0);
+        r.observe(names::POOL_SIZE, 1.0);
+        // Nothing observable: the calls compile to empty default bodies.
+    }
+
+    #[test]
+    fn memory_recorder_assigns_sequential_logical_clock() {
+        let r = MemoryRecorder::new();
+        for i in 0..5 {
+            r.event(sample(i));
+        }
+        let events = r.events();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.event_count(), 5);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parse_helper() {
+        let r = MemoryRecorder::new();
+        r.event(sample(3));
+        r.event(SearchEvent::ArchiveInsert {
+            searcher: 1,
+            iteration: 4,
+            objectives: [100.5, 4.0, 0.0],
+        });
+        let text = r.events_jsonl();
+        let parsed = crate::event::parse_events_jsonl(&text).expect("parse back");
+        assert_eq!(parsed, r.events());
+    }
+
+    #[test]
+    fn metrics_flow_into_exposition() {
+        let r = MemoryRecorder::new();
+        r.counter_add(names::ITERATIONS, 7);
+        r.gauge_max(names::STALENESS_MAX, 2.0);
+        r.gauge_max(names::STALENESS_MAX, 5.0);
+        r.observe(names::POOL_SIZE, 15.0);
+        let prom = r.prometheus();
+        assert!(prom.contains("tsmo_iterations_total 7"));
+        assert!(prom.contains("tsmo_staleness_max 5"));
+        assert!(r.summary().contains("tsmo_iterations_total"));
+        assert_eq!(r.metrics().counter(names::ITERATIONS), 7);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let r = MemoryRecorder::shared();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r: Arc<MemoryRecorder> = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        r.counter_add(names::EVALUATIONS, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.metrics().counter(names::EVALUATIONS), 400);
+    }
+
+    #[test]
+    fn stopwatch_measures_forward_time() {
+        let w = Stopwatch::start();
+        assert!(w.seconds() >= 0.0);
+    }
+}

@@ -33,7 +33,11 @@ pub struct DescentConfig {
 
 impl Default for DescentConfig {
     fn default() -> Self {
-        Self { weights: [1.0, 100.0, 10.0], max_moves: 10_000, feasibility_filter: false }
+        Self {
+            weights: [1.0, 100.0, 10.0],
+            max_moves: 10_000,
+            feasibility_filter: false,
+        }
     }
 }
 
@@ -58,7 +62,9 @@ fn scalar(weights: &[f64; 3], o: Objectives) -> f64 {
 pub fn descend(inst: &Instance, start: Solution, cfg: &DescentConfig) -> DescentOutcome {
     let mut current = EvaluatedSolution::new(start, inst);
     let mut moves_applied = 0;
-    let params = SampleParams { feasibility: cfg.feasibility_filter };
+    let params = SampleParams {
+        feasibility: cfg.feasibility_filter,
+    };
     while moves_applied < cfg.max_moves {
         let base = scalar(&cfg.weights, current.objectives());
         let mut best: Option<(Move, f64)> = None;
@@ -92,7 +98,11 @@ pub fn descend(inst: &Instance, start: Solution, cfg: &DescentConfig) -> Descent
         }
     }
     let objectives = current.objectives();
-    DescentOutcome { solution: current.into_solution(), objectives, moves_applied }
+    DescentOutcome {
+        solution: current.into_solution(),
+        objectives,
+        moves_applied,
+    }
 }
 
 /// Enumerates every structurally valid move of all five families against
@@ -110,11 +120,17 @@ pub fn enumerate_moves(snap: &EvaluatedSolution) -> Vec<Move> {
             let len_b = snap.route(b).len();
             for pa in 0..len_a {
                 for pb in 0..=len_b {
-                    out.push(Move::Relocate { from: (a, pa), to: (b, pb) });
+                    out.push(Move::Relocate {
+                        from: (a, pa),
+                        to: (b, pb),
+                    });
                 }
                 if a < b {
                     for pb in 0..len_b {
-                        out.push(Move::Exchange { a: (a, pa), b: (b, pb) });
+                        out.push(Move::Exchange {
+                            a: (a, pa),
+                            b: (b, pb),
+                        });
                     }
                 }
             }
@@ -152,7 +168,10 @@ pub fn enumerate_moves(snap: &EvaluatedSolution) -> Vec<Move> {
 pub fn neighborhood_census(snap: &EvaluatedSolution) -> [(OperatorKind, usize); 5] {
     let mut counts = [0usize; 5];
     for mv in enumerate_moves(snap) {
-        let idx = OperatorKind::ALL.iter().position(|&k| k == mv.kind()).expect("known kind");
+        let idx = OperatorKind::ALL
+            .iter()
+            .position(|&k| k == mv.kind())
+            .expect("known kind");
         counts[idx] += 1;
     }
     [
@@ -208,10 +227,11 @@ mod tests {
         let cfg = DescentConfig::default();
         let out = descend(&inst, start, &cfg);
         assert!(out.solution.check(&inst).is_empty());
+        assert!(scalar(&cfg.weights, out.objectives) <= scalar(&cfg.weights, start_obj) + 1e-9);
         assert!(
-            scalar(&cfg.weights, out.objectives) <= scalar(&cfg.weights, start_obj) + 1e-9
+            out.moves_applied > 0,
+            "the trivial start is certainly improvable"
         );
-        assert!(out.moves_applied > 0, "the trivial start is certainly improvable");
         // Local optimality: running again applies nothing.
         let again = descend(&inst, out.solution.clone(), &cfg);
         assert_eq!(again.moves_applied, 0);
@@ -225,7 +245,10 @@ mod tests {
         let out = descend(
             &inst,
             start.clone(),
-            &DescentConfig { weights: [0.001, 1000.0, 1.0], ..Default::default() },
+            &DescentConfig {
+                weights: [0.001, 1000.0, 1.0],
+                ..Default::default()
+            },
         );
         assert!(
             out.objectives.vehicles < start.evaluate(&inst).vehicles,
@@ -240,7 +263,10 @@ mod tests {
         let out = descend(
             &inst,
             start,
-            &DescentConfig { max_moves: 3, ..Default::default() },
+            &DescentConfig {
+                max_moves: 3,
+                ..Default::default()
+            },
         );
         assert_eq!(out.moves_applied, 3);
     }

@@ -36,8 +36,14 @@ mod tests {
 
     fn line_instance() -> Instance {
         // Depot at 0; customers at x = 10, 20, 30 with varied windows.
-        let depot =
-            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 1000.0, service: 0.0 };
+        let depot = Customer {
+            x: 0.0,
+            y: 0.0,
+            demand: 0.0,
+            ready: 0.0,
+            due: 1000.0,
+            service: 0.0,
+        };
         let c = |x: f64, ready: f64, due: f64| Customer {
             x,
             y: 0.0,
@@ -48,7 +54,12 @@ mod tests {
         };
         Instance::new(
             "line",
-            vec![depot, c(10.0, 0.0, 100.0), c(20.0, 50.0, 60.0), c(30.0, 0.0, 20.0)],
+            vec![
+                depot,
+                c(10.0, 0.0, 100.0),
+                c(20.0, 50.0, 60.0),
+                c(30.0, 0.0, 20.0),
+            ],
             10.0,
             3,
         )
@@ -92,9 +103,22 @@ mod tests {
     #[test]
     fn boundary_case_is_feasible() {
         // Exactly meeting the due date is allowed (<=, not <).
-        let depot =
-            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 100.0, service: 0.0 };
-        let c = Customer { x: 10.0, y: 0.0, demand: 1.0, ready: 0.0, due: 10.0, service: 0.0 };
+        let depot = Customer {
+            x: 0.0,
+            y: 0.0,
+            demand: 0.0,
+            ready: 0.0,
+            due: 100.0,
+            service: 0.0,
+        };
+        let c = Customer {
+            x: 10.0,
+            y: 0.0,
+            demand: 1.0,
+            ready: 0.0,
+            due: 10.0,
+            service: 0.0,
+        };
         let inst = Instance::new("edge", vec![depot, c], 10.0, 1);
         assert!(arc_feasible(&inst, 0, 1));
     }

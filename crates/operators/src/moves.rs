@@ -116,7 +116,10 @@ impl Move {
                 let customer = from_route.remove(fp);
                 let mut to_route = snapshot.route(tr).to_vec();
                 to_route.insert(tp, customer);
-                RoutePatch { replace: vec![(fr, from_route), (tr, to_route)], append: vec![] }
+                RoutePatch {
+                    replace: vec![(fr, from_route), (tr, to_route)],
+                    append: vec![],
+                }
             }
             Move::Exchange { a, b } => {
                 let (ra, pa) = a;
@@ -125,13 +128,19 @@ impl Move {
                 let mut route_a = snapshot.route(ra).to_vec();
                 let mut route_b = snapshot.route(rb).to_vec();
                 std::mem::swap(&mut route_a[pa], &mut route_b[pb]);
-                RoutePatch { replace: vec![(ra, route_a), (rb, route_b)], append: vec![] }
+                RoutePatch {
+                    replace: vec![(ra, route_a), (rb, route_b)],
+                    append: vec![],
+                }
             }
             Move::TwoOpt { route, i, j } => {
                 let mut r = snapshot.route(route).to_vec();
                 assert!(i < j && j < r.len(), "invalid 2-opt segment");
                 r[i..=j].reverse();
-                RoutePatch { replace: vec![(route, r)], append: vec![] }
+                RoutePatch {
+                    replace: vec![(route, r)],
+                    append: vec![],
+                }
             }
             Move::TwoOptStar { a, cut_a, b, cut_b } => {
                 assert_ne!(a, b, "2-opt* requires distinct routes");
@@ -141,7 +150,10 @@ impl Move {
                 new_a.extend_from_slice(&rb[cut_b..]);
                 let mut new_b = rb[..cut_b].to_vec();
                 new_b.extend_from_slice(&ra[cut_a..]);
-                RoutePatch { replace: vec![(a, new_a), (b, new_b)], append: vec![] }
+                RoutePatch {
+                    replace: vec![(a, new_a), (b, new_b)],
+                    append: vec![],
+                }
             }
             Move::OrOpt { route, from, to } => {
                 let mut r = snapshot.route(route).to_vec();
@@ -151,7 +163,10 @@ impl Move {
                 assert!(to <= r.len() && to != from, "invalid or-opt target");
                 r.insert(to, first);
                 r.insert(to + 1, second);
-                RoutePatch { replace: vec![(route, r)], append: vec![] }
+                RoutePatch {
+                    replace: vec![(route, r)],
+                    append: vec![],
+                }
             }
         }
     }
@@ -230,7 +245,10 @@ mod tests {
     #[test]
     fn relocate_expands_correctly() {
         let (inst, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
-        let mv = Move::Relocate { from: (0, 1), to: (1, 0) };
+        let mv = Move::Relocate {
+            from: (0, 1),
+            to: (1, 0),
+        };
         let patch = mv.expand(&ev);
         assert_eq!(patch.replace, vec![(0, vec![1]), (1, vec![2, 3, 4])]);
         let mut applied = ev.clone();
@@ -241,7 +259,10 @@ mod tests {
     #[test]
     fn relocate_can_empty_a_route() {
         let (inst, ev) = snapshot(vec![vec![1], vec![2, 3, 4]]);
-        let mv = Move::Relocate { from: (0, 0), to: (1, 3) };
+        let mv = Move::Relocate {
+            from: (0, 0),
+            to: (1, 3),
+        };
         let mut applied = ev.clone();
         applied.apply(&inst, mv.expand(&ev));
         assert_eq!(applied.n_routes(), 1);
@@ -251,7 +272,10 @@ mod tests {
     #[test]
     fn exchange_expands_correctly() {
         let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
-        let mv = Move::Exchange { a: (0, 0), b: (1, 1) };
+        let mv = Move::Exchange {
+            a: (0, 0),
+            b: (1, 1),
+        };
         let patch = mv.expand(&ev);
         assert_eq!(patch.replace, vec![(0, vec![4, 2]), (1, vec![3, 1])]);
     }
@@ -259,7 +283,11 @@ mod tests {
     #[test]
     fn two_opt_reverses_segment() {
         let (_, ev) = snapshot(vec![vec![1, 2, 3, 4]]);
-        let mv = Move::TwoOpt { route: 0, i: 1, j: 3 };
+        let mv = Move::TwoOpt {
+            route: 0,
+            i: 1,
+            j: 3,
+        };
         let patch = mv.expand(&ev);
         assert_eq!(patch.replace, vec![(0, vec![1, 4, 3, 2])]);
     }
@@ -267,7 +295,12 @@ mod tests {
     #[test]
     fn two_opt_star_swaps_tails() {
         let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
-        let mv = Move::TwoOptStar { a: 0, cut_a: 1, b: 1, cut_b: 1 };
+        let mv = Move::TwoOptStar {
+            a: 0,
+            cut_a: 1,
+            b: 1,
+            cut_b: 1,
+        };
         let patch = mv.expand(&ev);
         assert_eq!(patch.replace, vec![(0, vec![1, 4]), (1, vec![3, 2])]);
     }
@@ -277,7 +310,12 @@ mod tests {
         let (_, ev) = snapshot(vec![vec![1, 2, 3], vec![4]]);
         // a keeps 3 (empty tail added from b after cut 1 => nothing),
         // b keeps 1 and receives nothing… choose cuts that move 3 to b.
-        let mv = Move::TwoOptStar { a: 0, cut_a: 2, b: 1, cut_b: 1 };
+        let mv = Move::TwoOptStar {
+            a: 0,
+            cut_a: 2,
+            b: 1,
+            cut_b: 1,
+        };
         let patch = mv.expand(&ev);
         assert_eq!(patch.replace, vec![(0, vec![1, 2]), (1, vec![4, 3])]);
     }
@@ -285,7 +323,11 @@ mod tests {
     #[test]
     fn or_opt_moves_pair_within_route() {
         let (_, ev) = snapshot(vec![vec![1, 2, 3, 4]]);
-        let mv = Move::OrOpt { route: 0, from: 0, to: 2 };
+        let mv = Move::OrOpt {
+            route: 0,
+            from: 0,
+            to: 2,
+        };
         let patch = mv.expand(&ev);
         assert_eq!(patch.replace, vec![(0, vec![3, 4, 1, 2])]);
     }
@@ -293,7 +335,11 @@ mod tests {
     #[test]
     fn or_opt_backward_move() {
         let (_, ev) = snapshot(vec![vec![1, 2, 3, 4]]);
-        let mv = Move::OrOpt { route: 0, from: 2, to: 0 };
+        let mv = Move::OrOpt {
+            route: 0,
+            from: 2,
+            to: 0,
+        };
         let patch = mv.expand(&ev);
         assert_eq!(patch.replace, vec![(0, vec![3, 4, 1, 2])]);
     }
@@ -301,7 +347,10 @@ mod tests {
     #[test]
     fn arc_delta_for_relocate() {
         let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
-        let mv = Move::Relocate { from: (0, 0), to: (1, 1) };
+        let mv = Move::Relocate {
+            from: (0, 0),
+            to: (1, 1),
+        };
         let (removed, created) = mv.arc_delta(&ev);
         // Before: 0-1,1-2,2-0 / 0-3,3-4,4-0  After: 0-2,2-0? no: route0=[2]
         // => 0-2,2-0 ; route1=[3,1,4] => 0-3,3-1,1-4,4-0.
@@ -314,7 +363,11 @@ mod tests {
     #[test]
     fn arc_delta_for_two_opt_ignores_unchanged_arcs() {
         let (_, ev) = snapshot(vec![vec![1, 2, 3, 4]]);
-        let mv = Move::TwoOpt { route: 0, i: 1, j: 2 };
+        let mv = Move::TwoOpt {
+            route: 0,
+            i: 1,
+            j: 2,
+        };
         let (removed, created) = mv.arc_delta(&ev);
         // 1-2,2-3,3-4 -> 1-3,3-2,2-4.
         let rm: std::collections::HashSet<Arc> = removed.into_iter().collect();
@@ -327,7 +380,12 @@ mod tests {
     fn identity_like_moves_have_empty_delta() {
         let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
         // Whole-route swap via 2-opt*: relabeling only.
-        let mv = Move::TwoOptStar { a: 0, cut_a: 0, b: 1, cut_b: 0 };
+        let mv = Move::TwoOptStar {
+            a: 0,
+            cut_a: 0,
+            b: 1,
+            cut_b: 0,
+        };
         let (removed, created) = mv.arc_delta(&ev);
         assert!(removed.is_empty());
         assert!(created.is_empty());
@@ -337,12 +395,24 @@ mod tests {
     #[should_panic]
     fn relocate_same_route_panics() {
         let (_, ev) = snapshot(vec![vec![1, 2], vec![3, 4]]);
-        Move::Relocate { from: (0, 0), to: (0, 1) }.expand(&ev);
+        Move::Relocate {
+            from: (0, 0),
+            to: (0, 1),
+        }
+        .expand(&ev);
     }
 
     #[test]
     fn kinds_are_reported() {
-        assert_eq!(Move::TwoOpt { route: 0, i: 0, j: 1 }.kind(), OperatorKind::TwoOpt);
+        assert_eq!(
+            Move::TwoOpt {
+                route: 0,
+                i: 0,
+                j: 1
+            }
+            .kind(),
+            OperatorKind::TwoOpt
+        );
         assert_eq!(OperatorKind::ALL.len(), 5);
     }
 }

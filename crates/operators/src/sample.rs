@@ -112,7 +112,10 @@ fn sample_relocate<R: Rng>(rng: &mut R, snap: &EvaluatedSolution) -> Option<Move
     }
     let from_pos = rng.index(snap.route(from_route).len());
     let to_pos = rng.index(snap.route(to_route).len() + 1);
-    Some(Move::Relocate { from: (from_route, from_pos), to: (to_route, to_pos) })
+    Some(Move::Relocate {
+        from: (from_route, from_pos),
+        to: (to_route, to_pos),
+    })
 }
 
 fn sample_exchange<R: Rng>(rng: &mut R, snap: &EvaluatedSolution) -> Option<Move> {
@@ -127,7 +130,10 @@ fn sample_exchange<R: Rng>(rng: &mut R, snap: &EvaluatedSolution) -> Option<Move
     }
     let pa = rng.index(snap.route(ra).len());
     let pb = rng.index(snap.route(rb).len());
-    Some(Move::Exchange { a: (ra, pa), b: (rb, pb) })
+    Some(Move::Exchange {
+        a: (ra, pa),
+        b: (rb, pb),
+    })
 }
 
 fn sample_two_opt<R: Rng>(rng: &mut R, snap: &EvaluatedSolution) -> Option<Move> {
@@ -216,7 +222,10 @@ mod tests {
         // OrOpt can never fire (routes too short) and Relocate is mostly
         // capacity-blocked on this tight instance, so well under half of
         // the draws succeed — but a healthy fraction must.
-        assert!(produced > 100, "expected a healthy success rate, got {produced}");
+        assert!(
+            produced > 100,
+            "expected a healthy success rate, got {produced}"
+        );
     }
 
     #[test]
@@ -257,14 +266,17 @@ mod tests {
         };
         let inst = Instance::new(
             "roomy",
-            vec![depot, mk(10.0, 0.0), mk(0.0, 10.0), mk(-10.0, 0.0), mk(0.0, -10.0)],
+            vec![
+                depot,
+                mk(10.0, 0.0),
+                mk(0.0, 10.0),
+                mk(-10.0, 0.0),
+                mk(0.0, -10.0),
+            ],
             20.0,
             3,
         );
-        let ev = EvaluatedSolution::new(
-            Solution::from_routes(vec![vec![1, 2, 3], vec![4]]),
-            &inst,
-        );
+        let ev = EvaluatedSolution::new(Solution::from_routes(vec![vec![1, 2, 3], vec![4]]), &inst);
         let mut r = rng();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..2000 {
@@ -283,9 +295,13 @@ mod tests {
         let (inst, ev) = setup(vec![vec![1, 2], vec![3, 4]]);
         let mut r = rng();
         for _ in 0..1000 {
-            if let Some(c) =
-                sample_of_kind(&mut r, &inst, &ev, OperatorKind::Relocate, SampleParams::default())
-            {
+            if let Some(c) = sample_of_kind(
+                &mut r,
+                &inst,
+                &ev,
+                OperatorKind::Relocate,
+                SampleParams::default(),
+            ) {
                 // Every accepted relocate keeps loads within capacity.
                 assert_eq!(c.preview.capacity_excess, 0.0);
                 let mut applied = ev.clone();
@@ -301,7 +317,11 @@ mod tests {
     fn relocate_impossible_with_single_route() {
         let (inst, ev) = setup(vec![vec![1, 2]]);
         let mut r = rng();
-        for kind in [OperatorKind::Relocate, OperatorKind::Exchange, OperatorKind::TwoOptStar] {
+        for kind in [
+            OperatorKind::Relocate,
+            OperatorKind::Exchange,
+            OperatorKind::TwoOptStar,
+        ] {
             assert!(
                 sample_of_kind(&mut r, &inst, &ev, kind, SampleParams::default()).is_none(),
                 "{kind:?} needs two routes"
@@ -314,8 +334,14 @@ mod tests {
         let (inst, ev) = setup(vec![vec![1], vec![2], vec![3]]);
         let mut r = rng();
         for _ in 0..50 {
-            assert!(sample_of_kind(&mut r, &inst, &ev, OperatorKind::TwoOpt, SampleParams::default())
-                .is_none());
+            assert!(sample_of_kind(
+                &mut r,
+                &inst,
+                &ev,
+                OperatorKind::TwoOpt,
+                SampleParams::default()
+            )
+            .is_none());
         }
     }
 
@@ -324,27 +350,34 @@ mod tests {
         let (inst, ev) = setup(vec![vec![1, 2], vec![3, 4]]);
         let mut r = rng();
         for _ in 0..50 {
-            assert!(sample_of_kind(&mut r, &inst, &ev, OperatorKind::OrOpt, SampleParams::default())
-                .is_none());
+            assert!(sample_of_kind(
+                &mut r,
+                &inst,
+                &ev,
+                OperatorKind::OrOpt,
+                SampleParams::default()
+            )
+            .is_none());
         }
     }
 
     #[test]
     fn or_opt_never_produces_identity() {
-        let inst = vrptw::generator::GeneratorConfig::new(
-            vrptw::generator::InstanceClass::R2,
-            12,
-            3,
-        )
-        .with_max_vehicles(3)
-        .build();
+        let inst =
+            vrptw::generator::GeneratorConfig::new(vrptw::generator::InstanceClass::R2, 12, 3)
+                .with_max_vehicles(3)
+                .build();
         let sol = vrptw_construct_like(&inst);
         let ev = EvaluatedSolution::new(sol, &inst);
         let mut r = rng();
         for _ in 0..500 {
-            if let Some(c) =
-                sample_of_kind(&mut r, &inst, &ev, OperatorKind::OrOpt, SampleParams::default())
-            {
+            if let Some(c) = sample_of_kind(
+                &mut r,
+                &inst,
+                &ev,
+                OperatorKind::OrOpt,
+                SampleParams::default(),
+            ) {
                 if let Move::OrOpt { route, .. } = c.mv {
                     let mut applied = ev.clone();
                     let before = ev.route(route).to_vec();
@@ -372,12 +405,9 @@ mod tests {
     #[test]
     fn feasibility_off_admits_more_moves() {
         // A tight-window instance where many splices violate windows.
-        let inst = vrptw::generator::GeneratorConfig::new(
-            vrptw::generator::InstanceClass::R1,
-            30,
-            5,
-        )
-        .build();
+        let inst =
+            vrptw::generator::GeneratorConfig::new(vrptw::generator::InstanceClass::R1, 30, 5)
+                .build();
         let sol = Solution::one_customer_per_route(&inst);
         let ev = EvaluatedSolution::new(sol, &inst);
         let strict = SampleParams { feasibility: true };

@@ -25,7 +25,10 @@ impl<T: Dominance> Archive<T> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "archive capacity must be positive");
-        Self { items: Vec::with_capacity(capacity), capacity }
+        Self {
+            items: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// The archive's capacity.
@@ -182,7 +185,9 @@ mod tests {
         let mut a = Archive::new(8);
         let mut x = 42u64;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let p = ((x >> 33) % 1000) as f64;
             let q = ((x >> 3) % 1000) as f64;
             a.insert(vec![p, q]);

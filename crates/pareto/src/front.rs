@@ -151,7 +151,9 @@ mod tests {
         // A pseudo-random stream of points.
         let mut x = 123u64;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (x >> 33) % 100;
             let b = (x >> 13) % 100;
             f.insert(vec![a as f64, b as f64]);
@@ -162,10 +164,14 @@ mod tests {
 
     #[test]
     fn from_iterator_collects_front() {
-        let f: ParetoFront<Vec<f64>> =
-            vec![vec![1.0, 9.0], vec![9.0, 1.0], vec![5.0, 5.0], vec![6.0, 6.0]]
-                .into_iter()
-                .collect();
+        let f: ParetoFront<Vec<f64>> = vec![
+            vec![1.0, 9.0],
+            vec![9.0, 1.0],
+            vec![5.0, 5.0],
+            vec![6.0, 6.0],
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(f.len(), 3);
     }
 

@@ -16,7 +16,10 @@ pub fn coverage<A: Dominance, B: Dominance>(a: &[A], b: &[B]) -> f64 {
     }
     let covered = b
         .iter()
-        .filter(|y| a.iter().any(|x| weakly_dominates(x.objectives(), y.objectives())))
+        .filter(|y| {
+            a.iter()
+                .any(|x| weakly_dominates(x.objectives(), y.objectives()))
+        })
         .count();
     covered as f64 / b.len() as f64
 }
@@ -28,7 +31,10 @@ pub fn coverage<A: Dominance, B: Dominance>(a: &[A], b: &[B]) -> f64 {
 /// # Panics
 /// Panics if either set is empty.
 pub fn additive_epsilon<A: Dominance, B: Dominance>(a: &[A], b: &[B]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "epsilon indicator needs non-empty sets");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "epsilon indicator needs non-empty sets"
+    );
     let mut worst = f64::NEG_INFINITY;
     for y in b {
         let mut best = f64::INFINITY;
@@ -63,7 +69,11 @@ pub fn hypervolume_2d<T: Dominance>(front: &[T], reference: [f64; 2]) -> f64 {
         .filter(|p| p[0] < reference[0] && p[1] < reference[1])
         .collect();
     // Sweep by increasing first objective; only keep the staircase.
-    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap().then(a[1].partial_cmp(&b[1]).unwrap()));
+    pts.sort_by(|a, b| {
+        a[0].partial_cmp(&b[0])
+            .unwrap()
+            .then(a[1].partial_cmp(&b[1]).unwrap())
+    });
     let mut hv = 0.0;
     let mut best_y = reference[1];
     for p in pts {
@@ -101,7 +111,11 @@ pub fn hypervolume_3d<T: Dominance>(front: &[T], reference: [f64; 3]) -> f64 {
     let mut hv = 0.0;
     for i in 0..pts.len() {
         let z_lo = pts[i][2];
-        let z_hi = if i + 1 < pts.len() { pts[i + 1][2] } else { reference[2] };
+        let z_hi = if i + 1 < pts.len() {
+            pts[i + 1][2]
+        } else {
+            reference[2]
+        };
         if z_hi <= z_lo {
             continue;
         }

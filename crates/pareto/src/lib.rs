@@ -6,7 +6,7 @@
 //! neighborhoods, and `M_archive`, the bounded approximation of the Pareto
 //! front maintained with the NSGA-II crowding comparison. Both are provided
 //! here as [`ParetoFront`] and [`Archive`]. The set-coverage metric used in
-//! the paper's result tables (Zitzler's C-metric, reference [18]) lives in
+//! the paper's result tables (Zitzler's C-metric, reference \[18\]) lives in
 //! [`coverage`], alongside hypervolume and additive-epsilon indicators used
 //! by the extension experiments.
 //!
@@ -209,8 +209,7 @@ mod tests {
 
     #[test]
     fn crowding_boundaries_are_infinite() {
-        let pts =
-            vec![[0.0, 4.0], [1.0, 3.0], [2.0, 2.0], [3.0, 1.0], [4.0, 0.0]];
+        let pts = vec![[0.0, 4.0], [1.0, 3.0], [2.0, 2.0], [3.0, 1.0], [4.0, 0.0]];
         let d = crowding_distances(&pts);
         assert!(d[0].is_infinite());
         assert!(d[4].is_infinite());
@@ -230,7 +229,9 @@ mod tests {
 
     #[test]
     fn crowding_small_sets_all_infinite() {
-        assert!(crowding_distances(&[[1.0, 2.0]]).iter().all(|x| x.is_infinite()));
+        assert!(crowding_distances(&[[1.0, 2.0]])
+            .iter()
+            .all(|x| x.is_infinite()));
         assert!(crowding_distances(&[[1.0, 2.0], [2.0, 1.0]])
             .iter()
             .all(|x| x.is_infinite()));

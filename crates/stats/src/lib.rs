@@ -62,7 +62,13 @@ impl Summary {
         };
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { n, mean, std_dev: var.sqrt(), min, max }
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Formats as the paper's `mean±std` cell.

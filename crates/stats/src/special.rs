@@ -177,7 +177,9 @@ mod tests {
     fn incomplete_beta_closed_form() {
         // I_x(1,b) = 1 - (1-x)^b ; I_x(a,1) = x^a.
         let x: f64 = 0.3;
-        assert!((regularized_incomplete_beta(1.0, 4.0, x) - (1.0 - (1.0 - x).powi(4))).abs() < 1e-12);
+        assert!(
+            (regularized_incomplete_beta(1.0, 4.0, x) - (1.0 - (1.0 - x).powi(4))).abs() < 1e-12
+        );
         assert!((regularized_incomplete_beta(3.0, 1.0, x) - x.powi(3)).abs() < 1e-12);
     }
 

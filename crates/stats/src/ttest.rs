@@ -32,7 +32,10 @@ impl TTestResult {
 /// zero variance and equal means is undefined — for two identical constant
 /// samples the test returns `p = 1` instead of panicking.
 pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> TTestResult {
-    assert!(xs.len() >= 2 && ys.len() >= 2, "need at least 2 observations per sample");
+    assert!(
+        xs.len() >= 2 && ys.len() >= 2,
+        "need at least 2 observations per sample"
+    );
     let sx = Summary::of(xs);
     let sy = Summary::of(ys);
     let vx = sx.std_dev * sx.std_dev / sx.n as f64;
@@ -40,16 +43,27 @@ pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> TTestResult {
     let se2 = vx + vy;
     if se2 == 0.0 {
         // Two constant samples.
-        let t = if sx.mean == sy.mean { 0.0 } else { f64::INFINITY };
+        let t = if sx.mean == sy.mean {
+            0.0
+        } else {
+            f64::INFINITY
+        };
         let p = if sx.mean == sy.mean { 1.0 } else { 0.0 };
-        return TTestResult { t, df: (sx.n + sy.n - 2) as f64, p_value: p };
+        return TTestResult {
+            t,
+            df: (sx.n + sy.n - 2) as f64,
+            p_value: p,
+        };
     }
     let t = (sx.mean - sy.mean) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / (vx * vx / (sx.n as f64 - 1.0) + vy * vy / (sy.n as f64 - 1.0));
+    let df = se2 * se2 / (vx * vx / (sx.n as f64 - 1.0) + vy * vy / (sy.n as f64 - 1.0));
     let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
-    TTestResult { t, df, p_value: p.clamp(0.0, 1.0) }
+    TTestResult {
+        t,
+        df,
+        p_value: p.clamp(0.0, 1.0),
+    }
 }
 
 /// Paired t-test on matched observations (two-sided).
@@ -69,7 +83,11 @@ pub fn paired_t_test(xs: &[f64], ys: &[f64]) -> TTestResult {
     }
     let t = s.mean / (s.std_dev / (s.n as f64).sqrt());
     let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
-    TTestResult { t, df, p_value: p.clamp(0.0, 1.0) }
+    TTestResult {
+        t,
+        df,
+        p_value: p.clamp(0.0, 1.0),
+    }
 }
 
 #[cfg(test)]
@@ -106,7 +124,11 @@ mod tests {
         let r = welch_t_test(&xs, &ys);
         assert!((r.t - 4.421256757101671).abs() < 1e-9, "t = {}", r.t);
         assert!((r.df - 6.626519016099435).abs() < 1e-9, "df = {}", r.df);
-        assert!((r.p_value - 0.0035140763203130704).abs() < 1e-9, "p = {}", r.p_value);
+        assert!(
+            (r.p_value - 0.0035140763203130704).abs() < 1e-9,
+            "p = {}",
+            r.p_value
+        );
     }
 
     #[test]

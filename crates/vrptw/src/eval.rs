@@ -39,7 +39,11 @@ impl Objectives {
     }
 
     /// Zero-valued objectives, the identity for the `+` operator.
-    pub const ZERO: Objectives = Objectives { distance: 0.0, vehicles: 0, tardiness: 0.0 };
+    pub const ZERO: Objectives = Objectives {
+        distance: 0.0,
+        vehicles: 0,
+        tardiness: 0.0,
+    };
 }
 
 /// Component-wise sum — used to aggregate per-route evaluations.
@@ -181,8 +185,22 @@ mod tests {
     #[test]
     fn waiting_accrues_when_early() {
         let mut sites = vec![
-            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 1000.0, service: 0.0 },
-            Customer { x: 10.0, y: 0.0, demand: 1.0, ready: 50.0, due: 100.0, service: 5.0 },
+            Customer {
+                x: 0.0,
+                y: 0.0,
+                demand: 0.0,
+                ready: 0.0,
+                due: 1000.0,
+                service: 0.0,
+            },
+            Customer {
+                x: 10.0,
+                y: 0.0,
+                demand: 1.0,
+                ready: 50.0,
+                due: 100.0,
+                service: 5.0,
+            },
         ];
         sites[1].ready = 50.0;
         let inst = Instance::new("wait", sites, 10.0, 1);
@@ -196,8 +214,22 @@ mod tests {
     #[test]
     fn tardiness_accrues_when_late() {
         let sites = vec![
-            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 1000.0, service: 0.0 },
-            Customer { x: 10.0, y: 0.0, demand: 1.0, ready: 0.0, due: 4.0, service: 0.0 },
+            Customer {
+                x: 0.0,
+                y: 0.0,
+                demand: 0.0,
+                ready: 0.0,
+                due: 1000.0,
+                service: 0.0,
+            },
+            Customer {
+                x: 10.0,
+                y: 0.0,
+                demand: 1.0,
+                ready: 0.0,
+                due: 4.0,
+                service: 0.0,
+            },
         ];
         let inst = Instance::new("late", sites, 10.0, 1);
         let e = evaluate_route(&inst, &[1]);
@@ -207,8 +239,22 @@ mod tests {
     #[test]
     fn late_depot_return_counts_as_tardiness() {
         let sites = vec![
-            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 15.0, service: 0.0 },
-            Customer { x: 10.0, y: 0.0, demand: 1.0, ready: 0.0, due: 100.0, service: 0.0 },
+            Customer {
+                x: 0.0,
+                y: 0.0,
+                demand: 0.0,
+                ready: 0.0,
+                due: 15.0,
+                service: 0.0,
+            },
+            Customer {
+                x: 10.0,
+                y: 0.0,
+                demand: 1.0,
+                ready: 0.0,
+                due: 100.0,
+                service: 0.0,
+            },
         ];
         let inst = Instance::new("late-home", sites, 10.0, 1);
         let e = evaluate_route(&inst, &[1]);
@@ -237,10 +283,17 @@ mod tests {
 
     #[test]
     fn objectives_vector_and_feasibility() {
-        let o = Objectives { distance: 5.0, vehicles: 2, tardiness: 0.0 };
+        let o = Objectives {
+            distance: 5.0,
+            vehicles: 2,
+            tardiness: 0.0,
+        };
         assert_eq!(o.to_vector(), [5.0, 2.0, 0.0]);
         assert!(o.is_time_feasible(1e-9));
-        let late = Objectives { tardiness: 0.1, ..o };
+        let late = Objectives {
+            tardiness: 0.1,
+            ..o
+        };
         assert!(!late.is_time_feasible(1e-9));
         let sum = o + late;
         assert_eq!(sum.vehicles, 4);

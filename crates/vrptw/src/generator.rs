@@ -53,7 +53,10 @@ impl InstanceClass {
 
     /// Whether this is a *type 1* class (small windows, tight capacity).
     pub fn is_type1(self) -> bool {
-        matches!(self, InstanceClass::C1 | InstanceClass::R1 | InstanceClass::RC1)
+        matches!(
+            self,
+            InstanceClass::C1 | InstanceClass::R1 | InstanceClass::RC1
+        )
     }
 
     /// Whether customers are placed in clusters (fully for C, half for RC).
@@ -139,7 +142,13 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// A configuration with benchmark defaults for the given class and size.
     pub fn new(class: InstanceClass, size: usize, seed: u64) -> Self {
-        Self { class, size, seed, max_vehicles: None, unconstrained_fraction: None }
+        Self {
+            class,
+            size,
+            seed,
+            max_vehicles: None,
+            unconstrained_fraction: None,
+        }
     }
 
     /// Overrides the vehicle limit.
@@ -154,7 +163,10 @@ impl GeneratorConfig {
     /// Panics if `size == 0` and debug-asserts that the emitted instance
     /// passes [`Instance::validate`].
     pub fn build(&self) -> Instance {
-        assert!(self.size > 0, "cannot generate an instance with zero customers");
+        assert!(
+            self.size > 0,
+            "cannot generate an instance with zero customers"
+        );
         let mut rng = Xoshiro256StarStar::seed_from_u64(
             self.seed ^ (self.size as u64) << 20 ^ class_salt(self.class),
         );
@@ -162,11 +174,18 @@ impl GeneratorConfig {
         let n = self.size;
         let horizon = class.horizon() * horizon_scale(n);
         let service = class.service_time();
-        let unconstrained = self
-            .unconstrained_fraction
-            .unwrap_or(if class.is_type1() { 0.0 } else { 0.25 });
+        let unconstrained =
+            self.unconstrained_fraction
+                .unwrap_or(if class.is_type1() { 0.0 } else { 0.25 });
 
-        let depot = Customer { x: 50.0, y: 50.0, demand: 0.0, ready: 0.0, due: horizon, service: 0.0 };
+        let depot = Customer {
+            x: 50.0,
+            y: 50.0,
+            demand: 0.0,
+            ready: 0.0,
+            due: horizon,
+            service: 0.0,
+        };
         let positions = place_customers(&mut rng, n, class.cluster_fraction());
 
         let mut sites = Vec::with_capacity(n + 1);
@@ -189,7 +208,14 @@ impl GeneratorConfig {
                 let due = (center + width / 2.0).min(latest_due).max(ready);
                 (ready, due)
             };
-            sites.push(Customer { x, y, demand, ready, due, service });
+            sites.push(Customer {
+                x,
+                y,
+                demand,
+                ready,
+                due,
+                service,
+            });
         }
 
         // The paper's R = N/4 scaling, raised when a small instance's demand
@@ -206,7 +232,11 @@ impl GeneratorConfig {
             class.capacity(),
             max_vehicles,
         );
-        debug_assert!(inst.validate().is_empty(), "generator emitted invalid instance: {:?}", inst.validate());
+        debug_assert!(
+            inst.validate().is_empty(),
+            "generator emitted invalid instance: {:?}",
+            inst.validate()
+        );
         inst
     }
 }
@@ -312,7 +342,10 @@ mod tests {
         };
         let w1 = avg_width(InstanceClass::R1);
         let w2 = avg_width(InstanceClass::R2);
-        assert!(w1 * 2.0 < w2, "R1 avg width {w1} should be much smaller than R2 {w2}");
+        assert!(
+            w1 * 2.0 < w2,
+            "R1 avg width {w1} should be much smaller than R2 {w2}"
+        );
     }
 
     #[test]
@@ -375,7 +408,9 @@ mod tests {
 
     #[test]
     fn max_vehicle_override_respected() {
-        let inst = GeneratorConfig::new(InstanceClass::R1, 40, 1).with_max_vehicles(40).build();
+        let inst = GeneratorConfig::new(InstanceClass::R1, 40, 1)
+            .with_max_vehicles(40)
+            .build();
         assert_eq!(inst.max_vehicles(), 40);
     }
 }

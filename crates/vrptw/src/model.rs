@@ -53,8 +53,16 @@ impl Instance {
     /// # Panics
     /// Panics if there are no customers, if the depot has non-zero demand,
     /// if `capacity <= 0`, or if `max_vehicles == 0`.
-    pub fn new(name: impl Into<String>, sites: Vec<Customer>, capacity: f64, max_vehicles: usize) -> Self {
-        assert!(sites.len() >= 2, "an instance needs a depot and at least one customer");
+    pub fn new(
+        name: impl Into<String>,
+        sites: Vec<Customer>,
+        capacity: f64,
+        max_vehicles: usize,
+    ) -> Self {
+        assert!(
+            sites.len() >= 2,
+            "an instance needs a depot and at least one customer"
+        );
         assert!(
             sites.len() <= SiteId::MAX as usize,
             "site ids are u16; at most {} sites supported",
@@ -74,7 +82,13 @@ impl Instance {
                 dist[j * n + i] = d;
             }
         }
-        Self { name: name.into(), sites, dist, capacity, max_vehicles }
+        Self {
+            name: name.into(),
+            sites,
+            dist,
+            capacity,
+            max_vehicles,
+        }
     }
 
     /// Number of customers `N` (excluding the depot).
@@ -169,7 +183,14 @@ impl Instance {
     /// depot at the origin, four customers on the axes, capacity 10,
     /// three vehicles.
     pub fn tiny() -> Self {
-        let depot = Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 1000.0, service: 0.0 };
+        let depot = Customer {
+            x: 0.0,
+            y: 0.0,
+            demand: 0.0,
+            ready: 0.0,
+            due: 1000.0,
+            service: 0.0,
+        };
         let mk = |x: f64, y: f64, demand: f64, ready: f64, due: f64| Customer {
             x,
             y,
@@ -241,13 +262,29 @@ mod tests {
     #[test]
     fn validate_flags_bad_windows_and_demand() {
         let mut sites = vec![
-            Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 100.0, service: 0.0 },
-            Customer { x: 1.0, y: 0.0, demand: 50.0, ready: 10.0, due: 5.0, service: 0.0 },
+            Customer {
+                x: 0.0,
+                y: 0.0,
+                demand: 0.0,
+                ready: 0.0,
+                due: 100.0,
+                service: 0.0,
+            },
+            Customer {
+                x: 1.0,
+                y: 0.0,
+                demand: 50.0,
+                ready: 10.0,
+                due: 5.0,
+                service: 0.0,
+            },
         ];
         let inst = Instance::new("bad", sites.clone(), 10.0, 1);
         let problems = inst.validate();
         assert!(problems.iter().any(|p| p.contains("ready")));
-        assert!(problems.iter().any(|p| p.contains("exceeds vehicle capacity")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("exceeds vehicle capacity")));
 
         sites[1].demand = 8.0;
         sites[1].due = 50.0;
@@ -259,8 +296,22 @@ mod tests {
     #[should_panic]
     fn depot_with_demand_rejected() {
         let sites = vec![
-            Customer { x: 0.0, y: 0.0, demand: 1.0, ready: 0.0, due: 100.0, service: 0.0 },
-            Customer { x: 1.0, y: 0.0, demand: 1.0, ready: 0.0, due: 100.0, service: 0.0 },
+            Customer {
+                x: 0.0,
+                y: 0.0,
+                demand: 1.0,
+                ready: 0.0,
+                due: 100.0,
+                service: 0.0,
+            },
+            Customer {
+                x: 1.0,
+                y: 0.0,
+                demand: 1.0,
+                ready: 0.0,
+                due: 100.0,
+                service: 0.0,
+            },
         ];
         Instance::new("bad", sites, 10.0, 1);
     }
@@ -268,8 +319,14 @@ mod tests {
     #[test]
     #[should_panic]
     fn needs_at_least_one_customer() {
-        let sites =
-            vec![Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 100.0, service: 0.0 }];
+        let sites = vec![Customer {
+            x: 0.0,
+            y: 0.0,
+            demand: 0.0,
+            ready: 0.0,
+            due: 100.0,
+            service: 0.0,
+        }];
         Instance::new("bad", sites, 10.0, 1);
     }
 }

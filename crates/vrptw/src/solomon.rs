@@ -44,7 +44,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses an instance from Solomon-format text.
@@ -87,7 +90,10 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
         let fields: Vec<&str> = line.split_whitespace().collect();
         if in_vehicle {
             if fields.len() != 2 {
-                return Err(err(lineno, format!("expected `NUMBER CAPACITY`, got {line:?}")));
+                return Err(err(
+                    lineno,
+                    format!("expected `NUMBER CAPACITY`, got {line:?}"),
+                ));
             }
             let number: usize = fields[0]
                 .parse()
@@ -99,7 +105,10 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
             in_vehicle = false;
         } else if in_customer {
             if fields.len() != 7 {
-                return Err(err(lineno, format!("expected 7 customer fields, got {}", fields.len())));
+                return Err(err(
+                    lineno,
+                    format!("expected 7 customer fields, got {}", fields.len()),
+                ));
             }
             let nums: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
             let nums =
@@ -108,7 +117,10 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
             if nums[0] != expected {
                 return Err(err(
                     lineno,
-                    format!("customer numbers must be consecutive; expected {expected}, got {}", nums[0]),
+                    format!(
+                        "customer numbers must be consecutive; expected {expected}, got {}",
+                        nums[0]
+                    ),
                 ));
             }
             sites.push(Customer {
@@ -120,7 +132,10 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
                 service: nums[6],
             });
         } else {
-            return Err(err(lineno, format!("unexpected content outside any section: {line:?}")));
+            return Err(err(
+                lineno,
+                format!("unexpected content outside any section: {line:?}"),
+            ));
         }
     }
 
@@ -158,7 +173,12 @@ pub fn write(inst: &Instance) -> String {
     let _ = writeln!(out, "{}\n", inst.name);
     let _ = writeln!(out, "VEHICLE");
     let _ = writeln!(out, "NUMBER     CAPACITY");
-    let _ = writeln!(out, "  {}         {}\n", inst.max_vehicles(), fmt_num(inst.capacity()));
+    let _ = writeln!(
+        out,
+        "  {}         {}\n",
+        inst.max_vehicles(),
+        fmt_num(inst.capacity())
+    );
     let _ = writeln!(out, "CUSTOMER");
     let _ = writeln!(
         out,

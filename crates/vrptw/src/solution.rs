@@ -37,7 +37,9 @@ impl Solution {
     /// Only valid when `R ≥ N`; callers on tighter instances should use a
     /// construction heuristic instead.
     pub fn one_customer_per_route(inst: &Instance) -> Self {
-        Self { routes: inst.customers().map(|c| vec![c]).collect() }
+        Self {
+            routes: inst.customers().map(|c| vec![c]).collect(),
+        }
     }
 
     /// The deployed (non-empty) routes.
@@ -136,7 +138,11 @@ impl Solution {
     pub fn from_giant_tour(inst: &Instance, perm: &[SiteId]) -> Result<Self, String> {
         let expected = inst.n_customers() + inst.max_vehicles() + 1;
         if perm.len() != expected {
-            return Err(format!("permutation length {} != N+R+1 = {}", perm.len(), expected));
+            return Err(format!(
+                "permutation length {} != N+R+1 = {}",
+                perm.len(),
+                expected
+            ));
         }
         if perm.first() != Some(&DEPOT) || perm.last() != Some(&DEPOT) {
             return Err("permutation must start and end at the depot".into());
@@ -198,13 +204,20 @@ pub struct EvaluatedSolution {
 impl EvaluatedSolution {
     /// Evaluates all routes of `solution` once and caches the results.
     pub fn new(solution: Solution, inst: &Instance) -> Self {
-        let route_evals: Vec<RouteEval> =
-            solution.routes.iter().map(|r| evaluate_route(inst, r)).collect();
+        let route_evals: Vec<RouteEval> = solution
+            .routes
+            .iter()
+            .map(|r| evaluate_route(inst, r))
+            .collect();
         let objectives = route_evals
             .iter()
             .map(|e| e.objectives(true))
             .fold(Objectives::ZERO, |a, b| a + b);
-        Self { solution, route_evals, objectives }
+        Self {
+            solution,
+            route_evals,
+            objectives,
+        }
     }
 
     /// The underlying solution.
@@ -275,7 +288,10 @@ impl EvaluatedSolution {
                 capacity_excess = capacity_excess.max(e.capacity_excess);
             }
         }
-        Preview { objectives, capacity_excess }
+        Preview {
+            objectives,
+            capacity_excess,
+        }
     }
 
     /// Applies `patch`, re-evaluating the changed routes and dropping any
@@ -335,8 +351,14 @@ mod tests {
     fn paper_example_encoding() {
         // The paper's example: 4 customers, 5 vehicles, tours [4,2],[3],[1]
         // => P = (0, 4, 2, 0, 3, 0, 1, 0, 0, 0).
-        let depot =
-            crate::Customer { x: 0.0, y: 0.0, demand: 0.0, ready: 0.0, due: 1e4, service: 0.0 };
+        let depot = crate::Customer {
+            x: 0.0,
+            y: 0.0,
+            demand: 0.0,
+            ready: 0.0,
+            due: 1e4,
+            service: 0.0,
+        };
         let c = |x: f64| crate::Customer {
             x,
             y: 1.0,
@@ -345,8 +367,12 @@ mod tests {
             due: 1e4,
             service: 0.0,
         };
-        let inst =
-            Instance::new("paper", vec![depot, c(1.0), c(2.0), c(3.0), c(4.0)], 100.0, 5);
+        let inst = Instance::new(
+            "paper",
+            vec![depot, c(1.0), c(2.0), c(3.0), c(4.0)],
+            100.0,
+            5,
+        );
         let sol = Solution::from_routes(vec![vec![4, 2], vec![3], vec![1]]);
         assert_eq!(sol.giant_tour(&inst), vec![0, 4, 2, 0, 3, 0, 1, 0, 0, 0]);
         let round = Solution::from_giant_tour(&inst, &sol.giant_tour(&inst)).unwrap();
@@ -381,11 +407,20 @@ mod tests {
     fn check_catches_all_violation_kinds() {
         let inst = tiny();
         let missing = Solution::from_routes(vec![vec![1, 2]]);
-        assert!(missing.check(&inst).iter().any(|p| p.contains("not visited")));
+        assert!(missing
+            .check(&inst)
+            .iter()
+            .any(|p| p.contains("not visited")));
         let duped = Solution::from_routes(vec![vec![1, 2], vec![2, 3, 4]]);
-        assert!(duped.check(&inst).iter().any(|p| p.contains("more than once")));
+        assert!(duped
+            .check(&inst)
+            .iter()
+            .any(|p| p.contains("more than once")));
         let too_many = Solution::from_routes(vec![vec![1], vec![2], vec![3], vec![4]]);
-        assert!(too_many.check(&inst).iter().any(|p| p.contains("vehicles available")));
+        assert!(too_many
+            .check(&inst)
+            .iter()
+            .any(|p| p.contains("vehicles available")));
         let ok = Solution::from_routes(vec![vec![1, 2], vec![3, 4]]);
         assert!(ok.check(&inst).is_empty());
     }
@@ -478,7 +513,10 @@ mod tests {
     fn capacity_excess_reported_in_preview() {
         let inst = tiny(); // capacity 10, demands 4 each
         let ev = EvaluatedSolution::new(Solution::from_routes(vec![vec![1, 2], vec![3, 4]]), &inst);
-        let patch = RoutePatch { replace: vec![(0, vec![1, 2, 3])], append: vec![] };
+        let patch = RoutePatch {
+            replace: vec![(0, vec![1, 2, 3])],
+            append: vec![],
+        };
         let p = ev.preview(&inst, &patch);
         assert_eq!(p.capacity_excess, 2.0);
     }

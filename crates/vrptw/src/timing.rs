@@ -47,7 +47,11 @@ impl RouteTiming {
             let next = if k + 1 < n { route[k + 1] } else { DEPOT };
             latest[k] = s.due.min(latest[k + 1] - s.service - inst.dist(c, next));
         }
-        Self { start, latest, load }
+        Self {
+            start,
+            latest,
+            load,
+        }
     }
 
     /// Whether the route itself is hard-feasible (every arrival within its
@@ -65,9 +69,8 @@ impl RouteTiming {
         // Depot return.
         match route.last() {
             Some(&last) => {
-                let home = self.start[route.len() - 1]
-                    + inst.site(last).service
-                    + inst.dist(last, DEPOT);
+                let home =
+                    self.start[route.len() - 1] + inst.site(last).service + inst.dist(last, DEPOT);
                 home <= inst.depot().due
             }
             None => true,

@@ -12,12 +12,21 @@ use tsmo_suite::pareto::coverage;
 use tsmo_suite::prelude::*;
 
 fn main() {
-    let searchers: usize =
-        std::env::args().nth(1).map_or(4, |s| s.parse().expect("searcher count"));
+    let searchers: usize = std::env::args()
+        .nth(1)
+        .map_or(4, |s| s.parse().expect("searcher count"));
     let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 120, 11).build());
-    let cfg = TsmoConfig { max_evaluations: 15_000, seed: 5, ..TsmoConfig::default() };
+    let cfg = TsmoConfig {
+        max_evaluations: 15_000,
+        seed: 5,
+        ..TsmoConfig::default()
+    };
 
-    println!("instance {} with {} customers\n", inst.name, inst.n_customers());
+    println!(
+        "instance {} with {} customers\n",
+        inst.name,
+        inst.n_customers()
+    );
 
     let seq = SequentialTsmo::new(cfg.clone()).run(&inst);
     println!(
@@ -44,10 +53,12 @@ fn main() {
     println!("\nvehicle counts on the feasible fronts:");
     println!(
         "  sequential:    best {} vehicles",
-        seq.best_vehicles().map_or_else(|| "-".into(), |v| v.to_string())
+        seq.best_vehicles()
+            .map_or_else(|| "-".into(), |v| v.to_string())
     );
     println!(
         "  collaborative: best {} vehicles",
-        coll.best_vehicles().map_or_else(|| "-".into(), |v| v.to_string())
+        coll.best_vehicles()
+            .map_or_else(|| "-".into(), |v| v.to_string())
     );
 }

@@ -16,7 +16,11 @@ fn main() {
     let evals: u64 = args.get(1).map_or(30_000, |s| s.parse().expect("evals"));
 
     let inst = Arc::new(GeneratorConfig::new(InstanceClass::C1, size, 7).build());
-    let cfg = TsmoConfig { max_evaluations: evals, seed: 3, ..TsmoConfig::default() };
+    let cfg = TsmoConfig {
+        max_evaluations: evals,
+        seed: 3,
+        ..TsmoConfig::default()
+    };
     println!(
         "instance {} ({} customers), {} evaluations per run\n",
         inst.name, size, evals
@@ -57,8 +61,10 @@ fn report(label: &str, out: &TsmoOutcome, seq_time: f64) {
         "{:<22} {:>9.2}s {:>12} {:>10} {:>10}",
         label,
         out.runtime_seconds,
-        out.best_distance().map_or_else(|| "-".into(), |d| format!("{d:.1}")),
-        out.best_vehicles().map_or_else(|| "-".into(), |v| v.to_string()),
+        out.best_distance()
+            .map_or_else(|| "-".into(), |d| format!("{d:.1}")),
+        out.best_vehicles()
+            .map_or_else(|| "-".into(), |v| v.to_string()),
         speedup
     );
 }

@@ -37,7 +37,10 @@ fn main() {
     println!("{:>12} {:>9} {:>11}", "distance", "vehicles", "tardiness");
     let mut front: Vec<_> = outcome.feasible_front();
     front.sort_by(|a, b| {
-        a.objectives.distance.partial_cmp(&b.objectives.distance).expect("not NaN")
+        a.objectives
+            .distance
+            .partial_cmp(&b.objectives.distance)
+            .expect("not NaN")
     });
     for entry in &front {
         println!(

@@ -39,10 +39,17 @@ fn main() {
         inst.horizon()
     );
     let problems = inst.validate();
-    assert!(problems.is_empty(), "instance failed validation: {problems:?}");
+    assert!(
+        problems.is_empty(),
+        "instance failed validation: {problems:?}"
+    );
 
     let inst = Arc::new(inst);
-    let cfg = TsmoConfig { max_evaluations: 15_000, seed: 9, ..TsmoConfig::default() };
+    let cfg = TsmoConfig {
+        max_evaluations: 15_000,
+        seed: 9,
+        ..TsmoConfig::default()
+    };
     let out = SequentialTsmo::new(cfg).run(&inst);
     println!(
         "\nsolved in {:.2}s — {} non-dominated solutions, best distance {:?}, fewest vehicles {:?}",

@@ -26,18 +26,20 @@ fn main() {
     println!(
         "async run: {} iterations, {} trace points, {} selected currents",
         out.iterations,
-        trace.points.len(),
+        trace.len(),
         trace.trajectory().len()
     );
     // Staleness histogram: how many iterations old were considered
     // neighbors? (0 = same iteration, like the synchronous variant.)
     let mut histogram = std::collections::BTreeMap::<usize, usize>::new();
-    for p in &trace.points {
-        *histogram.entry(p.iter_considered - p.iter_created).or_default() += 1;
+    for p in trace.iter() {
+        *histogram
+            .entry(p.iter_considered - p.iter_created)
+            .or_default() += 1;
     }
     println!("\nstaleness histogram (iterations between creation and consideration):");
     for (staleness, count) in &histogram {
-        let bar = "#".repeat((count * 60 / trace.points.len()).max(1));
+        let bar = "#".repeat((count * 60 / trace.len()).max(1));
         println!("  {staleness:>3}: {count:>7} {bar}");
     }
     println!("\nmax staleness: {} iterations", trace.max_staleness());

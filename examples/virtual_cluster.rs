@@ -14,7 +14,11 @@ use tsmo_suite::tsmo_core::{SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo};
 
 fn main() {
     let inst = Arc::new(GeneratorConfig::new(InstanceClass::C1, 120, 3).build());
-    let cfg = TsmoConfig { max_evaluations: 15_000, seed: 8, ..TsmoConfig::default() };
+    let cfg = TsmoConfig {
+        max_evaluations: 15_000,
+        seed: 8,
+        ..TsmoConfig::default()
+    };
     println!(
         "instance {} ({} customers); per-message latency {:.1} ms\n",
         inst.name,

@@ -1,0 +1,33 @@
+//! Regenerates the bundled Solomon-format instance under `data/`.
+//!
+//! The suite's problem set is generated (the original Gehring–Homberger
+//! files are no longer hosted), but the CLI tools and the CI smoke test
+//! want a file on disk to exercise the Solomon parser path. This example
+//! writes that file deterministically from the generator, so it can be
+//! recreated at any time:
+//!
+//! ```text
+//! cargo run --example write_instance [-- <path>]
+//! ```
+
+use tsmo_suite::prelude::*;
+use tsmo_suite::vrptw::solomon;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "data/r1-25.txt".into());
+    let inst = GeneratorConfig::new(InstanceClass::R1, 25, 1).build();
+    let text = solomon::write(&inst);
+    // Round-trip check: the file must parse back to a valid instance.
+    let back = solomon::parse(&text).expect("generated instance must round-trip");
+    assert_eq!(back.n_customers(), inst.n_customers());
+    std::fs::write(&path, text).expect("failed to write instance file");
+    println!(
+        "wrote {path}: {} ({} customers, R = {}, capacity = {})",
+        inst.name,
+        inst.n_customers(),
+        inst.max_vehicles(),
+        inst.capacity()
+    );
+}

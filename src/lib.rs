@@ -10,6 +10,7 @@
 //! * [`pareto`] — multiobjective machinery (dominance, archives, metrics)
 //! * [`deme`] — the distributed-metaheuristics framework
 //! * [`tsmo_core`] — the TSMO algorithm and its parallel variants
+//! * [`tsmo_obs`] — deterministic telemetry (events, metrics, recorders)
 //! * [`moea`] — NSGA-II baseline for the paper's future-work comparison
 //! * [`runstats`] — statistics for the experiment harness
 //! * [`detrand`] — deterministic random number generation
@@ -20,6 +21,7 @@ pub use moea;
 pub use pareto;
 pub use runstats;
 pub use tsmo_core;
+pub use tsmo_obs;
 pub use vrptw;
 pub use vrptw_construct;
 pub use vrptw_operators;
@@ -30,10 +32,11 @@ pub mod prelude {
     pub use moea::{Nsga2, Nsga2Config, Paes, PaesConfig, Spea2, Spea2Config};
     pub use pareto::{coverage, dominates, Archive, Dominance, ParetoFront};
     pub use tsmo_core::{
-        AdaptiveMemoryTs, AsyncTsmo, CollaborativeTsmo, HybridTsmo, ParallelVariant,
-        SelectionRule, SequentialTsmo, SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo,
-        SyncTsmo, TsmoConfig, TsmoOutcome, WeightedSumTs,
+        AdaptiveMemoryTs, AsyncTsmo, CollaborativeTsmo, HybridTsmo, ParallelVariant, SelectionRule,
+        SequentialTsmo, SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo, SyncTsmo, TsmoConfig,
+        TsmoOutcome, WeightedSumTs,
     };
+    pub use tsmo_obs::{MemoryRecorder, Recorder, SearchEvent};
     pub use vrptw::{
         generator::{GeneratorConfig, InstanceClass},
         Instance, Objectives, Solution,

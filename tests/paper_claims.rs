@@ -8,7 +8,11 @@ use tsmo_suite::prelude::*;
 use tsmo_suite::vrptw_construct::i1;
 
 fn cfg(evals: u64) -> TsmoConfig {
-    TsmoConfig { max_evaluations: evals, neighborhood_size: 60, ..TsmoConfig::default() }
+    TsmoConfig {
+        max_evaluations: evals,
+        neighborhood_size: 60,
+        ..TsmoConfig::default()
+    }
 }
 
 /// §III.C: "the behavior [of the synchronous variant] remains unchanged"
@@ -47,10 +51,7 @@ fn representation_matches_paper_definition() {
     assert_eq!(perm[0], 0);
     assert_eq!(*perm.last().expect("non-empty"), 0);
     // f2 from the string, as defined in the paper.
-    let f2_from_string = perm
-        .windows(2)
-        .filter(|w| w[0] == 0 && w[1] > 0)
-        .count();
+    let f2_from_string = perm.windows(2).filter(|w| w[0] == 0 && w[1] > 0).count();
     assert_eq!(f2_from_string, sol.evaluate(&inst).vehicles);
     // Round trip.
     let back = Solution::from_giant_tour(&inst, &perm).expect("valid");
@@ -104,7 +105,10 @@ fn search_recovers_time_feasibility_on_relaxed_instances() {
 #[test]
 fn concurrent_variants_preserve_permutation_invariant() {
     let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 40, 31).build());
-    for variant in [ParallelVariant::Asynchronous(4), ParallelVariant::Collaborative(4)] {
+    for variant in [
+        ParallelVariant::Asynchronous(4),
+        ParallelVariant::Collaborative(4),
+    ] {
         let out = variant.run(&inst, &cfg(2_500));
         assert!(!out.archive.is_empty());
         for e in &out.archive {

@@ -19,7 +19,11 @@ fn generated_instance_survives_solomon_round_trip_and_solves() {
     let reloaded = Arc::new(solomon::parse(&text).expect("round trip"));
     assert_eq!(reloaded.n_customers(), inst.n_customers());
 
-    let cfg = TsmoConfig { max_evaluations: 2_000, neighborhood_size: 50, ..TsmoConfig::default() };
+    let cfg = TsmoConfig {
+        max_evaluations: 2_000,
+        neighborhood_size: 50,
+        ..TsmoConfig::default()
+    };
     // Same seed + same instance data => identical fronts even through the
     // serialization round trip.
     let a = SequentialTsmo::new(cfg.clone().with_seed(4)).run(&inst);
@@ -46,7 +50,11 @@ fn all_constructors_feed_the_search() {
 #[test]
 fn variants_agree_on_accounting_and_validity() {
     let inst = instance();
-    let cfg = TsmoConfig { max_evaluations: 2_000, neighborhood_size: 40, ..TsmoConfig::default() };
+    let cfg = TsmoConfig {
+        max_evaluations: 2_000,
+        neighborhood_size: 40,
+        ..TsmoConfig::default()
+    };
     for variant in [
         ParallelVariant::Sequential,
         ParallelVariant::Synchronous(3),
@@ -76,7 +84,11 @@ fn variants_agree_on_accounting_and_validity() {
 #[test]
 fn coverage_metric_is_sane_between_real_runs() {
     let inst = instance();
-    let cfg = TsmoConfig { max_evaluations: 3_000, neighborhood_size: 50, ..TsmoConfig::default() };
+    let cfg = TsmoConfig {
+        max_evaluations: 3_000,
+        neighborhood_size: 50,
+        ..TsmoConfig::default()
+    };
     let a = SequentialTsmo::new(cfg.clone().with_seed(1)).run(&inst);
     let b = SequentialTsmo::new(cfg.with_seed(2)).run(&inst);
     let (fa, fb) = (a.feasible_vectors(), b.feasible_vectors());
