@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin ablation -- <study> [--evals E]
-//!     [--size N] [--runs R] [--seed S]
+//!     [--size N] [--runs R] [--seed S] [--fault-seed S]
 //!
 //! studies:
 //!   tenure       tabu tenure sweep {5, 10, 20, 40}
@@ -18,6 +18,7 @@
 //!   hetero       async vs sync speedup on a heterogeneous virtual machine
 //!   polish       best-improvement descent as a front post-processor
 //!   levels       §I's taxonomy: functional vs domain vs multisearch decomposition
+//!   faults       fault-rate sweep on the self-healing async runtime (virtual time)
 //!   all          run every study
 //! ```
 
@@ -29,6 +30,8 @@ use tsmo_core::{
     weighted_front, AdaptiveMemoryTs, AsyncTsmo, CollaborativeTsmo, HybridTsmo, SequentialTsmo,
     SimAsyncTsmo, SimSyncTsmo, TsmoConfig,
 };
+use tsmo_faults::{FaultConfig, FaultPlan};
+use tsmo_obs::{metrics::names, MemoryRecorder};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 use vrptw::Instance;
 use vrptw_operators::{descend, DescentConfig};
@@ -38,6 +41,7 @@ struct Opts {
     size: usize,
     runs: usize,
     seed: u64,
+    fault_seed: u64,
 }
 
 fn main() {
@@ -53,6 +57,7 @@ fn main() {
         size: get("--size").map_or(80, |s| s.parse().expect("--size")),
         runs: get("--runs").map_or(3, |s| s.parse().expect("--runs")),
         seed: get("--seed").map_or(7, |s| s.parse().expect("--seed")),
+        fault_seed: get("--fault-seed").map_or(7, |s| s.parse().expect("--fault-seed")),
     };
     match study.as_str() {
         "tenure" => tenure(&opts),
@@ -68,6 +73,7 @@ fn main() {
         "hetero" => hetero(&opts),
         "polish" => polish(&opts),
         "levels" => levels(&opts),
+        "faults" => faults(&opts),
         "all" => {
             for f in [
                 tenure,
@@ -83,6 +89,7 @@ fn main() {
                 hetero,
                 polish,
                 levels,
+                faults,
             ] {
                 f(&opts);
                 println!();
@@ -474,6 +481,53 @@ fn polish(opts: &Opts) {
     println!("  archive distances before {}", Summary::of(&before).cell());
     println!("  archive distances after  {}", Summary::of(&after).cell());
     println!("  improving moves applied  {}", Summary::of(&moves).cell());
+}
+
+fn faults(opts: &Opts) {
+    println!("Robustness: fault-rate sweep on the self-healing async runtime (virtual time)");
+    println!("  rates split evenly between worker panics and stalls; recovery is the");
+    println!("  supervisor's resend/quarantine/respawn policy (see crates/faults, deme)");
+    let inst = instance(opts);
+    for rate in [0.0f64, 0.1, 0.2, 0.4] {
+        let mut dists = Vec::new();
+        let mut injected = Vec::new();
+        let mut resent = Vec::new();
+        let mut lost = Vec::new();
+        for r in 0..opts.runs {
+            let mut cfg = base_cfg(opts).with_seed(opts.seed + r as u64);
+            // Pin the virtual cost: the chaos schedule is then reproducible.
+            cfg.sim_eval_cost = Some(1e-4);
+            let rec = MemoryRecorder::shared();
+            let plan = FaultPlan::shared(FaultConfig::uniform(opts.fault_seed + r as u64, rate));
+            let out = SimAsyncTsmo::new(cfg, 4)
+                .with_fault_hook(plan.clone())
+                .run_with(&inst, rec.clone());
+            if let Some(d) = out.best_distance() {
+                dists.push(d);
+            }
+            let m = rec.metrics();
+            injected.push(plan.stats().total() as f64);
+            resent.push(m.counter(names::TASKS_RESENT) as f64);
+            lost.push(m.counter(names::TASKS_LOST) as f64);
+        }
+        let fmt = |xs: &[f64]| Summary::of(xs).cell();
+        if dists.is_empty() {
+            println!(
+                "  rate = {rate:.1}: injected {} resent {} lost {} (no feasible solutions)",
+                fmt(&injected),
+                fmt(&resent),
+                fmt(&lost)
+            );
+        } else {
+            println!(
+                "  rate = {rate:.1}: best distance {} injected {} resent {} lost {}",
+                fmt(&dists),
+                fmt(&injected),
+                fmt(&resent),
+                fmt(&lost)
+            );
+        }
+    }
 }
 
 fn moea_cmp(opts: &Opts) {

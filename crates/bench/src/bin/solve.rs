@@ -8,6 +8,7 @@
 //!     [--searchers S] [--evals E] [--seed S] [--class R1] [--size N]
 //!     [--out solutions.txt] [--metrics-out metrics.txt]
 //!     [--events-out events.jsonl]
+//!     [--fault-seed S] [--fault-rate R]
 //! ```
 //!
 //! With a FILE argument the instance is parsed from Solomon format;
@@ -18,10 +19,19 @@
 //! the structured JSONL event stream (see the `tsmo-obs` crate). Both
 //! apply to the TSMO variants; the `hybrid` and `nsga2` baselines are not
 //! instrumented.
+//!
+//! `--fault-rate R` (with an optional `--fault-seed S`, default 0) arms
+//! deterministic chaos: worker tasks panic or stall and exchange messages
+//! drop or lag at the given per-site rate (see the `tsmo-faults` crate),
+//! and the self-healing runtime must absorb it. Applies to the `async`
+//! and `coll` variants; the others have no fault surface and reject it.
+//! Recovery totals (`tsmo_tasks_resent_total` etc.) land in
+//! `--metrics-out`.
 
 use moea::{Nsga2, Nsga2Config};
 use std::sync::Arc;
 use tsmo_core::{HybridTsmo, ParallelVariant, TsmoConfig};
+use tsmo_faults::{FaultConfig, FaultHook, FaultPlan};
 use tsmo_obs::{MemoryRecorder, Recorder};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 use vrptw::{solomon, Instance, Objectives, Solution};
@@ -39,6 +49,36 @@ fn main() {
     let searchers: usize = get("--searchers").map_or(4, |s| s.parse().expect("--searchers"));
     let evals: u64 = get("--evals").map_or(50_000, |s| s.parse().expect("--evals"));
     let seed: u64 = get("--seed").map_or(0, |s| s.parse().expect("--seed"));
+    let fault_seed: u64 = get("--fault-seed").map_or(0, |s| s.parse().expect("--fault-seed"));
+    let fault_rate: f64 = get("--fault-rate").map_or(0.0, |s| s.parse().expect("--fault-rate"));
+    assert!(
+        (0.0..=1.0).contains(&fault_rate),
+        "--fault-rate must be in [0, 1]"
+    );
+    let fault_plan: Option<Arc<FaultPlan>> =
+        (fault_rate > 0.0).then(|| FaultPlan::shared(FaultConfig::uniform(fault_seed, fault_rate)));
+    if fault_plan.is_some() {
+        assert!(
+            matches!(variant.as_str(), "async" | "coll"),
+            "--fault-rate applies to the async and coll variants only"
+        );
+        // Injected worker panics are expected events, not crashes: keep the
+        // default hook from printing a backtrace per fault, but let every
+        // other panic through untouched.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("injected fault:"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
+    let faults: Arc<dyn FaultHook> = fault_plan
+        .clone()
+        .map_or_else(tsmo_faults::none, |p| p as Arc<dyn FaultHook>);
 
     let inst = Arc::new(match &file {
         Some(path) => solomon::read_file(path).expect("failed to parse Solomon file"),
@@ -82,10 +122,13 @@ fn main() {
     let front: Vec<(Solution, Objectives)> = match variant.as_str() {
         "seq" => collect(ParallelVariant::Sequential.run_with(&inst, &cfg, recorder)),
         "sync" => collect(ParallelVariant::Synchronous(procs).run_with(&inst, &cfg, recorder)),
-        "async" => collect(ParallelVariant::Asynchronous(procs).run_with(&inst, &cfg, recorder)),
-        "coll" => {
-            collect(ParallelVariant::Collaborative(searchers).run_with(&inst, &cfg, recorder))
-        }
+        "async" => collect(
+            ParallelVariant::Asynchronous(procs).run_with_faults(&inst, &cfg, recorder, faults),
+        ),
+        "coll" => collect(
+            ParallelVariant::Collaborative(searchers)
+                .run_with_faults(&inst, &cfg, recorder, faults),
+        ),
         "hybrid" => collect(HybridTsmo::new(cfg, searchers, procs).run(&inst)),
         "nsga2" => {
             Nsga2::new(Nsga2Config {
@@ -98,6 +141,20 @@ fn main() {
         }
         other => panic!("unknown variant {other:?} (seq|sync|async|coll|hybrid|nsga2)"),
     };
+
+    if let Some(plan) = &fault_plan {
+        let s = plan.stats();
+        eprintln!(
+            "chaos: injected {} faults ({} panics, {} stalls, {} late, {} drops, {} delays); \
+             the run above survived them",
+            s.total(),
+            s.task_panics,
+            s.task_stalls,
+            s.task_lates,
+            s.exchange_drops,
+            s.exchange_delays
+        );
+    }
 
     if let Some(memory) = &memory {
         if let Some(path) = &metrics_out {

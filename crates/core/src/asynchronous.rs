@@ -2,23 +2,29 @@
 
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
+use crate::fault_obs::{publish_recovery, record_fault};
 use crate::neighborhood::{generate_chunk, Neighbor};
 use crate::outcome::TsmoOutcome;
-use deme::{EvaluationBudget, MasterWorker, RunClock};
+use deme::{EvaluationBudget, MasterWorker, RunClock, Supervisor, SupervisorConfig};
 use detrand::Xoshiro256StarStar;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tsmo_obs::{metrics::names, Recorder, SearchEvent};
+use tsmo_faults::{FaultHook, TaskFault};
+use tsmo_obs::{metrics::names, FaultKind, Recorder, SearchEvent};
 use vrptw::solution::EvaluatedSolution;
 use vrptw::Instance;
 use vrptw_operators::SampleParams;
 
+#[derive(Clone)]
 struct Task {
     snapshot: EvaluatedSolution,
     seed: u64,
     count: usize,
     iteration: usize,
 }
+
+type Pool = Supervisor<Task, Vec<Neighbor>>;
 
 /// Asynchronous master–worker TSMO.
 ///
@@ -36,9 +42,22 @@ struct Task {
 /// * `c2` — a collected neighbor dominates the current solution;
 /// * `c3` — the master has waited longer than `cfg.async_max_wait_ms`;
 /// * `c4` — the evaluation budget is exhausted.
+///
+/// # Robustness
+///
+/// The worker pool runs under a [`Supervisor`]: a panicked chunk task is
+/// resent (bounded retries with backoff) to the next live worker,
+/// repeatedly failing workers are quarantined and respawned once, and if
+/// the live pool falls below quorum the master degrades to evaluating
+/// chunks alone instead of aborting. A resent task keeps its original
+/// `iteration`, so its neighbors count as *stale* in the sense of
+/// Algorithm 2 — the recovery path needs no special treatment in the
+/// search itself. Injected faults (see [`AsyncTsmo::with_fault_hook`])
+/// exercise exactly these paths.
 pub struct AsyncTsmo {
     cfg: TsmoConfig,
     processors: usize,
+    faults: Arc<dyn FaultHook>,
 }
 
 impl AsyncTsmo {
@@ -48,7 +67,22 @@ impl AsyncTsmo {
     /// Panics if `processors == 0`.
     pub fn new(cfg: TsmoConfig, processors: usize) -> Self {
         assert!(processors > 0, "need at least the master processor");
-        Self { cfg, processors }
+        Self {
+            cfg,
+            processors,
+            faults: tsmo_faults::none(),
+        }
+    }
+
+    /// Attaches a fault-injection hook (see the `tsmo-faults` crate).
+    /// Worker tasks consult the hook before computing: they may be made to
+    /// panic (exercising the supervisor's resend/quarantine machinery
+    /// through the pool's real `catch_unwind` path), stall, or return
+    /// late. An inactive hook ([`FaultHook::active`] `== false`) leaves
+    /// the run byte-identical to one without a hook.
+    pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.faults = hook;
+        self
     }
 
     /// Runs the search to budget exhaustion.
@@ -72,13 +106,48 @@ impl AsyncTsmo {
         let chunk = (cfg.neighborhood_size / self.processors).max(1);
         let max_wait = Duration::from_millis(cfg.async_max_wait_ms);
 
-        let worker_pool = (self.processors > 1).then(|| {
+        let mut supervisor = (self.processors > 1).then(|| {
             let inst = Arc::clone(inst);
-            MasterWorker::<Task, Vec<Neighbor>>::spawn(self.processors - 1, move |_, t| {
-                generate_chunk(&inst, &t.snapshot, t.seed, t.count, params, t.iteration)
-            })
+            let hook = Arc::clone(&self.faults);
+            let rec = Arc::clone(&recorder);
+            let n_workers = self.processors - 1;
+            // Per-worker execution counters drive the fault decisions:
+            // deterministic in (worker, execution index), independent of
+            // cross-thread interleaving.
+            let fault_seqs: Arc<Vec<AtomicU64>> =
+                Arc::new((0..n_workers).map(|_| AtomicU64::new(0)).collect());
+            let pool = MasterWorker::<Task, Vec<Neighbor>>::spawn(n_workers, move |w, t| {
+                let mut late_millis = None;
+                if hook.active() {
+                    let seq = fault_seqs[w].fetch_add(1, Ordering::Relaxed);
+                    match hook.on_task(w + 1, seq) {
+                        TaskFault::None => {}
+                        TaskFault::Panic => {
+                            record_fault(&*rec, (w + 1) as u32, seq, FaultKind::TaskPanic);
+                            panic!("injected fault: task panic (worker {w}, seq {seq})");
+                        }
+                        TaskFault::Stall { millis } => {
+                            record_fault(&*rec, (w + 1) as u32, seq, FaultKind::TaskStall);
+                            std::thread::sleep(Duration::from_millis(millis));
+                        }
+                        TaskFault::Late { millis } => {
+                            record_fault(&*rec, (w + 1) as u32, seq, FaultKind::TaskLate);
+                            late_millis = Some(millis);
+                        }
+                    }
+                }
+                let out = generate_chunk(&inst, &t.snapshot, t.seed, t.count, params, t.iteration);
+                if let Some(millis) = late_millis {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                out
+            });
+            Supervisor::new(pool, SupervisorConfig::default())
         });
-        let n_workers = worker_pool.as_ref().map_or(0, |p| p.n_workers());
+        let n_workers = supervisor.as_ref().map_or(0, |s| s.n_workers());
+        if supervisor.is_some() {
+            recorder.gauge_set(names::DEGRADED_MODE, 0.0);
+        }
 
         let mut core = SearchCore::with_recorder(
             Arc::clone(inst),
@@ -87,71 +156,68 @@ impl AsyncTsmo {
             Arc::clone(&recorder),
             0,
         );
-        let mut busy = vec![false; n_workers];
         let mut pool: Vec<Neighbor> = Vec::new();
 
-        // Drains every already-delivered worker result into the pool;
-        // `iter` is the master's iteration at drain time (for events).
-        let fold_arrived = |wp: &MasterWorker<Task, Vec<Neighbor>>,
-                            busy: &mut [bool],
-                            pool: &mut Vec<Neighbor>,
-                            iter: u64| {
-            loop {
-                match wp.try_recv() {
-                    Ok(Some((w, chunk_result))) => {
-                        busy[w] = false;
-                        if recorder.enabled() {
-                            recorder.event(SearchEvent::WorkerResult {
-                                worker: (w + 1) as u32,
-                                iteration: iter,
-                                neighbors: chunk_result.len() as u32,
-                            });
-                        }
-                        pool.extend(chunk_result);
-                    }
-                    Ok(None) => break,
-                    Err(e) => panic!("asynchronous worker pool failed: {e}"),
+        // Drains every already-delivered worker result into the pool and
+        // publishes any recovery actions the supervisor took; `iter` is
+        // the master's iteration at drain time (for events).
+        fn fold_arrived(
+            sup: &mut Pool,
+            recorder: &Arc<dyn Recorder>,
+            pool: &mut Vec<Neighbor>,
+            iter: u64,
+        ) {
+            while let Some((w, chunk_result)) = sup.try_recv() {
+                if recorder.enabled() {
+                    recorder.event(SearchEvent::WorkerResult {
+                        worker: (w + 1) as u32,
+                        iteration: iter,
+                        neighbors: chunk_result.len() as u32,
+                    });
                 }
+                pool.extend(chunk_result);
             }
-        };
+            publish_recovery(&**recorder, sup.take_events(), iter);
+        }
 
         'search: loop {
             // Fold everything that arrived since the last selection.
-            if let Some(wp) = &worker_pool {
-                recorder.observe(names::RESULT_QUEUE_DEPTH, wp.result_queue_len() as f64);
-                fold_arrived(wp, &mut busy, &mut pool, core.iteration() as u64);
+            if let Some(sup) = supervisor.as_mut() {
+                recorder.observe(
+                    names::RESULT_QUEUE_DEPTH,
+                    sup.pool().result_queue_len() as f64,
+                );
+                fold_arrived(sup, &recorder, &mut pool, core.iteration() as u64);
             }
             if budget.exhausted() {
                 break 'search;
             }
-            // Give every idle worker a chunk of the *current* neighborhood.
-            if let Some(wp) = &worker_pool {
-                #[allow(clippy::needless_range_loop)] // w is also the worker id
-                for w in 0..n_workers {
-                    if !busy[w] {
-                        let granted = budget.try_consume(chunk as u64) as usize;
-                        if granted == 0 {
-                            break;
-                        }
-                        recorder.counter_add(names::EVALUATIONS, granted as u64);
-                        if recorder.enabled() {
-                            recorder.event(SearchEvent::WorkerTask {
-                                worker: (w + 1) as u32,
-                                iteration: core.iteration() as u64,
-                                count: granted as u32,
-                            });
-                        }
-                        wp.send(
-                            w,
-                            Task {
-                                snapshot: core.current().clone(),
-                                seed: core.next_seed(),
-                                count: granted,
-                                iteration: core.iteration(),
-                            },
-                        );
-                        busy[w] = true;
+            // Give every idle live worker a chunk of the *current*
+            // neighborhood. A degraded supervisor has no live workers, so
+            // the master continues alone (master-local evaluation).
+            if let Some(sup) = supervisor.as_mut() {
+                for w in sup.idle_live_workers() {
+                    let granted = budget.try_consume(chunk as u64) as usize;
+                    if granted == 0 {
+                        break;
                     }
+                    recorder.counter_add(names::EVALUATIONS, granted as u64);
+                    if recorder.enabled() {
+                        recorder.event(SearchEvent::WorkerTask {
+                            worker: (w + 1) as u32,
+                            iteration: core.iteration() as u64,
+                            count: granted as u32,
+                        });
+                    }
+                    sup.send(
+                        w,
+                        Task {
+                            snapshot: core.current().clone(),
+                            seed: core.next_seed(),
+                            count: granted,
+                            iteration: core.iteration(),
+                        },
+                    );
                 }
             }
             // The master computes its own part.
@@ -171,23 +237,27 @@ impl AsyncTsmo {
             // Decision function (Algorithm 2).
             let wait_start = Instant::now();
             loop {
-                if let Some(wp) = &worker_pool {
-                    fold_arrived(wp, &mut busy, &mut pool, core.iteration() as u64);
+                if let Some(sup) = supervisor.as_mut() {
+                    fold_arrived(sup, &recorder, &mut pool, core.iteration() as u64);
                 }
                 let current_vec = core.current().objectives().to_vector();
-                let c1 = busy.iter().any(|b| !b);
+                let degraded = supervisor.as_ref().is_some_and(|s| s.degraded());
+                let c1 = supervisor
+                    .as_ref()
+                    .is_some_and(|s| !s.idle_live_workers().is_empty());
                 let c2 = pool
                     .iter()
                     .any(|nb| pareto::dominates(&nb.objectives.to_vector(), &current_vec));
                 let c3 = wait_start.elapsed() >= max_wait;
                 let c4 = budget.exhausted();
-                if c1 || c2 || c3 || c4 {
+                if c1 || c2 || c3 || c4 || degraded {
                     break;
                 }
-                if let Some(wp) = &worker_pool {
-                    match wp.recv_timeout(Duration::from_micros(500)) {
-                        Ok(Some((w, chunk_result))) => {
-                            busy[w] = false;
+                match supervisor.as_mut() {
+                    Some(sup) => {
+                        if let Some((w, chunk_result)) =
+                            sup.recv_timeout(Duration::from_micros(500))
+                        {
                             if recorder.enabled() {
                                 recorder.event(SearchEvent::WorkerResult {
                                     worker: (w + 1) as u32,
@@ -197,15 +267,16 @@ impl AsyncTsmo {
                             }
                             pool.extend(chunk_result);
                         }
-                        Ok(None) => {} // timeout: re-evaluate the conditions
-                        Err(e) => panic!("asynchronous worker pool failed: {e}"),
+                        publish_recovery(&*recorder, sup.take_events(), core.iteration() as u64);
                     }
-                } else {
-                    break; // no workers: nothing to wait for
+                    None => break, // no workers: nothing to wait for
                 }
             }
             if pool.is_empty() {
-                if budget.exhausted() && busy.iter().all(|b| !b) {
+                let all_idle = supervisor
+                    .as_ref()
+                    .is_none_or(|s| (0..n_workers).all(|w| s.in_flight(w) == 0));
+                if budget.exhausted() && all_idle {
                     break 'search;
                 }
                 // Nothing collected yet (slow workers): wait another round
@@ -219,9 +290,10 @@ impl AsyncTsmo {
             core.step(std::mem::take(&mut pool));
         }
         let runtime_seconds = clock.seconds();
-        if let Some(wp) = worker_pool {
-            crate::sync::record_pool_stats(&*recorder, &wp, runtime_seconds);
-            drop(wp); // workers see disconnect and exit; no join needed
+        if let Some(mut sup) = supervisor {
+            publish_recovery(&*recorder, sup.take_events(), core.iteration() as u64);
+            crate::sync::record_pool_stats(&*recorder, sup.pool(), runtime_seconds);
+            drop(sup); // workers see disconnect and exit; no join needed
         }
         recorder.gauge_set(names::RUNTIME_SECONDS, runtime_seconds);
         recorder.gauge_set(&names::worker_busy_fraction(0), 1.0);

@@ -2,14 +2,44 @@
 
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
+use crate::fault_obs::record_fault;
 use crate::neighborhood::generate_chunk;
 use crate::outcome::{FrontEntry, TsmoOutcome};
 use deme::{multisearch, EvaluationBudget, RunClock};
 use detrand::{streams, Xoshiro256StarStar};
 use pareto::Archive;
 use std::sync::Arc;
-use tsmo_obs::{metrics::names, ExchangeDirection, Recorder, SearchEvent, Stopwatch};
+use tsmo_faults::{FaultHook, MsgFault};
+use tsmo_obs::{metrics::names, ExchangeDirection, FaultKind, Recorder, SearchEvent, Stopwatch};
 use vrptw::Instance;
+
+/// Sends `entry` to the head of `endpoint`'s rotation (with liveness
+/// failover) and publishes the exchange telemetry.
+fn send_entry(
+    endpoint: &mut multisearch::Endpoint<FrontEntry>,
+    recorder: &Arc<dyn Recorder>,
+    id: usize,
+    entry: FrontEntry,
+) {
+    let vector = entry.objectives.to_vector();
+    match endpoint.send_next(entry) {
+        Some(peer) => {
+            recorder.counter_add(names::EXCHANGE_SENT, 1);
+            if recorder.enabled() {
+                recorder.event(SearchEvent::Exchange {
+                    searcher: id as u32,
+                    peer: peer as u32,
+                    direction: ExchangeDirection::Sent,
+                    objectives: vector,
+                });
+            }
+        }
+        None => {
+            // Every peer is dead or disconnected; the entry is dropped.
+            recorder.counter_add(names::EXCHANGE_UNDELIVERABLE, 1);
+        }
+    }
+}
 
 /// Collaborative multisearch TSMO.
 ///
@@ -25,9 +55,21 @@ use vrptw::Instance;
 /// The returned archive is the non-dominated merge of the searchers'
 /// archives, truncated to the configured capacity with the same crowding
 /// rule; evaluations and iterations are summed over searchers.
+///
+/// # Robustness
+///
+/// Exchange traffic is fault-injectable (see
+/// [`CollaborativeTsmo::with_fault_hook`]): messages can be dropped in
+/// transit or delayed by a number of sender iterations. Each endpoint
+/// tracks peer liveness — a peer whose mailbox is gone is skipped by the
+/// rotation (the message fails over to the next live peer) and probed
+/// periodically for re-admission. Undeliverable entries are counted in
+/// `tsmo_exchange_undeliverable_total` and simply dropped: collaboration
+/// is an optimization, never a correctness dependency.
 pub struct CollaborativeTsmo {
     cfg: TsmoConfig,
     searchers: usize,
+    faults: Arc<dyn FaultHook>,
 }
 
 impl CollaborativeTsmo {
@@ -37,7 +79,21 @@ impl CollaborativeTsmo {
     /// Panics if `searchers == 0`.
     pub fn new(cfg: TsmoConfig, searchers: usize) -> Self {
         assert!(searchers > 0, "need at least one searcher");
-        Self { cfg, searchers }
+        Self {
+            cfg,
+            searchers,
+            faults: tsmo_faults::none(),
+        }
+    }
+
+    /// Attaches a fault-injection hook (see the `tsmo-faults` crate).
+    /// Each searcher consults the hook before sending an archive
+    /// improvement: the message may be dropped (never delivered) or
+    /// delayed by a number of the sender's iterations. An inactive hook
+    /// leaves the run identical to one without a hook.
+    pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.faults = hook;
+        self
     }
 
     /// Runs all searchers to budget exhaustion and merges their fronts.
@@ -63,6 +119,7 @@ impl CollaborativeTsmo {
                 let inst = Arc::clone(inst);
                 let base_cfg = self.cfg.clone();
                 let recorder = Arc::clone(&recorder);
+                let hook = Arc::clone(&self.faults);
                 handles.push(scope.spawn(move || {
                     let watch = Stopwatch::start();
                     // Searcher 0 keeps the undisturbed parameters.
@@ -81,7 +138,32 @@ impl CollaborativeTsmo {
                     );
                     let mut initial_phase = true;
                     let mut initial_stagnation = 0usize;
+                    // Fault bookkeeping: decision counter, local iteration
+                    // ticks, and delayed messages waiting for their tick.
+                    let mut exchange_seq = 0u64;
+                    let mut tick = 0u64;
+                    let mut delayed: Vec<(u64, FrontEntry)> = Vec::new();
                     while !budget.exhausted() {
+                        tick += 1;
+                        // Release delayed messages whose tick has come.
+                        if !delayed.is_empty() {
+                            let due: Vec<FrontEntry> = {
+                                let mut keep = Vec::new();
+                                let mut out = Vec::new();
+                                for (at, entry) in delayed.drain(..) {
+                                    if at <= tick {
+                                        out.push(entry);
+                                    } else {
+                                        keep.push((at, entry));
+                                    }
+                                }
+                                delayed = keep;
+                                out
+                            };
+                            for entry in due {
+                                send_entry(&mut endpoint, &recorder, id, entry);
+                            }
+                        }
                         // Collaborate: incoming solutions feed M_nondom.
                         recorder.observe(names::RESULT_QUEUE_DEPTH, endpoint.inbox_len() as f64);
                         for entry in endpoint.drain() {
@@ -126,19 +208,41 @@ impl CollaborativeTsmo {
                                 }
                             }
                         } else if let Some(entry) = report.improved_archive {
-                            let vector = entry.objectives.to_vector();
-                            if let Some(peer) = endpoint.send_next(entry) {
-                                recorder.counter_add(names::EXCHANGE_SENT, 1);
-                                if recorder.enabled() {
-                                    recorder.event(SearchEvent::Exchange {
-                                        searcher: id as u32,
-                                        peer: peer as u32,
-                                        direction: ExchangeDirection::Sent,
-                                        objectives: vector,
-                                    });
+                            let fault = if hook.active() {
+                                let seq = exchange_seq;
+                                exchange_seq += 1;
+                                (seq, hook.on_exchange(id, seq))
+                            } else {
+                                (0, MsgFault::Deliver)
+                            };
+                            match fault {
+                                (_, MsgFault::Deliver) => {
+                                    send_entry(&mut endpoint, &recorder, id, entry);
+                                }
+                                (seq, MsgFault::Drop) => {
+                                    record_fault(
+                                        &*recorder,
+                                        id as u32,
+                                        seq,
+                                        FaultKind::ExchangeDrop,
+                                    );
+                                }
+                                (seq, MsgFault::Delay { ticks }) => {
+                                    record_fault(
+                                        &*recorder,
+                                        id as u32,
+                                        seq,
+                                        FaultKind::ExchangeDelay,
+                                    );
+                                    delayed.push((tick + ticks.max(1), entry));
                                 }
                             }
                         }
+                    }
+                    // Best-effort flush of still-delayed messages; peers
+                    // that already finished simply never receive them.
+                    for (_, entry) in delayed.drain(..) {
+                        send_entry(&mut endpoint, &recorder, id, entry);
                     }
                     let (archive, _, iterations) = core.finish();
                     (archive, budget.consumed(), iterations, watch.seconds())

@@ -29,6 +29,14 @@
 //! * [`CollaborativeTsmo`] (§III.E) — independent searchers with perturbed
 //!   parameters that exchange archive-improving solutions over a rotating
 //!   communication list after an initial stagnation phase.
+//!
+//! The parallel runtimes are self-healing: the asynchronous master runs
+//! its workers under a supervisor (`deme::Supervisor`) that resends
+//! panicked tasks, quarantines and respawns repeat offenders, and degrades
+//! to master-local evaluation when no worker is left; the collaborative
+//! searchers track peer liveness and route around dead peers. Both can be
+//! exercised under deterministic fault injection via
+//! [`ParallelVariant::run_with_faults`] and the `tsmo-faults` crate.
 
 //! # Example
 //!
@@ -50,6 +58,7 @@ mod asynchronous;
 mod collaborative;
 mod config;
 mod core_search;
+mod fault_obs;
 mod hybrid;
 mod neighborhood;
 mod outcome;
@@ -105,6 +114,24 @@ impl ParallelVariant {
         cfg: &TsmoConfig,
         recorder: Arc<dyn tsmo_obs::Recorder>,
     ) -> TsmoOutcome {
+        self.run_with_faults(inst, cfg, recorder, tsmo_faults::none())
+    }
+
+    /// [`run_with`](Self::run_with) plus a fault-injection hook (see the
+    /// `tsmo-faults` crate). The asynchronous variant runs its workers
+    /// under the self-healing `deme::Supervisor` (resend, quarantine,
+    /// respawn, degraded mode); the collaborative variant drops or delays
+    /// exchange messages and routes around dead peers. `Sequential` and
+    /// `Synchronous` have no recovery path and ignore the hook. An
+    /// inactive hook ([`tsmo_faults::FaultHook::active`] is `false`) takes
+    /// exactly the unfaulted code path.
+    pub fn run_with_faults(
+        self,
+        inst: &Arc<Instance>,
+        cfg: &TsmoConfig,
+        recorder: Arc<dyn tsmo_obs::Recorder>,
+        faults: Arc<dyn tsmo_faults::FaultHook>,
+    ) -> TsmoOutcome {
         match self {
             ParallelVariant::Sequential => {
                 SequentialTsmo::new(cfg.clone()).run_with(inst, recorder)
@@ -112,12 +139,12 @@ impl ParallelVariant {
             ParallelVariant::Synchronous(p) => {
                 SyncTsmo::new(cfg.clone(), p).run_with(inst, recorder)
             }
-            ParallelVariant::Asynchronous(p) => {
-                AsyncTsmo::new(cfg.clone(), p).run_with(inst, recorder)
-            }
-            ParallelVariant::Collaborative(p) => {
-                CollaborativeTsmo::new(cfg.clone(), p).run_with(inst, recorder)
-            }
+            ParallelVariant::Asynchronous(p) => AsyncTsmo::new(cfg.clone(), p)
+                .with_fault_hook(faults)
+                .run_with(inst, recorder),
+            ParallelVariant::Collaborative(p) => CollaborativeTsmo::new(cfg.clone(), p)
+                .with_fault_hook(faults)
+                .run_with(inst, recorder),
         }
     }
 
@@ -142,6 +169,22 @@ impl ParallelVariant {
         cfg: &TsmoConfig,
         recorder: Arc<dyn tsmo_obs::Recorder>,
     ) -> TsmoOutcome {
+        self.run_simulated_with_faults(inst, cfg, recorder, tsmo_faults::none())
+    }
+
+    /// [`run_simulated_with`](Self::run_simulated_with) plus a
+    /// fault-injection hook. The simulated asynchronous and collaborative
+    /// variants mirror the thread-based recovery policy deterministically
+    /// in virtual time, so with a fixed [`TsmoConfig::sim_eval_cost`] the
+    /// *faulted* event stream is byte-reproducible too — and an inactive
+    /// hook leaves the stream byte-identical to a run without a hook.
+    pub fn run_simulated_with_faults(
+        self,
+        inst: &Arc<Instance>,
+        cfg: &TsmoConfig,
+        recorder: Arc<dyn tsmo_obs::Recorder>,
+        faults: Arc<dyn tsmo_faults::FaultHook>,
+    ) -> TsmoOutcome {
         match self {
             ParallelVariant::Sequential => {
                 SequentialTsmo::new(cfg.clone()).run_with(inst, recorder)
@@ -149,12 +192,12 @@ impl ParallelVariant {
             ParallelVariant::Synchronous(p) => {
                 SimSyncTsmo::new(cfg.clone(), p).run_with(inst, recorder)
             }
-            ParallelVariant::Asynchronous(p) => {
-                SimAsyncTsmo::new(cfg.clone(), p).run_with(inst, recorder)
-            }
-            ParallelVariant::Collaborative(p) => {
-                SimCollaborativeTsmo::new(cfg.clone(), p).run_with(inst, recorder)
-            }
+            ParallelVariant::Asynchronous(p) => SimAsyncTsmo::new(cfg.clone(), p)
+                .with_fault_hook(faults)
+                .run_with(inst, recorder),
+            ParallelVariant::Collaborative(p) => SimCollaborativeTsmo::new(cfg.clone(), p)
+                .with_fault_hook(faults)
+                .run_with(inst, recorder),
         }
     }
 

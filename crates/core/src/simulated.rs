@@ -27,13 +27,15 @@
 
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
+use crate::fault_obs::record_fault;
 use crate::neighborhood::{generate_chunk, Neighbor};
 use crate::outcome::{FrontEntry, TsmoOutcome};
-use deme::{EvaluationBudget, VirtualCluster};
+use deme::{EvaluationBudget, SupervisorConfig, VirtualCluster};
 use detrand::{streams, Xoshiro256StarStar};
 use pareto::Archive;
 use std::sync::Arc;
-use tsmo_obs::{metrics::names, ExchangeDirection, Recorder, SearchEvent};
+use tsmo_faults::{FaultHook, MsgFault, TaskFault};
+use tsmo_obs::{metrics::names, ExchangeDirection, FaultKind, Recorder, SearchEvent};
 use vrptw::Instance;
 
 /// Executes `f` as processor `p`'s work: with `cost = None` the *measured*
@@ -194,6 +196,7 @@ pub struct SimAsyncTsmo {
     cfg: TsmoConfig,
     processors: usize,
     speeds: Option<Vec<f64>>,
+    faults: Arc<dyn FaultHook>,
 }
 
 /// A worker's outstanding chunk in the event simulation.
@@ -201,6 +204,13 @@ struct Outstanding {
     /// Virtual time the result reaches the master.
     arrival: f64,
     neighbors: Vec<Neighbor>,
+}
+
+/// Per-worker recovery state of the simulated supervisor mirror.
+struct SimWorkerState {
+    consecutive_panics: u32,
+    respawns_used: u32,
+    retired: bool,
 }
 
 impl SimAsyncTsmo {
@@ -214,7 +224,22 @@ impl SimAsyncTsmo {
             cfg,
             processors,
             speeds: None,
+            faults: tsmo_faults::none(),
         }
+    }
+
+    /// Attaches a fault-injection hook (see the `tsmo-faults` crate). The
+    /// simulation mirrors the thread-based supervisor deterministically in
+    /// virtual time: an injected panic costs the worker a re-execution
+    /// (bounded retries, then the task is lost), repeated panics
+    /// quarantine and once respawn the virtual worker, and with every
+    /// worker retired the master continues alone (degraded mode). With a
+    /// fixed [`TsmoConfig::sim_eval_cost`] the full faulted event stream
+    /// is byte-reproducible, and an inactive hook leaves the stream
+    /// byte-identical to a run without a hook.
+    pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.faults = hook;
+        self
     }
 
     /// Simulates a heterogeneous machine (see
@@ -263,6 +288,27 @@ impl SimAsyncTsmo {
         let mut outstanding: Vec<Option<Outstanding>> = (1..p).map(|_| None).collect();
         let mut pool: Vec<Neighbor> = Vec::new();
 
+        // Deterministic supervisor mirror: one fault draw per virtual
+        // execution, with the same retry/quarantine/respawn policy (and the
+        // same default knobs) as the thread-based `deme::Supervisor`. All
+        // of it is skipped for an inactive hook, so the no-fault event
+        // stream is byte-identical to a run without a hook.
+        let hook = Arc::clone(&self.faults);
+        let faults_on = hook.active();
+        let sup = SupervisorConfig::default();
+        let mut fault_seqs: Vec<u64> = vec![0; outstanding.len()];
+        let mut workers: Vec<SimWorkerState> = (0..outstanding.len())
+            .map(|_| SimWorkerState {
+                consecutive_panics: 0,
+                respawns_used: 0,
+                retired: false,
+            })
+            .collect();
+        let mut degraded = false;
+        if faults_on {
+            recorder.gauge_set(names::DEGRADED_MODE, 0.0);
+        }
+
         let fold_arrived = |pool: &mut Vec<Neighbor>,
                             outstanding: &mut Vec<Option<Outstanding>>,
                             now: f64,
@@ -293,35 +339,117 @@ impl SimAsyncTsmo {
             // delivered at the simulated completion instant.
             #[allow(clippy::needless_range_loop)] // w maps to processor w+1
             for w in 0..outstanding.len() {
-                if outstanding[w].is_none() {
-                    let granted = budget.try_consume(chunk as u64) as usize;
-                    if granted == 0 {
-                        break;
-                    }
-                    recorder.counter_add(names::EVALUATIONS, granted as u64);
-                    if recorder.enabled() {
-                        recorder.event(SearchEvent::WorkerTask {
-                            worker: (w + 1) as u32,
-                            iteration: core.iteration() as u64,
-                            count: granted as u32,
-                        });
-                    }
-                    let seed = core.next_seed();
-                    let proc = w + 1;
-                    // The task message travels master -> worker.
-                    let start = cluster.send_at(0, 1.0).max(cluster.clock(proc));
-                    cluster.advance_to(proc, start);
-                    let cost = cfg.sim_eval_cost.map(|c| c * granted as f64);
-                    let neighbors = charge_with(&mut cluster, proc, cost, || {
-                        generate_chunk(
-                            inst,
-                            core.current(),
-                            seed,
-                            granted,
-                            core.sample_params(),
-                            core.iteration(),
-                        )
+                if outstanding[w].is_some() || workers[w].retired {
+                    continue;
+                }
+                let granted = budget.try_consume(chunk as u64) as usize;
+                if granted == 0 {
+                    break;
+                }
+                recorder.counter_add(names::EVALUATIONS, granted as u64);
+                if recorder.enabled() {
+                    recorder.event(SearchEvent::WorkerTask {
+                        worker: (w + 1) as u32,
+                        iteration: core.iteration() as u64,
+                        count: granted as u32,
                     });
+                }
+                let seed = core.next_seed();
+                let proc = w + 1;
+                // The task message travels master -> worker.
+                let start = cluster.send_at(0, 1.0).max(cluster.clock(proc));
+                cluster.advance_to(proc, start);
+                let cost = cfg.sim_eval_cost.map(|c| c * granted as f64);
+                let neighbors = charge_with(&mut cluster, proc, cost, || {
+                    generate_chunk(
+                        inst,
+                        core.current(),
+                        seed,
+                        granted,
+                        core.sample_params(),
+                        core.iteration(),
+                    )
+                });
+                let mut delivered = true;
+                if faults_on {
+                    let mut attempt: u32 = 0;
+                    loop {
+                        let seq = fault_seqs[w];
+                        fault_seqs[w] += 1;
+                        match hook.on_task(proc, seq) {
+                            TaskFault::None => {
+                                workers[w].consecutive_panics = 0;
+                                break;
+                            }
+                            TaskFault::Stall { millis } => {
+                                record_fault(&*recorder, proc as u32, seq, FaultKind::TaskStall);
+                                cluster.advance(proc, millis as f64 / 1_000.0);
+                                workers[w].consecutive_panics = 0;
+                                break;
+                            }
+                            TaskFault::Late { millis } => {
+                                record_fault(&*recorder, proc as u32, seq, FaultKind::TaskLate);
+                                cluster.advance(proc, millis as f64 / 1_000.0);
+                                workers[w].consecutive_panics = 0;
+                                break;
+                            }
+                            TaskFault::Panic => {
+                                record_fault(&*recorder, proc as u32, seq, FaultKind::TaskPanic);
+                                workers[w].consecutive_panics += 1;
+                                attempt += 1;
+                                if workers[w].consecutive_panics >= sup.quarantine_after {
+                                    recorder.counter_add(names::WORKERS_QUARANTINED, 1);
+                                    if recorder.enabled() {
+                                        recorder.event(SearchEvent::WorkerQuarantined {
+                                            worker: proc as u32,
+                                            iteration: core.iteration() as u64,
+                                        });
+                                    }
+                                    if workers[w].respawns_used < sup.max_respawns {
+                                        workers[w].respawns_used += 1;
+                                        workers[w].consecutive_panics = 0;
+                                        recorder.counter_add(names::WORKERS_RESPAWNED, 1);
+                                        if recorder.enabled() {
+                                            recorder.event(SearchEvent::WorkerRespawned {
+                                                worker: proc as u32,
+                                                iteration: core.iteration() as u64,
+                                            });
+                                        }
+                                    } else {
+                                        workers[w].retired = true;
+                                        if !degraded && workers.iter().all(|st| st.retired) {
+                                            degraded = true;
+                                            recorder.gauge_set(names::DEGRADED_MODE, 1.0);
+                                            if recorder.enabled() {
+                                                recorder.event(SearchEvent::DegradedMode {
+                                                    iteration: core.iteration() as u64,
+                                                    live_workers: 0,
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                                if workers[w].retired || attempt > sup.max_retries {
+                                    recorder.counter_add(names::TASKS_LOST, 1);
+                                    delivered = false;
+                                    break;
+                                }
+                                recorder.counter_add(names::TASKS_RESENT, 1);
+                                if recorder.enabled() {
+                                    recorder.event(SearchEvent::TaskResent {
+                                        worker: proc as u32,
+                                        iteration: core.iteration() as u64,
+                                        attempt,
+                                    });
+                                }
+                                // The retried execution costs virtual time
+                                // again (a nominal slice in measured mode).
+                                cluster.advance(proc, cost.unwrap_or(1e-4));
+                            }
+                        }
+                    }
+                }
+                if delivered {
                     let arrival = cluster.send_at(proc, 1.0);
                     outstanding[w] = Some(Outstanding { arrival, neighbors });
                 }
@@ -350,13 +478,16 @@ impl SimAsyncTsmo {
                 let now = cluster.clock(0);
                 fold_arrived(&mut pool, &mut outstanding, now, core.iteration() as u64);
                 let current_vec = core.current().objectives().to_vector();
-                let c1 = outstanding.iter().any(|o| o.is_none());
+                let c1 = outstanding
+                    .iter()
+                    .zip(&workers)
+                    .any(|(o, st)| o.is_none() && !st.retired);
                 let c2 = pool
                     .iter()
                     .any(|nb| pareto::dominates(&nb.objectives.to_vector(), &current_vec));
                 let c3 = now - wait_started >= max_wait;
                 let c4 = budget.exhausted();
-                if c1 || c2 || c3 || c4 {
+                if c1 || c2 || c3 || c4 || degraded {
                     break;
                 }
                 // Advance to the next event: the earliest arrival or the
@@ -404,6 +535,7 @@ impl SimAsyncTsmo {
 pub struct SimCollaborativeTsmo {
     cfg: TsmoConfig,
     searchers: usize,
+    faults: Arc<dyn FaultHook>,
 }
 
 /// One searcher's state in the event-interleaved simulation.
@@ -428,7 +560,22 @@ impl SimCollaborativeTsmo {
     /// Panics if `searchers == 0`.
     pub fn new(cfg: TsmoConfig, searchers: usize) -> Self {
         assert!(searchers > 0, "need at least one searcher");
-        Self { cfg, searchers }
+        Self {
+            cfg,
+            searchers,
+            faults: tsmo_faults::none(),
+        }
+    }
+
+    /// Attaches a fault-injection hook (see the `tsmo-faults` crate).
+    /// Mirrors the thread-based exchange faults deterministically in
+    /// virtual time: a dropped improvement vanishes in flight (the
+    /// communication-list rotation still advances), a delayed one arrives
+    /// `ticks` extra latency units later. An inactive hook leaves the
+    /// event stream byte-identical to a run without a hook.
+    pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.faults = hook;
+        self
     }
 
     /// Runs all searchers to budget exhaustion; `runtime_seconds` is the
@@ -452,6 +599,9 @@ impl SimCollaborativeTsmo {
         let congestion = (n as f64 / 2.0).max(1.0);
         let unit_cost = self.cfg.sim_eval_cost;
         let mut rngs: Vec<Xoshiro256StarStar> = streams(self.cfg.seed, n);
+        let hook = Arc::clone(&self.faults);
+        let faults_on = hook.active();
+        let mut exch_seqs: Vec<u64> = vec![0; n];
 
         let mut searchers: Vec<SearcherSim> = Vec::with_capacity(n);
         for (id, mut rng) in rngs.drain(..).enumerate() {
@@ -557,6 +707,26 @@ impl SimCollaborativeTsmo {
                 if !searcher.comm_list.is_empty() {
                     let peer = searcher.comm_list[searcher.next_peer];
                     searcher.next_peer = (searcher.next_peer + 1) % searcher.comm_list.len();
+                    let fault = if faults_on {
+                        let seq = exch_seqs[s];
+                        exch_seqs[s] += 1;
+                        (seq, hook.on_exchange(s, seq))
+                    } else {
+                        (0, MsgFault::Deliver)
+                    };
+                    if let (seq, MsgFault::Drop) = fault {
+                        // The message vanishes in flight; the rotation has
+                        // already moved on, as in the thread-based variant.
+                        record_fault(&*recorder, s as u32, seq, FaultKind::ExchangeDrop);
+                        continue;
+                    }
+                    let extra_delay = match fault {
+                        (seq, MsgFault::Delay { ticks }) => {
+                            record_fault(&*recorder, s as u32, seq, FaultKind::ExchangeDelay);
+                            cluster.latency() * congestion * ticks.max(1) as f64
+                        }
+                        _ => 0.0,
+                    };
                     recorder.counter_add(names::EXCHANGE_SENT, 1);
                     if recorder.enabled() {
                         recorder.event(SearchEvent::Exchange {
@@ -568,7 +738,7 @@ impl SimCollaborativeTsmo {
                     }
                     // Sending occupies the sender's processor too.
                     cluster.advance(s, cluster.latency() * congestion);
-                    let arrival = cluster.send_at(s, congestion);
+                    let arrival = cluster.send_at(s, congestion) + extra_delay;
                     searchers[peer].inbox.push((arrival, entry));
                 }
             }

@@ -11,8 +11,13 @@
 //! * [`MasterWorker`] — a master–worker pool for functional decomposition,
 //!   supporting both the synchronous collect-everything pattern and the
 //!   asynchronous partial-collection pattern of §III.C/D;
+//! * [`Supervisor`] — a self-healing wrapper over [`MasterWorker`] that
+//!   resends panicked tasks with a bounded retry budget, quarantines and
+//!   respawns repeatedly failing workers, and degrades to master-local
+//!   evaluation when live workers fall below quorum;
 //! * [`multisearch`] — the rotating-communication-list topology of the
-//!   collaborative multisearch variant (§III.E);
+//!   collaborative multisearch variant (§III.E), with peer-liveness
+//!   tracking (dead peers are skipped and probed for re-admission);
 //! * [`RunClock`] — wall-clock measurement for the runtime/speedup columns.
 //!
 //! Nothing in here knows about vehicle routing: the framework is generic
@@ -40,10 +45,12 @@
 mod budget;
 mod master_worker;
 pub mod multisearch;
+mod supervisor;
 pub mod virtual_time;
 
 pub use budget::EvaluationBudget;
 pub use master_worker::{MasterWorker, PoolError, WorkerStats};
+pub use supervisor::{RecoveryEvent, RecoveryStats, Supervisor, SupervisorConfig};
 pub use virtual_time::VirtualCluster;
 
 use std::time::{Duration, Instant};

@@ -13,16 +13,20 @@ pub enum PoolError {
     /// The task function panicked while processing a task. The worker
     /// thread **survives** and keeps serving its queue; only the result of
     /// the panicking task is lost. The master decides whether to resend,
-    /// skip, or abort.
+    /// skip, or abort — [`crate::Supervisor`] implements the
+    /// resend-with-budget policy on top of this signal, and
+    /// [`MasterWorker::broadcast_collect`] retries each worker's task once
+    /// before surfacing the error.
     WorkerPanicked {
         /// Which worker's task function panicked.
         worker: usize,
         /// The panic payload, when it was a string.
         message: String,
     },
-    /// Every worker thread has exited and the result queue is drained.
-    /// With a live pool this indicates a protocol error (results expected
-    /// after the task channels were closed).
+    /// Every worker has been retired (or the pool is tearing down) and no
+    /// further results can arrive. With a live pool this indicates a
+    /// protocol error (results expected after the task channels were
+    /// closed).
     Disconnected,
 }
 
@@ -45,6 +49,9 @@ impl std::fmt::Display for PoolError {
 impl std::error::Error for PoolError {}
 
 /// A snapshot of one worker's activity counters.
+///
+/// Counters are cumulative per worker *slot*: a respawned worker keeps
+/// adding to the same cell, so panic counts survive a respawn.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkerStats {
     /// Tasks completed successfully.
@@ -87,6 +94,8 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+type TaskFn<T, R> = Arc<dyn Fn(usize, T) -> R + Send + Sync>;
+
 /// A pool of worker threads executing a shared task function.
 ///
 /// The synchronous TS variant sends one task per worker and collects all
@@ -108,13 +117,68 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// returned a silent `None` for both "not yet" and "never", which let a
 /// synchronous barrier hang forever on a dead worker.
 ///
+/// # Epochs, respawn, and retirement
+///
+/// Each worker slot carries an **epoch**. [`MasterWorker::respawn_worker`]
+/// replaces a slot's thread with a fresh one and bumps the epoch; replies
+/// tagged with an older epoch (queued work the old thread was still
+/// draining) are silently discarded (counted by
+/// [`MasterWorker::stale_results_discarded`]), so a respawn can never
+/// deliver a duplicate or orphaned result. [`MasterWorker::retire_worker`]
+/// closes a slot permanently. When every slot is retired the receive
+/// methods report [`PoolError::Disconnected`].
+///
 /// Worker threads shut down when the pool is dropped (their task channels
 /// disconnect).
 pub struct MasterWorker<T: Send + 'static, R: Send + 'static> {
-    task_txs: Vec<Sender<T>>,
-    result_rx: Receiver<(usize, Reply<R>)>,
+    /// `None` marks a retired slot.
+    task_txs: Vec<Option<Sender<T>>>,
+    /// Current epoch per worker slot; replies from older epochs are stale.
+    epochs: Vec<u64>,
+    result_rx: Receiver<(usize, u64, Reply<R>)>,
+    /// Kept for respawned threads; never used to send from the master.
+    result_tx: Sender<(usize, u64, Reply<R>)>,
     handles: Vec<JoinHandle<()>>,
     stats: Arc<Vec<StatCell>>,
+    task_fn: TaskFn<T, R>,
+    stale_discarded: AtomicU64,
+}
+
+fn spawn_worker_thread<T: Send + 'static, R: Send + 'static>(
+    id: usize,
+    epoch: u64,
+    f: TaskFn<T, R>,
+    stats: Arc<Vec<StatCell>>,
+    result_tx: Sender<(usize, u64, Reply<R>)>,
+    rx: Receiver<T>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("deme-worker-{id}.{epoch}"))
+        .spawn(move || {
+            // Exit when the master drops (or replaces) the task sender.
+            while let Ok(task) = rx.recv() {
+                let started = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(id, task)));
+                let nanos = started.elapsed().as_nanos().min(u64::MAX as u128);
+                stats[id]
+                    .busy_nanos
+                    .fetch_add(nanos as u64, Ordering::Relaxed);
+                let reply = match outcome {
+                    Ok(out) => {
+                        stats[id].tasks.fetch_add(1, Ordering::Relaxed);
+                        Reply::Ok(out)
+                    }
+                    Err(payload) => {
+                        stats[id].panics.fetch_add(1, Ordering::Relaxed);
+                        Reply::Panicked(panic_message(payload))
+                    }
+                };
+                if result_tx.send((id, epoch, reply)).is_err() {
+                    break; // master gone
+                }
+            }
+        })
+        .expect("failed to spawn worker thread")
 }
 
 impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
@@ -127,124 +191,225 @@ impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
         F: Fn(usize, T) -> R + Send + Sync + 'static,
     {
         assert!(n_workers > 0, "a pool needs at least one worker");
-        let f = Arc::new(f);
+        let f: TaskFn<T, R> = Arc::new(f);
         let stats: Arc<Vec<StatCell>> =
             Arc::new((0..n_workers).map(|_| StatCell::default()).collect());
-        let (result_tx, result_rx) = unbounded::<(usize, Reply<R>)>();
+        let (result_tx, result_rx) = unbounded::<(usize, u64, Reply<R>)>();
         let mut task_txs = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
         for id in 0..n_workers {
             let (tx, rx) = unbounded::<T>();
-            task_txs.push(tx);
-            let f = Arc::clone(&f);
-            let stats = Arc::clone(&stats);
-            let result_tx = result_tx.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("deme-worker-{id}"))
-                    .spawn(move || {
-                        // Exit when the master drops the task sender.
-                        while let Ok(task) = rx.recv() {
-                            let started = Instant::now();
-                            let outcome = catch_unwind(AssertUnwindSafe(|| f(id, task)));
-                            let nanos = started.elapsed().as_nanos().min(u64::MAX as u128);
-                            stats[id]
-                                .busy_nanos
-                                .fetch_add(nanos as u64, Ordering::Relaxed);
-                            let reply = match outcome {
-                                Ok(out) => {
-                                    stats[id].tasks.fetch_add(1, Ordering::Relaxed);
-                                    Reply::Ok(out)
-                                }
-                                Err(payload) => {
-                                    stats[id].panics.fetch_add(1, Ordering::Relaxed);
-                                    Reply::Panicked(panic_message(payload))
-                                }
-                            };
-                            if result_tx.send((id, reply)).is_err() {
-                                break; // master gone
-                            }
-                        }
-                    })
-                    .expect("failed to spawn worker thread"),
-            );
+            task_txs.push(Some(tx));
+            handles.push(spawn_worker_thread(
+                id,
+                0,
+                Arc::clone(&f),
+                Arc::clone(&stats),
+                result_tx.clone(),
+                rx,
+            ));
         }
         Self {
             task_txs,
+            epochs: vec![0; n_workers],
             result_rx,
+            result_tx,
             handles,
             stats,
+            task_fn: f,
+            stale_discarded: AtomicU64::new(0),
         }
     }
 
-    /// Number of workers in the pool.
+    /// Number of worker slots in the pool (live and retired).
     pub fn n_workers(&self) -> usize {
         self.task_txs.len()
+    }
+
+    /// Worker slots that can still accept tasks.
+    pub fn live_workers(&self) -> usize {
+        self.task_txs.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Whether `worker` can still accept tasks (not retired).
+    pub fn is_live(&self, worker: usize) -> bool {
+        self.task_txs[worker].is_some()
+    }
+
+    /// Current epoch of `worker` (bumped on respawn and retirement).
+    pub fn worker_epoch(&self, worker: usize) -> u64 {
+        self.epochs[worker]
+    }
+
+    /// Replies discarded because they arrived from a superseded epoch
+    /// (work the old thread of a respawned/retired slot was draining).
+    pub fn stale_results_discarded(&self) -> u64 {
+        self.stale_discarded.load(Ordering::Relaxed)
     }
 
     /// Sends a task to a specific worker.
     ///
     /// # Panics
-    /// Panics if the worker index is out of range or the worker's task
-    /// channel is disconnected (only possible once the pool is being torn
-    /// down — workers survive task panics).
+    /// Panics if the worker index is out of range or the slot was retired
+    /// via [`MasterWorker::retire_worker`]. Workers survive task panics,
+    /// so a live slot's channel cannot be closed from the worker side.
     pub fn send(&self, worker: usize, task: T) {
         self.task_txs[worker]
+            .as_ref()
+            .expect("task sent to a retired worker")
             .send(task)
             .expect("worker task channel disconnected");
+    }
+
+    /// Replaces `worker`'s thread with a fresh one and bumps the slot's
+    /// epoch. The old thread drains whatever was queued on its channel and
+    /// exits; its replies carry the old epoch and are discarded on
+    /// receive. In-flight tasks of that worker are therefore **lost** from
+    /// the caller's point of view and must be resent if still wanted
+    /// (which [`crate::Supervisor`] does).
+    ///
+    /// Works on retired slots too, re-admitting them.
+    pub fn respawn_worker(&mut self, worker: usize) {
+        assert!(worker < self.n_workers(), "worker index out of range");
+        self.epochs[worker] += 1;
+        let (tx, rx) = unbounded::<T>();
+        self.task_txs[worker] = Some(tx);
+        self.handles.push(spawn_worker_thread(
+            worker,
+            self.epochs[worker],
+            Arc::clone(&self.task_fn),
+            Arc::clone(&self.stats),
+            self.result_tx.clone(),
+            rx,
+        ));
+    }
+
+    /// Permanently closes `worker`'s slot: its task channel is dropped
+    /// (the thread drains and exits) and the epoch is bumped so queued
+    /// replies are discarded. Once every slot is retired the receive
+    /// methods report [`PoolError::Disconnected`].
+    pub fn retire_worker(&mut self, worker: usize) {
+        assert!(worker < self.n_workers(), "worker index out of range");
+        self.epochs[worker] += 1;
+        self.task_txs[worker] = None;
+    }
+
+    fn admit(&self, (worker, epoch, reply): (usize, u64, Reply<R>)) -> Option<(usize, Reply<R>)> {
+        if epoch == self.epochs[worker] {
+            Some((worker, reply))
+        } else {
+            self.stale_discarded.fetch_add(1, Ordering::Relaxed);
+            None
+        }
     }
 
     /// Non-blocking receive of one `(worker, result)` pair. `Ok(None)`
     /// means the queue is empty but workers are alive.
     pub fn try_recv(&self) -> Result<Option<(usize, R)>, PoolError> {
-        match self.result_rx.try_recv() {
-            Ok(pair) => unwrap_reply(pair).map(Some),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(PoolError::Disconnected),
+        loop {
+            match self.result_rx.try_recv() {
+                Ok(tagged) => {
+                    if let Some(pair) = self.admit(tagged) {
+                        return unwrap_reply(pair).map(Some);
+                    }
+                }
+                Err(TryRecvError::Empty) => {
+                    return if self.live_workers() == 0 {
+                        Err(PoolError::Disconnected)
+                    } else {
+                        Ok(None)
+                    };
+                }
+                Err(TryRecvError::Disconnected) => return Err(PoolError::Disconnected),
+            }
         }
     }
 
     /// Blocking receive with a timeout. `Ok(None)` means the timeout
     /// elapsed with workers still alive.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, R)>, PoolError> {
-        match self.result_rx.recv_timeout(timeout) {
-            Ok(pair) => unwrap_reply(pair).map(Some),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(PoolError::Disconnected),
+        let deadline = Instant::now() + timeout;
+        loop {
+            // A fully retired pool can only produce stale replies: drain
+            // and report Disconnected without waiting out the timeout.
+            if self.live_workers() == 0 {
+                return match self.try_recv() {
+                    Ok(None) => Err(PoolError::Disconnected),
+                    other => other,
+                };
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.result_rx.recv_timeout(remaining) {
+                Ok(tagged) => {
+                    if let Some(pair) = self.admit(tagged) {
+                        return unwrap_reply(pair).map(Some);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(PoolError::Disconnected),
+            }
         }
     }
 
-    /// Blocking receive of the next result.
+    /// Blocking receive of the next result. Returns
+    /// [`PoolError::Disconnected`] if every worker slot is retired while
+    /// waiting.
     pub fn recv(&self) -> Result<(usize, R), PoolError> {
-        match self.result_rx.recv() {
-            Ok(pair) => unwrap_reply(pair),
-            Err(_) => Err(PoolError::Disconnected),
+        loop {
+            // Poll in slices: the master holds a result sender (for
+            // respawns), so channel disconnection alone can no longer
+            // signal a fully retired pool — the liveness check inside
+            // `recv_timeout` does.
+            match self.recv_timeout(Duration::from_millis(50))? {
+                Some(pair) => return Ok(pair),
+                None => continue,
+            }
         }
     }
 
     /// Sends one task to every worker and waits for exactly one result per
     /// worker — the synchronous barrier pattern. Results are returned in
-    /// worker order (deterministic reassembly). If any task panics the
-    /// barrier fails fast with [`PoolError::WorkerPanicked`] instead of
-    /// waiting on a result that will never come.
+    /// worker order (deterministic reassembly).
     ///
-    /// `tasks.len()` must equal the number of workers.
-    pub fn broadcast_collect(&self, tasks: Vec<T>) -> Result<Vec<R>, PoolError> {
+    /// If a task panics, it is **resent once** to the same worker (which
+    /// survives the panic); only a second panic of the same slot's task
+    /// surfaces as [`PoolError::WorkerPanicked`]. This absorbs one-shot
+    /// transient failures without involving a supervisor, at the cost of
+    /// requiring `T: Clone`.
+    ///
+    /// `tasks.len()` must equal the number of workers, and all workers
+    /// must be live.
+    pub fn broadcast_collect(&self, tasks: Vec<T>) -> Result<Vec<R>, PoolError>
+    where
+        T: Clone,
+    {
         assert_eq!(tasks.len(), self.n_workers(), "one task per worker");
         let n = tasks.len();
-        for (w, task) in tasks.into_iter().enumerate() {
+        for (w, task) in tasks.iter().cloned().enumerate() {
             self.send(w, task);
         }
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut retried = vec![false; n];
         let mut received = 0;
         while received < n {
-            let (w, r) = self.recv()?;
-            assert!(
-                slots[w].is_none(),
-                "worker {w} replied twice to one broadcast"
-            );
-            slots[w] = Some(r);
-            received += 1;
+            match self.recv() {
+                Ok((w, r)) => {
+                    assert!(
+                        slots[w].is_none(),
+                        "worker {w} replied twice to one broadcast"
+                    );
+                    slots[w] = Some(r);
+                    received += 1;
+                }
+                Err(PoolError::WorkerPanicked { worker, message }) => {
+                    if retried[worker] {
+                        return Err(PoolError::WorkerPanicked { worker, message });
+                    }
+                    retried[worker] = true;
+                    self.send(worker, tasks[worker].clone());
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(slots
             .into_iter()
@@ -257,17 +422,20 @@ impl<T: Send + 'static, R: Send + 'static> MasterWorker<T, R> {
         self.result_rx.len()
     }
 
-    /// Tasks queued for `worker` that it has not yet picked up.
+    /// Tasks queued for `worker` that it has not yet picked up (0 for a
+    /// retired slot).
     pub fn task_queue_len(&self, worker: usize) -> usize {
-        self.task_txs[worker].len()
+        self.task_txs[worker].as_ref().map_or(0, |tx| tx.len())
     }
 
-    /// Per-worker activity snapshots, indexed by worker id.
+    /// Per-worker activity snapshots, indexed by worker slot. Counters
+    /// are cumulative across respawns of the same slot.
     pub fn worker_stats(&self) -> Vec<WorkerStats> {
         self.stats.iter().map(StatCell::snapshot).collect()
     }
 
-    /// Drops the task channels and joins all workers.
+    /// Drops the task channels and joins all workers (including exited
+    /// threads of respawned slots).
     pub fn shutdown(mut self) {
         self.task_txs.clear();
         for h in std::mem::take(&mut self.handles) {
@@ -399,7 +567,26 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_fails_fast_on_panicking_worker() {
+    fn broadcast_retries_transient_panic_once() {
+        // Worker 1 fails on its first attempt only; the barrier absorbs it.
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let attempts2 = Arc::clone(&attempts);
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(3, move |id, x| {
+            if id == 1 && attempts2.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient failure");
+            }
+            x
+        });
+        let out = pool
+            .broadcast_collect(vec![1, 2, 3])
+            .expect("retry absorbs a single transient panic");
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(pool.worker_stats()[1].panics, 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn broadcast_fails_after_retry_on_persistent_panic() {
         let pool: MasterWorker<u64, u64> = MasterWorker::spawn(3, |id, x| {
             if id == 1 {
                 panic!("worker 1 always fails");
@@ -411,6 +598,8 @@ mod tests {
             matches!(err, PoolError::WorkerPanicked { worker: 1, .. }),
             "got {err:?}"
         );
+        // One original attempt plus exactly one retry.
+        assert_eq!(pool.worker_stats()[1].panics, 2);
         pool.shutdown();
     }
 
@@ -464,6 +653,67 @@ mod tests {
                 s.busy_seconds
             );
         }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn respawn_discards_stale_replies_and_serves_fresh_tasks() {
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let gate2 = Arc::clone(&gate);
+        let mut pool: MasterWorker<u64, u64> = MasterWorker::spawn(1, move |_, x| {
+            if x == 0 {
+                gate2.wait(); // hold epoch-0 thread until after the respawn
+            }
+            x + 100
+        });
+        pool.send(0, 0); // will complete in epoch 0, after the respawn
+        assert_eq!(pool.worker_epoch(0), 0);
+        pool.respawn_worker(0);
+        assert_eq!(pool.worker_epoch(0), 1);
+        gate.wait(); // release the old thread; its reply is now stale
+        pool.send(0, 5); // served by the epoch-1 thread
+        let got = pool.recv().expect("fresh worker alive");
+        assert_eq!(got, (0, 105));
+        // The stale epoch-0 reply was (or will shortly be) discarded.
+        while pool.stale_results_discarded() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+            let _ = pool.try_recv();
+        }
+        assert_eq!(pool.stale_results_discarded(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn retiring_all_workers_reports_disconnected() {
+        let mut pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, |_, x| x);
+        pool.send(0, 1);
+        assert_eq!(pool.recv(), Ok((0, 1)));
+        pool.retire_worker(0);
+        assert!(!pool.is_live(0));
+        assert_eq!(pool.live_workers(), 1);
+        // One live worker left: empty queue is still Ok(None).
+        assert_eq!(pool.try_recv(), Ok(None));
+        pool.retire_worker(1);
+        assert_eq!(pool.live_workers(), 0);
+        assert_eq!(pool.try_recv(), Err(PoolError::Disconnected));
+        assert_eq!(
+            pool.recv_timeout(Duration::from_secs(60)),
+            Err(PoolError::Disconnected),
+            "fully retired pool must not wait out the timeout"
+        );
+        assert_eq!(pool.recv(), Err(PoolError::Disconnected));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn respawn_readmits_a_retired_worker() {
+        let mut pool: MasterWorker<u64, u64> = MasterWorker::spawn(1, |_, x| x * 3);
+        pool.retire_worker(0);
+        assert_eq!(pool.try_recv(), Err(PoolError::Disconnected));
+        pool.respawn_worker(0);
+        assert!(pool.is_live(0));
+        pool.send(0, 7);
+        assert_eq!(pool.recv(), Ok((0, 21)));
         pool.shutdown();
     }
 }

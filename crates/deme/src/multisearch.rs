@@ -6,24 +6,57 @@
 //! its list, then rotates the list (head moves to the bottom). This keeps
 //! communication overhead small and prevents every process from converging
 //! on the same region.
+//!
+//! # Peer liveness
+//!
+//! Peers can die (a searcher thread finishing early or crashing) or be
+//! *suspected* dead by the sender (repeated undelivered exchanges under
+//! fault injection). [`Endpoint::send_next`] tracks a live flag per peer:
+//! delivery failures mark the peer dead, dead peers are skipped by the
+//! rotation (the message fails over to the next live peer in list order
+//! within the same call), and every [`Endpoint::probe_interval`]-th send
+//! probes one dead peer with the real message — a successful probe
+//! re-admits the peer into the rotation. Callers can also mark a peer
+//! suspect explicitly with [`Endpoint::quarantine_peer`].
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use detrand::Rng;
 use std::cell::Cell;
+
+/// Default number of sends between probes of a dead peer.
+pub const DEFAULT_PROBE_INTERVAL: u64 = 8;
+
+struct PeerLink<M> {
+    id: usize,
+    tx: Sender<M>,
+    live: bool,
+}
 
 /// One searcher's endpoints in the multisearch network.
 pub struct Endpoint<M> {
     /// This searcher's index in the network.
     pub id: usize,
     inbox: Receiver<M>,
-    /// Senders to the other peers, in communication-list order.
-    comm_list: Vec<(usize, Sender<M>)>,
+    /// Links to the other peers, in communication-list order.
+    comm_list: Vec<PeerLink<M>>,
     /// Rotation cursor.
     next: usize,
+    /// Rotation cursor over dead peers for probing.
+    probe_next: usize,
+    /// Sends between dead-peer probes (0 disables probing).
+    probe_interval: u64,
+    /// Total send attempts (drives the probe cadence).
+    attempts: u64,
     /// Messages actually delivered to a peer.
     sent: Cell<u64>,
     /// Messages drained from the inbox.
     received: Cell<u64>,
+    /// Dead peers passed over by the rotation.
+    skipped_dead: Cell<u64>,
+    /// Sends dropped because no live peer could take them.
+    undeliverable: Cell<u64>,
+    /// Dead peers brought back by a successful probe.
+    readmitted: Cell<u64>,
 }
 
 impl<M> Endpoint<M> {
@@ -38,29 +71,110 @@ impl<M> Endpoint<M> {
     }
 
     /// Sends `msg` to the peer at the head of the communication list and
-    /// rotates the list. Returns the receiving peer's id, or `None` for a
-    /// single-searcher network (nothing to send to) or when the peer has
-    /// already shut down (its mailbox is disconnected — normal near the end
-    /// of a run, the message is simply dropped).
+    /// rotates the list, skipping peers marked dead — the message fails
+    /// over to the next live peer in list order. A failed delivery marks
+    /// that peer dead and the scan continues with the message. Returns the
+    /// receiving peer's id, or `None` when nothing could take the message:
+    /// a single-searcher network, or every peer dead/disconnected (the
+    /// message is dropped and counted by
+    /// [`Endpoint::undeliverable_count`] — normal near the end of a run).
+    ///
+    /// Every [`Endpoint::probe_interval`]-th call first offers the message
+    /// to one dead peer; if that delivery succeeds the peer is re-admitted
+    /// to the rotation.
     pub fn send_next(&mut self, msg: M) -> Option<usize> {
         if self.comm_list.is_empty() {
             return None;
         }
-        let (peer, tx) = &self.comm_list[self.next];
-        let peer = *peer;
-        let delivered = tx.send(msg).is_ok();
-        self.next = (self.next + 1) % self.comm_list.len();
-        if delivered {
-            self.sent.set(self.sent.get() + 1);
+        self.attempts += 1;
+        let mut msg = msg;
+
+        // Probe phase: periodically test one dead peer with the real
+        // message so a recovered searcher rejoins the rotation.
+        if self.probe_interval > 0 && self.attempts.is_multiple_of(self.probe_interval) {
+            if let Some(k) = self.next_dead_index() {
+                match self.comm_list[k].tx.send(msg) {
+                    Ok(()) => {
+                        self.comm_list[k].live = true;
+                        self.readmitted.set(self.readmitted.get() + 1);
+                        self.sent.set(self.sent.get() + 1);
+                        return Some(self.comm_list[k].id);
+                    }
+                    Err(e) => msg = e.0, // still dead; fall through
+                }
+            }
         }
-        delivered.then_some(peer)
+
+        let n = self.comm_list.len();
+        for _ in 0..n {
+            let k = self.next;
+            self.next = (self.next + 1) % n;
+            if !self.comm_list[k].live {
+                self.skipped_dead.set(self.skipped_dead.get() + 1);
+                continue;
+            }
+            match self.comm_list[k].tx.send(msg) {
+                Ok(()) => {
+                    self.sent.set(self.sent.get() + 1);
+                    return Some(self.comm_list[k].id);
+                }
+                Err(e) => {
+                    self.comm_list[k].live = false;
+                    msg = e.0;
+                }
+            }
+        }
+        self.undeliverable.set(self.undeliverable.get() + 1);
+        None
+    }
+
+    /// Marks `peer` dead without a failed delivery — for callers that
+    /// suspect a peer (e.g. repeated fault-injected drops). A later probe
+    /// can re-admit it. Unknown ids are ignored.
+    pub fn quarantine_peer(&mut self, peer: usize) {
+        if let Some(link) = self.comm_list.iter_mut().find(|l| l.id == peer) {
+            link.live = false;
+        }
+    }
+
+    /// Whether `peer` is currently considered live (false for unknown ids).
+    pub fn is_peer_live(&self, peer: usize) -> bool {
+        self.comm_list.iter().any(|l| l.id == peer && l.live)
+    }
+
+    /// Peers currently in the rotation.
+    pub fn live_peer_count(&self) -> usize {
+        self.comm_list.iter().filter(|l| l.live).count()
+    }
+
+    /// Index (into `comm_list`) of the next dead peer to probe, rotating.
+    fn next_dead_index(&mut self) -> Option<usize> {
+        let n = self.comm_list.len();
+        for step in 0..n {
+            let k = (self.probe_next + step) % n;
+            if !self.comm_list[k].live {
+                self.probe_next = (k + 1) % n;
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Sets the probe cadence (0 disables dead-peer probing).
+    pub fn set_probe_interval(&mut self, every_n_sends: u64) {
+        self.probe_interval = every_n_sends;
+    }
+
+    /// Current probe cadence.
+    pub fn probe_interval(&self) -> u64 {
+        self.probe_interval
     }
 
     /// The peer order of the communication list (for tests/traces).
     pub fn peer_order(&self) -> Vec<usize> {
         let n = self.comm_list.len();
         (0..n)
-            .map(|k| self.comm_list[(self.next + k) % n].0)
+            .map(|k| self.comm_list[(self.next + k) % n].id)
             .collect()
     }
 
@@ -72,6 +186,21 @@ impl<M> Endpoint<M> {
     /// Messages drained from the inbox so far.
     pub fn received_count(&self) -> u64 {
         self.received.get()
+    }
+
+    /// Dead peers passed over by the rotation so far.
+    pub fn skipped_dead_count(&self) -> u64 {
+        self.skipped_dead.get()
+    }
+
+    /// Messages dropped because no live peer could take them.
+    pub fn undeliverable_count(&self) -> u64 {
+        self.undeliverable.get()
+    }
+
+    /// Dead peers re-admitted by a successful probe.
+    pub fn readmitted_count(&self) -> u64 {
+        self.readmitted.get()
     }
 
     /// Messages currently waiting in the inbox (queue depth).
@@ -94,15 +223,25 @@ pub fn network<M, R: Rng>(n: usize, rngs: &mut [R]) -> Vec<Endpoint<M>> {
         rng.shuffle(&mut order);
         let comm_list = order
             .into_iter()
-            .map(|p| (p, channels[p].0.clone()))
+            .map(|p| PeerLink {
+                id: p,
+                tx: channels[p].0.clone(),
+                live: true,
+            })
             .collect::<Vec<_>>();
         endpoints.push(Endpoint {
             id,
             inbox: channels[id].1.clone(),
             comm_list,
             next: 0,
+            probe_next: 0,
+            probe_interval: DEFAULT_PROBE_INTERVAL,
+            attempts: 0,
             sent: Cell::new(0),
             received: Cell::new(0),
+            skipped_dead: Cell::new(0),
+            undeliverable: Cell::new(0),
+            readmitted: Cell::new(0),
         });
     }
     endpoints
@@ -121,7 +260,10 @@ mod tests {
     fn messages_reach_the_head_of_the_list() {
         let mut eps = network::<u32, _>(3, &mut rngs(3));
         let order = eps[0].peer_order();
-        let target = eps[0].send_next(42).unwrap();
+        let target = match eps[0].send_next(42) {
+            Some(peer) => peer,
+            None => panic!("all peers live, delivery must succeed"),
+        };
         assert_eq!(target, order[0]);
         let received = eps.iter().map(|e| e.drain()).collect::<Vec<_>>();
         for (id, msgs) in received.iter().enumerate() {
@@ -139,7 +281,10 @@ mod tests {
         let order = eps[1].peer_order();
         let mut targets = Vec::new();
         for i in 0..6 {
-            targets.push(eps[1].send_next(i).unwrap());
+            match eps[1].send_next(i) {
+                Some(peer) => targets.push(peer),
+                None => panic!("all peers live, delivery must succeed"),
+            }
         }
         // 3 peers, so targets cycle with period 3 following the list order.
         assert_eq!(&targets[0..3], &order[..]);
@@ -207,10 +352,60 @@ mod tests {
     #[test]
     fn dropped_peer_does_not_poison_sender() {
         let mut eps = network::<u32, _>(2, &mut rngs(2));
-        let ep1 = eps.pop().unwrap();
+        let ep1 = eps.pop().expect("two endpoints built");
         drop(ep1);
-        // Peer 1 is gone; sending must not panic, and reports non-delivery.
+        // Peer 1 is gone; sending must not panic. With no other peer to
+        // fail over to, the message is dropped and counted.
         assert_eq!(eps[0].send_next(9), None);
+        assert_eq!(eps[0].undeliverable_count(), 1);
+        assert!(!eps[0].is_peer_live(1), "failed delivery marks peer dead");
+        assert_eq!(eps[0].live_peer_count(), 0);
+        // Subsequent sends skip the dead peer instead of re-attempting it
+        // every time (probes excepted).
+        assert_eq!(eps[0].send_next(10), None);
+        assert!(eps[0].skipped_dead_count() >= 1);
+    }
+
+    #[test]
+    fn delivery_fails_over_to_next_live_peer() {
+        let mut eps = network::<u32, _>(3, &mut rngs(3));
+        let order = eps[0].peer_order();
+        let (first, second) = (order[0], order[1]);
+        // Kill the head of the list; the message must reach the next peer
+        // in the same send_next call.
+        let dead = eps.iter().position(|e| e.id == first).expect("peer exists");
+        let dead_ep = eps.remove(dead);
+        drop(dead_ep);
+        let target = eps[0].send_next(7);
+        assert_eq!(target, Some(second));
+        assert!(!eps[0].is_peer_live(first));
+        assert_eq!(eps[0].sent_count(), 1);
+        let receiver = eps.iter().find(|e| e.id == second).expect("peer exists");
+        assert_eq!(receiver.drain(), vec![7]);
+    }
+
+    #[test]
+    fn quarantined_peer_is_skipped_then_readmitted_by_probe() {
+        let mut eps = network::<u32, _>(3, &mut rngs(3));
+        let order = eps[0].peer_order();
+        let suspect = order[0];
+        eps[0].set_probe_interval(4);
+        eps[0].quarantine_peer(suspect);
+        assert!(!eps[0].is_peer_live(suspect));
+        assert_eq!(eps[0].live_peer_count(), 1);
+        // Sends 1–3 all go to the one live peer; send 4 probes the
+        // suspect, whose channel is in fact healthy → re-admitted.
+        let mut targets = Vec::new();
+        for i in 0..4 {
+            targets.push(eps[0].send_next(i));
+        }
+        assert!(targets[..3].iter().all(|t| *t == Some(order[1])));
+        assert_eq!(targets[3], Some(suspect), "probe delivered the message");
+        assert!(eps[0].is_peer_live(suspect));
+        assert_eq!(eps[0].readmitted_count(), 1);
+        assert_eq!(eps[0].live_peer_count(), 2);
+        // All four messages were delivered somewhere.
+        assert_eq!(eps[0].sent_count(), 4);
     }
 
     #[test]
@@ -225,18 +420,19 @@ mod tests {
         assert_eq!(eps[1].received_count(), 2);
         assert_eq!(eps[1].inbox_len(), 0);
         // Undelivered sends (dropped peer) do not count as sent.
-        let ep1 = eps.pop().unwrap();
+        let ep1 = eps.pop().expect("two endpoints built");
         drop(ep1);
         assert_eq!(eps[0].send_next(3), None);
         assert_eq!(eps[0].sent_count(), 2);
+        assert_eq!(eps[0].undeliverable_count(), 1);
     }
 
     #[test]
     fn messages_cross_threads() {
         let mut eps = network::<u64, _>(3, &mut rngs(3));
-        let ep2 = eps.pop().unwrap();
-        let ep1 = eps.pop().unwrap();
-        let mut ep0 = eps.pop().unwrap();
+        let ep2 = eps.pop().expect("three endpoints built");
+        let ep1 = eps.pop().expect("three endpoints built");
+        let mut ep0 = eps.pop().expect("three endpoints built");
         let handle = std::thread::spawn(move || {
             let mut got = Vec::new();
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);

@@ -1,0 +1,622 @@
+//! Self-healing wrapper around [`MasterWorker`].
+//!
+//! The pool itself ([`MasterWorker`]) only *reports* failures: a task
+//! panic surfaces as [`PoolError::WorkerPanicked`] and a fully retired
+//! pool as [`PoolError::Disconnected`]. The [`Supervisor`] turns those
+//! reports into a recovery policy:
+//!
+//! * **Resend with budget** — a panicked task is resent to the next live
+//!   worker (round-robin) with a small exponential backoff, up to
+//!   [`SupervisorConfig::max_retries`] attempts; after that the task is
+//!   declared lost and the caller simply never sees its result (in the
+//!   asynchronous tabu search this is equivalent to a permanently stale
+//!   neighbor and is sound by construction).
+//! * **Quarantine + respawn** — [`SupervisorConfig::quarantine_after`]
+//!   *consecutive* panics of one worker quarantine it: its in-flight
+//!   tasks are redistributed and the slot is either respawned (fresh
+//!   thread, bounded by [`SupervisorConfig::max_respawns`]) or retired.
+//! * **Degraded mode** — when fewer than [`SupervisorConfig::quorum`]
+//!   workers remain live, the supervisor stops expecting the pool to make
+//!   progress and reports [`Supervisor::degraded`]; the caller is
+//!   expected to fall back to master-local evaluation instead of
+//!   aborting. The receive methods never return an error: every failure
+//!   is absorbed into the policy above.
+//!
+//! Correlating a panic with the task that caused it relies on a FIFO
+//! invariant: each worker is single-threaded and serves its task channel
+//! in order, so per-worker replies (success *or* panic) come back in
+//! dispatch order. The supervisor therefore keeps one FIFO of in-flight
+//! tasks per worker and pops the front on every reply.
+//!
+//! Recovery actions are exposed two ways: aggregate [`RecoveryStats`]
+//! and an ordered [`RecoveryEvent`] log drained with
+//! [`Supervisor::take_events`] (so callers can forward transitions to a
+//! telemetry recorder without this crate depending on one).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::master_worker::{MasterWorker, PoolError};
+
+/// Tuning knobs for the recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Maximum resend attempts per task before declaring it lost.
+    pub max_retries: u32,
+    /// Consecutive panics of one worker that trigger quarantine.
+    pub quarantine_after: u32,
+    /// Respawns allowed per worker slot before it is retired for good.
+    pub max_respawns: u32,
+    /// Minimum live workers; below this the supervisor enters degraded
+    /// mode (master-local evaluation) instead of erroring.
+    pub quorum: usize,
+    /// Base backoff before a resend; attempt `k` waits `base << k`,
+    /// capped by `backoff_cap`. Zero disables sleeping (useful in tests).
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            quarantine_after: 3,
+            max_respawns: 1,
+            quorum: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(16),
+        }
+    }
+}
+
+/// One recovery action, in the order it was taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A panicked/lost task was resent (to `worker`, as attempt `attempt`).
+    TaskResent {
+        /// Worker the task was resent to.
+        worker: usize,
+        /// Resend attempt number (1-based).
+        attempt: u32,
+    },
+    /// A task exhausted its retry budget (or no live worker remained) and
+    /// was dropped.
+    TaskLost {
+        /// Worker whose failure exhausted the budget.
+        worker: usize,
+    },
+    /// A worker hit the consecutive-panic threshold and was pulled out of
+    /// rotation.
+    WorkerQuarantined {
+        /// The quarantined worker.
+        worker: usize,
+    },
+    /// A quarantined worker was replaced by a fresh thread.
+    WorkerRespawned {
+        /// The respawned worker slot.
+        worker: usize,
+    },
+    /// Live workers fell below quorum; the caller should evaluate
+    /// master-locally from here on.
+    Degraded {
+        /// Live workers remaining at the transition.
+        live_workers: usize,
+    },
+}
+
+/// Aggregate recovery counters (monotonic over the supervisor's life).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Tasks resent after a panic or a quarantine redistribution.
+    pub tasks_resent: u64,
+    /// Tasks dropped after exhausting the retry budget.
+    pub tasks_lost: u64,
+    /// Quarantine transitions.
+    pub workers_quarantined: u64,
+    /// Respawn transitions.
+    pub workers_respawned: u64,
+    /// Whether degraded mode was ever entered.
+    pub degraded: bool,
+}
+
+struct Tracked<T> {
+    task: T,
+    attempt: u32,
+}
+
+struct WorkerState<T> {
+    /// Tasks dispatched to this worker, oldest first.
+    in_flight: VecDeque<Tracked<T>>,
+    consecutive_panics: u32,
+    respawns_used: u32,
+    retired: bool,
+}
+
+impl<T> WorkerState<T> {
+    fn new() -> Self {
+        Self {
+            in_flight: VecDeque::new(),
+            consecutive_panics: 0,
+            respawns_used: 0,
+            retired: false,
+        }
+    }
+}
+
+/// Self-healing façade over a [`MasterWorker`] pool. See the module docs
+/// for the policy.
+///
+/// All sends and receives must go through the supervisor (it owns the
+/// pool) so the per-worker in-flight FIFOs stay accurate.
+pub struct Supervisor<T: Send + Clone + 'static, R: Send + 'static> {
+    pool: MasterWorker<T, R>,
+    cfg: SupervisorConfig,
+    workers: Vec<WorkerState<T>>,
+    events: Vec<RecoveryEvent>,
+    stats: RecoveryStats,
+    degraded: bool,
+    resend_cursor: usize,
+}
+
+impl<T: Send + Clone + 'static, R: Send + 'static> Supervisor<T, R> {
+    /// Wraps `pool` with the recovery policy in `cfg`.
+    pub fn new(pool: MasterWorker<T, R>, cfg: SupervisorConfig) -> Self {
+        let n = pool.n_workers();
+        Self {
+            pool,
+            cfg,
+            workers: (0..n).map(|_| WorkerState::new()).collect(),
+            events: Vec::new(),
+            stats: RecoveryStats::default(),
+            degraded: false,
+            resend_cursor: 0,
+        }
+    }
+
+    /// Total worker slots (live and retired).
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Workers still in rotation.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| !w.retired).count()
+    }
+
+    /// Whether `worker` is still in rotation.
+    pub fn is_live(&self, worker: usize) -> bool {
+        !self.workers[worker].retired
+    }
+
+    /// Whether `worker` is live with nothing in flight.
+    pub fn is_idle(&self, worker: usize) -> bool {
+        self.is_live(worker) && self.workers[worker].in_flight.is_empty()
+    }
+
+    /// Tasks currently in flight on `worker`.
+    pub fn in_flight(&self, worker: usize) -> usize {
+        self.workers[worker].in_flight.len()
+    }
+
+    /// True once live workers dropped below quorum; the caller should
+    /// evaluate master-locally and stop dispatching.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Aggregate recovery counters.
+    pub fn stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Drains the ordered recovery-action log accumulated since the last
+    /// call (for forwarding into a telemetry recorder).
+    pub fn take_events(&mut self) -> Vec<RecoveryEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Read access to the wrapped pool (queue depths, worker stats).
+    pub fn pool(&self) -> &MasterWorker<T, R> {
+        &self.pool
+    }
+
+    /// Shuts the wrapped pool down, joining all worker threads.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+
+    /// Dispatches `task` to `worker` (which must be live).
+    ///
+    /// # Panics
+    /// Panics if `worker` is retired — check [`Supervisor::is_live`]
+    /// first, or pick a target with [`Supervisor::idle_live_workers`].
+    pub fn send(&mut self, worker: usize, task: T) {
+        assert!(
+            self.is_live(worker),
+            "task dispatched to retired worker {worker}"
+        );
+        self.pool.send(worker, task.clone());
+        self.workers[worker]
+            .in_flight
+            .push_back(Tracked { task, attempt: 0 });
+    }
+
+    /// Live workers with an empty in-flight queue, in slot order.
+    pub fn idle_live_workers(&self) -> Vec<usize> {
+        (0..self.n_workers()).filter(|&w| self.is_idle(w)).collect()
+    }
+
+    /// Non-blocking receive. Panics and dead workers are absorbed into
+    /// the recovery policy; `None` means no result is ready (or the pool
+    /// is degraded and will never produce one).
+    pub fn try_recv(&mut self) -> Option<(usize, R)> {
+        loop {
+            match self.pool.try_recv() {
+                Ok(Some((w, r))) => {
+                    self.note_success(w);
+                    return Some((w, r));
+                }
+                Ok(None) => return None,
+                Err(e) => {
+                    if !self.absorb_error(e) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Receive with a timeout; `None` on timeout or degraded pool. Same
+    /// failure absorption as [`Supervisor::try_recv`].
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<(usize, R)> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.pool.recv_timeout(remaining) {
+                Ok(Some((w, r))) => {
+                    self.note_success(w);
+                    return Some((w, r));
+                }
+                Ok(None) => return None,
+                Err(e) => {
+                    if !self.absorb_error(e) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_success(&mut self, worker: usize) {
+        let state = &mut self.workers[worker];
+        state.consecutive_panics = 0;
+        // A reply can only correspond to the oldest dispatched task —
+        // workers are single-threaded FIFOs.
+        state.in_flight.pop_front();
+    }
+
+    /// Applies the recovery policy to a pool error. Returns `true` when
+    /// receiving should continue (the error was absorbed), `false` when
+    /// the caller should observe "no result" (pool collapsed).
+    fn absorb_error(&mut self, err: PoolError) -> bool {
+        match err {
+            PoolError::WorkerPanicked { worker, .. } => {
+                self.handle_panic(worker);
+                true
+            }
+            PoolError::Disconnected => {
+                self.collapse();
+                false
+            }
+        }
+    }
+
+    fn handle_panic(&mut self, worker: usize) {
+        let state = &mut self.workers[worker];
+        state.consecutive_panics += 1;
+        let failed = state.in_flight.pop_front();
+        let quarantine = state.consecutive_panics >= self.cfg.quarantine_after;
+        if let Some(t) = failed {
+            self.resend(worker, t);
+        }
+        if quarantine {
+            self.quarantine(worker);
+        }
+    }
+
+    /// Resends a failed task to the next live worker (round-robin), or
+    /// declares it lost when the budget or the pool is exhausted.
+    fn resend(&mut self, origin: usize, mut tracked: Tracked<T>) {
+        if tracked.attempt >= self.cfg.max_retries {
+            self.stats.tasks_lost += 1;
+            self.events.push(RecoveryEvent::TaskLost { worker: origin });
+            return;
+        }
+        let Some(target) = self.next_live_worker() else {
+            self.stats.tasks_lost += 1;
+            self.events.push(RecoveryEvent::TaskLost { worker: origin });
+            return;
+        };
+        tracked.attempt += 1;
+        let backoff = self
+            .cfg
+            .backoff_base
+            .saturating_mul(1u32 << tracked.attempt.min(16))
+            .min(self.cfg.backoff_cap);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        self.pool.send(target, tracked.task.clone());
+        self.stats.tasks_resent += 1;
+        self.events.push(RecoveryEvent::TaskResent {
+            worker: target,
+            attempt: tracked.attempt,
+        });
+        self.workers[target].in_flight.push_back(tracked);
+    }
+
+    fn next_live_worker(&mut self) -> Option<usize> {
+        let n = self.n_workers();
+        for step in 0..n {
+            let w = (self.resend_cursor + step) % n;
+            if !self.workers[w].retired {
+                self.resend_cursor = (w + 1) % n;
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// Pulls `worker` out of rotation: redistributes its in-flight tasks,
+    /// then either respawns the slot (budget permitting) or retires it.
+    fn quarantine(&mut self, worker: usize) {
+        self.stats.workers_quarantined += 1;
+        self.events
+            .push(RecoveryEvent::WorkerQuarantined { worker });
+        let respawn = self.workers[worker].respawns_used < self.cfg.max_respawns;
+        // The pool-side respawn/retire bumps the slot's epoch, so replies
+        // to the redistributed tasks from the old thread are discarded —
+        // no task can be answered twice.
+        if respawn {
+            self.pool.respawn_worker(worker);
+            let state = &mut self.workers[worker];
+            state.respawns_used += 1;
+            state.consecutive_panics = 0;
+            self.stats.workers_respawned += 1;
+            self.events.push(RecoveryEvent::WorkerRespawned { worker });
+        } else {
+            self.pool.retire_worker(worker);
+            self.workers[worker].retired = true;
+        }
+        let orphans: Vec<Tracked<T>> = self.workers[worker].in_flight.drain(..).collect();
+        for t in orphans {
+            self.resend(worker, t);
+        }
+        if self.live_workers() < self.cfg.quorum && !self.degraded {
+            self.degraded = true;
+            self.stats.degraded = true;
+            self.events.push(RecoveryEvent::Degraded {
+                live_workers: self.live_workers(),
+            });
+        }
+    }
+
+    /// Every worker is gone: mark the pool degraded and drop all
+    /// in-flight tasks as lost.
+    fn collapse(&mut self) {
+        for w in 0..self.n_workers() {
+            self.workers[w].retired = true;
+            let lost = self.workers[w].in_flight.len() as u64;
+            self.stats.tasks_lost += lost;
+            for _ in 0..lost {
+                self.events.push(RecoveryEvent::TaskLost { worker: w });
+            }
+            self.workers[w].in_flight.clear();
+        }
+        if !self.degraded {
+            self.degraded = true;
+            self.stats.degraded = true;
+            self.events
+                .push(RecoveryEvent::Degraded { live_workers: 0 });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn fast_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_base: Duration::ZERO,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn resends_a_panicked_task_until_it_succeeds() {
+        // Every task panics on its first execution, succeeds after.
+        let tries = Arc::new(AtomicUsize::new(0));
+        let tries2 = Arc::clone(&tries);
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, move |_, x| {
+            if tries2.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("first execution fails");
+            }
+            x * 2
+        });
+        let mut sup = Supervisor::new(pool, fast_cfg());
+        sup.send(0, 21);
+        let got = sup
+            .recv_timeout(Duration::from_secs(5))
+            .expect("retry delivers the result");
+        assert_eq!(got.1, 42);
+        let stats = sup.stats();
+        assert_eq!(stats.tasks_resent, 1);
+        assert_eq!(stats.tasks_lost, 0);
+        assert!(matches!(
+            sup.take_events()[0],
+            RecoveryEvent::TaskResent { attempt: 1, .. }
+        ));
+        sup.shutdown();
+    }
+
+    #[test]
+    fn loses_a_task_after_the_retry_budget() {
+        let pool: MasterWorker<u64, u64> =
+            MasterWorker::spawn(2, |_, x| panic!("task {x} always fails"));
+        let mut sup = Supervisor::new(
+            pool,
+            SupervisorConfig {
+                max_retries: 2,
+                quarantine_after: 100, // keep quarantine out of this test
+                backoff_base: Duration::ZERO,
+                ..SupervisorConfig::default()
+            },
+        );
+        sup.send(0, 1);
+        // Poll until the retry budget is burned through; no result ever
+        // arrives, only recovery actions.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sup.stats().tasks_lost == 0 && std::time::Instant::now() < deadline {
+            assert_eq!(sup.recv_timeout(Duration::from_millis(20)), None);
+        }
+        let stats = sup.stats();
+        assert_eq!(stats.tasks_resent, 2);
+        assert_eq!(stats.tasks_lost, 1);
+        assert!(sup
+            .take_events()
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::TaskLost { .. })));
+        sup.shutdown();
+    }
+
+    #[test]
+    fn quarantines_and_respawns_after_consecutive_panics() {
+        // Worker 0 panics on every task; worker 1 always succeeds. With
+        // quarantine_after=2 and one respawn, worker 0 is pulled twice.
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, |id, x| {
+            if id == 0 {
+                panic!("worker 0 is broken");
+            }
+            x + 1
+        });
+        let mut sup = Supervisor::new(
+            pool,
+            SupervisorConfig {
+                max_retries: 10,
+                quarantine_after: 2,
+                max_respawns: 1,
+                quorum: 1,
+                backoff_base: Duration::ZERO,
+                ..SupervisorConfig::default()
+            },
+        );
+        for x in 0..4 {
+            if sup.is_live(0) {
+                sup.send(0, x);
+            } else {
+                sup.send(1, x);
+            }
+            let got = sup.recv_timeout(Duration::from_secs(5));
+            // Every task ends up on worker 1 eventually.
+            assert_eq!(got, Some((1, x + 1)), "task {x}");
+        }
+        let stats = sup.stats();
+        assert_eq!(stats.workers_quarantined, 2, "quarantined, then retired");
+        assert_eq!(stats.workers_respawned, 1);
+        assert!(!sup.is_live(0), "respawn budget exhausted => retired");
+        assert!(!sup.degraded(), "quorum of 1 still met by worker 1");
+        assert!(sup.stats().tasks_resent > 0);
+        sup.shutdown();
+    }
+
+    #[test]
+    fn degrades_below_quorum_instead_of_erroring() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(1, |_, _| panic!("always"));
+        let mut sup = Supervisor::new(
+            pool,
+            SupervisorConfig {
+                max_retries: 10,
+                quarantine_after: 2,
+                max_respawns: 0,
+                quorum: 1,
+                backoff_base: Duration::ZERO,
+                ..SupervisorConfig::default()
+            },
+        );
+        sup.send(0, 9);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !sup.degraded() && std::time::Instant::now() < deadline {
+            assert_eq!(sup.recv_timeout(Duration::from_millis(20)), None);
+        }
+        assert!(sup.degraded());
+        assert_eq!(sup.live_workers(), 0);
+        let events = sup.take_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::WorkerQuarantined { worker: 0 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Degraded { live_workers: 0 })));
+        // Further receives are calm no-result answers, not panics/errors.
+        assert_eq!(sup.try_recv(), None);
+        sup.shutdown();
+    }
+
+    #[test]
+    fn idle_tracking_follows_in_flight_counts() {
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, |_, x| x);
+        let mut sup = Supervisor::new(pool, fast_cfg());
+        assert_eq!(sup.idle_live_workers(), vec![0, 1]);
+        sup.send(0, 1);
+        assert_eq!(sup.in_flight(0), 1);
+        assert_eq!(sup.idle_live_workers(), vec![1]);
+        let got = sup.recv_timeout(Duration::from_secs(5)).expect("result");
+        assert_eq!(got, (0, 1));
+        assert!(sup.is_idle(0));
+        assert_eq!(sup.idle_live_workers(), vec![0, 1]);
+        sup.shutdown();
+    }
+
+    #[test]
+    fn quarantine_redistributes_queued_in_flight_tasks() {
+        // Worker 0 panics on every task. Queue three tasks on it at once:
+        // the first two panics trigger quarantine (threshold 2), and the
+        // third (still queued) task must be redistributed to worker 1,
+        // not silently dropped.
+        let pool: MasterWorker<u64, u64> = MasterWorker::spawn(2, |id, x| {
+            if id == 0 {
+                panic!("worker 0 is broken");
+            }
+            x * 10
+        });
+        let mut sup = Supervisor::new(
+            pool,
+            SupervisorConfig {
+                max_retries: 10,
+                quarantine_after: 2,
+                max_respawns: 0,
+                quorum: 1,
+                backoff_base: Duration::ZERO,
+                ..SupervisorConfig::default()
+            },
+        );
+        sup.send(0, 1);
+        sup.send(0, 2);
+        sup.send(0, 3);
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            match sup.recv_timeout(Duration::from_secs(5)) {
+                Some((_, r)) => got.push(r),
+                None => break,
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30], "all three tasks recovered");
+        assert!(!sup.is_live(0));
+        sup.shutdown();
+    }
+}

@@ -63,6 +63,46 @@ impl ExchangeDirection {
     }
 }
 
+/// The category of an injected fault. Mirrors `tsmo_faults::FaultKind`
+/// (kept as a plain string pair here so the obs crate stays
+/// zero-dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A worker task was made to panic.
+    TaskPanic,
+    /// A worker task was stalled before computing.
+    TaskStall,
+    /// A worker task's result was delivered late.
+    TaskLate,
+    /// An exchange message was dropped.
+    ExchangeDrop,
+    /// An exchange message was delayed.
+    ExchangeDelay,
+}
+
+impl FaultKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::TaskPanic => "task_panic",
+            FaultKind::TaskStall => "task_stall",
+            FaultKind::TaskLate => "task_late",
+            FaultKind::ExchangeDrop => "exchange_drop",
+            FaultKind::ExchangeDelay => "exchange_delay",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "task_panic" => Some(FaultKind::TaskPanic),
+            "task_stall" => Some(FaultKind::TaskStall),
+            "task_late" => Some(FaultKind::TaskLate),
+            "exchange_drop" => Some(FaultKind::ExchangeDrop),
+            "exchange_delay" => Some(FaultKind::ExchangeDelay),
+            _ => None,
+        }
+    }
+}
+
 /// One structured event from the search. `searcher` is 0 for the
 /// single-searcher variants and the collaborative searcher index otherwise.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,6 +188,49 @@ pub enum SearchEvent {
         max_staleness: u64,
         /// How many neighbors in the pool were stale (age > 0).
         stale: u32,
+    },
+    /// The fault layer injected a fault (see the `tsmo-faults` crate).
+    FaultInjected {
+        /// The decision site: the worker id for task faults, the sending
+        /// searcher for exchange faults.
+        site: u32,
+        /// The site-local decision sequence number.
+        seq: u64,
+        /// What was injected.
+        kind: FaultKind,
+    },
+    /// The supervisor resent a panicked or lost task.
+    TaskResent {
+        /// The worker the task is resent *to*.
+        worker: u32,
+        /// Master iteration at resend time.
+        iteration: u64,
+        /// Resend attempt number for this task (1-based).
+        attempt: u32,
+    },
+    /// A worker exceeded its consecutive-panic limit and was taken out of
+    /// the dispatch rotation.
+    WorkerQuarantined {
+        /// The quarantined worker.
+        worker: u32,
+        /// Master iteration at quarantine time.
+        iteration: u64,
+    },
+    /// A quarantined worker was replaced with a fresh thread and
+    /// re-admitted to the rotation.
+    WorkerRespawned {
+        /// The respawned worker.
+        worker: u32,
+        /// Master iteration at respawn time.
+        iteration: u64,
+    },
+    /// The live worker pool fell below the quorum; the master continues
+    /// alone (sequential evaluation) instead of erroring.
+    DegradedMode {
+        /// Master iteration when degradation began.
+        iteration: u64,
+        /// Live workers remaining at that point.
+        live_workers: u32,
     },
 }
 
@@ -270,6 +353,44 @@ impl TimedEvent {
                     ",\"type\":\"staleness\",\"searcher\":{searcher},\"iteration\":{iteration},\"max_staleness\":{max_staleness},\"stale\":{stale}"
                 );
             }
+            SearchEvent::FaultInjected { site, seq, kind } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"fault_injected\",\"site\":{site},\"fault_seq\":{seq},\"kind\":\"{}\"",
+                    kind.as_str()
+                );
+            }
+            SearchEvent::TaskResent {
+                worker,
+                iteration,
+                attempt,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"task_resent\",\"worker\":{worker},\"iteration\":{iteration},\"attempt\":{attempt}"
+                );
+            }
+            SearchEvent::WorkerQuarantined { worker, iteration } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"worker_quarantined\",\"worker\":{worker},\"iteration\":{iteration}"
+                );
+            }
+            SearchEvent::WorkerRespawned { worker, iteration } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"worker_respawned\",\"worker\":{worker},\"iteration\":{iteration}"
+                );
+            }
+            SearchEvent::DegradedMode {
+                iteration,
+                live_workers,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"degraded_mode\",\"iteration\":{iteration},\"live_workers\":{live_workers}"
+                );
+            }
         }
         s.push('}');
         s
@@ -343,6 +464,32 @@ impl TimedEvent {
                 iteration: field_u64(&doc, "iteration")?,
                 max_staleness: field_u64(&doc, "max_staleness")?,
                 stale: field_u32(&doc, "stale")?,
+            },
+            "fault_injected" => SearchEvent::FaultInjected {
+                site: field_u32(&doc, "site")?,
+                seq: field_u64(&doc, "fault_seq")?,
+                kind: doc
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(FaultKind::from_str)
+                    .ok_or_else(|| "bad 'kind' field".to_string())?,
+            },
+            "task_resent" => SearchEvent::TaskResent {
+                worker: field_u32(&doc, "worker")?,
+                iteration: field_u64(&doc, "iteration")?,
+                attempt: field_u32(&doc, "attempt")?,
+            },
+            "worker_quarantined" => SearchEvent::WorkerQuarantined {
+                worker: field_u32(&doc, "worker")?,
+                iteration: field_u64(&doc, "iteration")?,
+            },
+            "worker_respawned" => SearchEvent::WorkerRespawned {
+                worker: field_u32(&doc, "worker")?,
+                iteration: field_u64(&doc, "iteration")?,
+            },
+            "degraded_mode" => SearchEvent::DegradedMode {
+                iteration: field_u64(&doc, "iteration")?,
+                live_workers: field_u32(&doc, "live_workers")?,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -458,6 +605,33 @@ mod tests {
                 iteration: 101,
                 max_staleness: 3,
                 stale: 12,
+            },
+            SearchEvent::FaultInjected {
+                site: 2,
+                seq: 45,
+                kind: FaultKind::TaskPanic,
+            },
+            SearchEvent::FaultInjected {
+                site: 0,
+                seq: 3,
+                kind: FaultKind::ExchangeDelay,
+            },
+            SearchEvent::TaskResent {
+                worker: 1,
+                iteration: 17,
+                attempt: 2,
+            },
+            SearchEvent::WorkerQuarantined {
+                worker: 3,
+                iteration: 30,
+            },
+            SearchEvent::WorkerRespawned {
+                worker: 3,
+                iteration: 31,
+            },
+            SearchEvent::DegradedMode {
+                iteration: 55,
+                live_workers: 1,
             },
         ]
     }

@@ -34,7 +34,9 @@ pub mod json;
 pub mod metrics;
 mod recorder;
 
-pub use event::{parse_events_jsonl, ExchangeDirection, RestartReason, SearchEvent, TimedEvent};
+pub use event::{
+    parse_events_jsonl, ExchangeDirection, FaultKind, RestartReason, SearchEvent, TimedEvent,
+};
 pub use json::{Json, ParseError};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{noop, MemoryRecorder, NoopRecorder, Recorder, Stopwatch};

@@ -48,6 +48,20 @@ pub mod names {
     pub const NEIGHBOR_STALENESS: &str = "tsmo_neighbor_staleness";
     /// Master-observed result queue depth at each poll (histogram).
     pub const RESULT_QUEUE_DEPTH: &str = "tsmo_result_queue_depth";
+    /// Faults injected by the fault layer, all kinds (counter).
+    pub const FAULTS_INJECTED: &str = "tsmo_faults_injected_total";
+    /// Panicked or lost tasks resent by the supervisor (counter).
+    pub const TASKS_RESENT: &str = "tsmo_tasks_resent_total";
+    /// Tasks abandoned after the retry budget was exhausted (counter).
+    pub const TASKS_LOST: &str = "tsmo_tasks_lost_total";
+    /// Workers quarantined after consecutive panics (counter).
+    pub const WORKERS_QUARANTINED: &str = "tsmo_workers_quarantined_total";
+    /// Quarantined workers replaced with fresh threads (counter).
+    pub const WORKERS_RESPAWNED: &str = "tsmo_workers_respawned_total";
+    /// Exchange messages skipped because every peer was dead (counter).
+    pub const EXCHANGE_UNDELIVERABLE: &str = "tsmo_exchange_undeliverable_total";
+    /// 1 while the run is in master-only degraded mode, else 0 (gauge).
+    pub const DEGRADED_MODE: &str = "tsmo_degraded_mode";
 
     /// Per-worker busy fraction sample name (gauge in `[0, 1]`).
     pub fn worker_busy_fraction(worker: usize) -> String {

@@ -11,6 +11,7 @@
 //! * [`deme`] — the distributed-metaheuristics framework
 //! * [`tsmo_core`] — the TSMO algorithm and its parallel variants
 //! * [`tsmo_obs`] — deterministic telemetry (events, metrics, recorders)
+//! * [`tsmo_faults`] — deterministic fault injection for the parallel runtime
 //! * [`moea`] — NSGA-II baseline for the paper's future-work comparison
 //! * [`runstats`] — statistics for the experiment harness
 //! * [`detrand`] — deterministic random number generation
@@ -21,6 +22,7 @@ pub use moea;
 pub use pareto;
 pub use runstats;
 pub use tsmo_core;
+pub use tsmo_faults;
 pub use tsmo_obs;
 pub use vrptw;
 pub use vrptw_construct;
@@ -36,6 +38,7 @@ pub mod prelude {
         SequentialTsmo, SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo, SyncTsmo, TsmoConfig,
         TsmoOutcome, WeightedSumTs,
     };
+    pub use tsmo_faults::{FaultConfig, FaultHook, FaultPlan};
     pub use tsmo_obs::{MemoryRecorder, Recorder, SearchEvent};
     pub use vrptw::{
         generator::{GeneratorConfig, InstanceClass},
