@@ -1,0 +1,175 @@
+//! Load generator for the solver service (`tsmo-serve`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin loadgen -- [FILE]
+//!     [--addr HOST:PORT] [--clients N] [--jobs-per-client M]
+//!     [--evals E] [--neighborhood H] [--workers W] [--queue Q]
+//!     [--deadline-every K] [--deadline-ms D] [--seed S]
+//!     [--out BENCH_server.json]
+//! ```
+//!
+//! Without `--addr` an in-process daemon is started (`--workers`,
+//! `--queue` size it); with `--addr` an already-running `served` is
+//! driven instead. `N` client threads each submit `M` jobs over their
+//! own connection and block for the result; every `K`-th job carries a
+//! `--deadline-ms` deadline, exercising the truncation path under load.
+//! `QueueFull` rejections are retried with a short backoff and counted —
+//! backpressure is part of the measured behavior, not an error.
+//!
+//! The report gives submit-to-result latency percentiles and end-to-end
+//! throughput, printed and (with `--out`) written as a small JSON
+//! document alongside the other `BENCH_*.json` artifacts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tsmo_serve::{Client, JobSpec, Server, ServerConfig};
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+struct JobRecord {
+    latency_ms: f64,
+    truncated: bool,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let file = args.first().filter(|a| !a.starts_with("--")).cloned();
+    let clients: usize = get("--clients").map_or(8, |s| s.parse().expect("--clients"));
+    let jobs_per_client: usize =
+        get("--jobs-per-client").map_or(4, |s| s.parse().expect("--jobs-per-client"));
+    let evals: u64 = get("--evals").map_or(5_000, |s| s.parse().expect("--evals"));
+    let neighborhood: usize =
+        get("--neighborhood").map_or(50, |s| s.parse().expect("--neighborhood"));
+    let workers: usize = get("--workers").map_or(4, |s| s.parse().expect("--workers"));
+    let queue: usize = get("--queue").map_or(16, |s| s.parse().expect("--queue"));
+    let deadline_every: usize =
+        get("--deadline-every").map_or(4, |s| s.parse().expect("--deadline-every"));
+    let deadline_ms: u64 = get("--deadline-ms").map_or(100, |s| s.parse().expect("--deadline-ms"));
+    let seed: u64 = get("--seed").map_or(0, |s| s.parse().expect("--seed"));
+
+    let instance_text = match &file {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read instance {path:?}: {e}")),
+        None => vrptw::solomon::write(&GeneratorConfig::new(InstanceClass::R2, 15, seed).build()),
+    };
+
+    // Either drive a remote daemon or host one in-process.
+    let (addr, local) = match get("--addr") {
+        Some(addr) => (addr, None),
+        None => {
+            let server = Server::start(ServerConfig {
+                workers,
+                queue_capacity: queue,
+                ..ServerConfig::default()
+            })
+            .expect("start in-process daemon");
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+    eprintln!(
+        "loadgen: {clients} clients x {jobs_per_client} jobs ({evals} evals each) against {addr}"
+    );
+
+    let retries = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let text = instance_text.clone();
+            let retries = Arc::clone(&retries);
+            std::thread::spawn(move || -> Vec<JobRecord> {
+                let mut client = Client::connect(&addr).expect("connect to daemon");
+                let mut records = Vec::with_capacity(jobs_per_client);
+                for j in 0..jobs_per_client {
+                    let global = c * jobs_per_client + j;
+                    let spec = JobSpec {
+                        instance_text: text.clone(),
+                        variant: "sequential".to_string(),
+                        max_evaluations: evals,
+                        neighborhood_size: neighborhood,
+                        seed: seed ^ (global as u64),
+                        deadline_ms: (deadline_every > 0 && global.is_multiple_of(deadline_every))
+                            .then_some(deadline_ms),
+                        ..JobSpec::default()
+                    };
+                    let submitted = Instant::now();
+                    let job = loop {
+                        match client.submit(spec.clone()).expect("submit") {
+                            Ok(job) => break job,
+                            Err(_capacity) => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                    };
+                    let result = client
+                        .wait_result(job, Duration::from_secs(300))
+                        .expect("job result");
+                    records.push(JobRecord {
+                        latency_ms: submitted.elapsed().as_secs_f64() * 1000.0,
+                        truncated: result.truncated,
+                    });
+                }
+                records
+            })
+        })
+        .collect();
+    let records: Vec<JobRecord> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = records.iter().map(|r| r.latency_ms).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are not NaN"));
+    let total = records.len();
+    let truncated = records.iter().filter(|r| r.truncated).count();
+    let mean = latencies.iter().sum::<f64>() / total.max(1) as f64;
+    let (p50, p95, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+    let max = latencies.last().copied().unwrap_or(0.0);
+    let throughput = total as f64 / wall;
+    let queue_full_retries = retries.load(Ordering::Relaxed);
+
+    println!(
+        "completed {total} jobs in {wall:.2}s  ({throughput:.1} jobs/s, {truncated} truncated, \
+         {queue_full_retries} QueueFull retries)"
+    );
+    println!("latency ms: p50={p50:.1} p95={p95:.1} p99={p99:.1} mean={mean:.1} max={max:.1}");
+
+    if let Some(path) = get("--out") {
+        let json = format!(
+            "{{\n  \"benchmark\": \"tsmo-serve loadgen\",\n  \"clients\": {clients},\n  \
+             \"jobs_per_client\": {jobs_per_client},\n  \"total_jobs\": {total},\n  \
+             \"workers\": {workers},\n  \"queue_capacity\": {queue},\n  \
+             \"evals_per_job\": {evals},\n  \"deadline_every\": {deadline_every},\n  \
+             \"deadline_ms\": {deadline_ms},\n  \"wall_seconds\": {wall:.3},\n  \
+             \"throughput_jobs_per_s\": {throughput:.2},\n  \
+             \"latency_ms\": {{\"p50\": {p50:.2}, \"p95\": {p95:.2}, \"p99\": {p99:.2}, \
+             \"mean\": {mean:.2}, \"max\": {max:.2}}},\n  \
+             \"truncated_jobs\": {truncated},\n  \"queue_full_retries\": {queue_full_retries}\n}}\n"
+        );
+        std::fs::write(&path, json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(server) = local {
+        server.shutdown();
+    }
+}

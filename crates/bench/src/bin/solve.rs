@@ -9,6 +9,7 @@
 //!     [--out solutions.txt] [--metrics-out metrics.txt]
 //!     [--events-out events.jsonl]
 //!     [--fault-seed S] [--fault-rate R]
+//!     [--deadline-ms D] [--cancel-after-iters K]
 //! ```
 //!
 //! With a FILE argument the instance is parsed from Solomon format;
@@ -20,6 +21,14 @@
 //! apply to the TSMO variants; the `hybrid` and `nsga2` baselines are not
 //! instrumented.
 //!
+//! `--deadline-ms D` stops the run after `D` milliseconds of wall clock;
+//! `--cancel-after-iters K` stops it deterministically after `K`
+//! iterations. Both use the same cooperative [`tsmo_core::CancelToken`]
+//! the solver service threads into every job: the run ends at an
+//! iteration boundary and the best-so-far front is printed as a valid,
+//! truncated result (the cause lands on stderr). TSMO variants only —
+//! the `hybrid` and `nsga2` baselines reject the flags.
+//!
 //! `--fault-rate R` (with an optional `--fault-seed S`, default 0) arms
 //! deterministic chaos: worker tasks panic or stall and exchange messages
 //! drop or lag at the given per-site rate (see the `tsmo-faults` crate),
@@ -30,7 +39,7 @@
 
 use moea::{Nsga2, Nsga2Config};
 use std::sync::Arc;
-use tsmo_core::{HybridTsmo, ParallelVariant, TsmoConfig};
+use tsmo_core::{CancelToken, HybridTsmo, ParallelVariant, TsmoConfig};
 use tsmo_faults::{FaultConfig, FaultHook, FaultPlan};
 use tsmo_obs::{MemoryRecorder, Recorder};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
@@ -51,6 +60,18 @@ fn main() {
     let seed: u64 = get("--seed").map_or(0, |s| s.parse().expect("--seed"));
     let fault_seed: u64 = get("--fault-seed").map_or(0, |s| s.parse().expect("--fault-seed"));
     let fault_rate: f64 = get("--fault-rate").map_or(0.0, |s| s.parse().expect("--fault-rate"));
+    let deadline_ms: Option<u64> = get("--deadline-ms").map(|s| s.parse().expect("--deadline-ms"));
+    let cancel_after_iters: Option<u64> =
+        get("--cancel-after-iters").map(|s| s.parse().expect("--cancel-after-iters"));
+    if (deadline_ms.is_some() || cancel_after_iters.is_some())
+        && matches!(variant.as_str(), "hybrid" | "nsga2")
+    {
+        panic!("--deadline-ms/--cancel-after-iters apply to the TSMO variants only");
+    }
+    let cancel = CancelToken::with_limits(
+        deadline_ms.map(std::time::Duration::from_millis),
+        cancel_after_iters,
+    );
     assert!(
         (0.0..=1.0).contains(&fault_rate),
         "--fault-rate must be in [0, 1]"
@@ -120,15 +141,34 @@ fn main() {
         ..TsmoConfig::default()
     };
     let front: Vec<(Solution, Objectives)> = match variant.as_str() {
-        "seq" => collect(ParallelVariant::Sequential.run_with(&inst, &cfg, recorder)),
-        "sync" => collect(ParallelVariant::Synchronous(procs).run_with(&inst, &cfg, recorder)),
-        "async" => collect(
-            ParallelVariant::Asynchronous(procs).run_with_faults(&inst, &cfg, recorder, faults),
-        ),
-        "coll" => collect(
-            ParallelVariant::Collaborative(searchers)
-                .run_with_faults(&inst, &cfg, recorder, faults),
-        ),
+        "seq" => collect(ParallelVariant::Sequential.run_with_cancel(
+            &inst,
+            &cfg,
+            recorder,
+            faults,
+            cancel.clone(),
+        )),
+        "sync" => collect(ParallelVariant::Synchronous(procs).run_with_cancel(
+            &inst,
+            &cfg,
+            recorder,
+            faults,
+            cancel.clone(),
+        )),
+        "async" => collect(ParallelVariant::Asynchronous(procs).run_with_cancel(
+            &inst,
+            &cfg,
+            recorder,
+            faults,
+            cancel.clone(),
+        )),
+        "coll" => collect(ParallelVariant::Collaborative(searchers).run_with_cancel(
+            &inst,
+            &cfg,
+            recorder,
+            faults,
+            cancel.clone(),
+        )),
         "hybrid" => collect(HybridTsmo::new(cfg, searchers, procs).run(&inst)),
         "nsga2" => {
             Nsga2::new(Nsga2Config {
@@ -141,6 +181,13 @@ fn main() {
         }
         other => panic!("unknown variant {other:?} (seq|sync|async|coll|hybrid|nsga2)"),
     };
+
+    if let Some(cause) = cancel.cause() {
+        eprintln!(
+            "run truncated: {} (best-so-far front below)",
+            cause.as_str()
+        );
+    }
 
     if let Some(plan) = &fault_plan {
         let s = plan.stats();

@@ -1,5 +1,6 @@
 //! The asynchronous master–worker variant (§III.D).
 
+use crate::cancel::CancelToken;
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
 use crate::fault_obs::{publish_recovery, record_fault};
@@ -58,6 +59,7 @@ pub struct AsyncTsmo {
     cfg: TsmoConfig,
     processors: usize,
     faults: Arc<dyn FaultHook>,
+    cancel: CancelToken,
 }
 
 impl AsyncTsmo {
@@ -71,7 +73,16 @@ impl AsyncTsmo {
             cfg,
             processors,
             faults: tsmo_faults::none(),
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Attaches a cooperative stop signal, checked by the master at the
+    /// top of each dispatch round. A stopped run skips the final
+    /// leftover-pool step so its iteration count is an exact prefix.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// Attaches a fault-injection hook (see the `tsmo-faults` crate).
@@ -189,7 +200,7 @@ impl AsyncTsmo {
                 );
                 fold_arrived(sup, &recorder, &mut pool, core.iteration() as u64);
             }
-            if budget.exhausted() {
+            if budget.exhausted() || self.cancel.should_stop(core.iteration()) {
                 break 'search;
             }
             // Give every idle live worker a chunk of the *current*
@@ -285,8 +296,10 @@ impl AsyncTsmo {
             }
             core.step(std::mem::take(&mut pool));
         }
-        // Final partial pool: give the leftovers one last consideration.
-        if !pool.is_empty() {
+        // Final partial pool: give the leftovers one last consideration —
+        // unless the run was stopped early, where an extra step would break
+        // the prefix property.
+        if !pool.is_empty() && !self.cancel.is_stopped() {
             core.step(std::mem::take(&mut pool));
         }
         let runtime_seconds = clock.seconds();

@@ -1,0 +1,248 @@
+//! Cooperative cancellation and time budgets for search runs.
+//!
+//! Every run loop in the suite checks one [`CancelToken`] at the top of
+//! each iteration — *before* drawing any randomness for that iteration —
+//! so a stopped run is always a clean **prefix** of the unstopped run:
+//! same trajectory, same telemetry events, same archive state, just
+//! truncated. The token combines three stop conditions:
+//!
+//! * **explicit cancellation** — [`CancelToken::cancel`], callable from
+//!   any thread (the solver service's Cancel endpoint);
+//! * **a wall-clock deadline** — [`CancelToken::with_deadline`], checked
+//!   against `Instant::now()` once per iteration;
+//! * **an iteration limit** — [`CancelToken::with_iteration_limit`],
+//!   fully deterministic: a run limited to `k` iterations is
+//!   byte-identical to the first `k` iterations of an unlimited run
+//!   (proven in `crates/core/tests/cancellation.rs`).
+//!
+//! The deterministic checks run first, so an iteration-limited run never
+//! depends on wall-clock noise. A truncated run still returns its
+//! best-so-far front as a valid [`TsmoOutcome`](crate::TsmoOutcome); the
+//! caller reads [`CancelToken::cause`] to learn why (and whether) the run
+//! stopped early.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run stopped before exhausting its evaluation budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The configured iteration limit was reached.
+    IterationLimit,
+}
+
+impl StopCause {
+    /// Stable lower-case name (wire format and CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopCause::Cancelled => "cancelled",
+            StopCause::DeadlineExceeded => "deadline_exceeded",
+            StopCause::IterationLimit => "iteration_limit",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cancelled" => Some(StopCause::Cancelled),
+            "deadline_exceeded" => Some(StopCause::DeadlineExceeded),
+            "iteration_limit" => Some(StopCause::IterationLimit),
+            _ => None,
+        }
+    }
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+const ITER_LIMIT: u8 = 3;
+
+struct Inner {
+    /// `LIVE` until the first stop condition fires; the first cause wins.
+    state: AtomicU8,
+    deadline: Option<Instant>,
+    iteration_limit: Option<u64>,
+}
+
+/// Shared, cloneable stop signal for one search run (see the module docs).
+///
+/// Clones share state: cancelling any clone stops every holder. The
+/// default token never fires on its own but can still be cancelled.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::never()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cause", &self.cause())
+            .field("deadline", &self.inner.deadline.is_some())
+            .field("iteration_limit", &self.inner.iteration_limit)
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline and no iteration limit. It only stops a
+    /// run if [`cancel`](Self::cancel) is called.
+    pub fn never() -> Self {
+        Self::with_limits(None, None)
+    }
+
+    /// A token that fires `deadline` after construction (wall clock).
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self::with_limits(Some(deadline), None)
+    }
+
+    /// A token that fires once a run reaches iteration `limit` —
+    /// deterministically, before the iteration's randomness is drawn.
+    pub fn with_iteration_limit(limit: u64) -> Self {
+        Self::with_limits(None, Some(limit))
+    }
+
+    /// A token with any combination of limits (`None` = unlimited). The
+    /// deadline is anchored at construction time.
+    pub fn with_limits(deadline: Option<Duration>, iteration_limit: Option<u64>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(LIVE),
+                deadline: deadline.map(|d| Instant::now() + d),
+                iteration_limit,
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; the first recorded cause wins.
+    pub fn cancel(&self) {
+        self.set_cause(CANCELLED);
+    }
+
+    /// Whether the run holding this token should stop before starting the
+    /// iteration numbered `iteration`. Deterministic conditions (iteration
+    /// limit, already-latched causes) are checked before the wall clock.
+    pub fn should_stop(&self, iteration: usize) -> bool {
+        if let Some(limit) = self.inner.iteration_limit {
+            if iteration as u64 >= limit {
+                self.set_cause(ITER_LIMIT);
+                return true;
+            }
+        }
+        if self.inner.state.load(Ordering::Acquire) != LIVE {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.set_cause(DEADLINE);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any stop condition has latched.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.state.load(Ordering::Acquire) != LIVE
+    }
+
+    /// The first stop cause that fired (`None` while the token is live).
+    pub fn cause(&self) -> Option<StopCause> {
+        match self.inner.state.load(Ordering::Acquire) {
+            CANCELLED => Some(StopCause::Cancelled),
+            DEADLINE => Some(StopCause::DeadlineExceeded),
+            ITER_LIMIT => Some(StopCause::IterationLimit),
+            _ => None,
+        }
+    }
+
+    fn set_cause(&self, cause: u8) {
+        let _ = self
+            .inner
+            .state
+            .compare_exchange(LIVE, cause, Ordering::AcqRel, Ordering::Acquire);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_fires_on_its_own() {
+        let t = CancelToken::never();
+        for i in 0..1000 {
+            assert!(!t.should_stop(i));
+        }
+        assert_eq!(t.cause(), None);
+        assert!(!t.is_stopped());
+    }
+
+    #[test]
+    fn cancel_latches_and_is_shared_across_clones() {
+        let t = CancelToken::never();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.should_stop(0));
+        assert!(t.is_stopped());
+        assert_eq!(t.cause(), Some(StopCause::Cancelled));
+        // The first cause wins even if another condition fires later.
+        t.cancel();
+        assert_eq!(t.cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn iteration_limit_is_deterministic_and_exact() {
+        let t = CancelToken::with_iteration_limit(5);
+        for i in 0..5 {
+            assert!(!t.should_stop(i), "iteration {i} is within the limit");
+        }
+        assert!(t.should_stop(5));
+        assert_eq!(t.cause(), Some(StopCause::IterationLimit));
+    }
+
+    #[test]
+    fn past_deadline_fires_immediately() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.should_stop(0));
+        assert_eq!(t.cause(), Some(StopCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.should_stop(0));
+        assert_eq!(t.cause(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_beats_iteration_limit() {
+        let t = CancelToken::with_iteration_limit(100);
+        t.cancel();
+        assert!(t.should_stop(0));
+        assert_eq!(t.cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn cause_names_round_trip() {
+        for cause in [
+            StopCause::Cancelled,
+            StopCause::DeadlineExceeded,
+            StopCause::IterationLimit,
+        ] {
+            assert_eq!(StopCause::parse(cause.as_str()), Some(cause));
+        }
+        assert_eq!(StopCause::parse("nope"), None);
+    }
+}

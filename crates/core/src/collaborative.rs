@@ -1,5 +1,6 @@
 //! The collaborative multisearch variant (§III.E).
 
+use crate::cancel::CancelToken;
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
 use crate::fault_obs::record_fault;
@@ -70,6 +71,7 @@ pub struct CollaborativeTsmo {
     cfg: TsmoConfig,
     searchers: usize,
     faults: Arc<dyn FaultHook>,
+    cancel: CancelToken,
 }
 
 impl CollaborativeTsmo {
@@ -83,7 +85,16 @@ impl CollaborativeTsmo {
             cfg,
             searchers,
             faults: tsmo_faults::none(),
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Attaches a cooperative stop signal, shared by all searchers: each
+    /// checks it at the top of its own iteration loop (an iteration limit
+    /// therefore applies per searcher).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// Attaches a fault-injection hook (see the `tsmo-faults` crate).
@@ -120,6 +131,7 @@ impl CollaborativeTsmo {
                 let base_cfg = self.cfg.clone();
                 let recorder = Arc::clone(&recorder);
                 let hook = Arc::clone(&self.faults);
+                let cancel = self.cancel.clone();
                 handles.push(scope.spawn(move || {
                     let watch = Stopwatch::start();
                     // Searcher 0 keeps the undisturbed parameters.
@@ -143,7 +155,7 @@ impl CollaborativeTsmo {
                     let mut exchange_seq = 0u64;
                     let mut tick = 0u64;
                     let mut delayed: Vec<(u64, FrontEntry)> = Vec::new();
-                    while !budget.exhausted() {
+                    while !budget.exhausted() && !cancel.should_stop(core.iteration()) {
                         tick += 1;
                         // Release delayed messages whose tick has come.
                         if !delayed.is_empty() {

@@ -55,6 +55,7 @@
 
 mod adaptive;
 mod asynchronous;
+mod cancel;
 mod collaborative;
 mod config;
 mod core_search;
@@ -71,6 +72,7 @@ mod trace;
 
 pub use adaptive::{AdaptiveMemory, AdaptiveMemoryTs};
 pub use asynchronous::AsyncTsmo;
+pub use cancel::{CancelToken, StopCause};
 pub use collaborative::CollaborativeTsmo;
 pub use config::{SelectionRule, TsmoConfig};
 pub use core_search::SearchCore;
@@ -132,18 +134,41 @@ impl ParallelVariant {
         recorder: Arc<dyn tsmo_obs::Recorder>,
         faults: Arc<dyn tsmo_faults::FaultHook>,
     ) -> TsmoOutcome {
+        self.run_with_cancel(inst, cfg, recorder, faults, CancelToken::never())
+    }
+
+    /// The full-featured entry point: [`run_with_faults`] plus a
+    /// cooperative stop signal. The token is checked at the top of each
+    /// iteration (per searcher for the collaborative variant), so a
+    /// stopped run returns its best-so-far front as a valid, truncated
+    /// prefix of the unstopped run — the caller reads
+    /// [`CancelToken::cause`] to learn why it stopped. This is what the
+    /// solver service (`tsmo-serve`) and the `solve --deadline-ms` /
+    /// `--cancel-after-iters` flags use.
+    ///
+    /// [`run_with_faults`]: Self::run_with_faults
+    pub fn run_with_cancel(
+        self,
+        inst: &Arc<Instance>,
+        cfg: &TsmoConfig,
+        recorder: Arc<dyn tsmo_obs::Recorder>,
+        faults: Arc<dyn tsmo_faults::FaultHook>,
+        cancel: CancelToken,
+    ) -> TsmoOutcome {
         match self {
-            ParallelVariant::Sequential => {
-                SequentialTsmo::new(cfg.clone()).run_with(inst, recorder)
-            }
-            ParallelVariant::Synchronous(p) => {
-                SyncTsmo::new(cfg.clone(), p).run_with(inst, recorder)
-            }
+            ParallelVariant::Sequential => SequentialTsmo::new(cfg.clone())
+                .with_cancel_token(cancel)
+                .run_with(inst, recorder),
+            ParallelVariant::Synchronous(p) => SyncTsmo::new(cfg.clone(), p)
+                .with_cancel_token(cancel)
+                .run_with(inst, recorder),
             ParallelVariant::Asynchronous(p) => AsyncTsmo::new(cfg.clone(), p)
                 .with_fault_hook(faults)
+                .with_cancel_token(cancel)
                 .run_with(inst, recorder),
             ParallelVariant::Collaborative(p) => CollaborativeTsmo::new(cfg.clone(), p)
                 .with_fault_hook(faults)
+                .with_cancel_token(cancel)
                 .run_with(inst, recorder),
         }
     }

@@ -1,5 +1,6 @@
 //! The sequential TSMO algorithm (Algorithm 1).
 
+use crate::cancel::CancelToken;
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
 use crate::neighborhood::generate_chunk;
@@ -17,12 +18,25 @@ use vrptw::Instance;
 /// this algorithm exactly (see the crate docs).
 pub struct SequentialTsmo {
     cfg: TsmoConfig,
+    cancel: CancelToken,
 }
 
 impl SequentialTsmo {
     /// Creates the runner.
     pub fn new(cfg: TsmoConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            cancel: CancelToken::never(),
+        }
+    }
+
+    /// Attaches a cooperative stop signal. The token is consulted at the
+    /// top of each iteration, before that iteration's randomness is drawn,
+    /// so a stopped run is a byte-identical prefix of the unstopped run
+    /// (see [`CancelToken`]).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// Runs the search to budget exhaustion.
@@ -42,7 +56,7 @@ impl SequentialTsmo {
             0,
         );
         let sizes = self.cfg.chunk_sizes();
-        while !budget.exhausted() {
+        while !budget.exhausted() && !self.cancel.should_stop(core.iteration()) {
             let seeds = core.chunk_seeds();
             let mut pool = Vec::with_capacity(self.cfg.neighborhood_size);
             for (&seed, &size) in seeds.iter().zip(&sizes) {

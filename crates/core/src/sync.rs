@@ -1,5 +1,6 @@
 //! The synchronous master–worker variant (§III.C).
 
+use crate::cancel::CancelToken;
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
 use crate::neighborhood::{generate_chunk, Neighbor};
@@ -32,6 +33,7 @@ struct Task {
 pub struct SyncTsmo {
     cfg: TsmoConfig,
     processors: usize,
+    cancel: CancelToken,
 }
 
 impl SyncTsmo {
@@ -41,7 +43,20 @@ impl SyncTsmo {
     /// Panics if `processors == 0`.
     pub fn new(cfg: TsmoConfig, processors: usize) -> Self {
         assert!(processors > 0, "need at least the master processor");
-        Self { cfg, processors }
+        Self {
+            cfg,
+            processors,
+            cancel: CancelToken::never(),
+        }
+    }
+
+    /// Attaches a cooperative stop signal, checked by the master at the
+    /// top of each iteration. Because the synchronous variant is
+    /// bit-identical to the sequential algorithm, a run cancelled at
+    /// iteration `k` equals the sequential run cancelled at `k`.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// Runs the search to budget exhaustion.
@@ -78,7 +93,7 @@ impl SyncTsmo {
             0,
         );
         let sizes = cfg.chunk_sizes();
-        while !budget.exhausted() {
+        while !budget.exhausted() && !self.cancel.should_stop(core.iteration()) {
             let seeds = core.chunk_seeds();
             // Reserve budget per chunk in chunk order — the same split the
             // sequential algorithm makes, so the two stay in lockstep.

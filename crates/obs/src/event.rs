@@ -232,6 +232,39 @@ pub enum SearchEvent {
         /// Live workers remaining at that point.
         live_workers: u32,
     },
+    /// The solver service admitted a job to its queue.
+    JobAdmitted {
+        /// Service-assigned job id.
+        job: u64,
+        /// Queue depth right after admission.
+        depth: u32,
+    },
+    /// The solver service rejected a submission with `QueueFull`.
+    JobRejected {
+        /// Service-assigned id the job would have received.
+        job: u64,
+        /// Queue depth at rejection time (the configured capacity).
+        depth: u32,
+    },
+    /// A job's run was truncated by an explicit cancel request.
+    JobCancelled {
+        /// The cancelled job.
+        job: u64,
+    },
+    /// A job's run was truncated by its deadline.
+    JobDeadlineExceeded {
+        /// The expired job.
+        job: u64,
+    },
+    /// A job reached a terminal state with a result front available.
+    JobCompleted {
+        /// The finished job.
+        job: u64,
+        /// Search iterations the run performed.
+        iterations: u64,
+        /// Whether the run was stopped early (cancel or deadline).
+        truncated: bool,
+    },
 }
 
 /// An event stamped with its logical sequence number.
@@ -391,6 +424,34 @@ impl TimedEvent {
                     ",\"type\":\"degraded_mode\",\"iteration\":{iteration},\"live_workers\":{live_workers}"
                 );
             }
+            SearchEvent::JobAdmitted { job, depth } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"job_admitted\",\"job\":{job},\"depth\":{depth}"
+                );
+            }
+            SearchEvent::JobRejected { job, depth } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"job_rejected\",\"job\":{job},\"depth\":{depth}"
+                );
+            }
+            SearchEvent::JobCancelled { job } => {
+                let _ = write!(s, ",\"type\":\"job_cancelled\",\"job\":{job}");
+            }
+            SearchEvent::JobDeadlineExceeded { job } => {
+                let _ = write!(s, ",\"type\":\"job_deadline_exceeded\",\"job\":{job}");
+            }
+            SearchEvent::JobCompleted {
+                job,
+                iterations,
+                truncated,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"job_completed\",\"job\":{job},\"iterations\":{iterations},\"truncated\":{truncated}"
+                );
+            }
         }
         s.push('}');
         s
@@ -490,6 +551,28 @@ impl TimedEvent {
             "degraded_mode" => SearchEvent::DegradedMode {
                 iteration: field_u64(&doc, "iteration")?,
                 live_workers: field_u32(&doc, "live_workers")?,
+            },
+            "job_admitted" => SearchEvent::JobAdmitted {
+                job: field_u64(&doc, "job")?,
+                depth: field_u32(&doc, "depth")?,
+            },
+            "job_rejected" => SearchEvent::JobRejected {
+                job: field_u64(&doc, "job")?,
+                depth: field_u32(&doc, "depth")?,
+            },
+            "job_cancelled" => SearchEvent::JobCancelled {
+                job: field_u64(&doc, "job")?,
+            },
+            "job_deadline_exceeded" => SearchEvent::JobDeadlineExceeded {
+                job: field_u64(&doc, "job")?,
+            },
+            "job_completed" => SearchEvent::JobCompleted {
+                job: field_u64(&doc, "job")?,
+                iterations: field_u64(&doc, "iterations")?,
+                truncated: doc
+                    .get("truncated")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| "bad 'truncated' field".to_string())?,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -632,6 +715,15 @@ mod tests {
             SearchEvent::DegradedMode {
                 iteration: 55,
                 live_workers: 1,
+            },
+            SearchEvent::JobAdmitted { job: 7, depth: 3 },
+            SearchEvent::JobRejected { job: 8, depth: 4 },
+            SearchEvent::JobCancelled { job: 7 },
+            SearchEvent::JobDeadlineExceeded { job: 6 },
+            SearchEvent::JobCompleted {
+                job: 7,
+                iterations: 250,
+                truncated: true,
             },
         ]
     }

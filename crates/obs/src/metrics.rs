@@ -62,6 +62,26 @@ pub mod names {
     pub const EXCHANGE_UNDELIVERABLE: &str = "tsmo_exchange_undeliverable_total";
     /// 1 while the run is in master-only degraded mode, else 0 (gauge).
     pub const DEGRADED_MODE: &str = "tsmo_degraded_mode";
+    /// Solver-service jobs admitted to the queue (counter).
+    pub const JOBS_ADMITTED: &str = "tsmo_jobs_admitted_total";
+    /// Jobs rejected with `QueueFull` backpressure (counter).
+    pub const JOBS_REJECTED: &str = "tsmo_jobs_rejected_total";
+    /// Jobs whose run was truncated by an explicit Cancel (counter).
+    pub const JOBS_CANCELLED: &str = "tsmo_jobs_cancelled_total";
+    /// Jobs whose run was truncated by their deadline (counter).
+    pub const JOBS_DEADLINE_EXCEEDED: &str = "tsmo_jobs_deadline_exceeded_total";
+    /// Jobs that reached a terminal state, truncated or not (counter).
+    pub const JOBS_COMPLETED: &str = "tsmo_jobs_completed_total";
+    /// Current solver-service queue depth (gauge).
+    pub const QUEUE_DEPTH: &str = "tsmo_queue_depth";
+    /// Submit-to-result latency of completed jobs, milliseconds
+    /// (histogram; the default buckets cover 0–250 ms, larger runs land
+    /// in `+Inf`).
+    pub const JOB_LATENCY_MS: &str = "tsmo_job_latency_ms";
+    /// Instance-cache lookups answered without re-parsing (counter).
+    pub const INSTANCE_CACHE_HITS: &str = "tsmo_instance_cache_hits_total";
+    /// Instance-cache lookups that had to parse the payload (counter).
+    pub const INSTANCE_CACHE_MISSES: &str = "tsmo_instance_cache_misses_total";
 
     /// Per-worker busy fraction sample name (gauge in `[0, 1]`).
     pub fn worker_busy_fraction(worker: usize) -> String {

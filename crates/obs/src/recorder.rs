@@ -55,9 +55,11 @@ struct MemoryState {
 }
 
 /// In-memory recorder: stamps each event with a logical sequence number
-/// and accumulates metrics. Cheap enough for tests and CLI runs; a run
-/// that needs bounded memory should disable events and keep metrics.
+/// and accumulates metrics. Cheap enough for tests and CLI runs; a
+/// long-lived process that needs bounded memory should use
+/// [`metrics_only`](MemoryRecorder::metrics_only) instead.
 pub struct MemoryRecorder {
+    record_events: bool,
     state: Mutex<MemoryState>,
 }
 
@@ -71,11 +73,24 @@ impl MemoryRecorder {
     /// An empty recorder.
     pub fn new() -> Self {
         Self {
+            record_events: true,
             state: Mutex::new(MemoryState {
                 next_seq: 0,
                 events: Vec::new(),
                 metrics: MetricsRegistry::new(),
             }),
+        }
+    }
+
+    /// A recorder that accumulates metrics but drops events:
+    /// [`enabled`](Recorder::enabled) returns `false`, so emitters skip
+    /// building events entirely and memory use stays bounded by the metric
+    /// name set regardless of run length. This is what a long-running
+    /// daemon attaches to every job.
+    pub fn metrics_only() -> Self {
+        Self {
+            record_events: false,
+            ..Self::new()
         }
     }
 
@@ -130,10 +145,13 @@ impl MemoryRecorder {
 
 impl Recorder for MemoryRecorder {
     fn enabled(&self) -> bool {
-        true
+        self.record_events
     }
 
     fn event(&self, event: SearchEvent) {
+        if !self.record_events {
+            return;
+        }
         let mut state = self.state();
         let seq = state.next_seq;
         state.next_seq += 1;
@@ -242,6 +260,17 @@ mod tests {
         assert!(prom.contains("tsmo_staleness_max 5"));
         assert!(r.summary().contains("tsmo_iterations_total"));
         assert_eq!(r.metrics().counter(names::ITERATIONS), 7);
+    }
+
+    #[test]
+    fn metrics_only_drops_events_but_keeps_metrics() {
+        let r = MemoryRecorder::metrics_only();
+        assert!(!r.enabled());
+        r.event(sample(1));
+        r.counter_add(names::JOBS_ADMITTED, 2);
+        assert_eq!(r.event_count(), 0);
+        assert!(r.events_jsonl().is_empty());
+        assert_eq!(r.metrics().counter(names::JOBS_ADMITTED), 2);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Command-line client for the solver daemon.
+//!
+//! ```text
+//! servectl --addr HOST:PORT health
+//! servectl --addr HOST:PORT metrics
+//! servectl --addr HOST:PORT submit FILE [--variant V] [--processors P]
+//!          [--evals N] [--neighborhood N] [--seed S]
+//!          [--deadline-ms D] [--max-iters I] [--wait SECONDS]
+//! servectl --addr HOST:PORT status JOB
+//! servectl --addr HOST:PORT cancel JOB
+//! servectl --addr HOST:PORT result JOB
+//! servectl --addr HOST:PORT shutdown
+//! ```
+//!
+//! `submit` prints the assigned job id; with `--wait` it polls until the
+//! job is terminal and prints the result front. Exit code 2 signals
+//! `QueueFull` backpressure so scripts can retry.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use tsmo_serve::{Client, JobResult, JobSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: servectl --addr HOST:PORT \
+         (health | metrics | submit FILE [opts] | status JOB | cancel JOB | result JOB | shutdown)\n\
+         submit opts: --variant sequential|synchronous|asynchronous|collaborative \
+         --processors P --evals N --neighborhood N --seed S --deadline-ms D --max-iters I --wait SECONDS"
+    );
+    ExitCode::FAILURE
+}
+
+fn print_result(job: u64, r: &JobResult) {
+    println!(
+        "job {job}: evaluations={} iterations={} truncated={} cause={}",
+        r.evaluations,
+        r.iterations,
+        r.truncated,
+        r.stop_cause.as_deref().unwrap_or("-")
+    );
+    for p in &r.front {
+        println!(
+            "  distance={:.2} vehicles={} tardiness={:.2} routes={}",
+            p.objectives[0],
+            p.objectives[1] as u64,
+            p.objectives[2],
+            p.routes.len()
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let Some(addr) = get("--addr") else {
+        return usage();
+    };
+    // The command is the first argument that is not a flag or flag value.
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let Some(command) = positional.first().map(String::as_str) else {
+        return usage();
+    };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let job_arg = || -> Option<u64> { positional.get(1).and_then(|s| s.parse().ok()) };
+
+    let outcome: std::io::Result<ExitCode> = (|| match command {
+        "health" => {
+            let (status, queued, running, workers) = client.health()?;
+            println!("status={status} queued={queued} running={running} workers={workers}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "metrics" => {
+            print!("{}", client.metrics()?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "submit" => {
+            let Some(file) = positional.get(1) else {
+                return Ok(usage());
+            };
+            let instance_text = std::fs::read_to_string(file)
+                .map_err(|e| std::io::Error::new(e.kind(), format!("cannot read {file:?}: {e}")))?;
+            let mut spec = JobSpec {
+                instance_text,
+                ..JobSpec::default()
+            };
+            if let Some(v) = get("--variant") {
+                spec.variant = v;
+            }
+            if let Some(v) = get("--processors") {
+                spec.processors = v.parse().expect("--processors expects an integer");
+            }
+            if let Some(v) = get("--evals") {
+                spec.max_evaluations = v.parse().expect("--evals expects an integer");
+            }
+            if let Some(v) = get("--neighborhood") {
+                spec.neighborhood_size = v.parse().expect("--neighborhood expects an integer");
+            }
+            if let Some(v) = get("--seed") {
+                spec.seed = v.parse().expect("--seed expects an integer");
+            }
+            if let Some(v) = get("--deadline-ms") {
+                spec.deadline_ms = Some(v.parse().expect("--deadline-ms expects an integer"));
+            }
+            if let Some(v) = get("--max-iters") {
+                spec.max_iterations = Some(v.parse().expect("--max-iters expects an integer"));
+            }
+            match client.submit(spec)? {
+                Ok(job) => {
+                    println!("submitted job {job}");
+                    if let Some(wait) = get("--wait") {
+                        let secs: u64 = wait.parse().expect("--wait expects seconds");
+                        let r = client.wait_result(job, Duration::from_secs(secs))?;
+                        print_result(job, &r);
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                Err(capacity) => {
+                    eprintln!("queue full (capacity {capacity}); retry later");
+                    Ok(ExitCode::from(2))
+                }
+            }
+        }
+        "status" => {
+            let Some(job) = job_arg() else {
+                return Ok(usage());
+            };
+            println!("job {job}: {}", client.status(job)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "cancel" => {
+            let Some(job) = job_arg() else {
+                return Ok(usage());
+            };
+            client.cancel(job)?;
+            println!("cancel requested for job {job}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "result" => {
+            let Some(job) = job_arg() else {
+                return Ok(usage());
+            };
+            let r = client.result(job)?;
+            print_result(job, &r);
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            let completed = client.shutdown()?;
+            println!("daemon drained and stopped after {completed} jobs");
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    })();
+
+    match outcome {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{command} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

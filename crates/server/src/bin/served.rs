@@ -1,0 +1,64 @@
+//! The solver daemon.
+//!
+//! ```text
+//! served [--addr HOST:PORT] [--workers N] [--queue N]
+//!        [--port-file PATH] [--fault-seed S --fault-rate R]
+//! ```
+//!
+//! Binds the address (port 0 picks an ephemeral port), prints the
+//! resolved address on stdout, optionally writes it to `--port-file`
+//! (how scripts and CI discover an ephemeral port), then serves until a
+//! wire `Shutdown` request drains the queue and stops the daemon.
+
+use std::time::Duration;
+use tsmo_serve::{Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: served [--addr HOST:PORT] [--workers N] [--queue N] \
+             [--port-file PATH] [--fault-seed S --fault-rate R] [--drain-timeout-s S]"
+        );
+        return;
+    }
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let parse_or = |flag: &str, default: u64| -> u64 {
+        get(flag)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{flag} expects an integer, got {v:?}"))
+            })
+            .unwrap_or(default)
+    };
+
+    let mut config = ServerConfig {
+        addr: get("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        workers: parse_or("--workers", 2) as usize,
+        queue_capacity: parse_or("--queue", 16) as usize,
+        drain_timeout: Duration::from_secs(parse_or("--drain-timeout-s", 120)),
+        faults: None,
+    };
+    if let Some(seed) = get("--fault-seed") {
+        let seed: u64 = seed.parse().expect("--fault-seed expects an integer");
+        let rate: f64 = get("--fault-rate")
+            .expect("--fault-seed requires --fault-rate")
+            .parse()
+            .expect("--fault-rate expects a number");
+        config.faults = Some((seed, rate));
+    }
+
+    let mut server = Server::start(config).expect("bind and start the daemon");
+    let addr = server.local_addr();
+    println!("tsmo-serve listening on {addr}");
+    if let Some(path) = get("--port-file") {
+        std::fs::write(&path, addr.to_string())
+            .unwrap_or_else(|e| panic!("cannot write port file {path:?}: {e}"));
+    }
+    server.wait();
+    println!("tsmo-serve stopped");
+}

@@ -1,0 +1,154 @@
+//! Content-hash-keyed instance cache.
+//!
+//! Submitting the same instance text twice must not parse it twice or
+//! hold two copies of its customer vectors: the cache hands every job the
+//! same `Arc<Instance>`. Keys are FNV-1a hashes of the submitted text; on
+//! a hit the stored text is compared byte-for-byte before the cached
+//! instance is reused, so a hash collision degrades to a miss instead of
+//! returning the wrong instance.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use vrptw::Instance;
+
+/// FNV-1a over the raw bytes — deterministic across processes, unlike
+/// `DefaultHasher`, so cache keys are stable for logging.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Entry {
+    text: String,
+    instance: Arc<Instance>,
+}
+
+/// Thread-safe parse-once cache of Solomon instance texts.
+pub struct InstanceCache {
+    // Each bucket is a Vec so true hash collisions coexist.
+    entries: Mutex<HashMap<u64, Vec<Entry>>>,
+}
+
+impl Default for InstanceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstanceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the shared instance for `text`, parsing it only on first
+    /// sight. The flag is `true` on a cache hit.
+    pub fn get_or_parse(&self, text: &str) -> Result<(Arc<Instance>, bool), String> {
+        let key = fnv1a(text.as_bytes());
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(bucket) = entries.get(&key) {
+            for entry in bucket {
+                if entry.text == text {
+                    return Ok((Arc::clone(&entry.instance), true));
+                }
+            }
+        }
+        let instance = Arc::new(
+            vrptw::solomon::parse(text).map_err(|e| format!("instance parse error: {e}"))?,
+        );
+        entries.entry(key).or_default().push(Entry {
+            text: text.to_string(),
+            instance: Arc::clone(&instance),
+        });
+        Ok((instance, false))
+    }
+
+    /// Number of distinct instances held.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_instance() -> String {
+        "\
+TINY
+
+VEHICLE
+NUMBER     CAPACITY
+  3          50
+
+CUSTOMER
+CUST NO.  XCOORD.   YCOORD.    DEMAND   READY TIME   DUE DATE   SERVICE   TIME
+    0      35         35          0          0       230          0
+    1      41         49         10          0       204         10
+    2      22         75         30         87       124         10
+    3      45         70         20         15        67         10
+"
+        .to_string()
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_same_arc() {
+        let cache = InstanceCache::new();
+        let text = tiny_instance();
+        let (first, hit1) = cache.get_or_parse(&text).unwrap();
+        let (second, hit2) = cache.get_or_parse(&text).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hit must reuse the same allocation, not reparse"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_texts_are_distinct_entries() {
+        let cache = InstanceCache::new();
+        let a = tiny_instance();
+        let b = a.replace("TINY", "TINY2");
+        let (ia, _) = cache.get_or_parse(&a).unwrap();
+        let (ib, hit) = cache.get_or_parse(&b).unwrap();
+        assert!(!hit);
+        assert!(!Arc::ptr_eq(&ia, &ib));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn garbage_text_is_an_error_and_not_cached() {
+        let cache = InstanceCache::new();
+        assert!(cache.get_or_parse("not an instance").is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Blocking client for the solver service.
+//!
+//! One [`Client`] wraps one TCP connection; requests are answered in
+//! order, so a client is also the unit of pipelining. All methods are
+//! thin wrappers over [`Client::request`].
+
+use crate::wire::{self, JobResult, JobSpec, Request, Response};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A connected wire-protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn protocol_err(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        wire::write_frame(&mut self.writer, &req.to_json())?;
+        let payload = wire::read_frame(&mut self.reader)?
+            .ok_or_else(|| protocol_err("server closed the connection".to_string()))?;
+        Response::parse(&payload).map_err(protocol_err)
+    }
+
+    /// Submits a job. `Ok(Ok(id))` on admission, `Ok(Err(capacity))` on
+    /// `QueueFull` backpressure.
+    pub fn submit(&mut self, spec: JobSpec) -> io::Result<Result<u64, u32>> {
+        match self.request(&Request::Submit(spec))? {
+            Response::Submitted { job, .. } => Ok(Ok(job)),
+            Response::QueueFull { capacity } => Ok(Err(capacity)),
+            Response::Error { message } => Err(protocol_err(message)),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// A job's lifecycle state name.
+    pub fn status(&mut self, job: u64) -> io::Result<String> {
+        match self.request(&Request::Status { job })? {
+            Response::JobStatus { state, .. } => Ok(state),
+            Response::NotFound { job } => Err(protocol_err(format!("job {job} not found"))),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Requests cooperative cancellation.
+    pub fn cancel(&mut self, job: u64) -> io::Result<()> {
+        match self.request(&Request::Cancel { job })? {
+            Response::CancelAccepted { .. } => Ok(()),
+            Response::NotFound { job } => Err(protocol_err(format!("job {job} not found"))),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetches a terminal job's result.
+    pub fn result(&mut self, job: u64) -> io::Result<JobResult> {
+        match self.request(&Request::Result { job })? {
+            Response::JobResult { result, .. } => Ok(result),
+            Response::NotFound { job } => Err(protocol_err(format!("job {job} not found"))),
+            Response::Error { message } => Err(protocol_err(message)),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Polls `status` until the job is terminal, then fetches the result.
+    /// Fails with `TimedOut` if `timeout` elapses first.
+    pub fn wait_result(&mut self, job: u64, timeout: Duration) -> io::Result<JobResult> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let state = self.status(job)?;
+            match state.as_str() {
+                "done" => return self.result(job),
+                "failed" => return Err(protocol_err(format!("job {job} failed"))),
+                _ => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {job} still '{state}' after {timeout:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// The daemon's health snapshot: `(status, queued, running, workers)`.
+    pub fn health(&mut self) -> io::Result<(String, u32, u32, u32)> {
+        match self.request(&Request::Health)? {
+            Response::Health {
+                status,
+                queued,
+                running,
+                workers,
+            } => Ok((status, queued, running, workers)),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// The daemon's Prometheus exposition.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { prometheus } => Ok(prometheus),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Drain-then-stop shutdown; returns the daemon's lifetime completed
+    /// job count once the drain has finished.
+    pub fn shutdown(&mut self) -> io::Result<u64> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownComplete { jobs_completed } => Ok(jobs_completed),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Job lifecycle tracking.
+//!
+//! Every submitted job lives in the [`JobTable`] from admission to
+//! retrieval. States move strictly forward (`Queued → Running → Done`
+//! or `Failed`); waiters block on a condvar, which is also how the
+//! daemon's shutdown path waits for the in-flight jobs to drain.
+
+use crate::wire::{JobResult, JobSpec};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tsmo_core::CancelToken;
+use vrptw::Instance;
+
+/// Lifecycle state of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// On a worker.
+    Running,
+    /// Finished with a result (possibly truncated).
+    Done(JobResult),
+    /// Could not run (the message explains why).
+    Failed(String),
+}
+
+impl JobState {
+    /// Short wire name of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the state is final.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_))
+    }
+}
+
+/// One tracked job: the spec, its shared parsed instance, the cancel
+/// token threaded into the search, and the submission timestamp for
+/// latency accounting.
+pub struct Job {
+    /// The submitted spec (instance text dropped — the parsed instance
+    /// is shared via `instance`).
+    pub spec: JobSpec,
+    /// Parsed instance, shared with the cache (no per-job clone).
+    pub instance: Arc<Instance>,
+    /// Cooperative stop signal for this job's run.
+    pub cancel: CancelToken,
+    /// When the job was admitted.
+    pub submitted: Instant,
+    /// Current state.
+    pub state: JobState,
+}
+
+struct TableState {
+    jobs: HashMap<u64, Job>,
+    next_id: u64,
+}
+
+/// Thread-safe registry of all jobs the daemon has seen.
+pub struct JobTable {
+    state: Mutex<TableState>,
+    changed: Condvar,
+}
+
+impl Default for JobTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobTable {
+    /// An empty table; ids start at 1.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(TableState {
+                jobs: HashMap::new(),
+                next_id: 1,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TableState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers a new queued job and returns its id. The instance text
+    /// inside `spec` is dropped here: the parsed `instance` is the single
+    /// shared copy.
+    pub fn admit(&self, mut spec: JobSpec, instance: Arc<Instance>, cancel: CancelToken) -> u64 {
+        spec.instance_text = String::new();
+        let mut state = self.lock();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            Job {
+                spec,
+                instance,
+                cancel,
+                submitted: Instant::now(),
+                state: JobState::Queued,
+            },
+        );
+        id
+    }
+
+    /// The next id `admit` would hand out (used to report the id a
+    /// rejected submission *would* have received).
+    pub fn peek_next_id(&self) -> u64 {
+        self.lock().next_id
+    }
+
+    /// Forgets a job entirely (used when the queue rejects an admission:
+    /// a rejected job must not count toward the shutdown drain).
+    pub fn remove(&self, id: u64) -> bool {
+        let removed = self.lock().jobs.remove(&id).is_some();
+        self.changed.notify_all();
+        removed
+    }
+
+    /// Runs `f` on the job, if it exists.
+    pub fn with_job<T>(&self, id: u64, f: impl FnOnce(&mut Job) -> T) -> Option<T> {
+        let mut state = self.lock();
+        let out = state.jobs.get_mut(&id).map(f);
+        drop(state);
+        self.changed.notify_all();
+        out
+    }
+
+    /// The job's current state name, if it exists.
+    pub fn state_name(&self, id: u64) -> Option<&'static str> {
+        self.with_job(id, |j| j.state.name())
+    }
+
+    /// The job's result, if it is `Done`.
+    pub fn result(&self, id: u64) -> Option<Option<JobResult>> {
+        self.with_job(id, |j| match &j.state {
+            JobState::Done(r) => Some(r.clone()),
+            _ => None,
+        })
+    }
+
+    /// Count of jobs currently in `Running`.
+    pub fn running_count(&self) -> u32 {
+        self.lock()
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count() as u32
+    }
+
+    /// Count of jobs in a terminal state.
+    pub fn terminal_count(&self) -> u64 {
+        self.lock()
+            .jobs
+            .values()
+            .filter(|j| j.state.is_terminal())
+            .count() as u64
+    }
+
+    /// Blocks until the job reaches a terminal state or the timeout
+    /// elapses. Returns the terminal state, or `None` on timeout /
+    /// unknown id.
+    pub fn wait_terminal(&self, id: u64, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            match state.jobs.get(&id) {
+                None => return None,
+                Some(j) if j.state.is_terminal() => return Some(j.state.clone()),
+                Some(_) => {}
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, res) = self
+                .changed
+                .wait_timeout(state, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = guard;
+            if res.timed_out() {
+                match state.jobs.get(&id) {
+                    Some(j) if j.state.is_terminal() => return Some(j.state.clone()),
+                    _ => return None,
+                }
+            }
+        }
+    }
+
+    /// Blocks until every tracked job is terminal (the shutdown drain).
+    /// Returns `false` if the timeout elapsed first.
+    pub fn wait_all_terminal(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if state.jobs.values().all(|j| j.state.is_terminal()) {
+                return true;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            state = self
+                .changed
+                .wait_timeout(state, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    fn table_with_job() -> (JobTable, u64) {
+        let table = JobTable::new();
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 10, 1).build());
+        let id = table.admit(JobSpec::default(), inst, CancelToken::never());
+        (table, id)
+    }
+
+    fn done_result() -> JobResult {
+        JobResult {
+            evaluations: 1,
+            iterations: 1,
+            truncated: false,
+            stop_cause: None,
+            front: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_states_advance() {
+        let (table, id) = table_with_job();
+        assert_eq!(id, 1);
+        assert_eq!(table.peek_next_id(), 2);
+        assert_eq!(table.state_name(id), Some("queued"));
+        table.with_job(id, |j| j.state = JobState::Running);
+        assert_eq!(table.running_count(), 1);
+        table.with_job(id, |j| j.state = JobState::Done(done_result()));
+        assert_eq!(table.state_name(id), Some("done"));
+        assert_eq!(table.terminal_count(), 1);
+        assert!(table.result(id).unwrap().is_some());
+    }
+
+    #[test]
+    fn admit_drops_the_instance_text_copy() {
+        let table = JobTable::new();
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 10, 1).build());
+        let spec = JobSpec {
+            instance_text: "X".repeat(1000),
+            ..JobSpec::default()
+        };
+        let id = table.admit(spec, inst, CancelToken::never());
+        let text_len = table.with_job(id, |j| j.spec.instance_text.len()).unwrap();
+        assert_eq!(text_len, 0, "the parsed Arc<Instance> is the only copy");
+    }
+
+    #[test]
+    fn wait_terminal_sees_cross_thread_completion() {
+        let (table, id) = table_with_job();
+        let table = Arc::new(table);
+        let t2 = Arc::clone(&table);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            t2.with_job(id, |j| j.state = JobState::Failed("boom".to_string()));
+        });
+        let state = table.wait_terminal(id, Duration::from_secs(5));
+        h.join().unwrap();
+        assert_eq!(state, Some(JobState::Failed("boom".to_string())));
+        assert!(table.wait_all_terminal(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn wait_terminal_times_out_on_stuck_jobs() {
+        let (table, id) = table_with_job();
+        assert_eq!(table.wait_terminal(id, Duration::from_millis(30)), None);
+        assert!(!table.wait_all_terminal(Duration::from_millis(30)));
+        assert_eq!(table.wait_terminal(999, Duration::from_millis(1)), None);
+    }
+}

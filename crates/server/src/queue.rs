@@ -1,0 +1,161 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! The service never buffers unboundedly: a push against a full queue
+//! fails immediately with [`QueueFull`], which the connection handler
+//! turns into the wire-level `QueueFull` response. Consumers block on a
+//! condvar; closing the queue wakes them all and lets them drain the
+//! remaining items before exiting — the first half of the daemon's
+//! drain-then-stop shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Push rejection: the queue held `capacity` items already.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured capacity.
+    pub capacity: usize,
+}
+
+struct QueueState {
+    items: VecDeque<u64>,
+    closed: bool,
+}
+
+/// Bounded FIFO of job ids.
+pub struct JobQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+impl JobQueue {
+    /// An open queue holding at most `capacity` jobs.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue rejects everything");
+        Self {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues a job id. Returns the queue depth *after* the push, or
+    /// [`QueueFull`] without blocking when at capacity (or closed).
+    pub fn push(&self, job: u64) -> Result<usize, QueueFull> {
+        let mut state = self.lock();
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        state.items.push_back(job);
+        let depth = state.items.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available and dequeues it. Returns `None`
+    /// once the queue is closed *and* empty — the consumer's signal to
+    /// exit after the drain.
+    pub fn pop(&self) -> Option<u64> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.items.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pushes start failing, consumers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_reports_depth_and_rejects_at_capacity() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(q.push(3), Err(QueueFull { capacity: 2 }));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(2), "space frees after a pop");
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = JobQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(QueueFull { capacity: 4 }));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(JobQueue::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.push(9).unwrap();
+        q.close();
+        let mut got: Vec<Option<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(9)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_is_rejected() {
+        JobQueue::new(0);
+    }
+}

@@ -1,0 +1,532 @@
+//! The daemon: accept loop, worker pool, dispatch, and shutdown.
+//!
+//! Architecture: one accept thread spawns a handler thread per
+//! connection; handlers only touch the job table and the bounded queue,
+//! so a slow client never blocks the solvers. A fixed pool of worker
+//! threads pops job ids off the queue and runs them through
+//! [`ParallelVariant::run_with_cancel`], which threads each job's
+//! [`CancelToken`] into the search loop — deadlines and cancel requests
+//! truncate a run at an iteration boundary and its best-so-far front
+//! comes back as a valid result.
+//!
+//! Two recorders split the telemetry: a **metrics-only** recorder is
+//! attached to every search run (bounded memory regardless of uptime),
+//! and a small event recorder keeps the job-lifecycle audit trail
+//! (admitted / rejected / completed — a handful of events per job).
+//! Both serve the same Prometheus exposition.
+//!
+//! The listening port also answers plain HTTP `GET /healthz` and
+//! `GET /metrics` — the first bytes of a connection distinguish an HTTP
+//! request from a length-prefixed frame.
+
+use crate::cache::InstanceCache;
+use crate::job::{JobState, JobTable};
+use crate::queue::JobQueue;
+use crate::wire::{self, FrontPoint, JobResult, JobSpec, Request, Response};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tsmo_core::{CancelToken, ParallelVariant, StopCause, TsmoConfig, TsmoOutcome};
+use tsmo_obs::metrics::names;
+use tsmo_obs::{MemoryRecorder, Recorder, SearchEvent};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads running jobs.
+    pub workers: usize,
+    /// Bounded queue capacity (admitted-but-not-started jobs).
+    pub queue_capacity: usize,
+    /// Upper bound on the shutdown drain.
+    pub drain_timeout: Duration,
+    /// Optional deterministic fault injection for the parallel variants
+    /// (`(seed, rate)` as in `tsmo_faults::FaultConfig::uniform`).
+    pub faults: Option<(u64, f64)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            drain_timeout: Duration::from_secs(120),
+            faults: None,
+        }
+    }
+}
+
+struct Shared {
+    queue: JobQueue,
+    jobs: JobTable,
+    cache: InstanceCache,
+    /// Attached to every search run; drops events, keeps metrics.
+    metrics: Arc<MemoryRecorder>,
+    /// Job-lifecycle audit trail (a few events per job).
+    events: Arc<MemoryRecorder>,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    workers: usize,
+    faults: Arc<dyn tsmo_faults::FaultHook>,
+    drain_timeout: Duration,
+}
+
+impl Shared {
+    fn health(&self) -> Response {
+        Response::Health {
+            status: if self.draining.load(Ordering::Acquire) {
+                "draining".to_string()
+            } else {
+                "ok".to_string()
+            },
+            queued: self.queue.len() as u32,
+            running: self.jobs.running_count(),
+            workers: self.workers as u32,
+        }
+    }
+
+    fn prometheus(&self) -> String {
+        // One exposition covering both recorders: search metrics from the
+        // runs, lifecycle metrics from the service layer.
+        let mut merged = self.metrics.metrics();
+        merged.merge(&self.events.metrics());
+        merged.to_prometheus()
+    }
+}
+
+/// Maps the wire variant name onto the core enum.
+fn parse_variant(name: &str, processors: usize) -> Result<ParallelVariant, String> {
+    let p = processors.max(1);
+    match name {
+        "sequential" => Ok(ParallelVariant::Sequential),
+        "synchronous" => Ok(ParallelVariant::Synchronous(p)),
+        "asynchronous" => Ok(ParallelVariant::Asynchronous(p)),
+        "collaborative" => Ok(ParallelVariant::Collaborative(p)),
+        other => Err(format!(
+            "unknown variant '{other}' (expected sequential|synchronous|asynchronous|collaborative)"
+        )),
+    }
+}
+
+/// Extracts the wire-level result payload from a finished run. The front
+/// is the full non-dominated archive: time windows are *soft* (tardiness
+/// is the third objective, not a constraint), so callers that need
+/// hard-feasible solutions filter on `objectives[2] == 0` client-side.
+fn job_result(outcome: &TsmoOutcome, cause: Option<StopCause>) -> JobResult {
+    JobResult {
+        evaluations: outcome.evaluations,
+        iterations: outcome.iterations as u64,
+        truncated: cause.is_some(),
+        stop_cause: cause.map(|c| c.as_str().to_string()),
+        front: outcome
+            .archive
+            .iter()
+            .map(|e| FrontPoint {
+                objectives: e.objectives.to_vector(),
+                routes: e
+                    .solution
+                    .routes()
+                    .iter()
+                    .filter(|r| !r.is_empty())
+                    .map(|r| r.to_vec())
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// A running solver daemon. Dropping the handle does *not* stop it; call
+/// [`shutdown`](Server::shutdown) (drain-then-stop) or send the wire
+/// `Shutdown` request.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let faults: Arc<dyn tsmo_faults::FaultHook> = match config.faults {
+            Some((seed, rate)) => {
+                tsmo_faults::FaultPlan::shared(tsmo_faults::FaultConfig::uniform(seed, rate))
+            }
+            None => tsmo_faults::none(),
+        };
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            jobs: JobTable::new(),
+            cache: InstanceCache::new(),
+            metrics: Arc::new(MemoryRecorder::metrics_only()),
+            events: Arc::new(MemoryRecorder::new()),
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            workers: config.workers.max(1),
+            faults,
+            drain_timeout: config.drain_timeout,
+        });
+        // Register the depth gauge up front so a fresh daemon's /metrics
+        // already exposes it.
+        shared.metrics.gauge_set(names::QUEUE_DEPTH, 0.0);
+        let workers = (0..shared.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tsmo-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tsmo-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Prometheus exposition of the daemon's merged metrics.
+    pub fn prometheus(&self) -> String {
+        self.shared.prometheus()
+    }
+
+    /// The job-lifecycle audit trail as JSONL (admission, rejection,
+    /// completion events).
+    pub fn events_jsonl(&self) -> String {
+        self.shared.events.events_jsonl()
+    }
+
+    /// Number of distinct instances in the parse cache.
+    pub fn cached_instances(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Blocks until the daemon has been shut down (by the wire `Shutdown`
+    /// request or [`shutdown`](Server::shutdown) from another thread).
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Drains the queue (running jobs finish, queued jobs run, new
+    /// submissions are rejected), stops the workers and the accept loop,
+    /// and joins every thread.
+    pub fn shutdown(mut self) {
+        drain(&self.shared);
+        stop_accepting(&self.shared, self.local_addr);
+        self.wait();
+    }
+}
+
+/// Phase one of shutdown: reject new work, let the backlog finish.
+fn drain(shared: &Shared) {
+    shared.draining.store(true, Ordering::Release);
+    shared.queue.close();
+    // A timed-out drain still proceeds to stop — per-job deadlines bound
+    // how long a stuck job can hold the daemon.
+    let _ = shared.jobs.wait_all_terminal(shared.drain_timeout);
+}
+
+/// Phase two: break the accept loop (self-connect to wake it).
+fn stop_accepting(shared: &Shared, addr: std::net::SocketAddr) {
+    shared.stopping.store(true, Ordering::Release);
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Handler threads are detached: they exit at client EOF, and
+        // shutdown responses are written before the daemon stops.
+        let _ = std::thread::Builder::new()
+            .name("tsmo-serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut probe = [0u8; 4];
+    let Ok(n) = stream.peek(&mut probe) else {
+        return;
+    };
+    if &probe[..n] == b"GET " {
+        handle_http(stream, shared);
+        return;
+    }
+    let mut reader = BufReader::new(stream.try_clone().expect("clone TCP stream"));
+    let mut writer = BufWriter::new(stream);
+    while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
+        let (response, shutdown_after) = match Request::parse(&payload) {
+            Ok(req) => handle_request(shared, req),
+            Err(e) => (
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                },
+                false,
+            ),
+        };
+        if wire::write_frame(&mut writer, &response.to_json()).is_err() {
+            return;
+        }
+        if shutdown_after {
+            // Drain already ran inside handle_request; now break the
+            // accept loop. This connection ends with the flush above.
+            if let Ok(addr) = writer.get_ref().local_addr() {
+                stop_accepting(shared, addr);
+            }
+            return;
+        }
+    }
+}
+
+/// Serves the two HTTP endpoints on the shared port.
+fn handle_http(stream: TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(stream.try_clone().expect("clone TCP stream"));
+    let mut request_line = String::new();
+    let mut byte = [0u8; 1];
+    // Read up to the first CRLF; the request line is all we route on.
+    while request_line.len() < 1024 && reader.read_exact(&mut byte).is_ok() {
+        if byte[0] == b'\n' {
+            break;
+        }
+        request_line.push(byte[0] as char);
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/healthz" => {
+            let Response::Health {
+                status,
+                queued,
+                running,
+                workers,
+            } = shared.health()
+            else {
+                unreachable!("health() returns Response::Health");
+            };
+            (
+                "200 OK",
+                "application/json",
+                format!(
+                    "{{\"status\":\"{status}\",\"queued\":{queued},\"running\":{running},\"workers\":{workers}}}\n"
+                ),
+            )
+        }
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", shared.prometheus()),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "only /healthz and /metrics live here\n".to_string(),
+        ),
+    };
+    let mut out = BufWriter::new(stream);
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = out.flush();
+}
+
+/// Serves one request. The bool asks the connection loop to stop the
+/// daemon after responding (wire shutdown).
+fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
+    match req {
+        Request::Submit(spec) => (handle_submit(shared, spec), false),
+        Request::Status { job } => (
+            match shared.jobs.state_name(job) {
+                Some(state) => Response::JobStatus {
+                    job,
+                    state: state.to_string(),
+                },
+                None => Response::NotFound { job },
+            },
+            false,
+        ),
+        Request::Cancel { job } => (
+            match shared.jobs.with_job(job, |j| j.cancel.cancel()) {
+                Some(()) => {
+                    shared.events.event(SearchEvent::JobCancelled { job });
+                    Response::CancelAccepted { job }
+                }
+                None => Response::NotFound { job },
+            },
+            false,
+        ),
+        Request::Result { job } => (
+            match shared.jobs.result(job) {
+                None => Response::NotFound { job },
+                Some(None) => Response::Error {
+                    message: format!(
+                        "job {job} is not done (state: {})",
+                        shared.jobs.state_name(job).unwrap_or("unknown")
+                    ),
+                },
+                Some(Some(result)) => Response::JobResult { job, result },
+            },
+            false,
+        ),
+        Request::Health => (shared.health(), false),
+        Request::Metrics => (
+            Response::Metrics {
+                prometheus: shared.prometheus(),
+            },
+            false,
+        ),
+        Request::Shutdown => {
+            drain(shared);
+            (
+                Response::ShutdownComplete {
+                    jobs_completed: shared.jobs.terminal_count(),
+                },
+                true,
+            )
+        }
+    }
+}
+
+fn handle_submit(shared: &Shared, spec: JobSpec) -> Response {
+    if shared.draining.load(Ordering::Acquire) {
+        return Response::Error {
+            message: "daemon is draining; not accepting jobs".to_string(),
+        };
+    }
+    if let Err(e) = parse_variant(&spec.variant, spec.processors) {
+        return Response::Error { message: e };
+    }
+    let (instance, hit) = match shared.cache.get_or_parse(&spec.instance_text) {
+        Ok(pair) => pair,
+        Err(e) => return Response::Error { message: e },
+    };
+    shared.metrics.counter_add(
+        if hit {
+            names::INSTANCE_CACHE_HITS
+        } else {
+            names::INSTANCE_CACHE_MISSES
+        },
+        1,
+    );
+    let cancel = CancelToken::with_limits(
+        spec.deadline_ms.map(Duration::from_millis),
+        spec.max_iterations,
+    );
+    let job = shared.jobs.admit(spec, instance, cancel);
+    match shared.queue.push(job) {
+        Ok(depth) => {
+            shared.metrics.counter_add(names::JOBS_ADMITTED, 1);
+            shared.metrics.gauge_set(names::QUEUE_DEPTH, depth as f64);
+            shared.events.event(SearchEvent::JobAdmitted {
+                job,
+                depth: depth as u32,
+            });
+            Response::Submitted {
+                job,
+                depth: depth as u32,
+            }
+        }
+        Err(full) => {
+            shared.jobs.remove(job);
+            shared.metrics.counter_add(names::JOBS_REJECTED, 1);
+            shared.events.event(SearchEvent::JobRejected {
+                job,
+                depth: full.capacity as u32,
+            });
+            Response::QueueFull {
+                capacity: full.capacity as u32,
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(id) = shared.queue.pop() {
+        shared
+            .metrics
+            .gauge_set(names::QUEUE_DEPTH, shared.queue.len() as f64);
+        let Some((spec, instance, cancel, submitted)) = shared.jobs.with_job(id, |j| {
+            j.state = JobState::Running;
+            (
+                j.spec.clone(),
+                Arc::clone(&j.instance),
+                j.cancel.clone(),
+                j.submitted,
+            )
+        }) else {
+            continue; // job was removed (rejected submit); nothing to run
+        };
+        let variant = match parse_variant(&spec.variant, spec.processors) {
+            Ok(v) => v,
+            Err(e) => {
+                // Validated at submit; defensive for future wire changes.
+                shared.jobs.with_job(id, |j| j.state = JobState::Failed(e));
+                continue;
+            }
+        };
+        let cfg = TsmoConfig {
+            max_evaluations: spec.max_evaluations,
+            neighborhood_size: spec.neighborhood_size.max(2),
+            ..TsmoConfig::default()
+        }
+        .with_seed(spec.seed);
+        let recorder: Arc<dyn Recorder> = Arc::clone(&shared.metrics) as Arc<dyn Recorder>;
+        let outcome = variant.run_with_cancel(
+            &instance,
+            &cfg,
+            recorder,
+            Arc::clone(&shared.faults),
+            cancel.clone(),
+        );
+        let cause = cancel.cause();
+        match cause {
+            Some(StopCause::Cancelled) => shared.metrics.counter_add(names::JOBS_CANCELLED, 1),
+            Some(StopCause::DeadlineExceeded) => {
+                shared.metrics.counter_add(names::JOBS_DEADLINE_EXCEEDED, 1);
+                shared
+                    .events
+                    .event(SearchEvent::JobDeadlineExceeded { job: id });
+            }
+            Some(StopCause::IterationLimit) | None => {}
+        }
+        let result = job_result(&outcome, cause);
+        shared.metrics.counter_add(names::JOBS_COMPLETED, 1);
+        shared.metrics.observe(
+            names::JOB_LATENCY_MS,
+            submitted.elapsed().as_secs_f64() * 1000.0,
+        );
+        shared.events.event(SearchEvent::JobCompleted {
+            job: id,
+            iterations: result.iterations,
+            truncated: result.truncated,
+        });
+        shared
+            .jobs
+            .with_job(id, |j| j.state = JobState::Done(result));
+    }
+}

@@ -1,0 +1,683 @@
+//! The wire protocol: length-prefixed JSON frames and the request /
+//! response vocabulary.
+//!
+//! A frame is a big-endian `u32` payload length followed by that many
+//! bytes of UTF-8 JSON. One request frame yields exactly one response
+//! frame; a client may pipeline multiple requests on one connection.
+//! Encoding reuses the zero-dependency JSON support from `tsmo-obs`
+//! ([`tsmo_obs::json`]), so the whole service layer adds no external
+//! dependencies. Field order is fixed by the writers, so equal messages
+//! encode byte-identically — the same property the telemetry layer has.
+
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use tsmo_obs::json::{self, Json};
+
+/// Upper bound on a frame payload (16 MiB). A Solomon instance file is a
+/// few kilobytes; anything near this limit is a protocol error, not data.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection between messages).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+/// What a client asks the daemon to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The instance, as Solomon-format text (parsed — and cached by
+    /// content hash — on the server).
+    pub instance_text: String,
+    /// Variant name: `sequential`, `synchronous`, `asynchronous`, or
+    /// `collaborative`.
+    pub variant: String,
+    /// Processor / searcher count for the parallel variants (ignored by
+    /// `sequential`).
+    pub processors: usize,
+    /// Evaluation budget.
+    pub max_evaluations: u64,
+    /// Neighborhood size per iteration.
+    pub neighborhood_size: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional deadline in milliseconds, measured from admission.
+    pub deadline_ms: Option<u64>,
+    /// Optional hard iteration cap (deterministic truncation).
+    pub max_iterations: Option<u64>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            instance_text: String::new(),
+            variant: "sequential".to_string(),
+            processors: 1,
+            max_evaluations: 10_000,
+            neighborhood_size: 50,
+            seed: 0,
+            deadline_ms: None,
+            max_iterations: None,
+        }
+    }
+}
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue a job; answered with `Submitted` or `QueueFull`.
+    Submit(JobSpec),
+    /// Query a job's lifecycle state.
+    Status {
+        /// The job to query.
+        job: u64,
+    },
+    /// Cooperatively cancel a job (queued or running).
+    Cancel {
+        /// The job to cancel.
+        job: u64,
+    },
+    /// Fetch a terminal job's result front.
+    Result {
+        /// The job whose result to fetch.
+        job: u64,
+    },
+    /// Liveness / readiness probe.
+    Health,
+    /// Prometheus text exposition of the daemon's metrics.
+    Metrics,
+    /// Drain the queue, finish running jobs, then stop accepting work.
+    /// Answered with `ShutdownComplete` *after* the drain finishes.
+    Shutdown,
+}
+
+/// One entry of a result front: the objective vector plus the routes
+/// realizing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontPoint {
+    /// Minimization vector `[distance, vehicles, tardiness]`.
+    pub objectives: [f64; 3],
+    /// The deployed routes (customer ids, depot omitted).
+    pub routes: Vec<Vec<u16>>,
+}
+
+/// A terminal job's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Evaluations actually consumed.
+    pub evaluations: u64,
+    /// Search iterations performed.
+    pub iterations: u64,
+    /// Whether the run was stopped before budget exhaustion.
+    pub truncated: bool,
+    /// Why it stopped early (`cancelled`, `deadline_exceeded`,
+    /// `iteration_limit`), if it did.
+    pub stop_cause: Option<String>,
+    /// The non-dominated front of the run. Time windows are soft, so
+    /// entries may carry tardiness (`objectives[2]`); filter on zero
+    /// tardiness for hard-feasible solutions.
+    pub front: Vec<FrontPoint>,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job was admitted at the reported queue depth.
+    Submitted {
+        /// Assigned job id.
+        job: u64,
+        /// Queue depth right after admission.
+        depth: u32,
+    },
+    /// Backpressure: the queue is at capacity; retry later.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: u32,
+    },
+    /// A job's current lifecycle state.
+    JobStatus {
+        /// The queried job.
+        job: u64,
+        /// `queued`, `running`, `done`, or `failed`.
+        state: String,
+    },
+    /// Cancellation was requested (the job stops at its next iteration).
+    CancelAccepted {
+        /// The cancelled job.
+        job: u64,
+    },
+    /// A terminal job's result.
+    JobResult {
+        /// The job the result belongs to.
+        job: u64,
+        /// The result payload.
+        result: JobResult,
+    },
+    /// The daemon's health snapshot.
+    Health {
+        /// `ok` or `draining`.
+        status: String,
+        /// Jobs waiting in the queue.
+        queued: u32,
+        /// Jobs currently on a worker.
+        running: u32,
+        /// Worker threads serving the queue.
+        workers: u32,
+    },
+    /// Prometheus text exposition.
+    Metrics {
+        /// The exposition body.
+        prometheus: String,
+    },
+    /// Drain finished; the daemon stops after this response.
+    ShutdownComplete {
+        /// Jobs that reached a terminal state over the daemon's lifetime.
+        jobs_completed: u64,
+    },
+    /// The request referenced an unknown job id.
+    NotFound {
+        /// The unknown id.
+        job: u64,
+    },
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+fn write_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            let _ = write!(out, "{x}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+impl JobSpec {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"instance\":");
+        json::write_str(out, &self.instance_text);
+        out.push_str(",\"variant\":");
+        json::write_str(out, &self.variant);
+        let _ = write!(
+            out,
+            ",\"processors\":{},\"max_evaluations\":{},\"neighborhood_size\":{},\"seed\":{},\"deadline_ms\":",
+            self.processors, self.max_evaluations, self.neighborhood_size, self.seed
+        );
+        write_opt_u64(out, self.deadline_ms);
+        out.push_str(",\"max_iterations\":");
+        write_opt_u64(out, self.max_iterations);
+        out.push('}');
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(Self {
+            instance_text: req_str(doc, "instance")?.to_string(),
+            variant: req_str(doc, "variant")?.to_string(),
+            processors: req_u64(doc, "processors")? as usize,
+            max_evaluations: req_u64(doc, "max_evaluations")?,
+            neighborhood_size: req_u64(doc, "neighborhood_size")? as usize,
+            seed: req_u64(doc, "seed")?,
+            deadline_ms: opt_u64(doc, "deadline_ms")?,
+            max_iterations: opt_u64(doc, "max_iterations")?,
+        })
+    }
+}
+
+impl Request {
+    /// Encodes the request as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        match self {
+            Request::Submit(spec) => {
+                s.push_str("{\"type\":\"submit\",\"spec\":");
+                spec.write_json(&mut s);
+                s.push('}');
+            }
+            Request::Status { job } => {
+                let _ = write!(s, "{{\"type\":\"status\",\"job\":{job}}}");
+            }
+            Request::Cancel { job } => {
+                let _ = write!(s, "{{\"type\":\"cancel\",\"job\":{job}}}");
+            }
+            Request::Result { job } => {
+                let _ = write!(s, "{{\"type\":\"result\",\"job\":{job}}}");
+            }
+            Request::Health => s.push_str("{\"type\":\"health\"}"),
+            Request::Metrics => s.push_str("{\"type\":\"metrics\"}"),
+            Request::Shutdown => s.push_str("{\"type\":\"shutdown\"}"),
+        }
+        s
+    }
+
+    /// Parses a request document.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        match req_str(&doc, "type")? {
+            "submit" => Ok(Request::Submit(JobSpec::from_json(
+                doc.get("spec").ok_or("missing 'spec' field")?,
+            )?)),
+            "status" => Ok(Request::Status {
+                job: req_u64(&doc, "job")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: req_u64(&doc, "job")?,
+            }),
+            "result" => Ok(Request::Result {
+                job: req_u64(&doc, "job")?,
+            }),
+            "health" => Ok(Request::Health),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type '{other}'")),
+        }
+    }
+}
+
+impl JobResult {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"evaluations\":{},\"iterations\":{},\"truncated\":{},\"stop_cause\":",
+            self.evaluations, self.iterations, self.truncated
+        );
+        match &self.stop_cause {
+            Some(c) => json::write_str(out, c),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"front\":[");
+        for (i, p) in self.front.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, x) in p.objectives.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::write_f64(out, *x);
+            }
+            out.push(']');
+        }
+        out.push_str("],\"routes\":[");
+        for (i, p) in self.front.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, route) in p.routes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (k, site) in route.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{site}");
+                }
+                out.push(']');
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        let front_vectors = match doc.get("front") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(objective_vector)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing 'front' array".to_string()),
+        };
+        let routes_per_point = match doc.get("routes") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(routes_from)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing 'routes' array".to_string()),
+        };
+        if front_vectors.len() != routes_per_point.len() {
+            return Err("'front' and 'routes' lengths differ".to_string());
+        }
+        Ok(Self {
+            evaluations: req_u64(doc, "evaluations")?,
+            iterations: req_u64(doc, "iterations")?,
+            truncated: req_bool(doc, "truncated")?,
+            stop_cause: match doc.get("stop_cause") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v.as_str().ok_or("bad 'stop_cause' field")?.to_string()),
+            },
+            front: front_vectors
+                .into_iter()
+                .zip(routes_per_point)
+                .map(|(objectives, routes)| FrontPoint { objectives, routes })
+                .collect(),
+        })
+    }
+}
+
+impl Response {
+    /// Encodes the response as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        match self {
+            Response::Submitted { job, depth } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"submitted\",\"job\":{job},\"depth\":{depth}}}"
+                );
+            }
+            Response::QueueFull { capacity } => {
+                let _ = write!(s, "{{\"type\":\"queue_full\",\"capacity\":{capacity}}}");
+            }
+            Response::JobStatus { job, state } => {
+                let _ = write!(s, "{{\"type\":\"job_status\",\"job\":{job},\"state\":");
+                json::write_str(&mut s, state);
+                s.push('}');
+            }
+            Response::CancelAccepted { job } => {
+                let _ = write!(s, "{{\"type\":\"cancel_accepted\",\"job\":{job}}}");
+            }
+            Response::JobResult { job, result } => {
+                let _ = write!(s, "{{\"type\":\"job_result\",\"job\":{job},\"result\":");
+                result.write_json(&mut s);
+                s.push('}');
+            }
+            Response::Health {
+                status,
+                queued,
+                running,
+                workers,
+            } => {
+                s.push_str("{\"type\":\"health\",\"status\":");
+                json::write_str(&mut s, status);
+                let _ = write!(
+                    s,
+                    ",\"queued\":{queued},\"running\":{running},\"workers\":{workers}}}"
+                );
+            }
+            Response::Metrics { prometheus } => {
+                s.push_str("{\"type\":\"metrics\",\"prometheus\":");
+                json::write_str(&mut s, prometheus);
+                s.push('}');
+            }
+            Response::ShutdownComplete { jobs_completed } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"shutdown_complete\",\"jobs_completed\":{jobs_completed}}}"
+                );
+            }
+            Response::NotFound { job } => {
+                let _ = write!(s, "{{\"type\":\"not_found\",\"job\":{job}}}");
+            }
+            Response::Error { message } => {
+                s.push_str("{\"type\":\"error\",\"message\":");
+                json::write_str(&mut s, message);
+                s.push('}');
+            }
+        }
+        s
+    }
+
+    /// Parses a response document.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        match req_str(&doc, "type")? {
+            "submitted" => Ok(Response::Submitted {
+                job: req_u64(&doc, "job")?,
+                depth: req_u64(&doc, "depth")? as u32,
+            }),
+            "queue_full" => Ok(Response::QueueFull {
+                capacity: req_u64(&doc, "capacity")? as u32,
+            }),
+            "job_status" => Ok(Response::JobStatus {
+                job: req_u64(&doc, "job")?,
+                state: req_str(&doc, "state")?.to_string(),
+            }),
+            "cancel_accepted" => Ok(Response::CancelAccepted {
+                job: req_u64(&doc, "job")?,
+            }),
+            "job_result" => Ok(Response::JobResult {
+                job: req_u64(&doc, "job")?,
+                result: JobResult::from_json(doc.get("result").ok_or("missing 'result' field")?)?,
+            }),
+            "health" => Ok(Response::Health {
+                status: req_str(&doc, "status")?.to_string(),
+                queued: req_u64(&doc, "queued")? as u32,
+                running: req_u64(&doc, "running")? as u32,
+                workers: req_u64(&doc, "workers")? as u32,
+            }),
+            "metrics" => Ok(Response::Metrics {
+                prometheus: req_str(&doc, "prometheus")?.to_string(),
+            }),
+            "shutdown_complete" => Ok(Response::ShutdownComplete {
+                jobs_completed: req_u64(&doc, "jobs_completed")?,
+            }),
+            "not_found" => Ok(Response::NotFound {
+                job: req_u64(&doc, "job")?,
+            }),
+            "error" => Ok(Response::Error {
+                message: req_str(&doc, "message")?.to_string(),
+            }),
+            other => Err(format!("unknown response type '{other}'")),
+        }
+    }
+}
+
+fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("bad '{key}' field"))
+}
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("bad '{key}' field"))
+}
+
+fn req_bool(doc: &Json, key: &str) -> Result<bool, String> {
+    doc.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("bad '{key}' field"))
+}
+
+fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        Some(Json::Null) | None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("bad '{key}' field")),
+    }
+}
+
+fn objective_vector(v: &Json) -> Result<[f64; 3], String> {
+    match v {
+        Json::Array(items) if items.len() == 3 => {
+            let mut out = [0.0; 3];
+            for (i, item) in items.iter().enumerate() {
+                out[i] = item.as_f64().ok_or("non-numeric objective")?;
+            }
+            Ok(out)
+        }
+        _ => Err("objective vector must be a 3-element array".to_string()),
+    }
+}
+
+fn routes_from(v: &Json) -> Result<Vec<Vec<u16>>, String> {
+    match v {
+        Json::Array(routes) => routes
+            .iter()
+            .map(|route| match route {
+                Json::Array(sites) => sites
+                    .iter()
+                    .map(|s| {
+                        s.as_u64()
+                            .and_then(|x| u16::try_from(x).ok())
+                            .ok_or_else(|| "bad site id".to_string())
+                    })
+                    .collect(),
+                _ => Err("route must be an array".to_string()),
+            })
+            .collect(),
+        _ => Err("routes entry must be an array of routes".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> JobResult {
+        JobResult {
+            evaluations: 5_000,
+            iterations: 100,
+            truncated: true,
+            stop_cause: Some("deadline_exceeded".to_string()),
+            front: vec![
+                FrontPoint {
+                    objectives: [512.25, 4.0, 0.0],
+                    routes: vec![vec![1, 3, 2], vec![4], vec![5, 6]],
+                },
+                FrontPoint {
+                    objectives: [600.0, 3.0, 0.0],
+                    routes: vec![vec![1, 2, 3, 4], vec![5, 6]],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let samples = vec![
+            Request::Submit(JobSpec {
+                instance_text: "R101\nline two\t\"quoted\"".to_string(),
+                variant: "asynchronous".to_string(),
+                processors: 4,
+                max_evaluations: 20_000,
+                neighborhood_size: 80,
+                seed: 42,
+                deadline_ms: Some(250),
+                max_iterations: None,
+            }),
+            Request::Submit(JobSpec::default()),
+            Request::Status { job: 7 },
+            Request::Cancel { job: 7 },
+            Request::Result { job: 9 },
+            Request::Health,
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for req in samples {
+            let text = req.to_json();
+            let parsed = Request::parse(&text).expect("parse back");
+            assert_eq!(parsed, req, "mismatch for {text}");
+            assert_eq!(parsed.to_json(), text, "re-encode must be stable");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let samples = vec![
+            Response::Submitted { job: 3, depth: 2 },
+            Response::QueueFull { capacity: 8 },
+            Response::JobStatus {
+                job: 3,
+                state: "running".to_string(),
+            },
+            Response::CancelAccepted { job: 3 },
+            Response::JobResult {
+                job: 3,
+                result: sample_result(),
+            },
+            Response::Health {
+                status: "ok".to_string(),
+                queued: 2,
+                running: 1,
+                workers: 4,
+            },
+            Response::Metrics {
+                prometheus: "# TYPE tsmo_jobs_admitted_total counter\ntsmo_jobs_admitted_total 4\n"
+                    .to_string(),
+            },
+            Response::ShutdownComplete { jobs_completed: 12 },
+            Response::NotFound { job: 99 },
+            Response::Error {
+                message: "bad \"variant\"".to_string(),
+            },
+        ];
+        for resp in samples {
+            let text = resp.to_json();
+            let parsed = Response::parse(&text).expect("parse back");
+            assert_eq!(parsed, resp, "mismatch for {text}");
+            assert_eq!(parsed.to_json(), text, "re-encode must be stable");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "first").unwrap();
+        write_frame(&mut buf, "{\"second\":2}").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("first"));
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some("{\"second\":2}")
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "complete").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! End-to-end tests of the solver daemon over real TCP connections:
+//! concurrent submission, deadlines, cancellation, backpressure with
+//! recovery, instance-cache sharing, HTTP endpoints, and the
+//! drain-then-stop shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use tsmo_serve::{Client, JobSpec, Request, Response, Server, ServerConfig};
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+fn instance_text(customers: usize, seed: u64) -> String {
+    // R2: wide time windows, so short runs still end with feasible fronts.
+    vrptw::solomon::write(&GeneratorConfig::new(InstanceClass::R2, customers, seed).build())
+}
+
+fn quick_spec(text: &str, seed: u64) -> JobSpec {
+    JobSpec {
+        instance_text: text.to_string(),
+        variant: "sequential".to_string(),
+        max_evaluations: 4_000,
+        neighborhood_size: 40,
+        seed,
+        ..JobSpec::default()
+    }
+}
+
+/// A job that runs until cancelled (with a generous deadline safety net
+/// so a failed test cannot wedge the drain).
+fn long_spec(text: &str, seed: u64) -> JobSpec {
+    JobSpec {
+        instance_text: text.to_string(),
+        variant: "sequential".to_string(),
+        max_evaluations: u64::MAX / 2,
+        neighborhood_size: 40,
+        seed,
+        deadline_ms: Some(30_000),
+        ..JobSpec::default()
+    }
+}
+
+fn start(workers: usize, queue: usize) -> Server {
+    Server::start(ServerConfig {
+        workers,
+        queue_capacity: queue,
+        drain_timeout: Duration::from_secs(60),
+        ..ServerConfig::default()
+    })
+    .expect("start daemon")
+}
+
+#[test]
+fn eight_concurrent_submissions_all_complete_with_valid_fronts() {
+    let server = start(4, 16);
+    let addr = server.local_addr();
+    let text = Arc::new(instance_text(12, 3));
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let text = Arc::clone(&text);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let job = client
+                    .submit(quick_spec(&text, i))
+                    .expect("submit")
+                    .expect("admitted");
+                let result = client
+                    .wait_result(job, Duration::from_secs(60))
+                    .expect("result");
+                (job, result)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut ids: Vec<u64> = results.iter().map(|(job, _)| *job).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 8, "every submission got a distinct job id");
+    for (job, result) in &results {
+        assert!(!result.truncated, "job {job} should run to budget");
+        assert_eq!(result.evaluations, 4_000);
+        assert!(
+            !result.front.is_empty(),
+            "job {job} returned an empty front"
+        );
+        for point in &result.front {
+            assert!(point.objectives.iter().all(|x| x.is_finite()));
+            assert!(!point.routes.is_empty());
+        }
+    }
+    let prom = server.prometheus();
+    assert!(
+        prom.contains("tsmo_jobs_admitted_total 8"),
+        "admission counter wrong:\n{prom}"
+    );
+    assert!(prom.contains("tsmo_jobs_completed_total 8"));
+    server.shutdown();
+}
+
+#[test]
+fn deadlines_truncate_and_are_counted() {
+    let server = start(1, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(12, 4);
+    let spec = JobSpec {
+        deadline_ms: Some(60),
+        ..long_spec(&text, 9)
+    };
+    let job = client.submit(spec).unwrap().unwrap();
+    let result = client.wait_result(job, Duration::from_secs(30)).unwrap();
+    assert!(result.truncated);
+    assert_eq!(result.stop_cause.as_deref(), Some("deadline_exceeded"));
+    assert!(
+        result.iterations > 0,
+        "the run should get some iterations in before the 60ms deadline"
+    );
+    let prom = client.metrics().unwrap();
+    assert!(
+        prom.contains("tsmo_jobs_deadline_exceeded_total 1"),
+        "deadline counter missing:\n{prom}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn cancel_truncates_a_running_job_to_a_valid_result() {
+    let server = start(1, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(12, 5);
+    let job = client.submit(long_spec(&text, 1)).unwrap().unwrap();
+    // Wait until it is actually on the worker, then cancel mid-run.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while client.status(job).unwrap() != "running" {
+        assert!(std::time::Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    client.cancel(job).unwrap();
+    let result = client.wait_result(job, Duration::from_secs(30)).unwrap();
+    assert!(result.truncated);
+    assert_eq!(result.stop_cause.as_deref(), Some("cancelled"));
+    assert!(result.iterations > 0, "cancel mid-run keeps best-so-far");
+    assert!(!result.front.is_empty());
+    let prom = client.metrics().unwrap();
+    assert!(prom.contains("tsmo_jobs_cancelled_total 1"));
+    server.shutdown();
+}
+
+#[test]
+fn cancelling_a_queued_job_still_yields_a_terminal_result() {
+    let server = start(1, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(10, 6);
+    let blocker = client.submit(long_spec(&text, 1)).unwrap().unwrap();
+    let queued = client.submit(long_spec(&text, 2)).unwrap().unwrap();
+    client.cancel(queued).unwrap();
+    client.cancel(blocker).unwrap();
+    let result = client.wait_result(queued, Duration::from_secs(30)).unwrap();
+    assert!(result.truncated);
+    assert_eq!(result.stop_cause.as_deref(), Some("cancelled"));
+    server.shutdown();
+}
+
+#[test]
+fn backpressure_rejects_then_recovers_after_drain() {
+    let server = start(1, 2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(10, 7);
+    // Occupy the single worker...
+    let running = client.submit(long_spec(&text, 1)).unwrap().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while client.status(running).unwrap() != "running" {
+        assert!(std::time::Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // ...fill the queue...
+    let queued_a = client.submit(long_spec(&text, 2)).unwrap().unwrap();
+    let queued_b = client.submit(long_spec(&text, 3)).unwrap().unwrap();
+    // ...and the next submission bounces with explicit backpressure.
+    match client.submit(long_spec(&text, 4)).unwrap() {
+        Err(capacity) => assert_eq!(capacity, 2),
+        Ok(job) => panic!("expected QueueFull, got admission as job {job}"),
+    }
+    let prom = client.metrics().unwrap();
+    assert!(
+        prom.contains("tsmo_jobs_rejected_total 1"),
+        "rejection counter missing:\n{prom}"
+    );
+    // Drain: cancel everything, wait for terminal states.
+    for job in [running, queued_a, queued_b] {
+        client.cancel(job).unwrap();
+        client.wait_result(job, Duration::from_secs(30)).unwrap();
+    }
+    // Recovery: the queue has space again.
+    let after = client
+        .submit(quick_spec(&text, 5))
+        .unwrap()
+        .expect("submission after drain must be admitted");
+    client.wait_result(after, Duration::from_secs(60)).unwrap();
+    let (status, queued, _, _) = client.health().unwrap();
+    assert_eq!(status, "ok");
+    assert_eq!(queued, 0);
+    server.shutdown();
+}
+
+#[test]
+fn identical_instances_share_one_cached_parse() {
+    let server = start(2, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(12, 8);
+    let other = instance_text(12, 9);
+    let a = client.submit(quick_spec(&text, 1)).unwrap().unwrap();
+    let b = client.submit(quick_spec(&text, 2)).unwrap().unwrap();
+    let c = client.submit(quick_spec(&other, 3)).unwrap().unwrap();
+    for job in [a, b, c] {
+        client.wait_result(job, Duration::from_secs(60)).unwrap();
+    }
+    assert_eq!(
+        server.cached_instances(),
+        2,
+        "two distinct texts, three submissions"
+    );
+    let prom = client.metrics().unwrap();
+    assert!(prom.contains("tsmo_instance_cache_hits_total 1"), "{prom}");
+    assert!(
+        prom.contains("tsmo_instance_cache_misses_total 2"),
+        "{prom}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn http_healthz_and_metrics_share_the_wire_port() {
+    let server = start(1, 4);
+    let addr = server.local_addr();
+    let http_get = |path: &str| -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        body
+    };
+    let health = http_get("/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    let metrics = http_get("/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    assert!(metrics.contains("tsmo_queue_depth"), "{metrics}");
+    let missing = http_get("/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    server.shutdown();
+}
+
+#[test]
+fn wire_shutdown_drains_then_stops() {
+    let mut server = start(2, 8);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let text = instance_text(10, 10);
+    let a = client.submit(quick_spec(&text, 1)).unwrap().unwrap();
+    let b = client.submit(quick_spec(&text, 2)).unwrap().unwrap();
+    let completed = client.shutdown().expect("shutdown response after drain");
+    assert!(
+        completed >= 2,
+        "both admitted jobs finished before the daemon stopped (got {completed})"
+    );
+    // Results of drained jobs are still fetchable on a new connection
+    // only if the daemon were alive — it is not: every thread has exited.
+    server.wait();
+    // The audit trail recorded the full lifecycle.
+    let events = server.events_jsonl();
+    let parsed = tsmo_obs::parse_events_jsonl(&events).expect("valid JSONL audit trail");
+    let completed_events = parsed
+        .iter()
+        .filter(|e| matches!(e.event, tsmo_obs::SearchEvent::JobCompleted { .. }))
+        .count();
+    assert_eq!(completed_events, 2, "one JobCompleted per job: {events}");
+    assert!(events.contains(&format!("\"type\":\"job_admitted\",\"job\":{a}")));
+    assert!(events.contains(&format!("\"type\":\"job_admitted\",\"job\":{b}")));
+    // New submissions are refused (connection refused or error response).
+    if let Ok(mut late) = Client::connect(addr) {
+        assert!(late.submit(quick_spec(&text, 3)).is_err());
+    }
+}
+
+#[test]
+fn parallel_variants_run_through_the_service() {
+    let server = start(2, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(12, 11);
+    for (variant, processors) in [
+        ("synchronous", 3),
+        ("asynchronous", 3),
+        ("collaborative", 2),
+    ] {
+        let spec = JobSpec {
+            variant: variant.to_string(),
+            processors,
+            ..quick_spec(&text, 21)
+        };
+        let job = client.submit(spec).unwrap().unwrap();
+        let result = client.wait_result(job, Duration::from_secs(120)).unwrap();
+        assert!(!result.front.is_empty(), "{variant} returned nothing");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_submissions_are_rejected_with_errors() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Unknown variant.
+    let bad_variant = JobSpec {
+        variant: "simulated-annealing".to_string(),
+        ..quick_spec(&instance_text(10, 12), 1)
+    };
+    assert!(client.submit(bad_variant).is_err());
+    // Unparsable instance.
+    assert!(client
+        .submit(quick_spec("this is not an instance", 1))
+        .is_err());
+    // Unknown job ids.
+    assert!(client.status(404).is_err());
+    assert!(client.cancel(404).is_err());
+    assert!(client.result(404).is_err());
+    // Malformed frame payload gets an error response, not a hang.
+    match client.request(&Request::Health).unwrap() {
+        Response::Health { status, .. } => assert_eq!(status, "ok"),
+        other => panic!("unexpected {other:?}"),
+    }
+    server.shutdown();
+}

@@ -12,6 +12,7 @@
 //! * [`tsmo_core`] — the TSMO algorithm and its parallel variants
 //! * [`tsmo_obs`] — deterministic telemetry (events, metrics, recorders)
 //! * [`tsmo_faults`] — deterministic fault injection for the parallel runtime
+//! * [`tsmo_serve`] — solver service: daemon, wire protocol, job queue, client
 //! * [`moea`] — NSGA-II baseline for the paper's future-work comparison
 //! * [`runstats`] — statistics for the experiment harness
 //! * [`detrand`] — deterministic random number generation
@@ -24,6 +25,7 @@ pub use runstats;
 pub use tsmo_core;
 pub use tsmo_faults;
 pub use tsmo_obs;
+pub use tsmo_serve;
 pub use vrptw;
 pub use vrptw_construct;
 pub use vrptw_operators;
@@ -34,12 +36,13 @@ pub mod prelude {
     pub use moea::{Nsga2, Nsga2Config, Paes, PaesConfig, Spea2, Spea2Config};
     pub use pareto::{coverage, dominates, Archive, Dominance, ParetoFront};
     pub use tsmo_core::{
-        AdaptiveMemoryTs, AsyncTsmo, CollaborativeTsmo, HybridTsmo, ParallelVariant, SelectionRule,
-        SequentialTsmo, SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo, SyncTsmo, TsmoConfig,
-        TsmoOutcome, WeightedSumTs,
+        AdaptiveMemoryTs, AsyncTsmo, CancelToken, CollaborativeTsmo, HybridTsmo, ParallelVariant,
+        SelectionRule, SequentialTsmo, SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo, StopCause,
+        SyncTsmo, TsmoConfig, TsmoOutcome, WeightedSumTs,
     };
     pub use tsmo_faults::{FaultConfig, FaultHook, FaultPlan};
     pub use tsmo_obs::{MemoryRecorder, Recorder, SearchEvent};
+    pub use tsmo_serve::{Client, JobSpec, Server, ServerConfig};
     pub use vrptw::{
         generator::{GeneratorConfig, InstanceClass},
         Instance, Objectives, Solution,
