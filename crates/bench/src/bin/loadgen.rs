@@ -5,7 +5,7 @@
 //!     [--addr HOST:PORT] [--clients N] [--jobs-per-client M]
 //!     [--evals E] [--neighborhood H] [--workers W] [--queue Q]
 //!     [--deadline-every K] [--deadline-ms D] [--seed S]
-//!     [--out BENCH_server.json]
+//!     [--cluster NODES] [--out BENCH_server.json]
 //! ```
 //!
 //! Without `--addr` an in-process daemon is started (`--workers`,
@@ -16,13 +16,24 @@
 //! `QueueFull` rejections are retried with a short backoff and counted —
 //! backpressure is part of the measured behavior, not an error.
 //!
+//! `--cluster NODES` adds a second phase against a mesh-backed daemon:
+//! `NODES` in-process `noded` daemons are spawned (or, with `--addr`, the
+//! remote daemon is assumed to be mesh-backed already) and the same load
+//! is replayed as `collaborative` jobs that fan out over the mesh. Mesh
+//! jobs carry no deadlines — cancellation does not propagate to remote
+//! nodes — and the daemon runs one worker so concurrent jobs queue
+//! instead of racing for the nodes.
+//!
 //! The report gives submit-to-result latency percentiles and end-to-end
 //! throughput, printed and (with `--out`) written as a small JSON
-//! document alongside the other `BENCH_*.json` artifacts.
+//! document alongside the other `BENCH_*.json` artifacts. With
+//! `--cluster` the document is a two-entry array: the single-process
+//! phase first, the mesh phase second.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tsmo_cluster::{NodeConfig, Noded};
 use tsmo_serve::{Client, JobSpec, Server, ServerConfig};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 
@@ -39,72 +50,33 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let get = |flag: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let file = args.first().filter(|a| !a.starts_with("--")).cloned();
-    let clients: usize = get("--clients").map_or(8, |s| s.parse().expect("--clients"));
-    let jobs_per_client: usize =
-        get("--jobs-per-client").map_or(4, |s| s.parse().expect("--jobs-per-client"));
-    let evals: u64 = get("--evals").map_or(5_000, |s| s.parse().expect("--evals"));
-    let neighborhood: usize =
-        get("--neighborhood").map_or(50, |s| s.parse().expect("--neighborhood"));
-    let workers: usize = get("--workers").map_or(4, |s| s.parse().expect("--workers"));
-    let queue: usize = get("--queue").map_or(16, |s| s.parse().expect("--queue"));
-    let deadline_every: usize =
-        get("--deadline-every").map_or(4, |s| s.parse().expect("--deadline-every"));
-    let deadline_ms: u64 = get("--deadline-ms").map_or(100, |s| s.parse().expect("--deadline-ms"));
-    let seed: u64 = get("--seed").map_or(0, |s| s.parse().expect("--seed"));
+/// One measured load phase: all client threads joined, wall clock closed.
+struct Phase {
+    records: Vec<JobRecord>,
+    wall_seconds: f64,
+    queue_full_retries: u64,
+}
 
-    let instance_text = match &file {
-        Some(path) => std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read instance {path:?}: {e}")),
-        None => vrptw::solomon::write(&GeneratorConfig::new(InstanceClass::R2, 15, seed).build()),
-    };
-
-    // Either drive a remote daemon or host one in-process.
-    let (addr, local) = match get("--addr") {
-        Some(addr) => (addr, None),
-        None => {
-            let server = Server::start(ServerConfig {
-                workers,
-                queue_capacity: queue,
-                ..ServerConfig::default()
-            })
-            .expect("start in-process daemon");
-            (server.local_addr().to_string(), Some(server))
-        }
-    };
-    eprintln!(
-        "loadgen: {clients} clients x {jobs_per_client} jobs ({evals} evals each) against {addr}"
-    );
-
+/// Drives `clients` threads of `jobs_per_client` jobs each against the
+/// daemon at `addr`; `spec_of(global_job_index)` shapes each submission.
+fn drive(
+    addr: &str,
+    clients: usize,
+    jobs_per_client: usize,
+    spec_of: Arc<dyn Fn(usize) -> JobSpec + Send + Sync>,
+) -> Phase {
     let retries = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
-            let addr = addr.clone();
-            let text = instance_text.clone();
+            let addr = addr.to_string();
             let retries = Arc::clone(&retries);
+            let spec_of = Arc::clone(&spec_of);
             std::thread::spawn(move || -> Vec<JobRecord> {
                 let mut client = Client::connect(&addr).expect("connect to daemon");
                 let mut records = Vec::with_capacity(jobs_per_client);
                 for j in 0..jobs_per_client {
-                    let global = c * jobs_per_client + j;
-                    let spec = JobSpec {
-                        instance_text: text.clone(),
-                        variant: "sequential".to_string(),
-                        max_evaluations: evals,
-                        neighborhood_size: neighborhood,
-                        seed: seed ^ (global as u64),
-                        deadline_ms: (deadline_every > 0 && global.is_multiple_of(deadline_every))
-                            .then_some(deadline_ms),
-                        ..JobSpec::default()
-                    };
+                    let spec = spec_of(c * jobs_per_client + j);
                     let submitted = Instant::now();
                     let job = loop {
                         match client.submit(spec.clone()).expect("submit") {
@@ -131,45 +103,239 @@ fn main() {
         .into_iter()
         .flat_map(|h| h.join().expect("client thread"))
         .collect();
-    let wall = start.elapsed().as_secs_f64();
-
-    let mut latencies: Vec<f64> = records.iter().map(|r| r.latency_ms).collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are not NaN"));
-    let total = records.len();
-    let truncated = records.iter().filter(|r| r.truncated).count();
-    let mean = latencies.iter().sum::<f64>() / total.max(1) as f64;
-    let (p50, p95, p99) = (
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 95.0),
-        percentile(&latencies, 99.0),
-    );
-    let max = latencies.last().copied().unwrap_or(0.0);
-    let throughput = total as f64 / wall;
-    let queue_full_retries = retries.load(Ordering::Relaxed);
-
-    println!(
-        "completed {total} jobs in {wall:.2}s  ({throughput:.1} jobs/s, {truncated} truncated, \
-         {queue_full_retries} QueueFull retries)"
-    );
-    println!("latency ms: p50={p50:.1} p95={p95:.1} p99={p99:.1} mean={mean:.1} max={max:.1}");
-
-    if let Some(path) = get("--out") {
-        let json = format!(
-            "{{\n  \"benchmark\": \"tsmo-serve loadgen\",\n  \"clients\": {clients},\n  \
-             \"jobs_per_client\": {jobs_per_client},\n  \"total_jobs\": {total},\n  \
-             \"workers\": {workers},\n  \"queue_capacity\": {queue},\n  \
-             \"evals_per_job\": {evals},\n  \"deadline_every\": {deadline_every},\n  \
-             \"deadline_ms\": {deadline_ms},\n  \"wall_seconds\": {wall:.3},\n  \
-             \"throughput_jobs_per_s\": {throughput:.2},\n  \
-             \"latency_ms\": {{\"p50\": {p50:.2}, \"p95\": {p95:.2}, \"p99\": {p99:.2}, \
-             \"mean\": {mean:.2}, \"max\": {max:.2}}},\n  \
-             \"truncated_jobs\": {truncated},\n  \"queue_full_retries\": {queue_full_retries}\n}}\n"
-        );
-        std::fs::write(&path, json).expect("write benchmark JSON");
-        eprintln!("wrote {path}");
+    Phase {
+        records,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        queue_full_retries: retries.load(Ordering::Relaxed),
     }
+}
 
+struct Summary {
+    total: usize,
+    truncated: usize,
+    throughput: f64,
+    mean: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    max: f64,
+}
+
+fn summarize(phase: &Phase) -> Summary {
+    let mut latencies: Vec<f64> = phase.records.iter().map(|r| r.latency_ms).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are not NaN"));
+    let total = phase.records.len();
+    Summary {
+        total,
+        truncated: phase.records.iter().filter(|r| r.truncated).count(),
+        throughput: total as f64 / phase.wall_seconds,
+        mean: latencies.iter().sum::<f64>() / total.max(1) as f64,
+        p50: percentile(&latencies, 50.0),
+        p95: percentile(&latencies, 95.0),
+        p99: percentile(&latencies, 99.0),
+        max: latencies.last().copied().unwrap_or(0.0),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn entry_json(
+    mode: &str,
+    extra: &str,
+    clients: usize,
+    jobs_per_client: usize,
+    workers: usize,
+    queue: usize,
+    evals: u64,
+    deadline_every: usize,
+    deadline_ms: u64,
+    phase: &Phase,
+    s: &Summary,
+) -> String {
+    format!(
+        "{{\n  \"benchmark\": \"tsmo-serve loadgen\",\n  \"mode\": \"{mode}\",{extra}\n  \
+         \"clients\": {clients},\n  \"jobs_per_client\": {jobs_per_client},\n  \
+         \"total_jobs\": {},\n  \"workers\": {workers},\n  \"queue_capacity\": {queue},\n  \
+         \"evals_per_job\": {evals},\n  \"deadline_every\": {deadline_every},\n  \
+         \"deadline_ms\": {deadline_ms},\n  \"wall_seconds\": {:.3},\n  \
+         \"throughput_jobs_per_s\": {:.2},\n  \
+         \"latency_ms\": {{\"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}, \
+         \"mean\": {:.2}, \"max\": {:.2}}},\n  \
+         \"truncated_jobs\": {},\n  \"queue_full_retries\": {}\n}}",
+        s.total,
+        phase.wall_seconds,
+        s.throughput,
+        s.p50,
+        s.p95,
+        s.p99,
+        s.mean,
+        s.max,
+        s.truncated,
+        phase.queue_full_retries
+    )
+}
+
+fn print_summary(label: &str, phase: &Phase, s: &Summary) {
+    println!(
+        "{label}: completed {} jobs in {:.2}s  ({:.1} jobs/s, {} truncated, \
+         {} QueueFull retries)",
+        s.total, phase.wall_seconds, s.throughput, s.truncated, phase.queue_full_retries
+    );
+    println!(
+        "{label}: latency ms: p50={:.1} p95={:.1} p99={:.1} mean={:.1} max={:.1}",
+        s.p50, s.p95, s.p99, s.mean, s.max
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let file = args.first().filter(|a| !a.starts_with("--")).cloned();
+    let clients: usize = get("--clients").map_or(8, |s| s.parse().expect("--clients"));
+    let jobs_per_client: usize =
+        get("--jobs-per-client").map_or(4, |s| s.parse().expect("--jobs-per-client"));
+    let evals: u64 = get("--evals").map_or(5_000, |s| s.parse().expect("--evals"));
+    let neighborhood: usize =
+        get("--neighborhood").map_or(50, |s| s.parse().expect("--neighborhood"));
+    let workers: usize = get("--workers").map_or(4, |s| s.parse().expect("--workers"));
+    let queue: usize = get("--queue").map_or(16, |s| s.parse().expect("--queue"));
+    let deadline_every: usize =
+        get("--deadline-every").map_or(4, |s| s.parse().expect("--deadline-every"));
+    let deadline_ms: u64 = get("--deadline-ms").map_or(100, |s| s.parse().expect("--deadline-ms"));
+    let seed: u64 = get("--seed").map_or(0, |s| s.parse().expect("--seed"));
+    let cluster: Option<usize> = get("--cluster").map(|s| s.parse().expect("--cluster"));
+
+    let instance_text = match &file {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read instance {path:?}: {e}")),
+        None => vrptw::solomon::write(&GeneratorConfig::new(InstanceClass::R2, 15, seed).build()),
+    };
+
+    // Phase 1 — single-process daemon: either drive a remote one or host
+    // one in-process.
+    let (addr, local) = match get("--addr") {
+        Some(addr) => (addr, None),
+        None => {
+            let server = Server::start(ServerConfig {
+                workers,
+                queue_capacity: queue,
+                ..ServerConfig::default()
+            })
+            .expect("start in-process daemon");
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+    eprintln!(
+        "loadgen: {clients} clients x {jobs_per_client} jobs ({evals} evals each) against {addr}"
+    );
+    let spec_of: Arc<dyn Fn(usize) -> JobSpec + Send + Sync> = {
+        let text = instance_text.clone();
+        Arc::new(move |global| JobSpec {
+            instance_text: text.clone(),
+            variant: "sequential".to_string(),
+            max_evaluations: evals,
+            neighborhood_size: neighborhood,
+            seed: seed ^ (global as u64),
+            deadline_ms: (deadline_every > 0 && global.is_multiple_of(deadline_every))
+                .then_some(deadline_ms),
+            ..JobSpec::default()
+        })
+    };
+    let single = drive(&addr, clients, jobs_per_client, spec_of);
+    let single_summary = summarize(&single);
+    print_summary("single", &single, &single_summary);
     if let Some(server) = local {
         server.shutdown();
+    }
+
+    // Phase 2 — the same load as collaborative jobs over a node mesh.
+    let cluster_phase = cluster.map(|nodes_n| {
+        let nodes_n = nodes_n.max(1);
+        let (mesh_addr, nodes, mesh_server) = match get("--addr") {
+            Some(addr) => (addr, Vec::new(), None), // remote daemon is mesh-backed
+            None => {
+                let nodes: Vec<Noded> = (0..nodes_n)
+                    .map(|_| Noded::start(NodeConfig::default()).expect("bind node"))
+                    .collect();
+                let peers = nodes.iter().map(|n| n.local_addr().to_string()).collect();
+                // One worker: mesh jobs hold every node, so extra workers
+                // would only race for Start and fail; the queue serializes.
+                let server = Server::start(ServerConfig {
+                    workers: 1,
+                    queue_capacity: queue,
+                    mesh: Some(peers),
+                    ..ServerConfig::default()
+                })
+                .expect("start mesh-backed daemon");
+                (server.local_addr().to_string(), nodes, Some(server))
+            }
+        };
+        eprintln!(
+            "loadgen: cluster phase — {clients} clients x {jobs_per_client} collaborative jobs \
+             over {nodes_n} nodes against {mesh_addr}"
+        );
+        let spec_of: Arc<dyn Fn(usize) -> JobSpec + Send + Sync> = {
+            let text = instance_text.clone();
+            Arc::new(move |global| JobSpec {
+                instance_text: text.clone(),
+                variant: "collaborative".to_string(),
+                processors: 2 * nodes_n,
+                max_evaluations: evals,
+                neighborhood_size: neighborhood,
+                seed: seed ^ (global as u64),
+                ..JobSpec::default()
+            })
+        };
+        let phase = drive(&mesh_addr, clients, jobs_per_client, spec_of);
+        let summary = summarize(&phase);
+        print_summary("cluster", &phase, &summary);
+        if let Some(server) = mesh_server {
+            server.shutdown();
+        }
+        for node in nodes {
+            node.halt();
+        }
+        (nodes_n, phase, summary)
+    });
+
+    if let Some(path) = get("--out") {
+        let single_entry = entry_json(
+            "single",
+            "",
+            clients,
+            jobs_per_client,
+            workers,
+            queue,
+            evals,
+            deadline_every,
+            deadline_ms,
+            &single,
+            &single_summary,
+        );
+        let json = match &cluster_phase {
+            None => format!("{single_entry}\n"),
+            Some((nodes_n, phase, summary)) => {
+                let extra = format!("\n  \"nodes\": {nodes_n},");
+                let cluster_entry = entry_json(
+                    "cluster",
+                    &extra,
+                    clients,
+                    jobs_per_client,
+                    1,
+                    queue,
+                    evals,
+                    0,
+                    0,
+                    phase,
+                    summary,
+                );
+                format!("[\n{single_entry},\n{cluster_entry}\n]\n")
+            }
+        };
+        std::fs::write(&path, json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
     }
 }

@@ -1,0 +1,113 @@
+//! Measured comparison for EXPERIMENTS.md: a 3-node distributed mesh
+//! (2 searchers per node, real TCP on localhost) against single-process
+//! collaborative multisearch with the same 6 searchers and the same
+//! per-searcher evaluation budget.
+//!
+//! ```text
+//! cargo run --release -p tsmo-cluster --example mesh_vs_single -- \
+//!     [INSTANCE.txt] [--evals E] [--seed S]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tsmo_cluster::{run_mesh, MeshJob, NodeConfig, Noded};
+use tsmo_core::{FrontEntry, ParallelVariant, TsmoConfig};
+
+fn hv(front: &[FrontEntry], reference: [f64; 3]) -> f64 {
+    let points: Vec<[f64; 3]> = front.iter().map(|e| e.objectives.to_vector()).collect();
+    pareto::hypervolume_3d(&points, reference)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "data/r1-25.txt".to_string());
+    let evals: u64 = get("--evals").map_or(50_000, |s| s.parse().expect("--evals"));
+    let seed: u64 = get("--seed").map_or(1, |s| s.parse().expect("--seed"));
+    let text = std::fs::read_to_string(&path).expect("read instance");
+    let inst = Arc::new(vrptw::solomon::parse(&text).expect("parse instance"));
+    let cfg = TsmoConfig {
+        max_evaluations: evals,
+        stagnation_limit: 25,
+        ..TsmoConfig::default()
+    }
+    .with_seed(seed);
+
+    // Single process: 6 collaborative searchers in one address space.
+    let started = Instant::now();
+    let single = ParallelVariant::Collaborative(6).run(&inst, &cfg);
+    let single_secs = started.elapsed().as_secs_f64();
+
+    // Distributed: the same 6 searchers as 3 nodes x 2, exchanging over
+    // real TCP, fronts merged node-by-node then globally.
+    let nodes: Vec<Noded> = (0..3)
+        .map(|_| Noded::start(NodeConfig::default()).expect("bind node"))
+        .collect();
+    let peers = nodes.iter().map(|n| n.local_addr().to_string()).collect();
+    let job = MeshJob {
+        instance_text: text,
+        node_index: 0,
+        peers,
+        searchers_per_node: 2,
+        seed,
+        max_evaluations: evals,
+        neighborhood_size: cfg.neighborhood_size,
+        stagnation_limit: cfg.stagnation_limit,
+        fault_seed: 0,
+        fault_rate: 0.0,
+    };
+    let started = Instant::now();
+    let mesh = run_mesh(&job, Duration::from_secs(5), Duration::from_secs(600)).expect("mesh run");
+    let mesh_secs = started.elapsed().as_secs_f64();
+    for node in nodes {
+        node.halt();
+    }
+
+    // One shared reference point so the hypervolumes are comparable.
+    let mut reference = [0.0f64; 3];
+    for entry in single.archive.iter().chain(mesh.front.iter()) {
+        let v = entry.objectives.to_vector();
+        for (r, x) in reference.iter_mut().zip(v) {
+            *r = r.max(x * 1.05 + 1.0);
+        }
+    }
+    let single_points: Vec<[f64; 3]> = single
+        .archive
+        .iter()
+        .map(|e| e.objectives.to_vector())
+        .collect();
+    let mesh_points: Vec<[f64; 3]> = mesh
+        .front
+        .iter()
+        .map(|e| e.objectives.to_vector())
+        .collect();
+
+    println!(
+        "reference point: [{:.1}, {:.1}, {:.1}]",
+        reference[0], reference[1], reference[2]
+    );
+    println!(
+        "single  (1 process, 6 searchers): front={:2}  evals={}  hv={:.4e}  C(single,mesh)={:.2}  {:.1}s",
+        single.archive.len(),
+        single.evaluations,
+        hv(&single.archive, reference),
+        pareto::coverage(&single_points, &mesh_points),
+        single_secs
+    );
+    println!(
+        "mesh    (3 nodes x 2 searchers):  front={:2}  evals={}  hv={:.4e}  C(mesh,single)={:.2}  {:.1}s",
+        mesh.front.len(),
+        mesh.evaluations,
+        hv(&mesh.front, reference),
+        pareto::coverage(&mesh_points, &single_points),
+        mesh_secs
+    );
+}

@@ -1,0 +1,264 @@
+//! `clusterctl` — bootstrap a mesh, run a distributed search, merge fronts.
+//!
+//! ```text
+//! # distributed, against running noded daemons:
+//! clusterctl INSTANCE.txt --peers 127.0.0.1:4001,127.0.0.1:4002,127.0.0.1:4003 \
+//!     [--searchers 2] [--evals 20000] [--neighborhood 50] [--stagnation 100] \
+//!     [--seed 1] [--fault-rate 0] [--fault-seed 7] [--connect-timeout-ms 2000] \
+//!     [--wait-ms 300000] [--require-exchanges] [--shutdown]
+//!
+//! # deterministic single-process loopback (record, then verifying replay):
+//! clusterctl INSTANCE.txt --virtual-net 3 [--searchers 2] [...]
+//! ```
+//!
+//! Exits non-zero when the merged front is empty or not mutually
+//! non-dominated, when `--require-exchanges` finds a node with a zero
+//! `tsmo_exchanges_received_total`, or when a `--virtual-net` replay
+//! diverges from its recording — so CI can assert the distributed
+//! semantics by running this binary alone.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+use tsmo_cluster::mesh::{self, prometheus_counter};
+use tsmo_cluster::{front_fingerprint, replay_virtual, run_virtual, MeshJob, VirtualMeshConfig};
+use tsmo_core::{FrontEntry, TsmoConfig};
+use tsmo_faults::{FaultConfig, FaultHook, FaultPlan};
+use tsmo_obs::metrics::names;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: clusterctl INSTANCE.txt (--peers A,B,... | --virtual-net N) \
+         [--searchers S] [--evals E] [--neighborhood H] [--stagnation L] [--seed S] \
+         [--fault-rate R] [--fault-seed S] [--connect-timeout-ms MS] [--wait-ms MS] \
+         [--require-exchanges] [--shutdown]"
+    );
+    ExitCode::FAILURE
+}
+
+fn print_front(front: &[FrontEntry]) {
+    for entry in front {
+        let [d, v, t] = entry.objectives.to_vector();
+        println!("  distance={d:.2} vehicles={v} tardiness={t:.2}");
+    }
+}
+
+fn check_front(front: &[FrontEntry]) -> bool {
+    if front.is_empty() {
+        eprintln!("clusterctl: merged front is empty");
+        return false;
+    }
+    let mutually = pareto::non_dominated_indices(front).len() == front.len();
+    println!(
+        "merged front: {} entries (mutually non-dominated: {mutually})",
+        front.len()
+    );
+    if !mutually {
+        eprintln!("clusterctl: merged front contains dominated entries");
+    }
+    mutually
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let num = |flag: &str, default: u64| -> Result<u64, ExitCode> {
+        match get(flag).map(|v| v.parse()) {
+            Some(Ok(n)) => Ok(n),
+            None => Ok(default),
+            Some(Err(_)) => {
+                eprintln!("clusterctl: {flag} expects an integer");
+                Err(ExitCode::FAILURE)
+            }
+        }
+    };
+    // The instance path is the first argument that is neither a flag nor
+    // the value of the preceding value-taking flag.
+    let instance_path = {
+        let mut found = None;
+        let mut skip = false;
+        for arg in &args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if arg.starts_with("--") {
+                skip = !matches!(arg.as_str(), "--require-exchanges" | "--shutdown");
+                continue;
+            }
+            found = Some(arg.clone());
+            break;
+        }
+        match found {
+            Some(path) => path,
+            None => return usage(),
+        }
+    };
+    let instance_path = &instance_path;
+    let instance_text = match std::fs::read_to_string(instance_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("clusterctl: cannot read {instance_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (searchers, evals, neighborhood, stagnation, seed, fault_seed) = match (
+        num("--searchers", 2),
+        num("--evals", 20_000),
+        num("--neighborhood", 50),
+        num("--stagnation", 100),
+        num("--seed", 1),
+        num("--fault-seed", 7),
+    ) {
+        (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f)) => (a, b, c, d, e, f),
+        _ => return ExitCode::FAILURE,
+    };
+    let fault_rate: f64 = match get("--fault-rate").map(|v| v.parse()) {
+        Some(Ok(r)) => r,
+        None => 0.0,
+        Some(Err(_)) => {
+            eprintln!("clusterctl: --fault-rate expects a number");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(nodes) = get("--virtual-net") {
+        let Ok(nodes) = nodes.parse::<usize>() else {
+            eprintln!("clusterctl: --virtual-net expects a node count");
+            return ExitCode::FAILURE;
+        };
+        let instance = match vrptw::solomon::parse(&instance_text) {
+            Ok(inst) => Arc::new(inst),
+            Err(e) => {
+                eprintln!("clusterctl: bad instance: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let vm = VirtualMeshConfig {
+            nodes,
+            searchers_per_node: searchers as usize,
+            cfg: TsmoConfig {
+                max_evaluations: evals,
+                neighborhood_size: (neighborhood as usize).max(2),
+                stagnation_limit: (stagnation as usize).max(1),
+                ..TsmoConfig::default()
+            }
+            .with_seed(seed),
+        };
+        let hook: Arc<dyn FaultHook> = if fault_rate > 0.0 {
+            FaultPlan::shared(FaultConfig::exchange_only(fault_seed, fault_rate))
+        } else {
+            tsmo_faults::none()
+        };
+        let recorded = run_virtual(&instance, &vm, tsmo_obs::noop(), Arc::clone(&hook));
+        println!(
+            "virtual mesh: {nodes} nodes x {searchers} searchers, {} exchanges delivered, \
+             {} evaluations",
+            recorded.log.len(),
+            recorded.evaluations
+        );
+        let replayed = match replay_virtual(&instance, &vm, tsmo_obs::noop(), hook, &recorded.log) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("clusterctl: replay diverged: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if front_fingerprint(&replayed.front) != front_fingerprint(&recorded.front) {
+            eprintln!("clusterctl: replayed front differs from the recorded run");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "replay: byte-identical merged front over {} exchanges",
+            replayed.log.len()
+        );
+        if !check_front(&recorded.front) {
+            return ExitCode::FAILURE;
+        }
+        print_front(&recorded.front);
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(peers) = get("--peers") else {
+        return usage();
+    };
+    let peers: Vec<String> = peers
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
+    let (timeout_ms, wait_ms) = match (
+        num("--connect-timeout-ms", 2_000),
+        num("--wait-ms", 300_000),
+    ) {
+        (Ok(t), Ok(w)) => (t, w),
+        _ => return ExitCode::FAILURE,
+    };
+    let job = MeshJob {
+        instance_text,
+        node_index: 0,
+        peers: peers.clone(),
+        searchers_per_node: searchers as usize,
+        seed,
+        max_evaluations: evals,
+        neighborhood_size: neighborhood as usize,
+        stagnation_limit: stagnation as usize,
+        fault_seed,
+        fault_rate,
+    };
+    let timeout = Duration::from_millis(timeout_ms);
+    let outcome = match mesh::run_mesh(&job, timeout, Duration::from_millis(wait_ms)) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("clusterctl: mesh run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for (k, node) in outcome.nodes.iter().enumerate() {
+        let client = mesh::MeshClient::new(node.addr.clone(), timeout);
+        let received = client
+            .metrics()
+            .map(|prom| prometheus_counter(&prom, names::EXCHANGES_RECEIVED))
+            .unwrap_or(0);
+        match &node.report {
+            Some(report) => println!(
+                "node {k} at {}: front={} evaluations={} iterations={} exchanges_received={received}",
+                node.addr,
+                report.front.len(),
+                report.evaluations,
+                report.iterations
+            ),
+            None => println!("node {k} at {}: no report (dead or unreachable)", node.addr),
+        }
+        if has("--require-exchanges") && received == 0 {
+            eprintln!("clusterctl: node {k} received no exchanges");
+            ok = false;
+        }
+    }
+    if !check_front(&outcome.front) {
+        ok = false;
+    }
+    print_front(&outcome.front);
+    if has("--shutdown") {
+        for node in &outcome.nodes {
+            let _ = mesh::MeshClient::new(node.addr.clone(), timeout).shutdown();
+        }
+        println!("mesh: shutdown sent to {} node(s)", outcome.nodes.len());
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

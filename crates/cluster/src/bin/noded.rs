@@ -1,0 +1,59 @@
+//! `noded` — one node of a distributed collaborative search mesh.
+//!
+//! ```text
+//! noded [--addr 127.0.0.1:0] [--net-timeout-ms 2000] [--port-file PATH]
+//! ```
+//!
+//! Binds the node protocol listener and serves until a `shutdown` frame
+//! arrives. `--port-file` writes the bound `host:port` (useful with an
+//! ephemeral port, e.g. in CI) once the listener is up.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use tsmo_cluster::{NodeConfig, Noded};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: noded [--addr HOST:PORT] [--net-timeout-ms MS] [--port-file PATH]");
+        return ExitCode::SUCCESS;
+    }
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let addr = get("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let net_timeout_ms: u64 = match get("--net-timeout-ms").map(|v| v.parse()) {
+        Some(Ok(ms)) => ms,
+        None => 2_000,
+        Some(Err(_)) => {
+            eprintln!("noded: --net-timeout-ms expects an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let node = match Noded::start(NodeConfig {
+        addr,
+        net_timeout: Duration::from_millis(net_timeout_ms),
+    }) {
+        Ok(node) => node,
+        Err(e) => {
+            eprintln!("noded: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = node.local_addr();
+    if let Some(path) = get("--port-file") {
+        if let Err(e) = std::fs::write(&path, local.to_string()) {
+            eprintln!("noded: cannot write port file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("noded: serving on {local}");
+    // The acceptor owns the lifecycle; park until a shutdown frame stops
+    // it. `wait` returns when the accept loop exits.
+    node.wait();
+    eprintln!("noded: stopped");
+    ExitCode::SUCCESS
+}

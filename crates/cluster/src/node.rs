@@ -1,0 +1,465 @@
+//! The node daemon: hosts one node's share of a distributed collaborative
+//! search and serves the node protocol.
+//!
+//! A node accepts [`NodeMsg::Start`] with a [`MeshJob`], spawns one
+//! [`CollabSearcher`] thread per local searcher, and routes incoming
+//! [`NodeMsg::Exchange`] frames into the addressed searcher's inbox. The
+//! searchers' outgoing links mix transports: a local peer gets the plain
+//! in-process channel, a remote peer a [`TcpTransport`] over the node's
+//! shared per-peer connection — the rotation cannot tell the difference.
+//!
+//! # Determinism contract
+//!
+//! Node `k` of an `n`-node mesh with `s` searchers per node hosts the
+//! global searcher ids `k*s .. (k+1)*s`. It derives the *full* stream set
+//! `streams(seed, n*s)` and, for each local id, draws the communication
+//! list first and the parameter perturbation second from that id's own
+//! stream — the same order `CollaborativeTsmo` and the virtual mesh use,
+//! so all three builds agree on every list and every parameter.
+
+use crate::proto::{ExchangeEntry, MeshJob, NodeMsg};
+use crate::transport::{PeerConn, TcpTransport, DEFAULT_NET_TIMEOUT};
+use crossbeam::channel::{unbounded, Sender};
+use deme::multisearch::{comm_order, ChannelTransport, Endpoint, Transport};
+use detrand::{streams, Xoshiro256StarStar};
+use pareto::Archive;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tsmo_core::{searcher_cfg, CancelToken, CollabSearcher, FrontEntry, TsmoConfig};
+use tsmo_faults::{FaultConfig, FaultHook, FaultPlan};
+use tsmo_obs::{metrics::names, MemoryRecorder, Recorder};
+
+/// Node daemon configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Connect / read / write timeout for links to peer nodes.
+    pub net_timeout: Duration,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            net_timeout: DEFAULT_NET_TIMEOUT,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Running,
+    Done,
+}
+
+/// What a finished node job reports.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Non-dominated merge of the node's searcher archives.
+    pub front: Vec<ExchangeEntry>,
+    /// Evaluations consumed across the node's searchers.
+    pub evaluations: u64,
+    /// Iterations performed across the node's searchers.
+    pub iterations: u64,
+}
+
+struct NodeState {
+    phase: Phase,
+    node_index: Option<usize>,
+    /// Inboxes of the locally hosted searchers, by global searcher id.
+    inboxes: HashMap<usize, Sender<FrontEntry>>,
+    cancel: Option<CancelToken>,
+    runner: Option<JoinHandle<()>>,
+    report: Option<NodeReport>,
+}
+
+struct NodeShared {
+    addr: SocketAddr,
+    net_timeout: Duration,
+    recorder: Arc<MemoryRecorder>,
+    state: Mutex<NodeState>,
+    stopping: AtomicBool,
+    /// Clones of the accepted sockets, so a stop can unblock the
+    /// connection threads parked in `read_frame`.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl NodeShared {
+    fn state(&self) -> MutexGuard<'_, NodeState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A running node daemon. [`halt`](Noded::halt) stops it; dropping the
+/// handle does not.
+pub struct Noded {
+    shared: Arc<NodeShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Noded {
+    /// Binds the listener and starts serving the node protocol.
+    pub fn start(config: NodeConfig) -> io::Result<Noded> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(NodeShared {
+            addr,
+            net_timeout: config.net_timeout,
+            recorder: Arc::new(MemoryRecorder::metrics_only()),
+            state: Mutex::new(NodeState {
+                phase: Phase::Idle,
+                node_index: None,
+                inboxes: HashMap::new(),
+                cancel: None,
+                runner: None,
+                report: None,
+            }),
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Noded {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Prometheus exposition of the node's telemetry.
+    pub fn prometheus(&self) -> String {
+        self.shared.recorder.prometheus()
+    }
+
+    /// Blocks until the daemon stops — a wire `Shutdown` frame ends the
+    /// accept loop — then joins the worker threads.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let runner = self.shared.state().runner.take();
+        if let Some(runner) = runner {
+            let _ = runner.join();
+        }
+    }
+
+    /// Stops the daemon: cancels a running job, closes the listener, and
+    /// joins the acceptor. Searcher threads of a cancelled job finish
+    /// their current iteration and are joined by the runner thread.
+    pub fn halt(mut self) {
+        request_stop(&self.shared);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let runner = self.shared.state().runner.take();
+        if let Some(runner) = runner {
+            let _ = runner.join();
+        }
+    }
+}
+
+/// Flags the daemon down, cancels any running job, and pokes the listener
+/// so its blocking `accept` returns.
+fn request_stop(shared: &Arc<NodeShared>) {
+    shared.stopping.store(true, Ordering::Release);
+    if let Some(cancel) = shared.state().cancel.clone() {
+        cancel.cancel();
+    }
+    // Unblock connection threads parked in `read_frame`, then poke the
+    // listener so its blocking `accept` returns and sees the flag.
+    let conns = std::mem::take(
+        &mut *shared
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    for conn in conns {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(500));
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<NodeShared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        conns.push(std::thread::spawn(move || serve_conn(stream, &shared)));
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+fn serve_conn(mut stream: TcpStream, shared: &Arc<NodeShared>) {
+    let _ = stream.set_nodelay(true);
+    if let Ok(clone) = stream.try_clone() {
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(clone);
+    }
+    loop {
+        let text = match tsmo_obs::frame::read_frame(&mut stream) {
+            Ok(Some(text)) => text,
+            Ok(None) | Err(_) => return, // client hung up
+        };
+        let reply = match NodeMsg::parse(&text) {
+            Ok(msg) => handle(msg, shared),
+            Err(e) => NodeMsg::Error { message: e },
+        };
+        let shutting_down = reply == NodeMsg::ShutdownOk;
+        if tsmo_obs::frame::write_frame(&mut stream, &reply.to_json()).is_err() {
+            return;
+        }
+        if shutting_down {
+            request_stop(shared);
+            return;
+        }
+    }
+}
+
+fn handle(msg: NodeMsg, shared: &Arc<NodeShared>) -> NodeMsg {
+    match msg {
+        NodeMsg::Hello { .. } => {
+            let index = shared.state().node_index;
+            NodeMsg::HelloAck {
+                node: index.map_or(u64::MAX, |i| i as u64),
+            }
+        }
+        NodeMsg::Exchange { from, to, entry } => {
+            let state = shared.state();
+            match state.inboxes.get(&(to as usize)) {
+                Some(tx) if tx.send(entry.to_front()).is_ok() => {
+                    drop(state);
+                    // Per-peer attribution happens here, where the sender
+                    // id is known; the receiving searcher's drain counts
+                    // the unlabeled totals — splitting the two keeps every
+                    // exchange counted exactly once per metric.
+                    shared
+                        .recorder
+                        .counter_add(&names::exchanges_received_from_peer(from as usize), 1);
+                    NodeMsg::ExchangeAck
+                }
+                _ => NodeMsg::Error {
+                    message: format!("searcher {to} is not accepting exchanges here"),
+                },
+            }
+        }
+        NodeMsg::Start { job } => start_job(job, shared),
+        NodeMsg::Status => {
+            let phase = shared.state().phase;
+            NodeMsg::NodeStatus {
+                state: match phase {
+                    Phase::Idle => "idle",
+                    Phase::Running => "running",
+                    Phase::Done => "done",
+                }
+                .to_string(),
+            }
+        }
+        NodeMsg::Front => {
+            let state = shared.state();
+            match (&state.phase, &state.report) {
+                (Phase::Done, Some(report)) => NodeMsg::FrontReply {
+                    entries: report.front.clone(),
+                    evaluations: report.evaluations,
+                    iterations: report.iterations,
+                },
+                _ => NodeMsg::Error {
+                    message: "node has no finished job".to_string(),
+                },
+            }
+        }
+        NodeMsg::Metrics => NodeMsg::MetricsReply {
+            prometheus: shared.recorder.prometheus(),
+        },
+        NodeMsg::Stop => {
+            if let Some(cancel) = shared.state().cancel.clone() {
+                cancel.cancel();
+            }
+            NodeMsg::Stopped
+        }
+        NodeMsg::Shutdown => NodeMsg::ShutdownOk,
+        // Reply-shaped messages are not requests.
+        other => NodeMsg::Error {
+            message: format!("unexpected message: {}", other.to_json()),
+        },
+    }
+}
+
+fn start_job(job: MeshJob, shared: &Arc<NodeShared>) -> NodeMsg {
+    if job.searchers_per_node == 0 || job.node_index >= job.peers.len() {
+        return NodeMsg::Error {
+            message: "bad job: need searchers_per_node > 0 and node_index < peers.len()"
+                .to_string(),
+        };
+    }
+    let instance = match vrptw::solomon::parse(&job.instance_text) {
+        Ok(inst) => Arc::new(inst),
+        Err(e) => {
+            return NodeMsg::Error {
+                message: format!("bad instance: {e}"),
+            }
+        }
+    };
+    let mut state = shared.state();
+    if state.phase == Phase::Running {
+        return NodeMsg::Error {
+            message: "a job is already running".to_string(),
+        };
+    }
+    if let Some(old) = state.runner.take() {
+        drop(state);
+        let _ = old.join();
+        state = shared.state();
+    }
+    let s = job.searchers_per_node;
+    let local_ids: Vec<usize> = (job.node_index * s..(job.node_index + 1) * s).collect();
+    let mut receivers = HashMap::new();
+    state.inboxes.clear();
+    for &id in &local_ids {
+        let (tx, rx) = unbounded::<FrontEntry>();
+        state.inboxes.insert(id, tx);
+        receivers.insert(id, rx);
+    }
+    let cancel = CancelToken::never();
+    state.cancel = Some(cancel.clone());
+    state.phase = Phase::Running;
+    state.node_index = Some(job.node_index);
+    state.report = None;
+    let runner = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let report = run_node_job(&job, &instance, receivers, cancel, &shared);
+            let mut state = shared.state();
+            state.inboxes.clear();
+            state.report = Some(report);
+            state.phase = Phase::Done;
+        })
+    };
+    state.runner = Some(runner);
+    NodeMsg::Started
+}
+
+/// Runs this node's searchers to completion and merges their archives.
+fn run_node_job(
+    job: &MeshJob,
+    instance: &Arc<vrptw::Instance>,
+    mut receivers: HashMap<usize, crossbeam::channel::Receiver<FrontEntry>>,
+    cancel: CancelToken,
+    shared: &Arc<NodeShared>,
+) -> NodeReport {
+    let nodes = job.peers.len();
+    let s = job.searchers_per_node;
+    let n_total = nodes * s;
+    let base_cfg = TsmoConfig {
+        max_evaluations: job.max_evaluations,
+        neighborhood_size: job.neighborhood_size.max(2),
+        stagnation_limit: job.stagnation_limit.max(1),
+        ..TsmoConfig::default()
+    }
+    .with_seed(job.seed);
+    let hook: Arc<dyn FaultHook> = if job.fault_rate > 0.0 {
+        FaultPlan::shared(FaultConfig::exchange_only(job.fault_seed, job.fault_rate))
+    } else {
+        tsmo_faults::none()
+    };
+    let recorder: Arc<dyn Recorder> = Arc::clone(&shared.recorder) as Arc<dyn Recorder>;
+    // One shared connection per remote node; all local searchers multiplex
+    // their links to that node's searchers over it.
+    let conns: HashMap<usize, Arc<PeerConn>> = (0..nodes)
+        .filter(|&k| k != job.node_index)
+        .map(|k| {
+            (
+                k,
+                Arc::new(PeerConn::new(job.peers[k].clone(), shared.net_timeout)),
+            )
+        })
+        .collect();
+    let local_txs: HashMap<usize, Sender<FrontEntry>> = shared.state().inboxes.clone();
+
+    let mut rngs = streams(job.seed, n_total);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(s);
+        let local = &mut rngs[job.node_index * s..(job.node_index + 1) * s];
+        for (offset, slot) in local.iter_mut().enumerate() {
+            let id = job.node_index * s + offset;
+            // Draw order contract: communication list first, perturbation
+            // second, both from this id's own stream.
+            let order = comm_order(n_total, id, slot);
+            let cfg = searcher_cfg(&base_cfg, id, slot);
+            let rng = std::mem::replace(slot, Xoshiro256StarStar::seed_from_u64(0));
+            let links: Vec<(usize, Box<dyn Transport<FrontEntry>>)> = order
+                .into_iter()
+                .map(|p| {
+                    let tx: Box<dyn Transport<FrontEntry>> = match local_txs.get(&p) {
+                        Some(tx) => Box::new(ChannelTransport::new(tx.clone())),
+                        None => Box::new(TcpTransport::new(
+                            Arc::clone(&conns[&(p / s)]),
+                            id,
+                            p,
+                            Arc::clone(&recorder),
+                        )),
+                    };
+                    (p, tx)
+                })
+                .collect();
+            let inbox = receivers.remove(&id).expect("inbox created at start");
+            let mut endpoint = Endpoint::from_links(id, inbox, links);
+            let instance = Arc::clone(instance);
+            let recorder = Arc::clone(&recorder);
+            let hook = Arc::clone(&hook);
+            let cancel = cancel.clone();
+            handles.push(scope.spawn(move || {
+                let mut searcher =
+                    CollabSearcher::new(instance, cfg, rng, recorder, id, cancel, hook);
+                while searcher.step_once(&mut endpoint) {}
+                searcher.finish(&mut endpoint)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("searcher panicked"))
+            .collect()
+    });
+
+    let mut merged = Archive::new(base_cfg.archive_capacity);
+    let mut evaluations = 0;
+    let mut iterations = 0u64;
+    for result in results {
+        evaluations += result.evaluations;
+        iterations += result.iterations as u64;
+        for entry in result.archive {
+            merged.insert(entry);
+        }
+    }
+    NodeReport {
+        front: merged
+            .into_items()
+            .iter()
+            .map(ExchangeEntry::from_front)
+            .collect(),
+        evaluations,
+        iterations,
+    }
+}

@@ -1,0 +1,530 @@
+//! The node-to-node wire vocabulary.
+//!
+//! Same envelope as the solver service (`tsmo_serve::wire`): length-prefixed
+//! UTF-8 JSON frames ([`tsmo_obs::frame`]), one request frame answered by
+//! exactly one response frame, fixed field order so equal messages encode
+//! byte-identically. The vocabulary covers the whole node lifecycle — mesh
+//! bootstrap (`Hello`), job dispatch (`Start`), the exchange hot path
+//! (`Exchange`/`ExchangeAck`), and result gathering (`Front`, `Metrics`).
+
+use std::fmt::Write as _;
+use tsmo_core::FrontEntry;
+use tsmo_obs::json::{self, Json};
+use vrptw::{Objectives, Solution};
+
+/// One archive entry in transit: the objective vector plus the routes
+/// realizing it. This is all a receiver needs — objectives feed dominance
+/// checks directly and the routes rebuild the [`Solution`] for `M_nondom`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeEntry {
+    /// Minimization vector `[distance, vehicles, tardiness]`.
+    pub objectives: [f64; 3],
+    /// The deployed routes (customer ids, depot omitted).
+    pub routes: Vec<Vec<u16>>,
+}
+
+impl ExchangeEntry {
+    /// Flattens a front entry for the wire.
+    pub fn from_front(entry: &FrontEntry) -> Self {
+        Self {
+            objectives: entry.objectives.to_vector(),
+            routes: entry
+                .solution
+                .routes()
+                .iter()
+                .filter(|r| !r.is_empty())
+                .map(|r| r.to_vec())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the front entry. The objectives are trusted as sent —
+    /// sender and receiver run the same evaluator on the same instance.
+    pub fn to_front(&self) -> FrontEntry {
+        let objectives = Objectives {
+            distance: self.objectives[0],
+            vehicles: self.objectives[1].round() as usize,
+            tardiness: self.objectives[2],
+        };
+        FrontEntry::new(Solution::from_routes(self.routes.clone()), objectives)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"objectives\":[");
+        for (i, x) in self.objectives.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_f64(out, *x);
+        }
+        out.push_str("],\"routes\":[");
+        for (i, route) in self.routes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, site) in route.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{site}");
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(Self {
+            objectives: objective_vector(doc.get("objectives").ok_or("missing 'objectives'")?)?,
+            routes: routes_from(doc.get("routes").ok_or("missing 'routes'")?)?,
+        })
+    }
+}
+
+/// What one node needs to run its share of a distributed collaborative
+/// search. Every node of the mesh receives the same job, differing only in
+/// `node_index`; together with the shared `seed` that pins the node's
+/// global searcher ids, RNG streams, communication lists, and parameter
+/// perturbations — the exact values the in-process run would use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshJob {
+    /// The instance, as Solomon-format text.
+    pub instance_text: String,
+    /// This node's index into `peers`.
+    pub node_index: usize,
+    /// One `host:port` per node, in global node order.
+    pub peers: Vec<String>,
+    /// Searchers hosted by every node; node `k` runs the global searcher
+    /// ids `k*s .. (k+1)*s`.
+    pub searchers_per_node: usize,
+    /// Master seed shared by the whole mesh.
+    pub seed: u64,
+    /// Evaluation budget per searcher.
+    pub max_evaluations: u64,
+    /// Neighborhood size per iteration.
+    pub neighborhood_size: usize,
+    /// Iterations without archive improvement before restart (also ends
+    /// the initial no-exchange phase).
+    pub stagnation_limit: usize,
+    /// Deterministic exchange fault injection
+    /// (`tsmo_faults::FaultConfig::exchange_only(seed, rate)`); a zero
+    /// rate runs the unfaulted path.
+    pub fault_seed: u64,
+    /// Exchange fault rate in `[0, 1]`.
+    pub fault_rate: f64,
+}
+
+impl Default for MeshJob {
+    fn default() -> Self {
+        Self {
+            instance_text: String::new(),
+            node_index: 0,
+            peers: Vec::new(),
+            searchers_per_node: 2,
+            seed: 0,
+            max_evaluations: 10_000,
+            neighborhood_size: 50,
+            stagnation_limit: 100,
+            fault_seed: 0,
+            fault_rate: 0.0,
+        }
+    }
+}
+
+impl MeshJob {
+    /// Total searchers across the mesh.
+    pub fn total_searchers(&self) -> usize {
+        self.peers.len() * self.searchers_per_node
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"instance\":");
+        json::write_str(out, &self.instance_text);
+        let _ = write!(out, ",\"node_index\":{},\"peers\":[", self.node_index);
+        for (i, p) in self.peers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(out, p);
+        }
+        let _ = write!(
+            out,
+            "],\"searchers_per_node\":{},\"seed\":{},\"max_evaluations\":{},\"neighborhood_size\":{},\"stagnation_limit\":{},\"fault_seed\":{},\"fault_rate\":",
+            self.searchers_per_node,
+            self.seed,
+            self.max_evaluations,
+            self.neighborhood_size,
+            self.stagnation_limit,
+            self.fault_seed
+        );
+        json::write_f64(out, self.fault_rate);
+        out.push('}');
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        let peers = match doc.get("peers") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "bad peer address".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing 'peers' array".to_string()),
+        };
+        Ok(Self {
+            instance_text: req_str(doc, "instance")?.to_string(),
+            node_index: req_u64(doc, "node_index")? as usize,
+            peers,
+            searchers_per_node: req_u64(doc, "searchers_per_node")? as usize,
+            seed: req_u64(doc, "seed")?,
+            max_evaluations: req_u64(doc, "max_evaluations")?,
+            neighborhood_size: req_u64(doc, "neighborhood_size")? as usize,
+            stagnation_limit: req_u64(doc, "stagnation_limit")? as usize,
+            fault_seed: req_u64(doc, "fault_seed")?,
+            fault_rate: req_f64(doc, "fault_rate")?,
+        })
+    }
+}
+
+/// A node-protocol message. Requests and responses share one enum: the
+/// exchange hot path and the control plane use the same framed connection,
+/// so a single parser handles everything a node can read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeMsg {
+    /// Liveness probe / bootstrap handshake; `node` is the sender's node
+    /// index (or `0` from a controller).
+    Hello {
+        /// Sender's node index.
+        node: u64,
+    },
+    /// Answer to `Hello`; `node` is the responder's node index
+    /// (`u64::MAX` while idle, before any job assigned an index).
+    HelloAck {
+        /// Responder's node index.
+        node: u64,
+    },
+    /// An archive improvement from global searcher `from` addressed to
+    /// global searcher `to` (hosted by the receiving node).
+    Exchange {
+        /// Sending searcher's global id.
+        from: u64,
+        /// Receiving searcher's global id.
+        to: u64,
+        /// The solution in transit.
+        entry: ExchangeEntry,
+    },
+    /// The exchange was delivered to the target searcher's inbox.
+    ExchangeAck,
+    /// Run this node's share of a distributed search.
+    Start {
+        /// The node's job.
+        job: MeshJob,
+    },
+    /// The job was admitted and its searchers are running.
+    Started,
+    /// Query the node's lifecycle state.
+    Status,
+    /// Answer to `Status`: `idle`, `running`, or `done`.
+    NodeStatus {
+        /// Current lifecycle state.
+        state: String,
+    },
+    /// Fetch the node's merged front (answered once `done`).
+    Front,
+    /// The node's merged front plus its summed counters.
+    FrontReply {
+        /// Non-dominated merge of the node's searcher archives.
+        entries: Vec<ExchangeEntry>,
+        /// Evaluations consumed across the node's searchers.
+        evaluations: u64,
+        /// Iterations performed across the node's searchers.
+        iterations: u64,
+    },
+    /// Prometheus exposition of the node's telemetry.
+    Metrics,
+    /// Answer to `Metrics`.
+    MetricsReply {
+        /// The exposition body.
+        prometheus: String,
+    },
+    /// Cooperatively cancel the running job.
+    Stop,
+    /// Cancellation was requested.
+    Stopped,
+    /// Stop the daemon after this response.
+    Shutdown,
+    /// The daemon stops now.
+    ShutdownOk,
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl NodeMsg {
+    /// Encodes the message as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        match self {
+            NodeMsg::Hello { node } => {
+                let _ = write!(s, "{{\"type\":\"hello\",\"node\":{node}}}");
+            }
+            NodeMsg::HelloAck { node } => {
+                let _ = write!(s, "{{\"type\":\"hello_ack\",\"node\":{node}}}");
+            }
+            NodeMsg::Exchange { from, to, entry } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"exchange\",\"from\":{from},\"to\":{to},\"entry\":"
+                );
+                entry.write_json(&mut s);
+                s.push('}');
+            }
+            NodeMsg::ExchangeAck => s.push_str("{\"type\":\"exchange_ack\"}"),
+            NodeMsg::Start { job } => {
+                s.push_str("{\"type\":\"start\",\"job\":");
+                job.write_json(&mut s);
+                s.push('}');
+            }
+            NodeMsg::Started => s.push_str("{\"type\":\"started\"}"),
+            NodeMsg::Status => s.push_str("{\"type\":\"status\"}"),
+            NodeMsg::NodeStatus { state } => {
+                s.push_str("{\"type\":\"node_status\",\"state\":");
+                json::write_str(&mut s, state);
+                s.push('}');
+            }
+            NodeMsg::Front => s.push_str("{\"type\":\"front\"}"),
+            NodeMsg::FrontReply {
+                entries,
+                evaluations,
+                iterations,
+            } => {
+                s.push_str("{\"type\":\"front_reply\",\"entries\":[");
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    e.write_json(&mut s);
+                }
+                let _ = write!(
+                    s,
+                    "],\"evaluations\":{evaluations},\"iterations\":{iterations}}}"
+                );
+            }
+            NodeMsg::Metrics => s.push_str("{\"type\":\"metrics\"}"),
+            NodeMsg::MetricsReply { prometheus } => {
+                s.push_str("{\"type\":\"metrics_reply\",\"prometheus\":");
+                json::write_str(&mut s, prometheus);
+                s.push('}');
+            }
+            NodeMsg::Stop => s.push_str("{\"type\":\"stop\"}"),
+            NodeMsg::Stopped => s.push_str("{\"type\":\"stopped\"}"),
+            NodeMsg::Shutdown => s.push_str("{\"type\":\"shutdown\"}"),
+            NodeMsg::ShutdownOk => s.push_str("{\"type\":\"shutdown_ok\"}"),
+            NodeMsg::Error { message } => {
+                s.push_str("{\"type\":\"error\",\"message\":");
+                json::write_str(&mut s, message);
+                s.push('}');
+            }
+        }
+        s
+    }
+
+    /// Parses a message document.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        match req_str(&doc, "type")? {
+            "hello" => Ok(NodeMsg::Hello {
+                node: req_u64(&doc, "node")?,
+            }),
+            "hello_ack" => Ok(NodeMsg::HelloAck {
+                node: req_u64(&doc, "node")?,
+            }),
+            "exchange" => Ok(NodeMsg::Exchange {
+                from: req_u64(&doc, "from")?,
+                to: req_u64(&doc, "to")?,
+                entry: ExchangeEntry::from_json(doc.get("entry").ok_or("missing 'entry'")?)?,
+            }),
+            "exchange_ack" => Ok(NodeMsg::ExchangeAck),
+            "start" => Ok(NodeMsg::Start {
+                job: MeshJob::from_json(doc.get("job").ok_or("missing 'job'")?)?,
+            }),
+            "started" => Ok(NodeMsg::Started),
+            "status" => Ok(NodeMsg::Status),
+            "node_status" => Ok(NodeMsg::NodeStatus {
+                state: req_str(&doc, "state")?.to_string(),
+            }),
+            "front" => Ok(NodeMsg::Front),
+            "front_reply" => {
+                let entries = match doc.get("entries") {
+                    Some(Json::Array(items)) => items
+                        .iter()
+                        .map(ExchangeEntry::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err("missing 'entries' array".to_string()),
+                };
+                Ok(NodeMsg::FrontReply {
+                    entries,
+                    evaluations: req_u64(&doc, "evaluations")?,
+                    iterations: req_u64(&doc, "iterations")?,
+                })
+            }
+            "metrics" => Ok(NodeMsg::Metrics),
+            "metrics_reply" => Ok(NodeMsg::MetricsReply {
+                prometheus: req_str(&doc, "prometheus")?.to_string(),
+            }),
+            "stop" => Ok(NodeMsg::Stop),
+            "stopped" => Ok(NodeMsg::Stopped),
+            "shutdown" => Ok(NodeMsg::Shutdown),
+            "shutdown_ok" => Ok(NodeMsg::ShutdownOk),
+            "error" => Ok(NodeMsg::Error {
+                message: req_str(&doc, "message")?.to_string(),
+            }),
+            other => Err(format!("unknown node message type '{other}'")),
+        }
+    }
+}
+
+fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("bad '{key}' field"))
+}
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("bad '{key}' field"))
+}
+
+fn req_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("bad '{key}' field"))
+}
+
+fn objective_vector(v: &Json) -> Result<[f64; 3], String> {
+    match v {
+        Json::Array(items) if items.len() == 3 => {
+            let mut out = [0.0; 3];
+            for (i, item) in items.iter().enumerate() {
+                out[i] = item.as_f64().ok_or("non-numeric objective")?;
+            }
+            Ok(out)
+        }
+        _ => Err("objective vector must be a 3-element array".to_string()),
+    }
+}
+
+fn routes_from(v: &Json) -> Result<Vec<Vec<u16>>, String> {
+    match v {
+        Json::Array(routes) => routes
+            .iter()
+            .map(|route| match route {
+                Json::Array(sites) => sites
+                    .iter()
+                    .map(|s| {
+                        s.as_u64()
+                            .and_then(|x| u16::try_from(x).ok())
+                            .ok_or_else(|| "bad site id".to_string())
+                    })
+                    .collect(),
+                _ => Err("route must be an array".to_string()),
+            })
+            .collect(),
+        _ => Err("routes must be an array of routes".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> ExchangeEntry {
+        ExchangeEntry {
+            objectives: [512.25, 4.0, 0.0],
+            routes: vec![vec![1, 3, 2], vec![4], vec![5, 6]],
+        }
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        let samples = vec![
+            NodeMsg::Hello { node: 2 },
+            NodeMsg::HelloAck { node: u64::MAX },
+            NodeMsg::Exchange {
+                from: 5,
+                to: 1,
+                entry: sample_entry(),
+            },
+            NodeMsg::ExchangeAck,
+            NodeMsg::Start {
+                job: MeshJob {
+                    instance_text: "R101\nline two\t\"quoted\"".to_string(),
+                    node_index: 1,
+                    peers: vec!["127.0.0.1:4001".to_string(), "127.0.0.1:4002".to_string()],
+                    searchers_per_node: 3,
+                    seed: 42,
+                    max_evaluations: 20_000,
+                    neighborhood_size: 80,
+                    stagnation_limit: 25,
+                    fault_seed: 7,
+                    fault_rate: 0.125,
+                },
+            },
+            NodeMsg::Start {
+                job: MeshJob::default(),
+            },
+            NodeMsg::Started,
+            NodeMsg::Status,
+            NodeMsg::NodeStatus {
+                state: "running".to_string(),
+            },
+            NodeMsg::Front,
+            NodeMsg::FrontReply {
+                entries: vec![sample_entry()],
+                evaluations: 40_000,
+                iterations: 800,
+            },
+            NodeMsg::Metrics,
+            NodeMsg::MetricsReply {
+                prometheus: "tsmo_exchanges_received_total 3\n".to_string(),
+            },
+            NodeMsg::Stop,
+            NodeMsg::Stopped,
+            NodeMsg::Shutdown,
+            NodeMsg::ShutdownOk,
+            NodeMsg::Error {
+                message: "no \"job\" running".to_string(),
+            },
+        ];
+        for msg in samples {
+            let text = msg.to_json();
+            let parsed = NodeMsg::parse(&text).expect("parse back");
+            assert_eq!(parsed, msg, "mismatch for {text}");
+            assert_eq!(parsed.to_json(), text, "re-encode must be stable");
+        }
+    }
+
+    #[test]
+    fn exchange_entry_converts_to_and_from_front_entries() {
+        let entry = sample_entry();
+        let front = entry.to_front();
+        assert_eq!(front.objectives.to_vector(), entry.objectives);
+        assert_eq!(ExchangeEntry::from_front(&front), entry);
+    }
+
+    #[test]
+    fn total_searchers_multiplies_nodes_by_share() {
+        let job = MeshJob {
+            peers: vec!["a".into(), "b".into(), "c".into()],
+            searchers_per_node: 4,
+            ..MeshJob::default()
+        };
+        assert_eq!(job.total_searchers(), 12);
+    }
+}

@@ -1,0 +1,302 @@
+//! The `--virtual-net` loopback: a whole mesh in one process, one thread.
+//!
+//! Real distributed runs interleave exchanges by wall clock, so two runs of
+//! the same seed differ. The virtual network removes that freedom: all
+//! `nodes × searchers_per_node` searchers step round-robin on one thread,
+//! every transport is an in-process channel wrapped in a recorder, and the
+//! result is a byte-reproducible distributed run — same streams, same
+//! communication lists, same perturbations, same two-stage front merge as
+//! the TCP mesh (per-node archives first, then the global archive).
+//!
+//! Recording captures every delivered exchange as `(from, to, objectives)`
+//! in delivery order; replaying the log alongside a fresh run verifies each
+//! delivery against the recorded one and reports the first divergence.
+//! Matching logs plus matching merged fronts is the reproducibility proof
+//! `clusterctl --virtual-net` and the acceptance tests rely on.
+
+use crate::mesh::merge_node_fronts;
+use crossbeam::channel::{unbounded, Sender};
+use deme::multisearch::{comm_order, Endpoint, Transport};
+use detrand::{streams, Xoshiro256StarStar};
+use pareto::Archive;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use tsmo_core::{searcher_cfg, CancelToken, CollabSearcher, FrontEntry, TsmoConfig};
+use tsmo_faults::FaultHook;
+use tsmo_obs::Recorder;
+use vrptw::Instance;
+
+/// The shape of a virtual mesh run.
+#[derive(Debug, Clone)]
+pub struct VirtualMeshConfig {
+    /// Number of virtual nodes.
+    pub nodes: usize,
+    /// Searchers hosted per virtual node.
+    pub searchers_per_node: usize,
+    /// Base search configuration (seed included).
+    pub cfg: TsmoConfig,
+}
+
+/// One delivered exchange, as recorded by the virtual network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeRecord {
+    /// Sending searcher's global id.
+    pub from: usize,
+    /// Receiving searcher's global id.
+    pub to: usize,
+    /// The delivered solution's objective vector.
+    pub objectives: [f64; 3],
+}
+
+/// Result of a virtual mesh run.
+#[derive(Debug)]
+pub struct VirtualOutcome {
+    /// The global merged front (two-stage merge, as the TCP mesh gathers).
+    pub front: Vec<FrontEntry>,
+    /// Per-node merged fronts, in node order.
+    pub node_fronts: Vec<Vec<FrontEntry>>,
+    /// Evaluations summed over all searchers.
+    pub evaluations: u64,
+    /// Iterations summed over all searchers.
+    pub iterations: u64,
+    /// Every delivered exchange, in delivery order.
+    pub log: Vec<ExchangeRecord>,
+}
+
+enum LogMode {
+    Record,
+    Verify {
+        expected: Vec<ExchangeRecord>,
+        cursor: usize,
+        divergence: Option<String>,
+    },
+}
+
+struct LogState {
+    mode: LogMode,
+    seen: Vec<ExchangeRecord>,
+}
+
+impl LogState {
+    fn observe(&mut self, rec: ExchangeRecord) {
+        if let LogMode::Verify {
+            expected,
+            cursor,
+            divergence,
+        } = &mut self.mode
+        {
+            if divergence.is_none() {
+                match expected.get(*cursor) {
+                    Some(want) if *want == rec => {}
+                    Some(want) => {
+                        *divergence = Some(format!(
+                            "delivery {} diverged: recorded {want:?}, replayed {rec:?}",
+                            *cursor
+                        ));
+                    }
+                    None => {
+                        *divergence = Some(format!("replay delivered extra exchange {rec:?}"));
+                    }
+                }
+                *cursor += 1;
+            }
+        }
+        self.seen.push(rec);
+    }
+}
+
+/// A channel transport that logs (or verifies) each delivered exchange.
+struct RecordingTransport {
+    tx: Sender<FrontEntry>,
+    from: usize,
+    to: usize,
+    log: Arc<Mutex<LogState>>,
+}
+
+impl Transport<FrontEntry> for RecordingTransport {
+    fn send(&self, msg: FrontEntry) -> Result<(), FrontEntry> {
+        let objectives = msg.objectives.to_vector();
+        match self.tx.send(msg) {
+            Ok(()) => {
+                self.log
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .observe(ExchangeRecord {
+                        from: self.from,
+                        to: self.to,
+                        objectives,
+                    });
+                Ok(())
+            }
+            Err(e) => Err(e.0),
+        }
+    }
+}
+
+/// Runs the virtual mesh and records its exchange log.
+pub fn run_virtual(
+    inst: &Arc<Instance>,
+    vm: &VirtualMeshConfig,
+    recorder: Arc<dyn Recorder>,
+    hook: Arc<dyn FaultHook>,
+) -> VirtualOutcome {
+    run(inst, vm, recorder, hook, LogMode::Record).expect("record mode cannot diverge")
+}
+
+/// Re-runs the virtual mesh while verifying every delivery against `log`;
+/// `Err` carries the first divergence. A clean replay returns an outcome
+/// whose front and log are byte-comparable to the recorded run's.
+pub fn replay_virtual(
+    inst: &Arc<Instance>,
+    vm: &VirtualMeshConfig,
+    recorder: Arc<dyn Recorder>,
+    hook: Arc<dyn FaultHook>,
+    log: &[ExchangeRecord],
+) -> Result<VirtualOutcome, String> {
+    run(
+        inst,
+        vm,
+        recorder,
+        hook,
+        LogMode::Verify {
+            expected: log.to_vec(),
+            cursor: 0,
+            divergence: None,
+        },
+    )
+}
+
+fn run(
+    inst: &Arc<Instance>,
+    vm: &VirtualMeshConfig,
+    recorder: Arc<dyn Recorder>,
+    hook: Arc<dyn FaultHook>,
+    mode: LogMode,
+) -> Result<VirtualOutcome, String> {
+    assert!(vm.nodes > 0 && vm.searchers_per_node > 0, "empty mesh");
+    let n_total = vm.nodes * vm.searchers_per_node;
+    let log = Arc::new(Mutex::new(LogState {
+        mode,
+        seen: Vec::new(),
+    }));
+    let channels: Vec<_> = (0..n_total).map(|_| unbounded::<FrontEntry>()).collect();
+    let mut rngs = streams(vm.cfg.seed, n_total);
+    let mut searchers = Vec::with_capacity(n_total);
+    let mut endpoints = Vec::with_capacity(n_total);
+    for id in 0..n_total {
+        // Same draw order as the thread and TCP builds: list, then params.
+        let order = comm_order(n_total, id, &mut rngs[id]);
+        let cfg = searcher_cfg(&vm.cfg, id, &mut rngs[id]);
+        let rng = std::mem::replace(&mut rngs[id], Xoshiro256StarStar::seed_from_u64(0));
+        let links: Vec<(usize, Box<dyn Transport<FrontEntry>>)> = order
+            .into_iter()
+            .map(|p| {
+                (
+                    p,
+                    Box::new(RecordingTransport {
+                        tx: channels[p].0.clone(),
+                        from: id,
+                        to: p,
+                        log: Arc::clone(&log),
+                    }) as Box<dyn Transport<FrontEntry>>,
+                )
+            })
+            .collect();
+        endpoints.push(Endpoint::from_links(id, channels[id].1.clone(), links));
+        searchers.push(Some(CollabSearcher::new(
+            Arc::clone(inst),
+            cfg,
+            rng,
+            Arc::clone(&recorder),
+            id,
+            CancelToken::never(),
+            Arc::clone(&hook),
+        )));
+    }
+
+    // Round-robin stepping: searcher i runs its iteration k before anyone
+    // runs iteration k+1, which pins the delivery order of every exchange.
+    loop {
+        let mut any = false;
+        for id in 0..n_total {
+            if let Some(searcher) = searchers[id].as_mut() {
+                any |= searcher.step_once(&mut endpoints[id]);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+
+    let mut node_fronts = Vec::with_capacity(vm.nodes);
+    let mut evaluations = 0;
+    let mut iterations = 0u64;
+    for node in 0..vm.nodes {
+        let mut node_archive = Archive::new(vm.cfg.archive_capacity);
+        for local in 0..vm.searchers_per_node {
+            let id = node * vm.searchers_per_node + local;
+            let searcher = searchers[id].take().expect("finished once");
+            let result = searcher.finish(&mut endpoints[id]);
+            evaluations += result.evaluations;
+            iterations += result.iterations as u64;
+            for entry in result.archive {
+                node_archive.insert(entry);
+            }
+        }
+        node_fronts.push(node_archive.into_items());
+    }
+    let front = merge_node_fronts(&node_fronts, vm.cfg.archive_capacity);
+
+    // The endpoints own the recording transports; release their log
+    // handles so the state can be unwrapped.
+    drop(endpoints);
+    drop(channels);
+    let log = Arc::try_unwrap(log)
+        .map_err(|_| "transport handles outlived the run".to_string())?
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let LogMode::Verify {
+        expected,
+        cursor,
+        divergence,
+    } = log.mode
+    {
+        if let Some(d) = divergence {
+            return Err(d);
+        }
+        if cursor != expected.len() {
+            return Err(format!(
+                "replay delivered {cursor} exchanges, recording has {}",
+                expected.len()
+            ));
+        }
+    }
+    Ok(VirtualOutcome {
+        front,
+        node_fronts,
+        evaluations,
+        iterations,
+        log: log.seen,
+    })
+}
+
+/// Canonical byte serialization of a front, for identity comparisons: one
+/// line per entry, objectives then routes, in archive order.
+pub fn front_fingerprint(front: &[FrontEntry]) -> String {
+    let mut out = String::new();
+    for entry in front {
+        let [d, v, t] = entry.objectives.to_vector();
+        let _ = write!(out, "[{d},{v},{t}]");
+        for route in entry.solution.routes() {
+            out.push('|');
+            for (i, site) in route.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{site}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,132 @@
+//! Acceptance: killing one real node mid-run still yields a valid,
+//! mutually non-dominated merged front gathered from the survivors.
+//!
+//! Three in-process `Noded` daemons exchange over real localhost TCP. Once
+//! node 0 has provably received remote solutions, node 2 is halted hard
+//! (listener and live connections torn down, job cancelled). The two
+//! survivors must route around the dead peers, finish their budgets, and
+//! report fronts whose merge is non-empty, mutually non-dominated, and
+//! made of solutions that check clean against the instance.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tsmo_cluster::mesh::{merge_node_fronts, prometheus_counter, MeshClient};
+use tsmo_cluster::{MeshJob, NodeConfig, Noded};
+use tsmo_obs::metrics::names;
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+const NET_TIMEOUT: Duration = Duration::from_secs(2);
+
+fn start_node() -> Noded {
+    Noded::start(NodeConfig::default()).expect("bind node")
+}
+
+#[test]
+fn killing_one_node_mid_run_leaves_a_valid_merged_front_from_survivors() {
+    let inst = GeneratorConfig::new(InstanceClass::R2, 30, 7).build();
+    let instance_text = vrptw::solomon::write(&inst);
+
+    let nodes: Vec<Noded> = (0..3).map(|_| start_node()).collect();
+    let peers: Vec<String> = nodes.iter().map(|n| n.local_addr().to_string()).collect();
+    let clients: Vec<MeshClient> = peers
+        .iter()
+        .map(|p| MeshClient::new(p.clone(), NET_TIMEOUT))
+        .collect();
+
+    // A generous budget with a short stagnation limit: the searchers leave
+    // the initial phase quickly and keep exchanging long enough for the
+    // kill to land mid-run.
+    let job = MeshJob {
+        instance_text,
+        node_index: 0,
+        peers: peers.clone(),
+        searchers_per_node: 2,
+        seed: 3,
+        max_evaluations: 120_000,
+        neighborhood_size: 50,
+        stagnation_limit: 5,
+        fault_seed: 0,
+        fault_rate: 0.0,
+    };
+    for (k, client) in clients.iter().enumerate() {
+        client.wait_ready(NET_TIMEOUT).expect("node ready");
+        let mut node_job = job.clone();
+        node_job.node_index = k;
+        client.start(node_job).expect("dispatch");
+    }
+
+    // Wait until node 0 has received at least one remote exchange, so the
+    // mesh is provably collaborating before the kill.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let prom = clients[0].metrics().expect("metrics");
+        if prometheus_counter(&prom, names::EXCHANGES_RECEIVED) > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "node 0 never received an exchange; cannot test the kill"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let mut nodes = nodes;
+    let victim = nodes.remove(2);
+    victim.halt();
+
+    // Survivors must finish despite their links to node 2's searchers now
+    // failing: the rotation marks them dead and routes around them.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for client in &clients[..2] {
+        loop {
+            match client.status().expect("survivor answers").as_str() {
+                "done" => break,
+                _ => {
+                    assert!(Instant::now() < deadline, "survivor did not finish");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    let inst = Arc::new(inst);
+    let mut node_fronts = Vec::new();
+    for (k, client) in clients[..2].iter().enumerate() {
+        let report = client.front().expect("survivor front");
+        assert!(!report.front.is_empty(), "node {k} reported an empty front");
+        assert!(report.evaluations > 0);
+        node_fronts.push(
+            report
+                .front
+                .iter()
+                .map(|e| e.to_front())
+                .collect::<Vec<_>>(),
+        );
+    }
+    // The dead node contributes nothing; merge only the survivors, exactly
+    // as run_mesh would after its gather finds node 2 unreachable.
+    let merged = merge_node_fronts(&node_fronts, 20);
+    assert!(!merged.is_empty(), "merged survivor front is empty");
+    assert_eq!(
+        pareto::non_dominated_indices(&merged).len(),
+        merged.len(),
+        "merged survivor front must be mutually non-dominated"
+    );
+    for entry in &merged {
+        assert!(
+            entry.solution.check(&inst).is_empty(),
+            "survivor front contains an invalid solution"
+        );
+    }
+
+    // The dead node's address must now refuse the controller too.
+    assert!(
+        MeshClient::new(peers[2].clone(), Duration::from_millis(200))
+            .status()
+            .is_err()
+    );
+
+    for node in nodes {
+        node.halt();
+    }
+}

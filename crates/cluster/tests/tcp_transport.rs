@@ -1,0 +1,216 @@
+//! Satellite 3: the TCP transport passes the same endpoint conformance
+//! suite as the in-process channel transport (`deme::testkit`), proving
+//! that rotation delivery, same-call failover, dead-peer skip, and probe
+//! re-admission survive real sockets.
+//!
+//! The harness stands in for remote nodes with a minimal frame server per
+//! peer: it decodes the `u32` payload smuggled through an
+//! [`ExchangeEntry`]'s distance objective, feeds the peer's inbox channel,
+//! and acks. `kill` silences the peer without closing its sockets
+//! server-side first, so `revive` can rebind the same port (no TIME_WAIT
+//! on the listener) and the suite's re-admission case runs for real.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use deme::multisearch::{comm_order, Endpoint, Transport};
+use deme::testkit::{run_transport_suite, MeshHarness};
+use detrand::streams;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tsmo_cluster::{NodeMsg, PeerConn, TcpTransport};
+use tsmo_core::FrontEntry;
+use tsmo_obs::frame::{read_frame, write_frame};
+use vrptw::{Objectives, Solution};
+
+/// Short timeout so a silenced peer fails the send quickly.
+const NET_TIMEOUT: Duration = Duration::from_millis(250);
+
+fn encode(value: u32) -> FrontEntry {
+    FrontEntry::new(
+        Solution::from_routes(vec![vec![1]]),
+        Objectives {
+            distance: f64::from(value),
+            vehicles: 0,
+            tardiness: 0.0,
+        },
+    )
+}
+
+/// `Transport<u32>` in terms of the real `TcpTransport`, round-tripping
+/// the value through the exchange wire format.
+struct U32OverTcp {
+    inner: TcpTransport,
+}
+
+impl Transport<u32> for U32OverTcp {
+    fn send(&self, value: u32) -> Result<(), u32> {
+        self.inner.send(encode(value)).map_err(|_| value)
+    }
+}
+
+/// One simulated peer node: a listener thread accepting connections and a
+/// serve thread per connection. When `alive` is false the server reads the
+/// frame but never acks, so the sender's call times out — failure without
+/// a server-side close, keeping the port rebindable.
+struct PeerSim {
+    addr: SocketAddr,
+    alive: Arc<AtomicBool>,
+    inbox_tx: Sender<u32>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+fn spawn_accept(
+    listener: TcpListener,
+    alive: Arc<AtomicBool>,
+    inbox_tx: Sender<u32>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if !alive.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let alive = Arc::clone(&alive);
+            let tx = inbox_tx.clone();
+            std::thread::spawn(move || serve(stream, alive, tx));
+        }
+    })
+}
+
+fn serve(mut stream: TcpStream, alive: Arc<AtomicBool>, tx: Sender<u32>) {
+    loop {
+        let Ok(Some(text)) = read_frame(&mut stream) else {
+            return;
+        };
+        if !alive.load(Ordering::SeqCst) {
+            return; // go silent: the sender's read will time out
+        }
+        match NodeMsg::parse(&text) {
+            Ok(NodeMsg::Exchange { entry, .. }) => {
+                let value = entry.objectives[0].round() as u32;
+                let _ = tx.send(value);
+                if write_frame(&mut stream, &NodeMsg::ExchangeAck.to_json()).is_err() {
+                    return;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+impl PeerSim {
+    fn start(inbox_tx: Sender<u32>) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind sim");
+        let addr = listener.local_addr().expect("local addr");
+        let alive = Arc::new(AtomicBool::new(true));
+        let accept_handle = Some(spawn_accept(listener, Arc::clone(&alive), inbox_tx.clone()));
+        Self {
+            addr,
+            alive,
+            inbox_tx,
+            accept_handle,
+        }
+    }
+
+    fn kill(&mut self) {
+        self.alive.store(false, Ordering::SeqCst);
+        // Poke the listener so the accept loop notices and exits, dropping
+        // the listening socket; client-initiated, so no server TIME_WAIT.
+        let _ = TcpStream::connect_timeout(&self.addr, NET_TIMEOUT);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn revive(&mut self) -> bool {
+        let Ok(listener) = TcpListener::bind(self.addr) else {
+            return false;
+        };
+        self.alive = Arc::new(AtomicBool::new(true));
+        self.accept_handle = Some(spawn_accept(
+            listener,
+            Arc::clone(&self.alive),
+            self.inbox_tx.clone(),
+        ));
+        true
+    }
+}
+
+impl Drop for PeerSim {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.kill();
+        }
+    }
+}
+
+struct TcpMesh {
+    endpoints: Vec<Endpoint<u32>>,
+    sims: Vec<PeerSim>,
+    inboxes: Vec<Receiver<u32>>,
+}
+
+impl TcpMesh {
+    fn new(n: usize) -> Self {
+        let channels: Vec<(Sender<u32>, Receiver<u32>)> = (0..n).map(|_| unbounded()).collect();
+        let sims: Vec<PeerSim> = channels
+            .iter()
+            .map(|(tx, _)| PeerSim::start(tx.clone()))
+            .collect();
+        // Same fixed seed and draw order as deme's ChannelMesh, so both
+        // harnesses exercise identical rotations.
+        let mut rngs = streams(99, n);
+        let endpoints = rngs
+            .iter_mut()
+            .enumerate()
+            .take(n)
+            .map(|(id, rng)| {
+                let links = comm_order(n, id, rng)
+                    .into_iter()
+                    .map(|p| {
+                        let conn = Arc::new(PeerConn::new(sims[p].addr.to_string(), NET_TIMEOUT));
+                        let inner = TcpTransport::new(conn, id, p, tsmo_obs::noop());
+                        (p, Box::new(U32OverTcp { inner }) as Box<dyn Transport<u32>>)
+                    })
+                    .collect();
+                Endpoint::from_links(id, channels[id].1.clone(), links)
+            })
+            .collect();
+        Self {
+            endpoints,
+            sims,
+            inboxes: channels.into_iter().map(|(_, rx)| rx).collect(),
+        }
+    }
+}
+
+impl MeshHarness for TcpMesh {
+    fn endpoint(&mut self, i: usize) -> &mut Endpoint<u32> {
+        &mut self.endpoints[i]
+    }
+
+    fn recv_all(&mut self, i: usize) -> Vec<u32> {
+        // Acks are synchronous, so everything sent is already in the
+        // channel by the time a send_next call returns.
+        let mut out = Vec::new();
+        while let Ok(v) = self.inboxes[i].try_recv() {
+            out.push(v);
+        }
+        out
+    }
+
+    fn kill(&mut self, i: usize) {
+        self.sims[i].kill();
+    }
+
+    fn revive(&mut self, i: usize) -> bool {
+        self.sims[i].revive()
+    }
+}
+
+#[test]
+fn tcp_transport_passes_the_shared_conformance_suite() {
+    run_transport_suite(TcpMesh::new);
+}

@@ -1,0 +1,109 @@
+//! Acceptance: a 3-node `--virtual-net` run produces a merged front
+//! byte-identical to the verifying replay of its own exchange recording.
+
+use std::sync::Arc;
+use tsmo_cluster::{front_fingerprint, replay_virtual, run_virtual, VirtualMeshConfig};
+use tsmo_core::TsmoConfig;
+use tsmo_faults::{FaultConfig, FaultPlan};
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+use vrptw::Instance;
+
+fn instance() -> Arc<Instance> {
+    Arc::new(GeneratorConfig::new(InstanceClass::R2, 30, 7).build())
+}
+
+fn mesh_cfg(seed: u64) -> VirtualMeshConfig {
+    VirtualMeshConfig {
+        nodes: 3,
+        searchers_per_node: 2,
+        cfg: TsmoConfig {
+            max_evaluations: 4_000,
+            neighborhood_size: 40,
+            stagnation_limit: 8,
+            ..TsmoConfig::default()
+        }
+        .with_seed(seed),
+    }
+}
+
+#[test]
+fn replay_of_a_three_node_run_is_byte_identical() {
+    let inst = instance();
+    let vm = mesh_cfg(11);
+    let recorded = run_virtual(&inst, &vm, tsmo_obs::noop(), tsmo_faults::none());
+    assert!(
+        !recorded.log.is_empty(),
+        "the mesh must actually exchange solutions for this test to mean anything"
+    );
+    assert!(!recorded.front.is_empty());
+    assert_eq!(recorded.node_fronts.len(), 3);
+
+    let replayed = replay_virtual(
+        &inst,
+        &vm,
+        tsmo_obs::noop(),
+        tsmo_faults::none(),
+        &recorded.log,
+    )
+    .expect("replay must follow the recording exactly");
+    assert_eq!(
+        front_fingerprint(&replayed.front),
+        front_fingerprint(&recorded.front),
+        "merged front must be byte-identical under replay"
+    );
+    assert_eq!(replayed.log, recorded.log);
+    assert_eq!(replayed.evaluations, recorded.evaluations);
+    assert_eq!(replayed.iterations, recorded.iterations);
+    for (a, b) in recorded.node_fronts.iter().zip(&replayed.node_fronts) {
+        assert_eq!(front_fingerprint(a), front_fingerprint(b));
+    }
+}
+
+#[test]
+fn replay_against_a_foreign_recording_reports_the_divergence() {
+    let inst = instance();
+    let recorded = run_virtual(&inst, &mesh_cfg(11), tsmo_obs::noop(), tsmo_faults::none());
+    let err = replay_virtual(
+        &inst,
+        &mesh_cfg(12), // different seed ⇒ different exchange schedule
+        tsmo_obs::noop(),
+        tsmo_faults::none(),
+        &recorded.log,
+    )
+    .expect_err("a different seed cannot reproduce the recording");
+    assert!(
+        err.contains("diverged") || err.contains("exchange"),
+        "{err}"
+    );
+}
+
+#[test]
+fn faulted_virtual_runs_replay_identically_too() {
+    // Exchange drop/delay decisions are pure functions of (seed, sender,
+    // seq), so a faulted mesh is as reproducible as a clean one.
+    let inst = instance();
+    let vm = mesh_cfg(21);
+    let hook = || FaultPlan::shared(FaultConfig::exchange_only(5, 0.4));
+    let recorded = run_virtual(&inst, &vm, tsmo_obs::noop(), hook());
+    let replayed = replay_virtual(&inst, &vm, tsmo_obs::noop(), hook(), &recorded.log)
+        .expect("faulted replay must match");
+    assert_eq!(
+        front_fingerprint(&replayed.front),
+        front_fingerprint(&recorded.front)
+    );
+}
+
+#[test]
+fn virtual_front_is_mutually_non_dominated_and_solutions_check() {
+    let inst = instance();
+    let out = run_virtual(&inst, &mesh_cfg(31), tsmo_obs::noop(), tsmo_faults::none());
+    assert_eq!(
+        pareto::non_dominated_indices(&out.front).len(),
+        out.front.len()
+    );
+    for entry in &out.front {
+        assert!(entry.solution.check(&inst).is_empty(), "invalid solution");
+    }
+    // 6 searchers, each with its own 4,000-evaluation budget.
+    assert_eq!(out.evaluations, 24_000);
+}

@@ -2,45 +2,15 @@
 
 use crate::cancel::CancelToken;
 use crate::config::TsmoConfig;
-use crate::core_search::SearchCore;
-use crate::fault_obs::record_fault;
-use crate::neighborhood::generate_chunk;
 use crate::outcome::{FrontEntry, TsmoOutcome};
-use deme::{multisearch, EvaluationBudget, RunClock};
+use crate::searcher::{searcher_cfg, CollabSearcher, SearcherResult};
+use deme::{multisearch, RunClock};
 use detrand::{streams, Xoshiro256StarStar};
 use pareto::Archive;
 use std::sync::Arc;
-use tsmo_faults::{FaultHook, MsgFault};
-use tsmo_obs::{metrics::names, ExchangeDirection, FaultKind, Recorder, SearchEvent, Stopwatch};
+use tsmo_faults::FaultHook;
+use tsmo_obs::{metrics::names, Recorder};
 use vrptw::Instance;
-
-/// Sends `entry` to the head of `endpoint`'s rotation (with liveness
-/// failover) and publishes the exchange telemetry.
-fn send_entry(
-    endpoint: &mut multisearch::Endpoint<FrontEntry>,
-    recorder: &Arc<dyn Recorder>,
-    id: usize,
-    entry: FrontEntry,
-) {
-    let vector = entry.objectives.to_vector();
-    match endpoint.send_next(entry) {
-        Some(peer) => {
-            recorder.counter_add(names::EXCHANGE_SENT, 1);
-            if recorder.enabled() {
-                recorder.event(SearchEvent::Exchange {
-                    searcher: id as u32,
-                    peer: peer as u32,
-                    direction: ExchangeDirection::Sent,
-                    objectives: vector,
-                });
-            }
-        }
-        None => {
-            // Every peer is dead or disconnected; the entry is dropped.
-            recorder.counter_add(names::EXCHANGE_UNDELIVERABLE, 1);
-        }
-    }
-}
 
 /// Collaborative multisearch TSMO.
 ///
@@ -124,7 +94,7 @@ impl CollaborativeTsmo {
         let mut rngs: Vec<Xoshiro256StarStar> = streams(self.cfg.seed, n);
         let endpoints = multisearch::network::<FrontEntry, _>(n, &mut rngs);
 
-        let results: Vec<(Vec<FrontEntry>, u64, usize, f64)> = std::thread::scope(|scope| {
+        let results: Vec<SearcherResult> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (id, (mut endpoint, mut rng)) in endpoints.into_iter().zip(rngs).enumerate() {
                 let inst = Arc::clone(inst);
@@ -133,131 +103,11 @@ impl CollaborativeTsmo {
                 let hook = Arc::clone(&self.faults);
                 let cancel = self.cancel.clone();
                 handles.push(scope.spawn(move || {
-                    let watch = Stopwatch::start();
-                    // Searcher 0 keeps the undisturbed parameters.
-                    let cfg = if id == 0 {
-                        base_cfg
-                    } else {
-                        base_cfg.perturbed(&mut rng)
-                    };
-                    let budget = EvaluationBudget::new(cfg.max_evaluations);
-                    let mut core = SearchCore::with_recorder(
-                        Arc::clone(&inst),
-                        cfg.clone(),
-                        rng,
-                        Arc::clone(&recorder),
-                        id as u32,
-                    );
-                    let mut initial_phase = true;
-                    let mut initial_stagnation = 0usize;
-                    // Fault bookkeeping: decision counter, local iteration
-                    // ticks, and delayed messages waiting for their tick.
-                    let mut exchange_seq = 0u64;
-                    let mut tick = 0u64;
-                    let mut delayed: Vec<(u64, FrontEntry)> = Vec::new();
-                    while !budget.exhausted() && !cancel.should_stop(core.iteration()) {
-                        tick += 1;
-                        // Release delayed messages whose tick has come.
-                        if !delayed.is_empty() {
-                            let due: Vec<FrontEntry> = {
-                                let mut keep = Vec::new();
-                                let mut out = Vec::new();
-                                for (at, entry) in delayed.drain(..) {
-                                    if at <= tick {
-                                        out.push(entry);
-                                    } else {
-                                        keep.push((at, entry));
-                                    }
-                                }
-                                delayed = keep;
-                                out
-                            };
-                            for entry in due {
-                                send_entry(&mut endpoint, &recorder, id, entry);
-                            }
-                        }
-                        // Collaborate: incoming solutions feed M_nondom.
-                        recorder.observe(names::RESULT_QUEUE_DEPTH, endpoint.inbox_len() as f64);
-                        for entry in endpoint.drain() {
-                            recorder.counter_add(names::EXCHANGE_RECEIVED, 1);
-                            if recorder.enabled() {
-                                recorder.event(SearchEvent::Exchange {
-                                    searcher: id as u32,
-                                    // The wire format carries no sender id.
-                                    peer: id as u32,
-                                    direction: ExchangeDirection::Received,
-                                    objectives: entry.objectives.to_vector(),
-                                });
-                            }
-                            core.offer_to_nondom(entry);
-                        }
-                        let granted = budget.try_consume(cfg.neighborhood_size as u64) as usize;
-                        if granted == 0 {
-                            break;
-                        }
-                        recorder.counter_add(names::EVALUATIONS, granted as u64);
-                        let seed = core.next_seed();
-                        let pool = generate_chunk(
-                            &inst,
-                            core.current(),
-                            seed,
-                            granted,
-                            core.sample_params(),
-                            core.iteration(),
-                        );
-                        let report = core.step(pool);
-                        if initial_phase {
-                            // The initial phase ends when the searcher "could
-                            // not add any new solutions to the set of pareto
-                            // optimal solutions found for a number of
-                            // iterations".
-                            if report.improved_archive.is_some() {
-                                initial_stagnation = 0;
-                            } else {
-                                initial_stagnation += 1;
-                                if initial_stagnation >= cfg.stagnation_limit {
-                                    initial_phase = false;
-                                }
-                            }
-                        } else if let Some(entry) = report.improved_archive {
-                            let fault = if hook.active() {
-                                let seq = exchange_seq;
-                                exchange_seq += 1;
-                                (seq, hook.on_exchange(id, seq))
-                            } else {
-                                (0, MsgFault::Deliver)
-                            };
-                            match fault {
-                                (_, MsgFault::Deliver) => {
-                                    send_entry(&mut endpoint, &recorder, id, entry);
-                                }
-                                (seq, MsgFault::Drop) => {
-                                    record_fault(
-                                        &*recorder,
-                                        id as u32,
-                                        seq,
-                                        FaultKind::ExchangeDrop,
-                                    );
-                                }
-                                (seq, MsgFault::Delay { ticks }) => {
-                                    record_fault(
-                                        &*recorder,
-                                        id as u32,
-                                        seq,
-                                        FaultKind::ExchangeDelay,
-                                    );
-                                    delayed.push((tick + ticks.max(1), entry));
-                                }
-                            }
-                        }
-                    }
-                    // Best-effort flush of still-delayed messages; peers
-                    // that already finished simply never receive them.
-                    for (_, entry) in delayed.drain(..) {
-                        send_entry(&mut endpoint, &recorder, id, entry);
-                    }
-                    let (archive, _, iterations) = core.finish();
-                    (archive, budget.consumed(), iterations, watch.seconds())
+                    let cfg = searcher_cfg(&base_cfg, id, &mut rng);
+                    let mut searcher =
+                        CollabSearcher::new(inst, cfg, rng, recorder, id, cancel, hook);
+                    while searcher.step_once(&mut endpoint) {}
+                    searcher.finish(&mut endpoint)
                 }));
             }
             handles
@@ -270,18 +120,18 @@ impl CollaborativeTsmo {
         let mut evaluations = 0;
         let mut iterations = 0;
         let runtime_seconds = clock.seconds();
-        for (id, (archive, evals, iters, active_seconds)) in results.into_iter().enumerate() {
-            evaluations += evals;
-            iterations += iters;
+        for (id, result) in results.into_iter().enumerate() {
+            evaluations += result.evaluations;
+            iterations += result.iterations;
             // Searchers are peers: "busy" is the fraction of the run they
             // were still searching (they stop when their budget is spent).
             let frac = if runtime_seconds > 0.0 {
-                (active_seconds / runtime_seconds).min(1.0)
+                (result.active_seconds / runtime_seconds).min(1.0)
             } else {
                 0.0
             };
             recorder.gauge_set(&names::worker_busy_fraction(id), frac);
-            for entry in archive {
+            for entry in result.archive {
                 merged.insert(entry);
             }
         }

@@ -64,6 +64,7 @@ mod hybrid;
 mod neighborhood;
 mod outcome;
 mod scalarized;
+mod searcher;
 mod sequential;
 mod simulated;
 mod sync;
@@ -80,6 +81,7 @@ pub use hybrid::HybridTsmo;
 pub use neighborhood::{generate_chunk, Neighbor};
 pub use outcome::{FrontEntry, TsmoOutcome};
 pub use scalarized::{weighted_front, WeightedOutcome, WeightedSumTs};
+pub use searcher::{searcher_cfg, CollabSearcher, SearcherResult};
 pub use sequential::SequentialTsmo;
 pub use simulated::{SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo};
 pub use sync::SyncTsmo;

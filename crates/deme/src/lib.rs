@@ -46,6 +46,8 @@ mod budget;
 mod master_worker;
 pub mod multisearch;
 mod supervisor;
+#[doc(hidden)]
+pub mod testkit;
 pub mod virtual_time;
 
 pub use budget::EvaluationBudget;

@@ -26,9 +26,51 @@ use std::cell::Cell;
 /// Default number of sends between probes of a dead peer.
 pub const DEFAULT_PROBE_INTERVAL: u64 = 8;
 
+/// How an endpoint delivers a message to one peer.
+///
+/// The rotation, liveness tracking, failover, and probe re-admission in
+/// [`Endpoint`] are all expressed against this trait, so the in-process
+/// channel delivery and a network delivery (the cluster crate's TCP
+/// transport) share the exact same semantics. `send` must detect failure
+/// *within the call* and hand the undelivered message back, so the
+/// rotation can fail over to the next live peer without losing it.
+pub trait Transport<M>: Send {
+    /// Delivers `msg` to the peer, or returns it on failure.
+    fn send(&self, msg: M) -> Result<(), M>;
+}
+
+/// The in-process [`Transport`]: an unbounded channel to the peer's inbox.
+pub struct ChannelTransport<M> {
+    tx: Sender<M>,
+}
+
+impl<M> ChannelTransport<M> {
+    /// Wraps a sender to a peer's inbox.
+    pub fn new(tx: Sender<M>) -> Self {
+        Self { tx }
+    }
+}
+
+impl<M: Send> Transport<M> for ChannelTransport<M> {
+    fn send(&self, msg: M) -> Result<(), M> {
+        self.tx.send(msg).map_err(|e| e.0)
+    }
+}
+
+/// A liveness transition observed by an endpoint, for telemetry. Drained
+/// with [`Endpoint::take_peer_events`]; the endpoint itself only uses the
+/// live flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerEvent {
+    /// The peer was marked dead (failed delivery or explicit quarantine).
+    Died(usize),
+    /// A probe delivered to the dead peer; it re-entered the rotation.
+    Readmitted(usize),
+}
+
 struct PeerLink<M> {
     id: usize,
-    tx: Sender<M>,
+    tx: Box<dyn Transport<M>>,
     live: bool,
 }
 
@@ -57,9 +99,40 @@ pub struct Endpoint<M> {
     undeliverable: Cell<u64>,
     /// Dead peers brought back by a successful probe.
     readmitted: Cell<u64>,
+    /// Liveness transitions not yet drained by telemetry.
+    peer_events: Vec<PeerEvent>,
 }
 
 impl<M> Endpoint<M> {
+    /// Builds an endpoint from an inbox and explicit per-peer transports,
+    /// in communication-list order. This is how the cluster crate wires
+    /// TCP links into the same rotation; [`network`] uses it with
+    /// [`ChannelTransport`] links.
+    pub fn from_links(
+        id: usize,
+        inbox: Receiver<M>,
+        links: Vec<(usize, Box<dyn Transport<M>>)>,
+    ) -> Self {
+        Self {
+            id,
+            inbox,
+            comm_list: links
+                .into_iter()
+                .map(|(id, tx)| PeerLink { id, tx, live: true })
+                .collect(),
+            next: 0,
+            probe_next: 0,
+            probe_interval: DEFAULT_PROBE_INTERVAL,
+            attempts: 0,
+            sent: Cell::new(0),
+            received: Cell::new(0),
+            skipped_dead: Cell::new(0),
+            undeliverable: Cell::new(0),
+            readmitted: Cell::new(0),
+            peer_events: Vec::new(),
+        }
+    }
+
     /// Drains every message currently waiting in the mailbox.
     pub fn drain(&self) -> Vec<M> {
         let mut out = Vec::new();
@@ -96,11 +169,13 @@ impl<M> Endpoint<M> {
                 match self.comm_list[k].tx.send(msg) {
                     Ok(()) => {
                         self.comm_list[k].live = true;
+                        self.peer_events
+                            .push(PeerEvent::Readmitted(self.comm_list[k].id));
                         self.readmitted.set(self.readmitted.get() + 1);
                         self.sent.set(self.sent.get() + 1);
                         return Some(self.comm_list[k].id);
                     }
-                    Err(e) => msg = e.0, // still dead; fall through
+                    Err(m) => msg = m, // still dead; fall through
                 }
             }
         }
@@ -118,9 +193,10 @@ impl<M> Endpoint<M> {
                     self.sent.set(self.sent.get() + 1);
                     return Some(self.comm_list[k].id);
                 }
-                Err(e) => {
+                Err(m) => {
                     self.comm_list[k].live = false;
-                    msg = e.0;
+                    self.peer_events.push(PeerEvent::Died(self.comm_list[k].id));
+                    msg = m;
                 }
             }
         }
@@ -133,8 +209,18 @@ impl<M> Endpoint<M> {
     /// can re-admit it. Unknown ids are ignored.
     pub fn quarantine_peer(&mut self, peer: usize) {
         if let Some(link) = self.comm_list.iter_mut().find(|l| l.id == peer) {
-            link.live = false;
+            if link.live {
+                link.live = false;
+                self.peer_events.push(PeerEvent::Died(peer));
+            }
         }
+    }
+
+    /// Drains the liveness transitions observed since the last call, in
+    /// occurrence order — the hook telemetry uses to emit `peer_dead` /
+    /// `peer_readmitted` events without the endpoint knowing about obs.
+    pub fn take_peer_events(&mut self) -> Vec<PeerEvent> {
+        std::mem::take(&mut self.peer_events)
     }
 
     /// Whether `peer` is currently considered live (false for unknown ids).
@@ -209,40 +295,38 @@ impl<M> Endpoint<M> {
     }
 }
 
+/// The communication-list order of endpoint `id` in an `n`-endpoint
+/// network: the other `n − 1` peers, shuffled by the endpoint's own RNG
+/// stream. Exposed so a *distributed* mesh (one process per node) can
+/// rebuild the exact rotation [`network`] would have built in-process —
+/// the draw must happen before any other use of the stream.
+pub fn comm_order<R: Rng>(n: usize, id: usize, rng: &mut R) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).filter(|&p| p != id).collect();
+    rng.shuffle(&mut order);
+    order
+}
+
 /// Builds a fully connected network of `n` endpoints. Each endpoint's
 /// communication list contains the other `n − 1` peers in an order shuffled
 /// by its own RNG stream ("the communication list is initialized randomly
 /// before the main loop and different for every process").
-pub fn network<M, R: Rng>(n: usize, rngs: &mut [R]) -> Vec<Endpoint<M>> {
+pub fn network<M: Send + 'static, R: Rng>(n: usize, rngs: &mut [R]) -> Vec<Endpoint<M>> {
     assert!(n > 0, "network needs at least one endpoint");
     assert!(rngs.len() >= n, "one RNG stream per endpoint required");
     let channels: Vec<(Sender<M>, Receiver<M>)> = (0..n).map(|_| unbounded()).collect();
     let mut endpoints = Vec::with_capacity(n);
     for (id, rng) in rngs.iter_mut().enumerate().take(n) {
-        let mut order: Vec<usize> = (0..n).filter(|&p| p != id).collect();
-        rng.shuffle(&mut order);
-        let comm_list = order
+        let order = comm_order(n, id, rng);
+        let links = order
             .into_iter()
-            .map(|p| PeerLink {
-                id: p,
-                tx: channels[p].0.clone(),
-                live: true,
+            .map(|p| {
+                (
+                    p,
+                    Box::new(ChannelTransport::new(channels[p].0.clone())) as Box<dyn Transport<M>>,
+                )
             })
             .collect::<Vec<_>>();
-        endpoints.push(Endpoint {
-            id,
-            inbox: channels[id].1.clone(),
-            comm_list,
-            next: 0,
-            probe_next: 0,
-            probe_interval: DEFAULT_PROBE_INTERVAL,
-            attempts: 0,
-            sent: Cell::new(0),
-            received: Cell::new(0),
-            skipped_dead: Cell::new(0),
-            undeliverable: Cell::new(0),
-            readmitted: Cell::new(0),
-        });
+        endpoints.push(Endpoint::from_links(id, channels[id].1.clone(), links));
     }
     endpoints
 }

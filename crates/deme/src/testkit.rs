@@ -1,0 +1,166 @@
+//! Conformance suite for [`Transport`](crate::multisearch::Transport)
+//! implementations, run against a full [`Endpoint`] mesh.
+//!
+//! The rotation semantics — head-of-list delivery, dead-peer skip,
+//! same-call failover, probe re-admission — are properties of the
+//! *endpoint*, but whether they survive a given transport depends on that
+//! transport detecting failure within the `send` call. This suite states
+//! the contract once; the in-process channel transport (here) and the
+//! cluster crate's TCP transport both run it through a [`MeshHarness`].
+//!
+//! Hidden from docs: this is test infrastructure exported so downstream
+//! crates can prove their transports conform, not public API.
+
+use crate::multisearch::{network, Endpoint, PeerEvent};
+use detrand::streams;
+
+/// A mesh of endpoints over the transport under test, plus the knobs the
+/// suite needs to create partitions.
+pub trait MeshHarness {
+    /// Mutable access to endpoint `i`'s rotation state.
+    fn endpoint(&mut self, i: usize) -> &mut Endpoint<u32>;
+    /// Drains everything delivered to peer `i` so far, waiting for
+    /// in-flight network deliveries if the transport is asynchronous.
+    fn recv_all(&mut self, i: usize) -> Vec<u32>;
+    /// Makes deliveries to peer `i` fail from now on (peer crash).
+    fn kill(&mut self, i: usize);
+    /// Restores deliveries to peer `i`; returns `false` when the
+    /// transport cannot model recovery (a dropped channel receiver is
+    /// gone for good) and the suite skips the revival case.
+    fn revive(&mut self, i: usize) -> bool;
+}
+
+/// Runs every conformance case. `make(n)` must return a fresh, fully
+/// live mesh of `n` endpoints; the suite panics on the first violation.
+pub fn run_transport_suite<H: MeshHarness, F: FnMut(usize) -> H>(mut make: F) {
+    delivery_follows_rotation(&mut make(4));
+    failed_delivery_fails_over_in_the_same_call(&mut make(3));
+    quarantined_peer_is_probed_and_readmitted(&mut make(3));
+    killed_then_revived_peer_rejoins_via_probe(&mut make(3));
+}
+
+fn delivery_follows_rotation<H: MeshHarness>(h: &mut H) {
+    let order = h.endpoint(0).peer_order();
+    assert_eq!(order.len(), 3);
+    let mut targets = Vec::new();
+    for i in 0..6 {
+        targets.push(h.endpoint(0).send_next(i).expect("all peers live"));
+    }
+    assert_eq!(&targets[0..3], &order[..], "first cycle follows the list");
+    assert_eq!(&targets[3..6], &order[..], "list rotates round robin");
+    for &p in &order {
+        assert_eq!(h.recv_all(p).len(), 2, "peer {p} got its two messages");
+    }
+    assert_eq!(h.endpoint(0).sent_count(), 6);
+}
+
+fn failed_delivery_fails_over_in_the_same_call<H: MeshHarness>(h: &mut H) {
+    let order = h.endpoint(0).peer_order();
+    let (head, second) = (order[0], order[1]);
+    h.kill(head);
+    let target = h.endpoint(0).send_next(7);
+    assert_eq!(
+        target,
+        Some(second),
+        "message fails over to the next live peer within one send_next call"
+    );
+    assert!(!h.endpoint(0).is_peer_live(head), "failed peer marked dead");
+    assert_eq!(h.endpoint(0).sent_count(), 1);
+    assert_eq!(
+        h.recv_all(second),
+        vec![7],
+        "failover preserved the payload"
+    );
+    assert_eq!(
+        h.endpoint(0).take_peer_events(),
+        vec![PeerEvent::Died(head)],
+        "death transition is observable exactly once"
+    );
+}
+
+fn quarantined_peer_is_probed_and_readmitted<H: MeshHarness>(h: &mut H) {
+    let order = h.endpoint(0).peer_order();
+    let (suspect, healthy) = (order[0], order[1]);
+    h.endpoint(0).set_probe_interval(4);
+    h.endpoint(0).quarantine_peer(suspect);
+    let mut targets = Vec::new();
+    for i in 0..4 {
+        targets.push(h.endpoint(0).send_next(i));
+    }
+    assert!(
+        targets[..3].iter().all(|t| *t == Some(healthy)),
+        "quarantined peer is skipped by the rotation"
+    );
+    assert_eq!(
+        targets[3],
+        Some(suspect),
+        "the probe send carries the real message to the suspect"
+    );
+    assert!(h.endpoint(0).is_peer_live(suspect));
+    assert_eq!(h.endpoint(0).readmitted_count(), 1);
+    assert_eq!(h.recv_all(suspect), vec![3]);
+    assert_eq!(
+        h.endpoint(0).take_peer_events(),
+        vec![PeerEvent::Died(suspect), PeerEvent::Readmitted(suspect)]
+    );
+}
+
+fn killed_then_revived_peer_rejoins_via_probe<H: MeshHarness>(h: &mut H) {
+    let order = h.endpoint(0).peer_order();
+    let victim = order[0];
+    h.kill(victim);
+    h.endpoint(0).set_probe_interval(2);
+    assert_ne!(h.endpoint(0).send_next(0), Some(victim));
+    assert!(!h.endpoint(0).is_peer_live(victim));
+    if !h.revive(victim) {
+        return; // transport cannot model recovery; nothing more to prove
+    }
+    let mut readmitted = false;
+    for i in 1..10 {
+        if h.endpoint(0).send_next(i) == Some(victim) {
+            readmitted = true;
+            break;
+        }
+    }
+    assert!(readmitted, "a probe re-admitted the revived peer");
+    assert!(h.endpoint(0).is_peer_live(victim));
+    let events = h.endpoint(0).take_peer_events();
+    assert!(events.contains(&PeerEvent::Died(victim)));
+    assert!(events.contains(&PeerEvent::Readmitted(victim)));
+}
+
+/// The in-process reference harness: a [`network`] of channel endpoints.
+/// `kill` drops the victim's whole endpoint (receiver included), which is
+/// exactly how a finished searcher thread disappears; channels cannot be
+/// revived, so `revive` reports unsupported.
+pub struct ChannelMesh {
+    endpoints: Vec<Option<Endpoint<u32>>>,
+}
+
+impl ChannelMesh {
+    /// A fresh all-live mesh of `n` endpoints (fixed seed).
+    pub fn new(n: usize) -> Self {
+        let mut rngs = streams(99, n);
+        Self {
+            endpoints: network(n, &mut rngs).into_iter().map(Some).collect(),
+        }
+    }
+}
+
+impl MeshHarness for ChannelMesh {
+    fn endpoint(&mut self, i: usize) -> &mut Endpoint<u32> {
+        self.endpoints[i].as_mut().expect("endpoint killed")
+    }
+
+    fn recv_all(&mut self, i: usize) -> Vec<u32> {
+        self.endpoint(i).drain()
+    }
+
+    fn kill(&mut self, i: usize) {
+        self.endpoints[i] = None;
+    }
+
+    fn revive(&mut self, _i: usize) -> bool {
+        false
+    }
+}

@@ -1,0 +1,10 @@
+//! The transport conformance suite over the in-process channel transport.
+//! The cluster crate runs the identical suite over its TCP transport, so
+//! the rotation semantics are proven transport-independent.
+
+use deme::testkit::{run_transport_suite, ChannelMesh};
+
+#[test]
+fn channel_transport_passes_the_conformance_suite() {
+    run_transport_suite(ChannelMesh::new);
+}

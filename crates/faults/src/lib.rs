@@ -199,6 +199,22 @@ impl FaultConfig {
         }
     }
 
+    /// Chaos confined to the exchange path: `rate` is split evenly
+    /// between message drops and delays, task faults stay at zero. This
+    /// is the profile the cluster uses — the same plan perturbs
+    /// in-process channels and real sockets identically, because the
+    /// decision happens in the searcher loop before the transport is
+    /// asked to deliver.
+    pub fn exchange_only(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        Self {
+            seed,
+            exchange_drop_rate: rate / 2.0,
+            exchange_delay_rate: rate / 2.0,
+            ..Self::default()
+        }
+    }
+
     /// Whether every rate is zero (the plan can never inject).
     pub fn is_zero(&self) -> bool {
         self.task_panic_rate == 0.0
@@ -463,6 +479,21 @@ mod tests {
         // Rates above 1 are clamped.
         let wild = FaultConfig::uniform(9, 7.0);
         assert!(wild.task_panic_rate <= 0.5);
+    }
+
+    #[test]
+    fn exchange_only_profile_leaves_tasks_alone() {
+        let cfg = FaultConfig::exchange_only(5, 0.3);
+        assert_eq!(cfg.task_panic_rate, 0.0);
+        assert_eq!(cfg.task_stall_rate, 0.0);
+        assert_eq!(cfg.task_late_rate, 0.0);
+        assert_eq!(cfg.exchange_drop_rate, 0.15);
+        assert_eq!(cfg.exchange_delay_rate, 0.15);
+        assert!(!cfg.is_zero());
+        assert!(FaultConfig::exchange_only(5, 0.0).is_zero());
+        let plan = FaultPlan::new(FaultConfig::exchange_only(5, 0.9));
+        assert!((0..200).all(|s| plan.peek_task(0, s) == TaskFault::None));
+        assert!((0..200).any(|s| plan.peek_exchange(0, s) != MsgFault::Deliver));
     }
 
     #[test]

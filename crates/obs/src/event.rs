@@ -232,6 +232,21 @@ pub enum SearchEvent {
         /// Live workers remaining at that point.
         live_workers: u32,
     },
+    /// A communication-list peer was declared dead after a failed
+    /// delivery (in-process channel or network transport alike).
+    PeerDead {
+        /// The searcher that observed the failure.
+        searcher: u32,
+        /// The peer declared dead.
+        peer: u32,
+    },
+    /// A dead peer answered a probe and re-entered the rotation.
+    PeerReadmitted {
+        /// The searcher whose probe succeeded.
+        searcher: u32,
+        /// The peer re-admitted.
+        peer: u32,
+    },
     /// The solver service admitted a job to its queue.
     JobAdmitted {
         /// Service-assigned job id.
@@ -424,6 +439,18 @@ impl TimedEvent {
                     ",\"type\":\"degraded_mode\",\"iteration\":{iteration},\"live_workers\":{live_workers}"
                 );
             }
+            SearchEvent::PeerDead { searcher, peer } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"peer_dead\",\"searcher\":{searcher},\"peer\":{peer}"
+                );
+            }
+            SearchEvent::PeerReadmitted { searcher, peer } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"peer_readmitted\",\"searcher\":{searcher},\"peer\":{peer}"
+                );
+            }
             SearchEvent::JobAdmitted { job, depth } => {
                 let _ = write!(
                     s,
@@ -551,6 +578,14 @@ impl TimedEvent {
             "degraded_mode" => SearchEvent::DegradedMode {
                 iteration: field_u64(&doc, "iteration")?,
                 live_workers: field_u32(&doc, "live_workers")?,
+            },
+            "peer_dead" => SearchEvent::PeerDead {
+                searcher: field_u32(&doc, "searcher")?,
+                peer: field_u32(&doc, "peer")?,
+            },
+            "peer_readmitted" => SearchEvent::PeerReadmitted {
+                searcher: field_u32(&doc, "searcher")?,
+                peer: field_u32(&doc, "peer")?,
             },
             "job_admitted" => SearchEvent::JobAdmitted {
                 job: field_u64(&doc, "job")?,
@@ -715,6 +750,14 @@ mod tests {
             SearchEvent::DegradedMode {
                 iteration: 55,
                 live_workers: 1,
+            },
+            SearchEvent::PeerDead {
+                searcher: 2,
+                peer: 5,
+            },
+            SearchEvent::PeerReadmitted {
+                searcher: 2,
+                peer: 5,
             },
             SearchEvent::JobAdmitted { job: 7, depth: 3 },
             SearchEvent::JobRejected { job: 8, depth: 4 },

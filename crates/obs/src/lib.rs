@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod frame;
 pub mod json;
 pub mod metrics;
 mod recorder;

@@ -83,6 +83,29 @@ pub mod names {
     /// Instance-cache lookups that had to parse the payload (counter).
     pub const INSTANCE_CACHE_MISSES: &str = "tsmo_instance_cache_misses_total";
 
+    /// Cluster exchange payloads sent, all peers (counter; see the
+    /// per-peer labeled variant [`exchanges_sent_to_peer`]).
+    pub const EXCHANGES_SENT: &str = "tsmo_exchanges_sent_total";
+    /// Cluster exchange payloads received, all peers (counter; see the
+    /// per-peer labeled variant [`exchanges_received_from_peer`]).
+    pub const EXCHANGES_RECEIVED: &str = "tsmo_exchanges_received_total";
+    /// Round-trip time of peer handshakes/probes, milliseconds (histogram).
+    pub const PEER_RTT_MS: &str = "tsmo_peer_rtt_ms";
+    /// Peers declared dead after a failed delivery (counter).
+    pub const PEERS_DEAD: &str = "tsmo_peers_dead_total";
+    /// Dead peers re-admitted by a successful probe (counter).
+    pub const PEERS_READMITTED: &str = "tsmo_peers_readmitted_total";
+
+    /// Per-peer sent-exchange sample name (counter).
+    pub fn exchanges_sent_to_peer(peer: usize) -> String {
+        format!("tsmo_exchanges_sent_total{{peer=\"{peer}\"}}")
+    }
+
+    /// Per-peer received-exchange sample name (counter).
+    pub fn exchanges_received_from_peer(peer: usize) -> String {
+        format!("tsmo_exchanges_received_total{{peer=\"{peer}\"}}")
+    }
+
     /// Per-worker busy fraction sample name (gauge in `[0, 1]`).
     pub fn worker_busy_fraction(worker: usize) -> String {
         format!("tsmo_worker_busy_fraction{{worker=\"{worker}\"}}")

@@ -22,7 +22,7 @@ use tsmo_serve::{Client, JobResult, JobSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: servectl --addr HOST:PORT \
+        "usage: servectl --addr HOST:PORT [--connect-timeout-ms MS] \
          (health | metrics | submit FILE [opts] | status JOB | cancel JOB | result JOB | shutdown)\n\
          submit opts: --variant sequential|synchronous|asynchronous|collaborative \
          --processors P --evals N --neighborhood N --seed S --deadline-ms D --max-iters I --wait SECONDS"
@@ -74,7 +74,14 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    let mut client = match Client::connect(&addr) {
+    // A bounded connect (2 s default) so a downed daemon fails the command
+    // promptly instead of hanging in the OS connect.
+    let connect_timeout = Duration::from_millis(
+        get("--connect-timeout-ms")
+            .map(|v| v.parse().expect("--connect-timeout-ms expects an integer"))
+            .unwrap_or(2_000),
+    );
+    let mut client = match Client::connect_timeout(&addr, connect_timeout) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cannot connect to {addr}: {e}");

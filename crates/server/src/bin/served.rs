@@ -18,7 +18,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: served [--addr HOST:PORT] [--workers N] [--queue N] \
-             [--port-file PATH] [--fault-seed S --fault-rate R] [--drain-timeout-s S]"
+             [--port-file PATH] [--fault-seed S --fault-rate R] [--drain-timeout-s S] \
+             [--mesh HOST:PORT,HOST:PORT,...]"
         );
         return;
     }
@@ -42,6 +43,15 @@ fn main() {
         queue_capacity: parse_or("--queue", 16) as usize,
         drain_timeout: Duration::from_secs(parse_or("--drain-timeout-s", 120)),
         faults: None,
+        // Collaborative jobs fan out over these noded daemons when given.
+        mesh: get("--mesh").map(|peers| {
+            peers
+                .split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        }),
     };
     if let Some(seed) = get("--fault-seed") {
         let seed: u64 = seed.parse().expect("--fault-seed expects an integer");

@@ -22,7 +22,19 @@ fn protocol_err(message: String) -> io::Error {
 impl Client {
     /// Connects to a daemon.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects to a daemon, failing after `timeout` instead of hanging in
+    /// the OS connect when the daemon is down or the host is unreachable.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        Self::from_stream(TcpStream::connect_timeout(&resolved, timeout)?)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,

@@ -47,6 +47,14 @@ pub struct ServerConfig {
     /// Optional deterministic fault injection for the parallel variants
     /// (`(seed, rate)` as in `tsmo_faults::FaultConfig::uniform`).
     pub faults: Option<(u64, f64)>,
+    /// Optional node mesh (`host:port` peer list of running `noded`
+    /// daemons). When set, `collaborative` jobs are dispatched across the
+    /// mesh via `tsmo_cluster::run_mesh` instead of running in-process:
+    /// `processors` is split evenly over the nodes (at least one searcher
+    /// each) and the merged multi-node front comes back as the job result.
+    /// Deadlines bound the mesh wait, but cancellation does not propagate
+    /// to remote nodes mid-run.
+    pub mesh: Option<Vec<String>>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +65,7 @@ impl Default for ServerConfig {
             queue_capacity: 16,
             drain_timeout: Duration::from_secs(120),
             faults: None,
+            mesh: None,
         }
     }
 }
@@ -73,6 +82,11 @@ struct Shared {
     stopping: AtomicBool,
     workers: usize,
     faults: Arc<dyn tsmo_faults::FaultHook>,
+    /// Raw fault `(seed, rate)` — forwarded to mesh nodes, which build
+    /// their own exchange-fault plans from it.
+    fault_cfg: Option<(u64, f64)>,
+    /// Peer list for distributed `collaborative` dispatch, when present.
+    mesh: Option<Vec<String>>,
     drain_timeout: Duration,
 }
 
@@ -123,21 +137,65 @@ fn job_result(outcome: &TsmoOutcome, cause: Option<StopCause>) -> JobResult {
         iterations: outcome.iterations as u64,
         truncated: cause.is_some(),
         stop_cause: cause.map(|c| c.as_str().to_string()),
-        front: outcome
-            .archive
-            .iter()
-            .map(|e| FrontPoint {
-                objectives: e.objectives.to_vector(),
-                routes: e
-                    .solution
-                    .routes()
-                    .iter()
-                    .filter(|r| !r.is_empty())
-                    .map(|r| r.to_vec())
-                    .collect(),
-            })
-            .collect(),
+        front: front_points(&outcome.archive),
     }
+}
+
+fn front_points(front: &[tsmo_core::FrontEntry]) -> Vec<FrontPoint> {
+    front
+        .iter()
+        .map(|e| FrontPoint {
+            objectives: e.objectives.to_vector(),
+            routes: e
+                .solution
+                .routes()
+                .iter()
+                .filter(|r| !r.is_empty())
+                .map(|r| r.to_vec())
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs a `collaborative` job across the configured node mesh and shapes
+/// the merged multi-node outcome as a wire result. `processors` is split
+/// evenly over the nodes, each node getting at least one searcher. The
+/// deadline (when given) bounds the mesh wait; cancellation cannot reach
+/// remote nodes mid-run, so a cancelled mesh job fails instead of
+/// truncating.
+fn run_mesh_job(
+    peers: &[String],
+    fault_cfg: Option<(u64, f64)>,
+    spec: &JobSpec,
+    instance: &vrptw::Instance,
+    wait_cap: Duration,
+) -> Result<JobResult, String> {
+    let searchers_per_node = spec.processors.max(1).div_ceil(peers.len()).max(1);
+    let job = tsmo_cluster::MeshJob {
+        // The job table drops its instance-text copy at admission (the
+        // parsed instance is what jobs run on), so re-serialize it for
+        // the remote nodes.
+        instance_text: vrptw::solomon::write(instance),
+        node_index: 0,
+        peers: peers.to_vec(),
+        searchers_per_node,
+        seed: spec.seed,
+        max_evaluations: spec.max_evaluations,
+        neighborhood_size: spec.neighborhood_size.max(2),
+        stagnation_limit: TsmoConfig::default().stagnation_limit,
+        fault_seed: fault_cfg.map_or(0, |(seed, _)| seed),
+        fault_rate: fault_cfg.map_or(0.0, |(_, rate)| rate),
+    };
+    let wait = spec.deadline_ms.map_or(wait_cap, Duration::from_millis);
+    let outcome = tsmo_cluster::run_mesh(&job, tsmo_cluster::DEFAULT_NET_TIMEOUT, wait)
+        .map_err(|e| format!("mesh dispatch failed: {e}"))?;
+    Ok(JobResult {
+        evaluations: outcome.evaluations,
+        iterations: outcome.iterations,
+        truncated: false,
+        stop_cause: None,
+        front: front_points(&outcome.front),
+    })
 }
 
 /// A running solver daemon. Dropping the handle does *not* stop it; call
@@ -171,6 +229,8 @@ impl Server {
             stopping: AtomicBool::new(false),
             workers: config.workers.max(1),
             faults,
+            fault_cfg: config.faults,
+            mesh: config.mesh.filter(|peers| !peers.is_empty()),
             drain_timeout: config.drain_timeout,
         });
         // Register the depth gauge up front so a fresh daemon's /metrics
@@ -489,6 +549,37 @@ fn worker_loop(shared: &Arc<Shared>) {
                 continue;
             }
         };
+        if let (ParallelVariant::Collaborative(_), Some(peers)) = (&variant, shared.mesh.as_ref()) {
+            // Distributed dispatch: the mesh nodes run the searchers; this
+            // worker only waits, gathers, and records the outcome.
+            match run_mesh_job(
+                peers,
+                shared.fault_cfg,
+                &spec,
+                &instance,
+                shared.drain_timeout,
+            ) {
+                Ok(result) => {
+                    shared.metrics.counter_add(names::JOBS_COMPLETED, 1);
+                    shared.metrics.observe(
+                        names::JOB_LATENCY_MS,
+                        submitted.elapsed().as_secs_f64() * 1000.0,
+                    );
+                    shared.events.event(SearchEvent::JobCompleted {
+                        job: id,
+                        iterations: result.iterations,
+                        truncated: result.truncated,
+                    });
+                    shared
+                        .jobs
+                        .with_job(id, |j| j.state = JobState::Done(result));
+                }
+                Err(e) => {
+                    shared.jobs.with_job(id, |j| j.state = JobState::Failed(e));
+                }
+            }
+            continue;
+        }
         let cfg = TsmoConfig {
             max_evaluations: spec.max_evaluations,
             neighborhood_size: spec.neighborhood_size.max(2),

@@ -10,49 +10,12 @@
 //! encode byte-identically — the same property the telemetry layer has.
 
 use std::fmt::Write as _;
-use std::io::{self, Read, Write};
 use tsmo_obs::json::{self, Json};
 
-/// Upper bound on a frame payload (16 MiB). A Solomon instance file is a
-/// few kilobytes; anything near this limit is a protocol error, not data.
-pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
-
-/// Writes one frame (length prefix + payload).
-pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
-    let bytes = payload.as_bytes();
-    if bytes.len() as u64 > MAX_FRAME_LEN as u64 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!("frame of {} bytes exceeds MAX_FRAME_LEN", bytes.len()),
-        ));
-    }
-    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
-    w.write_all(bytes)?;
-    w.flush()
-}
-
-/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
-/// boundary (the peer closed the connection between messages).
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_be_bytes(len_buf);
-    if len > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds MAX_FRAME_LEN"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    String::from_utf8(payload)
-        .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
-}
+// Framing moved to `tsmo_obs::frame` so the cluster crate can share it
+// without depending on the service layer; re-exported here so existing
+// `wire::read_frame` / `wire::write_frame` callers keep compiling.
+pub use tsmo_obs::frame::{read_frame, write_frame, MAX_FRAME_LEN};
 
 /// What a client asks the daemon to run.
 #[derive(Debug, Clone, PartialEq)]
@@ -651,33 +614,11 @@ mod tests {
     }
 
     #[test]
-    fn frames_round_trip_over_a_buffer() {
+    fn frames_round_trip_through_the_reexport() {
         let mut buf = Vec::new();
         write_frame(&mut buf, "first").unwrap();
-        write_frame(&mut buf, "{\"second\":2}").unwrap();
         let mut cursor = std::io::Cursor::new(buf);
         assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("first"));
-        assert_eq!(
-            read_frame(&mut cursor).unwrap().as_deref(),
-            Some("{\"second\":2}")
-        );
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
-    }
-
-    #[test]
-    fn oversized_frame_is_rejected() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
-        let mut cursor = std::io::Cursor::new(buf);
-        assert!(read_frame(&mut cursor).is_err());
-    }
-
-    #[test]
-    fn truncated_frame_is_an_error_not_eof() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, "complete").unwrap();
-        buf.truncate(buf.len() - 3);
-        let mut cursor = std::io::Cursor::new(buf);
-        assert!(read_frame(&mut cursor).is_err());
     }
 }

@@ -1,0 +1,73 @@
+//! The daemon's distributed path: a `collaborative` job submitted to a
+//! mesh-configured `served` fans out over real `noded` daemons and the
+//! merged multi-node front comes back through the ordinary job protocol.
+
+use std::time::{Duration, Instant};
+use tsmo_cluster::{NodeConfig, Noded};
+use tsmo_serve::{Client, JobSpec, Server, ServerConfig};
+use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+#[test]
+fn collaborative_job_fans_out_over_the_node_mesh() {
+    let nodes: Vec<Noded> = (0..2)
+        .map(|_| Noded::start(NodeConfig::default()).expect("bind node"))
+        .collect();
+    let peers: Vec<String> = nodes.iter().map(|n| n.local_addr().to_string()).collect();
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        mesh: Some(peers),
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+
+    let text = vrptw::solomon::write(&GeneratorConfig::new(InstanceClass::R2, 20, 5).build());
+    let mut client =
+        Client::connect_timeout(server.local_addr(), Duration::from_secs(2)).expect("connect");
+    let job = client
+        .submit(JobSpec {
+            instance_text: text,
+            variant: "collaborative".to_string(),
+            processors: 4,
+            max_evaluations: 5_000,
+            neighborhood_size: 40,
+            seed: 9,
+            ..JobSpec::default()
+        })
+        .expect("submit")
+        .expect("admitted");
+    let result = client
+        .wait_result(job, Duration::from_secs(120))
+        .expect("mesh job completes");
+
+    assert!(!result.front.is_empty(), "mesh job returned an empty front");
+    // Two nodes x two searchers, each with the full 5,000-eval budget.
+    assert_eq!(result.evaluations, 20_000);
+    let objectives: Vec<[f64; 3]> = result.front.iter().map(|p| p.objectives).collect();
+    assert_eq!(
+        pareto::non_dominated_indices(&objectives).len(),
+        objectives.len(),
+        "merged mesh front must be mutually non-dominated"
+    );
+    // Every node actually participated: each reports remote exchanges in.
+    server.shutdown();
+    for node in nodes {
+        node.halt();
+    }
+}
+
+#[test]
+fn connect_timeout_fails_fast_when_no_daemon_listens() {
+    // A bound-then-dropped listener yields a port where nothing listens:
+    // the connect must fail within the timeout, not hang.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        listener.local_addr().expect("probe addr")
+    };
+    let started = Instant::now();
+    let result = Client::connect_timeout(addr, Duration::from_millis(500));
+    assert!(result.is_err(), "connect to a dead port must fail");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "connect_timeout must bound the failure"
+    );
+}

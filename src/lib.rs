@@ -13,6 +13,7 @@
 //! * [`tsmo_obs`] — deterministic telemetry (events, metrics, recorders)
 //! * [`tsmo_faults`] — deterministic fault injection for the parallel runtime
 //! * [`tsmo_serve`] — solver service: daemon, wire protocol, job queue, client
+//! * [`tsmo_cluster`] — distributed multi-process collaborative multisearch over TCP
 //! * [`moea`] — NSGA-II baseline for the paper's future-work comparison
 //! * [`runstats`] — statistics for the experiment harness
 //! * [`detrand`] — deterministic random number generation
@@ -22,6 +23,7 @@ pub use detrand;
 pub use moea;
 pub use pareto;
 pub use runstats;
+pub use tsmo_cluster;
 pub use tsmo_core;
 pub use tsmo_faults;
 pub use tsmo_obs;
@@ -35,6 +37,7 @@ pub mod prelude {
     pub use detrand::{DefaultRng, Rng, Xoshiro256StarStar};
     pub use moea::{Nsga2, Nsga2Config, Paes, PaesConfig, Spea2, Spea2Config};
     pub use pareto::{coverage, dominates, Archive, Dominance, ParetoFront};
+    pub use tsmo_cluster::{run_mesh, MeshClient, MeshJob, NodeConfig, Noded};
     pub use tsmo_core::{
         AdaptiveMemoryTs, AsyncTsmo, CancelToken, CollaborativeTsmo, HybridTsmo, ParallelVariant,
         SelectionRule, SequentialTsmo, SimAsyncTsmo, SimCollaborativeTsmo, SimSyncTsmo, StopCause,
