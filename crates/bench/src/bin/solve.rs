@@ -7,7 +7,8 @@
 //!     [--variant seq|sync|async|coll|hybrid|nsga2] [--procs P]
 //!     [--searchers S] [--evals E] [--seed S] [--class R1] [--size N]
 //!     [--out solutions.txt] [--metrics-out metrics.txt]
-//!     [--events-out events.jsonl]
+//!     [--events-out events.jsonl] [--profile-out profile.json]
+//!     [--span-events] [--timeline-every K]
 //!     [--fault-seed S] [--fault-rate R]
 //!     [--deadline-ms D] [--cancel-after-iters K]
 //! ```
@@ -17,9 +18,17 @@
 //!
 //! `--metrics-out` writes the run's metrics in Prometheus text exposition
 //! (and prints a human-readable summary on stderr); `--events-out` writes
-//! the structured JSONL event stream (see the `tsmo-obs` crate). Both
+//! the structured JSONL event stream (see the `tsmo-obs` crate). All
 //! apply to the TSMO variants; the `hybrid` and `nsga2` baselines are not
 //! instrumented.
+//!
+//! `--profile-out` writes the folded span profile — wall seconds and
+//! call counts per search phase — as one JSON document.
+//! `--span-events` additionally records span enter/exit markers in the
+//! `--events-out` stream (off by default to keep the default stream a
+//! byte-stable prefix under truncation); `--timeline-every K` samples
+//! the live archive's hypervolume and coverage every `K` evaluations
+//! into the event stream as `front_sample` events.
 //!
 //! `--deadline-ms D` stops the run after `D` milliseconds of wall clock;
 //! `--cancel-after-iters K` stops it deterministically after `K`
@@ -127,7 +136,19 @@ fn main() {
 
     let metrics_out = get("--metrics-out");
     let events_out = get("--events-out");
-    let memory = (metrics_out.is_some() || events_out.is_some()).then(MemoryRecorder::shared);
+    let profile_out = get("--profile-out");
+    let span_events = args.iter().any(|a| a == "--span-events");
+    let timeline_every: Option<u64> =
+        get("--timeline-every").map(|s| s.parse().expect("--timeline-every"));
+    let memory =
+        (metrics_out.is_some() || events_out.is_some() || profile_out.is_some()).then(|| {
+            let recorder = MemoryRecorder::new();
+            Arc::new(if span_events {
+                recorder.with_span_events()
+            } else {
+                recorder
+            })
+        });
     let recorder: Arc<dyn Recorder> = memory
         .clone()
         .map_or_else(tsmo_obs::noop, |m| m as Arc<dyn Recorder>);
@@ -138,6 +159,7 @@ fn main() {
     let cfg = TsmoConfig {
         max_evaluations: evals,
         seed,
+        timeline_every,
         ..TsmoConfig::default()
     };
     let front: Vec<(Solution, Objectives)> = match variant.as_str() {
@@ -211,6 +233,10 @@ fn main() {
         if let Some(path) = &events_out {
             std::fs::write(path, memory.events_jsonl()).expect("failed to write events");
             eprintln!("wrote {path} ({} events)", memory.event_count());
+        }
+        if let Some(path) = &profile_out {
+            std::fs::write(path, memory.profile_json()).expect("failed to write profile");
+            eprintln!("wrote {path}");
         }
         eprint!("{}", memory.summary());
     }

@@ -63,6 +63,7 @@ fn main() {
         stagnation_limit: cfg.stagnation_limit,
         fault_seed: 0,
         fault_rate: 0.0,
+        trace_id: 0,
     };
     let started = Instant::now();
     let mesh = run_mesh(&job, Duration::from_secs(5), Duration::from_secs(600)).expect("mesh run");

@@ -9,12 +9,17 @@
 //!
 //! # deterministic single-process loopback (record, then verifying replay):
 //! clusterctl INSTANCE.txt --virtual-net 3 [--searchers 2] [...]
+//!
+//! # assemble one causally-ordered trace from the nodes' last mesh job:
+//! clusterctl trace-merge --peers 127.0.0.1:4001,127.0.0.1:4002,127.0.0.1:4003 \
+//!     [--out trace.jsonl] [--connect-timeout-ms 2000]
 //! ```
 //!
 //! Exits non-zero when the merged front is empty or not mutually
 //! non-dominated, when `--require-exchanges` finds a node with a zero
-//! `tsmo_exchanges_received_total`, or when a `--virtual-net` replay
-//! diverges from its recording — so CI can assert the distributed
+//! `tsmo_exchanges_received_total`, when a `--virtual-net` replay
+//! diverges from its recording, or when `trace-merge` finds the nodes
+//! disagreeing on the run's trace id — so CI can assert the distributed
 //! semantics by running this binary alone.
 
 use std::process::ExitCode;
@@ -25,15 +30,148 @@ use tsmo_cluster::{front_fingerprint, replay_virtual, run_virtual, MeshJob, Virt
 use tsmo_core::{FrontEntry, TsmoConfig};
 use tsmo_faults::{FaultConfig, FaultHook, FaultPlan};
 use tsmo_obs::metrics::names;
+use tsmo_obs::{parse_events_jsonl, SearchEvent, TimedEvent};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: clusterctl INSTANCE.txt (--peers A,B,... | --virtual-net N) \
          [--searchers S] [--evals E] [--neighborhood H] [--stagnation L] [--seed S] \
          [--fault-rate R] [--fault-seed S] [--connect-timeout-ms MS] [--wait-ms MS] \
-         [--require-exchanges] [--shutdown]"
+         [--require-exchanges] [--shutdown]\n\
+         \x20      clusterctl trace-merge --peers A,B,... [--out FILE] [--connect-timeout-ms MS]"
     );
     ExitCode::FAILURE
+}
+
+/// Fetches every node's recorded trace for its last mesh job, verifies
+/// the nodes agree on one shared non-zero trace id, and merges the
+/// per-node streams into one causally ordered trace: a stable merge by
+/// (local sequence, node index) — the local sequence is the causal
+/// order within a node, the node index breaks cross-node ties
+/// deterministically — with span ids offset per node so they stay
+/// unique, and the global sequence re-stamped.
+fn trace_merge(args: &[String]) -> ExitCode {
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(peers) = get("--peers") else {
+        return usage();
+    };
+    let peers: Vec<String> = peers
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
+    let timeout_ms: u64 = match get("--connect-timeout-ms").map(|v| v.parse()) {
+        Some(Ok(n)) => n,
+        None => 2_000,
+        Some(Err(_)) => {
+            eprintln!("clusterctl: --connect-timeout-ms expects an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let timeout = Duration::from_millis(timeout_ms);
+    let mut per_node: Vec<Vec<TimedEvent>> = Vec::with_capacity(peers.len());
+    for (k, peer) in peers.iter().enumerate() {
+        let jsonl = match mesh::MeshClient::new(peer.clone(), timeout).trace() {
+            Ok(jsonl) => jsonl,
+            Err(e) => {
+                eprintln!("clusterctl: node {k} ({peer}): trace fetch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let events = match parse_events_jsonl(&jsonl) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("clusterctl: node {k} ({peer}): bad trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if events.is_empty() {
+            eprintln!("clusterctl: node {k} ({peer}) has no recorded trace");
+            return ExitCode::FAILURE;
+        }
+        per_node.push(events);
+    }
+    let mut ids = std::collections::BTreeSet::new();
+    for events in &per_node {
+        for ev in events {
+            match &ev.event {
+                SearchEvent::SpanEnter { trace, .. } | SearchEvent::SpanExit { trace, .. } => {
+                    ids.insert(*trace);
+                }
+                _ => {}
+            }
+        }
+    }
+    if ids.len() != 1 || ids.contains(&0) {
+        eprintln!(
+            "clusterctl: traces disagree on the trace id: {ids:?} \
+             (expected one shared non-zero id)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let trace_id = ids.into_iter().next().unwrap_or(0);
+    // Span ids are per-recorder counters, so two nodes both hand out
+    // 1, 2, 3, ... Offset node k's ids past node k-1's maximum so the
+    // merged trace keeps every span distinct (parent 0 = root stays 0).
+    let mut offset = 0u64;
+    for events in &mut per_node {
+        let mut max_span = 0u64;
+        for ev in events.iter_mut() {
+            match &mut ev.event {
+                SearchEvent::SpanEnter { span, parent, .. } => {
+                    max_span = max_span.max(*span);
+                    *span += offset;
+                    if *parent != 0 {
+                        *parent += offset;
+                    }
+                }
+                SearchEvent::SpanExit { span, .. } => {
+                    max_span = max_span.max(*span);
+                    *span += offset;
+                }
+                _ => {}
+            }
+        }
+        offset += max_span;
+    }
+    let mut merged: Vec<(u64, usize, TimedEvent)> = Vec::new();
+    for (k, events) in per_node.into_iter().enumerate() {
+        for ev in events {
+            merged.push((ev.seq, k, ev));
+        }
+    }
+    merged.sort_by_key(|entry| (entry.0, entry.1));
+    let total = merged.len();
+    let mut out = String::new();
+    for (global, (_, _, mut ev)) in merged.into_iter().enumerate() {
+        ev.seq = global as u64;
+        out.push_str(&ev.to_json_line());
+        out.push('\n');
+    }
+    println!(
+        "trace-merge: {total} events from {} node(s), trace id {trace_id:#x}",
+        peers.len()
+    );
+    match get("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &out) {
+                eprintln!("clusterctl: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("trace-merge: wrote {path}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 fn print_front(front: &[FrontEntry]) {
@@ -63,6 +201,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         return usage();
+    }
+    if args[0] == "trace-merge" {
+        return trace_merge(&args[1..]);
     }
     let get = |flag: &str| -> Option<String> {
         args.iter()
@@ -215,6 +356,10 @@ fn main() -> ExitCode {
         stagnation_limit: stagnation as usize,
         fault_seed,
         fault_rate,
+        // One id for the whole mesh, derived from the seed, so every
+        // node's spans land in the same trace and `trace-merge` can
+        // verify they agree.
+        trace_id: tsmo_obs::trace_id_from_seed(seed),
     };
     let timeout = Duration::from_millis(timeout_ms);
     let outcome = match mesh::run_mesh(&job, timeout, Duration::from_millis(wait_ms)) {

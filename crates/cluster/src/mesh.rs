@@ -86,6 +86,16 @@ impl MeshClient {
         }
     }
 
+    /// The node's recorded span/timeline trace for its last finished job
+    /// (JSONL; empty when the node has not finished a job yet).
+    pub fn trace(&self) -> io::Result<String> {
+        match self.call(&NodeMsg::Trace)? {
+            NodeMsg::TraceReply { jsonl } => Ok(jsonl),
+            NodeMsg::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// The node's Prometheus exposition.
     pub fn metrics(&self) -> io::Result<String> {
         match self.call(&NodeMsg::Metrics)? {

@@ -78,6 +78,9 @@ struct NodeState {
     cancel: Option<CancelToken>,
     runner: Option<JoinHandle<()>>,
     report: Option<NodeReport>,
+    /// JSONL span/timeline trace of the last finished job, served to
+    /// `NodeMsg::Trace` so a controller can merge the mesh-wide trace.
+    last_trace: Option<String>,
 }
 
 struct NodeShared {
@@ -122,6 +125,7 @@ impl Noded {
                 cancel: None,
                 runner: None,
                 report: None,
+                last_trace: None,
             }),
             stopping: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
@@ -293,6 +297,9 @@ fn handle(msg: NodeMsg, shared: &Arc<NodeShared>) -> NodeMsg {
         NodeMsg::Metrics => NodeMsg::MetricsReply {
             prometheus: shared.recorder.prometheus(),
         },
+        NodeMsg::Trace => NodeMsg::TraceReply {
+            jsonl: shared.state().last_trace.clone().unwrap_or_default(),
+        },
         NodeMsg::Stop => {
             if let Some(cancel) = shared.state().cancel.clone() {
                 cancel.cancel();
@@ -350,10 +357,11 @@ fn start_job(job: MeshJob, shared: &Arc<NodeShared>) -> NodeMsg {
     let runner = {
         let shared = Arc::clone(shared);
         std::thread::spawn(move || {
-            let report = run_node_job(&job, &instance, receivers, cancel, &shared);
+            let (report, trace) = run_node_job(&job, &instance, receivers, cancel, &shared);
             let mut state = shared.state();
             state.inboxes.clear();
             state.report = Some(report);
+            state.last_trace = Some(trace);
             state.phase = Phase::Done;
         })
     };
@@ -362,20 +370,31 @@ fn start_job(job: MeshJob, shared: &Arc<NodeShared>) -> NodeMsg {
 }
 
 /// Runs this node's searchers to completion and merges their archives.
+/// Returns the report plus the JSONL span/timeline trace of the run.
 fn run_node_job(
     job: &MeshJob,
     instance: &Arc<vrptw::Instance>,
     mut receivers: HashMap<usize, crossbeam::channel::Receiver<FrontEntry>>,
     cancel: CancelToken,
     shared: &Arc<NodeShared>,
-) -> NodeReport {
+) -> (NodeReport, String) {
     let nodes = job.peers.len();
     let s = job.searchers_per_node;
     let n_total = nodes * s;
+    // Every node stamps its spans with the job's one trace id; a zero id
+    // falls back to deriving it from the seed, which all nodes share, so
+    // the whole mesh still agrees on the id.
+    let trace_id = if job.trace_id != 0 {
+        job.trace_id
+    } else {
+        tsmo_obs::trace_id_from_seed(job.seed)
+    };
     let base_cfg = TsmoConfig {
         max_evaluations: job.max_evaluations,
         neighborhood_size: job.neighborhood_size.max(2),
         stagnation_limit: job.stagnation_limit.max(1),
+        trace_id: Some(trace_id),
+        timeline_every: Some(job.neighborhood_size.max(2) as u64 * 10),
         ..TsmoConfig::default()
     }
     .with_seed(job.seed);
@@ -384,7 +403,12 @@ fn run_node_job(
     } else {
         tsmo_faults::none()
     };
-    let recorder: Arc<dyn Recorder> = Arc::clone(&shared.recorder) as Arc<dyn Recorder>;
+    // The searchers record onto a per-job event recorder (spans and
+    // timeline samples included); its metrics fold into the daemon's
+    // long-lived registry after the run, so `Metrics` keeps the lifetime
+    // totals while `Trace` serves just this job's stream.
+    let events = Arc::new(MemoryRecorder::new().with_span_events());
+    let recorder: Arc<dyn Recorder> = Arc::clone(&events) as Arc<dyn Recorder>;
     // One shared connection per remote node; all local searchers multiplex
     // their links to that node's searchers over it.
     let conns: HashMap<usize, Arc<PeerConn>> = (0..nodes)
@@ -453,7 +477,8 @@ fn run_node_job(
             merged.insert(entry);
         }
     }
-    NodeReport {
+    shared.recorder.merge_metrics_from(&events);
+    let report = NodeReport {
         front: merged
             .into_items()
             .iter()
@@ -461,5 +486,6 @@ fn run_node_job(
             .collect(),
         evaluations,
         iterations,
-    }
+    };
+    (report, events.events_jsonl())
 }

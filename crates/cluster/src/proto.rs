@@ -113,6 +113,10 @@ pub struct MeshJob {
     pub fault_seed: u64,
     /// Exchange fault rate in `[0, 1]`.
     pub fault_rate: f64,
+    /// Trace id every node stamps on its profiling spans (48-bit so it
+    /// survives the f64-backed JSON layer exactly). `0` means "derive
+    /// from `seed`" — which yields the same shared id on every node.
+    pub trace_id: u64,
 }
 
 impl Default for MeshJob {
@@ -128,6 +132,7 @@ impl Default for MeshJob {
             stagnation_limit: 100,
             fault_seed: 0,
             fault_rate: 0.0,
+            trace_id: 0,
         }
     }
 }
@@ -159,6 +164,7 @@ impl MeshJob {
             self.fault_seed
         );
         json::write_f64(out, self.fault_rate);
+        let _ = write!(out, ",\"trace_id\":{}", self.trace_id);
         out.push('}');
     }
 
@@ -185,6 +191,8 @@ impl MeshJob {
             stagnation_limit: req_u64(doc, "stagnation_limit")? as usize,
             fault_seed: req_u64(doc, "fault_seed")?,
             fault_rate: req_f64(doc, "fault_rate")?,
+            // Lenient for compatibility with pre-trace controllers.
+            trace_id: doc.get("trace_id").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 }
@@ -249,6 +257,13 @@ pub enum NodeMsg {
     MetricsReply {
         /// The exposition body.
         prometheus: String,
+    },
+    /// Fetch the last job's recorded trace (span/timeline JSONL).
+    Trace,
+    /// Answer to `Trace`: the node's event stream for its last job.
+    TraceReply {
+        /// JSONL event lines (empty when no job recorded a trace).
+        jsonl: String,
     },
     /// Cooperatively cancel the running job.
     Stop,
@@ -321,6 +336,12 @@ impl NodeMsg {
                 json::write_str(&mut s, prometheus);
                 s.push('}');
             }
+            NodeMsg::Trace => s.push_str("{\"type\":\"trace\"}"),
+            NodeMsg::TraceReply { jsonl } => {
+                s.push_str("{\"type\":\"trace_reply\",\"jsonl\":");
+                json::write_str(&mut s, jsonl);
+                s.push('}');
+            }
             NodeMsg::Stop => s.push_str("{\"type\":\"stop\"}"),
             NodeMsg::Stopped => s.push_str("{\"type\":\"stopped\"}"),
             NodeMsg::Shutdown => s.push_str("{\"type\":\"shutdown\"}"),
@@ -376,6 +397,10 @@ impl NodeMsg {
             "metrics" => Ok(NodeMsg::Metrics),
             "metrics_reply" => Ok(NodeMsg::MetricsReply {
                 prometheus: req_str(&doc, "prometheus")?.to_string(),
+            }),
+            "trace" => Ok(NodeMsg::Trace),
+            "trace_reply" => Ok(NodeMsg::TraceReply {
+                jsonl: req_str(&doc, "jsonl")?.to_string(),
             }),
             "stop" => Ok(NodeMsg::Stop),
             "stopped" => Ok(NodeMsg::Stopped),
@@ -474,6 +499,7 @@ mod tests {
                     stagnation_limit: 25,
                     fault_seed: 7,
                     fault_rate: 0.125,
+                    trace_id: 0xFFFF_FFFF_FFFF,
                 },
             },
             NodeMsg::Start {
@@ -493,6 +519,10 @@ mod tests {
             NodeMsg::Metrics,
             NodeMsg::MetricsReply {
                 prometheus: "tsmo_exchanges_received_total 3\n".to_string(),
+            },
+            NodeMsg::Trace,
+            NodeMsg::TraceReply {
+                jsonl: "{\"seq\":0,\"type\":\"span_enter\",\"name\":\"search\"}\n".to_string(),
             },
             NodeMsg::Stop,
             NodeMsg::Stopped,

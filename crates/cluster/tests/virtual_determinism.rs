@@ -93,6 +93,56 @@ fn faulted_virtual_runs_replay_identically_too() {
     );
 }
 
+/// tsmo-trace under `--virtual-net`: the verifying replay reproduces the
+/// recording's span and timeline stream byte-for-byte — trace ids and
+/// span ids included.
+#[test]
+fn virtual_replay_preserves_trace_and_span_ids_exactly() {
+    use tsmo_obs::{MemoryRecorder, Recorder, SearchEvent};
+
+    let inst = instance();
+    let mut vm = mesh_cfg(11);
+    let trace_id = tsmo_obs::trace_id_from_seed(11);
+    vm.cfg.trace_id = Some(trace_id);
+    vm.cfg.timeline_every = Some(500);
+    let r1 = Arc::new(MemoryRecorder::new().with_span_events());
+    let recorded = run_virtual(
+        &inst,
+        &vm,
+        Arc::clone(&r1) as Arc<dyn Recorder>,
+        tsmo_faults::none(),
+    );
+    let r2 = Arc::new(MemoryRecorder::new().with_span_events());
+    let replayed = replay_virtual(
+        &inst,
+        &vm,
+        Arc::clone(&r2) as Arc<dyn Recorder>,
+        tsmo_faults::none(),
+        &recorded.log,
+    )
+    .expect("replay must follow the recording exactly");
+    assert_eq!(
+        front_fingerprint(&replayed.front),
+        front_fingerprint(&recorded.front)
+    );
+    let (jsonl1, jsonl2) = (r1.events_jsonl(), r2.events_jsonl());
+    assert!(!jsonl1.is_empty());
+    assert_eq!(
+        jsonl1, jsonl2,
+        "replay must preserve trace and span ids exactly"
+    );
+    let mut saw_span = false;
+    for ev in &r1.events() {
+        if let SearchEvent::SpanEnter { trace, .. } | SearchEvent::SpanExit { trace, .. } =
+            &ev.event
+        {
+            saw_span = true;
+            assert_eq!(*trace, trace_id);
+        }
+    }
+    assert!(saw_span, "the virtual run recorded no spans");
+}
+
 #[test]
 fn virtual_front_is_mutually_non_dominated_and_solutions_check() {
     let inst = instance();

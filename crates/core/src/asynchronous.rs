@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsmo_faults::{FaultHook, TaskFault};
-use tsmo_obs::{metrics::names, FaultKind, Recorder, SearchEvent};
+use tsmo_obs::{metrics::names, FaultKind, Recorder, SearchEvent, Span};
 use vrptw::solution::EvaluatedSolution;
 use vrptw::Instance;
 use vrptw_operators::SampleParams;
@@ -207,6 +207,7 @@ impl AsyncTsmo {
             // neighborhood. A degraded supervisor has no live workers, so
             // the master continues alone (master-local evaluation).
             if let Some(sup) = supervisor.as_mut() {
+                let _span = Span::enter(&recorder, "dispatch", core.trace_id(), core.span_parent());
                 for w in sup.idle_live_workers() {
                     let granted = budget.try_consume(chunk as u64) as usize;
                     if granted == 0 {
@@ -231,7 +232,10 @@ impl AsyncTsmo {
                     );
                 }
             }
-            // The master computes its own part.
+            // The master computes its own part. The "evaluate" span also
+            // covers the decision-function wait: from the master's
+            // perspective that time is spent collecting evaluations.
+            let eval_span = Span::enter(&recorder, "evaluate", core.trace_id(), core.span_parent());
             let granted = budget.try_consume(chunk as u64) as usize;
             if granted > 0 {
                 recorder.counter_add(names::EVALUATIONS, granted as u64);
@@ -283,6 +287,7 @@ impl AsyncTsmo {
                     None => break, // no workers: nothing to wait for
                 }
             }
+            drop(eval_span);
             if pool.is_empty() {
                 let all_idle = supervisor
                     .as_ref()

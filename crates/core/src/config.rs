@@ -57,6 +57,17 @@ pub struct TsmoConfig {
     pub seed: u64,
     /// Record a search trace for trajectory plots (Fig. 1).
     pub trace: bool,
+    /// Overrides the per-run trace id stamped on profiling spans. `None`
+    /// (the default) derives it from `seed` via
+    /// [`tsmo_obs::trace_id_from_seed`]; a distributed mesh sets it
+    /// explicitly so every node's spans share one id.
+    pub trace_id: Option<u64>,
+    /// Emit a `FrontSample` convergence event (archive size, 2-D
+    /// hypervolume, coverage of `M_nondom`) roughly every this many
+    /// evaluated neighbors (`None` = no timeline). Sampling is driven by
+    /// the searcher-local evaluated-neighbor count, so timelines are as
+    /// deterministic as the rest of the event stream.
+    pub timeline_every: Option<u64>,
     /// Upper bound on retained trace points (`None` = unbounded). The trace
     /// grows by `neighborhood_size` points per iteration, so long runs
     /// should cap it; the most recent points win and the drop count is
@@ -93,6 +104,8 @@ impl Default for TsmoConfig {
             selection: SelectionRule::RandomNonDominated,
             seed: 0,
             trace: false,
+            trace_id: None,
+            timeline_every: None,
             trace_capacity: None,
             async_max_wait_ms: 20,
             sim_comm_latency: 0.001,
@@ -106,6 +119,13 @@ impl TsmoConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// The trace id a run with this configuration stamps on its spans:
+    /// the explicit override, or the id derived from `seed`.
+    pub fn effective_trace_id(&self) -> u64 {
+        self.trace_id
+            .unwrap_or_else(|| tsmo_obs::trace_id_from_seed(self.seed))
     }
 
     /// The collaborative variant's parameter disturbance (§III.E): every

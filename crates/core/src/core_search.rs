@@ -9,7 +9,7 @@ use crate::trace::{Trace, TracePoint};
 use detrand::{RandomSource, Rng, Xoshiro256StarStar};
 use pareto::{non_dominated_indices, Archive};
 use std::sync::Arc;
-use tsmo_obs::{metrics::names, Recorder, RestartReason, SearchEvent};
+use tsmo_obs::{metrics::names, Recorder, RestartReason, SearchEvent, Span};
 use vrptw::solution::EvaluatedSolution;
 use vrptw::{Instance, Objectives};
 use vrptw_construct::randomized_i1;
@@ -47,6 +47,16 @@ pub struct SearchCore {
     trace: Option<Trace>,
     recorder: Arc<dyn Recorder>,
     searcher_id: u32,
+    trace_id: u64,
+    root_span: Option<Span>,
+    /// Neighbors evaluated so far (the searcher-local evaluation count
+    /// driving the convergence timeline).
+    evals_seen: u64,
+    next_sample: u64,
+    /// Hypervolume reference point in (distance, vehicles), fixed
+    /// deterministically from the I1 start so samples are comparable
+    /// within a run.
+    timeline_ref: [f64; 2],
 }
 
 impl SearchCore {
@@ -67,8 +77,18 @@ impl SearchCore {
         recorder: Arc<dyn Recorder>,
         searcher_id: u32,
     ) -> Self {
-        let start = randomized_i1(&inst, &mut rng);
-        let current = EvaluatedSolution::new(start, &inst);
+        let trace_id = cfg.effective_trace_id();
+        let root_span = Span::enter(&recorder, "search", trace_id, 0);
+        let current = {
+            let _span = Span::enter(
+                &recorder,
+                "construct",
+                trace_id,
+                root_span.as_ref().map_or(0, Span::id),
+            );
+            let start = randomized_i1(&inst, &mut rng);
+            EvaluatedSolution::new(start, &inst)
+        };
         let mut archive = Archive::new(cfg.archive_capacity);
         let nondom = Archive::new(cfg.nondom_capacity);
         archive.insert(FrontEntry::new(
@@ -76,6 +96,10 @@ impl SearchCore {
             current.objectives(),
         ));
         let trace = cfg.trace.then(|| Trace::bounded(cfg.trace_capacity));
+        let timeline_ref = [
+            current.objectives().distance * 1.1 + 1.0,
+            (current.objectives().vehicles + 2) as f64,
+        ];
         Self {
             inst,
             tabu: TabuList::new(cfg.tabu_tenure),
@@ -85,10 +109,15 @@ impl SearchCore {
             iteration: 0,
             stagnation: 0,
             trace,
+            next_sample: cfg.timeline_every.unwrap_or(u64::MAX).max(1),
             cfg,
             rng,
             recorder,
             searcher_id,
+            trace_id,
+            root_span,
+            evals_seen: 0,
+            timeline_ref,
         }
     }
 
@@ -110,6 +139,17 @@ impl SearchCore {
     /// Completed iterations.
     pub fn iteration(&self) -> usize {
         self.iteration
+    }
+
+    /// The run's trace id (shared across a distributed run).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The root span id, for parenting spans opened by the runners
+    /// (0 when profiling is off).
+    pub fn span_parent(&self) -> u64 {
+        tsmo_obs::span_parent(&self.root_span)
     }
 
     /// Current archive contents.
@@ -153,8 +193,10 @@ impl SearchCore {
         // asynchronous variant's leftovers show up as genuinely stale.
         let iter = self.iteration;
         self.iteration += 1;
+        self.evals_seen += pool.len() as u64;
         self.recorder.counter_add(names::ITERATIONS, 1);
         self.recorder.observe(names::POOL_SIZE, pool.len() as f64);
+        let span_parent = self.span_parent();
 
         // Staleness: the asynchronous variants fold in neighbors generated
         // from an older current solution (`created_iteration < iter`).
@@ -184,6 +226,7 @@ impl SearchCore {
 
         // Selection: non-tabu neighbors (aspiration optionally rescues tabu
         // neighbors that would enter the archive).
+        let tabu_span = Span::enter(&self.recorder, "tabu", self.trace_id, span_parent);
         let mut admissible: Vec<usize> = Vec::with_capacity(pool.len());
         for (i, nb) in pool.iter().enumerate() {
             let tabu = self.tabu.is_tabu(&nb.arcs_created);
@@ -207,6 +250,8 @@ impl SearchCore {
                 admissible.push(i);
             }
         }
+        drop(tabu_span);
+        let select_span = Span::enter(&self.recorder, "select", self.trace_id, span_parent);
         let vectors: Vec<[f64; 3]> = admissible
             .iter()
             .map(|&i| pool[i].objectives.to_vector())
@@ -233,6 +278,7 @@ impl SearchCore {
             };
             Some(admissible[pick])
         };
+        drop(select_span);
 
         if let Some(t) = self.trace.as_mut() {
             for (i, nb) in pool.iter().enumerate() {
@@ -257,6 +303,7 @@ impl SearchCore {
 
         // Memory update: every neighbor is offered to M_nondom ("additional
         // non-dominated solutions that were found in the neighborhood N").
+        let archive_span = Span::enter(&self.recorder, "archive", self.trace_id, span_parent);
         for nb in &pool {
             if self
                 .nondom
@@ -299,9 +346,12 @@ impl SearchCore {
                 self.restart_from_memory();
                 report.restarted = true;
                 self.stagnation = 0;
+                drop(archive_span);
+                self.maybe_sample_front(iter);
                 return report;
             }
         }
+        drop(archive_span);
 
         // Line 14: isUnchanged(M_archive) for too long => restart next.
         if self.stagnation >= self.cfg.stagnation_limit {
@@ -310,7 +360,42 @@ impl SearchCore {
             report.restarted = true;
             self.stagnation = 0;
         }
+        self.maybe_sample_front(iter);
         report
+    }
+
+    /// Convergence timeline: once the evaluated-neighbor count crosses the
+    /// next sampling threshold, emits one `FrontSample` with the archive's
+    /// 2-D hypervolume (distance × vehicles, tardiness dropped — it is zero
+    /// for feasible fronts) and its coverage of `M_nondom`. Driven by
+    /// `evals_seen`, never by wall time, so timelines replay byte-identically.
+    fn maybe_sample_front(&mut self, iter: usize) {
+        let Some(every) = self.cfg.timeline_every else {
+            return;
+        };
+        if !self.recorder.enabled() || self.evals_seen < self.next_sample {
+            return;
+        }
+        let every = every.max(1);
+        while self.next_sample <= self.evals_seen {
+            self.next_sample += every;
+        }
+        let projected: Vec<Vec<f64>> = self
+            .archive
+            .items()
+            .iter()
+            .map(|e| vec![e.objectives.distance, e.objectives.vehicles as f64])
+            .collect();
+        let hypervolume = pareto::hypervolume_2d(&projected, self.timeline_ref);
+        let coverage = pareto::coverage(self.archive.items(), self.nondom.items());
+        self.recorder.event(SearchEvent::FrontSample {
+            searcher: self.searcher_id,
+            iteration: iter as u64,
+            evaluations: self.evals_seen,
+            size: self.archive.len() as u32,
+            hypervolume,
+            coverage,
+        });
     }
 
     /// Counts and (when enabled) emits one restart event.
@@ -348,6 +433,10 @@ impl SearchCore {
     pub fn finish(self) -> (Vec<FrontEntry>, Option<Trace>, usize) {
         self.recorder
             .gauge_max(names::ARCHIVE_SIZE, self.archive.len() as f64);
+        if let Some(t) = &self.trace {
+            self.recorder
+                .counter_add(names::TRACE_DROPPED, t.dropped() as u64);
+        }
         (self.archive.into_items(), self.trace, self.iteration)
     }
 }

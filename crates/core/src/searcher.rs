@@ -18,7 +18,9 @@ use deme::EvaluationBudget;
 use detrand::Xoshiro256StarStar;
 use std::sync::Arc;
 use tsmo_faults::{FaultHook, MsgFault};
-use tsmo_obs::{metrics::names, ExchangeDirection, FaultKind, Recorder, SearchEvent, Stopwatch};
+use tsmo_obs::{
+    metrics::names, ExchangeDirection, FaultKind, Recorder, SearchEvent, Span, Stopwatch,
+};
 use vrptw::Instance;
 
 /// Sends `entry` to the head of `endpoint`'s rotation (with liveness
@@ -190,6 +192,8 @@ impl CollabSearcher {
             return false;
         }
         self.tick += 1;
+        let (trace_id, span_parent) = (self.core.trace_id(), self.core.span_parent());
+        let exchange_span = Span::enter(&self.recorder, "exchange", trace_id, span_parent);
         // Release delayed messages whose tick has come.
         if !self.delayed.is_empty() {
             let mut keep = Vec::new();
@@ -223,6 +227,7 @@ impl CollabSearcher {
             }
             self.core.offer_to_nondom(entry);
         }
+        drop(exchange_span);
         let granted = self.budget.try_consume(self.cfg.neighborhood_size as u64) as usize;
         if granted == 0 {
             return false;
@@ -230,6 +235,7 @@ impl CollabSearcher {
         self.recorder
             .counter_add(names::EVALUATIONS, granted as u64);
         let seed = self.core.next_seed();
+        let eval_span = Span::enter(&self.recorder, "evaluate", trace_id, span_parent);
         let pool = generate_chunk(
             &self.inst,
             self.core.current(),
@@ -238,6 +244,7 @@ impl CollabSearcher {
             self.core.sample_params(),
             self.core.iteration(),
         );
+        drop(eval_span);
         let report = self.core.step(pool);
         if self.initial_phase {
             // The initial phase ends when the searcher "could not add any
@@ -252,6 +259,7 @@ impl CollabSearcher {
                 }
             }
         } else if let Some(entry) = report.improved_archive {
+            let _span = Span::enter(&self.recorder, "exchange", trace_id, span_parent);
             let fault = if self.hook.active() {
                 let seq = self.exchange_seq;
                 self.exchange_seq += 1;

@@ -8,7 +8,7 @@ use crate::outcome::TsmoOutcome;
 use deme::{EvaluationBudget, RunClock};
 use detrand::Xoshiro256StarStar;
 use std::sync::Arc;
-use tsmo_obs::{metrics::names, Recorder};
+use tsmo_obs::{metrics::names, Recorder, Span};
 use vrptw::Instance;
 
 /// Single-threaded TSMO.
@@ -59,6 +59,7 @@ impl SequentialTsmo {
         while !budget.exhausted() && !self.cancel.should_stop(core.iteration()) {
             let seeds = core.chunk_seeds();
             let mut pool = Vec::with_capacity(self.cfg.neighborhood_size);
+            let eval_span = Span::enter(&recorder, "evaluate", core.trace_id(), core.span_parent());
             for (&seed, &size) in seeds.iter().zip(&sizes) {
                 let granted = budget.try_consume(size as u64) as usize;
                 if granted == 0 {
@@ -74,6 +75,7 @@ impl SequentialTsmo {
                     core.iteration(),
                 ));
             }
+            drop(eval_span);
             if pool.is_empty() && budget.exhausted() {
                 break;
             }

@@ -8,7 +8,7 @@ use crate::outcome::TsmoOutcome;
 use deme::{EvaluationBudget, MasterWorker, RunClock};
 use detrand::Xoshiro256StarStar;
 use std::sync::Arc;
-use tsmo_obs::{metrics::names, Recorder, SearchEvent};
+use tsmo_obs::{metrics::names, Recorder, SearchEvent, Span};
 use vrptw::solution::EvaluatedSolution;
 use vrptw::Instance;
 use vrptw_operators::SampleParams;
@@ -104,6 +104,7 @@ impl SyncTsmo {
             recorder.counter_add(names::EVALUATIONS, granted.iter().map(|&g| g as u64).sum());
             // Dispatch chunks 1..P to the workers.
             if let Some(pool) = &pool {
+                let _span = Span::enter(&recorder, "dispatch", core.trace_id(), core.span_parent());
                 for w in 0..pool.n_workers() {
                     if recorder.enabled() {
                         recorder.event(SearchEvent::WorkerTask {
@@ -123,7 +124,10 @@ impl SyncTsmo {
                     );
                 }
             }
-            // Master computes chunk 0 meanwhile.
+            // Master computes chunk 0 meanwhile. The "evaluate" span also
+            // covers the barrier below: waiting for worker chunks is
+            // evaluation time from the master's perspective.
+            let eval_span = Span::enter(&recorder, "evaluate", core.trace_id(), core.span_parent());
             let mut neighborhood = generate_chunk(
                 inst,
                 core.current(),
@@ -155,6 +159,7 @@ impl SyncTsmo {
                     neighborhood.extend(chunk.expect("barrier collected every worker"));
                 }
             }
+            drop(eval_span);
             if neighborhood.is_empty() && budget.exhausted() {
                 break;
             }

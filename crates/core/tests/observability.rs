@@ -95,6 +95,100 @@ fn sim_async_event_stream_is_byte_identical_across_runs() {
     assert_eq!(jsonl1, jsonl2, "event streams must be byte-identical");
 }
 
+/// tsmo-trace determinism: with a fixed seed, a fixed virtual evaluation
+/// cost, an explicit trace id, and timeline sampling on, repeated runs
+/// produce byte-identical span + timeline streams — the span layer adds
+/// no wall-clock-dependent bytes to the deterministic stream.
+#[test]
+fn span_and_timeline_streams_are_byte_identical_across_runs() {
+    let inst = inst();
+    let trace_id = tsmo_obs::trace_id_from_seed(7);
+    let traced_cfg = || TsmoConfig {
+        trace_id: Some(trace_id),
+        timeline_every: Some(500),
+        ..cfg()
+    };
+    let (r1, r2) = (
+        Arc::new(MemoryRecorder::new().with_span_events()),
+        Arc::new(MemoryRecorder::new().with_span_events()),
+    );
+    SimAsyncTsmo::new(traced_cfg(), 3).run_with(&inst, Arc::clone(&r1) as Arc<dyn Recorder>);
+    SimAsyncTsmo::new(traced_cfg(), 3).run_with(&inst, Arc::clone(&r2) as Arc<dyn Recorder>);
+    let (jsonl1, jsonl2) = (r1.events_jsonl(), r2.events_jsonl());
+    assert!(!jsonl1.is_empty());
+    assert_eq!(
+        jsonl1, jsonl2,
+        "span + timeline streams must be byte-identical"
+    );
+
+    let events = r1.events();
+    let mut open: Vec<u64> = Vec::new();
+    let mut saw_sample = false;
+    for ev in &events {
+        match &ev.event {
+            SearchEvent::SpanEnter { trace, span, .. } => {
+                assert_eq!(*trace, trace_id);
+                open.push(*span);
+            }
+            SearchEvent::SpanExit { trace, span, .. } => {
+                assert_eq!(*trace, trace_id);
+                assert!(
+                    open.contains(span),
+                    "span {span} exited without a matching enter"
+                );
+                open.retain(|s| s != span);
+            }
+            SearchEvent::FrontSample { evaluations, .. } => {
+                saw_sample = true;
+                assert!(*evaluations > 0);
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "spans left open: {open:?}");
+    assert!(saw_sample, "no timeline samples were recorded");
+}
+
+/// The default recorder keeps the pre-span stream: span markers are
+/// opt-in, but the wall-time profile folds either way.
+#[test]
+fn default_stream_has_no_span_events_but_the_profile_still_folds() {
+    let inst = inst();
+    let recorder = MemoryRecorder::shared();
+    SequentialTsmo::new(cfg()).run_with(&inst, Arc::clone(&recorder) as Arc<dyn Recorder>);
+    assert!(
+        !recorder.events().iter().any(|e| matches!(
+            e.event,
+            SearchEvent::SpanEnter { .. } | SearchEvent::SpanExit { .. }
+        )),
+        "span events must be opt-in"
+    );
+    let profile = recorder.profile();
+    for phase in [
+        "search",
+        "construct",
+        "tabu",
+        "select",
+        "archive",
+        "evaluate",
+    ] {
+        let stat = profile
+            .get(phase)
+            .unwrap_or_else(|| panic!("phase {phase:?} missing from the profile"));
+        assert!(stat.calls > 0, "{phase} recorded no calls");
+        assert!(stat.seconds >= 0.0);
+    }
+    // The root span covers the whole run, so every child phase's wall
+    // time is bounded by it.
+    let root = profile["search"].seconds;
+    for phase in ["construct", "tabu", "select", "archive", "evaluate"] {
+        assert!(
+            profile[phase].seconds <= root,
+            "{phase} outlived the root span"
+        );
+    }
+}
+
 #[test]
 fn recorded_events_round_trip_through_jsonl() {
     let inst = inst();

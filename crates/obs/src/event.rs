@@ -280,6 +280,44 @@ pub enum SearchEvent {
         /// Whether the run was stopped early (cancel or deadline).
         truncated: bool,
     },
+    /// A profiling span opened. Carries only logical fields — the wall
+    /// time of the span feeds the profiler/metrics, never the stream.
+    SpanEnter {
+        /// The run's trace id (shared by a whole distributed run).
+        trace: u64,
+        /// Recorder-assigned span id, unique within the recorder.
+        span: u64,
+        /// Enclosing span id (0 for a root span).
+        parent: u64,
+        /// Phase name, e.g. `evaluate` or `archive`.
+        name: String,
+    },
+    /// A profiling span closed.
+    SpanExit {
+        /// The run's trace id.
+        trace: u64,
+        /// The span being closed.
+        span: u64,
+        /// Phase name (repeated so exits are self-describing).
+        name: String,
+    },
+    /// Periodic convergence sample of the live archive's front quality.
+    FrontSample {
+        /// Emitting searcher.
+        searcher: u32,
+        /// Iteration at sample time.
+        iteration: u64,
+        /// Evaluations consumed by this searcher at sample time.
+        evaluations: u64,
+        /// Entries in `M_archive`.
+        size: u32,
+        /// 2-D hypervolume of the archive projected to
+        /// (distance, vehicles).
+        hypervolume: f64,
+        /// Coverage `C(archive, M_nondom)` — the fraction of `M_nondom`
+        /// weakly dominated by the live archive.
+        coverage: f64,
+    },
 }
 
 /// An event stamped with its logical sequence number.
@@ -479,6 +517,41 @@ impl TimedEvent {
                     ",\"type\":\"job_completed\",\"job\":{job},\"iterations\":{iterations},\"truncated\":{truncated}"
                 );
             }
+            SearchEvent::SpanEnter {
+                trace,
+                span,
+                parent,
+                name,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"span_enter\",\"trace\":{trace},\"span\":{span},\"parent\":{parent},\"name\":"
+                );
+                json::write_str(&mut s, name);
+            }
+            SearchEvent::SpanExit { trace, span, name } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"span_exit\",\"trace\":{trace},\"span\":{span},\"name\":"
+                );
+                json::write_str(&mut s, name);
+            }
+            SearchEvent::FrontSample {
+                searcher,
+                iteration,
+                evaluations,
+                size,
+                hypervolume,
+                coverage,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"front_sample\",\"searcher\":{searcher},\"iteration\":{iteration},\"evaluations\":{evaluations},\"size\":{size},\"hypervolume\":"
+                );
+                json::write_f64(&mut s, *hypervolume);
+                s.push_str(",\"coverage\":");
+                json::write_f64(&mut s, *coverage);
+            }
         }
         s.push('}');
         s
@@ -609,6 +682,25 @@ impl TimedEvent {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| "bad 'truncated' field".to_string())?,
             },
+            "span_enter" => SearchEvent::SpanEnter {
+                trace: field_u64(&doc, "trace")?,
+                span: field_u64(&doc, "span")?,
+                parent: field_u64(&doc, "parent")?,
+                name: field_str(&doc, "name")?,
+            },
+            "span_exit" => SearchEvent::SpanExit {
+                trace: field_u64(&doc, "trace")?,
+                span: field_u64(&doc, "span")?,
+                name: field_str(&doc, "name")?,
+            },
+            "front_sample" => SearchEvent::FrontSample {
+                searcher: field_u32(&doc, "searcher")?,
+                iteration: field_u64(&doc, "iteration")?,
+                evaluations: field_u64(&doc, "evaluations")?,
+                size: field_u32(&doc, "size")?,
+                hypervolume: field_f64(&doc, "hypervolume")?,
+                coverage: field_f64(&doc, "coverage")?,
+            },
             other => return Err(format!("unknown event type '{other}'")),
         };
         Ok(TimedEvent { seq, event })
@@ -638,6 +730,19 @@ fn field_u32(doc: &Json, key: &str) -> Result<u32, String> {
     field_u64(doc, key)?
         .try_into()
         .map_err(|_| format!("'{key}' out of u32 range"))
+}
+
+fn field_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("bad '{key}' field"))
+}
+
+fn field_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("bad '{key}' field"))
 }
 
 fn vector_from(v: &Json) -> Result<[f64; 3], String> {
@@ -767,6 +872,25 @@ mod tests {
                 job: 7,
                 iterations: 250,
                 truncated: true,
+            },
+            SearchEvent::SpanEnter {
+                trace: 0xFFFF_FFFF_FFFF,
+                span: 2,
+                parent: 1,
+                name: "evaluate".to_string(),
+            },
+            SearchEvent::SpanExit {
+                trace: 0xFFFF_FFFF_FFFF,
+                span: 2,
+                name: "evaluate".to_string(),
+            },
+            SearchEvent::FrontSample {
+                searcher: 1,
+                iteration: 42,
+                evaluations: 2000,
+                size: 9,
+                hypervolume: 1234.5,
+                coverage: 0.75,
             },
         ]
     }

@@ -6,9 +6,11 @@
 //! * **Structured events** ([`SearchEvent`], [`TimedEvent`]): a typed
 //!   JSONL stream of what the search did — iterations, restarts, archive
 //!   insertions, tabu hits, collaborative exchanges, worker task/result
-//!   traffic, and staleness. Events carry *logical* timestamps (a
-//!   sequence number assigned at append), so two runs with the same seed
-//!   produce byte-identical streams. [`parse_events_jsonl`] reads a
+//!   traffic, staleness, hierarchical profiling spans ([`Span`],
+//!   [`trace_id_from_seed`]), and convergence samples. Events carry
+//!   *logical* timestamps (a sequence number assigned at append), so two
+//!   runs with the same seed produce byte-identical streams — span wall
+//!   times go to the metrics side only. [`parse_events_jsonl`] reads a
 //!   stream back for tests and tooling.
 //! * **Metrics** ([`MetricsRegistry`], [`metrics::names`]): typed
 //!   counters, gauges, and fixed-bucket histograms with Prometheus text
@@ -34,10 +36,12 @@ pub mod frame;
 pub mod json;
 pub mod metrics;
 mod recorder;
+mod span;
 
 pub use event::{
     parse_events_jsonl, ExchangeDirection, FaultKind, RestartReason, SearchEvent, TimedEvent,
 };
 pub use json::{Json, ParseError};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use recorder::{noop, MemoryRecorder, NoopRecorder, Recorder, Stopwatch};
+pub use recorder::{noop, MemoryRecorder, NoopRecorder, Recorder, SpanStat, Stopwatch};
+pub use span::{span_parent, trace_id_from_seed, Span};

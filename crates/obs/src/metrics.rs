@@ -96,6 +96,21 @@ pub mod names {
     /// Dead peers re-admitted by a successful probe (counter).
     pub const PEERS_READMITTED: &str = "tsmo_peers_readmitted_total";
 
+    /// Trajectory-trace ring-buffer points overwritten before export
+    /// (counter).
+    pub const TRACE_DROPPED: &str = "tsmo_trace_dropped_total";
+
+    /// Per-phase closed-span count from the self-profiler (counter).
+    pub fn span_calls(span: &str) -> String {
+        format!("tsmo_span_calls_total{{span=\"{span}\"}}")
+    }
+
+    /// Per-phase wall seconds folded by the self-profiler (gauge; wall
+    /// clock, so it lives in metrics, never events).
+    pub fn span_seconds(span: &str) -> String {
+        format!("tsmo_span_seconds_total{{span=\"{span}\"}}")
+    }
+
     /// Per-peer sent-exchange sample name (counter).
     pub fn exchanges_sent_to_peer(peer: usize) -> String {
         format!("tsmo_exchanges_sent_total{{peer=\"{peer}\"}}")

@@ -6,7 +6,9 @@
 //! single virtual call (and no allocation) on hot paths.
 
 use crate::event::{SearchEvent, TimedEvent};
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{names, MetricsRegistry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -34,6 +36,25 @@ pub trait Recorder: Send + Sync {
 
     /// Records one histogram observation.
     fn observe(&self, _name: &str, _value: f64) {}
+
+    /// Whether span profiling is on. Emitters construct a
+    /// [`Span`](crate::Span) — and read the wall clock — only when this
+    /// is `true`, so the no-op recorder adds no timing overhead to hot
+    /// paths.
+    fn profiling(&self) -> bool {
+        false
+    }
+
+    /// Opens a span and returns its recorder-assigned id (0 from sinks
+    /// that don't track spans).
+    fn span_start(&self, _name: &'static str, _trace: u64, _parent: u64) -> u64 {
+        0
+    }
+
+    /// Closes a span. `wall_seconds` feeds the self-profiler and metrics
+    /// only — never the event stream — so deterministic streams stay
+    /// byte-identical across runs.
+    fn span_end(&self, _name: &'static str, _trace: u64, _span: u64, _wall_seconds: f64) {}
 }
 
 /// Discards everything. The default recorder: a search run with this sink
@@ -48,10 +69,22 @@ pub fn noop() -> Arc<dyn Recorder> {
     Arc::new(NoopRecorder)
 }
 
+/// Aggregated wall-time cost of one span name, folded by the
+/// self-profiler as spans close.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Spans closed under this name.
+    pub calls: u64,
+    /// Wall seconds summed over those spans.
+    pub seconds: f64,
+}
+
 struct MemoryState {
     next_seq: u64,
+    next_span: u64,
     events: Vec<TimedEvent>,
     metrics: MetricsRegistry,
+    profile: BTreeMap<String, SpanStat>,
 }
 
 /// In-memory recorder: stamps each event with a logical sequence number
@@ -60,6 +93,7 @@ struct MemoryState {
 /// [`metrics_only`](MemoryRecorder::metrics_only) instead.
 pub struct MemoryRecorder {
     record_events: bool,
+    record_spans: bool,
     state: Mutex<MemoryState>,
 }
 
@@ -74,12 +108,26 @@ impl MemoryRecorder {
     pub fn new() -> Self {
         Self {
             record_events: true,
+            record_spans: false,
             state: Mutex::new(MemoryState {
                 next_seq: 0,
+                next_span: 1,
                 events: Vec::new(),
                 metrics: MetricsRegistry::new(),
+                profile: BTreeMap::new(),
             }),
         }
+    }
+
+    /// Also records span enter/exit markers in the event stream (the
+    /// wall-time profile folds either way). Span events are opt-in
+    /// because a truncated run closes its root span early, making its
+    /// stream "prefix + SpanExit" rather than a byte prefix of the full
+    /// run's — code relying on the prefix-determinism contract uses the
+    /// default stream, traces and `tail` opt in.
+    pub fn with_span_events(mut self) -> Self {
+        self.record_spans = true;
+        self
     }
 
     /// A recorder that accumulates metrics but drops events:
@@ -127,19 +175,77 @@ impl MemoryRecorder {
         out
     }
 
-    /// Snapshot of the metrics registry.
+    /// Copies out the events with `seq >= from`, for incremental tailing
+    /// of a live recorder.
+    pub fn events_since(&self, from: u64) -> Vec<TimedEvent> {
+        let state = self.state();
+        // Sequence numbers are dense and start at 0, so the tail starts
+        // at index `from` (clamped).
+        let start = (from as usize).min(state.events.len());
+        state.events[start..].to_vec()
+    }
+
+    /// Snapshot of the folded span profile, by span name. Populated even
+    /// by [`metrics_only`](MemoryRecorder::metrics_only) recorders —
+    /// profiling costs one map fold per closed span, not per-event
+    /// memory.
+    pub fn profile(&self) -> BTreeMap<String, SpanStat> {
+        self.state().profile.clone()
+    }
+
+    /// The span profile as one deterministic JSON document:
+    /// `{"spans":{NAME:{"calls":N,"seconds":S},...},"total_seconds":T}`.
+    /// `T` is the plain sum of `seconds` over all span names; nested
+    /// spans count their own time, so `T` can exceed a run's wall clock.
+    pub fn profile_json(&self) -> String {
+        let profile = self.profile();
+        let mut out = String::from("{\"spans\":{");
+        let mut total = 0.0;
+        for (i, (name, stat)) in profile.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::write_str(&mut out, name);
+            let _ = write!(out, ":{{\"calls\":{},\"seconds\":", stat.calls);
+            crate::json::write_f64(&mut out, stat.seconds);
+            out.push('}');
+            total += stat.seconds;
+        }
+        out.push_str("},\"total_seconds\":");
+        crate::json::write_f64(&mut out, total);
+        out.push('}');
+        out
+    }
+
+    /// Snapshot of the metrics registry, with the span profile folded in
+    /// as `tsmo_span_calls_total{span=...}` / `tsmo_span_seconds_total{span=...}`.
     pub fn metrics(&self) -> MetricsRegistry {
-        self.state().metrics.clone()
+        let state = self.state();
+        let mut metrics = state.metrics.clone();
+        for (name, stat) in &state.profile {
+            metrics.counter_add(&names::span_calls(name), stat.calls);
+            metrics.gauge_set(&names::span_seconds(name), stat.seconds);
+        }
+        metrics
+    }
+
+    /// Folds another recorder's metrics snapshot (span profile included)
+    /// into this one's registry: counters add, gauges max, histograms
+    /// add. Events are not copied. A node daemon uses this to publish a
+    /// finished job's per-job recorder into its long-lived one.
+    pub fn merge_metrics_from(&self, other: &MemoryRecorder) {
+        let snapshot = other.metrics();
+        self.state().metrics.merge(&snapshot);
     }
 
     /// Prometheus text exposition of the current metrics.
     pub fn prometheus(&self) -> String {
-        self.state().metrics.to_prometheus()
+        self.metrics().to_prometheus()
     }
 
     /// Human-readable end-of-run summary of the current metrics.
     pub fn summary(&self) -> String {
-        self.state().metrics.summary()
+        self.metrics().summary()
     }
 }
 
@@ -172,6 +278,51 @@ impl Recorder for MemoryRecorder {
 
     fn observe(&self, name: &str, value: f64) {
         self.state().metrics.observe(name, value);
+    }
+
+    fn profiling(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &'static str, trace: u64, parent: u64) -> u64 {
+        let mut state = self.state();
+        let span = state.next_span;
+        state.next_span += 1;
+        if self.record_events && self.record_spans {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            state.events.push(TimedEvent {
+                seq,
+                event: SearchEvent::SpanEnter {
+                    trace,
+                    span,
+                    parent,
+                    name: name.to_string(),
+                },
+            });
+        }
+        span
+    }
+
+    fn span_end(&self, name: &'static str, trace: u64, span: u64, wall_seconds: f64) {
+        let mut state = self.state();
+        // The profile folds regardless of event recording: metrics-only
+        // daemons still get the per-phase wall-time table.
+        let stat = state.profile.entry(name.to_string()).or_default();
+        stat.calls += 1;
+        stat.seconds += wall_seconds;
+        if self.record_events && self.record_spans {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            state.events.push(TimedEvent {
+                seq,
+                event: SearchEvent::SpanExit {
+                    trace,
+                    span,
+                    name: name.to_string(),
+                },
+            });
+        }
     }
 }
 
@@ -290,6 +441,39 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(r.metrics().counter(names::EVALUATIONS), 400);
+    }
+
+    #[test]
+    fn metrics_only_still_folds_the_span_profile() {
+        let r = MemoryRecorder::metrics_only();
+        let span = r.span_start("evaluate", 9, 0);
+        r.span_end("evaluate", 9, span, 0.25);
+        r.span_end("evaluate", 9, 0, 0.75);
+        assert_eq!(r.event_count(), 0, "no span events without recording");
+        let profile = r.profile();
+        assert_eq!(profile["evaluate"].calls, 2);
+        assert!((profile["evaluate"].seconds - 1.0).abs() < 1e-12);
+        let prom = r.prometheus();
+        assert!(prom.contains("tsmo_span_calls_total{span=\"evaluate\"} 2"));
+        assert!(prom.contains("tsmo_span_seconds_total{span=\"evaluate\"} 1"));
+        assert!(r
+            .profile_json()
+            .contains("\"evaluate\":{\"calls\":2,\"seconds\":1}"));
+    }
+
+    #[test]
+    fn span_events_share_the_logical_clock() {
+        let r = MemoryRecorder::new().with_span_events();
+        r.event(sample(1));
+        let span = r.span_start("tabu", 5, 0);
+        r.span_end("tabu", 5, span, 0.0);
+        let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(r.events_since(1).len(), 2);
+        assert!(r.events_since(99).is_empty());
+        let text = r.events_jsonl();
+        let parsed = crate::event::parse_events_jsonl(&text).expect("parse back");
+        assert_eq!(parsed, r.events());
     }
 
     #[test]

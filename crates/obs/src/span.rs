@@ -1,0 +1,133 @@
+//! Deterministic hierarchical spans.
+//!
+//! A span is an enter/exit pair in the event stream carrying only logical
+//! fields — the run's trace id, a recorder-assigned span id, and the
+//! parent span id — so span streams are as reproducible as the rest of
+//! the events. Wall time is measured on the emitter side and handed to
+//! [`Recorder::span_end`] as an auxiliary value that feeds the
+//! self-profiler and metrics only, never the event stream.
+//!
+//! [`Recorder::span_end`]: crate::Recorder::span_end
+
+use crate::recorder::{Recorder, Stopwatch};
+use std::sync::Arc;
+
+/// Derives the per-run trace id from the search seed (SplitMix64
+/// finalizer). The result is masked to 48 bits so the id survives the
+/// f64-backed JSON layer exactly; a whole distributed run shares the one
+/// id derived from its master seed.
+pub fn trace_id_from_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) & 0xFFFF_FFFF_FFFF
+}
+
+/// RAII span: opens on construction, closes — with its measured wall
+/// time — on drop. Construct through [`Span::enter`], which returns
+/// `None` when the recorder is not profiling, so the hot path skips even
+/// the wall-clock read.
+pub struct Span {
+    recorder: Arc<dyn Recorder>,
+    name: &'static str,
+    trace: u64,
+    id: u64,
+    watch: Stopwatch,
+}
+
+impl Span {
+    /// Opens a span under `parent` (0 for a root span) when the recorder
+    /// is profiling; `None` otherwise.
+    pub fn enter(
+        recorder: &Arc<dyn Recorder>,
+        name: &'static str,
+        trace: u64,
+        parent: u64,
+    ) -> Option<Span> {
+        if !recorder.profiling() {
+            return None;
+        }
+        let id = recorder.span_start(name, trace, parent);
+        Some(Span {
+            recorder: Arc::clone(recorder),
+            name,
+            trace,
+            id,
+            watch: Stopwatch::start(),
+        })
+    }
+
+    /// The recorder-assigned span id — the parent id for child spans.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.recorder
+            .span_end(self.name, self.trace, self.id, self.watch.seconds());
+    }
+}
+
+/// Parent id of an optional span handle (0 when profiling is off).
+pub fn span_parent(span: &Option<Span>) -> u64 {
+    span.as_ref().map_or(0, Span::id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+    use crate::SearchEvent;
+
+    #[test]
+    fn trace_ids_are_stable_distinct_and_fit_48_bits() {
+        assert_eq!(trace_id_from_seed(0), trace_id_from_seed(0));
+        assert_ne!(trace_id_from_seed(0), trace_id_from_seed(1));
+        for seed in 0..64 {
+            assert!(trace_id_from_seed(seed) < (1 << 48));
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_reverse_order() {
+        let memory = Arc::new(MemoryRecorder::new().with_span_events());
+        let recorder: Arc<dyn Recorder> = Arc::clone(&memory) as Arc<dyn Recorder>;
+        let trace = trace_id_from_seed(7);
+        {
+            let root = Span::enter(&recorder, "search", trace, 0).expect("profiling on");
+            let child = Span::enter(&recorder, "evaluate", trace, root.id());
+            drop(child);
+        }
+        let kinds: Vec<String> = memory
+            .events()
+            .iter()
+            .map(|e| match &e.event {
+                SearchEvent::SpanEnter { name, .. } => format!("enter:{name}"),
+                SearchEvent::SpanExit { name, .. } => format!("exit:{name}"),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "enter:search",
+                "enter:evaluate",
+                "exit:evaluate",
+                "exit:search"
+            ]
+        );
+        let profile = memory.profile();
+        assert_eq!(profile["search"].calls, 1);
+        assert_eq!(profile["evaluate"].calls, 1);
+        assert!(profile["search"].seconds >= 0.0);
+    }
+
+    #[test]
+    fn noop_recorder_skips_span_construction() {
+        let recorder = crate::noop();
+        assert!(!recorder.profiling());
+        assert!(Span::enter(&recorder, "search", 1, 0).is_none());
+    }
+}

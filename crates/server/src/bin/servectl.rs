@@ -5,16 +5,19 @@
 //! servectl --addr HOST:PORT metrics
 //! servectl --addr HOST:PORT submit FILE [--variant V] [--processors P]
 //!          [--evals N] [--neighborhood N] [--seed S]
-//!          [--deadline-ms D] [--max-iters I] [--wait SECONDS]
+//!          [--deadline-ms D] [--max-iters I] [--record-events] [--wait SECONDS]
 //! servectl --addr HOST:PORT status JOB
 //! servectl --addr HOST:PORT cancel JOB
 //! servectl --addr HOST:PORT result JOB
+//! servectl --addr HOST:PORT tail JOB
 //! servectl --addr HOST:PORT shutdown
 //! ```
 //!
 //! `submit` prints the assigned job id; with `--wait` it polls until the
 //! job is terminal and prints the result front. Exit code 2 signals
-//! `QueueFull` backpressure so scripts can retry.
+//! `QueueFull` backpressure so scripts can retry. `tail` streams a
+//! `--record-events` job's span/timeline events live, one JSON line
+//! each, until the job is terminal and the stream has drained.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -23,9 +26,10 @@ use tsmo_serve::{Client, JobResult, JobSpec};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: servectl --addr HOST:PORT [--connect-timeout-ms MS] \
-         (health | metrics | submit FILE [opts] | status JOB | cancel JOB | result JOB | shutdown)\n\
+         (health | metrics | submit FILE [opts] | status JOB | cancel JOB | result JOB | tail JOB | shutdown)\n\
          submit opts: --variant sequential|synchronous|asynchronous|collaborative \
-         --processors P --evals N --neighborhood N --seed S --deadline-ms D --max-iters I --wait SECONDS"
+         --processors P --evals N --neighborhood N --seed S --deadline-ms D --max-iters I \
+         --record-events --wait SECONDS"
     );
     ExitCode::FAILURE
 }
@@ -64,7 +68,8 @@ fn main() -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         if args[i].starts_with("--") {
-            i += 2;
+            // Boolean flags take no value; everything else consumes one.
+            i += if args[i] == "--record-events" { 1 } else { 2 };
         } else {
             positional.push(args[i].clone());
             i += 1;
@@ -131,6 +136,9 @@ fn main() -> ExitCode {
             if let Some(v) = get("--max-iters") {
                 spec.max_iterations = Some(v.parse().expect("--max-iters expects an integer"));
             }
+            if args.iter().any(|a| a == "--record-events") {
+                spec.record_events = true;
+            }
             match client.submit(spec)? {
                 Ok(job) => {
                     println!("submitted job {job}");
@@ -168,6 +176,14 @@ fn main() -> ExitCode {
             };
             let r = client.result(job)?;
             print_result(job, &r);
+            Ok(ExitCode::SUCCESS)
+        }
+        "tail" => {
+            let Some(job) = job_arg() else {
+                return Ok(usage());
+            };
+            let events = client.tail(job, |line| println!("{line}"))?;
+            eprintln!("job {job}: {events} events streamed");
             Ok(ExitCode::SUCCESS)
         }
         "shutdown" => {

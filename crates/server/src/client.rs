@@ -110,6 +110,27 @@ impl Client {
         }
     }
 
+    /// Tails a job's event stream (submitted with `record_events`),
+    /// calling `on_event` with each JSONL event line as it arrives.
+    /// Returns the total number of streamed events once the job is
+    /// terminal and the stream drained.
+    pub fn tail(&mut self, job: u64, mut on_event: impl FnMut(&str)) -> io::Result<u64> {
+        wire::write_frame(&mut self.writer, &Request::Tail { job }.to_json())?;
+        loop {
+            let payload = wire::read_frame(&mut self.reader)?
+                .ok_or_else(|| protocol_err("server closed the tail stream".to_string()))?;
+            match Response::parse(&payload).map_err(protocol_err)? {
+                Response::TailEvent { line, .. } => on_event(&line),
+                Response::TailDone { events, .. } => return Ok(events),
+                Response::NotFound { job } => {
+                    return Err(protocol_err(format!("job {job} not found")))
+                }
+                Response::Error { message } => return Err(protocol_err(message)),
+                other => return Err(protocol_err(format!("unexpected response {other:?}"))),
+            }
+        }
+    }
+
     /// The daemon's health snapshot: `(status, queued, running, workers)`.
     pub fn health(&mut self) -> io::Result<(String, u32, u32, u32)> {
         match self.request(&Request::Health)? {

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tsmo_core::CancelToken;
+use tsmo_obs::MemoryRecorder;
 use vrptw::Instance;
 
 /// Lifecycle state of one job.
@@ -57,6 +58,10 @@ pub struct Job {
     pub submitted: Instant,
     /// Current state.
     pub state: JobState,
+    /// Per-job event recorder (spans included), present when the spec
+    /// asked for `record_events`. `Tail` streams from it while the job
+    /// runs; metrics still flow to the daemon's shared registry.
+    pub events: Option<Arc<MemoryRecorder>>,
 }
 
 struct TableState {
@@ -99,6 +104,9 @@ impl JobTable {
     /// shared copy.
     pub fn admit(&self, mut spec: JobSpec, instance: Arc<Instance>, cancel: CancelToken) -> u64 {
         spec.instance_text = String::new();
+        let events = spec
+            .record_events
+            .then(|| Arc::new(MemoryRecorder::new().with_span_events()));
         let mut state = self.lock();
         let id = state.next_id;
         state.next_id += 1;
@@ -110,9 +118,15 @@ impl JobTable {
                 cancel,
                 submitted: Instant::now(),
                 state: JobState::Queued,
+                events,
             },
         );
         id
+    }
+
+    /// The job's event recorder handle, if it records events.
+    pub fn events_recorder(&self, id: u64) -> Option<Arc<MemoryRecorder>> {
+        self.with_job(id, |j| j.events.clone()).flatten()
     }
 
     /// The next id `admit` would hand out (used to report the id a

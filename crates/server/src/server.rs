@@ -113,6 +113,55 @@ impl Shared {
     }
 }
 
+/// Recorder attached to a `record_events` job: the full event stream
+/// (spans and timeline samples included) goes to the per-job recorder for
+/// tailing, metrics go to the daemon's bounded shared registry, and every
+/// closed span folds its wall time into both profiles.
+struct TeeRecorder {
+    events: Arc<MemoryRecorder>,
+    metrics: Arc<MemoryRecorder>,
+}
+
+impl Recorder for TeeRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&self, event: SearchEvent) {
+        self.events.event(event);
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.metrics.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.metrics.gauge_set(name, value);
+    }
+
+    fn gauge_max(&self, name: &str, value: f64) {
+        self.metrics.gauge_max(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+
+    fn profiling(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &'static str, trace: u64, parent: u64) -> u64 {
+        self.events.span_start(name, trace, parent)
+    }
+
+    fn span_end(&self, name: &'static str, trace: u64, span: u64, wall_seconds: f64) {
+        self.events.span_end(name, trace, span, wall_seconds);
+        // Span id 0: the shared registry only folds the profile.
+        self.metrics.span_end(name, trace, 0, wall_seconds);
+    }
+}
+
 /// Maps the wire variant name onto the core enum.
 fn parse_variant(name: &str, processors: usize) -> Result<ParallelVariant, String> {
     let p = processors.max(1);
@@ -185,6 +234,9 @@ fn run_mesh_job(
         stagnation_limit: TsmoConfig::default().stagnation_limit,
         fault_seed: fault_cfg.map_or(0, |(seed, _)| seed),
         fault_rate: fault_cfg.map_or(0.0, |(_, rate)| rate),
+        // Every node stamps its spans with the one id derived from the
+        // job seed, so `clusterctl trace-merge` can assemble one trace.
+        trace_id: tsmo_obs::trace_id_from_seed(spec.seed),
     };
     let wait = spec.deadline_ms.map_or(wait_cap, Duration::from_millis);
     let outcome = tsmo_cluster::run_mesh(&job, tsmo_cluster::DEFAULT_NET_TIMEOUT, wait)
@@ -345,6 +397,15 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let mut writer = BufWriter::new(stream);
     while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
         let (response, shutdown_after) = match Request::parse(&payload) {
+            // Tail breaks the one-request-one-response contract: it
+            // streams TailEvent frames until the job is terminal and
+            // drained, then closes with TailDone.
+            Ok(Request::Tail { job }) => {
+                if tail_job(shared, job, &mut writer) {
+                    continue;
+                }
+                return;
+            }
             Ok(req) => handle_request(shared, req),
             Err(e) => (
                 Response::Error {
@@ -365,6 +426,52 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
     }
+}
+
+/// Streams a tailed job's events to the client. Returns `false` when the
+/// connection broke mid-stream (the caller then drops it).
+fn tail_job(shared: &Arc<Shared>, job: u64, writer: &mut BufWriter<TcpStream>) -> bool {
+    let Some(recorder) = shared.jobs.events_recorder(job) else {
+        let response = match shared.jobs.state_name(job) {
+            Some(_) => Response::Error {
+                message: format!("job {job} does not record events (submit with record_events)"),
+            },
+            None => Response::NotFound { job },
+        };
+        return wire::write_frame(writer, &response.to_json()).is_ok();
+    };
+    let mut sent: u64 = 0;
+    loop {
+        let batch = recorder.events_since(sent);
+        for ev in &batch {
+            let frame = Response::TailEvent {
+                job,
+                line: ev.to_json_line(),
+            }
+            .to_json();
+            if wire::write_frame(writer, &frame).is_err() {
+                return false;
+            }
+        }
+        sent += batch.len() as u64;
+        if writer.flush().is_err() {
+            return false;
+        }
+        // Done when the job is terminal and nothing arrived after the
+        // last drain; a removed job (rejected submit) counts as terminal.
+        let terminal = shared
+            .jobs
+            .with_job(job, |j| j.state.is_terminal())
+            .unwrap_or(true);
+        if terminal && recorder.events_since(sent).is_empty() {
+            break;
+        }
+        if batch.is_empty() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let done = Response::TailDone { job, events: sent }.to_json();
+    wire::write_frame(writer, &done).is_ok() && writer.flush().is_ok()
 }
 
 /// Serves the two HTTP endpoints on the shared port.
@@ -453,6 +560,9 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
             },
             false,
         ),
+        // Tail never reaches here: the connection loop intercepts it to
+        // stream multiple frames. Answer defensively anyway.
+        Request::Tail { job } => (Response::NotFound { job }, false),
         Request::Health => (shared.health(), false),
         Request::Metrics => (
             Response::Metrics {
@@ -530,13 +640,14 @@ fn worker_loop(shared: &Arc<Shared>) {
         shared
             .metrics
             .gauge_set(names::QUEUE_DEPTH, shared.queue.len() as f64);
-        let Some((spec, instance, cancel, submitted)) = shared.jobs.with_job(id, |j| {
+        let Some((spec, instance, cancel, submitted, job_events)) = shared.jobs.with_job(id, |j| {
             j.state = JobState::Running;
             (
                 j.spec.clone(),
                 Arc::clone(&j.instance),
                 j.cancel.clone(),
                 j.submitted,
+                j.events.clone(),
             )
         }) else {
             continue; // job was removed (rejected submit); nothing to run
@@ -583,10 +694,21 @@ fn worker_loop(shared: &Arc<Shared>) {
         let cfg = TsmoConfig {
             max_evaluations: spec.max_evaluations,
             neighborhood_size: spec.neighborhood_size.max(2),
+            // Tailing jobs also stream the convergence timeline: one
+            // front sample per ~10 iterations' worth of evaluations.
+            timeline_every: spec
+                .record_events
+                .then(|| spec.neighborhood_size.max(2) as u64 * 10),
             ..TsmoConfig::default()
         }
         .with_seed(spec.seed);
-        let recorder: Arc<dyn Recorder> = Arc::clone(&shared.metrics) as Arc<dyn Recorder>;
+        let recorder: Arc<dyn Recorder> = match &job_events {
+            Some(events) => Arc::new(TeeRecorder {
+                events: Arc::clone(events),
+                metrics: Arc::clone(&shared.metrics),
+            }),
+            None => Arc::clone(&shared.metrics) as Arc<dyn Recorder>,
+        };
         let outcome = variant.run_with_cancel(
             &instance,
             &cfg,

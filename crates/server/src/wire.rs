@@ -39,6 +39,10 @@ pub struct JobSpec {
     pub deadline_ms: Option<u64>,
     /// Optional hard iteration cap (deterministic truncation).
     pub max_iterations: Option<u64>,
+    /// Keep the job's full event stream (spans included) in memory so
+    /// `Tail` can stream it. Off by default: event streams grow with run
+    /// length, which is why the daemon's shared recorder is metrics-only.
+    pub record_events: bool,
 }
 
 impl Default for JobSpec {
@@ -52,6 +56,7 @@ impl Default for JobSpec {
             seed: 0,
             deadline_ms: None,
             max_iterations: None,
+            record_events: false,
         }
     }
 }
@@ -74,6 +79,13 @@ pub enum Request {
     /// Fetch a terminal job's result front.
     Result {
         /// The job whose result to fetch.
+        job: u64,
+    },
+    /// Stream a job's recorded events (submitted with `record_events`).
+    /// Unlike every other request, the answer is a *sequence* of frames:
+    /// `TailEvent` per JSONL line as the job runs, then one `TailDone`.
+    Tail {
+        /// The job to tail.
         job: u64,
     },
     /// Liveness / readiness probe.
@@ -168,6 +180,20 @@ pub enum Response {
         /// Jobs that reached a terminal state over the daemon's lifetime.
         jobs_completed: u64,
     },
+    /// One live event line of a tailed job (JSONL without the newline).
+    TailEvent {
+        /// The tailed job.
+        job: u64,
+        /// One event, JSON-encoded.
+        line: String,
+    },
+    /// End of a tail stream: the job is terminal and the stream drained.
+    TailDone {
+        /// The tailed job.
+        job: u64,
+        /// Total events streamed.
+        events: u64,
+    },
     /// The request referenced an unknown job id.
     NotFound {
         /// The unknown id.
@@ -203,6 +229,7 @@ impl JobSpec {
         write_opt_u64(out, self.deadline_ms);
         out.push_str(",\"max_iterations\":");
         write_opt_u64(out, self.max_iterations);
+        let _ = write!(out, ",\"record_events\":{}", self.record_events);
         out.push('}');
     }
 
@@ -216,6 +243,11 @@ impl JobSpec {
             seed: req_u64(doc, "seed")?,
             deadline_ms: opt_u64(doc, "deadline_ms")?,
             max_iterations: opt_u64(doc, "max_iterations")?,
+            // Lenient for compatibility with pre-tail clients.
+            record_events: doc
+                .get("record_events")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
     }
 }
@@ -239,6 +271,9 @@ impl Request {
             Request::Result { job } => {
                 let _ = write!(s, "{{\"type\":\"result\",\"job\":{job}}}");
             }
+            Request::Tail { job } => {
+                let _ = write!(s, "{{\"type\":\"tail\",\"job\":{job}}}");
+            }
             Request::Health => s.push_str("{\"type\":\"health\"}"),
             Request::Metrics => s.push_str("{\"type\":\"metrics\"}"),
             Request::Shutdown => s.push_str("{\"type\":\"shutdown\"}"),
@@ -260,6 +295,9 @@ impl Request {
                 job: req_u64(&doc, "job")?,
             }),
             "result" => Ok(Request::Result {
+                job: req_u64(&doc, "job")?,
+            }),
+            "tail" => Ok(Request::Tail {
                 job: req_u64(&doc, "job")?,
             }),
             "health" => Ok(Request::Health),
@@ -405,6 +443,17 @@ impl Response {
                     "{{\"type\":\"shutdown_complete\",\"jobs_completed\":{jobs_completed}}}"
                 );
             }
+            Response::TailEvent { job, line } => {
+                let _ = write!(s, "{{\"type\":\"tail_event\",\"job\":{job},\"line\":");
+                json::write_str(&mut s, line);
+                s.push('}');
+            }
+            Response::TailDone { job, events } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"tail_done\",\"job\":{job},\"events\":{events}}}"
+                );
+            }
             Response::NotFound { job } => {
                 let _ = write!(s, "{{\"type\":\"not_found\",\"job\":{job}}}");
             }
@@ -450,6 +499,14 @@ impl Response {
             }),
             "shutdown_complete" => Ok(Response::ShutdownComplete {
                 jobs_completed: req_u64(&doc, "jobs_completed")?,
+            }),
+            "tail_event" => Ok(Response::TailEvent {
+                job: req_u64(&doc, "job")?,
+                line: req_str(&doc, "line")?.to_string(),
+            }),
+            "tail_done" => Ok(Response::TailDone {
+                job: req_u64(&doc, "job")?,
+                events: req_u64(&doc, "events")?,
             }),
             "not_found" => Ok(Response::NotFound {
                 job: req_u64(&doc, "job")?,
@@ -558,11 +615,13 @@ mod tests {
                 seed: 42,
                 deadline_ms: Some(250),
                 max_iterations: None,
+                record_events: true,
             }),
             Request::Submit(JobSpec::default()),
             Request::Status { job: 7 },
             Request::Cancel { job: 7 },
             Request::Result { job: 9 },
+            Request::Tail { job: 9 },
             Request::Health,
             Request::Metrics,
             Request::Shutdown,
@@ -600,6 +659,11 @@ mod tests {
                     .to_string(),
             },
             Response::ShutdownComplete { jobs_completed: 12 },
+            Response::TailEvent {
+                job: 3,
+                line: "{\"seq\":0,\"type\":\"span_enter\",\"name\":\"search\"}".to_string(),
+            },
+            Response::TailDone { job: 3, events: 41 },
             Response::NotFound { job: 99 },
             Response::Error {
                 message: "bad \"variant\"".to_string(),

@@ -246,8 +246,58 @@ fn http_healthz_and_metrics_share_the_wire_port() {
     let metrics = http_get("/metrics");
     assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
     assert!(metrics.contains("tsmo_queue_depth"), "{metrics}");
+    // Prometheus scrapers key on the exposition-format content type.
+    assert!(
+        metrics.contains("Content-Type: text/plain; version=0.0.4"),
+        "{metrics}"
+    );
     let missing = http_get("/nope");
     assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    server.shutdown();
+}
+
+/// tsmo-trace over the service: a `record_events` job can be tailed live
+/// over the wire — span and timeline events stream as JSON lines until
+/// the job is terminal — and the job's span profile lands in the
+/// daemon's metrics.
+#[test]
+fn tail_streams_a_recorded_jobs_span_events() {
+    let server = start(1, 4);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let text = instance_text(10, 4);
+    let spec = JobSpec {
+        record_events: true,
+        ..quick_spec(&text, 4)
+    };
+    let job = client.submit(spec).unwrap().unwrap();
+
+    // Tail on a second connection while the job runs on the first.
+    let mut tailer = Client::connect(addr).unwrap();
+    let mut lines = Vec::new();
+    let events = tailer
+        .tail(job, |line| lines.push(line.to_string()))
+        .unwrap();
+    assert_eq!(events as usize, lines.len());
+    assert!(!lines.is_empty(), "tail streamed nothing");
+    assert!(
+        lines.iter().any(|l| l.contains("\"type\":\"span_enter\"")),
+        "no span events in the tail"
+    );
+    // The tail drained a terminal job, so the result is ready.
+    let result = client.result(job).unwrap();
+    assert!(!result.front.is_empty());
+    // The job's span profile folded into the daemon's shared metrics.
+    let prom = client.metrics().unwrap();
+    assert!(
+        prom.contains("tsmo_span_seconds_total{span=\"evaluate\"}"),
+        "{prom}"
+    );
+
+    // A job submitted without record_events has nothing to tail.
+    let plain = client.submit(quick_spec(&text, 5)).unwrap().unwrap();
+    let err = tailer.tail(plain, |_| {}).unwrap_err();
+    assert!(err.to_string().contains("record"), "{err}");
     server.shutdown();
 }
 
