@@ -1,11 +1,12 @@
-//! Measured comparison for EXPERIMENTS.md: a 3-node distributed mesh
-//! (2 searchers per node, real TCP on localhost) against single-process
-//! collaborative multisearch with the same 6 searchers and the same
-//! per-searcher evaluation budget.
+//! Measured scaling curve for EXPERIMENTS.md: distributed meshes of
+//! 1..=N nodes (2 searchers per node, real TCP on localhost) against
+//! single-process collaborative multisearch with the same total searcher
+//! count and the same per-searcher evaluation budget. Each point is
+//! printed and the whole curve is written to `BENCH_mesh.json`.
 //!
 //! ```text
 //! cargo run --release -p tsmo-cluster --example mesh_vs_single -- \
-//!     [INSTANCE.txt] [--evals E] [--seed S]
+//!     [INSTANCE.txt] [--evals E] [--seed S] [--max-nodes N] [--out FILE]
 //! ```
 
 use std::sync::Arc;
@@ -16,6 +17,17 @@ use tsmo_core::{FrontEntry, ParallelVariant, TsmoConfig};
 fn hv(front: &[FrontEntry], reference: [f64; 3]) -> f64 {
     let points: Vec<[f64; 3]> = front.iter().map(|e| e.objectives.to_vector()).collect();
     pareto::hypervolume_3d(&points, reference)
+}
+
+struct Point {
+    nodes: usize,
+    searchers: usize,
+    single_front: Vec<FrontEntry>,
+    single_evals: u64,
+    single_secs: f64,
+    mesh_front: Vec<FrontEntry>,
+    mesh_evals: u64,
+    mesh_secs: f64,
 }
 
 fn main() {
@@ -32,6 +44,8 @@ fn main() {
         .unwrap_or_else(|| "data/r1-25.txt".to_string());
     let evals: u64 = get("--evals").map_or(50_000, |s| s.parse().expect("--evals"));
     let seed: u64 = get("--seed").map_or(1, |s| s.parse().expect("--seed"));
+    let max_nodes: usize = get("--max-nodes").map_or(4, |s| s.parse().expect("--max-nodes"));
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_mesh.json".to_string());
     let text = std::fs::read_to_string(&path).expect("read instance");
     let inst = Arc::new(vrptw::solomon::parse(&text).expect("parse instance"));
     let cfg = TsmoConfig {
@@ -41,74 +55,121 @@ fn main() {
     }
     .with_seed(seed);
 
-    // Single process: 6 collaborative searchers in one address space.
-    let started = Instant::now();
-    let single = ParallelVariant::Collaborative(6).run(&inst, &cfg);
-    let single_secs = started.elapsed().as_secs_f64();
+    let mut points = Vec::new();
+    for nodes in 1..=max_nodes {
+        let searchers = nodes * 2;
 
-    // Distributed: the same 6 searchers as 3 nodes x 2, exchanging over
-    // real TCP, fronts merged node-by-node then globally.
-    let nodes: Vec<Noded> = (0..3)
-        .map(|_| Noded::start(NodeConfig::default()).expect("bind node"))
-        .collect();
-    let peers = nodes.iter().map(|n| n.local_addr().to_string()).collect();
-    let job = MeshJob {
-        instance_text: text,
-        node_index: 0,
-        peers,
-        searchers_per_node: 2,
-        seed,
-        max_evaluations: evals,
-        neighborhood_size: cfg.neighborhood_size,
-        stagnation_limit: cfg.stagnation_limit,
-        fault_seed: 0,
-        fault_rate: 0.0,
-        trace_id: 0,
-    };
-    let started = Instant::now();
-    let mesh = run_mesh(&job, Duration::from_secs(5), Duration::from_secs(600)).expect("mesh run");
-    let mesh_secs = started.elapsed().as_secs_f64();
-    for node in nodes {
-        node.halt();
+        // Single process: the same searcher count in one address space.
+        let started = Instant::now();
+        let single = ParallelVariant::Collaborative(searchers).run(&inst, &cfg);
+        let single_secs = started.elapsed().as_secs_f64();
+
+        // Distributed: `nodes` daemons x 2 searchers, exchanging over real
+        // TCP, ring-replicating once a second, fronts merged node-by-node
+        // then globally.
+        let daemons: Vec<Noded> = (0..nodes)
+            .map(|_| Noded::start(NodeConfig::default()).expect("bind node"))
+            .collect();
+        let peers = daemons.iter().map(|n| n.local_addr().to_string()).collect();
+        let job = MeshJob {
+            instance_text: text.clone(),
+            node_index: 0,
+            peers,
+            searchers_per_node: 2,
+            seed,
+            max_evaluations: evals,
+            neighborhood_size: cfg.neighborhood_size,
+            stagnation_limit: cfg.stagnation_limit,
+            replication_ms: 1_000,
+            ..MeshJob::default()
+        };
+        let started = Instant::now();
+        let mesh =
+            run_mesh(&job, Duration::from_secs(5), Duration::from_secs(600)).expect("mesh run");
+        let mesh_secs = started.elapsed().as_secs_f64();
+        for node in daemons {
+            node.halt();
+        }
+
+        points.push(Point {
+            nodes,
+            searchers,
+            single_front: single.archive.clone(),
+            single_evals: single.evaluations,
+            single_secs,
+            mesh_front: mesh.front,
+            mesh_evals: mesh.evaluations,
+            mesh_secs,
+        });
     }
 
-    // One shared reference point so the hypervolumes are comparable.
+    // One shared reference point across every front, so the hypervolumes
+    // are comparable along the whole curve.
     let mut reference = [0.0f64; 3];
-    for entry in single.archive.iter().chain(mesh.front.iter()) {
+    for entry in points
+        .iter()
+        .flat_map(|p| p.single_front.iter().chain(p.mesh_front.iter()))
+    {
         let v = entry.objectives.to_vector();
         for (r, x) in reference.iter_mut().zip(v) {
             *r = r.max(x * 1.05 + 1.0);
         }
     }
-    let single_points: Vec<[f64; 3]> = single
-        .archive
-        .iter()
-        .map(|e| e.objectives.to_vector())
-        .collect();
-    let mesh_points: Vec<[f64; 3]> = mesh
-        .front
-        .iter()
-        .map(|e| e.objectives.to_vector())
-        .collect();
-
     println!(
         "reference point: [{:.1}, {:.1}, {:.1}]",
         reference[0], reference[1], reference[2]
     );
-    println!(
-        "single  (1 process, 6 searchers): front={:2}  evals={}  hv={:.4e}  C(single,mesh)={:.2}  {:.1}s",
-        single.archive.len(),
-        single.evaluations,
-        hv(&single.archive, reference),
-        pareto::coverage(&single_points, &mesh_points),
-        single_secs
+
+    let vectors = |front: &[FrontEntry]| -> Vec<[f64; 3]> {
+        front.iter().map(|e| e.objectives.to_vector()).collect()
+    };
+    let mut rows = Vec::new();
+    for p in &points {
+        let sv = vectors(&p.single_front);
+        let mv = vectors(&p.mesh_front);
+        let single_hv = hv(&p.single_front, reference);
+        let mesh_hv = hv(&p.mesh_front, reference);
+        let c_sm = pareto::coverage(&sv, &mv);
+        let c_ms = pareto::coverage(&mv, &sv);
+        println!(
+            "{} node(s), {} searchers: single hv={:.4e} ({:.1}s)  mesh hv={:.4e} ({:.1}s)  C(single,mesh)={:.2} C(mesh,single)={:.2}",
+            p.nodes, p.searchers, single_hv, p.single_secs, mesh_hv, p.mesh_secs, c_sm, c_ms
+        );
+        rows.push(format!(
+            concat!(
+                "{{\"nodes\":{},\"searchers\":{},",
+                "\"single\":{{\"front\":{},\"evaluations\":{},\"hypervolume\":{:.6},\"seconds\":{:.3}}},",
+                "\"mesh\":{{\"front\":{},\"evaluations\":{},\"hypervolume\":{:.6},\"seconds\":{:.3}}},",
+                "\"coverage_single_over_mesh\":{:.4},\"coverage_mesh_over_single\":{:.4}}}"
+            ),
+            p.nodes,
+            p.searchers,
+            p.single_front.len(),
+            p.single_evals,
+            single_hv,
+            p.single_secs,
+            p.mesh_front.len(),
+            p.mesh_evals,
+            mesh_hv,
+            p.mesh_secs,
+            c_sm,
+            c_ms
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\"instance\":{:?},\"per_searcher_evaluations\":{},\"seed\":{},",
+            "\"reference\":[{:.3},{:.3},{:.3}],\"replication_ms\":1000,\"points\":[\n  {}\n]}}\n"
+        ),
+        path,
+        evals,
+        seed,
+        reference[0],
+        reference[1],
+        reference[2],
+        rows.join(",\n  ")
     );
-    println!(
-        "mesh    (3 nodes x 2 searchers):  front={:2}  evals={}  hv={:.4e}  C(mesh,single)={:.2}  {:.1}s",
-        mesh.front.len(),
-        mesh.evaluations,
-        hv(&mesh.front, reference),
-        pareto::coverage(&mesh_points, &single_points),
-        mesh_secs
-    );
+    std::fs::write(&out_path, json).expect("write curve");
+    println!("wrote {out_path}");
 }

@@ -26,11 +26,14 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 use tsmo_cluster::mesh::{self, prometheus_counter};
-use tsmo_cluster::{front_fingerprint, replay_virtual, run_virtual, MeshJob, VirtualMeshConfig};
+use tsmo_cluster::{
+    front_fingerprint, replay_elastic, replay_virtual, run_elastic, run_virtual, ElasticMeshConfig,
+    MeshJob, VirtualMeshConfig,
+};
 use tsmo_core::{FrontEntry, TsmoConfig};
 use tsmo_faults::{FaultConfig, FaultHook, FaultPlan};
 use tsmo_obs::metrics::names;
-use tsmo_obs::{parse_events_jsonl, SearchEvent, TimedEvent};
+use tsmo_obs::{parse_events_jsonl, MemoryRecorder, Recorder, SearchEvent, TimedEvent};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -38,9 +41,75 @@ fn usage() -> ExitCode {
          [--searchers S] [--evals E] [--neighborhood H] [--stagnation L] [--seed S] \
          [--fault-rate R] [--fault-seed S] [--connect-timeout-ms MS] [--wait-ms MS] \
          [--require-exchanges] [--shutdown]\n\
-         \x20      clusterctl trace-merge --peers A,B,... [--out FILE] [--connect-timeout-ms MS]"
+         \x20      virtual-net only: [--churn kill:2@20,join:2@42] [--replication-every N] \
+         [--events-out FILE] [--require-recovered]\n\
+         \x20      clusterctl trace-merge --peers A,B,... [--out FILE] [--allow-partial] \
+         [--connect-timeout-ms MS]\n\
+         \x20      clusterctl members --peer ADDR\n\
+         \x20      clusterctl join --peer COORD --addr NEW_NODE\n\
+         \x20      clusterctl leave --peer COORD --node K"
     );
     ExitCode::FAILURE
+}
+
+/// Membership operations against a running mesh: query a node's view,
+/// admit a new node via the coordinator, or retire a slot. `join` prints
+/// the assigned slot and the warm-front size so an operator (or script)
+/// can dispatch the job to the joiner with `node_index = slot`.
+fn membership_cmd(cmd: &str, args: &[String]) -> ExitCode {
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(peer) = get("--peer") else {
+        return usage();
+    };
+    let timeout = Duration::from_millis(
+        get("--connect-timeout-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2_000),
+    );
+    let client = mesh::MeshClient::new(peer.clone(), timeout);
+    let outcome = match cmd {
+        "members" => client.members().map(|(epoch, members)| {
+            println!("epoch {epoch}");
+            for (slot, m) in members.iter().enumerate() {
+                let state = if m.live { "live" } else { "dead" };
+                println!("  slot {slot}: {} ({state})", m.addr);
+            }
+        }),
+        "join" => {
+            let Some(addr) = get("--addr") else {
+                return usage();
+            };
+            client.join(&addr).map(|(epoch, slot, members, warm)| {
+                println!(
+                    "joined: slot {slot} at epoch {epoch}, {} member(s), \
+                     {} warm-start entr(ies)",
+                    members.len(),
+                    warm.len()
+                );
+            })
+        }
+        "leave" => {
+            let Some(node) = get("--node").and_then(|v| v.parse::<usize>().ok()) else {
+                return usage();
+            };
+            client
+                .leave(node)
+                .map(|epoch| println!("left: slot {node}, epoch now {epoch}"))
+        }
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("clusterctl: {cmd} against {peer} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Fetches every node's recorded trace for its last mesh job, verifies
@@ -75,10 +144,20 @@ fn trace_merge(args: &[String]) -> ExitCode {
         }
     };
     let timeout = Duration::from_millis(timeout_ms);
-    let mut per_node: Vec<Vec<TimedEvent>> = Vec::with_capacity(peers.len());
+    // With `--allow-partial`, an unreachable or trace-less node is
+    // reported and skipped instead of failing the whole merge — the trace
+    // of a churned mesh is assembled from whoever survived.
+    let allow_partial = args.iter().any(|a| a == "--allow-partial");
+    let mut per_node: Vec<(usize, Vec<TimedEvent>)> = Vec::with_capacity(peers.len());
+    let mut skipped: Vec<usize> = Vec::new();
     for (k, peer) in peers.iter().enumerate() {
         let jsonl = match mesh::MeshClient::new(peer.clone(), timeout).trace() {
             Ok(jsonl) => jsonl,
+            Err(e) if allow_partial => {
+                eprintln!("clusterctl: node {k} ({peer}) unreachable, skipped: {e}");
+                skipped.push(k);
+                continue;
+            }
             Err(e) => {
                 eprintln!("clusterctl: node {k} ({peer}): trace fetch failed: {e}");
                 return ExitCode::FAILURE;
@@ -92,13 +171,22 @@ fn trace_merge(args: &[String]) -> ExitCode {
             }
         };
         if events.is_empty() {
+            if allow_partial {
+                eprintln!("clusterctl: node {k} ({peer}) has no recorded trace, skipped");
+                skipped.push(k);
+                continue;
+            }
             eprintln!("clusterctl: node {k} ({peer}) has no recorded trace");
             return ExitCode::FAILURE;
         }
-        per_node.push(events);
+        per_node.push((k, events));
+    }
+    if per_node.is_empty() {
+        eprintln!("clusterctl: no node contributed a trace");
+        return ExitCode::FAILURE;
     }
     let mut ids = std::collections::BTreeSet::new();
-    for events in &per_node {
+    for (_, events) in &per_node {
         for ev in events {
             match &ev.event {
                 SearchEvent::SpanEnter { trace, .. } | SearchEvent::SpanExit { trace, .. } => {
@@ -120,7 +208,7 @@ fn trace_merge(args: &[String]) -> ExitCode {
     // 1, 2, 3, ... Offset node k's ids past node k-1's maximum so the
     // merged trace keeps every span distinct (parent 0 = root stays 0).
     let mut offset = 0u64;
-    for events in &mut per_node {
+    for (_, events) in &mut per_node {
         let mut max_span = 0u64;
         for ev in events.iter_mut() {
             match &mut ev.event {
@@ -141,7 +229,8 @@ fn trace_merge(args: &[String]) -> ExitCode {
         offset += max_span;
     }
     let mut merged: Vec<(u64, usize, TimedEvent)> = Vec::new();
-    for (k, events) in per_node.into_iter().enumerate() {
+    let contributors = per_node.len();
+    for (k, events) in per_node {
         for ev in events {
             merged.push((ev.seq, k, ev));
         }
@@ -154,10 +243,14 @@ fn trace_merge(args: &[String]) -> ExitCode {
         out.push_str(&ev.to_json_line());
         out.push('\n');
     }
-    println!(
-        "trace-merge: {total} events from {} node(s), trace id {trace_id:#x}",
-        peers.len()
-    );
+    println!("trace-merge: {total} events from {contributors} node(s), trace id {trace_id:#x}");
+    if !skipped.is_empty() {
+        let listed: Vec<String> = skipped
+            .iter()
+            .map(|k| format!("{k} ({})", peers[*k]))
+            .collect();
+        println!("trace-merge: skipped node(s): {}", listed.join(", "));
+    }
     match get("--out") {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, &out) {
@@ -205,6 +298,9 @@ fn main() -> ExitCode {
     if args[0] == "trace-merge" {
         return trace_merge(&args[1..]);
     }
+    if matches!(args[0].as_str(), "members" | "join" | "leave") {
+        return membership_cmd(&args[0].clone(), &args[1..]);
+    }
     let get = |flag: &str| -> Option<String> {
         args.iter()
             .position(|a| a == flag)
@@ -233,7 +329,10 @@ fn main() -> ExitCode {
                 continue;
             }
             if arg.starts_with("--") {
-                skip = !matches!(arg.as_str(), "--require-exchanges" | "--shutdown");
+                skip = !matches!(
+                    arg.as_str(),
+                    "--require-exchanges" | "--shutdown" | "--require-recovered"
+                );
                 continue;
             }
             found = Some(arg.clone());
@@ -300,6 +399,80 @@ fn main() -> ExitCode {
         } else {
             tsmo_faults::none()
         };
+        let churn = match get("--churn").map(|s| tsmo_cluster::parse_churn(&s)) {
+            Some(Ok(events)) => events,
+            Some(Err(e)) => {
+                eprintln!("clusterctl: bad --churn: {e}");
+                return ExitCode::FAILURE;
+            }
+            None => Vec::new(),
+        };
+        let replication_every = match num("--replication-every", 0) {
+            Ok(n) => n,
+            Err(code) => return code,
+        };
+        // Churn or replication turns the run elastic: dynamic membership,
+        // ring-replicated checkpoints, and a recorded network log whose
+        // replay must still be byte-identical.
+        if !churn.is_empty() || replication_every > 0 {
+            let em = ElasticMeshConfig {
+                replication_every,
+                churn,
+                ..ElasticMeshConfig::fixed(vm.nodes, vm.searchers_per_node, vm.cfg.clone())
+            };
+            let events = Arc::new(MemoryRecorder::new());
+            let recorded = run_elastic(
+                &instance,
+                &em,
+                Arc::clone(&events) as Arc<dyn Recorder>,
+                Arc::clone(&hook),
+            );
+            println!(
+                "elastic virtual mesh: {nodes} nodes x {searchers} searchers, \
+                 {} net records, {} evaluations, final epoch {}",
+                recorded.log.len(),
+                recorded.evaluations,
+                recorded.final_epoch
+            );
+            if !recorded.recovered_nodes.is_empty() {
+                println!(
+                    "recovered from replicas: node(s) {:?}, {} entr(ies) in the merged front",
+                    recorded.recovered_nodes, recorded.recovered_in_front
+                );
+            }
+            let replayed =
+                match replay_elastic(&instance, &em, tsmo_obs::noop(), hook, &recorded.log) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("clusterctl: elastic replay diverged: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            if front_fingerprint(&replayed.front) != front_fingerprint(&recorded.front) {
+                eprintln!("clusterctl: replayed front differs from the recorded run");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "replay: byte-identical merged front over {} net records",
+                replayed.log.len()
+            );
+            if let Some(path) = get("--events-out") {
+                if let Err(e) = std::fs::write(&path, events.events_jsonl()) {
+                    eprintln!("clusterctl: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("events: wrote {path}");
+            }
+            if has("--require-recovered") && recorded.recovered_nodes.is_empty() {
+                eprintln!("clusterctl: --require-recovered but no node front came from a replica");
+                return ExitCode::FAILURE;
+            }
+            if !check_front(&recorded.front) {
+                return ExitCode::FAILURE;
+            }
+            print_front(&recorded.front);
+            return ExitCode::SUCCESS;
+        }
         let recorded = run_virtual(&instance, &vm, tsmo_obs::noop(), Arc::clone(&hook));
         println!(
             "virtual mesh: {nodes} nodes x {searchers} searchers, {} exchanges delivered, \
@@ -360,6 +533,7 @@ fn main() -> ExitCode {
         // node's spans land in the same trace and `trace-merge` can
         // verify they agree.
         trace_id: tsmo_obs::trace_id_from_seed(seed),
+        ..MeshJob::default()
     };
     let timeout = Duration::from_millis(timeout_ms);
     let outcome = match mesh::run_mesh(&job, timeout, Duration::from_millis(wait_ms)) {
@@ -378,11 +552,16 @@ fn main() -> ExitCode {
             .unwrap_or(0);
         match &node.report {
             Some(report) => println!(
-                "node {k} at {}: front={} evaluations={} iterations={} exchanges_received={received}",
+                "node {k} at {}: front={} evaluations={} iterations={} exchanges_received={received}{}",
                 node.addr,
                 report.front.len(),
                 report.evaluations,
-                report.iterations
+                report.iterations,
+                if node.recovered {
+                    " (recovered from replica)"
+                } else {
+                    ""
+                }
             ),
             None => println!("node {k} at {}: no report (dead or unreachable)", node.addr),
         }

@@ -1,7 +1,8 @@
 //! `noded` — one node of a distributed collaborative search mesh.
 //!
 //! ```text
-//! noded [--addr 127.0.0.1:0] [--net-timeout-ms 2000] [--port-file PATH]
+//! noded [--addr 127.0.0.1:0] [--net-timeout-ms 2000] [--peer-timeout-ms 10000]
+//!       [--port-file PATH]
 //! ```
 //!
 //! Binds the node protocol listener and serves until a `shutdown` frame
@@ -15,7 +16,10 @@ use tsmo_cluster::{NodeConfig, Noded};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: noded [--addr HOST:PORT] [--net-timeout-ms MS] [--port-file PATH]");
+        eprintln!(
+            "usage: noded [--addr HOST:PORT] [--net-timeout-ms MS] [--peer-timeout-ms MS] \
+             [--port-file PATH]"
+        );
         return ExitCode::SUCCESS;
     }
     let get = |flag: &str| -> Option<String> {
@@ -33,9 +37,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Bounds how long an accepted connection may stay silent before its
+    // first frame; a half-open peer handshake cannot park a serve thread.
+    let peer_timeout_ms: u64 = match get("--peer-timeout-ms").map(|v| v.parse()) {
+        Some(Ok(ms)) => ms,
+        None => 10_000,
+        Some(Err(_)) => {
+            eprintln!("noded: --peer-timeout-ms expects an integer");
+            return ExitCode::FAILURE;
+        }
+    };
     let node = match Noded::start(NodeConfig {
         addr,
         net_timeout: Duration::from_millis(net_timeout_ms),
+        peer_timeout: Duration::from_millis(peer_timeout_ms),
     }) {
         Ok(node) => node,
         Err(e) => {

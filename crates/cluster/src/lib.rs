@@ -24,16 +24,22 @@
 
 #![warn(missing_docs)]
 
+pub mod elastic;
+pub mod membership;
 pub mod mesh;
 pub mod node;
 pub mod proto;
 pub mod transport;
 pub mod virtual_net;
 
+pub use elastic::{replay_elastic, run_elastic, ElasticMeshConfig, ElasticOutcome, NetRecord};
+pub use membership::{
+    assign_slices, owner_of, parse_churn, ChurnEvent, ChurnKind, Member, Membership,
+};
 pub use mesh::{run_mesh, MeshClient, MeshOutcome};
-pub use node::{NodeConfig, NodeReport, Noded};
+pub use node::{NodeConfig, NodeReport, Noded, DEFAULT_PEER_TIMEOUT};
 pub use proto::{ExchangeEntry, MeshJob, NodeMsg};
-pub use transport::{PeerConn, TcpTransport, DEFAULT_NET_TIMEOUT};
+pub use transport::{PeerConn, RouteTable, TcpTransport, DEFAULT_NET_TIMEOUT};
 pub use virtual_net::{
     front_fingerprint, replay_virtual, run_virtual, VirtualMeshConfig, VirtualOutcome,
 };

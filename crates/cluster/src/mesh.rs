@@ -9,7 +9,7 @@
 //! mirroring how a searcher's rotation routes around dead peers.
 
 use crate::node::NodeReport;
-use crate::proto::{MeshJob, NodeMsg};
+use crate::proto::{ExchangeEntry, MeshJob, NodeMsg};
 use crate::transport::PeerConn;
 use pareto::Archive;
 use std::io;
@@ -119,6 +119,68 @@ impl MeshClient {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// The node's membership view (epoch and member list).
+    pub fn members(&self) -> io::Result<(u64, Vec<crate::membership::Member>)> {
+        match self.call(&NodeMsg::Members)? {
+            NodeMsg::MembersReply { epoch, members } => Ok((epoch, members)),
+            NodeMsg::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks this node (as coordinator) to admit `addr` into the mesh.
+    /// Returns the admission epoch, the assigned slot, the full member
+    /// list, and the warm-start front.
+    #[allow(clippy::type_complexity)]
+    pub fn join(
+        &self,
+        addr: &str,
+    ) -> io::Result<(
+        u64,
+        usize,
+        Vec<crate::membership::Member>,
+        Vec<ExchangeEntry>,
+    )> {
+        let req = NodeMsg::Join {
+            addr: addr.to_string(),
+        };
+        match self.call(&req)? {
+            NodeMsg::JoinAck {
+                epoch,
+                slot,
+                members,
+                warm,
+            } => Ok((epoch, slot as usize, members, warm)),
+            NodeMsg::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks this node (as coordinator) to retire slot `node` from the
+    /// mesh. Returns the epoch after the transition.
+    pub fn leave(&self, node: usize) -> io::Result<u64> {
+        match self.call(&NodeMsg::Leave { node: node as u64 })? {
+            NodeMsg::LeaveAck { epoch } => Ok(epoch),
+            NodeMsg::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the replica this node holds of slot `node`, if any, as
+    /// `(evaluations, entries)`.
+    pub fn replica(&self, node: usize) -> io::Result<Option<(u64, Vec<ExchangeEntry>)>> {
+        match self.call(&NodeMsg::ReplicaFetch { node: node as u64 })? {
+            NodeMsg::ReplicaReply {
+                found: true,
+                evaluations,
+                entries,
+                ..
+            } => Ok(Some((evaluations, entries))),
+            NodeMsg::ReplicaReply { .. } => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(msg: &NodeMsg) -> io::Error {
@@ -136,6 +198,9 @@ pub struct NodeOutcome {
     pub addr: String,
     /// The node's report, if it was gathered.
     pub report: Option<NodeReport>,
+    /// `true` when the node itself was unreachable and its report was
+    /// reconstructed from an archive replica held by a surviving peer.
+    pub recovered: bool,
 }
 
 /// A finished distributed run.
@@ -149,6 +214,9 @@ pub struct MeshOutcome {
     pub iterations: u64,
     /// Per-node results, in peer-list order.
     pub nodes: Vec<NodeOutcome>,
+    /// Slots whose fronts were recovered from replicas instead of gathered
+    /// from the node itself.
+    pub recovered_nodes: Vec<usize>,
 }
 
 /// Merges per-node fronts (already non-dominated within each node) into
@@ -227,8 +295,24 @@ pub fn run_mesh(job: &MeshJob, timeout: Duration, wait: Duration) -> io::Result<
     let mut node_fronts = Vec::new();
     let mut evaluations = 0;
     let mut iterations = 0;
+    let mut recovered_nodes = Vec::new();
     for (k, client) in clients.iter().enumerate() {
-        let report = client.front().ok();
+        let mut report = client.front().ok();
+        let mut recovered = false;
+        // A dead node's front is not gone: its ring successor holds a
+        // replicated checkpoint (when the job enabled replication). Ask
+        // the survivors and keep the most advanced replica.
+        if report.is_none() {
+            if let Some((evals, entries)) = best_replica(&clients, k) {
+                report = Some(NodeReport {
+                    front: entries,
+                    evaluations: evals,
+                    iterations: 0, // iteration counts are not replicated
+                });
+                recovered = true;
+                recovered_nodes.push(k);
+            }
+        }
         if let Some(report) = &report {
             evaluations += report.evaluations;
             iterations += report.iterations;
@@ -237,6 +321,7 @@ pub fn run_mesh(job: &MeshJob, timeout: Duration, wait: Duration) -> io::Result<
         nodes.push(NodeOutcome {
             addr: job.peers[k].clone(),
             report,
+            recovered,
         });
     }
     if node_fronts.is_empty() {
@@ -251,7 +336,26 @@ pub fn run_mesh(job: &MeshJob, timeout: Duration, wait: Duration) -> io::Result<
         evaluations,
         iterations,
         nodes,
+        recovered_nodes,
     })
+}
+
+/// The most advanced replica of slot `subject` held by any *other*
+/// reachable node — highest replicated evaluation count wins, ties to the
+/// earliest holder so the choice is deterministic.
+fn best_replica(clients: &[MeshClient], subject: usize) -> Option<(u64, Vec<ExchangeEntry>)> {
+    let mut best: Option<(u64, Vec<ExchangeEntry>)> = None;
+    for (j, client) in clients.iter().enumerate() {
+        if j == subject {
+            continue;
+        }
+        if let Ok(Some((evals, entries))) = client.replica(subject) {
+            if best.as_ref().is_none_or(|(b, _)| evals > *b) {
+                best = Some((evals, entries));
+            }
+        }
+    }
+    best
 }
 
 /// Reads an unlabeled counter out of a Prometheus exposition (`name value`

@@ -7,6 +7,7 @@
 //! bootstrap (`Hello`), job dispatch (`Start`), the exchange hot path
 //! (`Exchange`/`ExchangeAck`), and result gathering (`Front`, `Metrics`).
 
+use crate::membership::Member;
 use std::fmt::Write as _;
 use tsmo_core::FrontEntry;
 use tsmo_obs::json::{self, Json};
@@ -117,6 +118,19 @@ pub struct MeshJob {
     /// survives the f64-backed JSON layer exactly). `0` means "derive
     /// from `seed`" — which yields the same shared id on every node.
     pub trace_id: u64,
+    /// Migration interval: offer only every k-th post-initial-phase
+    /// archive improvement to the rotation (1 = every improvement).
+    pub exchange_interval: usize,
+    /// Milliseconds between archive checkpoints shipped to the node's
+    /// ring successor (`0` disables replication).
+    pub replication_ms: u64,
+    /// Membership epoch this job was dispatched under (0 for the initial
+    /// full mesh; a joiner admitted mid-run gets the current epoch).
+    pub epoch: u64,
+    /// Warm-start entries injected into every local searcher inbox before
+    /// the first iteration — a joiner receives the mesh's current merged
+    /// front here. Empty for a cold start.
+    pub warm: Vec<ExchangeEntry>,
 }
 
 impl Default for MeshJob {
@@ -133,6 +147,10 @@ impl Default for MeshJob {
             fault_seed: 0,
             fault_rate: 0.0,
             trace_id: 0,
+            exchange_interval: 1,
+            replication_ms: 0,
+            epoch: 0,
+            warm: Vec::new(),
         }
     }
 }
@@ -164,8 +182,18 @@ impl MeshJob {
             self.fault_seed
         );
         json::write_f64(out, self.fault_rate);
-        let _ = write!(out, ",\"trace_id\":{}", self.trace_id);
-        out.push('}');
+        let _ = write!(
+            out,
+            ",\"trace_id\":{},\"exchange_interval\":{},\"replication_ms\":{},\"epoch\":{},\"warm\":[",
+            self.trace_id, self.exchange_interval, self.replication_ms, self.epoch
+        );
+        for (i, e) in self.warm.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.write_json(out);
+        }
+        out.push_str("]}");
     }
 
     fn from_json(doc: &Json) -> Result<Self, String> {
@@ -193,6 +221,23 @@ impl MeshJob {
             fault_rate: req_f64(doc, "fault_rate")?,
             // Lenient for compatibility with pre-trace controllers.
             trace_id: doc.get("trace_id").and_then(Json::as_u64).unwrap_or(0),
+            // Lenient for controllers predating the elastic mesh.
+            exchange_interval: doc
+                .get("exchange_interval")
+                .and_then(Json::as_u64)
+                .unwrap_or(1) as usize,
+            replication_ms: doc
+                .get("replication_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            epoch: doc.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+            warm: match doc.get("warm") {
+                Some(Json::Array(items)) => items
+                    .iter()
+                    .map(ExchangeEntry::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => Vec::new(),
+            },
         })
     }
 }
@@ -264,6 +309,89 @@ pub enum NodeMsg {
     TraceReply {
         /// JSONL event lines (empty when no job recorded a trace).
         jsonl: String,
+    },
+    /// A node at `addr` asks the coordinator (member 0 of the original
+    /// mesh) to be admitted into the membership view.
+    Join {
+        /// The joiner's listen address.
+        addr: String,
+    },
+    /// Admission granted: the joiner's slot, the epoch it joined at, the
+    /// full member list, and the coordinator's current merged front for
+    /// warm-starting.
+    JoinAck {
+        /// Membership epoch after admission.
+        epoch: u64,
+        /// The slot the joiner occupies (its `node_index`).
+        slot: u64,
+        /// The complete membership view.
+        members: Vec<Member>,
+        /// The coordinator's current merged front (may be empty).
+        warm: Vec<ExchangeEntry>,
+    },
+    /// Announce that slot `node` left the mesh (controller- or
+    /// peer-initiated).
+    Leave {
+        /// The departing slot.
+        node: u64,
+    },
+    /// The leave was recorded.
+    LeaveAck {
+        /// Membership epoch after the departure.
+        epoch: u64,
+    },
+    /// Broadcast of a new membership view to a live member.
+    MemberUpdate {
+        /// Epoch of the view; receivers ignore stale (≤ current) epochs.
+        epoch: u64,
+        /// The complete member list in slot order.
+        members: Vec<Member>,
+    },
+    /// The view was applied (or ignored as stale).
+    MemberUpdateAck {
+        /// The receiver's epoch after processing.
+        epoch: u64,
+    },
+    /// An archive checkpoint shipped to the sender's ring successor.
+    Checkpoint {
+        /// The checkpointing node's slot.
+        from: u64,
+        /// Membership epoch the checkpoint was cut under.
+        epoch: u64,
+        /// Evaluations the node had consumed at the checkpoint.
+        evaluations: u64,
+        /// The node's merged front at the checkpoint.
+        entries: Vec<ExchangeEntry>,
+    },
+    /// The checkpoint replica was stored.
+    CheckpointAck,
+    /// Ask a node for the newest replica it holds of slot `node`.
+    ReplicaFetch {
+        /// The subject slot.
+        node: u64,
+    },
+    /// Answer to `ReplicaFetch`; `found == false` means no replica of that
+    /// slot is held and the other fields are zero/empty.
+    ReplicaReply {
+        /// The subject slot.
+        node: u64,
+        /// Epoch of the stored checkpoint.
+        epoch: u64,
+        /// Evaluations recorded in the checkpoint.
+        evaluations: u64,
+        /// The replicated front.
+        entries: Vec<ExchangeEntry>,
+        /// Whether a replica was held.
+        found: bool,
+    },
+    /// Query a node's membership view.
+    Members,
+    /// Answer to `Members`.
+    MembersReply {
+        /// The responder's membership epoch.
+        epoch: u64,
+        /// The responder's member list.
+        members: Vec<Member>,
     },
     /// Cooperatively cancel the running job.
     Stop,
@@ -342,6 +470,98 @@ impl NodeMsg {
                 json::write_str(&mut s, jsonl);
                 s.push('}');
             }
+            NodeMsg::Join { addr } => {
+                s.push_str("{\"type\":\"join\",\"addr\":");
+                json::write_str(&mut s, addr);
+                s.push('}');
+            }
+            NodeMsg::JoinAck {
+                epoch,
+                slot,
+                members,
+                warm,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"join_ack\",\"epoch\":{epoch},\"slot\":{slot},\"members\":"
+                );
+                write_members(&mut s, members);
+                s.push_str(",\"warm\":[");
+                for (i, e) in warm.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    e.write_json(&mut s);
+                }
+                s.push_str("]}");
+            }
+            NodeMsg::Leave { node } => {
+                let _ = write!(s, "{{\"type\":\"leave\",\"node\":{node}}}");
+            }
+            NodeMsg::LeaveAck { epoch } => {
+                let _ = write!(s, "{{\"type\":\"leave_ack\",\"epoch\":{epoch}}}");
+            }
+            NodeMsg::MemberUpdate { epoch, members } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"member_update\",\"epoch\":{epoch},\"members\":"
+                );
+                write_members(&mut s, members);
+                s.push('}');
+            }
+            NodeMsg::MemberUpdateAck { epoch } => {
+                let _ = write!(s, "{{\"type\":\"member_update_ack\",\"epoch\":{epoch}}}");
+            }
+            NodeMsg::Checkpoint {
+                from,
+                epoch,
+                evaluations,
+                entries,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"checkpoint\",\"from\":{from},\"epoch\":{epoch},\"evaluations\":{evaluations},\"entries\":["
+                );
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    e.write_json(&mut s);
+                }
+                s.push_str("]}");
+            }
+            NodeMsg::CheckpointAck => s.push_str("{\"type\":\"checkpoint_ack\"}"),
+            NodeMsg::ReplicaFetch { node } => {
+                let _ = write!(s, "{{\"type\":\"replica_fetch\",\"node\":{node}}}");
+            }
+            NodeMsg::ReplicaReply {
+                node,
+                epoch,
+                evaluations,
+                entries,
+                found,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"replica_reply\",\"node\":{node},\"epoch\":{epoch},\"evaluations\":{evaluations},\"entries\":["
+                );
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    e.write_json(&mut s);
+                }
+                let _ = write!(s, "],\"found\":{found}}}");
+            }
+            NodeMsg::Members => s.push_str("{\"type\":\"members\"}"),
+            NodeMsg::MembersReply { epoch, members } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"members_reply\",\"epoch\":{epoch},\"members\":"
+                );
+                write_members(&mut s, members);
+                s.push('}');
+            }
             NodeMsg::Stop => s.push_str("{\"type\":\"stop\"}"),
             NodeMsg::Stopped => s.push_str("{\"type\":\"stopped\"}"),
             NodeMsg::Shutdown => s.push_str("{\"type\":\"shutdown\"}"),
@@ -402,6 +622,53 @@ impl NodeMsg {
             "trace_reply" => Ok(NodeMsg::TraceReply {
                 jsonl: req_str(&doc, "jsonl")?.to_string(),
             }),
+            "join" => Ok(NodeMsg::Join {
+                addr: req_str(&doc, "addr")?.to_string(),
+            }),
+            "join_ack" => Ok(NodeMsg::JoinAck {
+                epoch: req_u64(&doc, "epoch")?,
+                slot: req_u64(&doc, "slot")?,
+                members: members_from(doc.get("members").ok_or("missing 'members'")?)?,
+                warm: entries_from(doc.get("warm").ok_or("missing 'warm'")?)?,
+            }),
+            "leave" => Ok(NodeMsg::Leave {
+                node: req_u64(&doc, "node")?,
+            }),
+            "leave_ack" => Ok(NodeMsg::LeaveAck {
+                epoch: req_u64(&doc, "epoch")?,
+            }),
+            "member_update" => Ok(NodeMsg::MemberUpdate {
+                epoch: req_u64(&doc, "epoch")?,
+                members: members_from(doc.get("members").ok_or("missing 'members'")?)?,
+            }),
+            "member_update_ack" => Ok(NodeMsg::MemberUpdateAck {
+                epoch: req_u64(&doc, "epoch")?,
+            }),
+            "checkpoint" => Ok(NodeMsg::Checkpoint {
+                from: req_u64(&doc, "from")?,
+                epoch: req_u64(&doc, "epoch")?,
+                evaluations: req_u64(&doc, "evaluations")?,
+                entries: entries_from(doc.get("entries").ok_or("missing 'entries'")?)?,
+            }),
+            "checkpoint_ack" => Ok(NodeMsg::CheckpointAck),
+            "replica_fetch" => Ok(NodeMsg::ReplicaFetch {
+                node: req_u64(&doc, "node")?,
+            }),
+            "replica_reply" => Ok(NodeMsg::ReplicaReply {
+                node: req_u64(&doc, "node")?,
+                epoch: req_u64(&doc, "epoch")?,
+                evaluations: req_u64(&doc, "evaluations")?,
+                entries: entries_from(doc.get("entries").ok_or("missing 'entries'")?)?,
+                found: doc
+                    .get("found")
+                    .and_then(Json::as_bool)
+                    .ok_or("bad 'found' field")?,
+            }),
+            "members" => Ok(NodeMsg::Members),
+            "members_reply" => Ok(NodeMsg::MembersReply {
+                epoch: req_u64(&doc, "epoch")?,
+                members: members_from(doc.get("members").ok_or("missing 'members'")?)?,
+            }),
             "stop" => Ok(NodeMsg::Stop),
             "stopped" => Ok(NodeMsg::Stopped),
             "shutdown" => Ok(NodeMsg::Shutdown),
@@ -430,6 +697,44 @@ fn req_f64(doc: &Json, key: &str) -> Result<f64, String> {
     doc.get(key)
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("bad '{key}' field"))
+}
+
+fn write_members(out: &mut String, members: &[Member]) {
+    out.push('[');
+    for (i, m) in members.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"addr\":");
+        json::write_str(out, &m.addr);
+        let _ = write!(out, ",\"live\":{}}}", m.live);
+    }
+    out.push(']');
+}
+
+fn members_from(v: &Json) -> Result<Vec<Member>, String> {
+    match v {
+        Json::Array(items) => items
+            .iter()
+            .map(|m| {
+                Ok(Member {
+                    addr: req_str(m, "addr")?.to_string(),
+                    live: m
+                        .get("live")
+                        .and_then(Json::as_bool)
+                        .ok_or("bad 'live' field")?,
+                })
+            })
+            .collect(),
+        _ => Err("members must be an array".to_string()),
+    }
+}
+
+fn entries_from(v: &Json) -> Result<Vec<ExchangeEntry>, String> {
+    match v {
+        Json::Array(items) => items.iter().map(ExchangeEntry::from_json).collect(),
+        _ => Err("entries must be an array".to_string()),
+    }
 }
 
 fn objective_vector(v: &Json) -> Result<[f64; 3], String> {
@@ -476,6 +781,36 @@ mod tests {
         }
     }
 
+    fn sample_members() -> Vec<Member> {
+        vec![
+            Member {
+                addr: "127.0.0.1:4001".to_string(),
+                live: true,
+            },
+            Member {
+                addr: "127.0.0.1:4002".to_string(),
+                live: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn pre_elastic_jobs_parse_with_defaults() {
+        // A controller predating the elastic mesh omits the new fields.
+        let legacy = "{\"type\":\"start\",\"job\":{\"instance\":\"R101\",\"node_index\":0,\
+\"peers\":[\"a\"],\"searchers_per_node\":2,\"seed\":1,\"max_evaluations\":100,\
+\"neighborhood_size\":10,\"stagnation_limit\":5,\"fault_seed\":0,\"fault_rate\":0}}";
+        match NodeMsg::parse(legacy).expect("lenient parse") {
+            NodeMsg::Start { job } => {
+                assert_eq!(job.exchange_interval, 1);
+                assert_eq!(job.replication_ms, 0);
+                assert_eq!(job.epoch, 0);
+                assert!(job.warm.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
     #[test]
     fn messages_round_trip() {
         let samples = vec![
@@ -500,6 +835,10 @@ mod tests {
                     fault_seed: 7,
                     fault_rate: 0.125,
                     trace_id: 0xFFFF_FFFF_FFFF,
+                    exchange_interval: 4,
+                    replication_ms: 250,
+                    epoch: 3,
+                    warm: vec![sample_entry()],
                 },
             },
             NodeMsg::Start {
@@ -523,6 +862,49 @@ mod tests {
             NodeMsg::Trace,
             NodeMsg::TraceReply {
                 jsonl: "{\"seq\":0,\"type\":\"span_enter\",\"name\":\"search\"}\n".to_string(),
+            },
+            NodeMsg::Join {
+                addr: "127.0.0.1:4009".to_string(),
+            },
+            NodeMsg::JoinAck {
+                epoch: 5,
+                slot: 2,
+                members: sample_members(),
+                warm: vec![sample_entry()],
+            },
+            NodeMsg::Leave { node: 3 },
+            NodeMsg::LeaveAck { epoch: 6 },
+            NodeMsg::MemberUpdate {
+                epoch: 6,
+                members: sample_members(),
+            },
+            NodeMsg::MemberUpdateAck { epoch: 6 },
+            NodeMsg::Checkpoint {
+                from: 1,
+                epoch: 6,
+                evaluations: 12_345,
+                entries: vec![sample_entry()],
+            },
+            NodeMsg::CheckpointAck,
+            NodeMsg::ReplicaFetch { node: 1 },
+            NodeMsg::ReplicaReply {
+                node: 1,
+                epoch: 6,
+                evaluations: 12_345,
+                entries: vec![sample_entry()],
+                found: true,
+            },
+            NodeMsg::ReplicaReply {
+                node: 4,
+                epoch: 0,
+                evaluations: 0,
+                entries: Vec::new(),
+                found: false,
+            },
+            NodeMsg::Members,
+            NodeMsg::MembersReply {
+                epoch: 6,
+                members: sample_members(),
             },
             NodeMsg::Stop,
             NodeMsg::Stopped,

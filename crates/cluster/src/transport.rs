@@ -17,6 +17,7 @@
 
 use crate::proto::{ExchangeEntry, NodeMsg};
 use deme::multisearch::Transport;
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -108,6 +109,73 @@ impl PeerConn {
     }
 }
 
+/// Slot-addressed routing for a mesh whose membership can change mid-run.
+///
+/// Each member slot maps to its current address (empty while the slot is
+/// dead or vacant); connections are cached per *address*, so when a
+/// `MemberUpdate` moves a slot to a new address the next send simply
+/// resolves a fresh [`PeerConn`] — the searchers' links never rebuild, and
+/// the endpoint's probe re-admission heals the route as soon as the new
+/// occupant acks.
+pub struct RouteTable {
+    timeout: Duration,
+    inner: Mutex<RouteInner>,
+}
+
+struct RouteInner {
+    /// Slot index → current address; `""` marks a dead or vacant slot.
+    addrs: Vec<String>,
+    conns: HashMap<String, Arc<PeerConn>>,
+}
+
+impl RouteTable {
+    /// A table with every slot at its initial address.
+    pub fn new(addrs: Vec<String>, timeout: Duration) -> Self {
+        Self {
+            timeout,
+            inner: Mutex::new(RouteInner {
+                addrs,
+                conns: HashMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RouteInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Replaces the slot → address map (empty string = dead slot) and
+    /// drops cached connections to addresses no longer routed to.
+    pub fn update(&self, addrs: Vec<String>) {
+        let mut inner = self.lock();
+        inner.addrs = addrs;
+        let keep: Vec<String> = inner.addrs.clone();
+        inner.conns.retain(|addr, _| keep.iter().any(|a| a == addr));
+    }
+
+    /// The slot's current address, if it has one.
+    pub fn addr(&self, slot: usize) -> Option<String> {
+        let inner = self.lock();
+        inner.addrs.get(slot).filter(|a| !a.is_empty()).cloned()
+    }
+
+    /// The shared connection to the slot's current occupant; `None` while
+    /// the slot is dead. Connections are created lazily and cached.
+    pub fn conn(&self, slot: usize) -> Option<Arc<PeerConn>> {
+        let mut inner = self.lock();
+        let addr = inner.addrs.get(slot).filter(|a| !a.is_empty())?.clone();
+        let timeout = self.timeout;
+        Some(Arc::clone(
+            inner
+                .conns
+                .entry(addr.clone())
+                .or_insert_with(|| Arc::new(PeerConn::new(addr, timeout))),
+        ))
+    }
+}
+
 /// Delivers one exchange over `conn` and waits for the ack; `Some(rtt)` is
 /// the round-trip time, `None` means the peer did not take delivery.
 /// Shared by [`TcpTransport`] and the transport conformance tests so both
@@ -133,19 +201,44 @@ pub fn deliver_exchange(
 }
 
 /// A [`Transport`] that carries [`FrontEntry`] exchanges to one remote
-/// searcher over the owning node's shared [`PeerConn`].
+/// searcher, either over a fixed shared [`PeerConn`] or via a
+/// [`RouteTable`] that resolves the peer's *current* address at send time.
 pub struct TcpTransport {
-    conn: Arc<PeerConn>,
+    route: Route,
     from: usize,
     to: usize,
     recorder: Arc<dyn Recorder>,
 }
 
+enum Route {
+    Fixed(Arc<PeerConn>),
+    Slot { table: Arc<RouteTable>, slot: usize },
+}
+
 impl TcpTransport {
-    /// A link from local searcher `from` to remote searcher `to`.
+    /// A link from local searcher `from` to remote searcher `to` over a
+    /// fixed connection (static-membership meshes).
     pub fn new(conn: Arc<PeerConn>, from: usize, to: usize, recorder: Arc<dyn Recorder>) -> Self {
         Self {
-            conn,
+            route: Route::Fixed(conn),
+            from,
+            to,
+            recorder,
+        }
+    }
+
+    /// A link whose destination node is resolved through `table` on every
+    /// send, so membership changes reroute it without rebuilding links. A
+    /// send while the slot is dead fails like an unreachable peer.
+    pub fn routed(
+        table: Arc<RouteTable>,
+        slot: usize,
+        from: usize,
+        to: usize,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        Self {
+            route: Route::Slot { table, slot },
             from,
             to,
             recorder,
@@ -155,7 +248,14 @@ impl TcpTransport {
 
 impl Transport<FrontEntry> for TcpTransport {
     fn send(&self, msg: FrontEntry) -> Result<(), FrontEntry> {
-        match deliver_exchange(&self.conn, self.from, self.to, &msg) {
+        let conn = match &self.route {
+            Route::Fixed(conn) => Arc::clone(conn),
+            Route::Slot { table, slot } => match table.conn(*slot) {
+                Some(conn) => conn,
+                None => return Err(msg), // dead slot: fail like a dead peer
+            },
+        };
+        match deliver_exchange(&conn, self.from, self.to, &msg) {
             Some(rtt) => {
                 self.recorder
                     .observe(names::PEER_RTT_MS, rtt.as_secs_f64() * 1_000.0);
@@ -209,6 +309,22 @@ mod tests {
             started.elapsed() < Duration::from_secs(5),
             "refused connection must not hang"
         );
+    }
+
+    #[test]
+    fn route_table_reroutes_a_slot_and_voids_dead_routes() {
+        let table = RouteTable::new(
+            vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            DEFAULT_NET_TIMEOUT,
+        );
+        assert_eq!(table.addr(1).as_deref(), Some("127.0.0.1:2"));
+        let before = table.conn(1).expect("routed");
+        table.update(vec!["127.0.0.1:1".into(), "127.0.0.1:9".into()]);
+        let after = table.conn(1).expect("rerouted");
+        assert_ne!(before.addr(), after.addr(), "slot follows the new address");
+        table.update(vec!["127.0.0.1:1".into(), String::new()]);
+        assert!(table.conn(1).is_none(), "dead slot has no route");
+        assert!(table.addr(9).is_none(), "out-of-range slot has no route");
     }
 
     #[test]

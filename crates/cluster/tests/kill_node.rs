@@ -48,6 +48,7 @@ fn killing_one_node_mid_run_leaves_a_valid_merged_front_from_survivors() {
         fault_seed: 0,
         fault_rate: 0.0,
         trace_id: 0,
+        ..MeshJob::default()
     };
     for (k, client) in clients.iter().enumerate() {
         client.wait_ready(NET_TIMEOUT).expect("node ready");

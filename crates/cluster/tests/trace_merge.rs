@@ -34,6 +34,7 @@ fn three_node_mesh_records_one_shared_trace() {
         fault_seed: 0,
         fault_rate: 0.0,
         trace_id,
+        ..MeshJob::default()
     };
     let outcome =
         mesh::run_mesh(&job, NET_TIMEOUT, Duration::from_secs(120)).expect("mesh run finishes");

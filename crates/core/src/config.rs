@@ -39,6 +39,12 @@ pub struct TsmoConfig {
     /// Iterations without archive improvement before restarting from a
     /// remembered solution (paper: 100).
     pub stagnation_limit: usize,
+    /// Collaborative migration interval: offer only every k-th
+    /// post-initial-phase archive improvement to the communication list
+    /// (1 = every improvement, the paper's policy; larger values trade
+    /// exchange traffic against convergence — the knob the elastic-mesh
+    /// migration sweep varies). Values below 1 behave like 1.
+    pub exchange_interval: usize,
     /// Number of RNG chunks the neighborhood is split into. The sequential
     /// algorithm generates its neighborhood in this many seed-derived
     /// chunks so that the synchronous variant (one chunk per processor)
@@ -98,6 +104,7 @@ impl Default for TsmoConfig {
             archive_capacity: 20,
             nondom_capacity: 50,
             stagnation_limit: 100,
+            exchange_interval: 1,
             chunks: 1,
             feasibility_criterion: true,
             aspiration: false,

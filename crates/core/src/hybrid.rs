@@ -137,6 +137,7 @@ fn run_async_searcher(
     let mut pool: Vec<Neighbor> = Vec::new();
     let mut initial_phase = true;
     let mut initial_stagnation = 0usize;
+    let mut improvements = 0u64;
 
     'search: loop {
         for entry in endpoint.drain() {
@@ -245,7 +246,11 @@ fn run_async_searcher(
                 }
             }
         } else if let Some(entry) = report.improved_archive {
-            endpoint.send_next(entry);
+            improvements += 1;
+            // Same migration-interval gate as CollabSearcher::step_once.
+            if (improvements - 1).is_multiple_of(cfg.exchange_interval.max(1) as u64) {
+                endpoint.send_next(entry);
+            }
         }
     }
     if !pool.is_empty() {

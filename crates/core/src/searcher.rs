@@ -125,6 +125,9 @@ pub struct CollabSearcher {
     id: usize,
     initial_phase: bool,
     initial_stagnation: usize,
+    /// Post-initial-phase archive improvements seen, driving the
+    /// `exchange_interval` migration policy.
+    improvements: u64,
     /// Fault bookkeeping: decision counter, local iteration ticks, and
     /// delayed messages waiting for their tick.
     exchange_seq: u64,
@@ -164,6 +167,7 @@ impl CollabSearcher {
             id,
             initial_phase: true,
             initial_stagnation: 0,
+            improvements: 0,
             exchange_seq: 0,
             tick: 0,
             delayed: Vec::new(),
@@ -179,6 +183,21 @@ impl CollabSearcher {
     /// Whether the next [`step_once`](Self::step_once) would do no work.
     pub fn done(&self) -> bool {
         self.budget.exhausted() || self.cancel.should_stop(self.core.iteration())
+    }
+
+    /// A copy of the searcher's current `M_archive` — what an archive
+    /// checkpoint ships to the ring successor while the searcher keeps
+    /// running. Reading it consumes no randomness, so checkpointing never
+    /// perturbs the search trajectory.
+    pub fn archive_snapshot(&self) -> Vec<FrontEntry> {
+        self.core.archive_entries().to_vec()
+    }
+
+    /// Evaluations consumed from this searcher's budget so far. A
+    /// checkpoint records it so a restarted incarnation of the same
+    /// searcher id resumes with the remaining budget.
+    pub fn evaluations_consumed(&self) -> u64 {
+        self.budget.consumed()
     }
 
     /// Runs one iteration: release due delayed messages, drain the inbox
@@ -259,6 +278,15 @@ impl CollabSearcher {
                 }
             }
         } else if let Some(entry) = report.improved_archive {
+            // Migration interval: only every k-th improvement is offered
+            // to the rotation (k = 1 sends all, the paper's policy). The
+            // decision precedes the fault draw so skipped improvements
+            // consume no fault sequence numbers.
+            self.improvements += 1;
+            if !(self.improvements - 1).is_multiple_of(self.cfg.exchange_interval.max(1) as u64) {
+                publish_peer_events(endpoint, &self.recorder, self.id);
+                return true;
+            }
             let _span = Span::enter(&self.recorder, "exchange", trace_id, span_parent);
             let fault = if self.hook.active() {
                 let seq = self.exchange_seq;

@@ -549,6 +549,7 @@ struct SearcherSim {
     next_peer: usize,
     initial_phase: bool,
     initial_stagnation: usize,
+    improvements: u64,
     done: bool,
     iterations: usize,
 }
@@ -627,6 +628,7 @@ impl SimCollaborativeTsmo {
                 next_peer: 0,
                 initial_phase: true,
                 initial_stagnation: 0,
+                improvements: 0,
                 done: false,
                 iterations: 0,
                 cfg,
@@ -704,7 +706,13 @@ impl SimCollaborativeTsmo {
                     }
                 }
             } else if let Some(entry) = improved {
-                if !searcher.comm_list.is_empty() {
+                searcher.improvements += 1;
+                // Same migration-interval gate as CollabSearcher::step_once:
+                // skipped improvements precede the fault draw, so they
+                // consume no fault sequence numbers in either build.
+                let offered = (searcher.improvements - 1)
+                    .is_multiple_of(searcher.cfg.exchange_interval.max(1) as u64);
+                if offered && !searcher.comm_list.is_empty() {
                     let peer = searcher.comm_list[searcher.next_peer];
                     searcher.next_peer = (searcher.next_peer + 1) % searcher.comm_list.len();
                     let fault = if faults_on {

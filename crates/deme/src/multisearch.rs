@@ -216,6 +216,18 @@ impl<M> Endpoint<M> {
         }
     }
 
+    /// Marks `peer` live again without waiting for a probe — the
+    /// administrative heal applied when a recovered node's re-admission is
+    /// *announced* (a membership update) rather than detected. No
+    /// liveness transition event is emitted and the readmitted counter is
+    /// untouched; those track probe-driven recoveries. Unknown ids are
+    /// ignored.
+    pub fn revive_peer(&mut self, peer: usize) {
+        if let Some(link) = self.comm_list.iter_mut().find(|l| l.id == peer) {
+            link.live = true;
+        }
+    }
+
     /// Drains the liveness transitions observed since the last call, in
     /// occurrence order — the hook telemetry uses to emit `peer_dead` /
     /// `peer_readmitted` events without the endpoint knowing about obs.

@@ -37,6 +37,7 @@ pub fn run_transport_suite<H: MeshHarness, F: FnMut(usize) -> H>(mut make: F) {
     failed_delivery_fails_over_in_the_same_call(&mut make(3));
     quarantined_peer_is_probed_and_readmitted(&mut make(3));
     killed_then_revived_peer_rejoins_via_probe(&mut make(3));
+    recovered_peer_receives_regular_exchanges_again(&mut make(4));
 }
 
 fn delivery_follows_rotation<H: MeshHarness>(h: &mut H) {
@@ -127,6 +128,45 @@ fn killed_then_revived_peer_rejoins_via_probe<H: MeshHarness>(h: &mut H) {
     let events = h.endpoint(0).take_peer_events();
     assert!(events.contains(&PeerEvent::Died(victim)));
     assert!(events.contains(&PeerEvent::Readmitted(victim)));
+}
+
+/// Re-admission is not the end of the story: after the probe brings a
+/// recovered peer back, it must receive *regular* rotation traffic again,
+/// not just the one probe-carried message. Quarantine (the transport keeps
+/// working, so this runs on every harness), probe back in, then disable
+/// probes entirely — whatever the peer receives from here on came through
+/// the ordinary rotation.
+fn recovered_peer_receives_regular_exchanges_again<H: MeshHarness>(h: &mut H) {
+    let order = h.endpoint(0).peer_order();
+    let victim = order[0];
+    h.endpoint(0).set_probe_interval(3);
+    h.endpoint(0).quarantine_peer(victim);
+    let mut value = 0u32;
+    while !h.endpoint(0).is_peer_live(victim) {
+        h.endpoint(0).send_next(value);
+        value += 1;
+        assert!(value < 32, "probe never re-admitted the quarantined peer");
+    }
+    assert!(
+        !h.recv_all(victim).is_empty(),
+        "the re-admitting probe carried a real message"
+    );
+    // Probes are now effectively off; two full cycles must hand the
+    // recovered peer exactly its two rotation slots.
+    h.endpoint(0).set_probe_interval(1_000_000);
+    let mut hits = 0;
+    for _ in 0..order.len() * 2 {
+        if h.endpoint(0).send_next(value) == Some(victim) {
+            hits += 1;
+        }
+        value += 1;
+    }
+    assert_eq!(hits, 2, "recovered peer rejoined the regular rotation");
+    assert_eq!(
+        h.recv_all(victim).len(),
+        2,
+        "regular exchanges flow to the recovered peer again"
+    );
 }
 
 /// The in-process reference harness: a [`network`] of channel endpoints.

@@ -247,6 +247,43 @@ pub enum SearchEvent {
         /// The peer re-admitted.
         peer: u32,
     },
+    /// A node was admitted into the cluster membership (late join or
+    /// re-admission after a kill); the epoch bumps with every transition.
+    MemberJoined {
+        /// The admitted node's member index.
+        node: u32,
+        /// Membership epoch after the admission.
+        epoch: u64,
+    },
+    /// A node left the cluster membership (graceful leave or declared
+    /// dead by the control plane).
+    MemberLeft {
+        /// The departed node's member index.
+        node: u32,
+        /// Membership epoch after the departure.
+        epoch: u64,
+    },
+    /// The rebalancer assigned a node its contiguous slice of global
+    /// searcher ids after a membership change.
+    SliceRebalanced {
+        /// Membership epoch the assignment belongs to.
+        epoch: u64,
+        /// The node receiving the slice.
+        node: u32,
+        /// First global searcher id of the slice.
+        start: u32,
+        /// Number of ids in the slice.
+        len: u32,
+    },
+    /// A node checkpointed its archive to its ring successor.
+    ArchiveReplicated {
+        /// The node whose archive was checkpointed.
+        node: u32,
+        /// The ring successor now holding the replica.
+        holder: u32,
+        /// Entries in the checkpointed front.
+        entries: u32,
+    },
     /// The solver service admitted a job to its queue.
     JobAdmitted {
         /// Service-assigned job id.
@@ -489,6 +526,39 @@ impl TimedEvent {
                     ",\"type\":\"peer_readmitted\",\"searcher\":{searcher},\"peer\":{peer}"
                 );
             }
+            SearchEvent::MemberJoined { node, epoch } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"member_joined\",\"node\":{node},\"epoch\":{epoch}"
+                );
+            }
+            SearchEvent::MemberLeft { node, epoch } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"member_left\",\"node\":{node},\"epoch\":{epoch}"
+                );
+            }
+            SearchEvent::SliceRebalanced {
+                epoch,
+                node,
+                start,
+                len,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"slice_rebalanced\",\"epoch\":{epoch},\"node\":{node},\"start\":{start},\"len\":{len}"
+                );
+            }
+            SearchEvent::ArchiveReplicated {
+                node,
+                holder,
+                entries,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"archive_replicated\",\"node\":{node},\"holder\":{holder},\"entries\":{entries}"
+                );
+            }
             SearchEvent::JobAdmitted { job, depth } => {
                 let _ = write!(
                     s,
@@ -659,6 +729,25 @@ impl TimedEvent {
             "peer_readmitted" => SearchEvent::PeerReadmitted {
                 searcher: field_u32(&doc, "searcher")?,
                 peer: field_u32(&doc, "peer")?,
+            },
+            "member_joined" => SearchEvent::MemberJoined {
+                node: field_u32(&doc, "node")?,
+                epoch: field_u64(&doc, "epoch")?,
+            },
+            "member_left" => SearchEvent::MemberLeft {
+                node: field_u32(&doc, "node")?,
+                epoch: field_u64(&doc, "epoch")?,
+            },
+            "slice_rebalanced" => SearchEvent::SliceRebalanced {
+                epoch: field_u64(&doc, "epoch")?,
+                node: field_u32(&doc, "node")?,
+                start: field_u32(&doc, "start")?,
+                len: field_u32(&doc, "len")?,
+            },
+            "archive_replicated" => SearchEvent::ArchiveReplicated {
+                node: field_u32(&doc, "node")?,
+                holder: field_u32(&doc, "holder")?,
+                entries: field_u32(&doc, "entries")?,
             },
             "job_admitted" => SearchEvent::JobAdmitted {
                 job: field_u64(&doc, "job")?,
@@ -863,6 +952,19 @@ mod tests {
             SearchEvent::PeerReadmitted {
                 searcher: 2,
                 peer: 5,
+            },
+            SearchEvent::MemberJoined { node: 4, epoch: 3 },
+            SearchEvent::MemberLeft { node: 2, epoch: 4 },
+            SearchEvent::SliceRebalanced {
+                epoch: 4,
+                node: 1,
+                start: 6,
+                len: 3,
+            },
+            SearchEvent::ArchiveReplicated {
+                node: 2,
+                holder: 3,
+                entries: 17,
             },
             SearchEvent::JobAdmitted { job: 7, depth: 3 },
             SearchEvent::JobRejected { job: 8, depth: 4 },

@@ -96,6 +96,24 @@ pub mod names {
     /// Dead peers re-admitted by a successful probe (counter).
     pub const PEERS_READMITTED: &str = "tsmo_peers_readmitted_total";
 
+    /// Nodes admitted into the cluster membership (counter; one per
+    /// `member_joined` event).
+    pub const MEMBERS_JOINED: &str = "tsmo_members_joined_total";
+    /// Nodes that left the membership — graceful leave or declared dead
+    /// (counter; one per `member_left` event).
+    pub const MEMBERS_LEFT: &str = "tsmo_members_left_total";
+    /// Contiguous searcher-id slices reassigned by the rebalancer
+    /// (counter; one per `slice_rebalanced` event).
+    pub const SLICES_REBALANCED: &str = "tsmo_slices_rebalanced_total";
+    /// Archive checkpoints delivered to a ring successor (counter; one
+    /// per `archive_replicated` event).
+    pub const ARCHIVES_REPLICATED: &str = "tsmo_archives_replicated_total";
+    /// Node fronts restored from a successor's replica — on re-admission
+    /// or at final merge (counter).
+    pub const ARCHIVES_RECOVERED: &str = "tsmo_archives_recovered_total";
+    /// Current membership epoch (gauge; bumps on every join/leave).
+    pub const MEMBERSHIP_EPOCH: &str = "tsmo_membership_epoch";
+
     /// Trajectory-trace ring-buffer points overwritten before export
     /// (counter).
     pub const TRACE_DROPPED: &str = "tsmo_trace_dropped_total";

@@ -237,6 +237,11 @@ fn run_mesh_job(
         // Every node stamps its spans with the one id derived from the
         // job seed, so `clusterctl trace-merge` can assemble one trace.
         trace_id: tsmo_obs::trace_id_from_seed(spec.seed),
+        // Ring-replicate each node's archive once a second: the mesh
+        // tolerates a node dying mid-run (its front is recovered from the
+        // successor's replica at gather) at negligible steady-state cost.
+        replication_ms: 1_000,
+        ..tsmo_cluster::MeshJob::default()
     };
     let wait = spec.deadline_ms.map_or(wait_cap, Duration::from_millis);
     let outcome = tsmo_cluster::run_mesh(&job, tsmo_cluster::DEFAULT_NET_TIMEOUT, wait)
