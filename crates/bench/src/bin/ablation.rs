@@ -421,7 +421,7 @@ fn levels(opts: &Opts) {
             Box::new(|seed: u64| {
                 let mut ts = AdaptiveMemoryTs::new(base_cfg(opts).with_seed(seed), p);
                 ts.task_evaluations = (opts.evals as usize / 10).max(200);
-                ts.run(&inst)
+                ts.run(&inst).expect("adaptive-memory worker pool failed")
             }),
         ),
         (

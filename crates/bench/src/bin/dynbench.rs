@@ -1,0 +1,237 @@
+//! Warm-vs-cold study for dynamic re-optimization.
+//!
+//! ```text
+//! cargo run --release -p bench --bin dynbench --
+//!     [--epochs N] [--mutations M] [--evals E] [--customers C]
+//!     [--seed S] [--assert-warm] [--out BENCH_dynamic.json]
+//! ```
+//!
+//! Three scenario scripts (classes R1, C2, RC1) are replayed twice each
+//! at identical per-epoch evaluation budgets and identical per-epoch
+//! seeds: once warm-starting every epoch from the previous epoch's
+//! repaired front (plus adaptive-memory recombinations), once
+//! constructing cold. The two arms differ *only* in their starting
+//! solutions, so front quality differences are attributable to the
+//! warm-start machinery. Epoch 0 is excluded from the comparison — with
+//! no previous front both arms are identical there by construction.
+//!
+//! Quality is measured per mutated epoch with the two-set coverage
+//! indicator C(A,B) (fraction of B weakly dominated by A): a scenario
+//! counts as a warm win when the mean C(warm, cold) over its mutated
+//! epochs is at least the mean C(cold, warm). `--assert-warm` exits
+//! non-zero unless warm wins at least 2 of the 3 scenarios — the
+//! acceptance gate CI runs with pinned seeds.
+
+use pareto::coverage;
+use std::process::ExitCode;
+use tsmo_core::{CancelToken, ParallelVariant, TsmoConfig};
+use tsmo_scenario::{run_dynamic, DynamicConfig, EpochOutcome, Generator, ScenarioScript};
+use vrptw::generator::InstanceClass;
+
+struct EpochRow {
+    epoch: usize,
+    customers: usize,
+    cov_warm_over_cold: f64,
+    cov_cold_over_warm: f64,
+    warm_best: f64,
+    cold_best: f64,
+    warm_seeds: usize,
+}
+
+struct ScenarioRow {
+    class: &'static str,
+    script_seed: u64,
+    epochs: Vec<EpochRow>,
+    mean_warm_over_cold: f64,
+    mean_cold_over_warm: f64,
+    warm_wins: bool,
+}
+
+fn best_distance(e: &EpochOutcome) -> f64 {
+    e.outcome
+        .archive
+        .iter()
+        .map(|en| pareto::Dominance::objectives(en)[0])
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn run_scenario(
+    class: InstanceClass,
+    gen_seed: u64,
+    script_seed: u64,
+    customers: usize,
+    epochs: usize,
+    mutations: usize,
+    cfg: &TsmoConfig,
+) -> ScenarioRow {
+    let base = Generator::new(gen_seed, class, customers).instance();
+    let script = ScenarioScript::generate(&base, script_seed, epochs, mutations);
+    let warm_cfg = DynamicConfig::new(ParallelVariant::Sequential, cfg.clone());
+    let mut cold_cfg = warm_cfg.clone();
+    cold_cfg.warm = false;
+    let warm = run_dynamic(
+        &base,
+        &script,
+        &warm_cfg,
+        Vec::new(),
+        tsmo_obs::noop(),
+        CancelToken::never(),
+    );
+    let cold = run_dynamic(
+        &base,
+        &script,
+        &cold_cfg,
+        Vec::new(),
+        tsmo_obs::noop(),
+        CancelToken::never(),
+    );
+    let rows: Vec<EpochRow> = warm
+        .iter()
+        .zip(&cold)
+        .skip(1) // epoch 0 has no previous front: both arms identical
+        .map(|(w, c)| {
+            assert_eq!(
+                w.outcome.evaluations, c.outcome.evaluations,
+                "arms must spend equal budgets"
+            );
+            EpochRow {
+                epoch: w.epoch,
+                customers: w.customers,
+                cov_warm_over_cold: coverage(&w.outcome.archive, &c.outcome.archive),
+                cov_cold_over_warm: coverage(&c.outcome.archive, &w.outcome.archive),
+                warm_best: best_distance(w),
+                cold_best: best_distance(c),
+                warm_seeds: w.warm_seeds,
+            }
+        })
+        .collect();
+    let n = rows.len().max(1) as f64;
+    let mean_wc = rows.iter().map(|r| r.cov_warm_over_cold).sum::<f64>() / n;
+    let mean_cw = rows.iter().map(|r| r.cov_cold_over_warm).sum::<f64>() / n;
+    ScenarioRow {
+        class: class.label(),
+        script_seed,
+        epochs: rows,
+        mean_warm_over_cold: mean_wc,
+        mean_cold_over_warm: mean_cw,
+        warm_wins: mean_wc >= mean_cw,
+    }
+}
+
+fn scenario_json(s: &ScenarioRow) -> String {
+    let mut epochs = String::new();
+    for (i, r) in s.epochs.iter().enumerate() {
+        if i > 0 {
+            epochs.push_str(",\n");
+        }
+        epochs.push_str(&format!(
+            "        {{\"epoch\": {}, \"customers\": {}, \
+             \"coverage_warm_over_cold\": {:.4}, \"coverage_cold_over_warm\": {:.4}, \
+             \"warm_best_distance\": {:.2}, \"cold_best_distance\": {:.2}, \
+             \"warm_seeds\": {}}}",
+            r.epoch,
+            r.customers,
+            r.cov_warm_over_cold,
+            r.cov_cold_over_warm,
+            r.warm_best,
+            r.cold_best,
+            r.warm_seeds
+        ));
+    }
+    format!(
+        "    {{\n      \"class\": \"{}\",\n      \"script_seed\": {},\n      \
+         \"mean_coverage_warm_over_cold\": {:.4},\n      \
+         \"mean_coverage_cold_over_warm\": {:.4},\n      \
+         \"warm_wins\": {},\n      \"epochs\": [\n{}\n      ]\n    }}",
+        s.class, s.script_seed, s.mean_warm_over_cold, s.mean_cold_over_warm, s.warm_wins, epochs
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let epochs: usize = get("--epochs").map_or(4, |s| s.parse().expect("--epochs"));
+    let mutations: usize = get("--mutations").map_or(4, |s| s.parse().expect("--mutations"));
+    let evals: u64 = get("--evals").map_or(4_000, |s| s.parse().expect("--evals"));
+    let customers: usize = get("--customers").map_or(40, |s| s.parse().expect("--customers"));
+    let seed: u64 = get("--seed").map_or(11, |s| s.parse().expect("--seed"));
+    let assert_warm = args.iter().any(|a| a == "--assert-warm");
+
+    let cfg = TsmoConfig {
+        max_evaluations: evals,
+        neighborhood_size: 50,
+        seed,
+        ..TsmoConfig::default()
+    };
+    let classes = [InstanceClass::R1, InstanceClass::C2, InstanceClass::RC1];
+    let scenarios: Vec<ScenarioRow> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, &class)| {
+            let row = run_scenario(
+                class,
+                seed ^ (i as u64 + 1),
+                seed.wrapping_mul(31) ^ (i as u64),
+                customers,
+                epochs,
+                mutations,
+                &cfg,
+            );
+            eprintln!(
+                "dynbench: {} — C(warm,cold)={:.3} C(cold,warm)={:.3} → {}",
+                row.class,
+                row.mean_warm_over_cold,
+                row.mean_cold_over_warm,
+                if row.warm_wins {
+                    "warm wins"
+                } else {
+                    "cold wins"
+                }
+            );
+            for r in &row.epochs {
+                eprintln!(
+                    "  epoch {}: customers={} C(w,c)={:.3} C(c,w)={:.3} \
+                     best warm={:.1} cold={:.1} ({} seeds)",
+                    r.epoch,
+                    r.customers,
+                    r.cov_warm_over_cold,
+                    r.cov_cold_over_warm,
+                    r.warm_best,
+                    r.cold_best,
+                    r.warm_seeds
+                );
+            }
+            row
+        })
+        .collect();
+    let wins = scenarios.iter().filter(|s| s.warm_wins).count();
+    println!(
+        "dynbench: warm-start wins {wins}/{} scenarios at {evals} evals x {epochs} epochs",
+        scenarios.len()
+    );
+
+    if let Some(path) = get("--out") {
+        let body: Vec<String> = scenarios.iter().map(scenario_json).collect();
+        let json = format!(
+            "{{\n  \"benchmark\": \"tsmo-scenario dynbench\",\n  \"variant\": \"sequential\",\n  \
+             \"epochs\": {epochs},\n  \"mutations_per_epoch\": {mutations},\n  \
+             \"evals_per_epoch\": {evals},\n  \"customers\": {customers},\n  \"seed\": {seed},\n  \
+             \"warm_wins_scenarios\": {wins},\n  \"total_scenarios\": {},\n  \
+             \"scenarios\": [\n{}\n  ]\n}}\n",
+            scenarios.len(),
+            body.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+
+    if assert_warm && wins < 2 {
+        eprintln!("dynbench: FAIL — warm-start won only {wins}/3 scenarios");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -3,14 +3,18 @@
 //! ```text
 //! cargo run --release -p bench --bin loadgen -- [FILE]
 //!     [--addr HOST:PORT] [--clients N] [--jobs-per-client M]
+//!     [--instance-class C] [--customers N]
 //!     [--evals E] [--neighborhood H] [--workers W] [--queue Q]
 //!     [--deadline-every K] [--deadline-ms D] [--seed S]
 //!     [--cluster NODES] [--out BENCH_server.json]
 //! ```
 //!
-//! Without `--addr` an in-process daemon is started (`--workers`,
-//! `--queue` size it); with `--addr` an already-running `served` is
-//! driven instead. `N` client threads each submit `M` jobs over their
+//! Without `FILE` the workload instance is generated on the fly:
+//! `--instance-class` picks the extended-Solomon class (C1/C2/R1/R2/
+//! RC1/RC2, default R2) and `--customers` its size (default 15), so
+//! scaling studies need no instance files on disk. Without `--addr` an
+//! in-process daemon is started (`--workers`, `--queue` size it); with
+//! `--addr` an already-running `served` is driven instead. `N` client threads each submit `M` jobs over their
 //! own connection and block for the result; every `K`-th job carries a
 //! `--deadline-ms` deadline, exercising the truncation path under load.
 //! `QueueFull` rejections are retried with a short backoff and counted —
@@ -35,7 +39,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsmo_cluster::{NodeConfig, Noded};
 use tsmo_serve::{Client, JobSpec, Server, ServerConfig};
-use vrptw::generator::{GeneratorConfig, InstanceClass};
+use vrptw::generator::GeneratorConfig;
 
 struct JobRecord {
     latency_ms: f64,
@@ -141,6 +145,8 @@ fn summarize(phase: &Phase) -> Summary {
 fn entry_json(
     mode: &str,
     extra: &str,
+    instance_class: &str,
+    customers: usize,
     clients: usize,
     jobs_per_client: usize,
     workers: usize,
@@ -153,6 +159,7 @@ fn entry_json(
 ) -> String {
     format!(
         "{{\n  \"benchmark\": \"tsmo-serve loadgen\",\n  \"mode\": \"{mode}\",{extra}\n  \
+         \"instance_class\": \"{instance_class}\",\n  \"customers\": {customers},\n  \
          \"clients\": {clients},\n  \"jobs_per_client\": {jobs_per_client},\n  \
          \"total_jobs\": {},\n  \"workers\": {workers},\n  \"queue_capacity\": {queue},\n  \
          \"evals_per_job\": {evals},\n  \"deadline_every\": {deadline_every},\n  \
@@ -208,10 +215,23 @@ fn main() {
     let seed: u64 = get("--seed").map_or(0, |s| s.parse().expect("--seed"));
     let cluster: Option<usize> = get("--cluster").map(|s| s.parse().expect("--cluster"));
 
+    let class_s = get("--instance-class").unwrap_or_else(|| "R2".to_string());
+    let class = tsmo_scenario::parse_class(&class_s).unwrap_or_else(|| {
+        panic!("unknown --instance-class {class_s:?} (use C1/C2/R1/R2/RC1/RC2)")
+    });
+    let customers: usize = get("--customers").map_or(15, |s| s.parse().expect("--customers"));
     let instance_text = match &file {
         Some(path) => std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read instance {path:?}: {e}")),
-        None => vrptw::solomon::write(&GeneratorConfig::new(InstanceClass::R2, 15, seed).build()),
+        None => vrptw::solomon::write(&GeneratorConfig::new(class, customers, seed).build()),
+    };
+    // Report the size actually driven, whether generated or from a file.
+    let (instance_class, customers) = match &file {
+        None => (class.label().to_string(), customers),
+        Some(_) => {
+            let parsed = vrptw::solomon::parse(&instance_text).expect("parse instance file");
+            ("file".to_string(), parsed.n_customers())
+        }
     };
 
     // Phase 1 — single-process daemon: either drive a remote one or host
@@ -305,6 +325,8 @@ fn main() {
         let single_entry = entry_json(
             "single",
             "",
+            &instance_class,
+            customers,
             clients,
             jobs_per_client,
             workers,
@@ -322,6 +344,8 @@ fn main() {
                 let cluster_entry = entry_json(
                     "cluster",
                     &extra,
+                    &instance_class,
+                    customers,
                     clients,
                     jobs_per_client,
                     1,

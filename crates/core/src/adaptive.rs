@@ -27,7 +27,7 @@ use crate::config::TsmoConfig;
 use crate::neighborhood::generate_chunk;
 use crate::outcome::{FrontEntry, TsmoOutcome};
 use crate::tabu::TabuList;
-use deme::{EvaluationBudget, MasterWorker, RunClock};
+use deme::{EvaluationBudget, MasterWorker, PoolError, RunClock};
 use detrand::{RandomSource, Rng, Xoshiro256StarStar};
 use pareto::Archive;
 use std::sync::Arc;
@@ -113,7 +113,12 @@ impl AdaptiveMemory {
 
 /// Inserts `customer` at the cheapest capacity-feasible position (heavily
 /// penalizing added tardiness), opening a new route when the fleet allows.
-fn insert_cheapest(inst: &Instance, routes: &mut Vec<Vec<SiteId>>, customer: SiteId) {
+///
+/// Exported because it is also the repair primitive of the dynamic
+/// re-optimization path (`tsmo-scenario`): elites of the previous epoch
+/// are patched against a mutated instance by removing affected customers
+/// and re-inserting them here.
+pub fn insert_cheapest(inst: &Instance, routes: &mut Vec<Vec<SiteId>>, customer: SiteId) {
     let demand = inst.site(customer).demand;
     let mut best: Option<(usize, usize, f64)> = None;
     for (ri, route) in routes.iter().enumerate() {
@@ -157,8 +162,9 @@ fn insert_cheapest(inst: &Instance, routes: &mut Vec<Vec<SiteId>>, customer: Sit
     }
 }
 
-/// Scalarization used for route quality tags and the inner tabu search.
-fn scalar(o: Objectives) -> f64 {
+/// Scalarization used for route quality tags and the inner tabu search
+/// (also the elite-ranking key of the dynamic warm-start pool).
+pub fn scalarize(o: Objectives) -> f64 {
     o.distance + 100.0 * o.vehicles as f64 + 10.0 * o.tardiness
 }
 
@@ -179,7 +185,7 @@ fn improve(
     let mut current = EvaluatedSolution::new(start, inst);
     let mut best = current.solution().clone();
     let mut best_obj = current.objectives();
-    let mut best_value = scalar(best_obj);
+    let mut best_value = scalarize(best_obj);
     let mut tabu = TabuList::new(cfg.tabu_tenure);
     let mut spent = 0usize;
     let nbhd = cfg.neighborhood_size.min(evals.max(1));
@@ -191,7 +197,7 @@ fn improve(
         let mut chosen: Option<usize> = None;
         let mut chosen_value = f64::INFINITY;
         for (i, nb) in pool.iter().enumerate() {
-            let value = scalar(nb.objectives);
+            let value = scalarize(nb.objectives);
             let admissible = !tabu.is_tabu(&nb.arcs_created) || value < best_value;
             if admissible && value < chosen_value {
                 chosen = Some(i);
@@ -245,7 +251,13 @@ impl AdaptiveMemoryTs {
 
     /// Runs to budget exhaustion; returns the Pareto archive of every
     /// improved solution seen by the master.
-    pub fn run(&self, inst: &Arc<Instance>) -> TsmoOutcome {
+    ///
+    /// # Errors
+    /// Propagates the worker pool's failure — a panicked improvement task
+    /// ([`PoolError::WorkerPanicked`]) or a fully retired pool
+    /// ([`PoolError::Disconnected`]) — instead of aborting the process,
+    /// matching the error style of [`deme::MasterWorker`].
+    pub fn run(&self, inst: &Arc<Instance>) -> Result<TsmoOutcome, PoolError> {
         let clock = RunClock::start();
         let cfg = &self.cfg;
         let budget = EvaluationBudget::new(cfg.max_evaluations);
@@ -264,7 +276,7 @@ impl AdaptiveMemoryTs {
             let s = randomized_i1(inst, &mut rng);
             let o = s.evaluate(inst);
             archive.insert(FrontEntry::new(s.clone(), o));
-            memory.absorb(&s, scalar(o));
+            memory.absorb(&s, scalarize(o));
         }
 
         let worker_cfg = cfg.clone();
@@ -282,7 +294,7 @@ impl AdaptiveMemoryTs {
                       s: Solution,
                       o: Objectives| {
             archive.insert(FrontEntry::new(s.clone(), o));
-            memory.absorb(&s, scalar(o));
+            memory.absorb(&s, scalarize(o));
         };
 
         loop {
@@ -296,7 +308,7 @@ impl AdaptiveMemoryTs {
                             absorb(&mut memory, &mut archive, s, o);
                         }
                         Ok(None) => break,
-                        Err(e) => panic!("adaptive-memory worker pool failed: {e}"),
+                        Err(e) => return Err(e),
                     }
                 }
             }
@@ -336,9 +348,7 @@ impl AdaptiveMemoryTs {
         // Drain stragglers so their work is not wasted.
         if let Some(p) = &pool {
             while outstanding > 0 {
-                let (_, (s, o)) = p
-                    .recv()
-                    .unwrap_or_else(|e| panic!("adaptive-memory worker pool failed: {e}"));
+                let (_, (s, o)) = p.recv()?;
                 outstanding -= 1;
                 iterations += 1;
                 absorb(&mut memory, &mut archive, s, o);
@@ -347,13 +357,13 @@ impl AdaptiveMemoryTs {
         if let Some(p) = pool {
             p.shutdown();
         }
-        TsmoOutcome {
+        Ok(TsmoOutcome {
             archive: archive.into_items(),
             evaluations: budget.consumed(),
             iterations,
             runtime_seconds: clock.seconds(),
             trace: None,
-        }
+        })
     }
 }
 
@@ -394,7 +404,7 @@ mod tests {
         let mut mem = AdaptiveMemory::new(60);
         for _ in 0..4 {
             let s = randomized_i1(&inst, &mut rng);
-            let v = scalar(s.evaluate(&inst));
+            let v = scalarize(s.evaluate(&inst));
             mem.absorb(&s, v);
         }
         for _ in 0..20 {
@@ -408,7 +418,7 @@ mod tests {
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 40, 7).build());
         let mut ts = AdaptiveMemoryTs::new(cfg(6_000), 3);
         ts.task_evaluations = 500;
-        let out = ts.run(&inst);
+        let out = ts.run(&inst).expect("worker pool");
         assert_eq!(out.evaluations, 6_000);
         assert!(out.iterations > 0);
         assert!(!out.archive.is_empty());
@@ -423,7 +433,7 @@ mod tests {
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::C2, 25, 2).build());
         let mut ts = AdaptiveMemoryTs::new(cfg(2_000), 1);
         ts.task_evaluations = 400;
-        let out = ts.run(&inst);
+        let out = ts.run(&inst).expect("worker pool");
         assert_eq!(out.evaluations, 2_000);
         assert!(!out.archive.is_empty());
     }
@@ -433,14 +443,14 @@ mod tests {
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 50, 11).build());
         // Reference: quality of a single I1 construction.
         let mut rng = Xoshiro256StarStar::seed_from_u64(cfg(0).seed ^ 0xADA7);
-        let seed_quality = scalar(randomized_i1(&inst, &mut rng).evaluate(&inst));
+        let seed_quality = scalarize(randomized_i1(&inst, &mut rng).evaluate(&inst));
         let mut ts = AdaptiveMemoryTs::new(cfg(10_000), 3);
         ts.task_evaluations = 1_000;
-        let out = ts.run(&inst);
+        let out = ts.run(&inst).expect("worker pool");
         let best = out
             .archive
             .iter()
-            .map(|e| scalar(e.objectives))
+            .map(|e| scalarize(e.objectives))
             .fold(f64::INFINITY, f64::min);
         assert!(
             best < seed_quality,

@@ -93,6 +93,15 @@ pub struct TsmoConfig {
     /// schedule — and therefore the `SimAsyncTsmo`/`SimCollaborativeTsmo`
     /// trajectories and telemetry event streams — fully deterministic.
     pub sim_eval_cost: Option<f64>,
+    /// Warm-start pool: solutions a run starts from instead of a fresh I1
+    /// construction. Every entry must be a *complete, valid* solution of
+    /// the instance being solved (the dynamic re-optimization path repairs
+    /// elites against the mutated instance before putting them here). The
+    /// searcher picks `warm_start[searcher_id % len]` as its current
+    /// solution — deterministic, and collaborative searchers spread over
+    /// the pool — and seeds `M_archive` / `M_nondom` with every entry.
+    /// Empty (the default) leaves the cold-start path byte-identical.
+    pub warm_start: Vec<vrptw::Solution>,
 }
 
 impl Default for TsmoConfig {
@@ -117,6 +126,7 @@ impl Default for TsmoConfig {
             async_max_wait_ms: 20,
             sim_comm_latency: 0.001,
             sim_eval_cost: None,
+            warm_start: Vec::new(),
         }
     }
 }

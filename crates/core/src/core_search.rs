@@ -86,15 +86,36 @@ impl SearchCore {
                 trace_id,
                 root_span.as_ref().map_or(0, Span::id),
             );
-            let start = randomized_i1(&inst, &mut rng);
+            // Warm start: take the searcher's slice of the pool instead of
+            // constructing from scratch (no RNG draw — the cold path below
+            // stays byte-identical when the pool is empty).
+            let start = if cfg.warm_start.is_empty() {
+                randomized_i1(&inst, &mut rng)
+            } else {
+                let pick = cfg.warm_start[searcher_id as usize % cfg.warm_start.len()].clone();
+                debug_assert!(
+                    pick.check(&inst).is_empty(),
+                    "warm-start solution invalid for instance: {:?}",
+                    pick.check(&inst)
+                );
+                pick
+            };
             EvaluatedSolution::new(start, &inst)
         };
         let mut archive = Archive::new(cfg.archive_capacity);
-        let nondom = Archive::new(cfg.nondom_capacity);
+        let mut nondom = Archive::new(cfg.nondom_capacity);
         archive.insert(FrontEntry::new(
             current.solution().clone(),
             current.objectives(),
         ));
+        // Every pool member seeds both memories: the archive so prior-epoch
+        // elites survive even if the trajectory never revisits them, and
+        // `M_nondom` so restarts can jump back into the pool.
+        for s in &cfg.warm_start {
+            let o = s.evaluate(&inst);
+            archive.insert(FrontEntry::new(s.clone(), o));
+            nondom.insert(FrontEntry::new(s.clone(), o));
+        }
         let trace = cfg.trace.then(|| Trace::bounded(cfg.trace_capacity));
         let timeline_ref = [
             current.objectives().distance * 1.1 + 1.0,

@@ -71,7 +71,7 @@ mod sync;
 mod tabu;
 mod trace;
 
-pub use adaptive::{AdaptiveMemory, AdaptiveMemoryTs};
+pub use adaptive::{insert_cheapest, scalarize, AdaptiveMemory, AdaptiveMemoryTs};
 pub use asynchronous::AsyncTsmo;
 pub use cancel::{CancelToken, StopCause};
 pub use collaborative::CollaborativeTsmo;

@@ -1,0 +1,90 @@
+//! Extended-Solomon instance generator CLI.
+//!
+//! ```text
+//! scengen --class R1 --customers 200 --seed 7 --out r1-200.txt
+//! scengen --class C2 --customers 100 --check-solve 500
+//! ```
+//!
+//! Without `--out` the instance text goes to stdout. `--check-solve N`
+//! additionally parses the emitted text back, runs a sequential search
+//! for `N` evaluations, and exits non-zero unless the result is a valid,
+//! mutually non-dominated front — the end-to-end smoke CI runs.
+
+use pareto::non_dominated_indices;
+use std::process::ExitCode;
+use std::sync::Arc;
+use tsmo_core::{ParallelVariant, TsmoConfig};
+use tsmo_scenario::{parse_class, Generator};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let class_s = get("--class").unwrap_or_else(|| "R1".to_string());
+    let Some(class) = parse_class(&class_s) else {
+        eprintln!("scengen: unknown class {class_s:?} (use C1/C2/R1/R2/RC1/RC2)");
+        return ExitCode::FAILURE;
+    };
+    let customers: usize = get("--customers").map_or(100, |s| s.parse().expect("--customers"));
+    let seed: u64 = get("--seed").map_or(0, |s| s.parse().expect("--seed"));
+    let check_solve: Option<u64> = get("--check-solve").map(|s| s.parse().expect("--check-solve"));
+
+    let text = Generator::new(seed, class, customers).text();
+    match get("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("scengen: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "scengen: wrote {} ({} customers, class {}) to {path}",
+                format_args!("{}_{}_s{}", class.label(), customers, seed),
+                customers,
+                class.label()
+            );
+        }
+        None => print!("{text}"),
+    }
+
+    let Some(evals) = check_solve else {
+        return ExitCode::SUCCESS;
+    };
+    // Round-trip through the parser exactly like the server would.
+    let inst = match vrptw::solomon::parse(&text) {
+        Ok(i) => Arc::new(i),
+        Err(e) => {
+            eprintln!("scengen: emitted text does not parse back: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = TsmoConfig {
+        max_evaluations: evals,
+        seed,
+        ..TsmoConfig::default()
+    };
+    let out = ParallelVariant::Sequential.run(&inst, &cfg);
+    if out.archive.is_empty() {
+        eprintln!("scengen: check-solve produced an empty archive");
+        return ExitCode::FAILURE;
+    }
+    for e in &out.archive {
+        let problems = e.solution.check(&inst);
+        if !problems.is_empty() {
+            eprintln!("scengen: invalid front solution: {}", problems[0]);
+            return ExitCode::FAILURE;
+        }
+    }
+    if non_dominated_indices(&out.archive).len() != out.archive.len() {
+        eprintln!("scengen: front is not mutually non-dominated");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "scengen: check-solve ok — {} evaluations, front size {}",
+        out.evaluations,
+        out.archive.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,33 @@
+//! Scenario layer: extended-Solomon instance generation, dynamic
+//! re-optimization workloads, and adaptive-memory warm-starts.
+//!
+//! The paper's §IV evaluates on the extended Solomon benchmark; its §V
+//! future work and the adaptive-memory references of §I (\[8\], \[9\]) point
+//! at *changing* workloads. This crate packages both directions on top of
+//! the existing substrate:
+//!
+//! * [`Generator`] — a thin, text-emitting wrapper around
+//!   [`vrptw::generator`]: `(seed, class, n)` deterministically yields an
+//!   instance **and** its Solomon-format serialization, so the parser,
+//!   the server's `InstanceCache`, and the mesh wire format work on
+//!   generated instances unchanged (`scengen` is the CLI front end);
+//! * [`Mutation`] / [`ScenarioScript`] — typed instance mutations
+//!   (customer arrival, time-window shift, demand change, vehicle
+//!   dropout) and seeded, batched scripts of them, turning one instance
+//!   into a deterministic sequence of re-optimization *epochs*;
+//! * [`repair()`] / [`dynamic`] — elite repair against a mutated instance
+//!   and the epoch driver that warm-starts each epoch from the previous
+//!   epoch's front through a [`tsmo_core::AdaptiveMemory`] route pool,
+//!   instead of constructing from scratch.
+
+pub mod dynamic;
+pub mod generator;
+pub mod mutation;
+pub mod repair;
+pub mod script;
+
+pub use dynamic::{run_dynamic, DynamicConfig, EpochOutcome};
+pub use generator::{parse_class, Generator};
+pub use mutation::{Mutation, MutationError};
+pub use repair::repair;
+pub use script::{MutationBatch, ScenarioScript};

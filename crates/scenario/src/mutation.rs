@@ -1,0 +1,250 @@
+//! Typed instance mutations for dynamic re-optimization.
+//!
+//! Each [`Mutation`] is a pure `apply(&Instance) -> Instance` step: the
+//! instance is immutable everywhere else in the workspace (shared via
+//! `Arc` across searchers and the server cache), so a mutation builds a
+//! *new* instance and the epoch driver re-keys caches by its content
+//! hash. Customers are only ever **added** — site ids stay stable across
+//! an entire scenario, which is what makes repairing a previous epoch's
+//! solutions ([`crate::repair()`]) a local operation.
+
+use vrptw::{Customer, Instance, SiteId};
+
+/// One atomic change to a live instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// A new customer calls in; it gets the next free site id.
+    CustomerArrival {
+        /// Location and order data of the arriving customer.
+        customer: Customer,
+    },
+    /// A customer's service window moves by `delta` (both ends, clamped
+    /// to `[0, horizon]` keeping `ready <= due`).
+    TimeWindowShift {
+        /// The affected customer.
+        customer: SiteId,
+        /// Shift in time units; negative moves the window earlier.
+        delta: f64,
+    },
+    /// A customer's demand changes by `delta` (clamped to
+    /// `[1, capacity]`); the fleet grows if total demand requires it.
+    DemandChange {
+        /// The affected customer.
+        customer: SiteId,
+        /// Demand delta; negative shrinks the order.
+        delta: f64,
+    },
+    /// `count` vehicles break down and leave the fleet.
+    VehicleDropout {
+        /// Vehicles removed from the fleet limit.
+        count: usize,
+    },
+}
+
+/// Why a mutation cannot be applied to an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// The referenced site id is not a customer of the instance.
+    UnknownCustomer(SiteId),
+    /// A vehicle dropout would leave the fleet unable to carry the total
+    /// demand (or empty).
+    NoVehiclesLeft,
+    /// The mutated instance failed [`Instance::validate`].
+    InvalidResult(String),
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::UnknownCustomer(c) => write!(f, "unknown customer {c}"),
+            MutationError::NoVehiclesLeft => {
+                write!(f, "dropout would leave too few vehicles for the demand")
+            }
+            MutationError::InvalidResult(p) => write!(f, "mutated instance invalid: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+impl Mutation {
+    /// Stable lower-case kind name (CLI output, epoch reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Mutation::CustomerArrival { .. } => "customer_arrival",
+            Mutation::TimeWindowShift { .. } => "time_window_shift",
+            Mutation::DemandChange { .. } => "demand_change",
+            Mutation::VehicleDropout { .. } => "vehicle_dropout",
+        }
+    }
+
+    /// Applies the mutation, returning the mutated instance.
+    ///
+    /// # Errors
+    /// [`MutationError`] when the mutation references a customer the
+    /// instance does not have, would strand demand without a fleet, or
+    /// would produce an instance that fails [`Instance::validate`].
+    pub fn apply(&self, inst: &Instance) -> Result<Instance, MutationError> {
+        let mut sites: Vec<Customer> = (0..inst.n_sites())
+            .map(|i| *inst.site(i as SiteId))
+            .collect();
+        let capacity = inst.capacity();
+        let mut max_vehicles = inst.max_vehicles();
+        let horizon = inst.horizon();
+
+        match *self {
+            Mutation::CustomerArrival { customer } => {
+                if sites.len() >= SiteId::MAX as usize {
+                    return Err(MutationError::InvalidResult("site id space full".into()));
+                }
+                let mut c = customer;
+                c.demand = c.demand.clamp(1.0, capacity);
+                c.service = c.service.max(0.0);
+                c.ready = c.ready.clamp(0.0, horizon);
+                c.due = c.due.clamp(c.ready, horizon);
+                sites.push(c);
+            }
+            Mutation::TimeWindowShift { customer, delta } => {
+                let c = site_mut(&mut sites, customer)?;
+                let width = c.due - c.ready;
+                c.ready = (c.ready + delta).clamp(0.0, horizon);
+                c.due = (c.ready + width).min(horizon).max(c.ready);
+            }
+            Mutation::DemandChange { customer, delta } => {
+                let c = site_mut(&mut sites, customer)?;
+                c.demand = (c.demand + delta).clamp(1.0, capacity);
+            }
+            Mutation::VehicleDropout { count } => {
+                let total: f64 = sites[1..].iter().map(|c| c.demand).sum();
+                let floor = ((total / capacity).ceil() as usize).max(1);
+                if max_vehicles <= floor {
+                    return Err(MutationError::NoVehiclesLeft);
+                }
+                max_vehicles = max_vehicles.saturating_sub(count.max(1)).max(floor);
+            }
+        }
+
+        // Arrivals and demand growth may push total demand past the fleet;
+        // grow the fleet like the generator does rather than reject.
+        let total: f64 = sites[1..].iter().map(|c| c.demand).sum();
+        let demand_min = ((total / capacity).ceil() as usize).max(1);
+        max_vehicles = max_vehicles.max(demand_min);
+
+        let out = Instance::new(inst.name.clone(), sites, capacity, max_vehicles);
+        if let Some(p) = out.validate().first() {
+            return Err(MutationError::InvalidResult(p.clone()));
+        }
+        Ok(out)
+    }
+}
+
+fn site_mut(sites: &mut [Customer], id: SiteId) -> Result<&mut Customer, MutationError> {
+    if id == 0 || (id as usize) >= sites.len() {
+        return Err(MutationError::UnknownCustomer(id));
+    }
+    Ok(&mut sites[id as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    fn base() -> Instance {
+        GeneratorConfig::new(InstanceClass::R1, 30, 5).build()
+    }
+
+    #[test]
+    fn arrival_appends_a_valid_customer() {
+        let inst = base();
+        let m = Mutation::CustomerArrival {
+            customer: Customer {
+                x: 10.0,
+                y: 20.0,
+                demand: 400.0, // clamped to capacity
+                ready: -5.0,   // clamped to 0
+                due: 1e9,      // clamped to horizon
+                service: 10.0,
+            },
+        };
+        let out = m.apply(&inst).unwrap();
+        assert_eq!(out.n_customers(), inst.n_customers() + 1);
+        let c = out.site(out.n_customers() as SiteId);
+        assert_eq!(c.demand, inst.capacity());
+        assert_eq!(c.ready, 0.0);
+        assert_eq!(c.due, out.horizon());
+        assert!(out.validate().is_empty());
+        // The original is untouched.
+        assert_eq!(inst.n_customers(), 30);
+    }
+
+    #[test]
+    fn window_shift_preserves_width_when_inside_horizon() {
+        let inst = base();
+        let before = *inst.site(3);
+        let m = Mutation::TimeWindowShift {
+            customer: 3,
+            delta: 5.0,
+        };
+        let out = m.apply(&inst).unwrap();
+        let after = out.site(3);
+        assert!((after.ready - (before.ready + 5.0)).abs() < 1e-9);
+        assert!(after.due - after.ready <= before.due - before.ready + 1e-9);
+        assert!(after.ready <= after.due);
+    }
+
+    #[test]
+    fn demand_change_clamps_to_instance_bounds() {
+        let inst = base();
+        let up = Mutation::DemandChange {
+            customer: 1,
+            delta: 1e6,
+        };
+        assert_eq!(up.apply(&inst).unwrap().site(1).demand, inst.capacity());
+        let down = Mutation::DemandChange {
+            customer: 1,
+            delta: -1e6,
+        };
+        assert_eq!(down.apply(&inst).unwrap().site(1).demand, 1.0);
+    }
+
+    #[test]
+    fn dropout_respects_the_demand_floor() {
+        let inst = base();
+        let m = Mutation::VehicleDropout { count: 1 };
+        let out = m.apply(&inst).unwrap();
+        assert_eq!(out.max_vehicles(), inst.max_vehicles() - 1);
+        assert!(out.validate().is_empty());
+        // Dropping the whole fleet is refused once the floor is reached.
+        let mut cur = inst;
+        let mut dropped = 0;
+        while let Ok(next) = m.apply(&cur) {
+            cur = next;
+            dropped += 1;
+            assert!(dropped < 1000, "dropout never bottomed out");
+        }
+        assert!(cur.total_demand() <= cur.capacity() * cur.max_vehicles() as f64);
+        assert!(matches!(m.apply(&cur), Err(MutationError::NoVehiclesLeft)));
+    }
+
+    #[test]
+    fn unknown_customers_are_rejected() {
+        let inst = base();
+        let m = Mutation::DemandChange {
+            customer: 999,
+            delta: 1.0,
+        };
+        assert!(matches!(
+            m.apply(&inst),
+            Err(MutationError::UnknownCustomer(999))
+        ));
+        let m = Mutation::TimeWindowShift {
+            customer: 0,
+            delta: 1.0,
+        };
+        assert!(matches!(
+            m.apply(&inst),
+            Err(MutationError::UnknownCustomer(0))
+        ));
+    }
+}

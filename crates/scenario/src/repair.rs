@@ -1,0 +1,185 @@
+//! Elite repair against a mutated instance.
+//!
+//! A solution from the previous epoch is almost-valid for the next one:
+//! customer ids are stable (mutations only ever append customers), so
+//! repairing means (1) shedding routes past a shrunken fleet,
+//! (2) shedding load past capacity after demand growth, and
+//! (3) inserting every uncovered customer — newly arrived or shed — at
+//! its cheapest position via [`tsmo_core::insert_cheapest`], the same
+//! primitive the adaptive-memory search uses. The result is a complete,
+//! capacity-feasible member of the new search space (time windows remain
+//! soft, as everywhere in the suite).
+
+use tsmo_core::insert_cheapest;
+use vrptw::{evaluate_route, Instance, SiteId, Solution};
+
+/// Repairs `solution` into a valid solution of `inst`.
+///
+/// Returns `None` when no capacity-feasible completion was found (the
+/// caller then falls back to cold construction for this elite) — in
+/// practice only possible on adversarial fleet/demand combinations.
+pub fn repair(solution: &Solution, inst: &Instance) -> Option<Solution> {
+    let mut seen = vec![false; inst.n_sites()];
+    let mut pool: Vec<SiteId> = Vec::new();
+    let mut routes: Vec<Vec<SiteId>> = Vec::new();
+    for route in solution.routes() {
+        let kept: Vec<SiteId> = route
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let valid = c != 0 && (c as usize) < inst.n_sites() && !seen[c as usize];
+                if valid {
+                    seen[c as usize] = true;
+                }
+                valid
+            })
+            .collect();
+        if !kept.is_empty() {
+            routes.push(kept);
+        }
+    }
+
+    // Fleet shrank: disband the smallest routes.
+    while routes.len() > inst.max_vehicles() {
+        let smallest = routes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.len())
+            .map(|(i, _)| i)
+            .expect("routes is non-empty");
+        pool.extend(routes.swap_remove(smallest));
+    }
+
+    // Demand grew: shed the heaviest customers until feasible.
+    for route in &mut routes {
+        while evaluate_route(inst, route).load > inst.capacity() && route.len() > 1 {
+            let heavy = route
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    let (da, db) = (inst.site(a).demand, inst.site(b).demand);
+                    da.partial_cmp(&db).expect("demands are not NaN")
+                })
+                .map(|(i, _)| i)
+                .expect("route is non-empty");
+            pool.push(route.remove(heavy));
+        }
+    }
+    routes.retain(|r| !r.is_empty());
+
+    // Cover everything else: shed customers and new arrivals.
+    for c in inst.customers() {
+        if !seen[c as usize] {
+            pool.push(c);
+        }
+    }
+    pool.sort_unstable();
+    pool.dedup();
+    for c in pool {
+        insert_cheapest(inst, &mut routes, c);
+    }
+
+    // `insert_cheapest` falls back to overloading the least-loaded route
+    // when the fleet is exhausted; relocate such overloads, or give up.
+    for _ in 0..inst.n_customers() {
+        let overloaded = routes
+            .iter()
+            .position(|r| evaluate_route(inst, r).load > inst.capacity());
+        let Some(ri) = overloaded else {
+            let out = Solution::from_routes(routes);
+            debug_assert!(out.check(inst).is_empty(), "{:?}", out.check(inst));
+            return Some(out);
+        };
+        let heavy = routes[ri]
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                let (da, db) = (inst.site(a).demand, inst.site(b).demand);
+                da.partial_cmp(&db).expect("demands are not NaN")
+            })
+            .map(|(i, _)| i)
+            .expect("overloaded route is non-empty");
+        let c = routes[ri].remove(heavy);
+        let demand = inst.site(c).demand;
+        let target = routes.iter().position(|r| {
+            !r.is_empty() && evaluate_route(inst, r).load + demand <= inst.capacity()
+        });
+        match target {
+            Some(ti) => routes[ti].push(c),
+            None if routes.len() < inst.max_vehicles() => routes.push(vec![c]),
+            None => return None,
+        }
+        routes.retain(|r| !r.is_empty());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::Mutation;
+    use crate::script::ScenarioScript;
+    use detrand::Xoshiro256StarStar;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+    use vrptw::Customer;
+    use vrptw_construct::randomized_i1;
+
+    fn capacity_feasible(s: &Solution, inst: &Instance) -> bool {
+        s.routes()
+            .iter()
+            .all(|r| evaluate_route(inst, r).load <= inst.capacity() + 1e-9)
+    }
+
+    #[test]
+    fn repairs_across_every_scripted_epoch() {
+        let base = GeneratorConfig::new(InstanceClass::RC1, 50, 3).build();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let script = ScenarioScript::generate(&base, 21, 5, 6);
+        let seq = script.instances(&base);
+        let mut elite = randomized_i1(&seq[0], &mut rng);
+        for inst in &seq[1..] {
+            elite = repair(&elite, inst).expect("repair must succeed on scripted epochs");
+            assert!(elite.check(inst).is_empty());
+            assert!(capacity_feasible(&elite, inst));
+        }
+    }
+
+    #[test]
+    fn covers_new_arrivals() {
+        let base = GeneratorConfig::new(InstanceClass::R2, 30, 7).build();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let elite = randomized_i1(&base, &mut rng);
+        let mutated = Mutation::CustomerArrival {
+            customer: Customer {
+                x: 55.0,
+                y: 45.0,
+                demand: 9.0,
+                ready: 0.0,
+                due: base.horizon(),
+                service: 10.0,
+            },
+        }
+        .apply(&base)
+        .unwrap();
+        let repaired = repair(&elite, &mutated).unwrap();
+        assert!(repaired.check(&mutated).is_empty());
+        let new_id = mutated.n_customers() as SiteId;
+        assert!(repaired.routes().iter().any(|r| r.contains(&new_id)));
+    }
+
+    #[test]
+    fn sheds_routes_after_fleet_shrink() {
+        let base = GeneratorConfig::new(InstanceClass::R1, 40, 11).build();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let elite = randomized_i1(&base, &mut rng);
+        let mut inst = base.clone();
+        // Drop vehicles until just above the demand floor.
+        while let Ok(next) = (Mutation::VehicleDropout { count: 1 }).apply(&inst) {
+            inst = next;
+        }
+        let repaired = repair(&elite, &inst).expect("demand floor keeps repair possible");
+        assert!(repaired.n_deployed() <= inst.max_vehicles());
+        assert!(repaired.check(&inst).is_empty());
+        assert!(capacity_feasible(&repaired, &inst));
+    }
+}

@@ -1,0 +1,204 @@
+//! Seeded scripts of timed mutation batches.
+//!
+//! A [`ScenarioScript`] turns one base instance into a deterministic
+//! sequence of re-optimization epochs: epoch 0 solves the base instance,
+//! and each following epoch first applies one [`MutationBatch`] and then
+//! re-solves. Scripts are generated from a seed *against the evolving
+//! instance* (a drawn mutation that does not apply — e.g. a dropout below
+//! the demand floor — is redrawn), so `(base, seed, epochs, per_epoch)`
+//! fully determines the whole workload. The server exploits this: a
+//! dynamic job ships only the scalar parameters and regenerates the
+//! script on the other side.
+
+use crate::mutation::Mutation;
+use detrand::{Rng, Xoshiro256StarStar};
+use vrptw::{Customer, Instance, SiteId};
+
+/// The mutations applied before one re-optimization epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationBatch {
+    /// The epoch this batch precedes (1-based; epoch 0 is the base).
+    pub epoch: usize,
+    /// Mutations applied in order.
+    pub mutations: Vec<Mutation>,
+}
+
+/// A deterministic dynamic workload: mutation batches between epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioScript {
+    /// Seed the script was generated from.
+    pub seed: u64,
+    /// One batch per re-optimization epoch after the first.
+    pub batches: Vec<MutationBatch>,
+}
+
+impl ScenarioScript {
+    /// Generates a script of `epochs` total epochs (so `epochs - 1`
+    /// mutation batches) with `per_epoch` mutations each, drawn against
+    /// the evolving instance starting from `base`.
+    ///
+    /// # Panics
+    /// Panics if `epochs == 0`.
+    pub fn generate(base: &Instance, seed: u64, epochs: usize, per_epoch: usize) -> Self {
+        assert!(epochs > 0, "a scenario needs at least one epoch");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0x5CE9A210);
+        let mut current = base.clone();
+        let mut batches = Vec::with_capacity(epochs - 1);
+        for epoch in 1..epochs {
+            let mut mutations = Vec::with_capacity(per_epoch);
+            for _ in 0..per_epoch {
+                // Redraw until a mutation applies (bounded; a draw can
+                // only fail on dropouts at the demand floor).
+                for _attempt in 0..64 {
+                    let m = draw(&mut rng, &current);
+                    if let Ok(next) = m.apply(&current) {
+                        current = next;
+                        mutations.push(m);
+                        break;
+                    }
+                }
+            }
+            batches.push(MutationBatch { epoch, mutations });
+        }
+        Self { seed, batches }
+    }
+
+    /// Total number of re-optimization epochs (batches + the base epoch).
+    pub fn epochs(&self) -> usize {
+        self.batches.len() + 1
+    }
+
+    /// Materializes the per-epoch instances: index 0 is `base`, index `k`
+    /// is `base` with the first `k` batches applied.
+    ///
+    /// # Panics
+    /// Panics if a batch does not apply to the instance it was generated
+    /// against — impossible for scripts from [`ScenarioScript::generate`]
+    /// replayed on the same base instance.
+    pub fn instances(&self, base: &Instance) -> Vec<Instance> {
+        let mut out = Vec::with_capacity(self.epochs());
+        out.push(base.clone());
+        for batch in &self.batches {
+            let mut cur = out.last().unwrap().clone();
+            for m in &batch.mutations {
+                cur = m.apply(&cur).expect("script batch must apply to its base");
+            }
+            out.push(cur);
+        }
+        out
+    }
+}
+
+/// Draws one mutation against `inst`: 30% arrivals, 30% window shifts,
+/// 25% demand changes, 15% vehicle dropouts.
+fn draw(rng: &mut Xoshiro256StarStar, inst: &Instance) -> Mutation {
+    let kind = rng
+        .choose_weighted(&[0.30, 0.30, 0.25, 0.15])
+        .expect("weights are positive");
+    match kind {
+        0 => Mutation::CustomerArrival {
+            customer: draw_customer(rng, inst),
+        },
+        1 => {
+            let sign = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+            Mutation::TimeWindowShift {
+                customer: draw_site(rng, inst),
+                delta: sign * inst.horizon() * rng.range_f64(0.02, 0.10),
+            }
+        }
+        2 => {
+            let sign = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+            Mutation::DemandChange {
+                customer: draw_site(rng, inst),
+                delta: sign * rng.range_u64(1, 21) as f64,
+            }
+        }
+        _ => Mutation::VehicleDropout { count: 1 },
+    }
+}
+
+fn draw_site(rng: &mut Xoshiro256StarStar, inst: &Instance) -> SiteId {
+    rng.range_u64(1, inst.n_sites() as u64) as SiteId
+}
+
+/// A new customer inside the bounding box of the existing sites, with a
+/// Solomon-range demand and a mid-horizon window.
+fn draw_customer(rng: &mut Xoshiro256StarStar, inst: &Instance) -> Customer {
+    let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for i in 0..inst.n_sites() {
+        let c = inst.site(i as SiteId);
+        lo_x = lo_x.min(c.x);
+        hi_x = hi_x.max(c.x);
+        lo_y = lo_y.min(c.y);
+        hi_y = hi_y.max(c.y);
+    }
+    let horizon = inst.horizon();
+    let ready = rng.range_f64(0.0, horizon * 0.7);
+    let width = horizon * rng.range_f64(0.05, 0.25);
+    let service = inst.site(draw_site(rng, inst)).service;
+    Customer {
+        x: rng.range_f64(lo_x, hi_x.max(lo_x + 1.0)),
+        y: rng.range_f64(lo_y, hi_y.max(lo_y + 1.0)),
+        demand: rng.range_u64(1, 51) as f64,
+        ready,
+        due: (ready + width).min(horizon),
+        service,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrptw::generator::{GeneratorConfig, InstanceClass};
+
+    fn base() -> Instance {
+        GeneratorConfig::new(InstanceClass::R2, 40, 9).build()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let inst = base();
+        let a = ScenarioScript::generate(&inst, 11, 4, 6);
+        let b = ScenarioScript::generate(&inst, 11, 4, 6);
+        assert_eq!(a, b);
+        let c = ScenarioScript::generate(&inst, 12, 4, 6);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn scripts_replay_into_valid_instances() {
+        let inst = base();
+        let script = ScenarioScript::generate(&inst, 5, 4, 8);
+        assert_eq!(script.epochs(), 4);
+        let seq = script.instances(&inst);
+        assert_eq!(seq.len(), 4);
+        for (e, i) in seq.iter().enumerate() {
+            assert!(i.validate().is_empty(), "epoch {e}");
+            // Customers only ever get added — ids are stable.
+            assert!(i.n_customers() >= inst.n_customers(), "epoch {e}");
+        }
+        // Replay is deterministic.
+        let again = script.instances(&inst);
+        for (a, b) in seq.iter().zip(&again) {
+            assert_eq!(a.n_sites(), b.n_sites());
+            assert_eq!(a.max_vehicles(), b.max_vehicles());
+        }
+    }
+
+    #[test]
+    fn batches_hold_the_requested_mutation_count() {
+        let inst = base();
+        let script = ScenarioScript::generate(&inst, 3, 3, 5);
+        for batch in &script.batches {
+            assert_eq!(batch.mutations.len(), 5, "epoch {}", batch.epoch);
+        }
+    }
+
+    #[test]
+    fn single_epoch_scripts_are_empty() {
+        let inst = base();
+        let script = ScenarioScript::generate(&inst, 1, 1, 5);
+        assert!(script.batches.is_empty());
+        assert_eq!(script.instances(&inst).len(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests of the scenario layer: byte-identical generator output
+//! and mutation/script invariants.
+
+use proptest::prelude::*;
+use tsmo_scenario::{Generator, ScenarioScript};
+use vrptw::generator::InstanceClass;
+use vrptw::solomon;
+
+fn class_from(idx: u8) -> InstanceClass {
+    InstanceClass::ALL[idx as usize % InstanceClass::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole pin: generator text output is byte-identical per
+    /// `(seed, class, n)` — the property the server's content-hash cache
+    /// and the mesh serialization rely on.
+    #[test]
+    fn generator_text_is_byte_identical_per_key(
+        class_idx in 0u8..6, n in 10usize..220, seed in 0u64..1000,
+    ) {
+        let class = class_from(class_idx);
+        let a = Generator::new(seed, class, n).text();
+        let b = Generator::new(seed, class, n).text();
+        prop_assert_eq!(&a, &b, "same key must emit identical bytes");
+        // And the text is self-describing: it parses back to size n.
+        let inst = solomon::parse(&a).unwrap();
+        prop_assert_eq!(inst.n_customers(), n);
+        prop_assert!(inst.validate().is_empty());
+    }
+
+    /// Different seeds produce different text (no seed aliasing).
+    #[test]
+    fn generator_text_varies_with_the_seed(
+        class_idx in 0u8..6, n in 10usize..120, seed in 0u64..500,
+    ) {
+        let class = class_from(class_idx);
+        let a = Generator::new(seed, class, n).text();
+        let b = Generator::new(seed + 1, class, n).text();
+        prop_assert_ne!(a, b);
+    }
+
+    /// Scripted epochs always replay into valid instances with stable
+    /// customer ids (customers are only ever added).
+    #[test]
+    fn scripts_replay_validly_for_any_seed(
+        class_idx in 0u8..6, n in 10usize..60, seed in 0u64..300,
+        epochs in 1usize..5, per_epoch in 1usize..6,
+    ) {
+        let base = Generator::new(seed, class_from(class_idx), n).instance();
+        let script = ScenarioScript::generate(&base, seed ^ 0xD1, epochs, per_epoch);
+        prop_assert_eq!(script.epochs(), epochs);
+        let seq = script.instances(&base);
+        prop_assert_eq!(seq[0].n_customers(), n);
+        let mut prev = n;
+        for inst in &seq {
+            prop_assert!(inst.validate().is_empty());
+            prop_assert!(inst.n_customers() >= prev, "customers are only added");
+            prev = inst.n_customers();
+        }
+        // Regenerating with the same key gives the same script.
+        let again = ScenarioScript::generate(&base, seed ^ 0xD1, epochs, per_epoch);
+        prop_assert_eq!(script, again);
+    }
+}

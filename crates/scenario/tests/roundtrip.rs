@@ -1,0 +1,58 @@
+//! Acceptance: a generated 100-customer instance survives the full
+//! pipeline — text emission, parse, mesh re-serialization (the server's
+//! `run_mesh_job` re-emits instances via `solomon::write`), re-parse —
+//! and every parallel variant solves the result with a valid front.
+
+use std::sync::Arc;
+use tsmo_core::{ParallelVariant, TsmoConfig};
+use tsmo_scenario::Generator;
+use vrptw::generator::InstanceClass;
+use vrptw::solomon;
+
+#[test]
+fn generated_100_customer_instance_round_trips_and_solves_on_all_variants() {
+    let text = Generator::new(42, InstanceClass::R1, 100).text();
+    let parsed = solomon::parse(&text).expect("generated text parses");
+    assert_eq!(parsed.n_customers(), 100);
+
+    // The mesh serialization path: re-serialize the parsed instance and
+    // parse again; the text must be stable (write ∘ parse is idempotent).
+    let mesh_text = solomon::write(&parsed);
+    let again = solomon::parse(&mesh_text).expect("mesh serialization parses");
+    assert_eq!(solomon::write(&again), mesh_text, "serialization is stable");
+    assert_eq!(again.n_sites(), parsed.n_sites());
+    assert_eq!(again.capacity(), parsed.capacity());
+    assert_eq!(again.max_vehicles(), parsed.max_vehicles());
+    for i in 0..parsed.n_sites() as u16 {
+        assert_eq!(again.site(i), parsed.site(i), "site {i}");
+    }
+
+    let inst = Arc::new(again);
+    let variants = [
+        ParallelVariant::Sequential,
+        ParallelVariant::Synchronous(2),
+        ParallelVariant::Asynchronous(2),
+        ParallelVariant::Collaborative(2),
+    ];
+    for variant in variants {
+        let cfg = TsmoConfig {
+            max_evaluations: 1_200,
+            neighborhood_size: 60,
+            seed: 7,
+            ..TsmoConfig::default()
+        };
+        let out = variant.run(&inst, &cfg);
+        assert!(
+            !out.archive.is_empty(),
+            "{variant:?} produced an empty archive"
+        );
+        assert!(out.evaluations > 0, "{variant:?} spent no evaluations");
+        for e in &out.archive {
+            assert!(
+                e.solution.check(&inst).is_empty(),
+                "{variant:?} front solution invalid: {:?}",
+                e.solution.check(&inst)
+            );
+        }
+    }
+}

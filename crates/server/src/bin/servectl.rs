@@ -6,6 +6,8 @@
 //! servectl --addr HOST:PORT submit FILE [--variant V] [--processors P]
 //!          [--evals N] [--neighborhood N] [--seed S]
 //!          [--deadline-ms D] [--max-iters I] [--record-events] [--wait SECONDS]
+//! servectl --addr HOST:PORT submit-dynamic FILE [submit opts]
+//!          [--script-seed S] [--epochs N] [--mutations M] [--cold]
 //! servectl --addr HOST:PORT status JOB
 //! servectl --addr HOST:PORT cancel JOB
 //! servectl --addr HOST:PORT result JOB
@@ -21,15 +23,18 @@
 
 use std::process::ExitCode;
 use std::time::Duration;
-use tsmo_serve::{Client, JobResult, JobSpec};
+use tsmo_serve::{Client, DynamicParams, JobResult, JobSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: servectl --addr HOST:PORT [--connect-timeout-ms MS] \
-         (health | metrics | submit FILE [opts] | status JOB | cancel JOB | result JOB | tail JOB | shutdown)\n\
+         (health | metrics | submit FILE [opts] | submit-dynamic FILE [opts] | \
+         status JOB | cancel JOB | result JOB | tail JOB | shutdown)\n\
          submit opts: --variant sequential|synchronous|asynchronous|collaborative \
          --processors P --evals N --neighborhood N --seed S --deadline-ms D --max-iters I \
-         --record-events --wait SECONDS"
+         --record-events --wait SECONDS\n\
+         submit-dynamic opts: submit opts plus --script-seed S --epochs N --mutations M \
+         --cold (cold-start every epoch; default warm-starts from the previous front)"
     );
     ExitCode::FAILURE
 }
@@ -42,6 +47,19 @@ fn print_result(job: u64, r: &JobResult) {
         r.truncated,
         r.stop_cause.as_deref().unwrap_or("-")
     );
+    for e in &r.epochs {
+        println!(
+            "  epoch {}: customers={} mutations={} warm_seeds={} evaluations={} \
+             front={} best_distance={:.2}",
+            e.epoch,
+            e.customers,
+            e.mutations,
+            e.warm_seeds,
+            e.evaluations,
+            e.front_size,
+            e.best_distance
+        );
+    }
     for p in &r.front {
         println!(
             "  distance={:.2} vehicles={} tardiness={:.2} routes={}",
@@ -69,7 +87,11 @@ fn main() -> ExitCode {
     while i < args.len() {
         if args[i].starts_with("--") {
             // Boolean flags take no value; everything else consumes one.
-            i += if args[i] == "--record-events" { 1 } else { 2 };
+            i += if args[i] == "--record-events" || args[i] == "--cold" {
+                1
+            } else {
+                2
+            };
         } else {
             positional.push(args[i].clone());
             i += 1;
@@ -105,7 +127,7 @@ fn main() -> ExitCode {
             print!("{}", client.metrics()?);
             Ok(ExitCode::SUCCESS)
         }
-        "submit" => {
+        "submit" | "submit-dynamic" => {
             let Some(file) = positional.get(1) else {
                 return Ok(usage());
             };
@@ -139,7 +161,26 @@ fn main() -> ExitCode {
             if args.iter().any(|a| a == "--record-events") {
                 spec.record_events = true;
             }
-            match client.submit(spec)? {
+            let submitted = if command == "submit-dynamic" {
+                let mut dynamic = DynamicParams::default();
+                if let Some(v) = get("--script-seed") {
+                    dynamic.script_seed = v.parse().expect("--script-seed expects an integer");
+                }
+                if let Some(v) = get("--epochs") {
+                    dynamic.epochs = v.parse().expect("--epochs expects an integer");
+                }
+                if let Some(v) = get("--mutations") {
+                    dynamic.mutations_per_epoch =
+                        v.parse().expect("--mutations expects an integer");
+                }
+                if args.iter().any(|a| a == "--cold") {
+                    dynamic.warm = false;
+                }
+                client.submit_dynamic(spec, dynamic)?
+            } else {
+                client.submit(spec)?
+            };
+            match submitted {
                 Ok(job) => {
                     println!("submitted job {job}");
                     if let Some(wait) = get("--wait") {

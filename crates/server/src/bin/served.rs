@@ -19,7 +19,7 @@ fn main() {
         eprintln!(
             "usage: served [--addr HOST:PORT] [--workers N] [--queue N] \
              [--port-file PATH] [--fault-seed S --fault-rate R] [--drain-timeout-s S] \
-             [--mesh HOST:PORT,HOST:PORT,...]"
+             [--mesh HOST:PORT,HOST:PORT,...] [--cache-mb MB]"
         );
         return;
     }
@@ -51,6 +51,11 @@ fn main() {
                 .filter(|p| !p.is_empty())
                 .map(str::to_string)
                 .collect()
+        }),
+        // LRU-evict the instance/solution-pool cache past this footprint.
+        cache_budget: get("--cache-mb").map(|v| {
+            let mb: usize = v.parse().expect("--cache-mb expects an integer");
+            mb * 1024 * 1024
         }),
     };
     if let Some(seed) = get("--fault-seed") {

@@ -1,4 +1,5 @@
-//! Content-hash-keyed instance cache.
+//! Content-hash-keyed instance cache with solution pools and LRU
+//! eviction.
 //!
 //! Submitting the same instance text twice must not parse it twice or
 //! hold two copies of its customer vectors: the cache hands every job the
@@ -6,10 +7,23 @@
 //! a hit the stored text is compared byte-for-byte before the cached
 //! instance is reused, so a hash collision degrades to a miss instead of
 //! returning the wrong instance.
+//!
+//! Beyond parse sharing, every entry carries a **solution pool**: the
+//! non-dominated front of the most recent job on that instance. Dynamic
+//! re-optimization jobs read the pool to warm-start their first epoch and
+//! write each epoch's front back under the mutated instance's canonical
+//! text, so a later job on the same (content-identical) instance resumes
+//! from where the last one left off instead of constructing from scratch.
+//!
+//! Memory is bounded by an optional byte budget (`served --cache-mb`):
+//! when the approximate footprint (instance text plus pooled routes)
+//! exceeds it, least-recently-used entries are evicted — pool included —
+//! until the cache fits again. The entry touched by the current operation
+//! is never evicted, even when it alone exceeds the budget.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use vrptw::Instance;
+use vrptw::{Instance, Solution};
 
 /// FNV-1a over the raw bytes — deterministic across processes, unlike
 /// `DefaultHasher`, so cache keys are stable for logging.
@@ -25,12 +39,75 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 struct Entry {
     text: String,
     instance: Arc<Instance>,
+    /// Most recent result front for this instance (dynamic warm-starts).
+    pool: Vec<Solution>,
+    /// Logical timestamp of the last touch (monotonic per cache).
+    last_used: u64,
+    /// Approximate footprint: text bytes plus pooled route bytes.
+    bytes: usize,
 }
 
-/// Thread-safe parse-once cache of Solomon instance texts.
-pub struct InstanceCache {
+/// Approximate in-memory size of a pooled solution: per-customer route
+/// slots plus fixed per-solution overhead. An estimate is enough — the
+/// budget bounds growth, it is not an allocator audit.
+fn pool_bytes(pool: &[Solution]) -> usize {
+    pool.iter()
+        .map(|s| 64 + 2 * s.routes().iter().map(Vec::len).sum::<usize>())
+        .sum()
+}
+
+struct CacheState {
     // Each bucket is a Vec so true hash collisions coexist.
-    entries: Mutex<HashMap<u64, Vec<Entry>>>,
+    entries: HashMap<u64, Vec<Entry>>,
+    clock: u64,
+    total_bytes: usize,
+    evictions: u64,
+}
+
+impl CacheState {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn find(&mut self, key: u64, text: &str) -> Option<&mut Entry> {
+        self.entries
+            .get_mut(&key)?
+            .iter_mut()
+            .find(|e| e.text == text)
+    }
+
+    /// Evicts least-recently-used entries until the budget is respected,
+    /// never touching the entry stamped `keep` (the one the caller just
+    /// inserted or updated).
+    fn enforce(&mut self, budget: Option<usize>, keep: u64) {
+        let Some(budget) = budget else { return };
+        while self.total_bytes > budget {
+            let victim = self
+                .entries
+                .iter()
+                .flat_map(|(k, bucket)| bucket.iter().map(move |e| (*k, e.last_used, e.bytes)))
+                .filter(|&(_, used, _)| used != keep)
+                .min_by_key(|&(_, used, _)| used);
+            let Some((key, used, bytes)) = victim else {
+                break; // only the protected entry is left
+            };
+            let bucket = self.entries.get_mut(&key).expect("victim bucket exists");
+            bucket.retain(|e| e.last_used != used);
+            if bucket.is_empty() {
+                self.entries.remove(&key);
+            }
+            self.total_bytes -= bytes;
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Thread-safe parse-once cache of Solomon instance texts with per-entry
+/// solution pools and an optional LRU byte budget.
+pub struct InstanceCache {
+    state: Mutex<CacheState>,
+    budget: Option<usize>,
 }
 
 impl Default for InstanceCache {
@@ -40,51 +117,125 @@ impl Default for InstanceCache {
 }
 
 impl InstanceCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
+        Self::with_budget(None)
+    }
+
+    /// An empty cache evicting LRU entries past `budget` bytes
+    /// (`None` = unbounded).
+    pub fn with_budget(budget: Option<usize>) -> Self {
         Self {
-            entries: Mutex::new(HashMap::new()),
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                clock: 0,
+                total_bytes: 0,
+                evictions: 0,
+            }),
+            budget,
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Returns the shared instance for `text`, parsing it only on first
     /// sight. The flag is `true` on a cache hit.
     pub fn get_or_parse(&self, text: &str) -> Result<(Arc<Instance>, bool), String> {
         let key = fnv1a(text.as_bytes());
-        let mut entries = self
-            .entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(bucket) = entries.get(&key) {
-            for entry in bucket {
-                if entry.text == text {
-                    return Ok((Arc::clone(&entry.instance), true));
-                }
-            }
+        let mut state = self.lock();
+        let now = state.tick();
+        if let Some(entry) = state.find(key, text) {
+            entry.last_used = now;
+            return Ok((Arc::clone(&entry.instance), true));
         }
         let instance = Arc::new(
             vrptw::solomon::parse(text).map_err(|e| format!("instance parse error: {e}"))?,
         );
-        entries.entry(key).or_default().push(Entry {
+        let bytes = text.len();
+        state.entries.entry(key).or_default().push(Entry {
             text: text.to_string(),
             instance: Arc::clone(&instance),
+            pool: Vec::new(),
+            last_used: now,
+            bytes,
         });
+        state.total_bytes += bytes;
+        state.enforce(self.budget, now);
         Ok((instance, false))
+    }
+
+    /// Stores `pool` as the solution pool of the instance with canonical
+    /// text `text`, replacing any previous pool. Creates the entry
+    /// (parsing the text) when the instance is not cached yet — dynamic
+    /// epochs deposit fronts for mutated instances no client has
+    /// submitted. A text that does not parse is ignored.
+    pub fn pool_put(&self, text: &str, pool: Vec<Solution>) {
+        let key = fnv1a(text.as_bytes());
+        let mut state = self.lock();
+        let now = state.tick();
+        if let Some(entry) = state.find(key, text) {
+            let new_bytes = entry.text.len() + pool_bytes(&pool);
+            let old_bytes = entry.bytes;
+            entry.pool = pool;
+            entry.bytes = new_bytes;
+            entry.last_used = now;
+            state.total_bytes = state.total_bytes + new_bytes - old_bytes;
+            state.enforce(self.budget, now);
+            return;
+        }
+        let Ok(instance) = vrptw::solomon::parse(text) else {
+            return;
+        };
+        let bytes = text.len() + pool_bytes(&pool);
+        state.entries.entry(key).or_default().push(Entry {
+            text: text.to_string(),
+            instance: Arc::new(instance),
+            pool,
+            last_used: now,
+            bytes,
+        });
+        state.total_bytes += bytes;
+        state.enforce(self.budget, now);
+    }
+
+    /// The stored solution pool for `text` (empty when the instance is
+    /// not cached or has no pool yet). Reading counts as a touch for LRU
+    /// purposes.
+    pub fn pool_get(&self, text: &str) -> Vec<Solution> {
+        let key = fnv1a(text.as_bytes());
+        let mut state = self.lock();
+        let now = state.tick();
+        match state.find(key, text) {
+            Some(entry) => {
+                entry.last_used = now;
+                entry.pool.clone()
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Number of distinct instances held.
     pub fn len(&self) -> usize {
-        self.entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.lock().entries.values().map(Vec::len).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate bytes held (texts plus pooled routes).
+    pub fn total_bytes(&self) -> usize {
+        self.lock().total_bytes
+    }
+
+    /// Entries evicted by the byte budget over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
     }
 }
 
@@ -150,5 +301,80 @@ CUST NO.  XCOORD.   YCOORD.    DEMAND   READY TIME   DUE DATE   SERVICE   TIME
         let cache = InstanceCache::new();
         assert!(cache.get_or_parse("not an instance").is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn pools_round_trip_and_replace() {
+        let cache = InstanceCache::new();
+        let text = tiny_instance();
+        assert!(cache.pool_get(&text).is_empty(), "no entry, no pool");
+        cache.get_or_parse(&text).unwrap();
+        assert!(cache.pool_get(&text).is_empty(), "entry starts poolless");
+        let pool = vec![Solution::from_routes(vec![vec![1, 2], vec![3]])];
+        cache.pool_put(&text, pool.clone());
+        assert_eq!(cache.pool_get(&text), pool);
+        let replacement = vec![Solution::from_routes(vec![vec![3, 2, 1]])];
+        cache.pool_put(&text, replacement.clone());
+        assert_eq!(cache.pool_get(&text), replacement, "pools replace");
+    }
+
+    #[test]
+    fn pool_put_creates_entries_for_unseen_instances() {
+        let cache = InstanceCache::new();
+        let text = tiny_instance();
+        cache.pool_put(&text, vec![Solution::from_routes(vec![vec![1, 2, 3]])]);
+        assert_eq!(cache.len(), 1);
+        let (_, hit) = cache.get_or_parse(&text).unwrap();
+        assert!(hit, "pool_put parsed and cached the instance");
+        // Unparseable canonical text is dropped silently.
+        cache.pool_put("garbage", vec![]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn budget_evicts_lru_then_readmits() {
+        let a = tiny_instance();
+        let b = a.replace("TINY", "TINY2");
+        // Budget fits one entry but not two.
+        let cache = InstanceCache::with_budget(Some(a.len() + a.len() / 2));
+        cache.get_or_parse(&a).unwrap();
+        cache.pool_put(&a, vec![Solution::from_routes(vec![vec![1], vec![2, 3]])]);
+        cache.get_or_parse(&b).unwrap();
+        assert_eq!(cache.len(), 1, "inserting B evicted LRU entry A");
+        assert_eq!(cache.evictions(), 1);
+        assert!(
+            cache.pool_get(&a).is_empty(),
+            "eviction dropped A's pool with it"
+        );
+        // Readmission works and in turn evicts B.
+        let (_, hit) = cache.get_or_parse(&a).unwrap();
+        assert!(!hit, "A was evicted, so this is a fresh parse");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 2);
+        assert!(cache.total_bytes() <= a.len() + a.len() / 2);
+    }
+
+    #[test]
+    fn the_touched_entry_survives_an_overflowing_budget() {
+        let text = tiny_instance();
+        let cache = InstanceCache::with_budget(Some(8)); // smaller than any entry
+        cache.get_or_parse(&text).unwrap();
+        assert_eq!(cache.len(), 1, "sole entry is never self-evicted");
+        let pool = vec![Solution::from_routes(vec![vec![1, 2, 3]])];
+        cache.pool_put(&text, pool.clone());
+        assert_eq!(cache.pool_get(&text), pool);
+    }
+
+    #[test]
+    fn unbounded_caches_never_evict() {
+        let cache = InstanceCache::new();
+        let base = tiny_instance();
+        for i in 0..20 {
+            cache
+                .get_or_parse(&base.replace("TINY", &format!("T{i}")))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.evictions(), 0);
     }
 }

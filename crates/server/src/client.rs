@@ -4,7 +4,7 @@
 //! order, so a client is also the unit of pipelining. All methods are
 //! thin wrappers over [`Client::request`].
 
-use crate::wire::{self, JobResult, JobSpec, Request, Response};
+use crate::wire::{self, DynamicParams, JobResult, JobSpec, Request, Response};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -54,6 +54,24 @@ impl Client {
     /// `QueueFull` backpressure.
     pub fn submit(&mut self, spec: JobSpec) -> io::Result<Result<u64, u32>> {
         match self.request(&Request::Submit(spec))? {
+            Response::Submitted { job, .. } => Ok(Ok(job)),
+            Response::QueueFull { capacity } => Ok(Err(capacity)),
+            Response::Error { message } => Err(protocol_err(message)),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Submits a dynamic re-optimization job: the daemon mutates the
+    /// instance per the deterministic scenario script and re-solves every
+    /// epoch, warm-starting from the previous front unless
+    /// `dynamic.warm` is off. Same admission contract as
+    /// [`submit`](Client::submit).
+    pub fn submit_dynamic(
+        &mut self,
+        spec: JobSpec,
+        dynamic: DynamicParams,
+    ) -> io::Result<Result<u64, u32>> {
+        match self.request(&Request::SubmitDynamic { spec, dynamic })? {
             Response::Submitted { job, .. } => Ok(Ok(job)),
             Response::QueueFull { capacity } => Ok(Err(capacity)),
             Response::Error { message } => Err(protocol_err(message)),

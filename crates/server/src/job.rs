@@ -5,7 +5,7 @@
 //! or `Failed`); waiters block on a condvar, which is also how the
 //! daemon's shutdown path waits for the in-flight jobs to drain.
 
-use crate::wire::{JobResult, JobSpec};
+use crate::wire::{DynamicParams, JobResult, JobSpec};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -62,6 +62,9 @@ pub struct Job {
     /// asked for `record_events`. `Tail` streams from it while the job
     /// runs; metrics still flow to the daemon's shared registry.
     pub events: Option<Arc<MemoryRecorder>>,
+    /// Dynamic re-optimization parameters, present when the job was
+    /// submitted via `SubmitDynamic`; `None` runs a plain single search.
+    pub dynamic: Option<DynamicParams>,
 }
 
 struct TableState {
@@ -101,8 +104,15 @@ impl JobTable {
 
     /// Registers a new queued job and returns its id. The instance text
     /// inside `spec` is dropped here: the parsed `instance` is the single
-    /// shared copy.
-    pub fn admit(&self, mut spec: JobSpec, instance: Arc<Instance>, cancel: CancelToken) -> u64 {
+    /// shared copy. `dynamic` marks the job as a dynamic re-optimization
+    /// run.
+    pub fn admit(
+        &self,
+        mut spec: JobSpec,
+        dynamic: Option<DynamicParams>,
+        instance: Arc<Instance>,
+        cancel: CancelToken,
+    ) -> u64 {
         spec.instance_text = String::new();
         let events = spec
             .record_events
@@ -119,6 +129,7 @@ impl JobTable {
                 submitted: Instant::now(),
                 state: JobState::Queued,
                 events,
+                dynamic,
             },
         );
         id
@@ -243,7 +254,7 @@ mod tests {
     fn table_with_job() -> (JobTable, u64) {
         let table = JobTable::new();
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 10, 1).build());
-        let id = table.admit(JobSpec::default(), inst, CancelToken::never());
+        let id = table.admit(JobSpec::default(), None, inst, CancelToken::never());
         (table, id)
     }
 
@@ -254,6 +265,7 @@ mod tests {
             truncated: false,
             stop_cause: None,
             front: Vec::new(),
+            epochs: Vec::new(),
         }
     }
 
@@ -279,7 +291,7 @@ mod tests {
             instance_text: "X".repeat(1000),
             ..JobSpec::default()
         };
-        let id = table.admit(spec, inst, CancelToken::never());
+        let id = table.admit(spec, None, inst, CancelToken::never());
         let text_len = table.with_job(id, |j| j.spec.instance_text.len()).unwrap();
         assert_eq!(text_len, 0, "the parsed Arc<Instance> is the only copy");
     }

@@ -22,7 +22,9 @@
 use crate::cache::InstanceCache;
 use crate::job::{JobState, JobTable};
 use crate::queue::JobQueue;
-use crate::wire::{self, FrontPoint, JobResult, JobSpec, Request, Response};
+use crate::wire::{
+    self, DynamicParams, EpochInfo, FrontPoint, JobResult, JobSpec, Request, Response,
+};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,6 +57,10 @@ pub struct ServerConfig {
     /// Deadlines bound the mesh wait, but cancellation does not propagate
     /// to remote nodes mid-run.
     pub mesh: Option<Vec<String>>,
+    /// Byte budget of the instance/solution-pool cache (`served
+    /// --cache-mb`); least-recently-used entries are evicted past it.
+    /// `None` keeps the cache unbounded.
+    pub cache_budget: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +72,7 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(120),
             faults: None,
             mesh: None,
+            cache_budget: None,
         }
     }
 }
@@ -187,6 +194,44 @@ fn job_result(outcome: &TsmoOutcome, cause: Option<StopCause>) -> JobResult {
         truncated: cause.is_some(),
         stop_cause: cause.map(|c| c.as_str().to_string()),
         front: front_points(&outcome.archive),
+        epochs: Vec::new(),
+    }
+}
+
+/// Shapes a dynamic job's epoch sequence as a wire result: the final
+/// epoch's front plus one [`EpochInfo`] per epoch, with the evaluation
+/// and iteration totals summed across epochs.
+fn dynamic_job_result(
+    epochs: &[tsmo_scenario::EpochOutcome],
+    cause: Option<StopCause>,
+) -> JobResult {
+    JobResult {
+        evaluations: epochs.iter().map(|e| e.outcome.evaluations).sum(),
+        iterations: epochs.iter().map(|e| e.outcome.iterations as u64).sum(),
+        truncated: cause.is_some(),
+        stop_cause: cause.map(|c| c.as_str().to_string()),
+        front: epochs
+            .last()
+            .map(|e| front_points(&e.outcome.archive))
+            .unwrap_or_default(),
+        epochs: epochs
+            .iter()
+            .map(|e| EpochInfo {
+                epoch: e.epoch as u64,
+                mutations: e.mutations as u64,
+                customers: e.customers as u64,
+                warm_seeds: e.warm_seeds as u64,
+                evaluations: e.outcome.evaluations,
+                front_size: e.outcome.archive.len() as u64,
+                best_distance: e
+                    .outcome
+                    .archive
+                    .iter()
+                    .map(|en| en.objectives.to_vector()[0])
+                    .fold(f64::INFINITY, f64::min)
+                    .min(f64::MAX), // empty archive stays JSON-finite
+            })
+            .collect(),
     }
 }
 
@@ -252,6 +297,7 @@ fn run_mesh_job(
         truncated: false,
         stop_cause: None,
         front: front_points(&outcome.front),
+        epochs: Vec::new(),
     })
 }
 
@@ -279,7 +325,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             jobs: JobTable::new(),
-            cache: InstanceCache::new(),
+            cache: InstanceCache::with_budget(config.cache_budget),
             metrics: Arc::new(MemoryRecorder::metrics_only()),
             events: Arc::new(MemoryRecorder::new()),
             draining: AtomicBool::new(false),
@@ -531,7 +577,21 @@ fn handle_http(stream: TcpStream, shared: &Shared) {
 /// daemon after responding (wire shutdown).
 fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
     match req {
-        Request::Submit(spec) => (handle_submit(shared, spec), false),
+        Request::Submit(spec) => (handle_submit(shared, spec, None), false),
+        Request::SubmitDynamic { spec, dynamic } => {
+            let response = if dynamic.epochs == 0 {
+                Response::Error {
+                    message: "dynamic jobs need at least one epoch".to_string(),
+                }
+            } else if dynamic.epochs > 64 {
+                Response::Error {
+                    message: "dynamic jobs are capped at 64 epochs".to_string(),
+                }
+            } else {
+                handle_submit(shared, spec, Some(dynamic))
+            };
+            (response, false)
+        }
         Request::Status { job } => (
             match shared.jobs.state_name(job) {
                 Some(state) => Response::JobStatus {
@@ -587,7 +647,7 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
     }
 }
 
-fn handle_submit(shared: &Shared, spec: JobSpec) -> Response {
+fn handle_submit(shared: &Shared, spec: JobSpec, dynamic: Option<DynamicParams>) -> Response {
     if shared.draining.load(Ordering::Acquire) {
         return Response::Error {
             message: "daemon is draining; not accepting jobs".to_string(),
@@ -612,7 +672,7 @@ fn handle_submit(shared: &Shared, spec: JobSpec) -> Response {
         spec.deadline_ms.map(Duration::from_millis),
         spec.max_iterations,
     );
-    let job = shared.jobs.admit(spec, instance, cancel);
+    let job = shared.jobs.admit(spec, dynamic, instance, cancel);
     match shared.queue.push(job) {
         Ok(depth) => {
             shared.metrics.counter_add(names::JOBS_ADMITTED, 1);
@@ -645,16 +705,19 @@ fn worker_loop(shared: &Arc<Shared>) {
         shared
             .metrics
             .gauge_set(names::QUEUE_DEPTH, shared.queue.len() as f64);
-        let Some((spec, instance, cancel, submitted, job_events)) = shared.jobs.with_job(id, |j| {
-            j.state = JobState::Running;
-            (
-                j.spec.clone(),
-                Arc::clone(&j.instance),
-                j.cancel.clone(),
-                j.submitted,
-                j.events.clone(),
-            )
-        }) else {
+        let Some((spec, dynamic, instance, cancel, submitted, job_events)) =
+            shared.jobs.with_job(id, |j| {
+                j.state = JobState::Running;
+                (
+                    j.spec.clone(),
+                    j.dynamic.clone(),
+                    Arc::clone(&j.instance),
+                    j.cancel.clone(),
+                    j.submitted,
+                    j.events.clone(),
+                )
+            })
+        else {
             continue; // job was removed (rejected submit); nothing to run
         };
         let variant = match parse_variant(&spec.variant, spec.processors) {
@@ -665,6 +728,31 @@ fn worker_loop(shared: &Arc<Shared>) {
                 continue;
             }
         };
+        let cfg = TsmoConfig {
+            max_evaluations: spec.max_evaluations,
+            neighborhood_size: spec.neighborhood_size.max(2),
+            // Tailing jobs also stream the convergence timeline: one
+            // front sample per ~10 iterations' worth of evaluations.
+            timeline_every: spec
+                .record_events
+                .then(|| spec.neighborhood_size.max(2) as u64 * 10),
+            ..TsmoConfig::default()
+        }
+        .with_seed(spec.seed);
+        let recorder: Arc<dyn Recorder> = match &job_events {
+            Some(events) => Arc::new(TeeRecorder {
+                events: Arc::clone(events),
+                metrics: Arc::clone(&shared.metrics),
+            }),
+            None => Arc::clone(&shared.metrics) as Arc<dyn Recorder>,
+        };
+        if let Some(dp) = &dynamic {
+            // Dynamic jobs run their epochs in-process (no mesh dispatch).
+            run_dynamic_job(
+                shared, id, dp, variant, cfg, &instance, recorder, &cancel, submitted,
+            );
+            continue;
+        }
         if let (ParallelVariant::Collaborative(_), Some(peers)) = (&variant, shared.mesh.as_ref()) {
             // Distributed dispatch: the mesh nodes run the searchers; this
             // worker only waits, gathers, and records the outcome.
@@ -696,24 +784,6 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             continue;
         }
-        let cfg = TsmoConfig {
-            max_evaluations: spec.max_evaluations,
-            neighborhood_size: spec.neighborhood_size.max(2),
-            // Tailing jobs also stream the convergence timeline: one
-            // front sample per ~10 iterations' worth of evaluations.
-            timeline_every: spec
-                .record_events
-                .then(|| spec.neighborhood_size.max(2) as u64 * 10),
-            ..TsmoConfig::default()
-        }
-        .with_seed(spec.seed);
-        let recorder: Arc<dyn Recorder> = match &job_events {
-            Some(events) => Arc::new(TeeRecorder {
-                events: Arc::clone(events),
-                metrics: Arc::clone(&shared.metrics),
-            }),
-            None => Arc::clone(&shared.metrics) as Arc<dyn Recorder>,
-        };
         let outcome = variant.run_with_cancel(
             &instance,
             &cfg,
@@ -732,6 +802,16 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             Some(StopCause::IterationLimit) | None => {}
         }
+        // Deposit the front as the instance's solution pool (keyed by its
+        // canonical serialization) so a later dynamic job on the same
+        // content warm-starts from it instead of constructing cold.
+        let pool: Vec<vrptw::Solution> =
+            outcome.archive.iter().map(|e| e.solution.clone()).collect();
+        if !pool.is_empty() {
+            shared
+                .cache
+                .pool_put(&vrptw::solomon::write(&instance), pool);
+        }
         let result = job_result(&outcome, cause);
         shared.metrics.counter_add(names::JOBS_COMPLETED, 1);
         shared.metrics.observe(
@@ -747,4 +827,80 @@ fn worker_loop(shared: &Arc<Shared>) {
             .jobs
             .with_job(id, |j| j.state = JobState::Done(result));
     }
+}
+
+/// Runs one dynamic re-optimization job: regenerates the scenario script
+/// from `(instance, script_seed)`, reads the cache's solution pool for
+/// the base instance (epoch 0's warm start, when warm), runs the epochs
+/// via [`tsmo_scenario::run_dynamic`], and deposits every epoch's front
+/// back into the cache under the mutated instance's canonical text.
+#[allow(clippy::too_many_arguments)]
+fn run_dynamic_job(
+    shared: &Shared,
+    id: u64,
+    dp: &DynamicParams,
+    variant: ParallelVariant,
+    cfg: TsmoConfig,
+    instance: &Arc<vrptw::Instance>,
+    recorder: Arc<dyn Recorder>,
+    cancel: &CancelToken,
+    submitted: std::time::Instant,
+) {
+    let script = tsmo_scenario::ScenarioScript::generate(
+        instance,
+        dp.script_seed,
+        dp.epochs,
+        dp.mutations_per_epoch.max(1),
+    );
+    let initial_pool = if dp.warm {
+        shared.cache.pool_get(&vrptw::solomon::write(instance))
+    } else {
+        Vec::new()
+    };
+    let mut dc = tsmo_scenario::DynamicConfig::new(variant, cfg);
+    dc.warm = dp.warm;
+    let epochs = tsmo_scenario::run_dynamic(
+        instance,
+        &script,
+        &dc,
+        initial_pool,
+        recorder,
+        cancel.clone(),
+    );
+    for (e, inst) in epochs.iter().zip(script.instances(instance).iter()) {
+        let pool: Vec<vrptw::Solution> = e
+            .outcome
+            .archive
+            .iter()
+            .map(|en| en.solution.clone())
+            .collect();
+        if !pool.is_empty() {
+            shared.cache.pool_put(&vrptw::solomon::write(inst), pool);
+        }
+    }
+    let cause = cancel.cause();
+    match cause {
+        Some(StopCause::Cancelled) => shared.metrics.counter_add(names::JOBS_CANCELLED, 1),
+        Some(StopCause::DeadlineExceeded) => {
+            shared.metrics.counter_add(names::JOBS_DEADLINE_EXCEEDED, 1);
+            shared
+                .events
+                .event(SearchEvent::JobDeadlineExceeded { job: id });
+        }
+        Some(StopCause::IterationLimit) | None => {}
+    }
+    let result = dynamic_job_result(&epochs, cause);
+    shared.metrics.counter_add(names::JOBS_COMPLETED, 1);
+    shared.metrics.observe(
+        names::JOB_LATENCY_MS,
+        submitted.elapsed().as_secs_f64() * 1000.0,
+    );
+    shared.events.event(SearchEvent::JobCompleted {
+        job: id,
+        iterations: result.iterations,
+        truncated: result.truncated,
+    });
+    shared
+        .jobs
+        .with_job(id, |j| j.state = JobState::Done(result));
 }

@@ -61,11 +61,70 @@ impl Default for JobSpec {
     }
 }
 
+/// How a dynamic re-optimization job unfolds. The server regenerates the
+/// mutation script deterministically from `(instance, script_seed)`, so
+/// the wire payload stays small and a resubmission replays the identical
+/// scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicParams {
+    /// Seed of the scenario script (mutation schedule).
+    pub script_seed: u64,
+    /// Total epochs, including the unmutated base epoch.
+    pub epochs: usize,
+    /// Mutations applied between consecutive epochs.
+    pub mutations_per_epoch: usize,
+    /// Warm-start each epoch from the previous front (and epoch 0 from
+    /// the daemon's solution pool). `false` runs the cold control arm.
+    pub warm: bool,
+}
+
+impl Default for DynamicParams {
+    fn default() -> Self {
+        Self {
+            script_seed: 0,
+            epochs: 3,
+            mutations_per_epoch: 4,
+            warm: true,
+        }
+    }
+}
+
+impl DynamicParams {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"script_seed\":{},\"epochs\":{},\"mutations_per_epoch\":{},\"warm\":{}}}",
+            self.script_seed, self.epochs, self.mutations_per_epoch, self.warm
+        );
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(Self {
+            script_seed: req_u64(doc, "script_seed")?,
+            epochs: req_u64(doc, "epochs")? as usize,
+            mutations_per_epoch: req_u64(doc, "mutations_per_epoch")? as usize,
+            // Lenient: absent means the default (warm).
+            warm: doc.get("warm").and_then(Json::as_bool).unwrap_or(true),
+        })
+    }
+}
+
 /// A request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Enqueue a job; answered with `Submitted` or `QueueFull`.
     Submit(JobSpec),
+    /// Enqueue a dynamic re-optimization job: the instance is mutated
+    /// between epochs per a deterministic script and each epoch re-solves
+    /// with `spec`'s budget. Answered like `Submit`.
+    SubmitDynamic {
+        /// The per-epoch search spec (the base instance rides in
+        /// `instance_text`).
+        spec: JobSpec,
+        /// The scenario: script seed, epoch count, mutation rate, warm
+        /// or cold.
+        dynamic: DynamicParams,
+    },
     /// Query a job's lifecycle state.
     Status {
         /// The job to query.
@@ -107,6 +166,25 @@ pub struct FrontPoint {
     pub routes: Vec<Vec<u16>>,
 }
 
+/// Summary of one epoch of a dynamic job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochInfo {
+    /// Epoch index (0 = base instance).
+    pub epoch: u64,
+    /// Mutations applied before this epoch.
+    pub mutations: u64,
+    /// Customers of this epoch's instance.
+    pub customers: u64,
+    /// Warm-start seeds the epoch's searchers started from.
+    pub warm_seeds: u64,
+    /// Evaluations the epoch consumed.
+    pub evaluations: u64,
+    /// Size of the epoch's non-dominated front.
+    pub front_size: u64,
+    /// Best (minimum) total distance on the epoch's front.
+    pub best_distance: f64,
+}
+
 /// A terminal job's payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
@@ -123,6 +201,10 @@ pub struct JobResult {
     /// entries may carry tardiness (`objectives[2]`); filter on zero
     /// tardiness for hard-feasible solutions.
     pub front: Vec<FrontPoint>,
+    /// Per-epoch summaries of a dynamic job; empty for plain submissions
+    /// (whose single run *is* the result). For dynamic jobs `front` is
+    /// the final epoch's front.
+    pub epochs: Vec<EpochInfo>,
 }
 
 /// A response frame.
@@ -262,6 +344,13 @@ impl Request {
                 spec.write_json(&mut s);
                 s.push('}');
             }
+            Request::SubmitDynamic { spec, dynamic } => {
+                s.push_str("{\"type\":\"submit_dynamic\",\"spec\":");
+                spec.write_json(&mut s);
+                s.push_str(",\"dynamic\":");
+                dynamic.write_json(&mut s);
+                s.push('}');
+            }
             Request::Status { job } => {
                 let _ = write!(s, "{{\"type\":\"status\",\"job\":{job}}}");
             }
@@ -288,6 +377,12 @@ impl Request {
             "submit" => Ok(Request::Submit(JobSpec::from_json(
                 doc.get("spec").ok_or("missing 'spec' field")?,
             )?)),
+            "submit_dynamic" => Ok(Request::SubmitDynamic {
+                spec: JobSpec::from_json(doc.get("spec").ok_or("missing 'spec' field")?)?,
+                dynamic: DynamicParams::from_json(
+                    doc.get("dynamic").ok_or("missing 'dynamic' field")?,
+                )?,
+            }),
             "status" => Ok(Request::Status {
                 job: req_u64(&doc, "job")?,
             }),
@@ -354,6 +449,19 @@ impl JobResult {
             }
             out.push(']');
         }
+        out.push_str("],\"epochs\":[");
+        for (i, e) in self.epochs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"epoch\":{},\"mutations\":{},\"customers\":{},\"warm_seeds\":{},\"evaluations\":{},\"front_size\":{},\"best_distance\":",
+                e.epoch, e.mutations, e.customers, e.warm_seeds, e.evaluations, e.front_size
+            );
+            json::write_f64(out, e.best_distance);
+            out.push('}');
+        }
         out.push_str("]}");
     }
 
@@ -388,8 +496,31 @@ impl JobResult {
                 .zip(routes_per_point)
                 .map(|(objectives, routes)| FrontPoint { objectives, routes })
                 .collect(),
+            // Lenient for results written before dynamic jobs existed.
+            epochs: match doc.get("epochs") {
+                Some(Json::Array(items)) => items
+                    .iter()
+                    .map(epoch_info_from)
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => Vec::new(),
+            },
         })
     }
+}
+
+fn epoch_info_from(v: &Json) -> Result<EpochInfo, String> {
+    Ok(EpochInfo {
+        epoch: req_u64(v, "epoch")?,
+        mutations: req_u64(v, "mutations")?,
+        customers: req_u64(v, "customers")?,
+        warm_seeds: req_u64(v, "warm_seeds")?,
+        evaluations: req_u64(v, "evaluations")?,
+        front_size: req_u64(v, "front_size")?,
+        best_distance: v
+            .get("best_distance")
+            .and_then(Json::as_f64)
+            .ok_or("bad 'best_distance' field")?,
+    })
 }
 
 impl Response {
@@ -600,6 +731,33 @@ mod tests {
                     routes: vec![vec![1, 2, 3, 4], vec![5, 6]],
                 },
             ],
+            epochs: Vec::new(),
+        }
+    }
+
+    fn dynamic_result() -> JobResult {
+        JobResult {
+            epochs: vec![
+                EpochInfo {
+                    epoch: 0,
+                    mutations: 0,
+                    customers: 6,
+                    warm_seeds: 0,
+                    evaluations: 2_500,
+                    front_size: 2,
+                    best_distance: 512.25,
+                },
+                EpochInfo {
+                    epoch: 1,
+                    mutations: 3,
+                    customers: 7,
+                    warm_seeds: 9,
+                    evaluations: 2_500,
+                    front_size: 1,
+                    best_distance: 498.5,
+                },
+            ],
+            ..sample_result()
         }
     }
 
@@ -618,6 +776,22 @@ mod tests {
                 record_events: true,
             }),
             Request::Submit(JobSpec::default()),
+            Request::SubmitDynamic {
+                spec: JobSpec {
+                    instance_text: "R101 base".to_string(),
+                    ..JobSpec::default()
+                },
+                dynamic: DynamicParams {
+                    script_seed: 11,
+                    epochs: 4,
+                    mutations_per_epoch: 2,
+                    warm: false,
+                },
+            },
+            Request::SubmitDynamic {
+                spec: JobSpec::default(),
+                dynamic: DynamicParams::default(),
+            },
             Request::Status { job: 7 },
             Request::Cancel { job: 7 },
             Request::Result { job: 9 },
@@ -648,6 +822,10 @@ mod tests {
                 job: 3,
                 result: sample_result(),
             },
+            Response::JobResult {
+                job: 4,
+                result: dynamic_result(),
+            },
             Response::Health {
                 status: "ok".to_string(),
                 queued: 2,
@@ -675,6 +853,28 @@ mod tests {
             assert_eq!(parsed, resp, "mismatch for {text}");
             assert_eq!(parsed.to_json(), text, "re-encode must be stable");
         }
+    }
+
+    #[test]
+    fn old_clients_remain_parseable() {
+        // Results written before dynamic jobs carry no "epochs" array.
+        let legacy = "{\"type\":\"job_result\",\"job\":1,\"result\":\
+                      {\"evaluations\":10,\"iterations\":2,\"truncated\":false,\
+                      \"stop_cause\":null,\"front\":[[1.0,2.0,0.0]],\"routes\":[[[1]]]}}";
+        let Response::JobResult { result, .. } = Response::parse(legacy).unwrap() else {
+            panic!("parsed to the wrong variant");
+        };
+        assert!(result.epochs.is_empty());
+        // Dynamic params without "warm" default to warm.
+        let req = "{\"type\":\"submit_dynamic\",\"spec\":{\"instance\":\"X\",\
+                   \"variant\":\"sequential\",\"processors\":1,\"max_evaluations\":5,\
+                   \"neighborhood_size\":2,\"seed\":0,\"deadline_ms\":null,\
+                   \"max_iterations\":null},\"dynamic\":{\"script_seed\":3,\
+                   \"epochs\":2,\"mutations_per_epoch\":1}}";
+        let Request::SubmitDynamic { dynamic, .. } = Request::parse(req).unwrap() else {
+            panic!("parsed to the wrong variant");
+        };
+        assert!(dynamic.warm);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
-use tsmo_serve::{Client, JobSpec, Request, Response, Server, ServerConfig};
+use tsmo_serve::{Client, DynamicParams, JobSpec, Request, Response, Server, ServerConfig};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 
 fn instance_text(customers: usize, seed: u64) -> String {
@@ -378,5 +378,129 @@ fn bad_submissions_are_rejected_with_errors() {
         Response::Health { status, .. } => assert_eq!(status, "ok"),
         other => panic!("unexpected {other:?}"),
     }
+    server.shutdown();
+}
+
+#[test]
+fn dynamic_jobs_run_every_epoch_and_warm_start_between_them() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(15, 9);
+    let spec = JobSpec {
+        max_evaluations: 1_500,
+        ..quick_spec(&text, 4)
+    };
+    let dynamic = DynamicParams {
+        script_seed: 31,
+        epochs: 3,
+        mutations_per_epoch: 2,
+        warm: true,
+    };
+    let job = client
+        .submit_dynamic(spec, dynamic)
+        .expect("submit")
+        .expect("admitted");
+    let result = client.wait_result(job, Duration::from_secs(120)).unwrap();
+    assert_eq!(result.epochs.len(), 3, "one summary per epoch");
+    assert_eq!(
+        result.evaluations,
+        result.epochs.iter().map(|e| e.evaluations).sum::<u64>(),
+        "totals are the epoch sums"
+    );
+    assert!(!result.front.is_empty(), "final epoch front comes back");
+    assert_eq!(result.epochs[0].epoch, 0);
+    assert_eq!(result.epochs[0].mutations, 0, "epoch 0 is the base");
+    for e in &result.epochs[1..] {
+        assert!(e.mutations > 0, "epoch {} applied mutations", e.epoch);
+        assert!(e.warm_seeds > 0, "epoch {} was warm-started", e.epoch);
+        assert!(e.best_distance.is_finite());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn a_previous_front_warm_starts_the_next_dynamic_job() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(12, 5);
+    // A plain job deposits its front in the daemon's solution pool...
+    let plain = client.submit(quick_spec(&text, 2)).unwrap().unwrap();
+    client.wait_result(plain, Duration::from_secs(60)).unwrap();
+    // ...which the dynamic job's *first* epoch then warm-starts from.
+    let spec = JobSpec {
+        max_evaluations: 1_000,
+        ..quick_spec(&text, 3)
+    };
+    let dynamic = DynamicParams {
+        script_seed: 7,
+        epochs: 2,
+        mutations_per_epoch: 1,
+        warm: true,
+    };
+    let job = client.submit_dynamic(spec, dynamic).unwrap().unwrap();
+    let result = client.wait_result(job, Duration::from_secs(120)).unwrap();
+    assert!(
+        result.epochs[0].warm_seeds > 0,
+        "epoch 0 reused the plain job's pooled front"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn cold_dynamic_jobs_never_warm_start_and_bad_epochs_are_rejected() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(12, 6);
+    let spec = JobSpec {
+        max_evaluations: 1_000,
+        ..quick_spec(&text, 8)
+    };
+    let dynamic = DynamicParams {
+        script_seed: 5,
+        epochs: 2,
+        mutations_per_epoch: 1,
+        warm: false,
+    };
+    let job = client
+        .submit_dynamic(spec.clone(), dynamic)
+        .unwrap()
+        .unwrap();
+    let result = client.wait_result(job, Duration::from_secs(120)).unwrap();
+    assert!(result.epochs.iter().all(|e| e.warm_seeds == 0));
+    // Zero epochs is a request error, not a failed job.
+    let zero = DynamicParams {
+        epochs: 0,
+        ..DynamicParams::default()
+    };
+    assert!(client.submit_dynamic(spec, zero).is_err());
+    server.shutdown();
+}
+
+#[test]
+fn the_cache_byte_budget_evicts_old_instances() {
+    let text_a = instance_text(12, 1);
+    let text_b = instance_text(12, 2);
+    // Fits one instance text (plus its pool), never two.
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        drain_timeout: Duration::from_secs(60),
+        cache_budget: Some(text_a.len() * 2),
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let a = client.submit(quick_spec(&text_a, 1)).unwrap().unwrap();
+    client.wait_result(a, Duration::from_secs(60)).unwrap();
+    let b = client.submit(quick_spec(&text_b, 2)).unwrap().unwrap();
+    client.wait_result(b, Duration::from_secs(60)).unwrap();
+    assert!(
+        server.cached_instances() <= 2,
+        "the byte budget keeps the cache bounded"
+    );
+    // The evicted instance readmits cleanly.
+    let again = client.submit(quick_spec(&text_a, 3)).unwrap().unwrap();
+    let result = client.wait_result(again, Duration::from_secs(60)).unwrap();
+    assert!(!result.front.is_empty());
     server.shutdown();
 }

@@ -26,18 +26,35 @@ use crate::model::{Customer, Instance};
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// Column names of the customer table, indexed like the parsed fields.
+const CUSTOMER_FIELDS: [&str; 7] = [
+    "CUST NO.",
+    "XCOORD.",
+    "YCOORD.",
+    "DEMAND",
+    "READY TIME",
+    "DUE DATE",
+    "SERVICE TIME",
+];
+
 /// Errors produced while parsing a Solomon-format file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number the error was detected on (0 = whole file).
     pub line: usize,
+    /// Offending column of the customer/vehicle table, when the error is
+    /// attributable to one (e.g. `"DEMAND"`, `"CAPACITY"`).
+    pub field: Option<&'static str>,
     /// Human-readable description.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match self.field {
+            Some(field) => write!(f, "line {}, field {}: {}", self.line, field, self.message),
+            None => write!(f, "line {}: {}", self.line, self.message),
+        }
     }
 }
 
@@ -46,6 +63,15 @@ impl std::error::Error for ParseError {}
 fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
+        field: None,
+        message: message.into(),
+    }
+}
+
+fn err_field(line: usize, field: &'static str, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        field: Some(field),
         message: message.into(),
     }
 }
@@ -95,12 +121,16 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
                     format!("expected `NUMBER CAPACITY`, got {line:?}"),
                 ));
             }
-            let number: usize = fields[0]
-                .parse()
-                .map_err(|_| err(lineno, format!("bad vehicle count {:?}", fields[0])))?;
-            let cap: f64 = fields[1]
-                .parse()
-                .map_err(|_| err(lineno, format!("bad capacity {:?}", fields[1])))?;
+            let number: usize = fields[0].parse().map_err(|_| {
+                err_field(
+                    lineno,
+                    "NUMBER",
+                    format!("bad vehicle count {:?}", fields[0]),
+                )
+            })?;
+            let cap: f64 = fields[1].parse().map_err(|_| {
+                err_field(lineno, "CAPACITY", format!("bad capacity {:?}", fields[1]))
+            })?;
             capacity = Some((number, cap));
             in_vehicle = false;
         } else if in_customer {
@@ -110,13 +140,21 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
                     format!("expected 7 customer fields, got {}", fields.len()),
                 ));
             }
-            let nums: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
-            let nums =
-                nums.map_err(|_| err(lineno, format!("non-numeric customer field in {line:?}")))?;
+            let mut nums = [0.0f64; 7];
+            for (i, f) in fields.iter().enumerate() {
+                nums[i] = f.parse::<f64>().map_err(|_| {
+                    err_field(
+                        lineno,
+                        CUSTOMER_FIELDS[i],
+                        format!("non-numeric customer field {f:?}"),
+                    )
+                })?;
+            }
             let expected = sites.len() as f64;
             if nums[0] != expected {
-                return Err(err(
+                return Err(err_field(
                     lineno,
+                    CUSTOMER_FIELDS[0],
                     format!(
                         "customer numbers must be consecutive; expected {expected}, got {}",
                         nums[0]
@@ -293,6 +331,39 @@ CUST NO.  XCOORD.   YCOORD.    DEMAND   READY TIME  DUE DATE   SERVICE TIME
         let e = parse(&text).unwrap_err();
         assert!(e.line > 0);
         assert!(e.message.contains("7 customer fields"), "{e}");
+    }
+
+    #[test]
+    fn malformed_fields_report_line_and_field() {
+        // Non-numeric demand on customer 2 (line 11 of SAMPLE).
+        let text = SAMPLE.replace(
+            "    2          0         10         4",
+            "    2          0         10       abc",
+        );
+        let e = parse(&text).unwrap_err();
+        assert_eq!(e.line, 11);
+        assert_eq!(e.field, Some("DEMAND"));
+        assert_eq!(
+            e.to_string(),
+            format!("line 11, field DEMAND: {}", e.message)
+        );
+
+        // Non-numeric vehicle capacity.
+        let text = SAMPLE.replace("  3         10", "  3         ten");
+        let e = parse(&text).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert_eq!(e.field, Some("CAPACITY"));
+
+        // Out-of-order customer number carries the CUST NO. field.
+        let text = SAMPLE.replace("    4          0        -10", "    9          0        -10");
+        let e = parse(&text).unwrap_err();
+        assert_eq!(e.field, Some("CUST NO."));
+        assert_eq!(e.line, 13);
+
+        // Whole-file errors carry no field.
+        let e = parse("NAME\nVEHICLE\nNUMBER CAPACITY\n1 10\n").unwrap_err();
+        assert_eq!(e.field, None);
+        assert!(e.to_string().starts_with("line 0:"), "{e}");
     }
 
     #[test]
