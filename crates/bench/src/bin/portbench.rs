@@ -1,0 +1,280 @@
+//! Per-algorithm win rates for budget-raced portfolios.
+//!
+//! ```text
+//! cargo run --release -p bench --bin portbench --
+//!     [--algos tsmo-collab,nsga2,spea2] [--rounds R] [--evals E]
+//!     [--customers 100,200] [--seed S] [--assert-valid]
+//!     [--out BENCH_portfolio.json]
+//! ```
+//!
+//! One pinned-seed portfolio race is run per (class, size) cell over the
+//! extended-Solomon classes C1 / R1 / RC1. Every cell reports which
+//! contender won each scored round (coverage first, hypervolume
+//! tiebreak) and the evaluations each contender actually consumed, then
+//! re-runs every arm *standalone* with the race's entire budget and
+//! compares fronts with the two-set coverage indicator. Cells aggregate
+//! into per-algorithm win rates: rounds won divided by rounds contested
+//! (a retired contender stops contesting).
+//!
+//! `--assert-valid` exits non-zero unless every cell's merged front is
+//! mutually non-dominated, never covered (C < 1) by any standalone arm
+//! given the equal total budget, and every round has exactly one
+//! winner — the acceptance gate CI runs with pinned seeds.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use tsmo_core::CancelToken;
+use tsmo_portfolio::{contender, Portfolio, PortfolioConfig, PortfolioOutcome, RaceParams};
+use tsmo_scenario::Generator;
+use vrptw::generator::InstanceClass;
+
+struct AlgoCell {
+    name: String,
+    rounds_won: u32,
+    rounds_contested: usize,
+    evaluations: u64,
+    front_size: usize,
+    retired_round: Option<u32>,
+    merged_covers_solo: f64,
+    solo_covers_merged: f64,
+}
+
+struct Cell {
+    class: &'static str,
+    customers: usize,
+    rounds: usize,
+    merged_size: usize,
+    merged_non_dominated: bool,
+    evaluations: u64,
+    algos: Vec<AlgoCell>,
+}
+
+fn run_cell(
+    class: InstanceClass,
+    customers: usize,
+    algos: &[String],
+    cfg: &PortfolioConfig,
+    gen_seed: u64,
+) -> Cell {
+    let inst = Arc::new(Generator::new(gen_seed, class, customers).instance());
+    let params = RaceParams::default();
+    let contenders = algos
+        .iter()
+        .map(|n| contender(n, &params).unwrap_or_else(|| panic!("unknown algorithm '{n}'")))
+        .collect();
+    let out: PortfolioOutcome =
+        Portfolio::new(cfg.clone()).run(&inst, contenders, tsmo_obs::noop(), CancelToken::never());
+    let algo_cells = out
+        .contenders
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            // The standalone arm gets the race's ENTIRE budget in one
+            // run — strictly more than its share inside the race.
+            let mut solo = contender(&c.name, &params)
+                .unwrap_or_else(|| panic!("unknown algorithm '{}'", c.name));
+            solo.run_slice(
+                &inst,
+                cfg.total_evaluations,
+                cfg.seed,
+                &CancelToken::never(),
+            );
+            AlgoCell {
+                name: c.name.clone(),
+                rounds_won: c.rounds_won,
+                rounds_contested: out
+                    .ledger
+                    .iter()
+                    .filter(|r| r.entries.iter().any(|e| e.contender == i as u32))
+                    .count(),
+                evaluations: c.evaluations,
+                front_size: c.front.len(),
+                retired_round: c.retired_round,
+                merged_covers_solo: pareto::coverage(&out.merged, solo.front()),
+                solo_covers_merged: pareto::coverage(solo.front(), &out.merged),
+            }
+        })
+        .collect();
+    Cell {
+        class: class.label(),
+        customers,
+        rounds: out.ledger.len(),
+        merged_size: out.merged.len(),
+        merged_non_dominated: pareto::non_dominated_indices(&out.merged).len() == out.merged.len(),
+        evaluations: out.evaluations,
+        algos: algo_cells,
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    let mut algos = String::new();
+    for (i, a) in c.algos.iter().enumerate() {
+        if i > 0 {
+            algos.push_str(",\n");
+        }
+        algos.push_str(&format!(
+            "        {{\"name\": \"{}\", \"rounds_won\": {}, \"rounds_contested\": {}, \
+             \"evaluations\": {}, \"front_size\": {}, \"retired_round\": {}, \
+             \"merged_covers_solo\": {:.4}, \"solo_covers_merged\": {:.4}}}",
+            a.name,
+            a.rounds_won,
+            a.rounds_contested,
+            a.evaluations,
+            a.front_size,
+            a.retired_round
+                .map_or("null".to_string(), |r| r.to_string()),
+            a.merged_covers_solo,
+            a.solo_covers_merged
+        ));
+    }
+    format!(
+        "    {{\n      \"class\": \"{}\",\n      \"customers\": {},\n      \
+         \"rounds\": {},\n      \"evaluations\": {},\n      \"merged_size\": {},\n      \
+         \"merged_non_dominated\": {},\n      \"algorithms\": [\n{}\n      ]\n    }}",
+        c.class, c.customers, c.rounds, c.evaluations, c.merged_size, c.merged_non_dominated, algos
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let algos: Vec<String> = get("--algos")
+        .unwrap_or_else(|| "tsmo-collab,nsga2,spea2".to_string())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let rounds: u32 = get("--rounds").map_or(3, |s| s.parse().expect("--rounds"));
+    let evals: u64 = get("--evals").map_or(12_000, |s| s.parse().expect("--evals"));
+    let sizes: Vec<usize> = get("--customers")
+        .unwrap_or_else(|| "100,200".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--customers"))
+        .collect();
+    let seed: u64 = get("--seed").map_or(23, |s| s.parse().expect("--seed"));
+    let assert_valid = args.iter().any(|a| a == "--assert-valid");
+
+    let cfg = PortfolioConfig {
+        rounds,
+        total_evaluations: evals,
+        seed,
+        ..PortfolioConfig::default()
+    };
+    let classes = [InstanceClass::C1, InstanceClass::R1, InstanceClass::RC1];
+    let mut cells = Vec::new();
+    for (ci, &class) in classes.iter().enumerate() {
+        for (si, &customers) in sizes.iter().enumerate() {
+            let gen_seed = seed ^ ((ci as u64 + 1) << 8) ^ (si as u64 + 1);
+            let cell = run_cell(class, customers, &algos, &cfg, gen_seed);
+            eprintln!(
+                "portbench: {}x{} — merged {} pts over {} rounds ({} evals)",
+                cell.class, cell.customers, cell.merged_size, cell.rounds, cell.evaluations
+            );
+            for a in &cell.algos {
+                eprintln!(
+                    "  {}: won {}/{} rounds, spent {}, front {}, C(merged,solo)={:.3} \
+                     C(solo,merged)={:.3}{}",
+                    a.name,
+                    a.rounds_won,
+                    a.rounds_contested,
+                    a.evaluations,
+                    a.front_size,
+                    a.merged_covers_solo,
+                    a.solo_covers_merged,
+                    a.retired_round
+                        .map_or(String::new(), |r| format!(" (retired round {r})"))
+                );
+            }
+            cells.push(cell);
+        }
+    }
+
+    // Aggregate win rates per algorithm across every cell.
+    let totals: Vec<(String, usize, usize)> = algos
+        .iter()
+        .map(|name| {
+            let (won, contested) = cells
+                .iter()
+                .flat_map(|c| c.algos.iter().filter(|a| &a.name == name))
+                .fold((0, 0), |(w, t), a| {
+                    (w + a.rounds_won as usize, t + a.rounds_contested)
+                });
+            (name.clone(), won, contested)
+        })
+        .collect();
+    for (name, won, contested) in &totals {
+        println!(
+            "portbench: {name} win rate {:.3} ({won}/{contested} rounds)",
+            *won as f64 / (*contested).max(1) as f64
+        );
+    }
+
+    if let Some(path) = get("--out") {
+        let rates: Vec<String> = totals
+            .iter()
+            .map(|(name, won, contested)| {
+                format!(
+                    "    {{\"name\": \"{name}\", \"rounds_won\": {won}, \
+                     \"rounds_contested\": {contested}, \"win_rate\": {:.4}}}",
+                    *won as f64 / (*contested).max(1) as f64
+                )
+            })
+            .collect();
+        let body: Vec<String> = cells.iter().map(cell_json).collect();
+        let json = format!(
+            "{{\n  \"benchmark\": \"tsmo-portfolio portbench\",\n  \
+             \"algorithms\": [{}],\n  \"rounds\": {rounds},\n  \
+             \"total_evaluations\": {evals},\n  \"seed\": {seed},\n  \
+             \"win_rates\": [\n{}\n  ],\n  \"cells\": [\n{}\n  ]\n}}\n",
+            algos
+                .iter()
+                .map(|a| format!("\"{a}\""))
+                .collect::<Vec<_>>()
+                .join(", "),
+            rates.join(",\n"),
+            body.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+
+    if assert_valid {
+        let mut ok = true;
+        for c in &cells {
+            if !c.merged_non_dominated || c.merged_size == 0 {
+                eprintln!(
+                    "portbench: FAIL — {}x{} merged front invalid",
+                    c.class, c.customers
+                );
+                ok = false;
+            }
+            let won: usize = c.algos.iter().map(|a| a.rounds_won as usize).sum();
+            if won != c.rounds {
+                eprintln!(
+                    "portbench: FAIL — {}x{} rounds without a unique winner ({won}/{})",
+                    c.class, c.customers, c.rounds
+                );
+                ok = false;
+            }
+            for a in &c.algos {
+                if a.solo_covers_merged >= 1.0 {
+                    eprintln!(
+                        "portbench: FAIL — {}x{}: standalone {} covers the merged front \
+                         at equal budget",
+                        c.class, c.customers, a.name
+                    );
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("portbench: all validity gates passed");
+    }
+    ExitCode::SUCCESS
+}

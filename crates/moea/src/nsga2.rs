@@ -6,6 +6,7 @@ use deme::{EvaluationBudget, RunClock};
 use detrand::{Rng, Xoshiro256StarStar};
 use pareto::{crowding_distances, Dominance};
 use std::sync::Arc;
+use tsmo_core::CancelToken;
 use vrptw::{Instance, Objectives, Solution};
 use vrptw_construct::randomized_i1;
 
@@ -23,6 +24,12 @@ pub struct Nsga2Config {
     pub mutation_rate: f64,
     /// Master seed.
     pub seed: u64,
+    /// Solutions seeding the initial population (resume/racing). The first
+    /// `population` entries fill initial slots — each consuming one
+    /// evaluation exactly like a cold construction, so warm and cold runs
+    /// spend equal budgets — and the remainder is constructed with
+    /// randomized I1. Empty leaves the cold start byte-identical.
+    pub warm_start: Vec<Solution>,
 }
 
 impl Default for Nsga2Config {
@@ -33,6 +40,7 @@ impl Default for Nsga2Config {
             crossover_rate: 0.9,
             mutation_rate: 0.3,
             seed: 0,
+            warm_start: Vec::new(),
         }
     }
 }
@@ -104,6 +112,16 @@ impl Nsga2 {
 
     /// Runs to budget exhaustion.
     pub fn run(&self, inst: &Arc<Instance>) -> Nsga2Outcome {
+        self.run_with_cancel(inst, CancelToken::never())
+    }
+
+    /// Runs until the budget is exhausted or the token stops the run.
+    ///
+    /// The token is checked at the top of each generation, before any
+    /// randomness is drawn, so a truncated run's population trajectory is
+    /// a byte-identical prefix of the unstopped run's — the same contract
+    /// the TSMO variants honor (`tsmo_core::CancelToken`).
+    pub fn run_with_cancel(&self, inst: &Arc<Instance>, cancel: CancelToken) -> Nsga2Outcome {
         let clock = RunClock::start();
         let cfg = &self.cfg;
         let budget = EvaluationBudget::new(cfg.max_evaluations);
@@ -118,14 +136,21 @@ impl Nsga2 {
             }
         };
 
-        // Initial population: randomized I1 constructions.
+        // Initial population: warm-start seeds first, randomized I1
+        // constructions for the remaining slots.
         let init = budget.try_consume(cfg.population as u64) as usize;
         let mut pop: Vec<Individual> = (0..init.max(2))
-            .map(|_| evaluate(randomized_i1(inst, &mut rng), inst))
+            .map(|i| {
+                let sol = match cfg.warm_start.get(i) {
+                    Some(s) => s.clone(),
+                    None => randomized_i1(inst, &mut rng),
+                };
+                evaluate(sol, inst)
+            })
             .collect();
 
         let mut generations = 0;
-        while !budget.exhausted() {
+        while !budget.exhausted() && !cancel.should_stop(generations) {
             let (rank, crowd) = rank_and_crowd(&pop);
             let offspring_budget = budget.try_consume(cfg.population as u64) as usize;
             if offspring_budget == 0 {

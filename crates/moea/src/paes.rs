@@ -14,6 +14,7 @@ use deme::{EvaluationBudget, RunClock};
 use detrand::Xoshiro256StarStar;
 use pareto::{compare, DomRelation};
 use std::sync::Arc;
+use tsmo_core::CancelToken;
 use vrptw::{Instance, Objectives, Solution};
 use vrptw_construct::randomized_i1;
 
@@ -28,6 +29,11 @@ pub struct PaesConfig {
     pub max_evaluations: u64,
     /// Master seed.
     pub seed: u64,
+    /// Solutions seeding the archive (resume/racing): the first becomes
+    /// the walking solution, the rest (up to the archive capacity) are
+    /// inserted, each consuming one evaluation. Empty leaves the cold
+    /// start byte-identical.
+    pub warm_start: Vec<Solution>,
 }
 
 impl Default for PaesConfig {
@@ -37,6 +43,7 @@ impl Default for PaesConfig {
             depth: 4,
             max_evaluations: 100_000,
             seed: 0,
+            warm_start: Vec::new(),
         }
     }
 }
@@ -179,6 +186,16 @@ impl Paes {
 
     /// Runs to budget exhaustion.
     pub fn run(&self, inst: &Arc<Instance>) -> PaesOutcome {
+        self.run_with_cancel(inst, CancelToken::never())
+    }
+
+    /// Runs until the budget is exhausted or the token stops the run.
+    ///
+    /// The token is checked at the top of each (1+1) step, before the
+    /// mutation randomness is drawn, so a truncated trajectory is a
+    /// byte-identical prefix of the unstopped one (the
+    /// `tsmo_core::CancelToken` contract).
+    pub fn run_with_cancel(&self, inst: &Arc<Instance>, cancel: CancelToken) -> PaesOutcome {
         let clock = RunClock::start();
         let cfg = &self.cfg;
         let budget = EvaluationBudget::new(cfg.max_evaluations);
@@ -194,12 +211,24 @@ impl Paes {
         };
 
         budget.try_consume(1);
-        let mut current = evaluate(randomized_i1(inst, &mut rng), inst);
+        let mut current = if let Some(first) = cfg.warm_start.first() {
+            evaluate(first.clone(), inst)
+        } else {
+            evaluate(randomized_i1(inst, &mut rng), inst)
+        };
         let mut archive = GridArchive::new(cfg.archive, cfg.depth);
         archive.insert(current.clone());
+        for seed in cfg.warm_start.iter().skip(1).take(cfg.archive) {
+            if budget.try_consume(1) == 0 {
+                break;
+            }
+            archive.insert(evaluate(seed.clone(), inst));
+        }
         let mut accepted = 0;
 
-        while budget.try_consume(1) == 1 {
+        let mut steps = 0usize;
+        while !cancel.should_stop(steps) && budget.try_consume(1) == 1 {
+            steps += 1;
             let candidate = evaluate(mutate(inst, &current.solution, &mut rng), inst);
             match compare(&current.vector, &candidate.vector) {
                 DomRelation::Dominates | DomRelation::Equal => continue, // reject

@@ -13,6 +13,7 @@ use deme::{EvaluationBudget, RunClock};
 use detrand::{Rng, Xoshiro256StarStar};
 use pareto::dominates;
 use std::sync::Arc;
+use tsmo_core::CancelToken;
 use vrptw::{Instance, Objectives, Solution};
 use vrptw_construct::randomized_i1;
 
@@ -31,6 +32,9 @@ pub struct Spea2Config {
     pub mutation_rate: f64,
     /// Master seed.
     pub seed: u64,
+    /// Solutions seeding the initial population (resume/racing); same
+    /// budget accounting and fill rule as [`crate::Nsga2Config::warm_start`].
+    pub warm_start: Vec<Solution>,
 }
 
 impl Default for Spea2Config {
@@ -42,6 +46,7 @@ impl Default for Spea2Config {
             crossover_rate: 0.9,
             mutation_rate: 0.3,
             seed: 0,
+            warm_start: Vec::new(),
         }
     }
 }
@@ -97,6 +102,16 @@ impl Spea2 {
 
     /// Runs to budget exhaustion.
     pub fn run(&self, inst: &Arc<Instance>) -> Spea2Outcome {
+        self.run_with_cancel(inst, CancelToken::never())
+    }
+
+    /// Runs until the budget is exhausted or the token stops the run.
+    ///
+    /// The token is checked once per generation — after environmental
+    /// selection, before any mating randomness is drawn — so a truncated
+    /// run returns the same archive the unstopped run held at that
+    /// generation (the `tsmo_core::CancelToken` prefix contract).
+    pub fn run_with_cancel(&self, inst: &Arc<Instance>, cancel: CancelToken) -> Spea2Outcome {
         let clock = RunClock::start();
         let cfg = &self.cfg;
         let budget = EvaluationBudget::new(cfg.max_evaluations);
@@ -112,7 +127,13 @@ impl Spea2 {
 
         let init = budget.try_consume(cfg.population as u64) as usize;
         let mut population: Vec<Individual> = (0..init.max(2))
-            .map(|_| evaluate(randomized_i1(inst, &mut rng), inst))
+            .map(|i| {
+                let sol = match cfg.warm_start.get(i) {
+                    Some(s) => s.clone(),
+                    None => randomized_i1(inst, &mut rng),
+                };
+                evaluate(sol, inst)
+            })
             .collect();
         let mut archive: Vec<Individual> = Vec::new();
         let mut generations = 0;
@@ -123,7 +144,7 @@ impl Spea2 {
             union.extend(archive.iter().cloned());
             let fitness = spea2_fitness(&union);
             archive = environmental_selection(union, &fitness, cfg.archive);
-            if budget.exhausted() {
+            if budget.exhausted() || cancel.should_stop(generations) {
                 break;
             }
             // Mating selection + variation.

@@ -355,6 +355,37 @@ pub enum SearchEvent {
         /// weakly dominated by the live archive.
         coverage: f64,
     },
+    /// A portfolio round finished and one contender's front was scored
+    /// against the union of the other contenders' fronts.
+    RoundScored {
+        /// Portfolio round index (0-based).
+        round: u32,
+        /// Contender index within the portfolio.
+        contender: u32,
+        /// Mean coverage `C(this, other)` over the other contenders.
+        coverage: f64,
+        /// Hypervolume of the contender's front (reallocation tiebreak).
+        hypervolume: f64,
+    },
+    /// The portfolio scheduler granted a contender its slice of the next
+    /// round's evaluation budget.
+    BudgetReallocated {
+        /// Round the slice is granted *for* (1-based; round 0 slices are
+        /// the uniform opening allocation).
+        round: u32,
+        /// Receiving contender.
+        contender: u32,
+        /// Evaluations in the granted slice.
+        evaluations: u64,
+    },
+    /// A contender pinned at the budget floor was retired from the race;
+    /// its share flows back to the live contenders.
+    ContenderRetired {
+        /// Round after which the retirement took effect.
+        round: u32,
+        /// The retired contender.
+        contender: u32,
+    },
 }
 
 /// An event stamped with its logical sequence number.
@@ -622,6 +653,36 @@ impl TimedEvent {
                 s.push_str(",\"coverage\":");
                 json::write_f64(&mut s, *coverage);
             }
+            SearchEvent::RoundScored {
+                round,
+                contender,
+                coverage,
+                hypervolume,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"round_scored\",\"round\":{round},\"contender\":{contender},\"coverage\":"
+                );
+                json::write_f64(&mut s, *coverage);
+                s.push_str(",\"hypervolume\":");
+                json::write_f64(&mut s, *hypervolume);
+            }
+            SearchEvent::BudgetReallocated {
+                round,
+                contender,
+                evaluations,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"budget_reallocated\",\"round\":{round},\"contender\":{contender},\"evaluations\":{evaluations}"
+                );
+            }
+            SearchEvent::ContenderRetired { round, contender } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"contender_retired\",\"round\":{round},\"contender\":{contender}"
+                );
+            }
         }
         s.push('}');
         s
@@ -789,6 +850,21 @@ impl TimedEvent {
                 size: field_u32(&doc, "size")?,
                 hypervolume: field_f64(&doc, "hypervolume")?,
                 coverage: field_f64(&doc, "coverage")?,
+            },
+            "round_scored" => SearchEvent::RoundScored {
+                round: field_u32(&doc, "round")?,
+                contender: field_u32(&doc, "contender")?,
+                coverage: field_f64(&doc, "coverage")?,
+                hypervolume: field_f64(&doc, "hypervolume")?,
+            },
+            "budget_reallocated" => SearchEvent::BudgetReallocated {
+                round: field_u32(&doc, "round")?,
+                contender: field_u32(&doc, "contender")?,
+                evaluations: field_u64(&doc, "evaluations")?,
+            },
+            "contender_retired" => SearchEvent::ContenderRetired {
+                round: field_u32(&doc, "round")?,
+                contender: field_u32(&doc, "contender")?,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -993,6 +1069,21 @@ mod tests {
                 size: 9,
                 hypervolume: 1234.5,
                 coverage: 0.75,
+            },
+            SearchEvent::RoundScored {
+                round: 2,
+                contender: 1,
+                coverage: 0.625,
+                hypervolume: 9876.5,
+            },
+            SearchEvent::BudgetReallocated {
+                round: 3,
+                contender: 0,
+                evaluations: 4500,
+            },
+            SearchEvent::ContenderRetired {
+                round: 3,
+                contender: 2,
             },
         ]
     }

@@ -118,6 +118,15 @@ pub mod names {
     /// (counter).
     pub const TRACE_DROPPED: &str = "tsmo_trace_dropped_total";
 
+    /// Portfolio rounds scored (counter; one per contender per round).
+    pub const PORTFOLIO_ROUNDS_SCORED: &str = "tsmo_portfolio_rounds_scored_total";
+    /// Portfolio budget slices granted (counter).
+    pub const PORTFOLIO_REALLOCATIONS: &str = "tsmo_portfolio_reallocations_total";
+    /// Contenders retired at the budget floor (counter).
+    pub const PORTFOLIO_CONTENDERS_RETIRED: &str = "tsmo_portfolio_contenders_retired_total";
+    /// Evaluations spent through portfolio slices (counter).
+    pub const PORTFOLIO_EVALUATIONS: &str = "tsmo_portfolio_evaluations_total";
+
     /// Per-phase closed-span count from the self-profiler (counter).
     pub fn span_calls(span: &str) -> String {
         format!("tsmo_span_calls_total{{span=\"{span}\"}}")

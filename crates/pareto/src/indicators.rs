@@ -69,11 +69,9 @@ pub fn hypervolume_2d<T: Dominance>(front: &[T], reference: [f64; 2]) -> f64 {
         .filter(|p| p[0] < reference[0] && p[1] < reference[1])
         .collect();
     // Sweep by increasing first objective; only keep the staircase.
-    pts.sort_by(|a, b| {
-        a[0].partial_cmp(&b[0])
-            .unwrap()
-            .then(a[1].partial_cmp(&b[1]).unwrap())
-    });
+    // total_cmp keeps the sort well-defined even if a NaN objective slips
+    // in (NaN sorts last and never enters the accumulated area below).
+    pts.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[1].total_cmp(&b[1])));
     let mut hv = 0.0;
     let mut best_y = reference[1];
     for p in pts {
@@ -106,7 +104,7 @@ pub fn hypervolume_3d<T: Dominance>(front: &[T], reference: [f64; 3]) -> f64 {
     if pts.is_empty() {
         return 0.0;
     }
-    pts.sort_by(|a, b| a[2].partial_cmp(&b[2]).unwrap());
+    pts.sort_by(|a, b| a[2].total_cmp(&b[2]));
     // z-levels where the 2-D cross-section changes.
     let mut hv = 0.0;
     for i in 0..pts.len() {
@@ -224,6 +222,27 @@ mod tests {
         let hv3 = hypervolume_3d(&f3, [3.0, 3.0, 1.0]);
         let hv2 = hypervolume_2d(&f2, [3.0, 3.0]);
         assert!((hv3 - hv2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv_nan_objectives_degrade_gracefully() {
+        // A NaN objective (e.g. a poisoned evaluation mid-race) must not
+        // panic the indicator; the poisoned point simply contributes no
+        // volume, like any point outside the reference box.
+        let clean2 = vec![vec![1.0, 1.0]];
+        let dirty2 = vec![vec![1.0, 1.0], vec![f64::NAN, 0.5], vec![0.5, f64::NAN]];
+        assert_eq!(
+            hypervolume_2d(&dirty2, [3.0, 3.0]),
+            hypervolume_2d(&clean2, [3.0, 3.0])
+        );
+        let clean3 = vec![vec![1.0, 2.0, 1.0], vec![2.0, 1.0, 2.0]];
+        let mut dirty3 = clean3.clone();
+        dirty3.push(vec![1.0, 1.0, f64::NAN]);
+        dirty3.push(vec![f64::NAN, f64::NAN, f64::NAN]);
+        assert_eq!(
+            hypervolume_3d(&dirty3, [3.0, 3.0, 3.0]),
+            hypervolume_3d(&clean3, [3.0, 3.0, 3.0])
+        );
     }
 
     #[test]

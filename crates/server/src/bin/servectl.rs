@@ -8,6 +8,9 @@
 //!          [--deadline-ms D] [--max-iters I] [--record-events] [--wait SECONDS]
 //! servectl --addr HOST:PORT submit-dynamic FILE [submit opts]
 //!          [--script-seed S] [--epochs N] [--mutations M] [--cold]
+//! servectl --addr HOST:PORT submit-portfolio FILE [submit opts]
+//!          [--algos A,B,C] [--rounds R] [--floor F] [--eta E]
+//!          [--beta B] [--retire-after K]
 //! servectl --addr HOST:PORT status JOB
 //! servectl --addr HOST:PORT cancel JOB
 //! servectl --addr HOST:PORT result JOB
@@ -23,18 +26,21 @@
 
 use std::process::ExitCode;
 use std::time::Duration;
-use tsmo_serve::{Client, DynamicParams, JobResult, JobSpec};
+use tsmo_serve::{Client, DynamicParams, JobResult, JobSpec, PortfolioParams};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: servectl --addr HOST:PORT [--connect-timeout-ms MS] \
          (health | metrics | submit FILE [opts] | submit-dynamic FILE [opts] | \
-         status JOB | cancel JOB | result JOB | tail JOB | shutdown)\n\
+         submit-portfolio FILE [opts] | status JOB | cancel JOB | result JOB | tail JOB | \
+         shutdown)\n\
          submit opts: --variant sequential|synchronous|asynchronous|collaborative \
          --processors P --evals N --neighborhood N --seed S --deadline-ms D --max-iters I \
          --record-events --wait SECONDS\n\
          submit-dynamic opts: submit opts plus --script-seed S --epochs N --mutations M \
-         --cold (cold-start every epoch; default warm-starts from the previous front)"
+         --cold (cold-start every epoch; default warm-starts from the previous front)\n\
+         submit-portfolio opts: submit opts plus --algos A,B,C (tsmo-seq|tsmo-sync|tsmo-async|\
+         tsmo-collab|nsga2|spea2|paes) --rounds R --floor F --eta E --beta B --retire-after K"
     );
     ExitCode::FAILURE
 }
@@ -47,6 +53,18 @@ fn print_result(job: u64, r: &JobResult) {
         r.truncated,
         r.stop_cause.as_deref().unwrap_or("-")
     );
+    for round in &r.rounds {
+        println!(
+            "  round {}: winner={} ({}) allocated={} spent={} retired={} coverage={:.3}",
+            round.round,
+            round.winner,
+            round.winner_algo,
+            round.allocated,
+            round.spent,
+            round.retired,
+            round.best_coverage
+        );
+    }
     for e in &r.epochs {
         println!(
             "  epoch {}: customers={} mutations={} warm_seeds={} evaluations={} \
@@ -127,7 +145,7 @@ fn main() -> ExitCode {
             print!("{}", client.metrics()?);
             Ok(ExitCode::SUCCESS)
         }
-        "submit" | "submit-dynamic" => {
+        "submit" | "submit-dynamic" | "submit-portfolio" => {
             let Some(file) = positional.get(1) else {
                 return Ok(usage());
             };
@@ -161,7 +179,28 @@ fn main() -> ExitCode {
             if args.iter().any(|a| a == "--record-events") {
                 spec.record_events = true;
             }
-            let submitted = if command == "submit-dynamic" {
+            let submitted = if command == "submit-portfolio" {
+                let mut portfolio = PortfolioParams::default();
+                if let Some(v) = get("--algos") {
+                    portfolio.algos = v.split(',').map(str::to_string).collect();
+                }
+                if let Some(v) = get("--rounds") {
+                    portfolio.rounds = v.parse().expect("--rounds expects an integer");
+                }
+                if let Some(v) = get("--floor") {
+                    portfolio.floor = v.parse().expect("--floor expects a number");
+                }
+                if let Some(v) = get("--eta") {
+                    portfolio.eta = v.parse().expect("--eta expects a number");
+                }
+                if let Some(v) = get("--beta") {
+                    portfolio.softmax_beta = v.parse().expect("--beta expects a number");
+                }
+                if let Some(v) = get("--retire-after") {
+                    portfolio.retire_after = v.parse().expect("--retire-after expects an integer");
+                }
+                client.submit_portfolio(spec, portfolio)?
+            } else if command == "submit-dynamic" {
                 let mut dynamic = DynamicParams::default();
                 if let Some(v) = get("--script-seed") {
                     dynamic.script_seed = v.parse().expect("--script-seed expects an integer");

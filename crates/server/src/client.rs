@@ -4,7 +4,7 @@
 //! order, so a client is also the unit of pipelining. All methods are
 //! thin wrappers over [`Client::request`].
 
-use crate::wire::{self, DynamicParams, JobResult, JobSpec, Request, Response};
+use crate::wire::{self, DynamicParams, JobResult, JobSpec, PortfolioParams, Request, Response};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -72,6 +72,23 @@ impl Client {
         dynamic: DynamicParams,
     ) -> io::Result<Result<u64, u32>> {
         match self.request(&Request::SubmitDynamic { spec, dynamic })? {
+            Response::Submitted { job, .. } => Ok(Ok(job)),
+            Response::QueueFull { capacity } => Ok(Err(capacity)),
+            Response::Error { message } => Err(protocol_err(message)),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Submits a portfolio race: the named algorithms share `spec`'s
+    /// evaluation budget across `portfolio.rounds` scored rounds with
+    /// coverage-driven reallocation. Same admission contract as
+    /// [`submit`](Client::submit).
+    pub fn submit_portfolio(
+        &mut self,
+        spec: JobSpec,
+        portfolio: PortfolioParams,
+    ) -> io::Result<Result<u64, u32>> {
+        match self.request(&Request::SubmitPortfolio { spec, portfolio })? {
             Response::Submitted { job, .. } => Ok(Ok(job)),
             Response::QueueFull { capacity } => Ok(Err(capacity)),
             Response::Error { message } => Err(protocol_err(message)),

@@ -5,7 +5,7 @@
 //! or `Failed`); waiters block on a condvar, which is also how the
 //! daemon's shutdown path waits for the in-flight jobs to drain.
 
-use crate::wire::{DynamicParams, JobResult, JobSpec};
+use crate::wire::{DynamicParams, JobResult, JobSpec, PortfolioParams};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -65,6 +65,9 @@ pub struct Job {
     /// Dynamic re-optimization parameters, present when the job was
     /// submitted via `SubmitDynamic`; `None` runs a plain single search.
     pub dynamic: Option<DynamicParams>,
+    /// Portfolio race parameters, present when the job was submitted via
+    /// `SubmitPortfolio`. Mutually exclusive with `dynamic`.
+    pub portfolio: Option<PortfolioParams>,
 }
 
 struct TableState {
@@ -105,11 +108,12 @@ impl JobTable {
     /// Registers a new queued job and returns its id. The instance text
     /// inside `spec` is dropped here: the parsed `instance` is the single
     /// shared copy. `dynamic` marks the job as a dynamic re-optimization
-    /// run.
+    /// run, `portfolio` as a budget race; at most one may be set.
     pub fn admit(
         &self,
         mut spec: JobSpec,
         dynamic: Option<DynamicParams>,
+        portfolio: Option<PortfolioParams>,
         instance: Arc<Instance>,
         cancel: CancelToken,
     ) -> u64 {
@@ -130,6 +134,7 @@ impl JobTable {
                 state: JobState::Queued,
                 events,
                 dynamic,
+                portfolio,
             },
         );
         id
@@ -254,7 +259,7 @@ mod tests {
     fn table_with_job() -> (JobTable, u64) {
         let table = JobTable::new();
         let inst = Arc::new(GeneratorConfig::new(InstanceClass::R1, 10, 1).build());
-        let id = table.admit(JobSpec::default(), None, inst, CancelToken::never());
+        let id = table.admit(JobSpec::default(), None, None, inst, CancelToken::never());
         (table, id)
     }
 
@@ -266,6 +271,7 @@ mod tests {
             stop_cause: None,
             front: Vec::new(),
             epochs: Vec::new(),
+            rounds: Vec::new(),
         }
     }
 
@@ -291,7 +297,7 @@ mod tests {
             instance_text: "X".repeat(1000),
             ..JobSpec::default()
         };
-        let id = table.admit(spec, None, inst, CancelToken::never());
+        let id = table.admit(spec, None, None, inst, CancelToken::never());
         let text_len = table.with_job(id, |j| j.spec.instance_text.len()).unwrap();
         assert_eq!(text_len, 0, "the parsed Arc<Instance> is the only copy");
     }

@@ -39,4 +39,7 @@ pub use client::Client;
 pub use job::{JobState, JobTable};
 pub use queue::{JobQueue, QueueFull};
 pub use server::{Server, ServerConfig};
-pub use wire::{DynamicParams, EpochInfo, FrontPoint, JobResult, JobSpec, Request, Response};
+pub use wire::{
+    DynamicParams, EpochInfo, FrontPoint, JobResult, JobSpec, PortfolioParams, Request, Response,
+    RoundInfo,
+};

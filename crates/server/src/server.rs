@@ -23,7 +23,8 @@ use crate::cache::InstanceCache;
 use crate::job::{JobState, JobTable};
 use crate::queue::JobQueue;
 use crate::wire::{
-    self, DynamicParams, EpochInfo, FrontPoint, JobResult, JobSpec, Request, Response,
+    self, DynamicParams, EpochInfo, FrontPoint, JobResult, JobSpec, PortfolioParams, Request,
+    Response, RoundInfo,
 };
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -195,6 +196,7 @@ fn job_result(outcome: &TsmoOutcome, cause: Option<StopCause>) -> JobResult {
         stop_cause: cause.map(|c| c.as_str().to_string()),
         front: front_points(&outcome.archive),
         epochs: Vec::new(),
+        rounds: Vec::new(),
     }
 }
 
@@ -230,6 +232,45 @@ fn dynamic_job_result(
                     .map(|en| en.objectives.to_vector()[0])
                     .fold(f64::INFINITY, f64::min)
                     .min(f64::MAX), // empty archive stays JSON-finite
+            })
+            .collect(),
+        rounds: Vec::new(),
+    }
+}
+
+/// Shapes a portfolio race as a wire result: the stage-two merged front
+/// plus one [`RoundInfo`] per scored round. Portfolio jobs track no
+/// master-iteration count, so `iterations` reports completed rounds.
+fn portfolio_job_result(
+    outcome: &tsmo_portfolio::PortfolioOutcome,
+    cause: Option<StopCause>,
+) -> JobResult {
+    JobResult {
+        evaluations: outcome.evaluations,
+        iterations: outcome.ledger.len() as u64,
+        truncated: cause.is_some(),
+        stop_cause: cause.map(|c| c.as_str().to_string()),
+        front: front_points(&outcome.merged),
+        epochs: Vec::new(),
+        rounds: outcome
+            .ledger
+            .iter()
+            .map(|round| RoundInfo {
+                round: u64::from(round.round),
+                winner: u64::from(round.winner),
+                winner_algo: outcome
+                    .contenders
+                    .get(round.winner as usize)
+                    .map(|c| c.name.clone())
+                    .unwrap_or_default(),
+                allocated: round.entries.iter().map(|e| e.allocated).sum(),
+                spent: round.entries.iter().map(|e| e.spent).sum(),
+                retired: round.retired.len() as u64,
+                best_coverage: round
+                    .entries
+                    .iter()
+                    .find(|e| e.contender == round.winner)
+                    .map_or(0.0, |e| e.coverage),
             })
             .collect(),
     }
@@ -298,6 +339,7 @@ fn run_mesh_job(
         stop_cause: None,
         front: front_points(&outcome.front),
         epochs: Vec::new(),
+        rounds: Vec::new(),
     })
 }
 
@@ -577,7 +619,7 @@ fn handle_http(stream: TcpStream, shared: &Shared) {
 /// daemon after responding (wire shutdown).
 fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
     match req {
-        Request::Submit(spec) => (handle_submit(shared, spec, None), false),
+        Request::Submit(spec) => (handle_submit(shared, spec, None, None), false),
         Request::SubmitDynamic { spec, dynamic } => {
             let response = if dynamic.epochs == 0 {
                 Response::Error {
@@ -588,7 +630,15 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
                     message: "dynamic jobs are capped at 64 epochs".to_string(),
                 }
             } else {
-                handle_submit(shared, spec, Some(dynamic))
+                handle_submit(shared, spec, Some(dynamic), None)
+            };
+            (response, false)
+        }
+        Request::SubmitPortfolio { spec, portfolio } => {
+            let response = if let Err(e) = validate_portfolio(&portfolio) {
+                Response::Error { message: e }
+            } else {
+                handle_submit(shared, spec, None, Some(portfolio))
             };
             (response, false)
         }
@@ -647,7 +697,36 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
     }
 }
 
-fn handle_submit(shared: &Shared, spec: JobSpec, dynamic: Option<DynamicParams>) -> Response {
+/// Rejects a portfolio submission the worker could not run.
+fn validate_portfolio(portfolio: &PortfolioParams) -> Result<(), String> {
+    if portfolio.algos.is_empty() {
+        return Err("portfolio jobs need at least one contender".to_string());
+    }
+    if portfolio.rounds == 0 {
+        return Err("portfolio jobs need at least one round".to_string());
+    }
+    if portfolio.rounds > 64 {
+        return Err("portfolio jobs are capped at 64 rounds".to_string());
+    }
+    let params = tsmo_portfolio::RaceParams::default();
+    for name in &portfolio.algos {
+        if tsmo_portfolio::contender(name, &params).is_none() {
+            return Err(format!(
+                "unknown portfolio algorithm '{}' (expected one of {})",
+                name,
+                tsmo_portfolio::KNOWN_ALGORITHMS.join("|")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn handle_submit(
+    shared: &Shared,
+    spec: JobSpec,
+    dynamic: Option<DynamicParams>,
+    portfolio: Option<PortfolioParams>,
+) -> Response {
     if shared.draining.load(Ordering::Acquire) {
         return Response::Error {
             message: "daemon is draining; not accepting jobs".to_string(),
@@ -672,7 +751,9 @@ fn handle_submit(shared: &Shared, spec: JobSpec, dynamic: Option<DynamicParams>)
         spec.deadline_ms.map(Duration::from_millis),
         spec.max_iterations,
     );
-    let job = shared.jobs.admit(spec, dynamic, instance, cancel);
+    let job = shared
+        .jobs
+        .admit(spec, dynamic, portfolio, instance, cancel);
     match shared.queue.push(job) {
         Ok(depth) => {
             shared.metrics.counter_add(names::JOBS_ADMITTED, 1);
@@ -705,12 +786,13 @@ fn worker_loop(shared: &Arc<Shared>) {
         shared
             .metrics
             .gauge_set(names::QUEUE_DEPTH, shared.queue.len() as f64);
-        let Some((spec, dynamic, instance, cancel, submitted, job_events)) =
+        let Some((spec, dynamic, portfolio, instance, cancel, submitted, job_events)) =
             shared.jobs.with_job(id, |j| {
                 j.state = JobState::Running;
                 (
                     j.spec.clone(),
                     j.dynamic.clone(),
+                    j.portfolio.clone(),
                     Arc::clone(&j.instance),
                     j.cancel.clone(),
                     j.submitted,
@@ -746,6 +828,14 @@ fn worker_loop(shared: &Arc<Shared>) {
             }),
             None => Arc::clone(&shared.metrics) as Arc<dyn Recorder>,
         };
+        if let Some(pp) = &portfolio {
+            // Portfolio races run in-process; the race is about budget
+            // shares, not thread-level parallelism.
+            run_portfolio_job(
+                shared, id, pp, &spec, &instance, recorder, &cancel, submitted,
+            );
+            continue;
+        }
         if let Some(dp) = &dynamic {
             // Dynamic jobs run their epochs in-process (no mesh dispatch).
             run_dynamic_job(
@@ -827,6 +917,86 @@ fn worker_loop(shared: &Arc<Shared>) {
             .jobs
             .with_job(id, |j| j.state = JobState::Done(result));
     }
+}
+
+/// Runs one portfolio race: builds the named contenders with the spec's
+/// sizing, races them on slices of `spec.max_evaluations` under the job's
+/// cancel token, and deposits the stage-two merged front as the
+/// instance's solution pool (a later dynamic or portfolio job on the same
+/// content warm-starts from it). The race's events and counters flow
+/// through the job's recorder, so a `record_events` portfolio job can be
+/// tailed round by round.
+#[allow(clippy::too_many_arguments)]
+fn run_portfolio_job(
+    shared: &Shared,
+    id: u64,
+    pp: &PortfolioParams,
+    spec: &JobSpec,
+    instance: &Arc<vrptw::Instance>,
+    recorder: Arc<dyn Recorder>,
+    cancel: &CancelToken,
+    submitted: std::time::Instant,
+) {
+    let params = tsmo_portfolio::RaceParams {
+        neighborhood_size: spec.neighborhood_size.max(2),
+        processors: spec.processors.max(1),
+        ..tsmo_portfolio::RaceParams::default()
+    };
+    let contenders: Vec<_> = pp
+        .algos
+        .iter()
+        .filter_map(|name| tsmo_portfolio::contender(name, &params))
+        .collect();
+    if contenders.len() != pp.algos.len() {
+        // Validated at submit; defensive for future wire changes.
+        shared.jobs.with_job(id, |j| {
+            j.state = JobState::Failed("unknown portfolio algorithm".to_string());
+        });
+        return;
+    }
+    let cfg = tsmo_portfolio::PortfolioConfig {
+        rounds: pp.rounds,
+        total_evaluations: spec.max_evaluations,
+        seed: spec.seed,
+        floor: pp.floor,
+        eta: pp.eta,
+        softmax_beta: pp.softmax_beta,
+        retire_after: pp.retire_after,
+        ..tsmo_portfolio::PortfolioConfig::default()
+    };
+    let outcome =
+        tsmo_portfolio::Portfolio::new(cfg).run(instance, contenders, recorder, cancel.clone());
+    let pool: Vec<vrptw::Solution> = outcome.merged.iter().map(|e| e.solution.clone()).collect();
+    if !pool.is_empty() {
+        shared
+            .cache
+            .pool_put(&vrptw::solomon::write(instance), pool);
+    }
+    let cause = cancel.cause();
+    match cause {
+        Some(StopCause::Cancelled) => shared.metrics.counter_add(names::JOBS_CANCELLED, 1),
+        Some(StopCause::DeadlineExceeded) => {
+            shared.metrics.counter_add(names::JOBS_DEADLINE_EXCEEDED, 1);
+            shared
+                .events
+                .event(SearchEvent::JobDeadlineExceeded { job: id });
+        }
+        Some(StopCause::IterationLimit) | None => {}
+    }
+    let result = portfolio_job_result(&outcome, cause);
+    shared.metrics.counter_add(names::JOBS_COMPLETED, 1);
+    shared.metrics.observe(
+        names::JOB_LATENCY_MS,
+        submitted.elapsed().as_secs_f64() * 1000.0,
+    );
+    shared.events.event(SearchEvent::JobCompleted {
+        job: id,
+        iterations: result.iterations,
+        truncated: result.truncated,
+    });
+    shared
+        .jobs
+        .with_job(id, |j| j.state = JobState::Done(result));
 }
 
 /// Runs one dynamic re-optimization job: regenerates the scenario script

@@ -109,6 +109,98 @@ impl DynamicParams {
     }
 }
 
+/// How a portfolio race is set up. The per-slice search parameters
+/// (budget, seed, neighborhood, processors) ride in the accompanying
+/// [`JobSpec`]; these are the scheduler knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioParams {
+    /// Contender algorithm names (`tsmo-seq`, `tsmo-sync`, `tsmo-async`,
+    /// `tsmo-collab`, `nsga2`, `spea2`, `paes`).
+    pub algos: Vec<String>,
+    /// Racing rounds the budget is split into.
+    pub rounds: u32,
+    /// Budget floor as a fraction of the uniform share.
+    pub floor: f64,
+    /// η-greedy exploration rate.
+    pub eta: f64,
+    /// Softmax temperature over the coverage scores.
+    pub softmax_beta: f64,
+    /// Retire after this many consecutive floor rounds (0 disables).
+    pub retire_after: u32,
+}
+
+impl Default for PortfolioParams {
+    fn default() -> Self {
+        Self {
+            algos: vec![
+                "tsmo-collab".to_string(),
+                "nsga2".to_string(),
+                "spea2".to_string(),
+            ],
+            rounds: 4,
+            floor: 0.25,
+            eta: 0.1,
+            softmax_beta: 4.0,
+            retire_after: 2,
+        }
+    }
+}
+
+impl PortfolioParams {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"algos\":[");
+        for (i, a) in self.algos.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(out, a);
+        }
+        let _ = write!(out, "],\"rounds\":{},\"floor\":", self.rounds);
+        json::write_f64(out, self.floor);
+        out.push_str(",\"eta\":");
+        json::write_f64(out, self.eta);
+        out.push_str(",\"softmax_beta\":");
+        json::write_f64(out, self.softmax_beta);
+        let _ = write!(out, ",\"retire_after\":{}}}", self.retire_after);
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        let algos = match doc.get("algos") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "bad 'algos' entry".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing 'algos' array".to_string()),
+        };
+        let defaults = Self::default();
+        Ok(Self {
+            algos,
+            rounds: req_u64(doc, "rounds")? as u32,
+            // Lenient: absent scheduler knobs take the defaults.
+            floor: doc
+                .get("floor")
+                .and_then(Json::as_f64)
+                .unwrap_or(defaults.floor),
+            eta: doc
+                .get("eta")
+                .and_then(Json::as_f64)
+                .unwrap_or(defaults.eta),
+            softmax_beta: doc
+                .get("softmax_beta")
+                .and_then(Json::as_f64)
+                .unwrap_or(defaults.softmax_beta),
+            retire_after: doc
+                .get("retire_after")
+                .and_then(Json::as_u64)
+                .map_or(defaults.retire_after, |v| v as u32),
+        })
+    }
+}
+
 /// A request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -124,6 +216,16 @@ pub enum Request {
         /// The scenario: script seed, epoch count, mutation rate, warm
         /// or cold.
         dynamic: DynamicParams,
+    },
+    /// Enqueue a portfolio race: the named algorithms share `spec`'s
+    /// evaluation budget across scored rounds with coverage-driven
+    /// reallocation. Answered like `Submit`.
+    SubmitPortfolio {
+        /// The shared search spec (instance, total budget, seed,
+        /// neighborhood, processors).
+        spec: JobSpec,
+        /// The race: contender names and scheduler knobs.
+        portfolio: PortfolioParams,
     },
     /// Query a job's lifecycle state.
     Status {
@@ -185,6 +287,25 @@ pub struct EpochInfo {
     pub best_distance: f64,
 }
 
+/// Summary of one round of a portfolio job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundInfo {
+    /// Round index (0-based).
+    pub round: u64,
+    /// The round's coverage winner (contender index).
+    pub winner: u64,
+    /// The winner's algorithm name.
+    pub winner_algo: String,
+    /// Evaluations allocated across the round's live contenders.
+    pub allocated: u64,
+    /// Evaluations actually consumed.
+    pub spent: u64,
+    /// Contenders retired at the end of the round.
+    pub retired: u64,
+    /// The winner's mean coverage over the other live fronts.
+    pub best_coverage: f64,
+}
+
 /// A terminal job's payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
@@ -205,6 +326,9 @@ pub struct JobResult {
     /// (whose single run *is* the result). For dynamic jobs `front` is
     /// the final epoch's front.
     pub epochs: Vec<EpochInfo>,
+    /// Per-round summaries of a portfolio job; empty otherwise. For
+    /// portfolio jobs `front` is the stage-two merged front.
+    pub rounds: Vec<RoundInfo>,
 }
 
 /// A response frame.
@@ -351,6 +475,13 @@ impl Request {
                 dynamic.write_json(&mut s);
                 s.push('}');
             }
+            Request::SubmitPortfolio { spec, portfolio } => {
+                s.push_str("{\"type\":\"submit_portfolio\",\"spec\":");
+                spec.write_json(&mut s);
+                s.push_str(",\"portfolio\":");
+                portfolio.write_json(&mut s);
+                s.push('}');
+            }
             Request::Status { job } => {
                 let _ = write!(s, "{{\"type\":\"status\",\"job\":{job}}}");
             }
@@ -381,6 +512,12 @@ impl Request {
                 spec: JobSpec::from_json(doc.get("spec").ok_or("missing 'spec' field")?)?,
                 dynamic: DynamicParams::from_json(
                     doc.get("dynamic").ok_or("missing 'dynamic' field")?,
+                )?,
+            }),
+            "submit_portfolio" => Ok(Request::SubmitPortfolio {
+                spec: JobSpec::from_json(doc.get("spec").ok_or("missing 'spec' field")?)?,
+                portfolio: PortfolioParams::from_json(
+                    doc.get("portfolio").ok_or("missing 'portfolio' field")?,
                 )?,
             }),
             "status" => Ok(Request::Status {
@@ -462,6 +599,25 @@ impl JobResult {
             json::write_f64(out, e.best_distance);
             out.push('}');
         }
+        out.push_str("],\"rounds\":[");
+        for (i, r) in self.rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"round\":{},\"winner\":{},\"winner_algo\":",
+                r.round, r.winner
+            );
+            json::write_str(out, &r.winner_algo);
+            let _ = write!(
+                out,
+                ",\"allocated\":{},\"spent\":{},\"retired\":{},\"best_coverage\":",
+                r.allocated, r.spent, r.retired
+            );
+            json::write_f64(out, r.best_coverage);
+            out.push('}');
+        }
         out.push_str("]}");
     }
 
@@ -504,8 +660,31 @@ impl JobResult {
                     .collect::<Result<Vec<_>, _>>()?,
                 _ => Vec::new(),
             },
+            // Likewise for results that predate portfolio jobs.
+            rounds: match doc.get("rounds") {
+                Some(Json::Array(items)) => items
+                    .iter()
+                    .map(round_info_from)
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => Vec::new(),
+            },
         })
     }
+}
+
+fn round_info_from(v: &Json) -> Result<RoundInfo, String> {
+    Ok(RoundInfo {
+        round: req_u64(v, "round")?,
+        winner: req_u64(v, "winner")?,
+        winner_algo: req_str(v, "winner_algo")?.to_string(),
+        allocated: req_u64(v, "allocated")?,
+        spent: req_u64(v, "spent")?,
+        retired: req_u64(v, "retired")?,
+        best_coverage: v
+            .get("best_coverage")
+            .and_then(Json::as_f64)
+            .ok_or("bad 'best_coverage' field")?,
+    })
 }
 
 fn epoch_info_from(v: &Json) -> Result<EpochInfo, String> {
@@ -732,6 +911,33 @@ mod tests {
                 },
             ],
             epochs: Vec::new(),
+            rounds: Vec::new(),
+        }
+    }
+
+    fn portfolio_result() -> JobResult {
+        JobResult {
+            rounds: vec![
+                RoundInfo {
+                    round: 0,
+                    winner: 2,
+                    winner_algo: "spea2".to_string(),
+                    allocated: 2_500,
+                    spent: 2_500,
+                    retired: 0,
+                    best_coverage: 0.75,
+                },
+                RoundInfo {
+                    round: 1,
+                    winner: 0,
+                    winner_algo: "tsmo-collab".to_string(),
+                    allocated: 2_500,
+                    spent: 2_500,
+                    retired: 1,
+                    best_coverage: 0.5,
+                },
+            ],
+            ..sample_result()
         }
     }
 
@@ -792,6 +998,25 @@ mod tests {
                 spec: JobSpec::default(),
                 dynamic: DynamicParams::default(),
             },
+            Request::SubmitPortfolio {
+                spec: JobSpec {
+                    instance_text: "R101 base".to_string(),
+                    max_evaluations: 9_000,
+                    ..JobSpec::default()
+                },
+                portfolio: PortfolioParams {
+                    algos: vec!["tsmo-seq".to_string(), "nsga2".to_string()],
+                    rounds: 3,
+                    floor: 0.2,
+                    eta: 0.05,
+                    softmax_beta: 2.0,
+                    retire_after: 0,
+                },
+            },
+            Request::SubmitPortfolio {
+                spec: JobSpec::default(),
+                portfolio: PortfolioParams::default(),
+            },
             Request::Status { job: 7 },
             Request::Cancel { job: 7 },
             Request::Result { job: 9 },
@@ -825,6 +1050,10 @@ mod tests {
             Response::JobResult {
                 job: 4,
                 result: dynamic_result(),
+            },
+            Response::JobResult {
+                job: 5,
+                result: portfolio_result(),
             },
             Response::Health {
                 status: "ok".to_string(),
@@ -875,6 +1104,20 @@ mod tests {
             panic!("parsed to the wrong variant");
         };
         assert!(dynamic.warm);
+        // Portfolio params without scheduler knobs take the defaults.
+        let req = "{\"type\":\"submit_portfolio\",\"spec\":{\"instance\":\"X\",\
+                   \"variant\":\"sequential\",\"processors\":1,\"max_evaluations\":5,\
+                   \"neighborhood_size\":2,\"seed\":0,\"deadline_ms\":null,\
+                   \"max_iterations\":null},\"portfolio\":{\"algos\":[\"nsga2\",\
+                   \"paes\"],\"rounds\":2}}";
+        let Request::SubmitPortfolio { portfolio, .. } = Request::parse(req).unwrap() else {
+            panic!("parsed to the wrong variant");
+        };
+        assert_eq!(portfolio.algos, vec!["nsga2", "paes"]);
+        assert_eq!(portfolio.rounds, 2);
+        let defaults = PortfolioParams::default();
+        assert_eq!(portfolio.floor, defaults.floor);
+        assert_eq!(portfolio.retire_after, defaults.retire_after);
     }
 
     #[test]

@@ -7,7 +7,9 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
-use tsmo_serve::{Client, DynamicParams, JobSpec, Request, Response, Server, ServerConfig};
+use tsmo_serve::{
+    Client, DynamicParams, JobSpec, PortfolioParams, Request, Response, Server, ServerConfig,
+};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 
 fn instance_text(customers: usize, seed: u64) -> String {
@@ -473,6 +475,79 @@ fn cold_dynamic_jobs_never_warm_start_and_bad_epochs_are_rejected() {
         ..DynamicParams::default()
     };
     assert!(client.submit_dynamic(spec, zero).is_err());
+    server.shutdown();
+}
+
+#[test]
+fn portfolio_jobs_race_contenders_and_return_a_merged_front() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(15, 11);
+    let spec = JobSpec {
+        max_evaluations: 4_500,
+        ..quick_spec(&text, 21)
+    };
+    let portfolio = PortfolioParams {
+        algos: vec![
+            "tsmo-seq".to_string(),
+            "nsga2".to_string(),
+            "spea2".to_string(),
+        ],
+        rounds: 3,
+        retire_after: 0,
+        ..PortfolioParams::default()
+    };
+    let job = client
+        .submit_portfolio(spec, portfolio)
+        .expect("submit")
+        .expect("admitted");
+    let result = client.wait_result(job, Duration::from_secs(120)).unwrap();
+    assert_eq!(result.rounds.len(), 3, "one summary per round");
+    assert_eq!(
+        result.evaluations,
+        result.rounds.iter().map(|r| r.spent).sum::<u64>(),
+        "totals are the round sums"
+    );
+    assert_eq!(result.evaluations, 4_500, "the race spends the full budget");
+    assert!(!result.front.is_empty(), "the merged front comes back");
+    // The merged front is mutually non-dominated.
+    let vectors: Vec<Vec<f64>> = result.front.iter().map(|p| p.objectives.to_vec()).collect();
+    assert_eq!(
+        pareto::non_dominated_indices(&vectors).len(),
+        vectors.len(),
+        "merged front has a dominated point"
+    );
+    for round in &result.rounds {
+        assert_eq!(
+            round.spent, round.allocated,
+            "uncancelled rounds spend exactly"
+        );
+        assert!(!round.winner_algo.is_empty());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_portfolio_submissions_are_rejected_at_the_wire() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(10, 2);
+    let spec = quick_spec(&text, 1);
+    let unknown = PortfolioParams {
+        algos: vec!["simulated-annealing".to_string()],
+        ..PortfolioParams::default()
+    };
+    assert!(client.submit_portfolio(spec.clone(), unknown).is_err());
+    let empty = PortfolioParams {
+        algos: Vec::new(),
+        ..PortfolioParams::default()
+    };
+    assert!(client.submit_portfolio(spec.clone(), empty).is_err());
+    let zero_rounds = PortfolioParams {
+        rounds: 0,
+        ..PortfolioParams::default()
+    };
+    assert!(client.submit_portfolio(spec, zero_rounds).is_err());
     server.shutdown();
 }
 
