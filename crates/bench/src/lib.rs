@@ -21,6 +21,8 @@ use tsmo_core::{ParallelVariant, TsmoConfig, TsmoOutcome};
 use vrptw::generator::{GeneratorConfig, InstanceClass};
 use vrptw::Instance;
 
+pub mod diff;
+
 /// Options of one table regeneration.
 #[derive(Debug, Clone)]
 pub struct TableOpts {

@@ -1,0 +1,90 @@
+//! The observatory gate, end to end: the real `benchdiff` binary must
+//! pass an unchanged bench file, fail (exit 1) on a synthetically
+//! regressed one, and fail when a baseline metric vanishes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_temp(name: &str, text: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("benchdiff_{name}_{}", std::process::id()));
+    std::fs::write(&path, text).expect("write temp bench file");
+    path
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_benchdiff"))
+        .args(args)
+        .output()
+        .expect("spawn benchdiff");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+const BASELINE: &str = r#"{"evals_per_sec": 1500000.0, "raw": {"seconds": 0.5},
+    "points": [{"hypervolume": 96049.25, "seconds": 2.7}]}"#;
+
+#[test]
+fn an_unchanged_bench_file_passes_the_gate() {
+    let baseline = write_temp("pass_base", BASELINE);
+    let fresh = write_temp("pass_fresh", BASELINE);
+    let (code, stdout, _) = run(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("no regression"), "{stdout}");
+}
+
+#[test]
+fn a_synthetically_regressed_bench_file_fails_the_gate() {
+    // Throughput down 30% against a 10% band.
+    let baseline = write_temp("fail_base", BASELINE);
+    let fresh = write_temp("fail_fresh", &BASELINE.replace("1500000.0", "1050000.0"));
+    let (code, stdout, stderr) = run(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        fresh.to_str().unwrap(),
+        "--tolerance",
+        "10",
+    ]);
+    assert_eq!(code, 1, "{stdout}{stderr}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stderr.contains("regression detected"), "{stderr}");
+}
+
+#[test]
+fn wide_bands_absorb_the_same_move_and_vanished_metrics_still_fail() {
+    let baseline = write_temp("band_base", BASELINE);
+    let fresh = write_temp("band_fresh", &BASELINE.replace("1500000.0", "1050000.0"));
+    let (code, stdout, _) = run(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        fresh.to_str().unwrap(),
+        "--tolerance-for",
+        "evals_per_sec=50",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+
+    // Dropping a metric entirely is never absorbable.
+    let gutted = write_temp(
+        "band_gutted",
+        r#"{"evals_per_sec": 1500000.0, "raw": {"seconds": 0.5}}"#,
+    );
+    let (code, stdout, _) = run(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        gutted.to_str().unwrap(),
+        "--tolerance",
+        "99",
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("MISSING"), "{stdout}");
+}

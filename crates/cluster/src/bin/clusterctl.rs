@@ -45,6 +45,8 @@ fn usage() -> ExitCode {
          [--events-out FILE] [--require-recovered]\n\
          \x20      clusterctl trace-merge --peers A,B,... [--out FILE] [--allow-partial] \
          [--connect-timeout-ms MS]\n\
+         \x20      clusterctl metrics-merge --peers A,B,... [--out FILE] [--allow-partial] \
+         [--connect-timeout-ms MS]\n\
          \x20      clusterctl members --peer ADDR\n\
          \x20      clusterctl join --peer COORD --addr NEW_NODE\n\
          \x20      clusterctl leave --peer COORD --node K"
@@ -108,6 +110,79 @@ fn membership_cmd(cmd: &str, args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("clusterctl: {cmd} against {peer} failed: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fetches every node's metrics registry in mergeable JSON form, stamps
+/// each sample with a `node="k"` label, folds them into one federated
+/// registry (counters sum, gauges keep the maximum, histogram buckets
+/// add), adds a `tsmo_node_up{node="k"}` liveness gauge per peer, and
+/// renders the result as a single Prometheus exposition.
+fn metrics_merge(args: &[String]) -> ExitCode {
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(peers) = get("--peers") else {
+        return usage();
+    };
+    let peers: Vec<String> = peers
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
+    let timeout_ms: u64 = match get("--connect-timeout-ms").map(|v| v.parse()) {
+        Some(Ok(n)) => n,
+        None => 2_000,
+        Some(Err(_)) => {
+            eprintln!("clusterctl: --connect-timeout-ms expects an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let timeout = Duration::from_millis(timeout_ms);
+    let allow_partial = args.iter().any(|a| a == "--allow-partial");
+    let mut federated = tsmo_obs::MetricsRegistry::new();
+    let mut reached = 0usize;
+    for (k, peer) in peers.iter().enumerate() {
+        let node = k.to_string();
+        match mesh::MeshClient::new(peer.clone(), timeout).metrics_registry() {
+            Ok(registry) => {
+                federated.merge(&registry.with_label("node", &node));
+                federated.gauge_set(&names::node_up(&node), 1.0);
+                reached += 1;
+            }
+            Err(e) if allow_partial => {
+                eprintln!("clusterctl: node {k} ({peer}) unreachable, marked down: {e}");
+                federated.gauge_set(&names::node_up(&node), 0.0);
+            }
+            Err(e) => {
+                eprintln!("clusterctl: node {k} ({peer}): metrics fetch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if reached == 0 {
+        eprintln!("clusterctl: no node contributed metrics");
+        return ExitCode::FAILURE;
+    }
+    let exposition = federated.to_prometheus();
+    println!("metrics-merge: {reached}/{} node(s) federated", peers.len());
+    match get("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &exposition) {
+                eprintln!("clusterctl: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("metrics-merge: wrote {path}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{exposition}");
+            ExitCode::SUCCESS
         }
     }
 }
@@ -297,6 +372,9 @@ fn main() -> ExitCode {
     }
     if args[0] == "trace-merge" {
         return trace_merge(&args[1..]);
+    }
+    if args[0] == "metrics-merge" {
+        return metrics_merge(&args[1..]);
     }
     if matches!(args[0].as_str(), "members" | "join" | "leave") {
         return membership_cmd(&args[0].clone(), &args[1..]);

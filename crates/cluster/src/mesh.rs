@@ -104,6 +104,20 @@ impl MeshClient {
         }
     }
 
+    /// The node's metrics registry in mergeable form. Unlike
+    /// [`MeshClient::metrics`] (a render-only exposition), the returned
+    /// registry can be re-labeled and folded into a federated view with
+    /// [`tsmo_obs::MetricsRegistry::merge`].
+    pub fn metrics_registry(&self) -> io::Result<tsmo_obs::MetricsRegistry> {
+        match self.call(&NodeMsg::MetricsFetch)? {
+            NodeMsg::MetricsFetchReply { registry } => {
+                tsmo_obs::MetricsRegistry::from_json(&registry)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Requests cooperative cancellation of the node's job.
     pub fn stop(&self) -> io::Result<()> {
         match self.call(&NodeMsg::Stop)? {

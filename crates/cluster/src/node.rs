@@ -385,6 +385,9 @@ fn handle(msg: NodeMsg, shared: &Arc<NodeShared>) -> NodeMsg {
         NodeMsg::Metrics => NodeMsg::MetricsReply {
             prometheus: shared.recorder.prometheus(),
         },
+        NodeMsg::MetricsFetch => NodeMsg::MetricsFetchReply {
+            registry: shared.recorder.metrics().to_json(),
+        },
         NodeMsg::Trace => NodeMsg::TraceReply {
             jsonl: shared.state().last_trace.clone().unwrap_or_default(),
         },

@@ -303,6 +303,16 @@ pub enum NodeMsg {
         /// The exposition body.
         prometheus: String,
     },
+    /// Fetch the node's telemetry in mergeable JSON form (see
+    /// `MetricsRegistry::to_json`). Unlike `Metrics`, whose prometheus
+    /// exposition is render-only, this reply can be re-parsed and folded
+    /// into a federated registry by a controller.
+    MetricsFetch,
+    /// Answer to `MetricsFetch`.
+    MetricsFetchReply {
+        /// The node's `MetricsRegistry` serialized as JSON.
+        registry: String,
+    },
     /// Fetch the last job's recorded trace (span/timeline JSONL).
     Trace,
     /// Answer to `Trace`: the node's event stream for its last job.
@@ -464,6 +474,12 @@ impl NodeMsg {
                 json::write_str(&mut s, prometheus);
                 s.push('}');
             }
+            NodeMsg::MetricsFetch => s.push_str("{\"type\":\"metrics_fetch\"}"),
+            NodeMsg::MetricsFetchReply { registry } => {
+                s.push_str("{\"type\":\"metrics_fetch_reply\",\"registry\":");
+                json::write_str(&mut s, registry);
+                s.push('}');
+            }
             NodeMsg::Trace => s.push_str("{\"type\":\"trace\"}"),
             NodeMsg::TraceReply { jsonl } => {
                 s.push_str("{\"type\":\"trace_reply\",\"jsonl\":");
@@ -617,6 +633,10 @@ impl NodeMsg {
             "metrics" => Ok(NodeMsg::Metrics),
             "metrics_reply" => Ok(NodeMsg::MetricsReply {
                 prometheus: req_str(&doc, "prometheus")?.to_string(),
+            }),
+            "metrics_fetch" => Ok(NodeMsg::MetricsFetch),
+            "metrics_fetch_reply" => Ok(NodeMsg::MetricsFetchReply {
+                registry: req_str(&doc, "registry")?.to_string(),
             }),
             "trace" => Ok(NodeMsg::Trace),
             "trace_reply" => Ok(NodeMsg::TraceReply {
@@ -858,6 +878,12 @@ mod tests {
             NodeMsg::Metrics,
             NodeMsg::MetricsReply {
                 prometheus: "tsmo_exchanges_received_total 3\n".to_string(),
+            },
+            NodeMsg::MetricsFetch,
+            NodeMsg::MetricsFetchReply {
+                registry:
+                    "{\"counters\":{\"tsmo_evaluations_total\":10},\"gauges\":{},\"histograms\":{}}"
+                        .to_string(),
             },
             NodeMsg::Trace,
             NodeMsg::TraceReply {

@@ -4,7 +4,7 @@ use crate::cancel::CancelToken;
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
 use crate::fault_obs::{publish_recovery, record_fault};
-use crate::neighborhood::{generate_chunk, Neighbor};
+use crate::neighborhood::{generate_chunk_tallied, Chunk, Neighbor};
 use crate::outcome::TsmoOutcome;
 use deme::{EvaluationBudget, MasterWorker, RunClock, Supervisor, SupervisorConfig};
 use detrand::Xoshiro256StarStar;
@@ -25,7 +25,7 @@ struct Task {
     iteration: usize,
 }
 
-type Pool = Supervisor<Task, Vec<Neighbor>>;
+type Pool = Supervisor<Task, Chunk>;
 
 /// Asynchronous master–worker TSMO.
 ///
@@ -127,7 +127,7 @@ impl AsyncTsmo {
             // cross-thread interleaving.
             let fault_seqs: Arc<Vec<AtomicU64>> =
                 Arc::new((0..n_workers).map(|_| AtomicU64::new(0)).collect());
-            let pool = MasterWorker::<Task, Vec<Neighbor>>::spawn(n_workers, move |w, t| {
+            let pool = MasterWorker::<Task, Chunk>::spawn(n_workers, move |w, t| {
                 let mut late_millis = None;
                 if hook.active() {
                     let seq = fault_seqs[w].fetch_add(1, Ordering::Relaxed);
@@ -147,7 +147,14 @@ impl AsyncTsmo {
                         }
                     }
                 }
-                let out = generate_chunk(&inst, &t.snapshot, t.seed, t.count, params, t.iteration);
+                let out = generate_chunk_tallied(
+                    &inst,
+                    &t.snapshot,
+                    t.seed,
+                    t.count,
+                    params,
+                    t.iteration,
+                );
                 if let Some(millis) = late_millis {
                     std::thread::sleep(Duration::from_millis(millis));
                 }
@@ -168,6 +175,7 @@ impl AsyncTsmo {
             0,
         );
         let mut pool: Vec<Neighbor> = Vec::new();
+        let mut tally = vrptw_operators::SampleTally::default();
 
         // Drains every already-delivered worker result into the pool and
         // publishes any recovery actions the supervisor took; `iter` is
@@ -176,6 +184,7 @@ impl AsyncTsmo {
             sup: &mut Pool,
             recorder: &Arc<dyn Recorder>,
             pool: &mut Vec<Neighbor>,
+            tally: &mut vrptw_operators::SampleTally,
             iter: u64,
         ) {
             while let Some((w, chunk_result)) = sup.try_recv() {
@@ -183,10 +192,11 @@ impl AsyncTsmo {
                     recorder.event(SearchEvent::WorkerResult {
                         worker: (w + 1) as u32,
                         iteration: iter,
-                        neighbors: chunk_result.len() as u32,
+                        neighbors: chunk_result.neighbors.len() as u32,
                     });
                 }
-                pool.extend(chunk_result);
+                tally.merge(&chunk_result.tally);
+                pool.extend(chunk_result.neighbors);
             }
             publish_recovery(&**recorder, sup.take_events(), iter);
         }
@@ -198,7 +208,13 @@ impl AsyncTsmo {
                     names::RESULT_QUEUE_DEPTH,
                     sup.pool().result_queue_len() as f64,
                 );
-                fold_arrived(sup, &recorder, &mut pool, core.iteration() as u64);
+                fold_arrived(
+                    sup,
+                    &recorder,
+                    &mut pool,
+                    &mut tally,
+                    core.iteration() as u64,
+                );
             }
             if budget.exhausted() || self.cancel.should_stop(core.iteration()) {
                 break 'search;
@@ -240,20 +256,28 @@ impl AsyncTsmo {
             if granted > 0 {
                 recorder.counter_add(names::EVALUATIONS, granted as u64);
                 let seed = core.next_seed();
-                pool.extend(generate_chunk(
+                let master_chunk = generate_chunk_tallied(
                     inst,
                     core.current(),
                     seed,
                     granted,
                     params,
                     core.iteration(),
-                ));
+                );
+                tally.merge(&master_chunk.tally);
+                pool.extend(master_chunk.neighbors);
             }
             // Decision function (Algorithm 2).
             let wait_start = Instant::now();
             loop {
                 if let Some(sup) = supervisor.as_mut() {
-                    fold_arrived(sup, &recorder, &mut pool, core.iteration() as u64);
+                    fold_arrived(
+                        sup,
+                        &recorder,
+                        &mut pool,
+                        &mut tally,
+                        core.iteration() as u64,
+                    );
                 }
                 let current_vec = core.current().objectives().to_vector();
                 let degraded = supervisor.as_ref().is_some_and(|s| s.degraded());
@@ -277,10 +301,11 @@ impl AsyncTsmo {
                                 recorder.event(SearchEvent::WorkerResult {
                                     worker: (w + 1) as u32,
                                     iteration: core.iteration() as u64,
-                                    neighbors: chunk_result.len() as u32,
+                                    neighbors: chunk_result.neighbors.len() as u32,
                                 });
                             }
-                            pool.extend(chunk_result);
+                            tally.merge(&chunk_result.tally);
+                            pool.extend(chunk_result.neighbors);
                         }
                         publish_recovery(&*recorder, sup.take_events(), core.iteration() as u64);
                     }
@@ -315,6 +340,7 @@ impl AsyncTsmo {
         }
         recorder.gauge_set(names::RUNTIME_SECONDS, runtime_seconds);
         recorder.gauge_set(&names::worker_busy_fraction(0), 1.0);
+        core.note_tally(&tally);
         let (archive, trace, iterations) = core.finish();
         TsmoOutcome {
             archive,

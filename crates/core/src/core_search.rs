@@ -13,7 +13,19 @@ use tsmo_obs::{metrics::names, Recorder, RestartReason, SearchEvent, Span};
 use vrptw::solution::EvaluatedSolution;
 use vrptw::{Instance, Objectives};
 use vrptw_construct::randomized_i1;
-use vrptw_operators::SampleParams;
+use vrptw_operators::{OperatorKind, SampleParams, SampleTally};
+
+/// Per-operator outcome counters accumulated by the step loop. One cell
+/// per operator in [`OperatorKind::ALL`] order; plain array increments,
+/// so the instrumented hot path costs a handful of integer adds per
+/// step regardless of the attached recorder.
+#[derive(Debug, Clone, Copy, Default)]
+struct OperatorOutcomes {
+    accepted: [u64; OperatorKind::ALL.len()],
+    improving: [u64; OperatorKind::ALL.len()],
+    tabu_rejected: [u64; OperatorKind::ALL.len()],
+    aspiration: [u64; OperatorKind::ALL.len()],
+}
 
 /// What one selection step did, for the caller's bookkeeping.
 #[derive(Debug, Clone)]
@@ -57,6 +69,19 @@ pub struct SearchCore {
     /// deterministically from the I1 start so samples are comparable
     /// within a run.
     timeline_ref: [f64; 2],
+    /// Per-operator sampling tally handed in by the runner
+    /// ([`note_tally`](Self::note_tally)); flushed to metrics at finish.
+    tally: SampleTally,
+    /// Per-operator step outcomes (accepted / improving / tabu-rejected
+    /// / aspiration-fired); flushed to metrics at finish.
+    outcomes: OperatorOutcomes,
+    /// Archive entries displaced by dominating insertions.
+    archive_prunes: u64,
+    /// Longest stagnation streak observed over the run.
+    stagnation_streak_max: usize,
+    /// Archive hypervolume right after construction, for the
+    /// end-of-run delta gauge.
+    initial_hypervolume: f64,
 }
 
 impl SearchCore {
@@ -121,6 +146,7 @@ impl SearchCore {
             current.objectives().distance * 1.1 + 1.0,
             (current.objectives().vehicles + 2) as f64,
         ];
+        let initial_hypervolume = projected_hypervolume(archive.items(), timeline_ref);
         Self {
             inst,
             tabu: TabuList::new(cfg.tabu_tenure),
@@ -139,7 +165,21 @@ impl SearchCore {
             root_span,
             evals_seen: 0,
             timeline_ref,
+            tally: SampleTally::default(),
+            outcomes: OperatorOutcomes::default(),
+            archive_prunes: 0,
+            stagnation_streak_max: 0,
+            initial_hypervolume,
         }
+    }
+
+    /// Folds a chunk's per-operator sampling tally into the run-level
+    /// attribution. Runners call this for every chunk that reaches the
+    /// core (or once with a pre-merged run total); the counts surface as
+    /// `tsmo_operator_proposed_total` / `tsmo_operator_feasible_total`
+    /// at finish.
+    pub fn note_tally(&mut self, tally: &SampleTally) {
+        self.tally.merge(tally);
     }
 
     /// The instance being solved.
@@ -258,6 +298,9 @@ impl SearchCore {
                 self.recorder.counter_add(names::TABU_HITS, 1);
                 if aspired {
                     self.recorder.counter_add(names::ASPIRATIONS, 1);
+                    self.outcomes.aspiration[nb.operator.index()] += 1;
+                } else {
+                    self.outcomes.tabu_rejected[nb.operator.index()] += 1;
                 }
                 if self.recorder.enabled() {
                     self.recorder.event(SearchEvent::TabuHit {
@@ -345,8 +388,14 @@ impl SearchCore {
                 self.tabu.push(nb.arcs_removed.clone());
                 self.current = EvaluatedSolution::new(nb.solution.clone(), &self.inst);
                 report.selected = Some(nb.objectives);
+                self.outcomes.accepted[nb.operator.index()] += 1;
                 let entry = FrontEntry::new(nb.solution.clone(), nb.objectives);
+                let size_before = self.archive.len();
                 if self.archive.insert(entry.clone()) {
+                    // An accepted insert that shrank (or held) the archive
+                    // displaced dominated entries.
+                    self.archive_prunes += (size_before + 1 - self.archive.len()) as u64;
+                    self.outcomes.improving[nb.operator.index()] += 1;
                     self.recorder.counter_add(names::ARCHIVE_INSERTS, 1);
                     if self.recorder.enabled() {
                         self.recorder.event(SearchEvent::ArchiveInsert {
@@ -359,6 +408,7 @@ impl SearchCore {
                     report.improved_archive = Some(entry);
                 } else {
                     self.stagnation += 1;
+                    self.stagnation_streak_max = self.stagnation_streak_max.max(self.stagnation);
                 }
             }
             None => {
@@ -376,6 +426,14 @@ impl SearchCore {
 
         // Line 14: isUnchanged(M_archive) for too long => restart next.
         if self.stagnation >= self.cfg.stagnation_limit {
+            self.recorder.counter_add(names::SEARCH_STAGNATED, 1);
+            if self.recorder.enabled() {
+                self.recorder.event(SearchEvent::SearchStagnated {
+                    searcher: self.searcher_id,
+                    iteration: iter as u64,
+                    streak: self.stagnation as u64,
+                });
+            }
             self.record_restart(iter, RestartReason::Stagnation);
             self.restart_from_memory();
             report.restarted = true;
@@ -401,13 +459,7 @@ impl SearchCore {
         while self.next_sample <= self.evals_seen {
             self.next_sample += every;
         }
-        let projected: Vec<Vec<f64>> = self
-            .archive
-            .items()
-            .iter()
-            .map(|e| vec![e.objectives.distance, e.objectives.vehicles as f64])
-            .collect();
-        let hypervolume = pareto::hypervolume_2d(&projected, self.timeline_ref);
+        let hypervolume = projected_hypervolume(self.archive.items(), self.timeline_ref);
         let coverage = pareto::coverage(self.archive.items(), self.nondom.items());
         self.recorder.event(SearchEvent::FrontSample {
             searcher: self.searcher_id,
@@ -451,6 +503,9 @@ impl SearchCore {
     }
 
     /// Finalizes the search, handing the archive and trace to the caller.
+    /// Flushes the per-operator attribution and archive-dynamics metrics
+    /// accumulated over the run — one batch of recorder calls here keeps
+    /// the per-step hot path at plain array increments.
     pub fn finish(self) -> (Vec<FrontEntry>, Option<Trace>, usize) {
         self.recorder
             .gauge_max(names::ARCHIVE_SIZE, self.archive.len() as f64);
@@ -458,8 +513,50 @@ impl SearchCore {
             self.recorder
                 .counter_add(names::TRACE_DROPPED, t.dropped() as u64);
         }
+        for op in OperatorKind::ALL {
+            let i = op.index();
+            let label = op.label();
+            for (family, value) in [
+                (names::OPERATOR_PROPOSED, self.tally.proposed[i]),
+                (names::OPERATOR_FEASIBLE, self.tally.feasible[i]),
+                (names::OPERATOR_ACCEPTED, self.outcomes.accepted[i]),
+                (names::OPERATOR_IMPROVING, self.outcomes.improving[i]),
+                (
+                    names::OPERATOR_TABU_REJECTED,
+                    self.outcomes.tabu_rejected[i],
+                ),
+                (names::OPERATOR_ASPIRATION, self.outcomes.aspiration[i]),
+            ] {
+                self.recorder
+                    .counter_add(&names::operator_counter(family, label), value);
+            }
+        }
+        self.recorder
+            .counter_add(names::ARCHIVE_PRUNES, self.archive_prunes);
+        let hypervolume = projected_hypervolume(self.archive.items(), self.timeline_ref);
+        self.recorder
+            .gauge_max(names::ARCHIVE_HYPERVOLUME, hypervolume);
+        self.recorder.gauge_max(
+            names::ARCHIVE_HYPERVOLUME_DELTA,
+            hypervolume - self.initial_hypervolume,
+        );
+        self.recorder.gauge_max(
+            names::STAGNATION_STREAK_MAX,
+            self.stagnation_streak_max as f64,
+        );
         (self.archive.into_items(), self.trace, self.iteration)
     }
+}
+
+/// 2-D hypervolume of a front projected to (distance, vehicles) against
+/// a fixed reference point (tardiness is dropped — it is zero for
+/// feasible fronts).
+fn projected_hypervolume(items: &[FrontEntry], reference: [f64; 2]) -> f64 {
+    let projected: Vec<Vec<f64>> = items
+        .iter()
+        .map(|e| vec![e.objectives.distance, e.objectives.vehicles as f64])
+        .collect();
+    pareto::hypervolume_2d(&projected, reference)
 }
 
 #[cfg(test)]
@@ -589,6 +686,113 @@ mod tests {
         assert!(
             restarts > 0,
             "a tiny archive must stagnate within 60 iterations"
+        );
+    }
+
+    #[test]
+    fn attribution_counters_flush_at_finish() {
+        use crate::neighborhood::generate_chunk_tallied;
+        use tsmo_obs::MemoryRecorder;
+        use vrptw_operators::SampleTally;
+
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 30, 7).build());
+        let cfg = TsmoConfig {
+            neighborhood_size: 30,
+            stagnation_limit: 10,
+            ..TsmoConfig::default()
+        };
+        let recorder = MemoryRecorder::shared();
+        let mut c = SearchCore::with_recorder(
+            Arc::clone(&inst),
+            cfg,
+            Xoshiro256StarStar::seed_from_u64(11),
+            recorder.clone(),
+            0,
+        );
+        let mut tally = SampleTally::default();
+        let mut accepted_steps = 0u64;
+        for _ in 0..40 {
+            let seed = c.next_seed();
+            let chunk = generate_chunk_tallied(
+                c.instance().clone().as_ref(),
+                c.current(),
+                seed,
+                30,
+                c.sample_params(),
+                c.iteration(),
+            );
+            tally.merge(&chunk.tally);
+            accepted_steps += u64::from(c.step(chunk.neighbors).selected.is_some());
+        }
+        c.note_tally(&tally);
+        c.finish();
+
+        let m = recorder.metrics();
+        let sum_over_ops = |family: &str| -> u64 {
+            vrptw_operators::OperatorKind::ALL
+                .iter()
+                .map(|op| m.counter(&names::operator_counter(family, op.label())))
+                .sum()
+        };
+        // Every operator's proposed counter exists and the totals line up
+        // with the untallied counters the step loop already kept.
+        assert_eq!(
+            sum_over_ops(names::OPERATOR_PROPOSED),
+            tally.total_proposed()
+        );
+        assert!(sum_over_ops(names::OPERATOR_FEASIBLE) <= sum_over_ops(names::OPERATOR_PROPOSED));
+        assert_eq!(sum_over_ops(names::OPERATOR_ACCEPTED), accepted_steps);
+        assert_eq!(
+            sum_over_ops(names::OPERATOR_IMPROVING),
+            m.counter(names::ARCHIVE_INSERTS)
+        );
+        assert_eq!(
+            sum_over_ops(names::OPERATOR_TABU_REJECTED) + sum_over_ops(names::OPERATOR_ASPIRATION),
+            m.counter(names::TABU_HITS)
+        );
+        assert!(m.gauge(names::ARCHIVE_HYPERVOLUME).unwrap_or(0.0) > 0.0);
+        assert!(m.gauge(names::ARCHIVE_HYPERVOLUME_DELTA).unwrap_or(-1.0) >= 0.0);
+        assert!(m.gauge(names::STAGNATION_STREAK_MAX).is_some());
+    }
+
+    #[test]
+    fn stagnation_limit_emits_search_stagnated_event() {
+        use tsmo_obs::MemoryRecorder;
+
+        let inst = Arc::new(GeneratorConfig::new(InstanceClass::R2, 20, 9).build());
+        let cfg = TsmoConfig {
+            neighborhood_size: 5,
+            stagnation_limit: 3,
+            archive_capacity: 2,
+            ..TsmoConfig::default()
+        };
+        let recorder = MemoryRecorder::shared();
+        let mut c = SearchCore::with_recorder(
+            inst,
+            cfg,
+            Xoshiro256StarStar::seed_from_u64(8),
+            recorder.clone(),
+            0,
+        );
+        for _ in 0..60 {
+            let pool = one_pool(&mut c);
+            c.step(pool);
+        }
+        c.finish();
+        let stagnations = recorder
+            .events()
+            .iter()
+            .filter(
+                |e| matches!(e.event, SearchEvent::SearchStagnated { streak, .. } if streak >= 3),
+            )
+            .count();
+        assert!(
+            stagnations > 0,
+            "tiny archive must hit the stagnation limit"
+        );
+        assert_eq!(
+            recorder.metrics().counter(names::SEARCH_STAGNATED) as usize,
+            stagnations
         );
     }
 

@@ -12,7 +12,7 @@
 use detrand::Xoshiro256StarStar;
 use vrptw::solution::EvaluatedSolution;
 use vrptw::{Instance, Objectives, Solution};
-use vrptw_operators::{sample_move, Arc, SampleParams};
+use vrptw_operators::{sample_move_tallied, Arc, OperatorKind, SampleParams, SampleTally};
 
 /// One evaluated neighbor, self-contained (independent of the snapshot it
 /// was generated from) so the asynchronous variant can keep it across
@@ -28,10 +28,27 @@ pub struct Neighbor {
     /// Arcs the generating move removed (pushed on the tabu list when the
     /// neighbor is selected).
     pub arcs_removed: Vec<Arc>,
+    /// Operator family of the generating move (per-operator attribution
+    /// in the step loop: accepted / improving / tabu-rejected /
+    /// aspiration counters).
+    pub operator: OperatorKind,
     /// Iteration whose current solution spawned this neighbor (Fig. 1's
     /// iteration tags; in the asynchronous variant a neighbor can be
     /// considered in a later iteration than it was created in).
     pub created_iteration: usize,
+}
+
+/// A generated chunk: the neighbors plus the per-operator sampling tally
+/// accumulated while producing them. The tally travels with the chunk
+/// (worker → master in the parallel variants) and is folded into the
+/// run-level attribution by the search core at finish time.
+#[derive(Debug, Clone, Default)]
+pub struct Chunk {
+    /// The evaluated neighbors, in draw order.
+    pub neighbors: Vec<Neighbor>,
+    /// Per-operator proposed/feasible counts for every draw of this
+    /// chunk (including failed draws, which produce no neighbor).
+    pub tally: SampleTally,
 }
 
 /// Generates (up to) `count` neighbors of `snapshot` from `seed`.
@@ -48,23 +65,43 @@ pub fn generate_chunk(
     params: SampleParams,
     created_iteration: usize,
 ) -> Vec<Neighbor> {
+    generate_chunk_tallied(inst, snapshot, seed, count, params, created_iteration).neighbors
+}
+
+/// [`generate_chunk`] returning the per-operator [`SampleTally`]
+/// alongside the neighbors. The RNG sequence is identical to the
+/// untallied form, so chunk contents do not depend on whether
+/// attribution is collected.
+pub fn generate_chunk_tallied(
+    inst: &Instance,
+    snapshot: &EvaluatedSolution,
+    seed: u64,
+    count: usize,
+    params: SampleParams,
+    created_iteration: usize,
+) -> Chunk {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let mut out = Vec::with_capacity(count);
+    let mut tally = SampleTally::default();
     let max_attempts = count.saturating_mul(60).max(64);
     let mut attempts = 0;
     while out.len() < count && attempts < max_attempts {
         attempts += 1;
-        if let Some(c) = sample_move(&mut rng, inst, snapshot, params) {
+        if let Some(c) = sample_move_tallied(&mut rng, inst, snapshot, params, &mut tally) {
             out.push(Neighbor {
                 solution: snapshot.solution().patched(&c.patch),
                 objectives: c.preview.objectives,
                 arcs_created: c.mv.arcs_created(snapshot),
                 arcs_removed: c.mv.arcs_removed(snapshot),
+                operator: c.mv.kind(),
                 created_iteration,
             });
         }
     }
-    out
+    Chunk {
+        neighbors: out,
+        tally,
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +152,25 @@ mod tests {
             assert!((nb.objectives.tardiness - full.tardiness).abs() < 1e-6);
             assert_eq!(nb.created_iteration, 3);
         }
+    }
+
+    #[test]
+    fn tallied_chunk_matches_plain_chunk_and_accounts_draws() {
+        let (inst, ev) = setup();
+        let plain = generate_chunk(&inst, &ev, 42, 30, SampleParams::default(), 0);
+        let chunk = generate_chunk_tallied(&inst, &ev, 42, 30, SampleParams::default(), 0);
+        assert_eq!(plain.len(), chunk.neighbors.len());
+        for (a, b) in plain.iter().zip(&chunk.neighbors) {
+            assert_eq!(a.solution, b.solution);
+            assert_eq!(a.operator, b.operator);
+        }
+        // Every neighbor came from a feasible draw of its operator.
+        let mut per_op = [0u64; 5];
+        for nb in &chunk.neighbors {
+            per_op[nb.operator.index()] += 1;
+        }
+        assert_eq!(chunk.tally.feasible, per_op);
+        assert!(chunk.tally.total_proposed() >= chunk.neighbors.len() as u64);
     }
 
     #[test]

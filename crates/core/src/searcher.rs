@@ -11,7 +11,7 @@ use crate::cancel::CancelToken;
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
 use crate::fault_obs::record_fault;
-use crate::neighborhood::generate_chunk;
+use crate::neighborhood::generate_chunk_tallied;
 use crate::outcome::FrontEntry;
 use deme::multisearch::{Endpoint, PeerEvent};
 use deme::EvaluationBudget;
@@ -255,7 +255,7 @@ impl CollabSearcher {
             .counter_add(names::EVALUATIONS, granted as u64);
         let seed = self.core.next_seed();
         let eval_span = Span::enter(&self.recorder, "evaluate", trace_id, span_parent);
-        let pool = generate_chunk(
+        let chunk = generate_chunk_tallied(
             &self.inst,
             self.core.current(),
             seed,
@@ -264,7 +264,8 @@ impl CollabSearcher {
             self.core.iteration(),
         );
         drop(eval_span);
-        let report = self.core.step(pool);
+        self.core.note_tally(&chunk.tally);
+        let report = self.core.step(chunk.neighbors);
         if self.initial_phase {
             // The initial phase ends when the searcher "could not add any
             // new solutions to the set of pareto optimal solutions found

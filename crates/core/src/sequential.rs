@@ -3,7 +3,7 @@
 use crate::cancel::CancelToken;
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
-use crate::neighborhood::generate_chunk;
+use crate::neighborhood::generate_chunk_tallied;
 use crate::outcome::TsmoOutcome;
 use deme::{EvaluationBudget, RunClock};
 use detrand::Xoshiro256StarStar;
@@ -56,6 +56,7 @@ impl SequentialTsmo {
             0,
         );
         let sizes = self.cfg.chunk_sizes();
+        let mut tally = vrptw_operators::SampleTally::default();
         while !budget.exhausted() && !self.cancel.should_stop(core.iteration()) {
             let seeds = core.chunk_seeds();
             let mut pool = Vec::with_capacity(self.cfg.neighborhood_size);
@@ -66,14 +67,16 @@ impl SequentialTsmo {
                     break;
                 }
                 recorder.counter_add(names::EVALUATIONS, granted as u64);
-                pool.extend(generate_chunk(
+                let chunk = generate_chunk_tallied(
                     inst,
                     core.current(),
                     seed,
                     granted,
                     core.sample_params(),
                     core.iteration(),
-                ));
+                );
+                tally.merge(&chunk.tally);
+                pool.extend(chunk.neighbors);
             }
             drop(eval_span);
             if pool.is_empty() && budget.exhausted() {
@@ -81,6 +84,7 @@ impl SequentialTsmo {
             }
             core.step(pool);
         }
+        core.note_tally(&tally);
         let (archive, trace, iterations) = core.finish();
         let runtime_seconds = clock.seconds();
         recorder.gauge_set(names::RUNTIME_SECONDS, runtime_seconds);

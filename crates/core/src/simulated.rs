@@ -28,7 +28,7 @@
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
 use crate::fault_obs::record_fault;
-use crate::neighborhood::{generate_chunk, Neighbor};
+use crate::neighborhood::{generate_chunk_tallied, Chunk, Neighbor};
 use crate::outcome::{FrontEntry, TsmoOutcome};
 use deme::{EvaluationBudget, SupervisorConfig, VirtualCluster};
 use detrand::{streams, Xoshiro256StarStar};
@@ -118,6 +118,7 @@ impl SimSyncTsmo {
             0,
         );
         let sizes = cfg.chunk_sizes();
+        let mut tally = vrptw_operators::SampleTally::default();
         while !budget.exhausted() {
             let seeds = core.chunk_seeds();
             let granted: Vec<usize> = sizes
@@ -139,14 +140,14 @@ impl SimSyncTsmo {
                 cluster.receive(w, arrival);
             }
             // Chunks run "in parallel": each charged to its own processor.
-            let mut chunks: Vec<Vec<Neighbor>> = Vec::with_capacity(p);
+            let mut chunks: Vec<Chunk> = Vec::with_capacity(p);
             for proc in (0..p).rev() {
                 // Master's own chunk is chunk 0; workers hold 1..P. The
                 // computation order here is irrelevant — only the virtual
                 // clocks matter — but chunk order in the pool is preserved.
                 let cost = cfg.sim_eval_cost.map(|c| c * granted[proc] as f64);
                 let chunk = charge_with(&mut cluster, proc, cost, || {
-                    generate_chunk(
+                    generate_chunk_tallied(
                         inst,
                         core.current(),
                         seeds[proc],
@@ -165,13 +166,16 @@ impl SimSyncTsmo {
                     recorder.event(SearchEvent::WorkerResult {
                         worker: w as u32,
                         iteration: core.iteration() as u64,
-                        neighbors: chunks[w].len() as u32,
+                        neighbors: chunks[w].neighbors.len() as u32,
                     });
                 }
                 let arrival = cluster.send_at(w, 1.0);
                 cluster.receive(0, arrival);
             }
-            let pool: Vec<Neighbor> = chunks.into_iter().flatten().collect();
+            for chunk in &chunks {
+                tally.merge(&chunk.tally);
+            }
+            let pool: Vec<Neighbor> = chunks.into_iter().flat_map(|c| c.neighbors).collect();
             if pool.is_empty() && budget.exhausted() {
                 break;
             }
@@ -180,6 +184,7 @@ impl SimSyncTsmo {
         }
         let makespan = cluster.makespan();
         record_virtual_run(&*recorder, &cluster, makespan, p);
+        core.note_tally(&tally);
         let (archive, trace, iterations) = core.finish();
         TsmoOutcome {
             archive,
@@ -203,7 +208,7 @@ pub struct SimAsyncTsmo {
 struct Outstanding {
     /// Virtual time the result reaches the master.
     arrival: f64,
-    neighbors: Vec<Neighbor>,
+    chunk: Chunk,
 }
 
 /// Per-worker recovery state of the simulated supervisor mirror.
@@ -287,6 +292,7 @@ impl SimAsyncTsmo {
         let max_wait = cfg.async_max_wait_ms as f64 / 1_000.0;
         let mut outstanding: Vec<Option<Outstanding>> = (1..p).map(|_| None).collect();
         let mut pool: Vec<Neighbor> = Vec::new();
+        let mut tally = vrptw_operators::SampleTally::default();
 
         // Deterministic supervisor mirror: one fault draw per virtual
         // execution, with the same retry/quarantine/respawn policy (and the
@@ -310,6 +316,7 @@ impl SimAsyncTsmo {
         }
 
         let fold_arrived = |pool: &mut Vec<Neighbor>,
+                            tally: &mut vrptw_operators::SampleTally,
                             outstanding: &mut Vec<Option<Outstanding>>,
                             now: f64,
                             iter: u64| {
@@ -320,17 +327,24 @@ impl SimAsyncTsmo {
                         recorder.event(SearchEvent::WorkerResult {
                             worker: (w + 1) as u32,
                             iteration: iter,
-                            neighbors: o.neighbors.len() as u32,
+                            neighbors: o.chunk.neighbors.len() as u32,
                         });
                     }
-                    pool.extend(o.neighbors);
+                    tally.merge(&o.chunk.tally);
+                    pool.extend(o.chunk.neighbors);
                 }
             }
         };
 
         'search: loop {
             let now = cluster.clock(0);
-            fold_arrived(&mut pool, &mut outstanding, now, core.iteration() as u64);
+            fold_arrived(
+                &mut pool,
+                &mut tally,
+                &mut outstanding,
+                now,
+                core.iteration() as u64,
+            );
             if budget.exhausted() {
                 break 'search;
             }
@@ -360,8 +374,8 @@ impl SimAsyncTsmo {
                 let start = cluster.send_at(0, 1.0).max(cluster.clock(proc));
                 cluster.advance_to(proc, start);
                 let cost = cfg.sim_eval_cost.map(|c| c * granted as f64);
-                let neighbors = charge_with(&mut cluster, proc, cost, || {
-                    generate_chunk(
+                let worker_chunk = charge_with(&mut cluster, proc, cost, || {
+                    generate_chunk_tallied(
                         inst,
                         core.current(),
                         seed,
@@ -451,7 +465,10 @@ impl SimAsyncTsmo {
                 }
                 if delivered {
                     let arrival = cluster.send_at(proc, 1.0);
-                    outstanding[w] = Some(Outstanding { arrival, neighbors });
+                    outstanding[w] = Some(Outstanding {
+                        arrival,
+                        chunk: worker_chunk,
+                    });
                 }
             }
             // Master's own part.
@@ -461,7 +478,7 @@ impl SimAsyncTsmo {
                 let seed = core.next_seed();
                 let cost = cfg.sim_eval_cost.map(|c| c * granted as f64);
                 let own = charge_with(&mut cluster, 0, cost, || {
-                    generate_chunk(
+                    generate_chunk_tallied(
                         inst,
                         core.current(),
                         seed,
@@ -470,13 +487,20 @@ impl SimAsyncTsmo {
                         core.iteration(),
                     )
                 });
-                pool.extend(own);
+                tally.merge(&own.tally);
+                pool.extend(own.neighbors);
             }
             // Decision function (Algorithm 2) in virtual time.
             let wait_started = cluster.clock(0);
             loop {
                 let now = cluster.clock(0);
-                fold_arrived(&mut pool, &mut outstanding, now, core.iteration() as u64);
+                fold_arrived(
+                    &mut pool,
+                    &mut tally,
+                    &mut outstanding,
+                    now,
+                    core.iteration() as u64,
+                );
                 let current_vec = core.current().objectives().to_vector();
                 let c1 = outstanding
                     .iter()
@@ -520,6 +544,7 @@ impl SimAsyncTsmo {
         }
         let makespan = cluster.makespan();
         record_virtual_run(&*recorder, &cluster, makespan, p);
+        core.note_tally(&tally);
         let (archive, trace, iterations) = core.finish();
         TsmoOutcome {
             archive,
@@ -681,7 +706,7 @@ impl SimCollaborativeTsmo {
                 let seed = searcher.core.next_seed();
                 let cost = unit_cost.map(|c| c * granted as f64);
                 charge_with(&mut cluster, s, cost, || {
-                    let pool = generate_chunk(
+                    let chunk = generate_chunk_tallied(
                         inst,
                         searcher.core.current(),
                         seed,
@@ -689,7 +714,8 @@ impl SimCollaborativeTsmo {
                         searcher.core.sample_params(),
                         searcher.core.iteration(),
                     );
-                    searcher.core.step(pool)
+                    searcher.core.note_tally(&chunk.tally);
+                    searcher.core.step(chunk.neighbors)
                 })
             };
             searchers[s].iterations += 1;

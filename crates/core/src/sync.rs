@@ -3,7 +3,7 @@
 use crate::cancel::CancelToken;
 use crate::config::TsmoConfig;
 use crate::core_search::SearchCore;
-use crate::neighborhood::{generate_chunk, Neighbor};
+use crate::neighborhood::{generate_chunk_tallied, Chunk};
 use crate::outcome::TsmoOutcome;
 use deme::{EvaluationBudget, MasterWorker, RunClock};
 use detrand::Xoshiro256StarStar;
@@ -80,8 +80,8 @@ impl SyncTsmo {
 
         let pool = (self.processors > 1).then(|| {
             let inst = Arc::clone(inst);
-            MasterWorker::<Task, Vec<Neighbor>>::spawn(self.processors - 1, move |_, t| {
-                generate_chunk(&inst, &t.snapshot, t.seed, t.count, params, t.iteration)
+            MasterWorker::<Task, Chunk>::spawn(self.processors - 1, move |_, t| {
+                generate_chunk_tallied(&inst, &t.snapshot, t.seed, t.count, params, t.iteration)
             })
         });
 
@@ -93,6 +93,7 @@ impl SyncTsmo {
             0,
         );
         let sizes = cfg.chunk_sizes();
+        let mut tally = vrptw_operators::SampleTally::default();
         while !budget.exhausted() && !self.cancel.should_stop(core.iteration()) {
             let seeds = core.chunk_seeds();
             // Reserve budget per chunk in chunk order — the same split the
@@ -128,7 +129,7 @@ impl SyncTsmo {
             // covers the barrier below: waiting for worker chunks is
             // evaluation time from the master's perspective.
             let eval_span = Span::enter(&recorder, "evaluate", core.trace_id(), core.span_parent());
-            let mut neighborhood = generate_chunk(
+            let master_chunk = generate_chunk_tallied(
                 inst,
                 core.current(),
                 seeds[0],
@@ -136,12 +137,13 @@ impl SyncTsmo {
                 params,
                 core.iteration(),
             );
+            tally.merge(&master_chunk.tally);
+            let mut neighborhood = master_chunk.neighbors;
             // Barrier: collect one result per worker, reassembled in worker
             // (= chunk) order.
             if let Some(pool) = &pool {
                 recorder.observe(names::RESULT_QUEUE_DEPTH, pool.result_queue_len() as f64);
-                let mut slots: Vec<Option<Vec<Neighbor>>> =
-                    (0..pool.n_workers()).map(|_| None).collect();
+                let mut slots: Vec<Option<Chunk>> = (0..pool.n_workers()).map(|_| None).collect();
                 for _ in 0..pool.n_workers() {
                     let (w, chunk) = pool
                         .recv()
@@ -150,13 +152,15 @@ impl SyncTsmo {
                         recorder.event(SearchEvent::WorkerResult {
                             worker: (w + 1) as u32,
                             iteration: core.iteration() as u64,
-                            neighbors: chunk.len() as u32,
+                            neighbors: chunk.neighbors.len() as u32,
                         });
                     }
                     slots[w] = Some(chunk);
                 }
                 for chunk in slots {
-                    neighborhood.extend(chunk.expect("barrier collected every worker"));
+                    let chunk = chunk.expect("barrier collected every worker");
+                    tally.merge(&chunk.tally);
+                    neighborhood.extend(chunk.neighbors);
                 }
             }
             drop(eval_span);
@@ -172,6 +176,7 @@ impl SyncTsmo {
         }
         recorder.gauge_set(names::RUNTIME_SECONDS, runtime_seconds);
         recorder.gauge_set(&names::worker_busy_fraction(0), 1.0);
+        core.note_tally(&tally);
         let (archive, trace, iterations) = core.finish();
         TsmoOutcome {
             archive,

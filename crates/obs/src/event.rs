@@ -8,6 +8,7 @@
 //! metrics registry instead.
 
 use crate::json::{self, Json};
+use crate::names::events as en;
 use std::fmt::Write as _;
 
 /// Why the search restarted from memory.
@@ -138,6 +139,16 @@ pub enum SearchEvent {
         iteration: u64,
         /// The inserted objective vector.
         objectives: [f64; 3],
+    },
+    /// The archive stagnation streak reached the configured limit; a
+    /// restart from memory follows on the same iteration.
+    SearchStagnated {
+        /// Emitting searcher.
+        searcher: u32,
+        /// Iteration at which the limit was hit.
+        iteration: u64,
+        /// Consecutive steps without an `M_archive` change.
+        streak: u64,
     },
     /// A neighbor was rejected (or rescued) by the tabu list.
     TabuHit {
@@ -388,6 +399,48 @@ pub enum SearchEvent {
     },
 }
 
+impl SearchEvent {
+    /// The event's wire `type` string, from the central
+    /// [`names::events`](crate::names::events) registry. The JSONL
+    /// writer and parser both go through these constants, so the two
+    /// sides cannot drift.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SearchEvent::Iteration { .. } => en::ITERATION,
+            SearchEvent::Restart { .. } => en::RESTART,
+            SearchEvent::ArchiveInsert { .. } => en::ARCHIVE_INSERT,
+            SearchEvent::SearchStagnated { .. } => en::SEARCH_STAGNATED,
+            SearchEvent::TabuHit { .. } => en::TABU_HIT,
+            SearchEvent::Exchange { .. } => en::EXCHANGE,
+            SearchEvent::WorkerTask { .. } => en::WORKER_TASK,
+            SearchEvent::WorkerResult { .. } => en::WORKER_RESULT,
+            SearchEvent::Staleness { .. } => en::STALENESS,
+            SearchEvent::FaultInjected { .. } => en::FAULT_INJECTED,
+            SearchEvent::TaskResent { .. } => en::TASK_RESENT,
+            SearchEvent::WorkerQuarantined { .. } => en::WORKER_QUARANTINED,
+            SearchEvent::WorkerRespawned { .. } => en::WORKER_RESPAWNED,
+            SearchEvent::DegradedMode { .. } => en::DEGRADED_MODE,
+            SearchEvent::PeerDead { .. } => en::PEER_DEAD,
+            SearchEvent::PeerReadmitted { .. } => en::PEER_READMITTED,
+            SearchEvent::MemberJoined { .. } => en::MEMBER_JOINED,
+            SearchEvent::MemberLeft { .. } => en::MEMBER_LEFT,
+            SearchEvent::SliceRebalanced { .. } => en::SLICE_REBALANCED,
+            SearchEvent::ArchiveReplicated { .. } => en::ARCHIVE_REPLICATED,
+            SearchEvent::JobAdmitted { .. } => en::JOB_ADMITTED,
+            SearchEvent::JobRejected { .. } => en::JOB_REJECTED,
+            SearchEvent::JobCancelled { .. } => en::JOB_CANCELLED,
+            SearchEvent::JobDeadlineExceeded { .. } => en::JOB_DEADLINE_EXCEEDED,
+            SearchEvent::JobCompleted { .. } => en::JOB_COMPLETED,
+            SearchEvent::SpanEnter { .. } => en::SPAN_ENTER,
+            SearchEvent::SpanExit { .. } => en::SPAN_EXIT,
+            SearchEvent::FrontSample { .. } => en::FRONT_SAMPLE,
+            SearchEvent::RoundScored { .. } => en::ROUND_SCORED,
+            SearchEvent::BudgetReallocated { .. } => en::BUDGET_REALLOCATED,
+            SearchEvent::ContenderRetired { .. } => en::CONTENDER_RETIRED,
+        }
+    }
+}
+
 /// An event stamped with its logical sequence number.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimedEvent {
@@ -413,7 +466,12 @@ impl TimedEvent {
     /// order is fixed, so equal events encode byte-identically.
     pub fn to_json_line(&self) -> String {
         let mut s = String::with_capacity(96);
-        let _ = write!(s, "{{\"seq\":{}", self.seq);
+        let _ = write!(
+            s,
+            "{{\"seq\":{},\"type\":\"{}\"",
+            self.seq,
+            self.event.type_name()
+        );
         match &self.event {
             SearchEvent::Iteration {
                 searcher,
@@ -424,7 +482,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"iteration\",\"searcher\":{searcher},\"iteration\":{iteration},\"pool\":{pool},\"admissible\":{admissible},\"chosen\":"
+                    ",\"searcher\":{searcher},\"iteration\":{iteration},\"pool\":{pool},\"admissible\":{admissible},\"chosen\":"
                 );
                 match chosen {
                     Some(v) => write_vector(&mut s, v),
@@ -438,7 +496,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"restart\",\"searcher\":{searcher},\"iteration\":{iteration},\"reason\":\"{}\"",
+                    ",\"searcher\":{searcher},\"iteration\":{iteration},\"reason\":\"{}\"",
                     reason.as_str()
                 );
             }
@@ -449,9 +507,19 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"archive_insert\",\"searcher\":{searcher},\"iteration\":{iteration},\"objectives\":"
+                    ",\"searcher\":{searcher},\"iteration\":{iteration},\"objectives\":"
                 );
                 write_vector(&mut s, objectives);
+            }
+            SearchEvent::SearchStagnated {
+                searcher,
+                iteration,
+                streak,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"searcher\":{searcher},\"iteration\":{iteration},\"streak\":{streak}"
+                );
             }
             SearchEvent::TabuHit {
                 searcher,
@@ -460,7 +528,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"tabu_hit\",\"searcher\":{searcher},\"iteration\":{iteration},\"aspired\":{aspired}"
+                    ",\"searcher\":{searcher},\"iteration\":{iteration},\"aspired\":{aspired}"
                 );
             }
             SearchEvent::Exchange {
@@ -471,7 +539,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"exchange\",\"searcher\":{searcher},\"peer\":{peer},\"direction\":\"{}\",\"objectives\":",
+                    ",\"searcher\":{searcher},\"peer\":{peer},\"direction\":\"{}\",\"objectives\":",
                     direction.as_str()
                 );
                 write_vector(&mut s, objectives);
@@ -483,7 +551,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"worker_task\",\"worker\":{worker},\"iteration\":{iteration},\"count\":{count}"
+                    ",\"worker\":{worker},\"iteration\":{iteration},\"count\":{count}"
                 );
             }
             SearchEvent::WorkerResult {
@@ -493,7 +561,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"worker_result\",\"worker\":{worker},\"iteration\":{iteration},\"neighbors\":{neighbors}"
+                    ",\"worker\":{worker},\"iteration\":{iteration},\"neighbors\":{neighbors}"
                 );
             }
             SearchEvent::Staleness {
@@ -504,13 +572,13 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"staleness\",\"searcher\":{searcher},\"iteration\":{iteration},\"max_staleness\":{max_staleness},\"stale\":{stale}"
+                    ",\"searcher\":{searcher},\"iteration\":{iteration},\"max_staleness\":{max_staleness},\"stale\":{stale}"
                 );
             }
             SearchEvent::FaultInjected { site, seq, kind } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"fault_injected\",\"site\":{site},\"fault_seq\":{seq},\"kind\":\"{}\"",
+                    ",\"site\":{site},\"fault_seq\":{seq},\"kind\":\"{}\"",
                     kind.as_str()
                 );
             }
@@ -521,20 +589,14 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"task_resent\",\"worker\":{worker},\"iteration\":{iteration},\"attempt\":{attempt}"
+                    ",\"worker\":{worker},\"iteration\":{iteration},\"attempt\":{attempt}"
                 );
             }
             SearchEvent::WorkerQuarantined { worker, iteration } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"worker_quarantined\",\"worker\":{worker},\"iteration\":{iteration}"
-                );
+                let _ = write!(s, ",\"worker\":{worker},\"iteration\":{iteration}");
             }
             SearchEvent::WorkerRespawned { worker, iteration } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"worker_respawned\",\"worker\":{worker},\"iteration\":{iteration}"
-                );
+                let _ = write!(s, ",\"worker\":{worker},\"iteration\":{iteration}");
             }
             SearchEvent::DegradedMode {
                 iteration,
@@ -542,32 +604,20 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"degraded_mode\",\"iteration\":{iteration},\"live_workers\":{live_workers}"
+                    ",\"iteration\":{iteration},\"live_workers\":{live_workers}"
                 );
             }
             SearchEvent::PeerDead { searcher, peer } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"peer_dead\",\"searcher\":{searcher},\"peer\":{peer}"
-                );
+                let _ = write!(s, ",\"searcher\":{searcher},\"peer\":{peer}");
             }
             SearchEvent::PeerReadmitted { searcher, peer } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"peer_readmitted\",\"searcher\":{searcher},\"peer\":{peer}"
-                );
+                let _ = write!(s, ",\"searcher\":{searcher},\"peer\":{peer}");
             }
             SearchEvent::MemberJoined { node, epoch } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"member_joined\",\"node\":{node},\"epoch\":{epoch}"
-                );
+                let _ = write!(s, ",\"node\":{node},\"epoch\":{epoch}");
             }
             SearchEvent::MemberLeft { node, epoch } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"member_left\",\"node\":{node},\"epoch\":{epoch}"
-                );
+                let _ = write!(s, ",\"node\":{node},\"epoch\":{epoch}");
             }
             SearchEvent::SliceRebalanced {
                 epoch,
@@ -577,7 +627,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"slice_rebalanced\",\"epoch\":{epoch},\"node\":{node},\"start\":{start},\"len\":{len}"
+                    ",\"epoch\":{epoch},\"node\":{node},\"start\":{start},\"len\":{len}"
                 );
             }
             SearchEvent::ArchiveReplicated {
@@ -587,26 +637,20 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"archive_replicated\",\"node\":{node},\"holder\":{holder},\"entries\":{entries}"
+                    ",\"node\":{node},\"holder\":{holder},\"entries\":{entries}"
                 );
             }
             SearchEvent::JobAdmitted { job, depth } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"job_admitted\",\"job\":{job},\"depth\":{depth}"
-                );
+                let _ = write!(s, ",\"job\":{job},\"depth\":{depth}");
             }
             SearchEvent::JobRejected { job, depth } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"job_rejected\",\"job\":{job},\"depth\":{depth}"
-                );
+                let _ = write!(s, ",\"job\":{job},\"depth\":{depth}");
             }
             SearchEvent::JobCancelled { job } => {
-                let _ = write!(s, ",\"type\":\"job_cancelled\",\"job\":{job}");
+                let _ = write!(s, ",\"job\":{job}");
             }
             SearchEvent::JobDeadlineExceeded { job } => {
-                let _ = write!(s, ",\"type\":\"job_deadline_exceeded\",\"job\":{job}");
+                let _ = write!(s, ",\"job\":{job}");
             }
             SearchEvent::JobCompleted {
                 job,
@@ -615,7 +659,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"job_completed\",\"job\":{job},\"iterations\":{iterations},\"truncated\":{truncated}"
+                    ",\"job\":{job},\"iterations\":{iterations},\"truncated\":{truncated}"
                 );
             }
             SearchEvent::SpanEnter {
@@ -626,15 +670,12 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"span_enter\",\"trace\":{trace},\"span\":{span},\"parent\":{parent},\"name\":"
+                    ",\"trace\":{trace},\"span\":{span},\"parent\":{parent},\"name\":"
                 );
                 json::write_str(&mut s, name);
             }
             SearchEvent::SpanExit { trace, span, name } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"span_exit\",\"trace\":{trace},\"span\":{span},\"name\":"
-                );
+                let _ = write!(s, ",\"trace\":{trace},\"span\":{span},\"name\":");
                 json::write_str(&mut s, name);
             }
             SearchEvent::FrontSample {
@@ -647,7 +688,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"front_sample\",\"searcher\":{searcher},\"iteration\":{iteration},\"evaluations\":{evaluations},\"size\":{size},\"hypervolume\":"
+                    ",\"searcher\":{searcher},\"iteration\":{iteration},\"evaluations\":{evaluations},\"size\":{size},\"hypervolume\":"
                 );
                 json::write_f64(&mut s, *hypervolume);
                 s.push_str(",\"coverage\":");
@@ -661,7 +702,7 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"round_scored\",\"round\":{round},\"contender\":{contender},\"coverage\":"
+                    ",\"round\":{round},\"contender\":{contender},\"coverage\":"
                 );
                 json::write_f64(&mut s, *coverage);
                 s.push_str(",\"hypervolume\":");
@@ -674,14 +715,11 @@ impl TimedEvent {
             } => {
                 let _ = write!(
                     s,
-                    ",\"type\":\"budget_reallocated\",\"round\":{round},\"contender\":{contender},\"evaluations\":{evaluations}"
+                    ",\"round\":{round},\"contender\":{contender},\"evaluations\":{evaluations}"
                 );
             }
             SearchEvent::ContenderRetired { round, contender } => {
-                let _ = write!(
-                    s,
-                    ",\"type\":\"contender_retired\",\"round\":{round},\"contender\":{contender}"
-                );
+                let _ = write!(s, ",\"round\":{round},\"contender\":{contender}");
             }
         }
         s.push('}');
@@ -699,7 +737,7 @@ impl TimedEvent {
             .and_then(Json::as_str)
             .ok_or_else(|| "missing 'type' field".to_string())?;
         let event = match kind {
-            "iteration" => SearchEvent::Iteration {
+            en::ITERATION => SearchEvent::Iteration {
                 searcher: field_u32(&doc, "searcher")?,
                 iteration: field_u64(&doc, "iteration")?,
                 pool: field_u32(&doc, "pool")?,
@@ -709,7 +747,7 @@ impl TimedEvent {
                     Some(v) => Some(vector_from(v)?),
                 },
             },
-            "restart" => SearchEvent::Restart {
+            en::RESTART => SearchEvent::Restart {
                 searcher: field_u32(&doc, "searcher")?,
                 iteration: field_u64(&doc, "iteration")?,
                 reason: doc
@@ -718,12 +756,17 @@ impl TimedEvent {
                     .and_then(RestartReason::from_str)
                     .ok_or_else(|| "bad 'reason' field".to_string())?,
             },
-            "archive_insert" => SearchEvent::ArchiveInsert {
+            en::ARCHIVE_INSERT => SearchEvent::ArchiveInsert {
                 searcher: field_u32(&doc, "searcher")?,
                 iteration: field_u64(&doc, "iteration")?,
                 objectives: vector_field(&doc, "objectives")?,
             },
-            "tabu_hit" => SearchEvent::TabuHit {
+            en::SEARCH_STAGNATED => SearchEvent::SearchStagnated {
+                searcher: field_u32(&doc, "searcher")?,
+                iteration: field_u64(&doc, "iteration")?,
+                streak: field_u64(&doc, "streak")?,
+            },
+            en::TABU_HIT => SearchEvent::TabuHit {
                 searcher: field_u32(&doc, "searcher")?,
                 iteration: field_u64(&doc, "iteration")?,
                 aspired: doc
@@ -731,7 +774,7 @@ impl TimedEvent {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| "bad 'aspired' field".to_string())?,
             },
-            "exchange" => SearchEvent::Exchange {
+            en::EXCHANGE => SearchEvent::Exchange {
                 searcher: field_u32(&doc, "searcher")?,
                 peer: field_u32(&doc, "peer")?,
                 direction: doc
@@ -741,23 +784,23 @@ impl TimedEvent {
                     .ok_or_else(|| "bad 'direction' field".to_string())?,
                 objectives: vector_field(&doc, "objectives")?,
             },
-            "worker_task" => SearchEvent::WorkerTask {
+            en::WORKER_TASK => SearchEvent::WorkerTask {
                 worker: field_u32(&doc, "worker")?,
                 iteration: field_u64(&doc, "iteration")?,
                 count: field_u32(&doc, "count")?,
             },
-            "worker_result" => SearchEvent::WorkerResult {
+            en::WORKER_RESULT => SearchEvent::WorkerResult {
                 worker: field_u32(&doc, "worker")?,
                 iteration: field_u64(&doc, "iteration")?,
                 neighbors: field_u32(&doc, "neighbors")?,
             },
-            "staleness" => SearchEvent::Staleness {
+            en::STALENESS => SearchEvent::Staleness {
                 searcher: field_u32(&doc, "searcher")?,
                 iteration: field_u64(&doc, "iteration")?,
                 max_staleness: field_u64(&doc, "max_staleness")?,
                 stale: field_u32(&doc, "stale")?,
             },
-            "fault_injected" => SearchEvent::FaultInjected {
+            en::FAULT_INJECTED => SearchEvent::FaultInjected {
                 site: field_u32(&doc, "site")?,
                 seq: field_u64(&doc, "fault_seq")?,
                 kind: doc
@@ -766,65 +809,65 @@ impl TimedEvent {
                     .and_then(FaultKind::from_str)
                     .ok_or_else(|| "bad 'kind' field".to_string())?,
             },
-            "task_resent" => SearchEvent::TaskResent {
+            en::TASK_RESENT => SearchEvent::TaskResent {
                 worker: field_u32(&doc, "worker")?,
                 iteration: field_u64(&doc, "iteration")?,
                 attempt: field_u32(&doc, "attempt")?,
             },
-            "worker_quarantined" => SearchEvent::WorkerQuarantined {
+            en::WORKER_QUARANTINED => SearchEvent::WorkerQuarantined {
                 worker: field_u32(&doc, "worker")?,
                 iteration: field_u64(&doc, "iteration")?,
             },
-            "worker_respawned" => SearchEvent::WorkerRespawned {
+            en::WORKER_RESPAWNED => SearchEvent::WorkerRespawned {
                 worker: field_u32(&doc, "worker")?,
                 iteration: field_u64(&doc, "iteration")?,
             },
-            "degraded_mode" => SearchEvent::DegradedMode {
+            en::DEGRADED_MODE => SearchEvent::DegradedMode {
                 iteration: field_u64(&doc, "iteration")?,
                 live_workers: field_u32(&doc, "live_workers")?,
             },
-            "peer_dead" => SearchEvent::PeerDead {
+            en::PEER_DEAD => SearchEvent::PeerDead {
                 searcher: field_u32(&doc, "searcher")?,
                 peer: field_u32(&doc, "peer")?,
             },
-            "peer_readmitted" => SearchEvent::PeerReadmitted {
+            en::PEER_READMITTED => SearchEvent::PeerReadmitted {
                 searcher: field_u32(&doc, "searcher")?,
                 peer: field_u32(&doc, "peer")?,
             },
-            "member_joined" => SearchEvent::MemberJoined {
+            en::MEMBER_JOINED => SearchEvent::MemberJoined {
                 node: field_u32(&doc, "node")?,
                 epoch: field_u64(&doc, "epoch")?,
             },
-            "member_left" => SearchEvent::MemberLeft {
+            en::MEMBER_LEFT => SearchEvent::MemberLeft {
                 node: field_u32(&doc, "node")?,
                 epoch: field_u64(&doc, "epoch")?,
             },
-            "slice_rebalanced" => SearchEvent::SliceRebalanced {
+            en::SLICE_REBALANCED => SearchEvent::SliceRebalanced {
                 epoch: field_u64(&doc, "epoch")?,
                 node: field_u32(&doc, "node")?,
                 start: field_u32(&doc, "start")?,
                 len: field_u32(&doc, "len")?,
             },
-            "archive_replicated" => SearchEvent::ArchiveReplicated {
+            en::ARCHIVE_REPLICATED => SearchEvent::ArchiveReplicated {
                 node: field_u32(&doc, "node")?,
                 holder: field_u32(&doc, "holder")?,
                 entries: field_u32(&doc, "entries")?,
             },
-            "job_admitted" => SearchEvent::JobAdmitted {
+            en::JOB_ADMITTED => SearchEvent::JobAdmitted {
                 job: field_u64(&doc, "job")?,
                 depth: field_u32(&doc, "depth")?,
             },
-            "job_rejected" => SearchEvent::JobRejected {
+            en::JOB_REJECTED => SearchEvent::JobRejected {
                 job: field_u64(&doc, "job")?,
                 depth: field_u32(&doc, "depth")?,
             },
-            "job_cancelled" => SearchEvent::JobCancelled {
+            en::JOB_CANCELLED => SearchEvent::JobCancelled {
                 job: field_u64(&doc, "job")?,
             },
-            "job_deadline_exceeded" => SearchEvent::JobDeadlineExceeded {
+            en::JOB_DEADLINE_EXCEEDED => SearchEvent::JobDeadlineExceeded {
                 job: field_u64(&doc, "job")?,
             },
-            "job_completed" => SearchEvent::JobCompleted {
+            en::JOB_COMPLETED => SearchEvent::JobCompleted {
                 job: field_u64(&doc, "job")?,
                 iterations: field_u64(&doc, "iterations")?,
                 truncated: doc
@@ -832,18 +875,18 @@ impl TimedEvent {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| "bad 'truncated' field".to_string())?,
             },
-            "span_enter" => SearchEvent::SpanEnter {
+            en::SPAN_ENTER => SearchEvent::SpanEnter {
                 trace: field_u64(&doc, "trace")?,
                 span: field_u64(&doc, "span")?,
                 parent: field_u64(&doc, "parent")?,
                 name: field_str(&doc, "name")?,
             },
-            "span_exit" => SearchEvent::SpanExit {
+            en::SPAN_EXIT => SearchEvent::SpanExit {
                 trace: field_u64(&doc, "trace")?,
                 span: field_u64(&doc, "span")?,
                 name: field_str(&doc, "name")?,
             },
-            "front_sample" => SearchEvent::FrontSample {
+            en::FRONT_SAMPLE => SearchEvent::FrontSample {
                 searcher: field_u32(&doc, "searcher")?,
                 iteration: field_u64(&doc, "iteration")?,
                 evaluations: field_u64(&doc, "evaluations")?,
@@ -851,18 +894,18 @@ impl TimedEvent {
                 hypervolume: field_f64(&doc, "hypervolume")?,
                 coverage: field_f64(&doc, "coverage")?,
             },
-            "round_scored" => SearchEvent::RoundScored {
+            en::ROUND_SCORED => SearchEvent::RoundScored {
                 round: field_u32(&doc, "round")?,
                 contender: field_u32(&doc, "contender")?,
                 coverage: field_f64(&doc, "coverage")?,
                 hypervolume: field_f64(&doc, "hypervolume")?,
             },
-            "budget_reallocated" => SearchEvent::BudgetReallocated {
+            en::BUDGET_REALLOCATED => SearchEvent::BudgetReallocated {
                 round: field_u32(&doc, "round")?,
                 contender: field_u32(&doc, "contender")?,
                 evaluations: field_u64(&doc, "evaluations")?,
             },
-            "contender_retired" => SearchEvent::ContenderRetired {
+            en::CONTENDER_RETIRED => SearchEvent::ContenderRetired {
                 round: field_u32(&doc, "round")?,
                 contender: field_u32(&doc, "contender")?,
             },
@@ -966,6 +1009,11 @@ mod tests {
                 searcher: 0,
                 iteration: 7,
                 objectives: [987.25, 10.0, 3.5],
+            },
+            SearchEvent::SearchStagnated {
+                searcher: 1,
+                iteration: 39,
+                streak: 25,
             },
             SearchEvent::TabuHit {
                 searcher: 0,

@@ -12,7 +12,7 @@
 //!   runs with the same seed produce byte-identical streams — span wall
 //!   times go to the metrics side only. [`parse_events_jsonl`] reads a
 //!   stream back for tests and tooling.
-//! * **Metrics** ([`MetricsRegistry`], [`metrics::names`]): typed
+//! * **Metrics** ([`MetricsRegistry`], [`names`]): typed
 //!   counters, gauges, and fixed-bucket histograms with Prometheus text
 //!   exposition ([`MetricsRegistry::to_prometheus`]) and a human-readable
 //!   end-of-run summary ([`MetricsRegistry::summary`]). Gauges derived
@@ -35,6 +35,7 @@ mod event;
 pub mod frame;
 pub mod json;
 pub mod metrics;
+pub mod names;
 mod recorder;
 mod span;
 

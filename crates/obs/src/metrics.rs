@@ -7,157 +7,14 @@
 //! derived values (busy fractions, runtimes) — they feed dashboards and
 //! summaries, not the reproducibility proof.
 
+use crate::json::{self, Json};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Shared metric names, so emitters and consumers agree.
-pub mod names {
-    /// Selection steps completed (counter).
-    pub const ITERATIONS: &str = "tsmo_iterations_total";
-    /// Restarts from memory (counter; see the labeled variants).
-    pub const RESTARTS: &str = "tsmo_restarts_total";
-    /// Restarts due to an empty admissible pool (counter).
-    pub const RESTARTS_EMPTY_POOL: &str = "tsmo_restarts_total{reason=\"empty_pool\"}";
-    /// Restarts due to archive stagnation (counter).
-    pub const RESTARTS_STAGNATION: &str = "tsmo_restarts_total{reason=\"stagnation\"}";
-    /// Neighbors rejected by the tabu list (counter).
-    pub const TABU_HITS: &str = "tsmo_tabu_hits_total";
-    /// Tabu neighbors rescued by aspiration (counter).
-    pub const ASPIRATIONS: &str = "tsmo_aspirations_total";
-    /// Accepted `M_archive` insertions (counter).
-    pub const ARCHIVE_INSERTS: &str = "tsmo_archive_inserts_total";
-    /// Accepted `M_nondom` insertions (counter).
-    pub const NONDOM_INSERTS: &str = "tsmo_nondom_inserts_total";
-    /// Objective evaluations consumed (counter).
-    pub const EVALUATIONS: &str = "tsmo_evaluations_total";
-    /// Multisearch messages sent on communication lists (counter).
-    pub const EXCHANGE_SENT: &str = "tsmo_exchange_sent_total";
-    /// Multisearch messages drained from inboxes (counter).
-    pub const EXCHANGE_RECEIVED: &str = "tsmo_exchange_received_total";
-    /// Stale neighbors consumed by steps (counter).
-    pub const STALE_NEIGHBORS: &str = "tsmo_stale_neighbors_total";
-    /// Largest staleness (iterations) seen in any step (gauge).
-    pub const STALENESS_MAX: &str = "tsmo_staleness_max";
-    /// Final archive size (gauge).
-    pub const ARCHIVE_SIZE: &str = "tsmo_archive_size";
-    /// Wall-clock runtime of the run (gauge, seconds).
-    pub const RUNTIME_SECONDS: &str = "tsmo_runtime_seconds";
-    /// Pool size offered to each step (histogram).
-    pub const POOL_SIZE: &str = "tsmo_pool_size";
-    /// Per-neighbor staleness in iterations (histogram).
-    pub const NEIGHBOR_STALENESS: &str = "tsmo_neighbor_staleness";
-    /// Master-observed result queue depth at each poll (histogram).
-    pub const RESULT_QUEUE_DEPTH: &str = "tsmo_result_queue_depth";
-    /// Faults injected by the fault layer, all kinds (counter).
-    pub const FAULTS_INJECTED: &str = "tsmo_faults_injected_total";
-    /// Panicked or lost tasks resent by the supervisor (counter).
-    pub const TASKS_RESENT: &str = "tsmo_tasks_resent_total";
-    /// Tasks abandoned after the retry budget was exhausted (counter).
-    pub const TASKS_LOST: &str = "tsmo_tasks_lost_total";
-    /// Workers quarantined after consecutive panics (counter).
-    pub const WORKERS_QUARANTINED: &str = "tsmo_workers_quarantined_total";
-    /// Quarantined workers replaced with fresh threads (counter).
-    pub const WORKERS_RESPAWNED: &str = "tsmo_workers_respawned_total";
-    /// Exchange messages skipped because every peer was dead (counter).
-    pub const EXCHANGE_UNDELIVERABLE: &str = "tsmo_exchange_undeliverable_total";
-    /// 1 while the run is in master-only degraded mode, else 0 (gauge).
-    pub const DEGRADED_MODE: &str = "tsmo_degraded_mode";
-    /// Solver-service jobs admitted to the queue (counter).
-    pub const JOBS_ADMITTED: &str = "tsmo_jobs_admitted_total";
-    /// Jobs rejected with `QueueFull` backpressure (counter).
-    pub const JOBS_REJECTED: &str = "tsmo_jobs_rejected_total";
-    /// Jobs whose run was truncated by an explicit Cancel (counter).
-    pub const JOBS_CANCELLED: &str = "tsmo_jobs_cancelled_total";
-    /// Jobs whose run was truncated by their deadline (counter).
-    pub const JOBS_DEADLINE_EXCEEDED: &str = "tsmo_jobs_deadline_exceeded_total";
-    /// Jobs that reached a terminal state, truncated or not (counter).
-    pub const JOBS_COMPLETED: &str = "tsmo_jobs_completed_total";
-    /// Current solver-service queue depth (gauge).
-    pub const QUEUE_DEPTH: &str = "tsmo_queue_depth";
-    /// Submit-to-result latency of completed jobs, milliseconds
-    /// (histogram; the default buckets cover 0–250 ms, larger runs land
-    /// in `+Inf`).
-    pub const JOB_LATENCY_MS: &str = "tsmo_job_latency_ms";
-    /// Instance-cache lookups answered without re-parsing (counter).
-    pub const INSTANCE_CACHE_HITS: &str = "tsmo_instance_cache_hits_total";
-    /// Instance-cache lookups that had to parse the payload (counter).
-    pub const INSTANCE_CACHE_MISSES: &str = "tsmo_instance_cache_misses_total";
-
-    /// Cluster exchange payloads sent, all peers (counter; see the
-    /// per-peer labeled variant [`exchanges_sent_to_peer`]).
-    pub const EXCHANGES_SENT: &str = "tsmo_exchanges_sent_total";
-    /// Cluster exchange payloads received, all peers (counter; see the
-    /// per-peer labeled variant [`exchanges_received_from_peer`]).
-    pub const EXCHANGES_RECEIVED: &str = "tsmo_exchanges_received_total";
-    /// Round-trip time of peer handshakes/probes, milliseconds (histogram).
-    pub const PEER_RTT_MS: &str = "tsmo_peer_rtt_ms";
-    /// Peers declared dead after a failed delivery (counter).
-    pub const PEERS_DEAD: &str = "tsmo_peers_dead_total";
-    /// Dead peers re-admitted by a successful probe (counter).
-    pub const PEERS_READMITTED: &str = "tsmo_peers_readmitted_total";
-
-    /// Nodes admitted into the cluster membership (counter; one per
-    /// `member_joined` event).
-    pub const MEMBERS_JOINED: &str = "tsmo_members_joined_total";
-    /// Nodes that left the membership — graceful leave or declared dead
-    /// (counter; one per `member_left` event).
-    pub const MEMBERS_LEFT: &str = "tsmo_members_left_total";
-    /// Contiguous searcher-id slices reassigned by the rebalancer
-    /// (counter; one per `slice_rebalanced` event).
-    pub const SLICES_REBALANCED: &str = "tsmo_slices_rebalanced_total";
-    /// Archive checkpoints delivered to a ring successor (counter; one
-    /// per `archive_replicated` event).
-    pub const ARCHIVES_REPLICATED: &str = "tsmo_archives_replicated_total";
-    /// Node fronts restored from a successor's replica — on re-admission
-    /// or at final merge (counter).
-    pub const ARCHIVES_RECOVERED: &str = "tsmo_archives_recovered_total";
-    /// Current membership epoch (gauge; bumps on every join/leave).
-    pub const MEMBERSHIP_EPOCH: &str = "tsmo_membership_epoch";
-
-    /// Trajectory-trace ring-buffer points overwritten before export
-    /// (counter).
-    pub const TRACE_DROPPED: &str = "tsmo_trace_dropped_total";
-
-    /// Portfolio rounds scored (counter; one per contender per round).
-    pub const PORTFOLIO_ROUNDS_SCORED: &str = "tsmo_portfolio_rounds_scored_total";
-    /// Portfolio budget slices granted (counter).
-    pub const PORTFOLIO_REALLOCATIONS: &str = "tsmo_portfolio_reallocations_total";
-    /// Contenders retired at the budget floor (counter).
-    pub const PORTFOLIO_CONTENDERS_RETIRED: &str = "tsmo_portfolio_contenders_retired_total";
-    /// Evaluations spent through portfolio slices (counter).
-    pub const PORTFOLIO_EVALUATIONS: &str = "tsmo_portfolio_evaluations_total";
-
-    /// Per-phase closed-span count from the self-profiler (counter).
-    pub fn span_calls(span: &str) -> String {
-        format!("tsmo_span_calls_total{{span=\"{span}\"}}")
-    }
-
-    /// Per-phase wall seconds folded by the self-profiler (gauge; wall
-    /// clock, so it lives in metrics, never events).
-    pub fn span_seconds(span: &str) -> String {
-        format!("tsmo_span_seconds_total{{span=\"{span}\"}}")
-    }
-
-    /// Per-peer sent-exchange sample name (counter).
-    pub fn exchanges_sent_to_peer(peer: usize) -> String {
-        format!("tsmo_exchanges_sent_total{{peer=\"{peer}\"}}")
-    }
-
-    /// Per-peer received-exchange sample name (counter).
-    pub fn exchanges_received_from_peer(peer: usize) -> String {
-        format!("tsmo_exchanges_received_total{{peer=\"{peer}\"}}")
-    }
-
-    /// Per-worker busy fraction sample name (gauge in `[0, 1]`).
-    pub fn worker_busy_fraction(worker: usize) -> String {
-        format!("tsmo_worker_busy_fraction{{worker=\"{worker}\"}}")
-    }
-
-    /// Per-worker completed task count (counter).
-    pub fn worker_tasks(worker: usize) -> String {
-        format!("tsmo_worker_tasks_total{{worker=\"{worker}\"}}")
-    }
-}
+/// Shared metric names, so emitters and consumers agree. Re-exported
+/// from the crate-level [`crate::names`] registry module, which is the
+/// single source of truth for every metric and event-type string.
+pub use crate::names;
 
 /// Histogram bucket upper bounds (`+Inf` is implicit). Tuned for the small
 /// integer quantities the search emits (pool sizes, staleness, depths).
@@ -219,6 +76,160 @@ fn family(sample_name: &str) -> &str {
     sample_name.split('{').next().unwrap_or(sample_name)
 }
 
+/// Whether `name` is a bare metric name the 0.0.4 exposition format
+/// accepts: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn is_clean_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Rewrites a bare metric name so every character is legal, replacing
+/// offenders with `_` (a leading digit gets an underscore prefix).
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value for the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a label-block body (`k="v",k2="v2"`) into unescaped pairs.
+/// Returns `None` on any malformation (missing `=`, unquoted value,
+/// unterminated string).
+fn parse_label_block(body: &str) -> Option<Vec<(String, String)>> {
+    let mut pairs = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if key.is_empty() || chars.next() != Some('=') || chars.next() != Some('"') {
+            return None;
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next()? {
+                '\\' => match chars.next()? {
+                    'n' => value.push('\n'),
+                    c => value.push(c),
+                },
+                '"' => break,
+                c => value.push(c),
+            }
+        }
+        pairs.push((key, value));
+        match chars.next() {
+            None => return Some(pairs),
+            Some(',') => continue,
+            Some(_) => return None,
+        }
+    }
+}
+
+/// Whether a full sample name (family plus optional label block) is
+/// already legal exposition syntax with no characters needing escapes.
+fn sample_is_clean(name: &str) -> bool {
+    match name.find('{') {
+        None => is_clean_metric_name(name),
+        Some(brace) => {
+            if !is_clean_metric_name(&name[..brace]) {
+                return false;
+            }
+            let Some(body) = name[brace + 1..].strip_suffix('}') else {
+                return false;
+            };
+            match parse_label_block(body) {
+                Some(pairs) => pairs
+                    .iter()
+                    .all(|(k, v)| is_clean_metric_name(k) && !v.contains(['"', '\\', '\n'])),
+                None => false,
+            }
+        }
+    }
+}
+
+/// Returns a sample name guaranteed to be legal 0.0.4 exposition
+/// syntax. Clean names pass through borrowed; dirty family/label-key
+/// characters become `_`, label values get escaped, and a name whose
+/// label block cannot be parsed at all is flattened to a bare
+/// sanitized name.
+fn sanitize_sample(name: &str) -> std::borrow::Cow<'_, str> {
+    if sample_is_clean(name) {
+        return std::borrow::Cow::Borrowed(name);
+    }
+    let owned = match name.find('{') {
+        None => sanitize_metric_name(name),
+        Some(brace) => {
+            let body = name[brace + 1..].strip_suffix('}');
+            match body.and_then(parse_label_block) {
+                Some(pairs) => {
+                    let mut out = sanitize_metric_name(&name[..brace]);
+                    out.push('{');
+                    for (i, (k, v)) in pairs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&sanitize_metric_name(k));
+                        out.push_str("=\"");
+                        out.push_str(&escape_label_value(v));
+                        out.push('"');
+                    }
+                    out.push('}');
+                    out
+                }
+                None => sanitize_metric_name(name),
+            }
+        }
+    };
+    std::borrow::Cow::Owned(owned)
+}
+
+/// Inserts `key="value"` as the *first* label of a sample name,
+/// preserving any existing label block. Used by federation to stamp a
+/// node id onto every sample of a fetched registry.
+fn labeled_sample(name: &str, key: &str, value: &str) -> String {
+    let escaped = escape_label_value(value);
+    match name.find('{') {
+        Some(brace) => format!(
+            "{}{{{key}=\"{escaped}\",{}",
+            &name[..brace],
+            &name[brace + 1..]
+        ),
+        None => format!("{name}{{{key}=\"{escaped}\"}}"),
+    }
+}
+
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> Self {
@@ -269,6 +280,19 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Iterates every counter in name order. Consumers that need to
+    /// *discover* samples — `servectl top` scanning for labeled operator
+    /// families, federation views scanning for `tsmo_node_up` gauges —
+    /// use this instead of guessing names.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates every gauge in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Merges another registry into this one: counters add, gauges take
     /// the maximum (they are all "largest seen" or fractions where max is
     /// the conservative combine), histogram buckets add.
@@ -295,34 +319,180 @@ impl MetricsRegistry {
 
     /// Renders the registry in the Prometheus text exposition format.
     /// Output is fully deterministic given equal registry contents.
+    /// Sample names are validated on the way out: illegal family or
+    /// label-key characters become `_` and label values are escaped, so
+    /// a hostile or buggy emitter cannot corrupt the exposition.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let mut last_family = "";
+        let mut last_family = String::new();
         for (name, value) in &self.counters {
-            let fam = family(name);
+            let name = sanitize_sample(name);
+            let fam = family(&name);
             if fam != last_family {
                 let _ = writeln!(out, "# TYPE {fam} counter");
-                last_family = fam;
+                last_family = fam.to_string();
             }
             let _ = writeln!(out, "{name} {value}");
         }
-        last_family = "";
+        last_family.clear();
         for (name, value) in &self.gauges {
-            let fam = family(name);
+            let name = sanitize_sample(name);
+            let fam = family(&name);
             if fam != last_family {
                 let _ = writeln!(out, "# TYPE {fam} gauge");
-                last_family = fam;
+                last_family = fam.to_string();
             }
             let _ = writeln!(out, "{name} {value}");
         }
         for (name, hist) in &self.histograms {
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            let name = sanitize_sample(name);
+            let (fam, labels) = match name.find('{') {
+                Some(brace) => (&name[..brace], &name[brace + 1..name.len() - 1]),
+                None => (name.as_ref(), ""),
+            };
+            let sep = if labels.is_empty() { "" } else { "," };
+            let _ = writeln!(out, "# TYPE {fam} histogram");
             for (bound, count) in DEFAULT_BUCKETS.iter().zip(hist.buckets.iter()) {
-                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {count}");
+                let _ = writeln!(out, "{fam}_bucket{{{labels}{sep}le=\"{bound}\"}} {count}");
             }
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
-            let _ = writeln!(out, "{name}_sum {}", hist.sum);
-            let _ = writeln!(out, "{name}_count {}", hist.count);
+            let _ = writeln!(
+                out,
+                "{fam}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+                hist.count
+            );
+            if labels.is_empty() {
+                let _ = writeln!(out, "{fam}_sum {}", hist.sum);
+                let _ = writeln!(out, "{fam}_count {}", hist.count);
+            } else {
+                let _ = writeln!(out, "{fam}_sum{{{labels}}} {}", hist.sum);
+                let _ = writeln!(out, "{fam}_count{{{labels}}} {}", hist.count);
+            }
+        }
+        out
+    }
+
+    /// Serializes the registry as one JSON object with `counters`,
+    /// `gauges`, and `histograms` sections. Key order is the registry's
+    /// deterministic `BTreeMap` order, so equal registries serialize
+    /// byte-identically. This is the structured wire form used by the
+    /// mesh metrics-fetch protocol (the Prometheus text form cannot be
+    /// merged after rendering).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            out.push(':');
+            json::write_f64(&mut out, *value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            out.push_str(":{\"buckets\":[");
+            for (j, b) in hist.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            let _ = write!(out, "],\"count\":{},\"sum\":", hist.count);
+            json::write_f64(&mut out, hist.sum);
+            out.push_str(",\"max\":");
+            match hist.max {
+                Some(m) => json::write_f64(&mut out, m),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a registry serialized by [`to_json`].
+    ///
+    /// [`to_json`]: MetricsRegistry::to_json
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let mut reg = MetricsRegistry::new();
+        let section = |key: &str| -> Result<BTreeMap<String, Json>, String> {
+            match doc.get(key) {
+                Some(Json::Object(map)) => Ok(map.clone()),
+                None => Ok(BTreeMap::new()),
+                Some(_) => Err(format!("'{key}' is not an object")),
+            }
+        };
+        for (name, value) in section("counters")? {
+            let v = value
+                .as_u64()
+                .ok_or_else(|| format!("counter '{name}' is not a u64"))?;
+            reg.counters.insert(name, v);
+        }
+        for (name, value) in section("gauges")? {
+            let v = value
+                .as_f64()
+                .ok_or_else(|| format!("gauge '{name}' is not a number"))?;
+            reg.gauges.insert(name, v);
+        }
+        for (name, value) in section("histograms")? {
+            let mut hist = Histogram::default();
+            let buckets = match value.get("buckets") {
+                Some(Json::Array(items)) if items.len() == DEFAULT_BUCKETS.len() => items,
+                _ => return Err(format!("histogram '{name}' has a bad bucket array")),
+            };
+            for (slot, item) in hist.buckets.iter_mut().zip(buckets.iter()) {
+                *slot = item
+                    .as_u64()
+                    .ok_or_else(|| format!("histogram '{name}' has a non-u64 bucket"))?;
+            }
+            hist.count = value
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram '{name}' has a bad count"))?;
+            hist.sum = value
+                .get("sum")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("histogram '{name}' has a bad sum"))?;
+            hist.max = match value.get("max") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(
+                    v.as_f64()
+                        .ok_or_else(|| format!("histogram '{name}' has a bad max"))?,
+                ),
+            };
+            reg.histograms.insert(name, hist);
+        }
+        Ok(reg)
+    }
+
+    /// Returns a copy with `key="value"` inserted as the first label of
+    /// every sample name. Federation uses this to stamp the origin node
+    /// onto a fetched registry before merging, so per-node series stay
+    /// distinguishable in the combined exposition.
+    pub fn with_label(&self, key: &str, value: &str) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for (name, v) in &self.counters {
+            out.counters.insert(labeled_sample(name, key, value), *v);
+        }
+        for (name, v) in &self.gauges {
+            out.gauges.insert(labeled_sample(name, key, value), *v);
+        }
+        for (name, h) in &self.histograms {
+            out.histograms
+                .insert(labeled_sample(name, key, value), h.clone());
         }
         out
     }
@@ -435,6 +605,132 @@ mod tests {
         let h = a.histogram(names::POOL_SIZE).unwrap();
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 30.0);
+    }
+
+    #[test]
+    fn merge_adds_histogram_buckets_elementwise() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        for v in [0.0, 3.0] {
+            a.observe(names::POOL_SIZE, v);
+        }
+        for v in [1.0, 100.0] {
+            b.observe(names::POOL_SIZE, v);
+        }
+        a.merge(&b);
+        let h = a.histogram(names::POOL_SIZE).unwrap();
+        // le=0: {0} → 1; le=1: {0,1} → 2; le=5: {0,3,1} → 3; le=100: all 4.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[3], 3);
+        assert_eq!(h.buckets[7], 4);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 104.0);
+        assert_eq!(h.max, Some(100.0));
+    }
+
+    #[test]
+    fn merge_unions_disjoint_names() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add(names::ITERATIONS, 1);
+        b.counter_add(names::EVALUATIONS, 2);
+        a.gauge_set(names::ARCHIVE_SIZE, 5.0);
+        b.gauge_set(names::RUNTIME_SECONDS, 1.5);
+        b.observe(names::NEIGHBOR_STALENESS, 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter(names::ITERATIONS), 1);
+        assert_eq!(a.counter(names::EVALUATIONS), 2);
+        assert_eq!(a.gauge(names::ARCHIVE_SIZE), Some(5.0));
+        assert_eq!(a.gauge(names::RUNTIME_SECONDS), Some(1.5));
+        assert_eq!(a.histogram(names::NEIGHBOR_STALENESS).unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_gauges_keep_maximum() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.gauge_set(names::STALENESS_MAX, 4.0);
+        b.gauge_set(names::STALENESS_MAX, 2.0);
+        a.merge(&b);
+        assert_eq!(a.gauge(names::STALENESS_MAX), Some(4.0));
+        b.merge(&a);
+        assert_eq!(b.gauge(names::STALENESS_MAX), Some(4.0));
+    }
+
+    #[test]
+    fn prometheus_sanitizes_bad_names_and_label_values() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("bad name\nwith{newline", 1);
+        m.counter_add("ok_total{instance=\"a\"b\"}", 2);
+        m.counter_add("2leading_digit", 3);
+        m.gauge_set("quote\"gauge", 1.0);
+        let text = m.to_prometheus();
+        // Every exposition line is `name[{labels}] value` with a clean
+        // family name and escaped label values.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let fam = line.split(['{', ' ']).next().unwrap();
+            assert!(is_clean_metric_name(fam), "dirty family in line: {line}");
+        }
+        assert!(text.contains("bad_name_with_newline 1"));
+        // The malformed label block (raw quote inside the value) was
+        // flattened into a bare sanitized name.
+        assert!(text.contains("ok_total_instance__a_b__ 2"));
+        assert!(text.contains("_2leading_digit 3"));
+        assert!(text.contains("quote_gauge 1"));
+    }
+
+    #[test]
+    fn prometheus_escapes_parseable_label_values() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("ok_total{path=\"a\\\\b\"}", 7);
+        let text = m.to_prometheus();
+        assert!(text.contains("ok_total{path=\"a\\\\b\"} 7"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(names::ITERATIONS, 42);
+        m.counter_add(
+            &names::operator_counter(names::OPERATOR_PROPOSED, "relocate"),
+            7,
+        );
+        m.gauge_set(names::RUNTIME_SECONDS, 1.25);
+        m.gauge_set(names::STALENESS_MAX, 3.0);
+        m.observe(names::POOL_SIZE, 60.0);
+        m.observe(names::POOL_SIZE, 2.0);
+        let text = m.to_json();
+        let back = MetricsRegistry::from_json(&text).expect("parse back");
+        assert_eq!(back, m);
+        // Serialization is deterministic.
+        assert_eq!(back.to_json(), text);
+        let empty = MetricsRegistry::from_json(&MetricsRegistry::new().to_json()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn with_label_prepends_node_label_everywhere() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(names::ITERATIONS, 3);
+        m.counter_add(&names::worker_busy_fraction(0), 1);
+        m.observe(names::POOL_SIZE, 5.0);
+        let tagged = m.with_label("node", "2");
+        assert_eq!(tagged.counter("tsmo_iterations_total{node=\"2\"}"), 3);
+        assert_eq!(
+            tagged.counter("tsmo_worker_busy_fraction{node=\"2\",worker=\"0\"}"),
+            1
+        );
+        assert_eq!(
+            tagged
+                .histogram("tsmo_pool_size{node=\"2\"}")
+                .map(|h| h.count),
+            Some(1)
+        );
+        // Labeled histograms expose per-series bucket/sum/count lines.
+        let text = tagged.to_prometheus();
+        assert!(text.contains("tsmo_pool_size_bucket{node=\"2\",le=\"+Inf\"} 1"));
+        assert!(text.contains("tsmo_pool_size_count{node=\"2\"} 1"));
     }
 
     #[test]

@@ -32,7 +32,9 @@ mod sample;
 pub use descent::{descend, DescentConfig, DescentOutcome};
 pub use feasibility::{arc_feasible, insertion_feasible};
 pub use moves::{Arc, Move, OperatorKind};
-pub use sample::{sample_move, sample_of_kind, Candidate, SampleParams};
+pub use sample::{
+    sample_move, sample_move_tallied, sample_of_kind, Candidate, SampleParams, SampleTally,
+};
 
 #[cfg(test)]
 mod proptests;

@@ -32,6 +32,29 @@ impl OperatorKind {
         OperatorKind::TwoOptStar,
         OperatorKind::OrOpt,
     ];
+
+    /// This operator's position in [`OperatorKind::ALL`] — the index
+    /// used by per-operator attribution arrays.
+    pub fn index(self) -> usize {
+        match self {
+            OperatorKind::Relocate => 0,
+            OperatorKind::Exchange => 1,
+            OperatorKind::TwoOpt => 2,
+            OperatorKind::TwoOptStar => 3,
+            OperatorKind::OrOpt => 4,
+        }
+    }
+
+    /// Stable snake_case label used as the `operator` metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OperatorKind::Relocate => "relocate",
+            OperatorKind::Exchange => "exchange",
+            OperatorKind::TwoOpt => "two_opt",
+            OperatorKind::TwoOptStar => "two_opt_star",
+            OperatorKind::OrOpt => "or_opt",
+        }
+    }
 }
 
 /// A sampled neighborhood move, expressed against a specific solution

@@ -40,6 +40,33 @@ pub struct Candidate {
     pub preview: Preview,
 }
 
+/// Per-operator draw/success counts from a sampling run. Indexed by
+/// [`OperatorKind::index`]; merged across chunks and runs by addition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleTally {
+    /// Draws handed to each operator (before any feasibility filter).
+    pub proposed: [u64; OperatorKind::ALL.len()],
+    /// Draws that produced a structurally valid, feasible candidate.
+    pub feasible: [u64; OperatorKind::ALL.len()],
+}
+
+impl SampleTally {
+    /// Adds another tally into this one element-wise.
+    pub fn merge(&mut self, other: &SampleTally) {
+        for (a, b) in self.proposed.iter_mut().zip(other.proposed.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.feasible.iter_mut().zip(other.feasible.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total draws across all operators.
+    pub fn total_proposed(&self) -> u64 {
+        self.proposed.iter().sum()
+    }
+}
+
 /// Draws one operator uniformly at random and attempts to sample a move
 /// with it. Returns `None` when the chosen operator could not produce a
 /// suitable move for this snapshot (caller re-draws).
@@ -51,6 +78,26 @@ pub fn sample_move<R: Rng>(
 ) -> Option<Candidate> {
     let kind = OperatorKind::ALL[rng.index(OperatorKind::ALL.len())];
     sample_of_kind(rng, inst, snapshot, kind, params)
+}
+
+/// [`sample_move`] with per-operator attribution: counts the drawn
+/// operator in `tally.proposed` and, on success, in `tally.feasible`.
+/// Consumes exactly the same RNG sequence as `sample_move`, so
+/// instrumented and uninstrumented runs stay trajectory-identical.
+pub fn sample_move_tallied<R: Rng>(
+    rng: &mut R,
+    inst: &Instance,
+    snapshot: &EvaluatedSolution,
+    params: SampleParams,
+    tally: &mut SampleTally,
+) -> Option<Candidate> {
+    let kind = OperatorKind::ALL[rng.index(OperatorKind::ALL.len())];
+    tally.proposed[kind.index()] += 1;
+    let candidate = sample_of_kind(rng, inst, snapshot, kind, params);
+    if candidate.is_some() {
+        tally.feasible[kind.index()] += 1;
+    }
+    candidate
 }
 
 /// Attempts to sample a move of a specific operator family.
@@ -287,6 +334,37 @@ mod tests {
         for kind in OperatorKind::ALL {
             assert!(seen.contains(&kind), "{kind:?} never produced a move");
         }
+    }
+
+    #[test]
+    fn tallied_sampler_matches_plain_sampler_and_counts() {
+        let (inst, ev) = setup(vec![vec![1, 2], vec![3, 4]]);
+        let mut plain_rng = rng();
+        let mut tallied_rng = rng();
+        let mut tally = SampleTally::default();
+        let mut successes = 0u64;
+        for _ in 0..500 {
+            let plain = sample_move(&mut plain_rng, &inst, &ev, SampleParams::default());
+            let tallied = sample_move_tallied(
+                &mut tallied_rng,
+                &inst,
+                &ev,
+                SampleParams::default(),
+                &mut tally,
+            );
+            // Identical RNG consumption ⇒ identical draws, forever.
+            assert_eq!(plain.as_ref().map(|c| c.mv), tallied.as_ref().map(|c| c.mv));
+            successes += u64::from(tallied.is_some());
+        }
+        assert_eq!(tally.total_proposed(), 500);
+        assert_eq!(tally.feasible.iter().sum::<u64>(), successes);
+        for (p, f) in tally.proposed.iter().zip(tally.feasible.iter()) {
+            assert!(f <= p, "feasible cannot exceed proposed");
+        }
+        // Merging doubles every cell.
+        let mut doubled = tally;
+        doubled.merge(&tally);
+        assert_eq!(doubled.total_proposed(), 1000);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! servectl --addr HOST:PORT health
-//! servectl --addr HOST:PORT metrics
+//! servectl --addr HOST:PORT metrics [--json]
+//! servectl --addr HOST:PORT top [--interval-ms MS] [--iterations N]
 //! servectl --addr HOST:PORT submit FILE [--variant V] [--processors P]
 //!          [--evals N] [--neighborhood N] [--seed S]
 //!          [--deadline-ms D] [--max-iters I] [--record-events] [--wait SECONDS]
@@ -23,15 +24,24 @@
 //! `QueueFull` backpressure so scripts can retry. `tail` streams a
 //! `--record-events` job's span/timeline events live, one JSON line
 //! each, until the job is terminal and the stream has drained.
+//!
+//! `metrics --json` prints the registry as mergeable JSON instead of the
+//! prometheus exposition. `top` polls the registry and renders a live
+//! summary — throughput, queue depth, per-operator acceptance rates, and
+//! (against a mesh-fronting daemon) per-node liveness — every
+//! `--interval-ms` until `--iterations` ticks have printed (0 = forever).
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use tsmo_obs::metrics::names;
+use tsmo_obs::MetricsRegistry;
 use tsmo_serve::{Client, DynamicParams, JobResult, JobSpec, PortfolioParams};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: servectl --addr HOST:PORT [--connect-timeout-ms MS] \
-         (health | metrics | submit FILE [opts] | submit-dynamic FILE [opts] | \
+         (health | metrics [--json] | top [--interval-ms MS] [--iterations N] | \
+         submit FILE [opts] | submit-dynamic FILE [opts] | \
          submit-portfolio FILE [opts] | status JOB | cancel JOB | result JOB | tail JOB | \
          shutdown)\n\
          submit opts: --variant sequential|synchronous|asynchronous|collaborative \
@@ -89,6 +99,103 @@ fn print_result(job: u64, r: &JobResult) {
     }
 }
 
+/// Extracts the value of `label` from a sample name's label block, e.g.
+/// `label_value("x{node=\"2\",operator=\"relocate\"}", "operator")` →
+/// `Some("relocate")`.
+fn label_value<'a>(name: &'a str, label: &str) -> Option<&'a str> {
+    let needle = format!("{label}=\"");
+    let start = name.find(&needle)? + needle.len();
+    let end = name[start..].find('"')?;
+    Some(&name[start..start + end])
+}
+
+/// Sums every counter of `family` that carries `operator="op"`,
+/// collapsing any node labels a federated registry adds.
+fn operator_total(registry: &MetricsRegistry, family: &str, op: &str) -> u64 {
+    registry
+        .counters()
+        .filter(|(name, _)| name.starts_with(family) && label_value(name, "operator") == Some(op))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// One rendered `top` tick. `prev` is the previous tick's completed-job
+/// count and timestamp, for the jobs/s rate.
+fn render_top(registry: &MetricsRegistry, prev: Option<(u64, Instant)>) -> (u64, Instant) {
+    let completed = registry.counter(names::JOBS_COMPLETED);
+    let now = Instant::now();
+    let rate = match prev {
+        Some((before, at)) => {
+            let secs = now.duration_since(at).as_secs_f64();
+            if secs > 0.0 {
+                format!("{:.2}", (completed.saturating_sub(before)) as f64 / secs)
+            } else {
+                "-".to_string()
+            }
+        }
+        None => "-".to_string(),
+    };
+    let depth = registry.gauge(names::QUEUE_DEPTH).unwrap_or(0.0);
+    println!(
+        "jobs completed={completed} rate={rate}/s queue_depth={depth:.0} evaluations={}",
+        registry.counter(names::EVALUATIONS)
+    );
+
+    // Operators present anywhere in the registry (labeled samples may
+    // also carry a node label in a federated view; collapse over it).
+    let mut operators: Vec<String> = registry
+        .counters()
+        .filter(|(name, _)| name.starts_with(names::OPERATOR_PROPOSED))
+        .filter_map(|(name, _)| label_value(name, "operator").map(str::to_string))
+        .collect();
+    operators.sort();
+    operators.dedup();
+    for op in &operators {
+        let proposed = operator_total(registry, names::OPERATOR_PROPOSED, op);
+        let feasible = operator_total(registry, names::OPERATOR_FEASIBLE, op);
+        let accepted = operator_total(registry, names::OPERATOR_ACCEPTED, op);
+        let improving = operator_total(registry, names::OPERATOR_IMPROVING, op);
+        let acceptance = if proposed > 0 {
+            format!("{:.1}%", 100.0 * accepted as f64 / proposed as f64)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "  op {op:<12} proposed={proposed} feasible={feasible} accepted={accepted} \
+             improving={improving} acceptance={acceptance}"
+        );
+    }
+
+    // Per-node liveness gauges appear when the daemon fronts a mesh.
+    for (name, value) in registry.gauges() {
+        if name.starts_with("tsmo_node_up{") {
+            if let Some(node) = label_value(name, "node") {
+                let state = if value >= 1.0 { "up" } else { "DOWN" };
+                println!("  node {node}: {state}");
+            }
+        }
+    }
+    (completed, now)
+}
+
+/// The `top` loop: poll, render, sleep. `iterations == 0` runs until
+/// the process is killed or the daemon goes away.
+fn top(client: &mut Client, interval: Duration, iterations: u64) -> std::io::Result<()> {
+    let mut prev = None;
+    let mut tick = 0u64;
+    loop {
+        let registry = MetricsRegistry::from_json(&client.metrics_json()?)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        println!("--- tick {tick} ---");
+        prev = Some(render_top(&registry, prev));
+        tick += 1;
+        if iterations > 0 && tick >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
@@ -105,7 +212,7 @@ fn main() -> ExitCode {
     while i < args.len() {
         if args[i].starts_with("--") {
             // Boolean flags take no value; everything else consumes one.
-            i += if args[i] == "--record-events" || args[i] == "--cold" {
+            i += if args[i] == "--record-events" || args[i] == "--cold" || args[i] == "--json" {
                 1
             } else {
                 2
@@ -142,7 +249,23 @@ fn main() -> ExitCode {
             Ok(ExitCode::SUCCESS)
         }
         "metrics" => {
-            print!("{}", client.metrics()?);
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", client.metrics_json()?);
+            } else {
+                print!("{}", client.metrics()?);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "top" => {
+            let interval = Duration::from_millis(
+                get("--interval-ms")
+                    .map(|v| v.parse().expect("--interval-ms expects an integer"))
+                    .unwrap_or(1_000),
+            );
+            let iterations: u64 = get("--iterations")
+                .map(|v| v.parse().expect("--iterations expects an integer"))
+                .unwrap_or(0);
+            top(&mut client, interval, iterations)?;
             Ok(ExitCode::SUCCESS)
         }
         "submit" | "submit-dynamic" | "submit-portfolio" => {

@@ -187,6 +187,16 @@ impl Client {
         }
     }
 
+    /// The daemon's metrics as a mergeable JSON registry string. Parse
+    /// with [`tsmo_obs::MetricsRegistry::from_json`] to fold the snapshot
+    /// into another registry or diff two snapshots.
+    pub fn metrics_json(&mut self) -> io::Result<String> {
+        match self.request(&Request::MetricsJson)? {
+            Response::MetricsJson { registry } => Ok(registry),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
     /// Drain-then-stop shutdown; returns the daemon's lifetime completed
     /// job count once the drain has finished.
     pub fn shutdown(&mut self) -> io::Result<u64> {

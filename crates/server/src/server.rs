@@ -113,11 +113,36 @@ impl Shared {
     }
 
     fn prometheus(&self) -> String {
-        // One exposition covering both recorders: search metrics from the
-        // runs, lifecycle metrics from the service layer.
+        self.registry().to_prometheus()
+    }
+
+    /// The daemon's merged metrics registry: search metrics from the runs,
+    /// lifecycle metrics from the service layer, and — when a node mesh is
+    /// configured — every reachable node's registry folded in under a
+    /// `node="k"` label, with a `tsmo_node_up{node="k"}` liveness gauge
+    /// per peer. One `/metrics` scrape therefore observes the whole
+    /// cluster.
+    fn registry(&self) -> tsmo_obs::MetricsRegistry {
         let mut merged = self.metrics.metrics();
         merged.merge(&self.events.metrics());
-        merged.to_prometheus()
+        if let Some(peers) = &self.mesh {
+            for (k, peer) in peers.iter().enumerate() {
+                let node = k.to_string();
+                let fetched = tsmo_cluster::mesh::MeshClient::new(
+                    peer.clone(),
+                    tsmo_cluster::DEFAULT_NET_TIMEOUT,
+                )
+                .metrics_registry();
+                match fetched {
+                    Ok(registry) => {
+                        merged.merge(&registry.with_label("node", &node));
+                        merged.gauge_set(&names::node_up(&node), 1.0);
+                    }
+                    Err(_) => merged.gauge_set(&names::node_up(&node), 0.0),
+                }
+            }
+        }
+        merged
     }
 }
 
@@ -682,6 +707,12 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
         Request::Metrics => (
             Response::Metrics {
                 prometheus: shared.prometheus(),
+            },
+            false,
+        ),
+        Request::MetricsJson => (
+            Response::MetricsJson {
+                registry: shared.registry().to_json(),
             },
             false,
         ),

@@ -253,6 +253,11 @@ pub enum Request {
     Health,
     /// Prometheus text exposition of the daemon's metrics.
     Metrics,
+    /// The daemon's metrics as a mergeable JSON registry. Unlike
+    /// `Metrics`, whose prometheus text is render-only, this answer can
+    /// be re-parsed with [`tsmo_obs::MetricsRegistry::from_json`] and
+    /// folded into a federated view.
+    MetricsJson,
     /// Drain the queue, finish running jobs, then stop accepting work.
     /// Answered with `ShutdownComplete` *after* the drain finishes.
     Shutdown,
@@ -381,6 +386,12 @@ pub enum Response {
         /// The exposition body.
         prometheus: String,
     },
+    /// The metrics registry as mergeable JSON.
+    MetricsJson {
+        /// `MetricsRegistry::to_json` output; parse back with
+        /// `MetricsRegistry::from_json`.
+        registry: String,
+    },
     /// Drain finished; the daemon stops after this response.
     ShutdownComplete {
         /// Jobs that reached a terminal state over the daemon's lifetime.
@@ -496,6 +507,7 @@ impl Request {
             }
             Request::Health => s.push_str("{\"type\":\"health\"}"),
             Request::Metrics => s.push_str("{\"type\":\"metrics\"}"),
+            Request::MetricsJson => s.push_str("{\"type\":\"metrics_json\"}"),
             Request::Shutdown => s.push_str("{\"type\":\"shutdown\"}"),
         }
         s
@@ -534,6 +546,7 @@ impl Request {
             }),
             "health" => Ok(Request::Health),
             "metrics" => Ok(Request::Metrics),
+            "metrics_json" => Ok(Request::MetricsJson),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type '{other}'")),
         }
@@ -747,6 +760,11 @@ impl Response {
                 json::write_str(&mut s, prometheus);
                 s.push('}');
             }
+            Response::MetricsJson { registry } => {
+                s.push_str("{\"type\":\"metrics_json\",\"registry\":");
+                json::write_str(&mut s, registry);
+                s.push('}');
+            }
             Response::ShutdownComplete { jobs_completed } => {
                 let _ = write!(
                     s,
@@ -806,6 +824,9 @@ impl Response {
             }),
             "metrics" => Ok(Response::Metrics {
                 prometheus: req_str(&doc, "prometheus")?.to_string(),
+            }),
+            "metrics_json" => Ok(Response::MetricsJson {
+                registry: req_str(&doc, "registry")?.to_string(),
             }),
             "shutdown_complete" => Ok(Response::ShutdownComplete {
                 jobs_completed: req_u64(&doc, "jobs_completed")?,
@@ -1023,6 +1044,7 @@ mod tests {
             Request::Tail { job: 9 },
             Request::Health,
             Request::Metrics,
+            Request::MetricsJson,
             Request::Shutdown,
         ];
         for req in samples {
@@ -1064,6 +1086,9 @@ mod tests {
             Response::Metrics {
                 prometheus: "# TYPE tsmo_jobs_admitted_total counter\ntsmo_jobs_admitted_total 4\n"
                     .to_string(),
+            },
+            Response::MetricsJson {
+                registry: "{\"counters\":{\"tsmo_evaluations_total\":9}}".to_string(),
             },
             Response::ShutdownComplete { jobs_completed: 12 },
             Response::TailEvent {

@@ -48,7 +48,24 @@ fn collaborative_job_fans_out_over_the_node_mesh() {
         objectives.len(),
         "merged mesh front must be mutually non-dominated"
     );
-    // Every node actually participated: each reports remote exchanges in.
+    // A mesh-fronting daemon's /metrics folds every node's registry in
+    // under a node label, with a liveness gauge per peer: one scrape
+    // observes the whole cluster.
+    let prom = server.prometheus();
+    for k in 0..2 {
+        assert!(
+            prom.contains(&format!("tsmo_evaluations_total{{node=\"{k}\"}}")),
+            "missing node {k} evaluations in the federated exposition:\n{prom}"
+        );
+        assert!(
+            prom.contains(&format!("tsmo_node_up{{node=\"{k}\"}} 1")),
+            "missing node {k} liveness in the federated exposition:\n{prom}"
+        );
+    }
+    assert!(
+        prom.contains("tsmo_operator_proposed_total{node=\"0\",operator="),
+        "federated exposition lost per-operator attribution:\n{prom}"
+    );
     server.shutdown();
     for node in nodes {
         node.halt();

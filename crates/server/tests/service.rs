@@ -579,3 +579,36 @@ fn the_cache_byte_budget_evicts_old_instances() {
     assert!(!result.front.is_empty());
     server.shutdown();
 }
+
+#[test]
+fn metrics_json_round_trips_to_the_prometheus_exposition() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = instance_text(12, 7);
+    let job = client.submit(quick_spec(&text, 7)).unwrap().unwrap();
+    client.wait_result(job, Duration::from_secs(60)).unwrap();
+
+    // With no running jobs the registry is quiescent, so the JSON
+    // snapshot and the prometheus scrape observe the same state: the
+    // parsed registry must re-render to the exact exposition.
+    let registry =
+        tsmo_obs::MetricsRegistry::from_json(&client.metrics_json().unwrap()).expect("parse back");
+    let prom = client.metrics().unwrap();
+    assert_eq!(
+        registry.to_prometheus(),
+        prom,
+        "JSON registry must round-trip to the prometheus exposition"
+    );
+    // And the mergeable form carries real search metrics, not a stub.
+    use tsmo_obs::metrics::names;
+    assert!(registry.counter(names::EVALUATIONS) > 0);
+    assert_eq!(registry.counter(names::JOBS_COMPLETED), 1);
+    assert!(
+        registry.counter(&names::operator_counter(
+            names::OPERATOR_PROPOSED,
+            "relocate"
+        )) > 0,
+        "operator attribution missing from the JSON registry"
+    );
+    server.shutdown();
+}
